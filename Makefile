@@ -1,0 +1,33 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples artifacts clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerates benchmarks/results/*.txt (the figure artifacts).
+artifacts: bench
+	@ls benchmarks/results/
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/scaling_study.py
+	$(PYTHON) examples/gpu_porting_tour.py
+	$(PYTHON) examples/cylindrical_filter.py
+	$(PYTHON) examples/distributed_timeline.py
+	$(PYTHON) examples/taylor_green.py
+	$(PYTHON) examples/shock_bubble.py
+	$(PYTHON) examples/shock_droplet.py
+	$(PYTHON) examples/airfoil_immersed_boundary.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,32 @@
+"""Shared fixtures for the figure-regeneration benches.
+
+Every bench writes the rows it regenerates to ``benchmarks/results/``
+so the paper-vs-measured comparison in EXPERIMENTS.md is reproducible
+from artifacts, independent of pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_rows(results_dir):
+    """Writer fixture: ``record_rows(name, lines)`` persists and echoes a table."""
+
+    def _write(name: str, lines: list[str]) -> None:
+        text = "\n".join(lines) + "\n"
+        (results_dir / f"{name}.txt").write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+
+    return _write

@@ -1,0 +1,76 @@
+"""§III-A ablation: 3D blocks vs slabs vs pencils.
+
+The paper's design rationale: "Blocks reduce the overall communication
+cost by minimizing the surface-to-volume ratio of each process's
+domain."  This bench quantifies that choice with the same halo-volume
+accounting the scaling models use.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BlockDecomposition, CommModel, FRONTIER
+
+GLOBAL = (1024, 1024, 1024)
+NRANKS = 512
+
+
+def _mid_rank(decomp):
+    return decomp.coords_rank(tuple(g // 2 for g in decomp.rank_grid))
+
+
+def test_decomposition_halo_volumes(benchmark, record_rows):
+    def build():
+        out = {}
+        for name, factory in (("blocks", BlockDecomposition.balanced),
+                              ("pencils", BlockDecomposition.pencils),
+                              ("slabs", BlockDecomposition.slabs)):
+            d = factory(GLOBAL, NRANKS)
+            r = _mid_rank(d)
+            out[name] = (d.rank_grid, d.halo_cells(r, 3),
+                         d.surface_to_volume(r, 3))
+        return out
+
+    data = benchmark(build)
+    lines = [f"{'strategy':<9} {'rank grid':<14} {'halo cells':>11} {'S/V':>8}"]
+    for name, (grid, halo, sv) in data.items():
+        lines.append(f"{name:<9} {str(grid):<14} {halo:>11} {sv:>8.4f}")
+    record_rows("ablation_decomposition", lines)
+
+    assert data["blocks"][2] < data["pencils"][2] < data["slabs"][2]
+    # Blocks cut halo volume by a large factor vs slabs at this scale.
+    assert data["slabs"][1] / data["blocks"][1] > 10.0
+
+
+def test_decomposition_comm_time(benchmark, record_rows):
+    """The halo-volume advantage translates into step-time advantage."""
+    cm = CommModel(FRONTIER, gpu_aware=True)
+
+    def price():
+        out = {}
+        for name, factory in (("blocks", BlockDecomposition.balanced),
+                              ("pencils", BlockDecomposition.pencils),
+                              ("slabs", BlockDecomposition.slabs)):
+            d = factory(GLOBAL, NRANKS)
+            local = d.local_cells(_mid_rank(d))
+            out[name] = cm.halo_exchange_time(local_cells=local, ng=3, nvars=7)
+        return out
+
+    times = benchmark(price)
+    record_rows("ablation_decomp_comm",
+                [f"{k}: {v * 1e3:.2f} ms per exchange" for k, v in times.items()])
+    assert times["blocks"] < times["pencils"] < times["slabs"]
+
+
+def test_balanced_is_near_cubic(benchmark, record_rows):
+    def shapes():
+        return {n: BlockDecomposition.balanced(GLOBAL, n).rank_grid
+                for n in (64, 128, 512, 4096)}
+
+    grids = benchmark(shapes)
+    lines = []
+    for n, grid in grids.items():
+        aspect = max(grid) / min(grid)
+        lines.append(f"{n:>5} ranks -> {grid}, aspect {aspect:.1f}")
+        assert aspect <= 2.0
+    record_rows("ablation_decomp_aspect", lines)

@@ -1,0 +1,67 @@
+"""Numerical-method ablations on the real solver: Riemann solver
+dissipation, WENO order accuracy, and the positivity limiter's reach.
+
+These are host-side measurements of the choices DESIGN.md calls out:
+HLLC (contact-resolving) vs HLL/Rusanov, and WENO5 vs WENO3 vs
+donor-cell on the Sod problem.
+"""
+
+import numpy as np
+import pytest
+
+from repro import quickstart_sod
+from repro.validation import sod_solution
+
+
+def sod_error(n, *, order=5, solver="hllc", t_end=0.2):
+    sim = quickstart_sod(n, weno_order=order, riemann_solver=solver)
+    sim.run(t_end=t_end)
+    prim = sim.primitive()
+    lay = sim.layout
+    rho = prim[lay.partial_densities].sum(axis=0)
+    rho_exact, _, _ = sod_solution(sim.grid.centers(0), t_end)
+    return float(np.abs(rho - rho_exact).mean())
+
+
+def test_riemann_solver_dissipation(benchmark, record_rows):
+    errors = benchmark.pedantic(
+        lambda: {s: sod_error(200, solver=s) for s in ("hllc", "hll", "rusanov")},
+        rounds=1, iterations=1)
+    record_rows("ablation_riemann",
+                [f"{s}: L1 density error {e:.5f}" for s, e in errors.items()])
+    # HLLC's contact restoration pays off on a contact-carrying problem.
+    assert errors["hllc"] < errors["hll"]
+    assert errors["hllc"] < errors["rusanov"]
+
+
+def test_weno_order_accuracy(benchmark, record_rows):
+    errors = benchmark.pedantic(
+        lambda: {o: sod_error(200, order=o) for o in (1, 3, 5)},
+        rounds=1, iterations=1)
+    record_rows("ablation_weno_order",
+                [f"WENO{o}: L1 density error {e:.5f}" for o, e in errors.items()])
+    assert errors[5] < errors[3] < errors[1]
+    # High order buys roughly an order of magnitude on this problem.
+    assert errors[1] / errors[5] > 3.0
+
+
+def test_resolution_convergence(benchmark, record_rows):
+    errors = benchmark.pedantic(
+        lambda: {n: sod_error(n) for n in (100, 200, 400)},
+        rounds=1, iterations=1)
+    record_rows("ablation_resolution",
+                [f"n={n}: L1 density error {e:.5f}" for n, e in errors.items()])
+    assert errors[400] < errors[200] < errors[100]
+
+
+def test_limiter_inactive_on_benign_problem(benchmark, record_rows):
+    def run():
+        sim = quickstart_sod(128)
+        sim.run(t_end=0.1)
+        return sim.rhs.limited_faces
+
+    limited = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows("ablation_limiter",
+                [f"positivity-limited faces on Sod (128 cells, t=0.1): {limited}"])
+    # Sod never drives states unphysical; the limiter must stay silent.
+    assert limited == 0

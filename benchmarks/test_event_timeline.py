@@ -1,0 +1,110 @@
+"""Event-timeline benches: per-rank Gantt traces of a distributed step
+and the staging/imbalance structure behind Figs. 3-4."""
+
+import pytest
+
+from repro.cluster import BlockDecomposition, EventSimulator, FRONTIER
+
+
+def test_timeline_gantt_artifact(benchmark, record_rows):
+    decomp = BlockDecomposition.balanced((256, 256, 256), 8)
+
+    def build():
+        return {aware: EventSimulator(FRONTIER, decomp,
+                                      gpu_aware=aware).simulate_rhs()
+                for aware in (True, False)}
+
+    tls = benchmark(build)
+    lines = ["GPU-aware MPI:", tls[True].gantt(width=64, max_ranks=8), "",
+             "host-staged MPI:", tls[False].gantt(width=64, max_ranks=8)]
+    record_rows("event_timeline_gantt", lines)
+    assert tls[False].finish > tls[True].finish
+    # Staging appears only on the staged timeline.
+    assert any(e.kind == "stage" for e in tls[False].events)
+    assert not any(e.kind == "stage" for e in tls[True].events)
+
+
+def test_timeline_imbalance_artifact(benchmark, record_rows):
+    # A remainder decomposition above device saturation: the large
+    # blocks' neighbours idle.
+    decomp = BlockDecomposition((520, 256, 256), (8, 1, 1))
+
+    def build():
+        return EventSimulator(FRONTIER, decomp).simulate_rhs()
+
+    tl = benchmark(build)
+    worst = max(range(tl.nranks), key=tl.idle_fraction)
+    record_rows("event_timeline_imbalance",
+                [tl.gantt(width=64, max_ranks=8),
+                 f"worst-rank idle fraction: {100 * tl.idle_fraction(worst):.2f}% "
+                 f"(rank {worst})"])
+    assert tl.max_idle_fraction() > 0.0
+
+
+def test_timeline_matches_closed_form(benchmark, record_rows):
+    from repro.cluster import ScalingDriver
+
+    decomp = BlockDecomposition.balanced((512, 512, 512), 64)
+
+    def build():
+        return EventSimulator(FRONTIER, decomp).simulate_step().finish
+
+    event_time = benchmark(build)
+    drv = ScalingDriver(FRONTIER, gpu_aware=True)
+    closed = drv.weak_scaling(512 ** 3 // 64, [64])[0].step_seconds
+    record_rows("event_vs_closed_form",
+                [f"event-simulated step: {event_time * 1e3:.2f} ms",
+                 f"closed-form step:     {closed * 1e3:.2f} ms",
+                 f"ratio: {event_time / closed:.2f}"])
+    assert event_time == pytest.approx(closed, rel=0.35)
+
+
+def test_event_strong_scaling_sweep(benchmark, record_rows):
+    """Strong-scaling efficiencies from the event simulator itself — the
+    per-rank dependency model independently reproduces the closed-form
+    curve's shape."""
+    from repro.cluster import BlockDecomposition
+
+    total = (1024, 512, 512)  # 2.68e8 cells
+
+    def sweep():
+        out = {}
+        for nranks in (8, 16, 32, 64):
+            decomp = BlockDecomposition.balanced(total, nranks)
+            tl = EventSimulator(FRONTIER, decomp,
+                                gpu_aware=False).simulate_step()
+            out[nranks] = tl.finish
+        return out
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = 8
+    lines = [f"{'ranks':>6} {'t/step (ms)':>12} {'efficiency':>11}"]
+    effs = {}
+    for n, t in times.items():
+        eff = (times[base] / t) / (n / base)
+        effs[n] = eff
+        lines.append(f"{n:>6} {t * 1e3:>12.2f} {100 * eff:>10.1f}%")
+    record_rows("event_strong_scaling", lines)
+    assert effs[64] < effs[16] <= 1.001
+    assert effs[64] > 0.5
+
+
+def test_machine_scale_event_simulation(benchmark, record_rows):
+    """The event simulator at thousands of GCDs: a weak-scaling point at
+    4096 ranks, per-rank dependency resolution included."""
+    from repro.cluster import BlockDecomposition
+
+    edge = 318  # ~32M cells per GCD
+    grid = BlockDecomposition.balanced(
+        (edge * 16, edge * 16, edge * 16), 4096)
+
+    def build():
+        return EventSimulator(FRONTIER, grid).simulate_rhs()
+
+    tl = benchmark.pedantic(build, rounds=1, iterations=1)
+    record_rows("event_machine_scale",
+                [f"4096 GCDs, 32M cells/GCD: RHS {tl.finish * 1e3:.1f} ms, "
+                 f"{len(tl.events)} events, worst idle "
+                 f"{100 * tl.max_idle_fraction():.2f}%"])
+    assert tl.nranks == 4096
+    assert tl.finish > 0.0

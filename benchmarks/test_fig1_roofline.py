@@ -1,0 +1,128 @@
+"""Figure 1: roofline placement of the Riemann and WENO kernels on
+OLCF Summit (V100) and OLCF Frontier (MI250X).
+
+Paper: on the V100 the Riemann solve is memory-bound (13% of peak) and
+WENO compute-bound (45% of peak); on the MI250X both are memory-bound
+(3% and 21% of peak) because its ridge sits at 3.4x the V100's
+arithmetic intensity.
+
+The bench times the *real* host kernels (vectorized NumPy WENO5 and
+HLLC on a 3D two-phase field) and regenerates the modeled roofline
+table for both devices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eos import Mixture, StiffenedGas
+from repro.hardware import (
+    CostModel,
+    ProblemShape,
+    attainable_gflops,
+    get_device,
+    ridge_intensity,
+    rhs_workloads,
+)
+from repro.riemann import hllc_flux
+from repro.state import StateLayout
+from repro.weno import reconstruct_faces
+
+AIR = StiffenedGas(1.4)
+MIX = Mixture((AIR, AIR))
+LAY = StateLayout(2, 3)
+
+
+def _padded_field(n=32, ng=3, seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (LAY.nvars, n + 2 * ng, n, n)
+    prim = rng.uniform(0.2, 1.0, shape)
+    prim[LAY.pressure] = rng.uniform(0.5, 2.0, shape[1:])
+    prim[LAY.advected] = rng.uniform(0.2, 0.8, (1, *shape[1:]))
+    return prim
+
+
+def test_weno_kernel_host_time(benchmark):
+    v = _padded_field()
+    vl, vr = benchmark(reconstruct_faces, v, 1, 5)
+    assert np.all(np.isfinite(vl)) and np.all(np.isfinite(vr))
+
+
+def test_riemann_kernel_host_time(benchmark):
+    v = _padded_field()
+    vl, vr = reconstruct_faces(v, 1, 5)
+    flux, u_face = benchmark(hllc_flux, LAY, MIX, vl, vr, 0)
+    assert np.all(np.isfinite(flux))
+
+
+def test_fig1_roofline_table(benchmark, record_rows):
+    def build():
+        rows = []
+        works = rhs_workloads(ProblemShape(cells=8_000_000))
+        for key, machine in (("v100", "OLCF Summit"), ("mi250x", "OLCF Frontier")):
+            dev = get_device(key)
+            cm = CostModel(dev, "cce" if dev.vendor == "amd" else "nvhpc")
+            for w in works:
+                if w.kernel_class not in ("weno", "riemann"):
+                    continue
+                achieved = cm.achieved_gflops(w)
+                frac = achieved / dev.roofline_peak_gflops
+                bound = "memory" if w.intensity < ridge_intensity(dev) else "compute"
+                rows.append((machine, w.kernel_class, w.intensity, achieved,
+                             frac, bound))
+        return rows
+
+    rows = benchmark(build)
+    lines = [f"{'machine':<14} {'kernel':<8} {'AI F/B':>7} {'GFLOP/s':>9} "
+             f"{'% peak':>7} {'bound':>8}"]
+    table = {}
+    for machine, kern, ai, gf, frac, bound in rows:
+        lines.append(f"{machine:<14} {kern:<8} {ai:>7.2f} {gf:>9.0f} "
+                     f"{100 * frac:>6.1f}% {bound:>8}")
+        table[(machine, kern)] = (frac, bound)
+    record_rows("fig1_roofline", lines)
+
+    # The paper's bound-ness classifications.
+    assert table[("OLCF Summit", "riemann")][1] == "memory"
+    assert table[("OLCF Summit", "weno")][1] == "compute"
+    assert table[("OLCF Frontier", "riemann")][1] == "memory"
+    assert table[("OLCF Frontier", "weno")][1] == "memory"
+    # And the headline fractions (45% / 13% on V100; single digits /
+    # low tens on MI250X).
+    assert table[("OLCF Summit", "weno")][0] == pytest.approx(0.45, abs=0.05)
+    assert table[("OLCF Summit", "riemann")][0] == pytest.approx(0.13, abs=0.05)
+    assert table[("OLCF Frontier", "riemann")][0] < 0.10
+    assert table[("OLCF Frontier", "weno")][0] < table[("OLCF Summit", "weno")][0]
+
+
+def test_fig1_ascii_charts(benchmark, record_rows):
+    """Render the Fig. 1 panels as ASCII rooflines."""
+    from repro.profiling.roofline_plot import roofline_chart
+
+    def build():
+        charts = []
+        works = rhs_workloads(ProblemShape(cells=8_000_000))
+        for key in ("v100", "mi250x"):
+            dev = get_device(key)
+            cm = CostModel(dev, "cce" if dev.vendor == "amd" else "nvhpc")
+            pts = []
+            for w in works:
+                if w.kernel_class in ("weno", "riemann"):
+                    from repro.hardware import RooflinePoint
+
+                    pts.append(RooflinePoint(w.kernel_class, dev, w.intensity,
+                                             cm.achieved_gflops(w)))
+            charts.append(roofline_chart(dev, pts, width=56, height=12))
+        return charts
+
+    charts = benchmark(build)
+    record_rows("fig1_charts", ["\n".join(charts)])
+    assert "W=weno" in charts[0]       # compute-bound on V100
+    assert "w=weno" in charts[1]       # memory-bound on MI250X
+
+
+def test_ridge_ratio_3p4(benchmark, record_rows):
+    ratio = benchmark(lambda: ridge_intensity(get_device("mi250x"))
+                      / ridge_intensity(get_device("v100")))
+    record_rows("fig1_ridge_ratio",
+                [f"MI250X ridge / V100 ridge = {ratio:.2f} (paper: 3.4)"])
+    assert ratio == pytest.approx(3.4, abs=0.15)

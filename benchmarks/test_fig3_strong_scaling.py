@@ -1,0 +1,70 @@
+"""Figure 3: strong scaling on OLCF Summit and OLCF Frontier.
+
+Paper: a V100 run with 8M cells/GPU keeps 84% of ideal at 8x devices;
+an MI250X run with 32M cells/GCD keeps 81% at 16x; a 16M-cells/GCD run
+scales worse and eventually flatlines.
+"""
+
+import pytest
+
+from repro.cluster import FRONTIER, ScalingDriver, SUMMIT
+
+
+def _lines(label, pts, eff):
+    lines = [f"{label}",
+             f"{'devices':>8} {'cells/dev':>12} {'t/step (ms)':>12} {'eff':>7}"]
+    for p, e in zip(pts, eff):
+        lines.append(f"{p.ndevices:>8} {p.cells_per_device:>12.2e} "
+                     f"{p.step_seconds * 1e3:>12.2f} {100 * e:>6.1f}%")
+    return lines
+
+
+def test_fig3a_summit_strong_scaling(benchmark, record_rows):
+    drv = ScalingDriver(SUMMIT, gpu_aware=False)
+    counts = [64, 128, 256, 512]
+    pts = benchmark(drv.strong_scaling, 8e6 * 64, counts)
+    eff = drv.strong_efficiency(pts)
+    lines = _lines("Summit, 8M cells/GPU at base, 8x device sweep", pts, eff)
+    lines.append(f"paper: 84% of ideal at 8x; measured {100 * eff[-1]:.1f}%")
+    record_rows("fig3a_summit_strong", lines)
+    assert eff[-1] == pytest.approx(0.84, abs=0.07)
+
+
+def test_fig3b_frontier_strong_scaling_32M(benchmark, record_rows):
+    drv = ScalingDriver(FRONTIER, gpu_aware=False)
+    counts = [128, 256, 512, 1024, 2048]
+    pts = benchmark(drv.strong_scaling, 32e6 * 128, counts)
+    eff = drv.strong_efficiency(pts)
+    lines = _lines("Frontier, 32M cells/GCD at base, 16x device sweep", pts, eff)
+    lines.append(f"paper: 81% of ideal at 16x; measured {100 * eff[-1]:.1f}%")
+    record_rows("fig3b_frontier_strong_32M", lines)
+    assert eff[-1] == pytest.approx(0.81, abs=0.04)
+
+
+def test_fig3b_frontier_strong_scaling_16M_flatline(benchmark, record_rows):
+    drv = ScalingDriver(FRONTIER, gpu_aware=False)
+    counts = [128, 512, 2048, 8192, 32768, 65536]
+    pts = benchmark(drv.strong_scaling, 16e6 * 128, counts)
+    eff = drv.strong_efficiency(pts)
+    lines = _lines("Frontier, 16M cells/GCD at base, 512x device sweep", pts, eff)
+    lines.append("paper: the smaller problem scales worse and flatlines")
+    record_rows("fig3b_frontier_strong_16M", lines)
+    # Worse than the 32M case at every shared multiple, and flat at the tail.
+    drv32 = ScalingDriver(FRONTIER, gpu_aware=False)
+    eff32 = drv32.strong_efficiency(drv32.strong_scaling(32e6 * 128, [128, 2048]))
+    assert eff[2] < eff32[-1]
+    # Flatline: last 2x device doubling gains almost nothing.
+    assert pts[-2].step_seconds / pts[-1].step_seconds < 1.4
+
+
+def test_strong_scaling_loss_is_surface_to_volume(benchmark, record_rows):
+    """Strong-scaling loss follows comm/compute, which grows as the
+    inverse cube root of cells/device."""
+    drv = ScalingDriver(FRONTIER, gpu_aware=False)
+    pts = benchmark(drv.strong_scaling, 32e6 * 128, [128, 1024])
+    ratio0 = pts[0].comm_seconds / pts[0].compute_seconds
+    ratio1 = pts[1].comm_seconds / pts[1].compute_seconds
+    record_rows("fig3_rationale",
+                [f"comm/compute at 32M cells/GCD: {ratio0:.3f}",
+                 f"comm/compute at  4M cells/GCD: {ratio1:.3f}"])
+    assert ratio1 > 1.5 * ratio0

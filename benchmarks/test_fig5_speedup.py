@@ -1,0 +1,58 @@
+"""Figure 5: grind-time speedup of each GPU over the fastest CPUs.
+
+Paper bands (one GPU die vs one CPU socket, all cores):
+* vs AMD EPYC 9564 (fastest CPU):       1.5x - 5.3x
+* vs Intel Xeon Max 9468 / NV Grace:    3x - 11x
+* vs IBM Power10:                        9.1x - 31.3x
+"""
+
+import pytest
+
+from repro.hardware import CostModel, ProblemShape, get_device, rhs_workloads
+
+GPUS = ("gh200", "h100", "a100", "v100", "mi250x")
+CPUS = ("epyc9564", "xeonmax9468", "grace", "power10")
+
+
+def grind_ns(key, cells=8_000_000):
+    dev = get_device(key)
+    cm = CostModel(dev, "cce" if dev.vendor == "amd" else "nvhpc")
+    total = cm.suite_time(rhs_workloads(ProblemShape(cells=cells)))
+    return total / (cells * 7) * 1e9
+
+
+def test_fig5_speedup_table(benchmark, record_rows):
+    grinds = benchmark(lambda: {k: grind_ns(k) for k in GPUS + CPUS})
+    lines = [f"{'device':<14} {'grind ns':>9} "
+             + " ".join(f"vs {c:>12}" for c in CPUS)]
+    for g in GPUS:
+        speedups = " ".join(f"{grinds[c] / grinds[g]:>15.2f}" for c in CPUS)
+        lines.append(f"{grinds and g:<14} {grinds[g]:>9.3f} {speedups}")
+    for c in CPUS:
+        lines.append(f"{c:<14} {grinds[c]:>9.3f}")
+    record_rows("fig5_speedup", lines)
+
+    epyc = grinds["epyc9564"]
+    vs_epyc = [epyc / grinds[g] for g in GPUS]
+    assert min(vs_epyc) == pytest.approx(1.5, abs=0.3)
+    assert max(vs_epyc) == pytest.approx(5.3, abs=0.6)
+
+    xeon = grinds["xeonmax9468"]
+    vs_xeon = [xeon / grinds[g] for g in GPUS]
+    assert min(vs_xeon) == pytest.approx(3.0, abs=0.6)
+    assert max(vs_xeon) == pytest.approx(11.0, abs=1.5)
+
+    p10 = grinds["power10"]
+    vs_p10 = [p10 / grinds[g] for g in GPUS]
+    assert min(vs_p10) == pytest.approx(9.1, abs=1.5)
+    assert max(vs_p10) == pytest.approx(31.3, abs=4.0)
+
+
+def test_fig5_cpu_ordering(benchmark, record_rows):
+    grinds = benchmark(lambda: {k: grind_ns(k) for k in CPUS})
+    order = sorted(CPUS, key=lambda k: grinds[k])
+    record_rows("fig5_cpu_order", [" < ".join(order)])
+    # Paper: EPYC fastest; Xeon Max and Grace similar; Power10 slowest.
+    assert order[0] == "epyc9564"
+    assert order[-1] == "power10"
+    assert grinds["xeonmax9468"] == pytest.approx(grinds["grace"], rel=0.25)

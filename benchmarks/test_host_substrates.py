@@ -1,0 +1,111 @@
+"""Host-side benchmarks of the remaining substrates: halo pack/unpack,
+FFT filtering, conversions, boundary fills, and the IBM build.
+
+These keep every hot path of the functional layer under
+pytest-benchmark regression tracking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bc import BC, BoundarySet, fill_axis_ghosts, pad_axis
+from repro.cluster import BlockDecomposition, HaloExchanger
+from repro.cluster.halo import pack_face, unpack_face
+from repro.eos import Mixture, StiffenedGas
+from repro.fftfilter import FFTFilterPlan
+from repro.grid import CylindricalGrid, StructuredGrid
+from repro.ib import Circle, ImmersedBoundary
+from repro.state import StateLayout, cons_to_prim, prim_to_cons
+
+AIR = StiffenedGas(1.4)
+MIX = Mixture((AIR, AIR))
+
+
+@pytest.fixture(scope="module")
+def field3d():
+    rng = np.random.default_rng(0)
+    lay = StateLayout(2, 3)
+    prim = np.empty((lay.nvars, 48, 48, 48))
+    prim[lay.partial_densities] = rng.uniform(0.2, 1.0, (2, 48, 48, 48))
+    prim[lay.velocity] = rng.uniform(-1, 1, (3, 48, 48, 48))
+    prim[lay.pressure] = rng.uniform(0.5, 2.0, (48, 48, 48))
+    prim[lay.advected] = rng.uniform(0.2, 0.8, (1, 48, 48, 48))
+    return lay, prim
+
+
+def test_cons_prim_roundtrip_cost(benchmark, field3d):
+    lay, prim = field3d
+    q = prim_to_cons(lay, MIX, prim)
+
+    def roundtrip():
+        return prim_to_cons(lay, MIX, cons_to_prim(lay, MIX, q))
+
+    out = benchmark(roundtrip)
+    np.testing.assert_allclose(out, q, rtol=1e-10)
+
+
+def test_ghost_fill_cost(benchmark, field3d):
+    lay, prim = field3d
+
+    def fill():
+        p = pad_axis(prim, 0, 3)
+        fill_axis_ghosts(p, lay, 0, 3, BC.REFLECTIVE, BC.EXTRAPOLATION)
+        return p
+
+    p = benchmark(fill)
+    assert p.shape[1] == 54
+
+
+def test_halo_pack_unpack_cost(benchmark, field3d):
+    lay, prim = field3d
+    padded = pad_axis(prim, 0, 3)
+
+    def roundtrip():
+        buf = pack_face(padded, 0, 3, -1)
+        unpack_face(padded, 0, 3, 1, buf)
+        return buf
+
+    buf = benchmark(roundtrip)
+    assert buf.size == lay.nvars * 3 * 48 * 48
+
+
+def test_full_halo_exchange_cost(benchmark, field3d):
+    lay, prim = field3d
+    decomp = BlockDecomposition((48, 48, 48), (2, 2, 1), (False, False, False))
+    h = HaloExchanger(decomp, lay, BoundarySet.all_extrapolation(3), 3)
+    blocks = h.split(prim)
+    padded = benchmark(h.padded_axis, blocks, 0)
+    assert len(padded) == 4
+
+
+def test_fft_filter_cost(benchmark):
+    zr = StructuredGrid.uniform(((0.0, 1.0), (0.01, 1.0)), (16, 32))
+    grid = CylindricalGrid(zr, 128)
+    plan = FFTFilterPlan(grid.ntheta, grid.mode_cutoff())
+    rng = np.random.default_rng(0)
+    data = rng.random((7, 16, 32, 128))
+    out = benchmark(plan.execute, data)
+    assert out.shape == data.shape
+
+
+def test_ibm_construction_cost(benchmark):
+    grid = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), (96, 96))
+    lay = StateLayout(2, 2)
+
+    ib = benchmark(ImmersedBoundary, grid, lay, MIX, Circle((0.5, 0.5), 0.2))
+    assert ib.num_ghost_cells() > 0
+
+
+def test_ibm_apply_cost(benchmark):
+    grid = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), (96, 96))
+    lay = StateLayout(2, 2)
+    ib = ImmersedBoundary(grid, lay, MIX, Circle((0.5, 0.5), 0.2))
+    rng = np.random.default_rng(1)
+    prim = np.empty((lay.nvars, 96, 96))
+    prim[lay.partial_densities] = rng.uniform(0.4, 0.6, (2, 96, 96))
+    prim[lay.velocity] = rng.uniform(-0.5, 0.5, (2, 96, 96))
+    prim[lay.pressure] = 1.0
+    prim[lay.advected] = 0.5
+    q = prim_to_cons(lay, MIX, prim)
+    out = benchmark(ib.apply, q)
+    assert np.all(np.isfinite(out))

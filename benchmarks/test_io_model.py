@@ -1,0 +1,71 @@
+"""§III-A I/O: shared MPI-IO file vs file-per-process in 128-wide waves.
+
+Paper: shared-file creation times grew when scaling to 65,536 GCDs;
+file-per-process with waved access avoids overwhelming the metadata
+servers.
+"""
+
+import pytest
+
+from repro.cluster import IOModel
+
+BYTES_PER_RANK = 32e6 * 7 * 8  # full 32M-cell, 7-variable state
+
+
+def test_io_strategy_sweep(benchmark, record_rows):
+    io = IOModel()
+    counts = [128, 1024, 8192, 65536]
+
+    def sweep():
+        return {n: (io.shared_file_time(n, BYTES_PER_RANK),
+                    io.file_per_process_time(n, BYTES_PER_RANK))
+                for n in counts}
+
+    data = benchmark(sweep)
+    lines = [f"{'ranks':>8} {'shared file (s)':>16} {'file/process (s)':>17}"]
+    for n in counts:
+        sh, fp = data[n]
+        lines.append(f"{n:>8} {sh:>16.2f} {fp:>17.2f}")
+    record_rows("io_model_sweep", lines)
+
+    # At 65,536 ranks the shared file loses decisively.
+    sh, fp = data[65536]
+    assert fp < sh
+    # And the shared-file overhead grows faster than linearly in ranks.
+    growth_shared = data[65536][0] / data[128][0]
+    growth_fpp = data[65536][1] / data[128][1]
+    assert growth_shared > growth_fpp
+
+
+def test_io_wave_throttling(benchmark, record_rows):
+    """Waves trade metadata burstiness for serialised creates."""
+    def times():
+        return {w: IOModel(wave_size=w).file_per_process_time(65536, BYTES_PER_RANK)
+                for w in (32, 128, 1024)}
+
+    data = benchmark(times)
+    record_rows("io_wave_sizes",
+                [f"wave={w}: {t:.2f} s" for w, t in data.items()])
+    # Larger waves reduce total create time in the model; the paper's 128
+    # balances this against metadata-server overload (not modeled as a
+    # failure mode, so the monotone trend is the assertable part).
+    assert data[1024] <= data[128] <= data[32]
+
+
+def test_io_amortized_negligible(benchmark, record_rows):
+    """§III-B: I/O at O(10^3)-step intervals is negligible vs compute."""
+    from repro.hardware import CostModel, ProblemShape, get_device, rhs_workloads
+
+    io = IOModel()
+    cm = CostModel(get_device("mi250x"), "cce")
+    step_one_device = cm.suite_time(rhs_workloads(ProblemShape(cells=32_000_000))) * 3
+
+    def fraction():
+        io_time = io.file_per_process_time(65536, BYTES_PER_RANK)
+        return (io_time / 1000.0) / step_one_device
+
+    frac = benchmark(fraction)
+    record_rows("io_amortized",
+                [f"I/O amortised over 1000 steps = {100 * frac:.2f}% of a "
+                 f"step's compute time"])
+    assert frac < 0.25

@@ -1,0 +1,70 @@
+"""§III.D/§III.E: transpose-path benchmarks.
+
+Real host timings of the three numerically identical transpose
+implementations (collapsed-loop strided copy, cuTENSOR-style fused
+permutation, hipBLAS-style two-step GEAM decomposition), plus the
+modeled 7x library speedup on MI250X+CCE.
+"""
+
+import numpy as np
+import pytest
+
+from repro.acc import AccRuntime
+from repro.fields import (
+    geam_transpose_cutensor,
+    geam_transpose_hipblas,
+    transpose_loop,
+)
+from repro.hardware import get_device
+
+SHAPE = (64, 64, 64, 8)
+
+
+@pytest.fixture(scope="module")
+def packed():
+    rng = np.random.default_rng(0)
+    return rng.random(SHAPE)
+
+
+def test_host_transpose_loop(benchmark, packed):
+    out = benchmark(transpose_loop, packed)
+    assert out.shape == (64, 64, 64, 8)
+
+
+def test_host_transpose_cutensor_path(benchmark, packed):
+    out = benchmark(geam_transpose_cutensor, packed)
+    assert out.shape == (64, 64, 64, 8)
+
+
+def test_host_transpose_hipblas_path(benchmark, packed):
+    out = benchmark(geam_transpose_hipblas, packed)
+    assert out.shape == (64, 64, 64, 8)
+
+
+def test_all_paths_identical(benchmark, packed, record_rows):
+    def check():
+        a = transpose_loop(packed)
+        b = geam_transpose_cutensor(packed)
+        c = geam_transpose_hipblas(packed)
+        return np.array_equal(a, b) and np.array_equal(a, c)
+
+    assert benchmark(check)
+    record_rows("opt_transpose_equivalence",
+                ["collapsed-loop, cuTENSOR, and hipBLAS GEAM paths are "
+                 "bit-identical on random 64^3 x 8 data"])
+
+
+def test_modeled_7x_hipblas_speedup(benchmark, record_rows):
+    """§III.D: hipBLAS GEAM gives 7x over collapsed loops on MI250X+CCE;
+    cuTENSOR performs like collapsed loops on NVIDIA+NVHPC."""
+    amd = AccRuntime(get_device("mi250x"), "cce")
+    nv = AccRuntime(get_device("a100"), "nvhpc")
+    s_amd = benchmark(amd.library_transpose_speedup)
+    s_nv = nv.library_transpose_speedup()
+    record_rows("opt_transpose_7x",
+                [f"MI250X + CCE + hipBLAS: {s_amd:.1f}x over collapsed loops "
+                 f"(paper: 7x)",
+                 f"NVIDIA + NVHPC + cuTENSOR: {s_nv:.1f}x (paper: 'similar "
+                 f"performance')"])
+    assert s_amd == 7.0
+    assert s_nv == 1.0

@@ -1,0 +1,68 @@
+"""Azimuthal low-pass filtering on a cylindrical grid (paper §III-A, §III-E).
+
+Near the axis of a 3D cylindrical grid the azimuthal cells become thin
+wedges, so unfiltered high-frequency content forces a crippling CFL
+step.  MFC applies a radius-dependent low-pass FFT filter (cuFFT on
+NVIDIA, hipFFT on AMD, FFTW on CPUs); this demo shows the filter
+removing under-resolved azimuthal modes near the axis while leaving the
+outer rings untouched, and the resulting relief on the effective
+azimuthal CFL limit.
+
+    python examples/cylindrical_filter.py
+"""
+
+import numpy as np
+
+from repro.fftfilter import FFTFilterPlan
+from repro.grid import CylindricalGrid, StructuredGrid
+
+
+def main() -> None:
+    nz, nr, ntheta = 8, 24, 64
+    zr = StructuredGrid.uniform(((0.0, 1.0), (0.0, 0.5)), (nz, nr))
+    grid = CylindricalGrid(zr, ntheta)
+    r = zr.centers(1)
+
+    print(f"cylindrical grid: {grid.shape} (z, r, theta)")
+    print(f"azimuthal arc length: {grid.arc_lengths()[0]:.2e} m at the "
+          f"innermost ring vs {grid.arc_lengths()[-1]:.2e} m at the rim "
+          f"({grid.arc_lengths()[-1] / grid.arc_lengths()[0]:.0f}x)")
+
+    cutoffs = grid.mode_cutoff()
+    print("\nper-ring retained azimuthal modes (Nyquist = 32):")
+    for i in range(0, nr, 4):
+        print(f"  r = {r[i]:.3f}: keep modes 0..{cutoffs[i]}")
+
+    # A field with uniform broadband azimuthal noise.
+    rng = np.random.default_rng(0)
+    theta = np.linspace(0, 2 * np.pi, ntheta, endpoint=False)
+    signal = 1.0 + 0.5 * np.cos(2 * theta)          # resolved content
+    noise = 0.3 * np.cos(28 * theta + 1.0)          # near-Nyquist content
+    field = np.broadcast_to(signal + noise, (1, nz, nr, ntheta)).copy()
+
+    plan = FFTFilterPlan(ntheta, cutoffs)
+    filtered = plan.execute(field)
+
+    def hf_energy(f, ring):
+        spec = np.abs(np.fft.rfft(f[0, 0, ring]))
+        return float(spec[20:].sum())
+
+    print("\nhigh-frequency (k>=20) energy before -> after filtering:")
+    for ring in (0, nr // 2, nr - 1):
+        before = hf_energy(field, ring)
+        after = hf_energy(filtered, ring)
+        print(f"  ring {ring:2d} (r={r[ring]:.3f}): {before:8.2f} -> {after:8.2f}")
+
+    # The CFL relief: unfiltered, the smallest azimuthal scale per ring
+    # is one cell arc (circumference / ntheta); filtered, it is the half
+    # wavelength of the highest retained mode (circumference / 2k_c).
+    c = 340.0  # a representative sound speed
+    circumference = 2.0 * np.pi * r
+    dt_unfiltered = (circumference / ntheta / c).min()
+    dt_filtered = (circumference / (2.0 * cutoffs) / c).min()
+    print(f"\nazimuthal CFL-limited dt: {dt_unfiltered:.3e} s unfiltered vs "
+          f"{dt_filtered:.3e} s filtered ({dt_filtered / dt_unfiltered:.1f}x relief)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""A tour of the paper's GPU-porting story on the simulated devices.
+
+Walks through §III's optimisation sequence on a modeled V100 and MI250X:
+
+1. naive ``parallel loop``  ->  ``gang vector``  ->  ``collapse(3)``,
+2. derived types -> packed 4D arrays (6x),
+3. uncoalesced -> coalesced memory (10x),
+4. un-inlined serial subroutines -> Fypp inlining (10x),
+5. run-time-sized ``private`` arrays on CCE+AMD (30x),
+6. collapsed-loop vs library transposes (7x on MI250X),
+
+then prints the resulting Fig. 6-style breakdown per device.  Every
+kernel also *executes* a real NumPy body through the OpenACC-model
+runtime, with data-region residency enforced.
+
+    python examples/gpu_porting_tour.py
+"""
+
+import numpy as np
+
+from repro.acc import AccKernel, AccRuntime
+from repro.acc.directives import listing1_nest
+from repro.hardware import CostModel, ProblemShape, get_device, rhs_workloads
+
+NX = NY = NZ = 100
+
+
+def tour_directives(rt: AccRuntime) -> None:
+    print(f"\n[{rt.device.name} + {rt.compiler.name}] directive tuning "
+          f"(Listing 1 kernel, {NX}x{NY}x{NZ} cells):")
+    configs = {
+        "parallel loop (default)": dict(gang_vector=False, collapse=1),
+        "+ gang vector":           dict(gang_vector=True, collapse=1),
+        "+ collapse(3)":           dict(gang_vector=True, collapse=3),
+    }
+    base = None
+    for name, kw in configs.items():
+        kernel = AccKernel(name=name, nest=listing1_nest(NX, NY, NZ, 2, **kw),
+                           body=lambda x: x, kernel_class="weno",
+                           flops_per_iter=150.0, bytes_per_iter=10.7)
+        t = rt.modeled_time(kernel)
+        base = base or t
+        print(f"  {name:<26} {t * 1e3:>10.3f} ms   ({base / t:5.1f}x vs default)")
+
+
+def tour_layout(rt: AccRuntime) -> None:
+    print(f"\n[{rt.device.name}] data-layout optimisations (WENO kernel, 1M cells):")
+    cm = rt.cost
+    shape = ProblemShape(cells=1_000_000)
+
+    def weno(**flags):
+        w = next(w for w in rhs_workloads(shape, **flags) if w.kernel_class == "weno")
+        return cm.kernel_time(w)
+
+    steps = [
+        ("derived types, uncoalesced", dict(layout_aos=True, coalesced=False)),
+        ("packed 4D arrays (6x)", dict(coalesced=False)),
+        ("+ coalesced access (10x)", dict()),
+    ]
+    prev = None
+    for name, flags in steps:
+        t = weno(**flags)
+        gain = "" if prev is None else f"({prev / t:4.1f}x step gain)"
+        print(f"  {name:<30} {t * 1e3:>10.3f} ms  {gain}")
+        prev = t
+
+    print(f"  Fypp inlining avoids a "
+          f"{weno(fypp_inlined=False) / weno():.0f}x slowdown")
+    if rt.device.vendor == "amd":
+        bad = weno(private_compile_sized=False)
+        print(f"  compile-time private sizing avoids a {bad / weno():.0f}x "
+              f"slowdown (CCE+AMD only)")
+        print(f"  hipBLAS GEAM transposes: {rt.library_transpose_speedup():.0f}x "
+              f"over collapsed loops")
+
+
+def run_real_kernel(rt: AccRuntime) -> None:
+    """Execute a real packed-array kernel through the runtime with
+    Listing-1 directives and default(present) residency checks."""
+    n = 32
+    host = np.random.default_rng(0).random((n, n, n, 7))
+    rt.data.enter_data("q_packed", host)
+
+    kernel = AccKernel(
+        name="divergence_update",
+        nest=listing1_nest(n, n, n, 2, collapse=3),
+        body=lambda q: q[1:] - q[:-1],
+        kernel_class="other",
+        flops_per_iter=7.0, bytes_per_iter=56.0,
+        arrays=("q_packed",))
+    out = rt.launch(kernel, rt.data.device_view("q_packed"))
+    rt.data.exit_data("q_packed", host, copyout=False)
+    print(f"\n[{rt.device.name}] executed '{kernel.name}' for real: "
+          f"output shape {out.shape}, modeled {rt.profile.total_seconds() * 1e6:.1f} us, "
+          f"H2D traffic {rt.data.h2d_bytes / 1e6:.1f} MB")
+
+
+def breakdown(key: str) -> None:
+    dev = get_device(key)
+    cm = CostModel(dev, "cce" if dev.vendor == "amd" else "nvhpc")
+    works = rhs_workloads(ProblemShape(cells=8_000_000))
+    times = {w.kernel_class: cm.kernel_time(w) for w in works}
+    total = sum(times.values())
+    grind = total / (8e6 * 7) * 1e9
+    shares = "  ".join(f"{k}: {100 * v / total:4.1f}%" for k, v in times.items())
+    print(f"  {dev.name:<16} grind {grind:6.3f} ns   {shares}")
+
+
+def main() -> None:
+    nv = AccRuntime(get_device("v100"), "nvhpc")
+    amd = AccRuntime(get_device("mi250x"), "cce")
+
+    tour_directives(nv)
+    tour_layout(nv)
+    tour_layout(amd)
+    run_real_kernel(nv)
+
+    print("\nFig. 6-style breakdown (8M cells, tuned configuration):")
+    for key in ("gh200", "h100", "a100", "v100", "mi250x"):
+        breakdown(key)
+
+
+if __name__ == "__main__":
+    main()

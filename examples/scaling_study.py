@@ -1,0 +1,81 @@
+"""Reproduce the paper's scaling figures (Figs. 2-4) from the analytic models.
+
+Prints the weak-scaling, strong-scaling, and GPU-aware-MPI tables for
+OLCF Summit and OLCF Frontier, plus the I/O strategy crossover that
+motivated MFC's file-per-process switch (§III-A).
+
+    python examples/scaling_study.py
+"""
+
+from repro.cluster import FRONTIER, IOModel, ScalingDriver, SUMMIT
+
+
+def show(title, header, rows):
+    print(f"\n{title}")
+    print(f"  {header}")
+    for r in rows:
+        print(f"  {r}")
+
+
+def main() -> None:
+    # --- Fig. 2: weak scaling -------------------------------------------------
+    drv = ScalingDriver(SUMMIT, gpu_aware=False)
+    pts = drv.weak_scaling(8_000_000, [128, 512, 2048, 8192, 13824])
+    eff = drv.weak_efficiency(pts)
+    show("Fig 2a — Summit weak scaling (8M cells/GPU)",
+         f"{'GPUs':>6} {'machine':>8} {'efficiency':>11}",
+         [f"{p.ndevices:>6} {100 * SUMMIT.fraction_of_machine(p.ndevices):>7.1f}% "
+          f"{100 * e:>10.1f}%" for p, e in zip(pts, eff)])
+
+    drv = ScalingDriver(FRONTIER, gpu_aware=True)
+    pts = drv.weak_scaling(32_000_000, [128, 1024, 8192, 32768, 65536])
+    eff = drv.weak_efficiency(pts)
+    show("Fig 2b — Frontier weak scaling (32M cells/GCD)",
+         f"{'GCDs':>6} {'machine':>8} {'efficiency':>11}",
+         [f"{p.ndevices:>6} {100 * FRONTIER.fraction_of_machine(p.ndevices):>7.1f}% "
+          f"{100 * e:>10.1f}%" for p, e in zip(pts, eff)])
+
+    # --- Fig. 3: strong scaling -----------------------------------------------
+    drv = ScalingDriver(SUMMIT, gpu_aware=False)
+    pts = drv.strong_scaling(8e6 * 64, [64, 128, 256, 512])
+    eff = drv.strong_efficiency(pts)
+    show("Fig 3a — Summit strong scaling (8M cells/GPU at base)",
+         f"{'GPUs':>6} {'cells/GPU':>11} {'efficiency':>11}",
+         [f"{p.ndevices:>6} {p.cells_per_device:>11.2e} {100 * e:>10.1f}%"
+          for p, e in zip(pts, eff)])
+
+    for label, cells in (("32M", 32e6), ("16M", 16e6)):
+        drv = ScalingDriver(FRONTIER, gpu_aware=False)
+        pts = drv.strong_scaling(cells * 128, [128, 512, 2048, 8192, 65536])
+        eff = drv.strong_efficiency(pts)
+        show(f"Fig 3b — Frontier strong scaling ({label} cells/GCD at base)",
+             f"{'GCDs':>6} {'cells/GCD':>11} {'efficiency':>11}",
+             [f"{p.ndevices:>6} {p.cells_per_device:>11.2e} {100 * e:>10.1f}%"
+              for p, e in zip(pts, eff)])
+
+    # --- Fig. 4: GPU-aware MPI ----------------------------------------------
+    rows = []
+    for nd in (128, 512, 2048):
+        effs = []
+        for aware in (True, False):
+            drv = ScalingDriver(FRONTIER, gpu_aware=aware)
+            pts = drv.strong_scaling(32e6 * 128, [128, nd])
+            effs.append(drv.strong_efficiency(pts)[-1])
+        rows.append(f"{nd:>6} {100 * effs[0]:>14.1f}% {100 * effs[1]:>12.1f}%")
+    show("Fig 4 — Frontier strong scaling, GPU-aware vs host-staged MPI",
+         f"{'GCDs':>6} {'GPU-aware':>15} {'staged':>13}", rows)
+
+    # --- §III-A: I/O strategies ----------------------------------------------
+    io = IOModel()
+    per_rank = 32e6 * 7 * 8
+    rows = []
+    for n in (1024, 8192, 65536):
+        rows.append(f"{n:>7} {io.shared_file_time(n, per_rank):>12.1f} s "
+                    f"{io.file_per_process_time(n, per_rank):>14.1f} s")
+    show("§III-A — I/O strategy (full 32M-cell state per rank)",
+         f"{'ranks':>7} {'shared file':>14} {'file/process':>16}", rows)
+    print("\npaper anchors: 97%/95% weak, 84%/81% strong, 92% with GPU-aware MPI")
+
+
+if __name__ == "__main__":
+    main()

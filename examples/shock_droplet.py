@@ -1,0 +1,92 @@
+"""Shock-droplet interaction (paper §VI-A, laptop scale).
+
+A Mach 1.46 air shock impinges a water droplet — the 2D, coarse-grid
+analog of the paper's 2-billion-cell run on 960 V100s.  Water is
+modeled with the stiffened-gas EOS (gamma = 6.12, pi_inf = 3.43e8 Pa),
+so the density ratio is ~850:1 and the interface stays sharp under the
+diffuse-interface scheme's positivity-preserving mixture rules.
+
+    python examples/shock_droplet.py
+"""
+
+import numpy as np
+
+from repro.bc import BC, BoundarySet
+from repro.eos import Mixture, StiffenedGas
+from repro.grid import StructuredGrid
+from repro.solver import Case, Patch, RHSConfig, Simulation, box, halfspace, sphere
+
+AIR = StiffenedGas(gamma=1.4, pi_inf=0.0, name="air")
+WATER = StiffenedGas(gamma=6.12, pi_inf=3.43e8, name="water")
+
+
+def post_shock_state(mach, rho0, p0, gamma):
+    """Rankine-Hugoniot post-shock (rho, u, p) via the shared library."""
+    from repro.validation.shock_relations import post_shock_state as rh
+
+    s = rh(StiffenedGas(gamma=gamma, pi_inf=0.0), mach, rho0, p0)
+    return s.rho, s.velocity, s.pressure
+
+
+def build_case(n: int = 128) -> Case:
+    # Domain in meters: 4 mm x 2 mm around a 0.4 mm-radius droplet.
+    grid = StructuredGrid.uniform(((0.0, 4e-3), (0.0, 2e-3)), (2 * n, n))
+    case = Case(grid, Mixture((AIR, WATER)))
+
+    eps = 1e-6
+    rho_air, p_atm = 1.204, 101325.0
+    rho_water = 1000.0
+
+    case.add(Patch(box([0.0, 0.0], [4e-3, 2e-3]),
+                   alpha_rho=((1 - eps) * rho_air, eps * rho_water),
+                   velocity=(0.0, 0.0), pressure=p_atm, alpha=(1 - eps,)))
+    rho1, u1, p1 = post_shock_state(1.46, rho_air, p_atm, AIR.gamma)
+    case.add(Patch(halfspace(0, 0.8e-3),
+                   alpha_rho=((1 - eps) * rho1, eps * rho_water),
+                   velocity=(u1, 0.0), pressure=p1, alpha=(1 - eps,)))
+    case.add(Patch(sphere([1.5e-3, 1.0e-3], 0.4e-3),
+                   alpha_rho=(eps * rho_air, (1 - eps) * rho_water),
+                   velocity=(0.0, 0.0), pressure=p_atm, alpha=(eps,),
+                   smear=2.5e-5))
+    return case
+
+
+def main() -> None:
+    case = build_case(n=80)
+    bcs = BoundarySet(((BC.EXTRAPOLATION, BC.EXTRAPOLATION),
+                       (BC.REFLECTIVE, BC.REFLECTIVE)))
+    sim = Simulation(case, bcs, config=RHSConfig(weno_order=5), cfl=0.35)
+    lay = sim.layout
+
+    rho1, u1, p1 = post_shock_state(1.46, 1.204, 101325.0, 1.4)
+    print(f"shock-droplet: {sim.grid.shape[0]}x{sim.grid.shape[1]} cells; "
+          f"Mach 1.46 air shock (post-shock p = {p1 / 1e3:.0f} kPa, "
+          f"u = {u1:.0f} m/s) into a water droplet")
+
+    t_end = 2.0e-6  # 2 microseconds: shock crosses and wraps the droplet
+    report = t_end / 5.0
+    next_report = report
+    while sim.time < t_end:
+        sim.step()
+        if sim.time >= next_report:
+            prim = sim.primitive()
+            p_max = prim[lay.pressure].max()
+            alpha_w = 1.0 - prim[lay.advected][0]
+            x_front = sim.grid.centers(0)[
+                np.argmax(prim[lay.pressure].max(axis=1) > 1.2 * 101325.0)]
+            print(f"  t={sim.time * 1e6:.2f} us  steps={sim.step_count:4d}  "
+                  f"max p={p_max / 1e6:.2f} MPa  "
+                  f"water mass frac range=({alpha_w.min():.2e}, {alpha_w.max():.4f})")
+            next_report += report
+
+    prim = sim.primitive()
+    rho = prim[lay.partial_densities].sum(axis=0)
+    print(f"\ndensity ratio across interface: {rho.max() / rho.min():.0f}:1")
+    print(f"total steps: {sim.step_count}, grind time "
+          f"{sim.grind_time_ns():.1f} ns per cell-PDE-RHS (host)")
+    sim.validate_state()
+    print("state remains physical (positive density, finite fields)")
+
+
+if __name__ == "__main__":
+    main()

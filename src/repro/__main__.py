@@ -1,0 +1,162 @@
+"""Command-line interface: run cases, inspect devices, post-process.
+
+Usage::
+
+    python -m repro run case.json --t-end 0.2 [--cfl 0.5] [--weno 5]
+           [--riemann hllc] [--snapshot out.bin] [--silo out.npz]
+    python -m repro devices
+    python -m repro postprocess snapshot.bin case.json out.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bc import BoundarySet
+from repro.solver import RHSConfig, Simulation
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.io.case_files import load_case
+
+    case = load_case(args.case)
+    ndim = case.grid.ndim
+    bcs = {
+        "periodic": BoundarySet.all_periodic,
+        "reflective": BoundarySet.all_reflective,
+        "extrapolation": BoundarySet.all_extrapolation,
+    }[args.bc](ndim)
+    sim = Simulation(case, bcs,
+                     config=RHSConfig(weno_order=args.weno,
+                                      riemann_solver=args.riemann,
+                                      geometry=args.geometry),
+                     cfl=args.cfl)
+    print(f"running {case.grid.num_cells} cells, {case.mixture.ncomp} fluids, "
+          f"WENO{args.weno} + {args.riemann.upper()}")
+    callback = None
+    if args.series:
+        from repro.io.series import SeriesWriter
+
+        writer = SeriesWriter(args.series, interval=args.series_interval)
+        writer.write(sim.q, step=0, time=0.0)
+        callback = writer.callback
+    if args.steps is not None:
+        sim.run(n_steps=args.steps, callback=callback)
+    else:
+        sim.run(t_end=args.t_end, callback=callback)
+    if args.series:
+        print(f"wrote {len(writer.entries)} series snapshots to {args.series}")
+    sim.validate_state()
+    print(f"done: {sim.step_count} steps to t = {sim.time:.6g}; "
+          f"grind {sim.grind_time_ns():.1f} ns/cell/PDE/RHS (host)")
+    shares = ", ".join(f"{k}={100 * v:.0f}%"
+                       for k, v in sorted(sim.kernel_breakdown().items()))
+    print(f"kernel shares: {shares}")
+
+    if args.snapshot:
+        from repro.io.binary import write_snapshot
+
+        nbytes = write_snapshot(args.snapshot, sim.q, step=sim.step_count,
+                                time=sim.time)
+        print(f"wrote snapshot {args.snapshot} ({nbytes} bytes)")
+        if args.silo:
+            from repro.io.silo import export_silo
+
+            export_silo(args.snapshot, args.silo, case.grid, case.mixture)
+            print(f"wrote visualization database {args.silo}")
+    return 0
+
+
+def _cmd_preprocess(args: argparse.Namespace) -> int:
+    """MFC's pre_process stage: case file -> initial-condition snapshot."""
+    from repro.io.binary import write_snapshot
+    from repro.io.case_files import load_case
+
+    case = load_case(args.case)
+    q = case.initial_conservative()
+    nbytes = write_snapshot(args.out, q, step=0, time=0.0)
+    print(f"wrote initial condition {args.out}: {case.grid.num_cells} cells, "
+          f"{case.layout.nvars} variables, {nbytes} bytes")
+    return 0
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    from repro.hardware import DEVICES, ridge_intensity
+
+    print(f"{'key':<12} {'name':<18} {'kind':<5} {'FP64 GF/s':>10} "
+          f"{'BW GB/s':>8} {'L2 MiB':>7} {'ridge F/B':>10}")
+    for key, dev in DEVICES.items():
+        print(f"{key:<12} {dev.name:<18} {dev.kind:<5} "
+              f"{dev.roofline_peak_gflops:>10.0f} {dev.mem_bw_gbps:>8.0f} "
+              f"{dev.l2_mib:>7.0f} {ridge_intensity(dev):>10.2f}")
+    return 0
+
+
+def _cmd_postprocess(args: argparse.Namespace) -> int:
+    from repro.io.case_files import load_case
+    from repro.io.silo import export_silo
+
+    case = load_case(args.case)
+    db = export_silo(args.snapshot, args.out, case.grid, case.mixture)
+    fields = sorted(k for k in db if not k.startswith("coord") and k not in ("step", "time"))
+    print(f"wrote {args.out}: step {int(db['step'])}, t = {float(db['time']):.6g}, "
+          f"fields: {', '.join(fields)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a JSON case file")
+    run.add_argument("case")
+    run.add_argument("--t-end", type=float, default=None)
+    run.add_argument("--steps", type=int, default=None)
+    run.add_argument("--cfl", type=float, default=0.5)
+    run.add_argument("--weno", type=int, default=5, choices=(1, 3, 5))
+    run.add_argument("--riemann", default="hllc",
+                     choices=("hllc", "hll", "rusanov"))
+    run.add_argument("--geometry", default="cartesian",
+                     choices=("cartesian", "axisymmetric"))
+    run.add_argument("--bc", default="extrapolation",
+                     choices=("periodic", "reflective", "extrapolation"))
+    run.add_argument("--snapshot", default=None, help="write a binary snapshot")
+    run.add_argument("--silo", default=None,
+                     help="also write a .npz visualization database")
+    run.add_argument("--series", default=None,
+                     help="directory for interval snapshots (with manifest)")
+    run.add_argument("--series-interval", type=int, default=100,
+                     help="steps between series snapshots (default 100)")
+    run.set_defaults(func=_cmd_run)
+
+    pre = sub.add_parser("preprocess",
+                         help="generate the initial-condition snapshot "
+                              "(MFC's pre_process stage)")
+    pre.add_argument("case")
+    pre.add_argument("out")
+    pre.set_defaults(func=_cmd_preprocess)
+
+    dev = sub.add_parser("devices", help="list the simulated device catalog")
+    dev.set_defaults(func=_cmd_devices)
+
+    post = sub.add_parser("postprocess",
+                          help="convert a snapshot to a visualization database")
+    post.add_argument("snapshot")
+    post.add_argument("case")
+    post.add_argument("out")
+    post.set_defaults(func=_cmd_postprocess)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run" and (args.t_end is None) == (args.steps is None):
+        parser.error("run: give exactly one of --t-end or --steps")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

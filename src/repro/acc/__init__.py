@@ -1,0 +1,52 @@
+"""An OpenACC-like directive model (paper §III.B-§III.D).
+
+This package reproduces, in Python, the semantics the paper's
+optimization story is written in:
+
+* :mod:`repro.acc.directives` — ``parallel loop`` specifications with
+  ``gang``/``vector``/``collapse(n)``/``seq``/``private`` clauses and
+  their legality rules (illegal combinations raise
+  :class:`~repro.common.errors.DirectiveError`, the analog of a
+  compile-time rejection).
+* :mod:`repro.acc.launch` — how a clause set plus loop extents maps to a
+  launch configuration (gang count, vector length, exposed threads);
+  this is where "default = one vector lane per gang" under-utilisation
+  and the ``collapse(3)`` fix live.
+* :mod:`repro.acc.compiler` — NVHPC/CCE/GNU compiler models: which
+  vendor each targets, cross-module inlining behaviour (the Fypp
+  workaround), and CCE's run-time-sized ``private`` allocation cliff.
+* :mod:`repro.acc.data_region` — the device data environment:
+  ``enter/exit data``, ``update host/device``, ``host_data use_device``
+  residency rules, with transfer-cost accounting.
+* :mod:`repro.acc.kernel` / :mod:`repro.acc.runtime` — kernels carry a
+  real NumPy body (which executes) plus a workload description (which
+  is priced on a simulated device by
+  :class:`repro.hardware.costmodel.CostModel`).
+"""
+
+from repro.acc.directives import Clause, LoopDirective, ParallelLoopNest
+from repro.acc.fypp import FyppPreprocessor, inline_serial_subroutine
+from repro.acc.parser import parse_directive, parse_loop_nest
+from repro.acc.launch import LaunchConfig, derive_launch
+from repro.acc.compiler import COMPILERS, CompilerModel, get_compiler
+from repro.acc.data_region import DeviceDataEnvironment
+from repro.acc.kernel import AccKernel
+from repro.acc.runtime import AccRuntime
+
+__all__ = [
+    "Clause",
+    "LoopDirective",
+    "ParallelLoopNest",
+    "LaunchConfig",
+    "derive_launch",
+    "CompilerModel",
+    "COMPILERS",
+    "get_compiler",
+    "DeviceDataEnvironment",
+    "AccKernel",
+    "AccRuntime",
+    "FyppPreprocessor",
+    "inline_serial_subroutine",
+    "parse_directive",
+    "parse_loop_nest",
+]

@@ -1,0 +1,101 @@
+"""Compiler models: NVHPC, CCE, and GNU (paper §I, §III.B-§III.D).
+
+Each model captures the behaviours the paper attributes to a toolchain:
+
+* which GPU vendors it can target with OpenACC,
+* whether it inlines serial subroutines across modules inside device
+  kernels (none do reliably — hence the Fypp metaprogramming inlining),
+* whether a run-time-sized ``private`` array triggers expensive
+  device-side allocation (CCE on AMD),
+* which transpose library the ``host_data use_device`` path dispatches
+  to (cuTENSOR under NVHPC, hipBLAS under CCE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acc.directives import ParallelLoopNest
+from repro.common import ConfigurationError
+from repro.hardware.devices import DeviceSpec
+
+
+@dataclass(frozen=True)
+class CompilerModel:
+    """Code-generation characteristics of one OpenACC toolchain."""
+
+    name: str
+    supported_gpu_vendors: tuple[str, ...]
+    inlines_cross_module: bool
+    runtime_private_device_alloc: bool  # §III.D cliff when True
+    transpose_library: str              # "cutensor" | "hipblas" | "none"
+    mature: bool = True                 # GNU/Flang "relative immaturity" (§I)
+
+    def check_target(self, device: DeviceSpec) -> None:
+        """Raise if this compiler cannot offload to the device."""
+        if device.kind == "cpu":
+            return  # directive code falls back to host execution (§I)
+        if device.vendor not in self.supported_gpu_vendors:
+            raise ConfigurationError(
+                f"{self.name} cannot target {device.vendor} GPUs "
+                f"(supports: {self.supported_gpu_vendors})")
+        if not self.mature:
+            raise ConfigurationError(
+                f"{self.name}'s OpenACC support is too immature for this "
+                f"application (paper §I)")
+
+    # ------------------------------------------------------------------
+    def effective_inlined(self, *, calls_serial_subroutine: bool,
+                          cross_module: bool, fypp_inlined: bool) -> bool:
+        """Whether a kernel's serial callees end up inlined.
+
+        Fypp metaprogramming textually inlines regardless of the
+        compiler; otherwise cross-module calls stay un-inlined.
+        """
+        if not calls_serial_subroutine:
+            return True
+        if fypp_inlined:
+            return True
+        if cross_module:
+            return self.inlines_cross_module
+        return True  # same-module serial calls inline fine
+
+    def private_arrays_compile_sized(self, nest: ParallelLoopNest) -> bool:
+        """True when no private array triggers device-side allocation."""
+        if not self.runtime_private_device_alloc:
+            return True
+        return all(p.compile_time_size for p in nest.privates)
+
+
+COMPILERS: dict[str, CompilerModel] = {
+    "nvhpc": CompilerModel(
+        name="NVHPC",
+        supported_gpu_vendors=("nvidia",),
+        inlines_cross_module=False,
+        runtime_private_device_alloc=False,
+        transpose_library="cutensor",
+    ),
+    "cce": CompilerModel(
+        name="CCE",
+        supported_gpu_vendors=("nvidia", "amd"),
+        inlines_cross_module=False,
+        runtime_private_device_alloc=True,
+        transpose_library="hipblas",
+    ),
+    "gnu": CompilerModel(
+        name="GNU",
+        supported_gpu_vendors=("nvidia", "amd"),
+        inlines_cross_module=False,
+        runtime_private_device_alloc=False,
+        transpose_library="none",
+        mature=False,
+    ),
+}
+
+
+def get_compiler(name: str) -> CompilerModel:
+    try:
+        return COMPILERS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown compiler {name!r}; available: {sorted(COMPILERS)}") from None

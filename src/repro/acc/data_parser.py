@@ -1,0 +1,137 @@
+"""Parsing OpenACC *data* directives into data-environment operations.
+
+Complements :mod:`repro.acc.parser` (which handles loop directives) with
+the data-management directives the paper's Listings 3-6 revolve around::
+
+    !$acc enter data copyin(q) create(buf)
+    !$acc update host(q)
+    !$acc update device(q)
+    !$acc exit data copyout(q) delete(buf)
+    !$acc host_data use_device(v_temp, v_sf_t)
+
+:func:`apply_data_directive` executes one parsed directive against a
+:class:`~repro.acc.data_region.DeviceDataEnvironment` and a host-array
+namespace, so a sequence of directive strings drives real data movement
+— the way MFC's annotated Fortran drives the OpenACC runtime.
+"""
+
+from __future__ import annotations
+
+import re
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.acc.data_region import DeviceDataEnvironment
+from repro.common import DirectiveError
+
+_ACC_RE = re.compile(r"^\s*!\$acc\s+(.*)$", re.IGNORECASE | re.DOTALL)
+_CLAUSE_RE = re.compile(r"(\w+)\s*\(([^)]*)\)")
+
+#: Directive kinds and the clauses each accepts.
+_VALID = {
+    "enter data": {"copyin", "create"},
+    "exit data": {"copyout", "delete"},
+    "update": {"host", "device", "self"},
+    "host_data": {"use_device"},
+}
+
+
+def parse_data_directive(text: str) -> tuple[str, dict[str, list[str]]]:
+    """Parse one data directive into ``(kind, {clause: [names]})``."""
+    joined = re.sub(r"&\s*\n\s*!\$acc\s*", " ", text.strip())
+    m = _ACC_RE.match(joined)
+    if not m:
+        raise DirectiveError(f"not an !$acc directive: {text.strip()[:60]!r}")
+    body = m.group(1).strip().lower()
+
+    kind = None
+    for candidate in ("enter data", "exit data", "update", "host_data"):
+        if body.startswith(candidate):
+            kind = candidate
+            rest = body[len(candidate):]
+            break
+    if kind is None:
+        raise DirectiveError(
+            f"unsupported data directive: {body.split()[0] if body else ''!r}")
+
+    clauses: dict[str, list[str]] = {}
+    matched_span = 0
+    for cm in _CLAUSE_RE.finditer(rest):
+        clause, args = cm.group(1), cm.group(2)
+        if clause not in _VALID[kind]:
+            raise DirectiveError(
+                f"clause {clause!r} is not valid on '!$acc {kind}'")
+        names = [a.strip() for a in args.split(",") if a.strip()]
+        if not names:
+            raise DirectiveError(f"clause {clause!r} names no arrays")
+        clauses.setdefault(clause, []).extend(names)
+        matched_span += 1
+    if not clauses:
+        raise DirectiveError(f"'!$acc {kind}' without any clauses")
+    return kind, clauses
+
+
+def apply_data_directive(env: DeviceDataEnvironment, text: str,
+                         host: dict[str, np.ndarray]):
+    """Execute a data directive against ``env`` using ``host`` arrays.
+
+    ``update``/``enter``/``exit`` return None; ``host_data`` returns a
+    context manager yielding the named device arrays (the Listings 3-6
+    bracket).
+    """
+    kind, clauses = parse_data_directive(text)
+
+    def host_array(name: str) -> np.ndarray:
+        try:
+            return host[name]
+        except KeyError:
+            raise DirectiveError(f"no host array named {name!r}") from None
+
+    if kind == "enter data":
+        for name in clauses.get("copyin", []):
+            env.enter_data(name, host_array(name), copyin=True)
+        for name in clauses.get("create", []):
+            env.enter_data(name, host_array(name), copyin=False)
+        return None
+    if kind == "exit data":
+        for name in clauses.get("copyout", []):
+            env.exit_data(name, host_array(name), copyout=True)
+        for name in clauses.get("delete", []):
+            env.exit_data(name)
+        return None
+    if kind == "update":
+        for name in clauses.get("host", []) + clauses.get("self", []):
+            env.update_host(name, host_array(name))
+        for name in clauses.get("device", []):
+            env.update_device(name, host_array(name))
+        return None
+    # host_data use_device
+    names = clauses["use_device"]
+    return env.host_data_use_device(*names)
+
+
+@contextmanager
+def data_region(env: DeviceDataEnvironment, host: dict[str, np.ndarray],
+                *, copyin: tuple[str, ...] = (), create: tuple[str, ...] = (),
+                copyout: tuple[str, ...] = ()):
+    """Structured ``!$acc data`` region as a context manager.
+
+    Enter: copyin/create the named arrays.  Exit: copyout what was
+    requested, delete the rest — matching the structured-data-construct
+    semantics MFC wraps its time loop in.
+    """
+    entered: list[str] = []
+    try:
+        for name in copyin:
+            env.enter_data(name, host[name], copyin=True)
+            entered.append(name)
+        for name in create:
+            env.enter_data(name, host[name], copyin=False)
+            entered.append(name)
+        yield env
+    finally:
+        for name in entered:
+            if env.is_present(name):
+                env.exit_data(name, host.get(name),
+                              copyout=name in copyout)

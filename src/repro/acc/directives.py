@@ -1,0 +1,179 @@
+"""OpenACC directive specifications and legality checking.
+
+A :class:`ParallelLoopNest` is the analog of Listing 1::
+
+    !$acc parallel loop collapse(3) gang vector default(present) private(...)
+    do l = ...;  do k = ...;  do j = ...
+        !$acc loop seq
+        do i = 1, num_fluids
+            ...
+
+Each loop in the nest is a :class:`LoopDirective` with an extent and a
+set of :class:`Clause` values.  Validation mirrors what NVHPC/CCE would
+reject at compile time: ``collapse(n)`` must not exceed the number of
+contiguous loops below it, a ``seq`` loop cannot also be partitioned
+``gang``/``vector``, ``gang`` cannot appear inside a ``vector`` loop,
+and clause arguments must be positive.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common import DirectiveError
+
+
+class Clause(enum.Enum):
+    """Loop-level OpenACC clauses this model understands."""
+
+    GANG = "gang"
+    WORKER = "worker"
+    VECTOR = "vector"
+    SEQ = "seq"
+
+
+@dataclass(frozen=True)
+class LoopDirective:
+    """One loop of a nest: its name, trip count, and clauses."""
+
+    name: str
+    extent: int
+    clauses: frozenset[Clause] = frozenset()
+    collapse: int = 1
+
+    def __post_init__(self) -> None:
+        if self.extent < 1:
+            raise DirectiveError(f"loop {self.name!r}: extent must be >= 1, got {self.extent}")
+        if self.collapse < 1:
+            raise DirectiveError(f"loop {self.name!r}: collapse({self.collapse}) is invalid")
+        if Clause.SEQ in self.clauses and len(self.clauses) > 1:
+            raise DirectiveError(
+                f"loop {self.name!r}: seq cannot combine with partitioning clauses")
+        if Clause.SEQ in self.clauses and self.collapse > 1:
+            raise DirectiveError(f"loop {self.name!r}: seq loops cannot be collapsed")
+
+    @property
+    def is_seq(self) -> bool:
+        return Clause.SEQ in self.clauses
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self.clauses & {Clause.GANG, Clause.WORKER, Clause.VECTOR})
+
+
+@dataclass(frozen=True)
+class PrivateArray:
+    """A ``private(...)`` array: its element count and whether the size is
+    known at compile time (the §III.D CCE cliff)."""
+
+    name: str
+    size: int
+    compile_time_size: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise DirectiveError(f"private array {self.name!r} must have size >= 1")
+
+
+@dataclass(frozen=True)
+class ParallelLoopNest:
+    """A full ``parallel loop`` region: ordered loops, outermost first."""
+
+    loops: tuple[LoopDirective, ...]
+    privates: tuple[PrivateArray, ...] = ()
+    default_present: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise DirectiveError("a parallel loop nest needs at least one loop")
+        self._validate_collapse()
+        self._validate_ordering()
+
+    def _validate_collapse(self) -> None:
+        for i, loop in enumerate(self.loops):
+            if loop.collapse > 1:
+                below = len(self.loops) - i
+                if loop.collapse > below:
+                    raise DirectiveError(
+                        f"loop {loop.name!r}: collapse({loop.collapse}) exceeds the "
+                        f"{below} contiguous loops available")
+                for inner in self.loops[i + 1: i + loop.collapse]:
+                    if inner.clauses:
+                        raise DirectiveError(
+                            f"loop {inner.name!r} is absorbed by collapse and "
+                            f"cannot carry its own clauses")
+
+    def _validate_ordering(self) -> None:
+        seen_vector = False
+        for loop in self.loops:
+            if seen_vector and Clause.GANG in loop.clauses:
+                raise DirectiveError(
+                    f"loop {loop.name!r}: gang cannot nest inside a vector loop")
+            if Clause.VECTOR in loop.clauses:
+                seen_vector = True
+
+    # ------------------------------------------------------------------
+    @property
+    def total_iterations(self) -> int:
+        n = 1
+        for loop in self.loops:
+            n *= loop.extent
+        return n
+
+    def parallel_iterations(self) -> int:
+        """Iterations actually exposed to parallel execution.
+
+        Collapsed groups contribute the product of their extents; ``seq``
+        loops contribute nothing (their work is serial per thread); loops
+        below the last partitioned/collapsed loop that carry no clauses
+        run sequentially inside each thread, matching OpenACC's implicit
+        behaviour under ``parallel loop``.
+        """
+        exposed = 1
+        i = 0
+        consumed_any = False
+        while i < len(self.loops):
+            loop = self.loops[i]
+            if loop.is_seq:
+                i += 1
+                continue
+            if loop.collapse > 1:
+                for inner in self.loops[i: i + loop.collapse]:
+                    exposed *= inner.extent
+                i += loop.collapse
+                consumed_any = True
+                continue
+            if loop.partitioned or (i == 0 and not consumed_any):
+                # The outermost loop of `parallel loop` is always split
+                # across gangs even with no explicit clause.
+                exposed *= loop.extent
+                consumed_any = True
+                i += 1
+                continue
+            break  # unclaused inner loops are serial per thread
+        return exposed
+
+    def serial_iterations_per_thread(self) -> float:
+        """Work multiplier each thread runs serially (seq + unclaused inner loops)."""
+        return self.total_iterations / max(self.parallel_iterations(), 1)
+
+
+def listing1_nest(nx: int, ny: int, nz: int, nfluids: int, *,
+                  gang_vector: bool = True, collapse: int = 3,
+                  seq_inner: bool = True) -> ParallelLoopNest:
+    """The paper's Listing 1 kernel shape, with its optimisation knobs.
+
+    ``gang_vector=False, collapse=1`` reproduces the naive "parallel
+    loop" default the paper starts from; the tuned configuration is
+    ``gang vector collapse(3)`` with the O(1) fluid loop ``seq``.
+    """
+    outer_clauses = frozenset({Clause.GANG, Clause.VECTOR}) if gang_vector else frozenset()
+    loops = [
+        LoopDirective("l", nz, outer_clauses, collapse=collapse),
+        LoopDirective("k", ny),
+        LoopDirective("j", nx),
+        LoopDirective("i", nfluids,
+                      frozenset({Clause.SEQ}) if seq_inner else frozenset()),
+    ]
+    return ParallelLoopNest(tuple(loops))

@@ -1,0 +1,223 @@
+"""A miniature Fypp: the metaprogramming preprocessor of paper §III.C.
+
+MFC uses Fypp to textually inline serial subroutines into GPU kernels —
+"Fypp does not generate any code that could not be written manually.
+However, it does generate code that would be tedious to write manually."
+This module implements the Fypp subset that inlining workflow needs:
+
+* ``#:def name(a, b)`` ... ``#:enddef`` — macro definition,
+* ``@:name(x, y)`` — macro call, expanded (inlined) at the call site
+  with indentation preserved,
+* ``${expr}$`` — eval-interpolation against a variable environment,
+* ``#:for x in <expr>`` ... ``#:endfor`` — compile-time loop unrolling,
+* ``#:if <expr>`` / ``#:else`` / ``#:endif`` — conditional sections.
+
+Expansion is pure text -> text, exactly like Fypp ahead of the Fortran
+compiler; :class:`repro.acc.compiler.CompilerModel` treats kernels
+produced this way as ``fypp_inlined`` and exempts them from the
+cross-module call penalty.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.common import ConfigurationError
+
+
+class FyppError(ConfigurationError):
+    """Malformed template or expansion failure."""
+
+
+_DEF_RE = re.compile(r"^\s*#:def\s+(\w+)\s*\(([^)]*)\)\s*$")
+_ENDDEF_RE = re.compile(r"^\s*#:enddef\b")
+_CALL_RE = re.compile(r"^(\s*)@:(\w+)\((.*)\)\s*$")
+_FOR_RE = re.compile(r"^\s*#:for\s+(\w+(?:\s*,\s*\w+)*)\s+in\s+(.+)$")
+_ENDFOR_RE = re.compile(r"^\s*#:endfor\b")
+_IF_RE = re.compile(r"^\s*#:if\s+(.+)$")
+_ELSE_RE = re.compile(r"^\s*#:else\b")
+_ENDIF_RE = re.compile(r"^\s*#:endif\b")
+_INTERP_RE = re.compile(r"\$\{(.+?)\}\$")
+
+
+class _Verbatim(str):
+    """A macro argument bound as source text rather than a value.
+
+    Interpolating it reproduces the original expression verbatim, so
+    ``${param}$`` splices the caller's run-time expression into the
+    inlined body — Fypp's textual-substitution semantics.
+    """
+
+
+@dataclass
+class Macro:
+    """One ``#:def`` block: parameter names and body lines."""
+
+    name: str
+    params: tuple[str, ...]
+    body: list[str] = field(default_factory=list)
+
+
+class FyppPreprocessor:
+    """Expands a Fypp-subset template against a variable environment."""
+
+    def __init__(self, env: dict | None = None):
+        self.env = dict(env or {})
+        self.macros: dict[str, Macro] = {}
+
+    # ------------------------------------------------------------------
+    def process(self, template: str) -> str:
+        """Expand ``template`` and return the generated source text."""
+        lines = template.splitlines()
+        out = self._block(lines, 0, len(lines), dict(self.env))
+        return "\n".join(out) + ("\n" if template.endswith("\n") else "")
+
+    # ------------------------------------------------------------------
+    def _block(self, lines: list[str], start: int, stop: int, env: dict) -> list[str]:
+        out: list[str] = []
+        i = start
+        while i < stop:
+            line = lines[i]
+
+            m = _DEF_RE.match(line)
+            if m:
+                name = m.group(1)
+                params = tuple(p.strip() for p in m.group(2).split(",") if p.strip())
+                end = self._find_end(lines, i, stop, _DEF_RE, _ENDDEF_RE, "#:enddef")
+                self.macros[name] = Macro(name, params, lines[i + 1: end])
+                i = end + 1
+                continue
+
+            m = _FOR_RE.match(line)
+            if m:
+                names = [v.strip() for v in m.group(1).split(",")]
+                end = self._find_end(lines, i, stop, _FOR_RE, _ENDFOR_RE, "#:endfor")
+                iterable = self._eval(m.group(2), env)
+                for item in iterable:
+                    loop_env = dict(env)
+                    if len(names) == 1:
+                        loop_env[names[0]] = item
+                    else:
+                        values = tuple(item)
+                        if len(values) != len(names):
+                            raise FyppError(
+                                f"#:for unpacking mismatch: {names} <- {values!r}")
+                        loop_env.update(zip(names, values))
+                    out.extend(self._block(lines, i + 1, end, loop_env))
+                i = end + 1
+                continue
+
+            m = _IF_RE.match(line)
+            if m:
+                end = self._find_end(lines, i, stop, _IF_RE, _ENDIF_RE, "#:endif")
+                else_at = self._find_else(lines, i, end)
+                if self._eval(m.group(1), env):
+                    out.extend(self._block(lines, i + 1, else_at, env))
+                elif else_at != end:
+                    out.extend(self._block(lines, else_at + 1, end, env))
+                i = end + 1
+                continue
+
+            m = _CALL_RE.match(line)
+            if m:
+                out.extend(self._expand_call(m.group(1), m.group(2), m.group(3), env))
+                i += 1
+                continue
+
+            if line.lstrip().startswith("#:"):
+                raise FyppError(f"unknown or unmatched directive: {line.strip()!r}")
+
+            out.append(self._interpolate(line, env))
+            i += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def _expand_call(self, indent: str, name: str, argtext: str, env: dict) -> list[str]:
+        macro = self.macros.get(name)
+        if macro is None:
+            raise FyppError(f"call to undefined macro {name!r}")
+        args = [a.strip() for a in argtext.split(",")] if argtext.strip() else []
+        if len(args) != len(macro.params):
+            raise FyppError(
+                f"macro {name!r} takes {len(macro.params)} argument(s), got {len(args)}")
+        call_env = dict(env)
+        for param, arg in zip(macro.params, args):
+            # Compile-time expressions (loop bounds, constants) bind by
+            # value; anything referencing run-time names binds as verbatim
+            # text, which is how Fypp inlines run-time arguments.
+            try:
+                call_env[param] = self._eval(arg, env)
+            except FyppError:
+                call_env[param] = _Verbatim(arg)
+        body = self._block(macro.body, 0, len(macro.body), call_env)
+        return [indent + b if b else b for b in body]
+
+    def _interpolate(self, line: str, env: dict) -> str:
+        def repl(m: re.Match) -> str:
+            return str(self._eval(m.group(1), env))
+
+        return _INTERP_RE.sub(repl, line)
+
+    #: Builtins usable inside template expressions (a Fypp-like subset).
+    SAFE_BUILTINS = {
+        "range": range, "len": len, "min": min, "max": max, "abs": abs,
+        "enumerate": enumerate, "zip": zip, "int": int, "float": float,
+        "str": str, "sum": sum, "sorted": sorted,
+    }
+
+    def _eval(self, expr: str, env: dict):
+        try:
+            return eval(expr, {"__builtins__": self.SAFE_BUILTINS}, dict(env))  # noqa: S307
+        except Exception as exc:
+            raise FyppError(f"cannot evaluate {expr!r}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _find_end(lines, start, stop, open_re, close_re, label) -> int:
+        depth = 0
+        for j in range(start + 1, stop):
+            if open_re.match(lines[j]):
+                depth += 1
+            elif close_re.match(lines[j]):
+                if depth == 0:
+                    return j
+                depth -= 1
+        raise FyppError(f"missing {label} for directive at line {start + 1}")
+
+    @staticmethod
+    def _find_else(lines, start, end) -> int:
+        depth = 0
+        for j in range(start + 1, end):
+            if _IF_RE.match(lines[j]):
+                depth += 1
+            elif _ENDIF_RE.match(lines[j]):
+                depth -= 1
+            elif depth == 0 and _ELSE_RE.match(lines[j]):
+                return j
+        return end
+
+
+def inline_serial_subroutine(kernel_template: str, subroutines: dict[str, str],
+                             env: dict | None = None) -> str:
+    """Inline named serial subroutines into a kernel template.
+
+    ``subroutines`` maps macro names to their ``#:def`` bodies (without
+    the def/enddef lines); the kernel template calls them with
+    ``@:name(args)``.  This is precisely MFC's Fypp usage: the serial
+    EOS/wave-speed helpers get textually inlined into the Riemann and
+    WENO kernels so the device compiler never sees a call.
+    """
+    pre = FyppPreprocessor(env)
+    defs = []
+    for name, body in subroutines.items():
+        header = body.splitlines()
+        params = header[0].strip() if header and header[0].startswith("(") else ""
+        if params:
+            defs.append(f"#:def {name}{params}")
+            defs.extend(header[1:])
+        else:
+            defs.append(f"#:def {name}()")
+            defs.extend(header)
+        defs.append("#:enddef")
+    return pre.process("\n".join(defs) + "\n" + kernel_template)

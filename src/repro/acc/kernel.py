@@ -1,0 +1,79 @@
+"""Device kernels: a real NumPy body plus a priceable workload description.
+
+An :class:`AccKernel` couples
+
+* the *semantics* — a Python callable over NumPy arrays that actually
+  executes (so results are real and testable), and
+* the *performance shape* — per-iteration FLOP/byte counts, the
+  directive nest, data-layout flags, and inlining provenance — which the
+  runtime combines with a compiler model and device spec to produce the
+  modeled execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.acc.directives import ParallelLoopNest
+from repro.common import ConfigurationError
+from repro.hardware.costmodel import KERNEL_CLASSES
+
+
+@dataclass(frozen=True)
+class AccKernel:
+    """One offloaded kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel identifier (appears in profiles).
+    nest:
+        The directive nest (Listing 1 analog) defining launch geometry.
+    body:
+        The actual computation; called with whatever arguments the
+        caller passes to :meth:`repro.acc.runtime.AccRuntime.launch`.
+    kernel_class:
+        Cost-model class: "weno", "riemann", "pack", or "other".
+    flops_per_iter / bytes_per_iter:
+        Work per innermost iteration of the *total* iteration space.
+    arrays:
+        Names of device arrays the kernel dereferences (checked against
+        the data environment when ``default(present)``).
+    layout_aos:
+        True when the kernel walks derived-type fields (§III.C 6x).
+    coalesced:
+        False when the fastest-varying access does not match the sweep
+        direction (§III.C 10x).
+    calls_serial_subroutine / cross_module / fypp_inlined:
+        Inlining provenance (§III.C tenfold-slowdown mechanics).
+    """
+
+    name: str
+    nest: ParallelLoopNest
+    body: Callable
+    kernel_class: str = "other"
+    flops_per_iter: float = 1.0
+    bytes_per_iter: float = 8.0
+    arrays: tuple[str, ...] = ()
+    layout_aos: bool = False
+    coalesced: bool = True
+    calls_serial_subroutine: bool = False
+    cross_module: bool = False
+    fypp_inlined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kernel_class not in KERNEL_CLASSES:
+            raise ConfigurationError(
+                f"kernel_class must be one of {KERNEL_CLASSES}, got {self.kernel_class!r}")
+        if self.flops_per_iter < 0.0 or self.bytes_per_iter <= 0.0:
+            raise ConfigurationError(
+                f"kernel {self.name!r}: need flops >= 0 and bytes > 0 per iteration")
+
+    @property
+    def total_flops(self) -> float:
+        return self.flops_per_iter * self.nest.total_iterations
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_per_iter * self.nest.total_iterations

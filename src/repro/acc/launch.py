@@ -1,0 +1,63 @@
+"""Mapping directive nests to launch configurations.
+
+OpenACC gangs/workers/vectors correspond to CUDA blocks/warps/threads
+(paper §III.C).  The key behaviours reproduced:
+
+* **Default ``parallel loop``** — iterations of the outermost loop are
+  split across gangs and each gang uses a *single* vector lane, leaving
+  the device's SIMD width idle.
+* **``gang vector``** — iterations are split across gangs of a fixed
+  vector length, multiplying the exposed threads by that length.
+* **``collapse(n)``** — the compiler fuses the n loops into one
+  iteration space and is then free to choose gang/vector sizes; exposed
+  parallelism becomes the product of the collapsed extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acc.directives import Clause, ParallelLoopNest
+from repro.common import DirectiveError
+
+#: NVHPC's and CCE's common default vector length.
+DEFAULT_VECTOR_LENGTH = 128
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Resolved launch geometry of one kernel."""
+
+    num_gangs: int
+    vector_length: int
+    serial_work_per_thread: float
+
+    def __post_init__(self) -> None:
+        if self.num_gangs < 1 or self.vector_length < 1:
+            raise DirectiveError("launch config must have >= 1 gang and lane")
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_gangs * self.vector_length
+
+
+def derive_launch(nest: ParallelLoopNest, *,
+                  vector_length: int = DEFAULT_VECTOR_LENGTH) -> LaunchConfig:
+    """Resolve the launch configuration of a ``parallel loop`` nest."""
+    exposed = nest.parallel_iterations()
+    serial = nest.serial_iterations_per_thread()
+
+    uses_vector = any(Clause.VECTOR in lp.clauses for lp in nest.loops)
+    collapsed = any(lp.collapse > 1 for lp in nest.loops)
+
+    if collapsed or uses_vector:
+        # The compiler tiles the exposed iteration space into gangs of
+        # `vector_length` lanes.
+        vl = min(vector_length, exposed)
+        gangs = max(1, -(-exposed // vl))  # ceil division
+        return LaunchConfig(num_gangs=gangs, vector_length=vl,
+                            serial_work_per_thread=serial)
+
+    # Default behaviour: one iteration per gang, one active lane each.
+    return LaunchConfig(num_gangs=exposed, vector_length=1,
+                        serial_work_per_thread=serial)

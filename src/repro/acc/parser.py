@@ -1,0 +1,212 @@
+"""Parsing textual OpenACC directives into the directive model.
+
+Turns the literal directive text of the paper's listings, e.g. ::
+
+    !$acc parallel loop collapse(3) gang vector default(present) &
+    !$acc private(alpha_rho_L(1:num_fluids))
+    do l = 0, p
+      do k = 0, n
+        do j = 0, m
+          !$acc loop seq
+          do i = 1, num_fluids
+
+into :class:`~repro.acc.directives.ParallelLoopNest` objects, so the
+launch/compiler/cost pipeline can be driven from the same source text a
+Fortran programmer writes.  Supported clauses: ``gang``, ``worker``,
+``vector[(n)]``, ``seq``, ``collapse(n)``, ``private(...)`` (with
+Fortran array-section sizes), ``default(present)``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.acc.directives import (
+    Clause,
+    LoopDirective,
+    ParallelLoopNest,
+    PrivateArray,
+)
+from repro.common import DirectiveError
+
+_CONT_RE = re.compile(r"&\s*\n\s*!\$acc\s*", re.IGNORECASE)
+_ACC_RE = re.compile(r"^\s*!\$acc\s+(.*)$", re.IGNORECASE | re.DOTALL)
+_COLLAPSE_RE = re.compile(r"collapse\s*\(\s*(\d+)\s*\)", re.IGNORECASE)
+_VECTOR_LEN_RE = re.compile(r"vector\s*\(\s*(\d+)\s*\)", re.IGNORECASE)
+_PRIVATE_RE = re.compile(r"private\s*\(((?:[^()]|\([^()]*\))*)\)", re.IGNORECASE)
+_DEFAULT_RE = re.compile(r"default\s*\(\s*(\w+)\s*\)", re.IGNORECASE)
+_SECTION_RE = re.compile(r"^(\w+)(?:\s*\(([^)]*)\))?$")
+
+
+def _join_continuations(text: str) -> str:
+    return _CONT_RE.sub(" ", text)
+
+
+def parse_directive(text: str) -> dict:
+    """Parse one ``!$acc`` line (with continuations) into its parts.
+
+    Returns a dict with keys ``kind`` ("parallel_loop" or "loop"),
+    ``clauses`` (set of :class:`Clause`), ``collapse``, ``vector_length``
+    (or None), ``privates`` (tuple of :class:`PrivateArray`), and
+    ``default_present``.
+    """
+    joined = _join_continuations(text.strip())
+    m = _ACC_RE.match(joined)
+    if not m:
+        raise DirectiveError(f"not an !$acc directive: {text.strip()[:60]!r}")
+    body = m.group(1).strip().lower()
+
+    if body.startswith("parallel loop"):
+        kind = "parallel_loop"
+        rest = body[len("parallel loop"):]
+    elif body.startswith("loop"):
+        kind = "loop"
+        rest = body[len("loop"):]
+    else:
+        raise DirectiveError(
+            f"unsupported directive {body.split()[0] if body else ''!r} "
+            f"(this model parses loop directives)")
+
+    clauses: set[Clause] = set()
+    if re.search(r"\bgang\b", rest):
+        clauses.add(Clause.GANG)
+    if re.search(r"\bworker\b", rest):
+        clauses.add(Clause.WORKER)
+    if re.search(r"\bvector\b", rest):
+        clauses.add(Clause.VECTOR)
+    if re.search(r"\bseq\b", rest):
+        clauses.add(Clause.SEQ)
+
+    collapse_m = _COLLAPSE_RE.search(rest)
+    collapse = int(collapse_m.group(1)) if collapse_m else 1
+    vl_m = _VECTOR_LEN_RE.search(rest)
+    vector_length = int(vl_m.group(1)) if vl_m else None
+
+    privates = []
+    priv_m = _PRIVATE_RE.search(rest)
+    if priv_m:
+        privates = [_parse_private(p.strip())
+                    for p in _split_args(priv_m.group(1))]
+
+    default_m = _DEFAULT_RE.search(rest)
+    default_present = bool(default_m and default_m.group(1) == "present")
+
+    return {
+        "kind": kind,
+        "clauses": frozenset(clauses),
+        "collapse": collapse,
+        "vector_length": vector_length,
+        "privates": tuple(privates),
+        "default_present": default_present,
+    }
+
+
+def _split_args(text: str) -> list[str]:
+    """Split on commas not inside parentheses."""
+    out, depth, cur = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur:
+        out.append("".join(cur))
+    return [s for s in (s.strip() for s in out) if s]
+
+
+def _parse_private(text: str) -> PrivateArray:
+    """Parse one private entry: ``name`` or ``name(lo:hi)`` / ``name(n)``.
+
+    Numeric bounds give a compile-time size; any symbolic bound (the
+    §III.D ``num_fluids`` case) marks the array run-time sized.
+    """
+    m = _SECTION_RE.match(text)
+    if not m:
+        raise DirectiveError(f"cannot parse private entry {text!r}")
+    name, section = m.group(1), m.group(2)
+    if section is None:
+        return PrivateArray(name=name, size=1, compile_time_size=True)
+    size = 1
+    compile_time = True
+    for dim in _split_args(section):
+        if ":" in dim:
+            lo, hi = (s.strip() for s in dim.split(":", 1))
+            if lo.lstrip("+-").isdigit() and hi.lstrip("+-").isdigit():
+                size *= int(hi) - int(lo) + 1
+            else:
+                compile_time = False
+        elif dim.lstrip("+-").isdigit():
+            size *= int(dim)
+        else:
+            compile_time = False
+    return PrivateArray(name=name, size=max(size, 1),
+                        compile_time_size=compile_time)
+
+
+#: Fortran DO statement: ``do j = 1, m`` (bounds may be symbolic).
+_DO_RE = re.compile(r"^\s*do\s+(\w+)\s*=\s*([^,]+),\s*([^,]+?)\s*$",
+                    re.IGNORECASE)
+
+
+def parse_loop_nest(source: str, extents: dict[str, int]) -> ParallelLoopNest:
+    """Parse a directive-annotated Fortran loop nest (Listing 1 style).
+
+    ``extents`` maps loop-bound symbols (``m``, ``n``, ``p``,
+    ``num_fluids``) or loop variables to trip counts; numeric bounds are
+    evaluated directly.
+    """
+    lines = _join_continuations(source).splitlines()
+    pending: dict | None = None
+    top: dict | None = None
+    loops: list[LoopDirective] = []
+
+    for line in lines:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.lower().startswith("!$acc"):
+            d = parse_directive(stripped)
+            if d["kind"] == "parallel_loop":
+                if top is not None:
+                    raise DirectiveError("nested parallel loop regions")
+                top = d
+                pending = d
+            else:
+                pending = d
+            continue
+        m = _DO_RE.match(stripped)
+        if m:
+            var, lo, hi = m.group(1), m.group(2).strip(), m.group(3).strip()
+            extent = _trip_count(var, lo, hi, extents)
+            d = pending or {"clauses": frozenset(), "collapse": 1}
+            loops.append(LoopDirective(var, extent, d["clauses"], d["collapse"]))
+            pending = None
+
+    if top is None:
+        raise DirectiveError("no !$acc parallel loop directive found")
+    if not loops:
+        raise DirectiveError("no DO loops found under the directive")
+    return ParallelLoopNest(tuple(loops), privates=top["privates"],
+                            default_present=top["default_present"])
+
+
+def _trip_count(var: str, lo: str, hi: str, extents: dict[str, int]) -> int:
+    def value(token: str) -> int | None:
+        token = token.strip()
+        if token.lstrip("+-").isdigit():
+            return int(token)
+        return extents.get(token)
+
+    if var in extents:
+        return extents[var]
+    lo_v, hi_v = value(lo), value(hi)
+    if lo_v is None or hi_v is None:
+        raise DirectiveError(
+            f"cannot resolve trip count of loop {var!r} ({lo}..{hi}); "
+            f"add {var!r} or its bounds to extents")
+    return hi_v - lo_v + 1

@@ -1,0 +1,19 @@
+"""Ghost-cell boundary conditions."""
+
+from repro.bc.boundary import (
+    BC,
+    BoundarySet,
+    fill_axis_ghosts,
+    fill_ghosts,
+    pad_axis,
+    pad_with_ghosts,
+)
+
+__all__ = [
+    "BC",
+    "BoundarySet",
+    "fill_axis_ghosts",
+    "fill_ghosts",
+    "pad_axis",
+    "pad_with_ghosts",
+]

@@ -1,0 +1,33 @@
+"""Distributed-run substrate: decomposition, simulated MPI, halo exchange,
+I/O model, machine topologies, and the scaling experiment drivers."""
+
+from repro.cluster.decomposition import BlockDecomposition, factor3d
+from repro.cluster.topology import FRONTIER, SUMMIT, MachineSpec
+from repro.cluster.mpi_sim import CommModel, NetworkModel
+from repro.cluster.halo import HaloExchanger
+from repro.cluster.distributed import DistributedSolver
+from repro.cluster.events import Event, EventSimulator, StepTimeline
+from repro.cluster.placement import Placement, best_policy, intra_node_fraction
+from repro.cluster.io_model import IOModel
+from repro.cluster.scaling import ScalingDriver, ScalingPoint
+
+__all__ = [
+    "BlockDecomposition",
+    "factor3d",
+    "MachineSpec",
+    "SUMMIT",
+    "FRONTIER",
+    "NetworkModel",
+    "CommModel",
+    "HaloExchanger",
+    "DistributedSolver",
+    "Event",
+    "EventSimulator",
+    "StepTimeline",
+    "Placement",
+    "best_policy",
+    "intra_node_fraction",
+    "IOModel",
+    "ScalingDriver",
+    "ScalingPoint",
+]

@@ -1,0 +1,77 @@
+"""Parallel I/O cost model (paper §III-A).
+
+Two strategies the paper compares at scale:
+
+* **Shared binary file (MPI-IO collective)** — all ranks write into one
+  file.  Works well until file-system metadata and lock contention grow
+  with rank count; the paper "witnessed increased I/O times when
+  creating MPI I/O shared binary files" at 65,536 GCDs.
+* **File per process, in waves** — each rank writes its own file, but
+  only 128 ranks may open files simultaneously, each wave offset, so
+  metadata creation does not overwhelm the file system.
+
+The model prices both: shared-file time grows superlinearly with ranks
+through a lock/metadata contention term, file-per-process pays a fixed
+per-wave metadata cost but streams at the aggregate bandwidth cap.  The
+crossover lands in the tens-of-thousands-of-ranks regime that motivated
+MFC's switch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IOModel:
+    """Lustre/GPFS-like parallel file system parameters."""
+
+    aggregate_bandwidth_gbps: float = 2_000.0   # sustained write bandwidth
+    metadata_op_us: float = 500.0               # one create/open metadata op
+    shared_lock_us_per_rank: float = 40.0       # extent-lock contention per writer
+    wave_size: int = 128                        # paper's access-wave width
+
+    def __post_init__(self) -> None:
+        if self.aggregate_bandwidth_gbps <= 0 or self.wave_size < 1:
+            raise ConfigurationError("invalid I/O model parameters")
+
+    # ------------------------------------------------------------------
+    def shared_file_time(self, nranks: int, bytes_per_rank: float) -> float:
+        """One collective write into a single shared binary file.
+
+        Stream time at aggregate bandwidth plus lock/metadata contention
+        that grows as ranks x log(ranks) — the classic shared-file
+        scalability failure mode.
+        """
+        if nranks < 1 or bytes_per_rank < 0:
+            raise ConfigurationError("invalid shared_file_time arguments")
+        stream = nranks * bytes_per_rank / (self.aggregate_bandwidth_gbps * 1e9)
+        contention = (self.shared_lock_us_per_rank * 1e-6
+                      * nranks * math.log2(max(nranks, 2)))
+        return self.metadata_op_us * 1e-6 + stream + contention
+
+    def file_per_process_time(self, nranks: int, bytes_per_rank: float) -> float:
+        """File-per-process writes throttled to ``wave_size`` concurrent opens.
+
+        Each wave pays one metadata round (creates are concurrent within
+        the wave, so the cost is per wave, not per rank); data streams
+        at the aggregate bandwidth cap throughout.
+        """
+        if nranks < 1 or bytes_per_rank < 0:
+            raise ConfigurationError("invalid file_per_process_time arguments")
+        waves = math.ceil(nranks / self.wave_size)
+        stream = nranks * bytes_per_rank / (self.aggregate_bandwidth_gbps * 1e9)
+        return waves * self.metadata_op_us * 1e-6 + stream
+
+    def crossover_ranks(self, bytes_per_rank: float, *, max_ranks: int = 1 << 20) -> int:
+        """Smallest rank count where file-per-process beats the shared file."""
+        n = 2
+        while n <= max_ranks:
+            if self.file_per_process_time(n, bytes_per_rank) < \
+                    self.shared_file_time(n, bytes_per_rank):
+                return n
+            n *= 2
+        return max_ranks

@@ -1,0 +1,121 @@
+"""Weak and strong scaling experiment drivers (paper Figs. 2-4).
+
+A scaling point combines
+
+* per-device compute time from the kernel cost model over the MFC
+  kernel suite (:mod:`repro.hardware.workloads`), and
+* per-device halo-exchange time from the communication model, one
+  exchange per RHS evaluation, sized by the actual block decomposition.
+
+Weak scaling holds cells/device constant; strong scaling holds total
+cells constant.  Efficiency is wall time of the base point divided by
+wall time at each device count (weak), or ideal speedup over achieved
+speedup (strong).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.decomposition import BlockDecomposition, factor3d
+from repro.cluster.mpi_sim import CommModel, NetworkModel, allreduce_time
+from repro.cluster.topology import MachineSpec
+from repro.common import ConfigurationError
+from repro.hardware.costmodel import CostModel
+from repro.hardware.workloads import ProblemShape, rhs_workloads
+from repro.weno import halo_width
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (device count, wall time) sample of a scaling curve."""
+
+    ndevices: int
+    cells_per_device: float
+    compute_seconds: float
+    comm_seconds: float
+
+    @property
+    def step_seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds
+
+
+@dataclass
+class ScalingDriver:
+    """Prices one time step at a sequence of device counts on one machine."""
+
+    machine: MachineSpec
+    gpu_aware: bool = True
+    nvars: int = 7
+    weno_order: int = 5
+    rhs_evals: int = 3
+
+    def __post_init__(self) -> None:
+        self._cost = CostModel(self.machine.device, self.machine.compiler)
+        self._ng = halo_width(self.weno_order)
+
+    # ------------------------------------------------------------------
+    def _point(self, ndevices: int, global_cells: tuple[int, int, int]) -> ScalingPoint:
+        decomp = BlockDecomposition.balanced(global_cells, ndevices)
+        local = decomp.local_cells(0)
+        cells_local = 1
+        for c in local:
+            cells_local *= c
+
+        shape = ProblemShape(cells=cells_local, nvars=self.nvars)
+        compute = self._cost.suite_time(rhs_workloads(shape)) * self.rhs_evals
+
+        comm = CommModel(self.machine, gpu_aware=self.gpu_aware)
+        nnodes = max(1, ndevices // self.machine.devices_per_node)
+        comm_time = comm.halo_exchange_time(
+            local_cells=local, ng=self._ng, nvars=self.nvars,
+            nnodes=nnodes) * self.rhs_evals
+        # Per-step dt allreduce (one per step, not per RHS evaluation).
+        comm_time += allreduce_time(NetworkModel.of(self.machine), ndevices)
+        return ScalingPoint(ndevices, cells_local, compute, comm_time)
+
+    @staticmethod
+    def _cube_cells(total_cells: float) -> tuple[int, int, int]:
+        edge = max(4, round(total_cells ** (1.0 / 3.0)))
+        return (edge, edge, edge)
+
+    # ------------------------------------------------------------------
+    def weak_scaling(self, cells_per_device: int,
+                     device_counts: list[int]) -> list[ScalingPoint]:
+        """Fixed work per device; the global problem grows with the machine."""
+        if not device_counts:
+            raise ConfigurationError("need at least one device count")
+        points = []
+        for nd in device_counts:
+            # Global domain: per-device cube tiled by the rank grid.
+            edge = max(4, round(cells_per_device ** (1.0 / 3.0)))
+            grid = factor3d(nd)
+            global_cells = tuple(edge * g for g in grid)
+            points.append(self._point(nd, global_cells))
+        return points
+
+    def strong_scaling(self, total_cells: float,
+                       device_counts: list[int]) -> list[ScalingPoint]:
+        """Fixed global problem split across growing device counts."""
+        if not device_counts:
+            raise ConfigurationError("need at least one device count")
+        global_cells = self._cube_cells(total_cells)
+        return [self._point(nd, global_cells) for nd in device_counts]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def weak_efficiency(points: list[ScalingPoint]) -> list[float]:
+        """Base wall time over wall time at each count (1.0 = perfect)."""
+        base = points[0].step_seconds
+        return [base / p.step_seconds for p in points]
+
+    @staticmethod
+    def strong_efficiency(points: list[ScalingPoint]) -> list[float]:
+        """Achieved speedup over ideal speedup at each count."""
+        base = points[0]
+        out = []
+        for p in points:
+            ideal = p.ndevices / base.ndevices
+            achieved = base.step_seconds / p.step_seconds
+            out.append(achieved / ideal)
+        return out

@@ -1,0 +1,108 @@
+"""Machine topologies: OLCF Summit and OLCF Frontier (paper §I, §IV).
+
+Only the facts the communication and I/O models consume are encoded:
+devices per node, per-node network injection bandwidth (shared by the
+node's devices), MPI latency, the host-device staging link, and the
+machine's total device count (for the "% of the machine" labels in
+Figs. 2-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import ConfigurationError
+from repro.hardware.devices import DeviceSpec, GPUS
+from repro.hardware.transfer import TransferModel
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One leadership-class machine, as seen by the scaling models."""
+
+    name: str
+    device: DeviceSpec
+    devices_per_node: int
+    total_devices: int
+    nic_bandwidth_gbps: float     # per-node injection bandwidth, GB/s
+    mpi_latency_us: float
+    staging_link: TransferModel   # host<->device path for non-GPU-aware MPI
+    compiler: str
+    #: Fraction of the NIC share MPI point-to-point actually sustains for
+    #: halo-sized messages (protocol + rendezvous + pinning overheads).
+    mpi_efficiency: float = 0.35
+    #: Fractional comm slowdown per node-count doubling beyond the
+    #: contention threshold (global-link congestion at machine scale).
+    contention_per_doubling: float = 0.05
+    #: log2(node count) below which the network is effectively
+    #: congestion-free (strong-scaling sweeps live below it).
+    contention_threshold_log2: float = 8.0
+    #: Device-to-device link within a node (NVLink on Summit, Infinity
+    #: Fabric/xGMI on Frontier); used by the event simulator's
+    #: ``use_intra_node_links`` refinement.
+    intra_node_link: TransferModel = TransferModel(bandwidth_gbps=50.0,
+                                                   latency_us=1.5)
+
+    def __post_init__(self) -> None:
+        if self.devices_per_node < 1 or self.total_devices < self.devices_per_node:
+            raise ConfigurationError(f"{self.name}: inconsistent device counts")
+        if self.nic_bandwidth_gbps <= 0.0 or self.mpi_latency_us <= 0.0:
+            raise ConfigurationError(f"{self.name}: invalid network parameters")
+        if not 0.0 < self.mpi_efficiency <= 1.0:
+            raise ConfigurationError(f"{self.name}: mpi_efficiency must be in (0, 1]")
+
+    @property
+    def nic_share_gbps(self) -> float:
+        """Injection bandwidth available to one device when all inject at once."""
+        return self.nic_bandwidth_gbps / self.devices_per_node
+
+    @property
+    def effective_mpi_bandwidth_gbps(self) -> float:
+        """Sustained per-device MPI bandwidth for halo messages."""
+        return self.nic_share_gbps * self.mpi_efficiency
+
+    def fraction_of_machine(self, ndevices: int) -> float:
+        return ndevices / self.total_devices
+
+
+#: Effective host-staged MPI paths (D2H + host send), as sustained by the
+#: application rather than the link's theoretical peak: Summit stages over
+#: NVLink/P9 but bottlenecks on host-memory copies (~12 GB/s); Frontier's
+#: early host-staged path sustained ~5 GB/s, which is exactly why Fig. 4's
+#: GPU-aware MPI matters.
+SUMMIT_STAGING = TransferModel(bandwidth_gbps=12.0, latency_us=10.0)
+FRONTIER_STAGING = TransferModel(bandwidth_gbps=5.0, latency_us=10.0)
+
+#: OLCF Summit: 6 V100 per node, dual-rail EDR InfiniBand (2 x 12.5 GB/s),
+#: 27,648 GPUs total; NVHPC toolchain.  Fat-tree network -> low contention
+#: growth at scale.
+SUMMIT = MachineSpec(
+    name="OLCF Summit",
+    device=GPUS["v100"],
+    devices_per_node=6,
+    total_devices=27_648,
+    nic_bandwidth_gbps=25.0,
+    mpi_latency_us=3.0,
+    staging_link=SUMMIT_STAGING,
+    compiler="nvhpc",
+    mpi_efficiency=0.45,
+    contention_per_doubling=0.05,
+)
+
+#: OLCF Frontier: 8 MI250X GCDs per node, 4 x 25 GB/s Slingshot-11,
+#: 75,264 GCDs total (paper counts 37,632 MI250X modules = 2 GCDs each
+#: and scales to 65,536 GCDs = 87% of the machine); CCE toolchain.
+#: Dragonfly global links congest harder at near-full-machine scale.
+FRONTIER = MachineSpec(
+    name="OLCF Frontier",
+    device=GPUS["mi250x"],
+    devices_per_node=8,
+    total_devices=75_264,
+    nic_bandwidth_gbps=100.0,
+    mpi_latency_us=2.0,
+    staging_link=FRONTIER_STAGING,
+    compiler="cce",
+    contention_per_doubling=0.20,
+)
+
+MACHINES = {"summit": SUMMIT, "frontier": FRONTIER}

@@ -1,0 +1,50 @@
+"""Floating-point policy for the whole package.
+
+MFC computes in double precision on both CPUs and GPUs
+(``real(kind(0d0))``); we mirror that with a package-wide ``float64``
+policy.  Helper functions centralise the coercion so hot paths never pay
+for redundant copies: :func:`as_float_array` only copies when the input
+is not already a C-contiguous ``float64`` array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ShapeError
+
+#: Package-wide floating point dtype (double precision, as in MFC).
+DTYPE = np.float64
+
+#: Machine epsilon for :data:`DTYPE`; used for positivity floors and
+#: WENO smoothness regularisation.
+EPS = float(np.finfo(DTYPE).eps)
+
+
+def as_float_array(values, *, copy: bool = False) -> np.ndarray:
+    """Return ``values`` as a C-contiguous :data:`DTYPE` array.
+
+    Avoids copying when the input already satisfies the dtype and layout
+    requirements (the guides' "use views, not copies" rule), unless
+    ``copy=True`` forces a defensive copy.
+    """
+    arr = np.asarray(values, dtype=DTYPE)
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    elif copy:
+        arr = arr.copy()
+    return arr
+
+
+def require_float(arr: np.ndarray, *, ndim: int | None = None, name: str = "array") -> np.ndarray:
+    """Validate that ``arr`` is a :data:`DTYPE` ndarray, optionally of rank ``ndim``.
+
+    Raises :class:`~repro.common.errors.ShapeError` on mismatch.  Used at
+    public API boundaries; internal hot loops assume validated inputs.
+    """
+    if not isinstance(arr, np.ndarray) or arr.dtype != DTYPE:
+        raise ShapeError(f"{name} must be a numpy array of dtype {DTYPE}, got {type(arr).__name__}"
+                         f"{'' if not isinstance(arr, np.ndarray) else f' of dtype {arr.dtype}'}")
+    if ndim is not None and arr.ndim != ndim:
+        raise ShapeError(f"{name} must have ndim={ndim}, got ndim={arr.ndim}")
+    return arr

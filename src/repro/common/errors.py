@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all package-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A case, grid, device, or cluster configuration is invalid."""
+
+
+class ShapeError(ReproError):
+    """An array has the wrong dtype, rank, or extent."""
+
+
+class NumericsError(ReproError):
+    """The numerical state became invalid (NaN/Inf, CFL violation, ...)."""
+
+
+class PositivityError(NumericsError):
+    """Density, pressure, or volume fraction left its physical range."""
+
+
+class DirectiveError(ReproError):
+    """An OpenACC-model directive is malformed or used illegally.
+
+    Mirrors a compile-time rejection by NVHPC/CCE: e.g. ``collapse(n)``
+    exceeding the nest depth, a ``seq`` loop also asking for ``gang``,
+    or touching device data outside a data region.
+    """

@@ -1,0 +1,12 @@
+"""Equations of state and mixture closure rules.
+
+The Allaire five-equation model (paper §II-A) is closed with the
+stiffened-gas EOS.  Mixture properties follow Allaire's volume-fraction
+mixing of :math:`\\Gamma = 1/(\\gamma-1)` and
+:math:`\\Pi = \\gamma\\pi_\\infty/(\\gamma-1)`.
+"""
+
+from repro.eos.stiffened_gas import StiffenedGas
+from repro.eos.mixture import Mixture, mixture_gamma_pi
+
+__all__ = ["StiffenedGas", "Mixture", "mixture_gamma_pi"]

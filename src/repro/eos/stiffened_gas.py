@@ -1,0 +1,84 @@
+"""Stiffened-gas equation of state (paper §II-A).
+
+.. math::
+
+    \\rho e = \\frac{p}{\\gamma - 1} + \\frac{\\gamma \\pi_\\infty}{\\gamma - 1}
+
+With :math:`\\pi_\\infty = 0` this reduces to the ideal gas law; a large
+:math:`\\pi_\\infty` ("liquid stiffness") models nearly incompressible
+liquids such as water (:math:`\\gamma = 6.12,\\ \\pi_\\infty \\approx
+3.43\\times10^8` Pa in MFC's shock-droplet cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import ConfigurationError, DTYPE
+
+
+@dataclass(frozen=True)
+class StiffenedGas:
+    """A single-component stiffened-gas EOS.
+
+    Parameters
+    ----------
+    gamma:
+        Ratio of specific heats, must exceed 1.
+    pi_inf:
+        Liquid stiffness (Pa); non-negative.  Zero recovers an ideal gas.
+    name:
+        Optional label used in case summaries.
+    """
+
+    gamma: float
+    pi_inf: float = 0.0
+    name: str = "fluid"
+
+    def __post_init__(self) -> None:
+        if not self.gamma > 1.0:
+            raise ConfigurationError(f"gamma must exceed 1, got {self.gamma}")
+        if self.pi_inf < 0.0:
+            raise ConfigurationError(f"pi_inf must be non-negative, got {self.pi_inf}")
+
+    # -- Allaire mixing coefficients ------------------------------------
+    @property
+    def Gamma(self) -> float:
+        """:math:`\\Gamma = 1/(\\gamma-1)`, the coefficient mixed by volume fraction."""
+        return 1.0 / (self.gamma - 1.0)
+
+    @property
+    def Pi(self) -> float:
+        """:math:`\\Pi = \\gamma\\pi_\\infty/(\\gamma-1)`, mixed by volume fraction."""
+        return self.gamma * self.pi_inf / (self.gamma - 1.0)
+
+    # -- thermodynamics ---------------------------------------------------
+    def internal_energy(self, rho, p):
+        """Volumetric internal energy :math:`\\rho e` from density and pressure."""
+        rho = np.asarray(rho, dtype=DTYPE)
+        p = np.asarray(p, dtype=DTYPE)
+        return self.Gamma * p + self.Pi + 0.0 * rho
+
+    def pressure(self, rho, rho_e):
+        """Pressure from density and volumetric internal energy."""
+        rho_e = np.asarray(rho_e, dtype=DTYPE)
+        return (rho_e - self.Pi) / self.Gamma
+
+    def sound_speed(self, rho, p):
+        """Speed of sound :math:`c = \\sqrt{\\gamma (p + \\pi_\\infty)/\\rho}`."""
+        rho = np.asarray(rho, dtype=DTYPE)
+        p = np.asarray(p, dtype=DTYPE)
+        return np.sqrt(self.gamma * (p + self.pi_inf) / rho)
+
+    def is_physical(self, rho, p) -> bool:
+        """True when density is positive and ``p + pi_inf`` is positive everywhere."""
+        rho = np.asarray(rho)
+        p = np.asarray(p)
+        return bool(np.all(rho > 0.0) and np.all(p + self.pi_inf > 0.0))
+
+
+#: Convenience instances used throughout tests and examples.
+AIR = StiffenedGas(gamma=1.4, pi_inf=0.0, name="air")
+WATER = StiffenedGas(gamma=6.12, pi_inf=3.43e8, name="water")

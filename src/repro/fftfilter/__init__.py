@@ -1,0 +1,5 @@
+"""Azimuthal low-pass filtering for cylindrical grids (paper §III-A, §III-E)."""
+
+from repro.fftfilter.filters import FFTFilterPlan, lowpass_azimuthal
+
+__all__ = ["FFTFilterPlan", "lowpass_azimuthal"]

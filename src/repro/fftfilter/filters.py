@@ -1,0 +1,73 @@
+"""Low-pass azimuthal filter (the cuFFT/hipFFT workload, Listings 5-6).
+
+Near the axis of a cylindrical grid, azimuthal cells become thin wedges
+and the explicit CFL limit collapses.  MFC's remedy — standard for
+structured cylindrical solvers — is to low-pass filter the flow
+variables in theta with a radius-dependent mode cutoff, so each ring
+only carries modes it can physically resolve.
+
+The paper offloads this to cuFFT/hipFFT through ``host_data
+use_device``; here :class:`FFTFilterPlan` plays the role of the FFT
+plan (created once, executed many times) with ``numpy.fft`` as the
+backend, and mirrors the D2Z -> mask -> Z2D structure of Listings 5-6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import ConfigurationError, DTYPE
+from repro.grid.cylindrical import CylindricalGrid
+
+
+class FFTFilterPlan:
+    """A reusable forward/backward real-FFT filter plan along the last axis.
+
+    Parameters
+    ----------
+    ntheta:
+        Azimuthal sample count (transform length).
+    cutoffs:
+        Per-ring maximum retained mode number, shape ``(nr,)`` —
+        typically from :meth:`repro.grid.cylindrical.CylindricalGrid.mode_cutoff`.
+    """
+
+    def __init__(self, ntheta: int, cutoffs: np.ndarray):
+        if ntheta < 4:
+            raise ConfigurationError(f"need ntheta >= 4, got {ntheta}")
+        cutoffs = np.asarray(cutoffs, dtype=np.int64)
+        if np.any(cutoffs < 0):
+            raise ConfigurationError("mode cutoffs must be non-negative")
+        self.ntheta = ntheta
+        self.cutoffs = cutoffs
+        # Precompute the (nr, ntheta//2 + 1) spectral mask once — the
+        # "plan creation" step of cufftPlan/hipfftPlan.
+        modes = np.arange(ntheta // 2 + 1)
+        self.mask = (modes[None, :] <= cutoffs[:, None]).astype(DTYPE)
+
+    def execute(self, data: np.ndarray) -> np.ndarray:
+        """Filter ``data`` of shape ``(..., nr, ntheta)``; returns a new array.
+
+        Matches Listings 5-6: a D2Z forward transform, the spectral
+        mask, then a Z2D inverse transform.
+        """
+        if data.shape[-1] != self.ntheta:
+            raise ConfigurationError(
+                f"last axis must be ntheta={self.ntheta}, got {data.shape[-1]}")
+        if data.shape[-2] != self.cutoffs.size:
+            raise ConfigurationError(
+                f"second-to-last axis must match {self.cutoffs.size} rings, "
+                f"got {data.shape[-2]}")
+        spectrum = np.fft.rfft(data, axis=-1)
+        spectrum *= self.mask
+        return np.fft.irfft(spectrum, n=self.ntheta, axis=-1).astype(DTYPE, copy=False)
+
+
+def lowpass_azimuthal(grid: CylindricalGrid, fields: np.ndarray) -> np.ndarray:
+    """Filter all flow variables of a cylindrical field.
+
+    ``fields`` has shape ``(nvars, nz, nr, ntheta)``; each ring is
+    low-passed at the cutoff implied by its radius.
+    """
+    plan = FFTFilterPlan(grid.ntheta, grid.mode_cutoff())
+    return plan.execute(fields)

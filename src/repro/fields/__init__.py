@@ -1,0 +1,34 @@
+"""Field containers and data-layout transformations (paper §III.C-§III.E).
+
+The paper's central optimization is moving from an *array of
+user-defined types* (Fortran ``type(scalar_field), dimension(:)`` —
+each field a separately allocated 3D array) to *flattened, coalesced 4D
+arrays*.  This package reproduces both representations and every
+transformation between them:
+
+* :class:`ScalarField` / :class:`FieldBank` — the derived-type view
+  (Listing 2): independently allocated per-variable arrays.
+* :mod:`repro.fields.packing` — AoS -> packed 4D array and back.
+* :mod:`repro.fields.transpose` — the three transpose implementations
+  the paper compares: fully collapsed directive loops, the cuTENSOR
+  ``reshape`` path (Listing 3), and the two-step hipBLAS GEAM
+  decomposition (Listing 4).
+"""
+
+from repro.fields.scalar_field import FieldBank, ScalarField
+from repro.fields.packing import pack_bank, unpack_bank
+from repro.fields.transpose import (
+    geam_transpose_cutensor,
+    geam_transpose_hipblas,
+    transpose_loop,
+)
+
+__all__ = [
+    "ScalarField",
+    "FieldBank",
+    "pack_bank",
+    "unpack_bank",
+    "transpose_loop",
+    "geam_transpose_cutensor",
+    "geam_transpose_hipblas",
+]

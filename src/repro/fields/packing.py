@@ -1,0 +1,73 @@
+"""Packing user-defined field types into flattened 4D arrays (paper §III.C).
+
+Two packed layouts matter to the paper:
+
+* ``variable_axis="last"`` — ``v(k, l, q, j)``: spatial indices first,
+  variable index last.  This is ``v_temp`` in Listing 3, produced by the
+  fully collapsed pack loop, and gives lowest-rank coalescence in the
+  x-direction sweep.
+* ``variable_axis="first"`` — ``v(j, k, l, q)``: the layout a naive
+  Fortran port would use; kept as the pessimal baseline.
+
+Directional coalescence (making the *sweep* direction the fastest index)
+is then a transpose of the packed array — see
+:mod:`repro.fields.transpose`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import ConfigurationError, DTYPE, ShapeError
+from repro.fields.scalar_field import FieldBank, ScalarField
+
+_AXES = ("first", "last")
+
+
+def pack_bank(bank: FieldBank, *, variable_axis: str = "last") -> np.ndarray:
+    """Pack a :class:`FieldBank` into one contiguous 4D (or ndim+1) array.
+
+    Equivalent to the collapsed pack loop of Listing 3:
+    ``v_temp(k, l, q, j) = v_vf(j)%sf(k, l, q)``.
+    """
+    if variable_axis not in _AXES:
+        raise ConfigurationError(f"variable_axis must be one of {_AXES}")
+    nvars = len(bank)
+    shape = bank.field_shape
+    if variable_axis == "first":
+        out = np.empty((nvars, *shape), dtype=DTYPE)
+        for j in range(nvars):
+            out[j] = bank[j]
+    else:
+        out = np.empty((*shape, nvars), dtype=DTYPE)
+        for j in range(nvars):
+            out[..., j] = bank[j]
+    return out
+
+
+def unpack_bank(packed: np.ndarray, bank: FieldBank, *, variable_axis: str = "last") -> None:
+    """Scatter a packed array back into the bank's separate allocations."""
+    if variable_axis not in _AXES:
+        raise ConfigurationError(f"variable_axis must be one of {_AXES}")
+    nvars = len(bank)
+    expected = ((nvars, *bank.field_shape) if variable_axis == "first"
+                else (*bank.field_shape, nvars))
+    if packed.shape != expected:
+        raise ShapeError(f"packed shape {packed.shape}, expected {expected}")
+    for j in range(nvars):
+        if variable_axis == "first":
+            np.copyto(bank[j], packed[j])
+        else:
+            np.copyto(bank[j], packed[..., j])
+
+
+def bank_from_packed(packed: np.ndarray, *, variable_axis: str = "last",
+                     prefix: str = "q") -> FieldBank:
+    """Create a fresh bank (separate allocations) from a packed array."""
+    if variable_axis == "first":
+        arrays = [np.array(packed[j], dtype=DTYPE, copy=True)
+                  for j in range(packed.shape[0])]
+    else:
+        arrays = [np.array(packed[..., j], dtype=DTYPE, copy=True)
+                  for j in range(packed.shape[-1])]
+    return FieldBank([ScalarField(a, f"{prefix}{j}") for j, a in enumerate(arrays)])

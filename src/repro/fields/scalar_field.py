@@ -1,0 +1,93 @@
+"""The derived-type field representation (paper Listing 2).
+
+MFC stores the state as ``type(scalar_field), dimension(:)`` — an array
+of derived types, each holding a pointer to its own 3D allocation.  The
+GPU consequence the paper measures: the compiler cannot reason about the
+aggregate layout, so kernels reading many variables per cell stride
+through unrelated allocations (a 6x penalty in the WENO kernel).
+
+:class:`FieldBank` reproduces that representation faithfully: each
+variable is a *separately allocated* ndarray (never views into one
+buffer), so packing/coalescing transformations have real work to do and
+the cost model can price the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import ConfigurationError, DTYPE, ShapeError
+
+
+@dataclass
+class ScalarField:
+    """One named scalar field over the (padded) grid — Listing 2's analog."""
+
+    sf: np.ndarray
+    name: str = "sf"
+
+    def __post_init__(self) -> None:
+        if self.sf.dtype != DTYPE:
+            raise ShapeError(f"scalar field {self.name!r} must be {DTYPE}, got {self.sf.dtype}")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.sf.shape
+
+
+class FieldBank:
+    """An ordered collection of independently allocated scalar fields.
+
+    This is the "array of scalar fields" (``v_vf`` in Listings 3-4).
+    Iteration yields :class:`ScalarField` objects; ``bank[i]`` returns
+    the i-th field's array.
+    """
+
+    def __init__(self, fields: list[ScalarField]):
+        if not fields:
+            raise ConfigurationError("FieldBank needs at least one field")
+        shape = fields[0].shape
+        for f in fields:
+            if f.shape != shape:
+                raise ShapeError(
+                    f"field {f.name!r} has shape {f.shape}, expected {shape}")
+        self._fields = list(fields)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def zeros(cls, nvars: int, shape: tuple[int, ...], *, prefix: str = "q") -> "FieldBank":
+        return cls([ScalarField(np.zeros(shape, dtype=DTYPE), f"{prefix}{i}")
+                    for i in range(nvars)])
+
+    @classmethod
+    def from_stacked(cls, stacked: np.ndarray, *, prefix: str = "q") -> "FieldBank":
+        """Copy a ``(nvars, ...)`` array into per-variable allocations.
+
+        Deliberately copies: the point of the bank is that variables do
+        NOT share a contiguous buffer.
+        """
+        return cls([ScalarField(np.array(stacked[i], dtype=DTYPE, copy=True), f"{prefix}{i}")
+                    for i in range(stacked.shape[0])])
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self._fields[i].sf
+
+    def __iter__(self):
+        return iter(self._fields)
+
+    @property
+    def field_shape(self) -> tuple[int, ...]:
+        return self._fields[0].shape
+
+    def names(self) -> list[str]:
+        return [f.name for f in self._fields]
+
+    def to_stacked(self) -> np.ndarray:
+        """Gather into a fresh ``(nvars, ...)`` array (a packing operation)."""
+        return np.stack([f.sf for f in self._fields], axis=0)

@@ -1,0 +1,12 @@
+"""Structured grids: uniform, tanh-stretched, and cylindrical metadata (paper §III-A)."""
+
+from repro.grid.cartesian import StructuredGrid
+from repro.grid.stretching import tanh_stretched_faces, uniform_faces
+from repro.grid.cylindrical import CylindricalGrid
+
+__all__ = [
+    "StructuredGrid",
+    "tanh_stretched_faces",
+    "uniform_faces",
+    "CylindricalGrid",
+]

@@ -1,0 +1,110 @@
+"""Structured Cartesian grids in one, two, or three dimensions.
+
+A :class:`StructuredGrid` stores, per axis, the face coordinates (from
+which centres and widths derive).  Uniform and stretched axes share the
+same representation; the solver only ever consumes ``dx`` arrays and
+centre coordinates, so stretching is transparent to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import ConfigurationError, DTYPE
+from repro.grid.stretching import tanh_stretched_faces, uniform_faces
+
+
+@dataclass(frozen=True)
+class StructuredGrid:
+    """A tensor-product structured grid defined by per-axis face coordinates."""
+
+    faces: tuple[np.ndarray, ...]
+    _centers: tuple[np.ndarray, ...] = field(init=False, repr=False, compare=False)
+    _widths: tuple[np.ndarray, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.faces) <= 3:
+            raise ConfigurationError(f"grids must be 1-3D, got {len(self.faces)} axes")
+        centers, widths = [], []
+        for ax, f in enumerate(self.faces):
+            f = np.asarray(f, dtype=DTYPE)
+            if f.ndim != 1 or f.size < 2:
+                raise ConfigurationError(f"axis {ax} needs >= 2 face coordinates")
+            if not np.all(np.diff(f) > 0.0):
+                raise ConfigurationError(f"axis {ax} face coordinates must increase")
+            centers.append(0.5 * (f[1:] + f[:-1]))
+            widths.append(np.diff(f))
+        object.__setattr__(self, "faces", tuple(np.asarray(f, dtype=DTYPE) for f in self.faces))
+        object.__setattr__(self, "_centers", tuple(centers))
+        object.__setattr__(self, "_widths", tuple(widths))
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def uniform(cls, bounds: tuple[tuple[float, float], ...], shape: tuple[int, ...]) -> "StructuredGrid":
+        """Uniform grid with ``shape[d]`` cells on ``bounds[d]`` per axis."""
+        if len(bounds) != len(shape):
+            raise ConfigurationError("bounds and shape must have the same length")
+        return cls(tuple(uniform_faces(lo, hi, n) for (lo, hi), n in zip(bounds, shape)))
+
+    @classmethod
+    def stretched(cls, bounds: tuple[tuple[float, float], ...], shape: tuple[int, ...],
+                  *, focus: tuple[float, ...], strength: float = 2.0,
+                  width: float = 0.2) -> "StructuredGrid":
+        """Grid with tanh refinement around ``focus`` on every axis."""
+        if not len(bounds) == len(shape) == len(focus):
+            raise ConfigurationError("bounds, shape, and focus must have equal lengths")
+        return cls(tuple(
+            tanh_stretched_faces(lo, hi, n, focus=fc, strength=strength, width=width)
+            for (lo, hi), n, fc in zip(bounds, shape, focus)))
+
+    # -- properties ---------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.faces)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(c.size for c in self._centers)
+
+    @property
+    def num_cells(self) -> int:
+        return int(np.prod(self.shape))
+
+    def centers(self, axis: int) -> np.ndarray:
+        """Cell-centre coordinates along ``axis`` (1D array)."""
+        return self._centers[axis]
+
+    def widths(self, axis: int) -> np.ndarray:
+        """Cell widths along ``axis`` (1D array)."""
+        return self._widths[axis]
+
+    def min_width(self) -> float:
+        """Smallest cell width across all axes (CFL-limiting scale)."""
+        return float(min(w.min() for w in self._widths))
+
+    def meshgrid(self) -> tuple[np.ndarray, ...]:
+        """Cell-centre coordinate arrays broadcast to the full grid shape."""
+        return tuple(np.meshgrid(*self._centers, indexing="ij"))
+
+    def cell_volumes(self) -> np.ndarray:
+        """Cell volumes (areas in 2D, lengths in 1D) on the full grid."""
+        vol = self._widths[0]
+        for w in self._widths[1:]:
+            vol = np.multiply.outer(vol, w)
+        return vol
+
+    def width_fields(self) -> tuple[np.ndarray, ...]:
+        """Per-axis width arrays broadcastable against full-grid fields.
+
+        ``width_fields()[d]`` has ``shape[d]`` along axis ``d`` and 1
+        elsewhere, ready for division in the flux-divergence kernel
+        without materialising full 3D copies.
+        """
+        out = []
+        for d, w in enumerate(self._widths):
+            newshape = [1] * self.ndim
+            newshape[d] = w.size
+            out.append(w.reshape(newshape))
+        return tuple(out)

@@ -1,0 +1,63 @@
+"""Cylindrical-coordinate grid metadata (paper §III-A).
+
+MFC supports 3D cylindrical grids ``(z, r, theta)`` whose azimuthal
+direction is uniform and periodic; the cells adjacent to the axis become
+thin wedges, so a low-pass azimuthal filter (see
+:mod:`repro.fftfilter`) relaxes the otherwise crippling CFL restriction.
+
+This module supplies the geometric facts the filter and a cylindrical
+solver need: azimuthal spacing, per-ring physical arc lengths, and the
+Nyquist-style mode cutoff that grows with radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import ConfigurationError, DTYPE
+from repro.grid.cartesian import StructuredGrid
+
+
+@dataclass(frozen=True)
+class CylindricalGrid:
+    """A ``(z, r, theta)`` grid: Cartesian in z/r, uniform periodic in theta."""
+
+    zr: StructuredGrid          # 2D grid over (z, r)
+    ntheta: int
+
+    def __post_init__(self) -> None:
+        if self.zr.ndim != 2:
+            raise ConfigurationError("zr must be a 2D (z, r) grid")
+        if self.ntheta < 4:
+            raise ConfigurationError(f"need ntheta >= 4, got {self.ntheta}")
+        if np.any(self.zr.centers(1) <= 0.0):
+            raise ConfigurationError("radial centres must be positive (axis excluded)")
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (*self.zr.shape, self.ntheta)
+
+    @property
+    def dtheta(self) -> float:
+        return 2.0 * np.pi / self.ntheta
+
+    def arc_lengths(self) -> np.ndarray:
+        """Azimuthal cell arc length ``r * dtheta`` per radial ring (1D over r)."""
+        return np.asarray(self.zr.centers(1) * self.dtheta, dtype=DTYPE)
+
+    def mode_cutoff(self, *, reference_ring: int = -1) -> np.ndarray:
+        """Maximum retained azimuthal mode number per radial ring.
+
+        Rings are filtered so their effective azimuthal resolution never
+        exceeds the physical arc length of the ``reference_ring`` (the
+        outermost by default): cutoff_k = floor(ntheta/2 * r / r_ref),
+        clamped to at least 1.  This is the standard low-pass strategy
+        the paper applies with cuFFT/hipFFT.
+        """
+        r = self.zr.centers(1)
+        r_ref = r[reference_ring]
+        nyq = self.ntheta // 2
+        cutoff = np.floor(nyq * r / r_ref).astype(np.int64)
+        return np.maximum(cutoff, 1)

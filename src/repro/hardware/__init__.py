@@ -1,0 +1,42 @@
+"""Analytic hardware models: device catalog, roofline, kernel cost model.
+
+The paper's performance narrative is a roofline story: which kernels are
+memory- vs compute-bound on which device, and how L2 capacity and HBM
+bandwidth shape array-packing cost.  This package encodes the published
+specs of every device the paper measures and prices kernels with a
+roofline-plus-derating cost model whose derating factors are calibrated
+to the paper's own quoted speedups (each factor's provenance is
+documented where it is defined).
+"""
+
+from repro.hardware.devices import (
+    CPUS,
+    DEVICES,
+    GPUS,
+    DeviceSpec,
+    get_device,
+)
+from repro.hardware.roofline import RooflinePoint, attainable_gflops, ridge_intensity
+from repro.hardware.costmodel import CostModel, KernelWorkload
+from repro.hardware.transfer import TransferModel
+from repro.hardware.workloads import ProblemShape, rhs_workloads, step_workloads
+from repro.hardware.cache import SetAssociativeCache, transpose_miss_ratio
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICES",
+    "GPUS",
+    "CPUS",
+    "get_device",
+    "RooflinePoint",
+    "attainable_gflops",
+    "ridge_intensity",
+    "CostModel",
+    "KernelWorkload",
+    "TransferModel",
+    "ProblemShape",
+    "rhs_workloads",
+    "step_workloads",
+    "SetAssociativeCache",
+    "transpose_miss_ratio",
+]

@@ -1,0 +1,56 @@
+"""Roofline model (paper Fig. 1).
+
+The attainable performance of a kernel with arithmetic intensity
+:math:`I` (FLOP/byte of DRAM traffic) on a device with peak
+:math:`P` and bandwidth :math:`B` is :math:`\\min(P, I \\cdot B)`.
+A kernel is *memory-bound* when :math:`I` is below the ridge
+:math:`P/B` and *compute-bound* above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import ConfigurationError
+from repro.hardware.devices import DeviceSpec
+
+
+def attainable_gflops(device: DeviceSpec, intensity: float) -> float:
+    """Roofline ceiling at the given arithmetic intensity (FLOP/byte)."""
+    if intensity <= 0.0:
+        raise ConfigurationError(f"arithmetic intensity must be positive, got {intensity}")
+    return min(device.roofline_peak_gflops, intensity * device.mem_bw_gbps)
+
+
+def ridge_intensity(device: DeviceSpec) -> float:
+    """Arithmetic intensity of the memory-to-compute-bound transition."""
+    return device.ridge_flops_per_byte
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One measured/modeled kernel placed on a device's roofline."""
+
+    kernel: str
+    device: DeviceSpec
+    intensity: float              # FLOP / DRAM byte
+    achieved_gflops: float
+
+    def __post_init__(self) -> None:
+        if self.intensity <= 0.0 or self.achieved_gflops < 0.0:
+            raise ConfigurationError("invalid roofline point")
+
+    @property
+    def bound(self) -> str:
+        """"memory" or "compute", by which roof limits this kernel."""
+        return "memory" if self.intensity < ridge_intensity(self.device) else "compute"
+
+    @property
+    def fraction_of_peak(self) -> float:
+        """Achieved fraction of the device's FP64 peak (the paper's % numbers)."""
+        return self.achieved_gflops / self.device.roofline_peak_gflops
+
+    @property
+    def fraction_of_roof(self) -> float:
+        """Achieved fraction of the attainable roofline ceiling."""
+        return self.achieved_gflops / attainable_gflops(self.device, self.intensity)

@@ -1,0 +1,46 @@
+"""Host-device transfer model (PCIe / NVLink-C2C staging).
+
+Used for two things the paper discusses:
+
+* I/O-driven device-to-host pulls every O(10^3) steps (§III-B: "the
+  relatively expensive GPU-CPU data transfer required for I/O ... is
+  negligible to the overall runtime") — the I/O model verifies that
+  negligibility instead of assuming it.
+* MPI staging when GPU-aware MPI is unavailable (§IV-C / Fig. 4): each
+  halo message pays a D2H before the send and an H2D after the receive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Latency/bandwidth model of one host-device link."""
+
+    bandwidth_gbps: float   # GB/s, one direction
+    latency_us: float       # per-transfer setup cost, microseconds
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0.0 or self.latency_us < 0.0:
+            raise ConfigurationError("invalid transfer model parameters")
+
+    def time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` across the link."""
+        if nbytes < 0:
+            raise ConfigurationError("nbytes must be non-negative")
+        return self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbps * 1e9)
+
+
+#: PCIe 3.0 x16 (Summit's V100s hang off NVLink to Power9, but the
+#: staging path the paper exercises is host-memory bound): ~12 GB/s.
+PCIE3 = TransferModel(bandwidth_gbps=12.0, latency_us=10.0)
+
+#: PCIe 4.0 x16 (Frontier node, MI250X to EPYC host): ~24 GB/s.
+PCIE4 = TransferModel(bandwidth_gbps=24.0, latency_us=8.0)
+
+#: NVLink-C2C (GH200 superchip): ~450 GB/s, for completeness.
+NVLINK_C2C = TransferModel(bandwidth_gbps=450.0, latency_us=2.0)

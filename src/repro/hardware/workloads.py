@@ -1,0 +1,95 @@
+"""The MFC per-step kernel suite as priceable workloads.
+
+One right-hand-side evaluation of the five-equation solver decomposes
+into the four kernel families the paper's breakdown figures track:
+
+* **weno** — reconstruction, the compute-heavy kernel (Fig. 1: 45% of
+  V100 peak, compute-bound there),
+* **riemann** — the HLLC solve, memory-bound everywhere,
+* **pack** — AoS->coalesced-4D packing and directional transposes
+  (§III.C/§III.D; dominant on V100/MI250X per Fig. 7),
+* **other** — boundary fill, conversions, flux divergence, RK updates.
+
+Per-cell FLOP/byte coefficients are derived from the operation counts
+of the actual kernels in :mod:`repro.weno` / :mod:`repro.riemann`
+(~300 FLOPs per variable per direction for WENO5, ~100 for HLLC) with
+DRAM traffic chosen to match the arithmetic intensities the paper's
+roofline (Fig. 1) implies: WENO at ~14 FLOP/B sits compute-bound on
+V100/A100 and memory-bound on MI250X; HLLC at ~1.3 FLOP/B is
+memory-bound everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import ConfigurationError
+from repro.hardware.costmodel import KernelWorkload
+
+#: Per-cell, per-variable, per-direction workload coefficients.
+WENO_FLOPS_COEF = 300.0
+WENO_BYTES_COEF = 21.4          # -> AI ~ 14 FLOP/B
+RIEMANN_FLOPS_COEF = 100.0
+RIEMANN_BYTES_COEF = 75.0       # -> AI ~ 1.33 FLOP/B
+PACK_BYTES_COEF = 85.3          # pure data movement
+OTHER_FLOPS_COEF = 41.7
+OTHER_BYTES_COEF = 50.0
+
+#: Device kernel launches per RHS evaluation, per family.
+LAUNCHES_PER_RHS = {"weno": 3, "riemann": 3, "pack": 4, "other": 10}
+
+
+@dataclass(frozen=True)
+class ProblemShape:
+    """Size of the per-device problem the suite is built for."""
+
+    cells: int
+    nvars: int = 7        # 2-component 3D five-equation system (7 PDEs)
+    ndim: int = 3
+
+    def __post_init__(self) -> None:
+        if self.cells < 1 or self.nvars < 3 or self.ndim not in (1, 2, 3):
+            raise ConfigurationError(f"invalid problem shape {self}")
+
+
+def rhs_workloads(shape: ProblemShape, *, coalesced: bool = True,
+                  layout_aos: bool = False, fypp_inlined: bool = True,
+                  private_compile_sized: bool = True) -> list[KernelWorkload]:
+    """Kernel workloads of ONE right-hand-side evaluation.
+
+    The optimisation flags default to the paper's tuned configuration;
+    flipping them reproduces the §III.C/§III.D ablations.
+    """
+    n = float(shape.cells)
+    vd = shape.nvars * shape.ndim
+    inlined = fypp_inlined  # hot kernels call cross-module serial subroutines
+
+    return [
+        KernelWorkload(
+            name="weno_reconstruction", kernel_class="weno",
+            flops=WENO_FLOPS_COEF * vd * n, bytes=WENO_BYTES_COEF * vd * n,
+            threads=n, launches=LAUNCHES_PER_RHS["weno"],
+            layout_aos=layout_aos, coalesced=coalesced, inlined=inlined,
+            private_compile_sized=private_compile_sized),
+        KernelWorkload(
+            name="riemann_hllc", kernel_class="riemann",
+            flops=RIEMANN_FLOPS_COEF * vd * n, bytes=RIEMANN_BYTES_COEF * vd * n,
+            threads=n, launches=LAUNCHES_PER_RHS["riemann"],
+            layout_aos=layout_aos, coalesced=coalesced, inlined=inlined,
+            private_compile_sized=private_compile_sized),
+        KernelWorkload(
+            name="array_packing", kernel_class="pack",
+            flops=0.0, bytes=PACK_BYTES_COEF * vd * n,
+            threads=n, launches=LAUNCHES_PER_RHS["pack"]),
+        KernelWorkload(
+            name="misc_updates", kernel_class="other",
+            flops=OTHER_FLOPS_COEF * vd * n, bytes=OTHER_BYTES_COEF * vd * n,
+            threads=n, launches=LAUNCHES_PER_RHS["other"]),
+    ]
+
+
+def step_workloads(shape: ProblemShape, *, rhs_evals: int = 3,
+                   **flags) -> list[KernelWorkload]:
+    """Workloads of one full SSP-RK time step (``rhs_evals`` RHS evaluations)."""
+    per_rhs = rhs_workloads(shape, **flags)
+    return [w.scaled(1.0) for _ in range(rhs_evals) for w in per_rhs]

@@ -1,0 +1,6 @@
+"""Ghost-cell immersed boundary method (paper §VI-B airfoil case)."""
+
+from repro.ib.geometry import Circle, NACA4, SignedDistance
+from repro.ib.immersed import ImmersedBoundary
+
+__all__ = ["Circle", "NACA4", "SignedDistance", "ImmersedBoundary"]

@@ -1,0 +1,152 @@
+"""Geometries for the immersed boundary: signed distance fields.
+
+Sign convention: positive outside the body (fluid), negative inside.
+Normals point into the fluid (the gradient of the SDF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import ConfigurationError, DTYPE
+
+
+class SignedDistance:
+    """Base class: subclasses implement :meth:`sdf` on coordinate arrays."""
+
+    def sdf(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def normals(self, x: np.ndarray, y: np.ndarray, *, h: float = 1e-6):
+        """Outward (into-fluid) unit normals via central differences of the SDF."""
+        dx = (self.sdf(x + h, y) - self.sdf(x - h, y)) / (2.0 * h)
+        dy = (self.sdf(x, y + h) - self.sdf(x, y - h)) / (2.0 * h)
+        mag = np.sqrt(dx * dx + dy * dy)
+        mag = np.where(mag < 1e-300, 1.0, mag)
+        return dx / mag, dy / mag
+
+
+@dataclass(frozen=True)
+class Circle(SignedDistance):
+    """A circular cylinder of given centre and radius."""
+
+    center: tuple[float, float]
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0.0:
+            raise ConfigurationError(f"radius must be positive, got {self.radius}")
+
+    def sdf(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return np.sqrt((x - self.center[0]) ** 2 + (y - self.center[1]) ** 2) - self.radius
+
+
+class NACA4(SignedDistance):
+    """A NACA 4-digit airfoil (e.g. "2412"), optionally rotated by an angle of attack.
+
+    The surface is sampled as a closed polyline; the SDF is the distance
+    to the nearest segment, signed by an even-odd (ray-casting)
+    inside test.  The paper's §VI-B case is a NACA 2412 at 15 degrees.
+    """
+
+    def __init__(self, code: str = "2412", *, chord: float = 1.0,
+                 leading_edge: tuple[float, float] = (0.0, 0.0),
+                 angle_of_attack_deg: float = 0.0, n_panels: int = 200):
+        if len(code) != 4 or not code.isdigit():
+            raise ConfigurationError(f"NACA code must be 4 digits, got {code!r}")
+        if chord <= 0.0:
+            raise ConfigurationError("chord must be positive")
+        if n_panels < 16:
+            raise ConfigurationError("need at least 16 surface panels")
+        self.code = code
+        self.chord = chord
+        m = int(code[0]) / 100.0          # max camber
+        p = int(code[1]) / 10.0           # camber position
+        t = int(code[2:]) / 100.0         # thickness
+        self._vertices = self._build_surface(m, p, t, chord, leading_edge,
+                                             np.deg2rad(angle_of_attack_deg), n_panels)
+
+    @staticmethod
+    def _build_surface(m, p, t, chord, le, aoa, n) -> np.ndarray:
+        # Cosine-clustered chordwise stations.
+        beta = np.linspace(0.0, np.pi, n)
+        xc = 0.5 * (1.0 - np.cos(beta))
+        yt = 5.0 * t * (0.2969 * np.sqrt(xc) - 0.1260 * xc - 0.3516 * xc ** 2
+                        + 0.2843 * xc ** 3 - 0.1036 * xc ** 4)  # closed trailing edge
+        if m > 0.0 and 0.0 < p < 1.0:
+            yc = np.where(xc < p,
+                          m / p ** 2 * (2.0 * p * xc - xc ** 2),
+                          m / (1.0 - p) ** 2 * ((1.0 - 2.0 * p) + 2.0 * p * xc - xc ** 2))
+            dyc = np.where(xc < p,
+                           2.0 * m / p ** 2 * (p - xc),
+                           2.0 * m / (1.0 - p) ** 2 * (p - xc))
+        else:
+            yc = np.zeros_like(xc)
+            dyc = np.zeros_like(xc)
+        theta = np.arctan(dyc)
+        xu = xc - yt * np.sin(theta)
+        yu = yc + yt * np.cos(theta)
+        xl = xc + yt * np.sin(theta)
+        yl = yc - yt * np.cos(theta)
+        # Closed loop: upper surface TE->LE then lower LE->TE.
+        xs = np.concatenate([xu[::-1], xl[1:]])
+        ys = np.concatenate([yu[::-1], yl[1:]])
+        # Scale, rotate about the leading edge (negative AoA pitches nose-up
+        # for flow in +x), then translate.
+        ca, sa = np.cos(-aoa), np.sin(-aoa)
+        xr = ca * xs - sa * ys
+        yr = sa * xs + ca * ys
+        verts = np.stack([le[0] + chord * xr, le[1] + chord * yr], axis=1)
+        return np.asarray(verts, dtype=DTYPE)
+
+    @property
+    def vertices(self) -> np.ndarray:
+        """Surface polyline vertices, shape ``(nv, 2)``, closed implicitly."""
+        return self._vertices
+
+    def sdf(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        y = np.asarray(y, dtype=DTYPE)
+        pts = np.stack([x.ravel(), y.ravel()], axis=1)
+        dist = _distance_to_polyline(pts, self._vertices)
+        inside = _points_in_polygon(pts, self._vertices)
+        sd = np.where(inside, -dist, dist)
+        return sd.reshape(x.shape)
+
+
+def _distance_to_polyline(pts: np.ndarray, verts: np.ndarray) -> np.ndarray:
+    """Minimum distance of each point to the closed polyline ``verts``.
+
+    Vectorized over segments in manageable chunks to bound peak memory.
+    """
+    a = verts
+    b = np.roll(verts, -1, axis=0)
+    ab = b - a
+    ab2 = np.maximum((ab * ab).sum(axis=1), 1e-300)
+    best = np.full(pts.shape[0], np.inf, dtype=DTYPE)
+    chunk = max(1, 2_000_000 // max(a.shape[0], 1))
+    for s in range(0, pts.shape[0], chunk):
+        p = pts[s: s + chunk]
+        ap = p[:, None, :] - a[None, :, :]
+        tt = np.clip((ap * ab[None, :, :]).sum(axis=2) / ab2[None, :], 0.0, 1.0)
+        closest = a[None, :, :] + tt[:, :, None] * ab[None, :, :]
+        d2 = ((p[:, None, :] - closest) ** 2).sum(axis=2)
+        best[s: s + chunk] = np.sqrt(d2.min(axis=1))
+    return best
+
+
+def _points_in_polygon(pts: np.ndarray, verts: np.ndarray) -> np.ndarray:
+    """Even-odd (ray casting) inside test, vectorized over points."""
+    x, y = pts[:, 0], pts[:, 1]
+    inside = np.zeros(pts.shape[0], dtype=bool)
+    x1, y1 = verts[:, 0], verts[:, 1]
+    x2, y2 = np.roll(x1, -1), np.roll(y1, -1)
+    for i in range(verts.shape[0]):
+        cond = (y1[i] > y) != (y2[i] > y)
+        if not np.any(cond):
+            continue
+        xi = x1[i] + (y - y1[i]) / (y2[i] - y1[i] + 1e-300) * (x2[i] - x1[i])
+        inside ^= cond & (x < xi)
+    return inside

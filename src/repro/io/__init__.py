@@ -1,0 +1,43 @@
+"""File I/O: binary snapshots, parallel-write strategies, post-processing.
+
+The paper (§III-A) describes MFC's two write strategies — one shared
+MPI-IO binary file, or one file per process with access granted in
+128-rank waves — and a host-side post-processor that turns the binary
+files into SILO databases for ParaView/VisIt.  This package implements
+working analogs of all three:
+
+* :mod:`repro.io.binary` — the snapshot format (header + raw float64),
+* :mod:`repro.io.parallel` — shared-file and file-per-process writers
+  over a block decomposition, with wave throttling and byte accounting,
+* :mod:`repro.io.silo` — the post-processor ("SILO" stands in for a
+  portable ``.npz`` database with coordinates and named fields),
+* :mod:`repro.io.case_files` — JSON case files, the analog of MFC's
+  Python-dictionary input decks.
+"""
+
+from repro.io.binary import SnapshotHeader, read_snapshot, write_snapshot
+from repro.io.parallel import (
+    gather_shared_file,
+    write_file_per_process,
+    write_shared_file,
+)
+from repro.io.silo import export_silo, load_silo
+from repro.io.case_files import case_from_dict, case_to_dict, load_case, save_case
+from repro.io.series import SeriesReader, SeriesWriter
+
+__all__ = [
+    "SnapshotHeader",
+    "write_snapshot",
+    "read_snapshot",
+    "write_shared_file",
+    "gather_shared_file",
+    "write_file_per_process",
+    "export_silo",
+    "load_silo",
+    "case_from_dict",
+    "case_to_dict",
+    "load_case",
+    "save_case",
+    "SeriesWriter",
+    "SeriesReader",
+]

@@ -1,0 +1,89 @@
+"""Binary snapshot format (MFC's MPI-IO binary file analog).
+
+A snapshot is a fixed-size header followed by the raw C-order float64
+state.  The header carries everything a restart or post-processor needs:
+magic, format version, step, simulation time, variable count, and the
+spatial extents.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.common import ConfigurationError, DTYPE
+
+MAGIC = b"MFCR"
+VERSION = 1
+_HEADER_FMT = "<4sHHqd4q"  # magic, version, ndim, step, time, nvars + 3 extents
+HEADER_BYTES = struct.calcsize(_HEADER_FMT)
+
+
+@dataclass(frozen=True)
+class SnapshotHeader:
+    """Metadata of one snapshot."""
+
+    step: int
+    time: float
+    nvars: int
+    shape: tuple[int, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def pack(self) -> bytes:
+        extents = list(self.shape) + [0] * (3 - len(self.shape))
+        return struct.pack(_HEADER_FMT, MAGIC, VERSION, self.ndim,
+                           self.step, self.time, self.nvars, *extents)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SnapshotHeader":
+        magic, version, ndim, step, time, nvars, *extents = struct.unpack(
+            _HEADER_FMT, raw)
+        if magic != MAGIC:
+            raise ConfigurationError("not a repro snapshot file (bad magic)")
+        if version != VERSION:
+            raise ConfigurationError(f"unsupported snapshot version {version}")
+        if not 1 <= ndim <= 3:
+            raise ConfigurationError(f"corrupt snapshot: ndim={ndim}")
+        return cls(step=step, time=time, nvars=nvars,
+                   shape=tuple(extents[:ndim]))
+
+    def nbytes(self) -> int:
+        n = self.nvars
+        for s in self.shape:
+            n *= s
+        return n * 8
+
+
+def write_snapshot(path: str | Path, q: np.ndarray, *, step: int,
+                   time: float) -> int:
+    """Write a conservative field ``(nvars, *shape)``; returns bytes written."""
+    if q.dtype != DTYPE:
+        raise ConfigurationError(f"snapshots store {DTYPE}, got {q.dtype}")
+    if not 2 <= q.ndim <= 4:
+        raise ConfigurationError(f"expected (nvars, *spatial) field, got ndim={q.ndim}")
+    header = SnapshotHeader(step=step, time=time, nvars=q.shape[0],
+                            shape=q.shape[1:])
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(header.pack())
+        fh.write(np.ascontiguousarray(q).tobytes())
+    return HEADER_BYTES + header.nbytes()
+
+
+def read_snapshot(path: str | Path) -> tuple[SnapshotHeader, np.ndarray]:
+    """Read a snapshot back; returns ``(header, field)``."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        header = SnapshotHeader.unpack(fh.read(HEADER_BYTES))
+        data = fh.read(header.nbytes())
+    if len(data) != header.nbytes():
+        raise ConfigurationError(
+            f"truncated snapshot {path}: {len(data)} of {header.nbytes()} bytes")
+    q = np.frombuffer(data, dtype=DTYPE).reshape((header.nvars, *header.shape))
+    return header, q.copy()

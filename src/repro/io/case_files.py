@@ -1,0 +1,112 @@
+"""JSON case files — the analog of MFC's input decks.
+
+MFC cases are Python dictionaries naming the grid, the fluids'
+stiffened-gas parameters, and a list of geometric patches.  This module
+round-trips :class:`~repro.solver.case.Case` objects through a plain
+JSON-serialisable dictionary with the same structure, so cases can be
+saved, versioned, and launched from the command line
+(``python -m repro run case.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common import ConfigurationError
+from repro.eos import Mixture, StiffenedGas
+from repro.grid import StructuredGrid
+from repro.solver.case import Case, Patch, box, halfspace, sphere
+
+#: Geometry kinds a case file may reference.
+GEOMETRY_KINDS = ("box", "sphere", "halfspace")
+
+
+def _geometry_from_dict(g: dict):
+    kind = g.get("kind")
+    if kind == "box":
+        return box(g["lo"], g["hi"])
+    if kind == "sphere":
+        return sphere(g["center"], g["radius"])
+    if kind == "halfspace":
+        return halfspace(int(g["axis"]), float(g["threshold"]),
+                         side=g.get("side", "below"))
+    raise ConfigurationError(
+        f"unknown patch geometry kind {kind!r}; choose from {GEOMETRY_KINDS}")
+
+
+def case_from_dict(spec: dict) -> Case:
+    """Build a :class:`Case` from a case-file dictionary."""
+    for key in ("grid", "fluids", "patches"):
+        if key not in spec:
+            raise ConfigurationError(f"case file missing {key!r} section")
+
+    gspec = spec["grid"]
+    bounds = tuple(tuple(float(v) for v in b) for b in gspec["bounds"])
+    shape = tuple(int(n) for n in gspec["shape"])
+    stretch = gspec.get("stretching")
+    if stretch:
+        grid = StructuredGrid.stretched(
+            bounds, shape, focus=tuple(float(v) for v in stretch["focus"]),
+            strength=float(stretch.get("strength", 2.0)),
+            width=float(stretch.get("width", 0.2)))
+    else:
+        grid = StructuredGrid.uniform(bounds, shape)
+
+    fluids = tuple(
+        StiffenedGas(gamma=float(f["gamma"]), pi_inf=float(f.get("pi_inf", 0.0)),
+                     name=str(f.get("name", f"fluid{i}")))
+        for i, f in enumerate(spec["fluids"]))
+    case = Case(grid, Mixture(fluids))
+
+    for pspec in spec["patches"]:
+        case.add(Patch(
+            region=_geometry_from_dict(pspec["geometry"]),
+            alpha_rho=tuple(float(v) for v in pspec["alpha_rho"]),
+            velocity=tuple(float(v) for v in pspec["velocity"]),
+            pressure=float(pspec["pressure"]),
+            alpha=tuple(float(v) for v in pspec["alpha"]),
+            smear=float(pspec.get("smear", 0.0)),
+        ))
+    return case
+
+
+def case_to_dict(case: Case, *, geometries: list[dict]) -> dict:
+    """Serialise a case; closures cannot be introspected, so the caller
+    supplies the geometry dictionaries in patch order."""
+    if len(geometries) != len(case.patches):
+        raise ConfigurationError(
+            f"{len(geometries)} geometry specs for {len(case.patches)} patches")
+    grid = case.grid
+    bounds = [[float(f[0]), float(f[-1])] for f in grid.faces]
+    spec = {
+        "grid": {"bounds": bounds, "shape": list(grid.shape)},
+        "fluids": [{"gamma": f.gamma, "pi_inf": f.pi_inf, "name": f.name}
+                   for f in case.mixture.fluids],
+        "patches": [],
+    }
+    for patch, g in zip(case.patches, geometries):
+        if g.get("kind") not in GEOMETRY_KINDS:
+            raise ConfigurationError(f"invalid geometry spec {g!r}")
+        spec["patches"].append({
+            "geometry": g,
+            "alpha_rho": list(patch.alpha_rho),
+            "velocity": list(patch.velocity),
+            "pressure": patch.pressure,
+            "alpha": list(patch.alpha),
+            "smear": patch.smear,
+        })
+    return spec
+
+
+def load_case(path: str | Path) -> Case:
+    """Load a case from a JSON file."""
+    with Path(path).open() as fh:
+        return case_from_dict(json.load(fh))
+
+
+def save_case(path: str | Path, spec: dict) -> None:
+    """Write a case-file dictionary as JSON (validating it builds first)."""
+    case_from_dict(spec)  # raises on malformed specs
+    with Path(path).open("w") as fh:
+        json.dump(spec, fh, indent=2)

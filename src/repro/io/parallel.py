@@ -1,0 +1,139 @@
+"""Parallel write strategies over a block decomposition (paper §III-A).
+
+Both strategies MFC used are implemented functionally over simulated
+ranks:
+
+* **Shared file** — every rank's block is written into one binary file
+  at its global offset (the MPI-IO collective-write analog); a gather
+  routine reassembles the global field.
+* **File per process** — each rank writes its own snapshot, with file
+  creation throttled to waves of (by default) 128 ranks.  "Write access
+  is allowed in waves of 128 processes" — the wave schedule is returned
+  so tests can assert the throttling behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.decomposition import BlockDecomposition
+from repro.common import ConfigurationError, DTYPE
+from repro.io.binary import HEADER_BYTES, SnapshotHeader, read_snapshot, write_snapshot
+
+
+@dataclass(frozen=True)
+class WaveSchedule:
+    """Which ranks wrote in which wave (file-per-process strategy)."""
+
+    wave_size: int
+    waves: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_waves(self) -> int:
+        return len(self.waves)
+
+
+def write_shared_file(path: str | Path, decomp: BlockDecomposition,
+                      blocks: list[np.ndarray], *, step: int, time: float) -> int:
+    """All ranks write into one shared binary file at their global offsets.
+
+    Layout: one snapshot header for the *global* field, then the global
+    C-order array; each rank writes only its slab of bytes (via seek),
+    exactly as MPI-IO file views do.  Returns total bytes written.
+    """
+    if len(blocks) != decomp.nranks:
+        raise ConfigurationError(
+            f"{len(blocks)} blocks for {decomp.nranks} ranks")
+    nvars = blocks[0].shape[0]
+    header = SnapshotHeader(step=step, time=time, nvars=nvars,
+                            shape=decomp.global_cells)
+    path = Path(path)
+
+    # Pre-size the file (the collective create).
+    with path.open("wb") as fh:
+        fh.write(header.pack())
+        fh.truncate(HEADER_BYTES + header.nbytes())
+
+    itemsize = 8
+    global_shape = decomp.global_cells
+    # Strides (in elements) of the global C-order array.
+    strides = [1] * len(global_shape)
+    for d in range(len(global_shape) - 2, -1, -1):
+        strides[d] = strides[d + 1] * global_shape[d + 1]
+    cells_per_var = int(np.prod(global_shape))
+
+    total = HEADER_BYTES
+    with path.open("r+b") as fh:
+        for rank, block in enumerate(blocks):
+            slices = decomp.local_slices(rank)
+            if block.shape != (nvars, *decomp.local_cells(rank)):
+                raise ConfigurationError(f"rank {rank}: block shape mismatch")
+            # Write contiguous runs along the last axis.
+            last = slices[-1]
+            run = last.stop - last.start
+            outer_shape = block.shape[1:-1]
+            for var in range(nvars):
+                var_base = var * cells_per_var
+                for idx in np.ndindex(*outer_shape) if outer_shape else [()]:
+                    offset = var_base + last.start * strides[-1]
+                    for d, i in enumerate(idx):
+                        offset += (slices[d].start + i) * strides[d]
+                    fh.seek(HEADER_BYTES + offset * itemsize)
+                    row = block[(var, *idx, slice(None))]
+                    fh.write(np.ascontiguousarray(row).tobytes())
+                    total += run * itemsize
+    return total
+
+
+def gather_shared_file(path: str | Path) -> tuple[SnapshotHeader, np.ndarray]:
+    """Read a shared file back as the global field."""
+    return read_snapshot(path)
+
+
+def write_file_per_process(directory: str | Path, decomp: BlockDecomposition,
+                           blocks: list[np.ndarray], *, step: int, time: float,
+                           wave_size: int = 128) -> WaveSchedule:
+    """Each rank writes ``rank_<r>.bin`` in its own wave slot.
+
+    Returns the wave schedule; files land in ``directory``.
+    """
+    if wave_size < 1:
+        raise ConfigurationError("wave_size must be >= 1")
+    if len(blocks) != decomp.nranks:
+        raise ConfigurationError(
+            f"{len(blocks)} blocks for {decomp.nranks} ranks")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    waves = []
+    ranks = list(range(decomp.nranks))
+    for start in range(0, len(ranks), wave_size):
+        wave = tuple(ranks[start: start + wave_size])
+        for rank in wave:
+            write_snapshot(directory / f"rank_{rank:06d}.bin", blocks[rank],
+                           step=step, time=time)
+        waves.append(wave)
+    return WaveSchedule(wave_size=wave_size, waves=tuple(waves))
+
+
+def gather_file_per_process(directory: str | Path,
+                            decomp: BlockDecomposition) -> tuple[SnapshotHeader, np.ndarray]:
+    """Reassemble the global field from per-rank files."""
+    directory = Path(directory)
+    header0 = None
+    out = None
+    for rank in range(decomp.nranks):
+        header, block = read_snapshot(directory / f"rank_{rank:06d}.bin")
+        if out is None:
+            header0 = SnapshotHeader(step=header.step, time=header.time,
+                                     nvars=header.nvars,
+                                     shape=decomp.global_cells)
+            out = np.empty((header.nvars, *decomp.global_cells), dtype=DTYPE)
+        if block.shape[1:] != decomp.local_cells(rank):
+            raise ConfigurationError(f"rank {rank}: stored block shape mismatch")
+        out[(slice(None), *decomp.local_slices(rank))] = block
+    assert header0 is not None and out is not None
+    return header0, out

@@ -1,0 +1,97 @@
+"""Snapshot time series with a JSON manifest.
+
+MFC writes restart/visualization files every O(10^3) steps (§III-A);
+a run therefore produces a *series* of snapshots.  :class:`SeriesWriter`
+manages the naming, interval logic, and a manifest (``series.json``)
+recording step/time/file for each member, so post-processing tools can
+iterate a run without globbing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.common import ConfigurationError
+from repro.io.binary import read_snapshot, write_snapshot
+
+MANIFEST_NAME = "series.json"
+
+
+@dataclass
+class SeriesEntry:
+    step: int
+    time: float
+    filename: str
+
+
+class SeriesWriter:
+    """Writes snapshots every ``interval`` steps plus a manifest."""
+
+    def __init__(self, directory: str | Path, *, interval: int = 100,
+                 prefix: str = "snap"):
+        if interval < 1:
+            raise ConfigurationError("interval must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.interval = interval
+        self.prefix = prefix
+        self.entries: list[SeriesEntry] = []
+
+    def maybe_write(self, q: np.ndarray, *, step: int, time: float) -> bool:
+        """Write if ``step`` is on the interval (or step 0); returns True if written."""
+        if step % self.interval != 0:
+            return False
+        self.write(q, step=step, time=time)
+        return True
+
+    def write(self, q: np.ndarray, *, step: int, time: float) -> str:
+        name = f"{self.prefix}_{step:08d}.bin"
+        write_snapshot(self.directory / name, q, step=step, time=time)
+        self.entries.append(SeriesEntry(step=step, time=time, filename=name))
+        self._write_manifest()
+        return name
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "prefix": self.prefix,
+            "interval": self.interval,
+            "snapshots": [vars(e) for e in self.entries],
+        }
+        with (self.directory / MANIFEST_NAME).open("w") as fh:
+            json.dump(manifest, fh, indent=2)
+
+    def callback(self, sim, record) -> None:
+        """`Simulation.run` callback: snapshot on the configured interval."""
+        self.maybe_write(sim.q, step=record.step, time=record.time)
+
+
+class SeriesReader:
+    """Iterates the snapshots a :class:`SeriesWriter` produced."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        manifest_path = self.directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ConfigurationError(f"no {MANIFEST_NAME} in {self.directory}")
+        with manifest_path.open() as fh:
+            manifest = json.load(fh)
+        self.entries = [SeriesEntry(**e) for e in manifest["snapshots"]]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        for entry in self.entries:
+            header, q = read_snapshot(self.directory / entry.filename)
+            yield header, q
+
+    def times(self) -> list[float]:
+        return [e.time for e in self.entries]
+
+    def load(self, index: int):
+        entry = self.entries[index]
+        return read_snapshot(self.directory / entry.filename)

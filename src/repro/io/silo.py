@@ -1,0 +1,76 @@
+"""Post-processing: snapshot -> visualization database (SILO analog).
+
+MFC's host-side post-processor reads the MPI-IO binary files and writes
+SILO databases for ParaView/VisIt (paper §III-A).  Here the portable
+database is a compressed ``.npz`` holding the mesh coordinates and one
+named array per primitive variable plus derived fields (mixture density,
+velocity magnitude, and in 2D the z-vorticity) — everything a plotting
+script needs, with self-describing keys.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.common import ConfigurationError
+from repro.eos.mixture import Mixture
+from repro.grid.cartesian import StructuredGrid
+from repro.io.binary import read_snapshot
+from repro.state.conversions import cons_to_prim
+from repro.state.layout import StateLayout
+
+
+def export_silo(snapshot_path: str | Path, out_path: str | Path,
+                grid: StructuredGrid, mixture: Mixture) -> dict[str, np.ndarray]:
+    """Convert a binary snapshot into a visualization database.
+
+    Returns the dictionary that was written (handy for testing and for
+    immediate plotting without re-reading).
+    """
+    header, q = read_snapshot(snapshot_path)
+    if q.shape[1:] != grid.shape:
+        raise ConfigurationError(
+            f"snapshot grid {q.shape[1:]} does not match grid {grid.shape}")
+    layout = StateLayout(ncomp=mixture.ncomp, ndim=grid.ndim)
+    if layout.nvars != header.nvars:
+        raise ConfigurationError(
+            f"snapshot has {header.nvars} variables, layout expects {layout.nvars}")
+    prim = cons_to_prim(layout, mixture, q)
+
+    db: dict[str, np.ndarray] = {
+        "step": np.array(header.step),
+        "time": np.array(header.time),
+    }
+    for d in range(grid.ndim):
+        db[f"coord_{'xyz'[d]}"] = grid.centers(d)
+    for i in range(layout.ncomp):
+        db[f"alpha_rho_{i}"] = prim[i]
+    for d in range(grid.ndim):
+        db[f"velocity_{'xyz'[d]}"] = prim[layout.momentum_component(d)]
+    db["pressure"] = prim[layout.pressure]
+    for i in range(layout.n_advected):
+        db[f"alpha_{i}"] = prim[layout.advected][i]
+
+    # Derived fields the paper's renders use.
+    rho = prim[layout.partial_densities].sum(axis=0)
+    db["density"] = rho
+    vel = prim[layout.velocity]
+    db["speed"] = np.sqrt((vel ** 2).sum(axis=0))
+    if grid.ndim == 2:
+        dx = np.gradient(grid.centers(0))
+        dy = np.gradient(grid.centers(1))
+        dvdx = np.gradient(vel[1], axis=0) / dx[:, None]
+        dudy = np.gradient(vel[0], axis=1) / dy[None, :]
+        db["vorticity_z"] = dvdx - dudy
+
+    np.savez_compressed(out_path, **db)
+    return db
+
+
+def load_silo(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a database written by :func:`export_silo`."""
+    with np.load(Path(path).with_suffix(".npz") if not str(path).endswith(".npz")
+                 else path) as data:
+        return {k: data[k] for k in data.files}

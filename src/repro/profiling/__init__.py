@@ -1,0 +1,19 @@
+"""Kernel-time accounting and report generation (nsight/rocprof analog)."""
+
+from repro.profiling.profiler import KernelRecord, Profile
+from repro.profiling.modeled import ModeledRun
+from repro.profiling.counters import KernelCounters, counters_report, kernel_counters
+from repro.profiling.reports import device_comparison_report, kernel_stats_report
+from repro.profiling.roofline_plot import roofline_chart
+
+__all__ = [
+    "KernelRecord",
+    "Profile",
+    "ModeledRun",
+    "KernelCounters",
+    "kernel_counters",
+    "counters_report",
+    "kernel_stats_report",
+    "device_comparison_report",
+    "roofline_chart",
+]

@@ -1,0 +1,77 @@
+"""Profiler reports in the style of nsight-compute / omniperf summaries.
+
+The paper's §V numbers come from kernel-level profiler output; this
+module renders a :class:`~repro.profiling.profiler.Profile` into the
+same kind of table — per-kernel runtime share, achieved GFLOP/s,
+arithmetic intensity, roofline bound-ness, and fraction of the
+attainable ceiling — plus a device-comparison view for the Figs. 6-7
+layout.
+"""
+
+from __future__ import annotations
+
+from repro.common import ConfigurationError
+from repro.hardware.devices import DeviceSpec
+from repro.hardware.roofline import attainable_gflops, ridge_intensity
+from repro.profiling.profiler import Profile
+
+
+def kernel_stats_report(profile: Profile, device: DeviceSpec) -> str:
+    """The per-kernel summary table a GPU profiler would print."""
+    total = profile.total_seconds()
+    if total <= 0.0:
+        raise ConfigurationError("profile has no recorded time")
+    lines = [
+        f"kernel statistics on {device.name} "
+        f"(peak {device.roofline_peak_gflops:.0f} GF/s, "
+        f"BW {device.mem_bw_gbps:.0f} GB/s)",
+        f"{'kernel':<24} {'time ms':>9} {'%':>6} {'GF/s':>8} {'AI':>6} "
+        f"{'bound':>8} {'% roof':>7}",
+    ]
+    for rec in sorted(profile.records.values(), key=lambda r: -r.seconds):
+        pct = 100.0 * rec.seconds / total
+        if rec.flops > 0.0 and rec.bytes > 0.0:
+            ai = rec.intensity
+            gfs = rec.achieved_gflops
+            bound = "memory" if ai < ridge_intensity(device) else "compute"
+            frac = 100.0 * gfs / attainable_gflops(device, ai)
+            lines.append(f"{rec.name:<24} {rec.seconds * 1e3:>9.3f} {pct:>6.1f} "
+                         f"{gfs:>8.0f} {ai:>6.2f} {bound:>8} {frac:>6.1f}%")
+        else:
+            bw = rec.bytes / rec.seconds / 1e9 if rec.seconds > 0 else 0.0
+            frac = 100.0 * bw / device.mem_bw_gbps
+            lines.append(f"{rec.name:<24} {rec.seconds * 1e3:>9.3f} {pct:>6.1f} "
+                         f"{'--':>8} {'--':>6} {'memory':>8} {frac:>6.1f}%")
+    return "\n".join(lines)
+
+
+def device_comparison_report(profiles: dict[str, Profile],
+                             *, normalize: bool = False) -> str:
+    """Side-by-side kernel-family table across devices (Figs. 6-7 layout).
+
+    ``normalize=True`` prints percentage shares (Fig. 6); otherwise
+    absolute milliseconds (Fig. 7).
+    """
+    if not profiles:
+        raise ConfigurationError("no profiles to compare")
+    families: list[str] = []
+    for p in profiles.values():
+        for fam in p.class_seconds():
+            if fam not in families:
+                families.append(fam)
+
+    header = f"{'device':<18} " + " ".join(f"{f:>10}" for f in families) \
+        + f" {'total ms':>10}"
+    lines = [header]
+    for name, p in profiles.items():
+        cs = p.class_seconds()
+        total = p.total_seconds()
+        cells = []
+        for fam in families:
+            v = cs.get(fam, 0.0)
+            if normalize:
+                cells.append(f"{100.0 * v / total:>9.1f}%" if total else f"{'--':>10}")
+            else:
+                cells.append(f"{v * 1e3:>10.3f}")
+        lines.append(f"{name:<18} " + " ".join(cells) + f" {total * 1e3:>10.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Text-mode roofline charts (the Fig. 1 renderer).
+
+Produces a log-log ASCII roofline — bandwidth slope, compute ceiling,
+and kernel markers — suitable for terminals and the benchmark result
+artifacts.  The same information the paper plots with nsight-compute /
+omniperf output.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common import ConfigurationError
+from repro.hardware.devices import DeviceSpec
+from repro.hardware.roofline import RooflinePoint, attainable_gflops, ridge_intensity
+
+
+def roofline_chart(device: DeviceSpec, points: list[RooflinePoint], *,
+                   width: int = 64, height: int = 18,
+                   ai_range: tuple[float, float] = (0.125, 128.0)) -> str:
+    """Render the device roofline with kernel markers.
+
+    Markers are the first letter of each kernel's name (uppercase when
+    the kernel is compute-bound on this device).
+    """
+    if width < 16 or height < 6:
+        raise ConfigurationError("chart must be at least 16 x 6 characters")
+    ai_lo, ai_hi = ai_range
+    if not 0.0 < ai_lo < ai_hi:
+        raise ConfigurationError("invalid arithmetic-intensity range")
+
+    perf_hi = device.roofline_peak_gflops * 2.0
+    perf_lo = attainable_gflops(device, ai_lo) / 64.0
+
+    def col(ai: float) -> int:
+        frac = (math.log(ai) - math.log(ai_lo)) / (math.log(ai_hi) - math.log(ai_lo))
+        return min(max(int(frac * (width - 1)), 0), width - 1)
+
+    def row(gflops: float) -> int:
+        gflops = max(gflops, perf_lo)
+        frac = (math.log(gflops) - math.log(perf_lo)) \
+            / (math.log(perf_hi) - math.log(perf_lo))
+        return min(max(int((1.0 - frac) * (height - 1)), 0), height - 1)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    # The roof itself.
+    for c in range(width):
+        ai = ai_lo * (ai_hi / ai_lo) ** (c / (width - 1))
+        r = row(attainable_gflops(device, ai))
+        grid[r][c] = "-" if ai >= ridge_intensity(device) else "/"
+    ridge_c = col(ridge_intensity(device))
+    grid[row(device.roofline_peak_gflops)][ridge_c] = "+"
+
+    # Kernel markers.
+    for pt in points:
+        marker = (pt.kernel[:1] or "?")
+        marker = marker.upper() if pt.bound == "compute" else marker.lower()
+        grid[row(pt.achieved_gflops)][col(pt.intensity)] = marker
+
+    lines = [f"{device.name}: peak {device.roofline_peak_gflops:.0f} GF/s, "
+             f"BW {device.mem_bw_gbps:.0f} GB/s, "
+             f"ridge {ridge_intensity(device):.1f} F/B"]
+    for r in range(height):
+        lines.append("|" + "".join(grid[r]) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f" AI: {ai_lo:g} -> {ai_hi:g} FLOP/B (log); "
+                 f"perf: {perf_lo:.0f} -> {perf_hi:.0f} GF/s (log)")
+    legend = ", ".join(f"{(p.kernel[:1].upper() if p.bound == 'compute' else p.kernel[:1].lower())}={p.kernel}"
+                       f" ({100 * p.fraction_of_peak:.0f}% peak, {p.bound}-bound)"
+                       for p in points)
+    if legend:
+        lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Approximate Riemann solvers for the five-equation model (paper §II-B).
+
+The HLLC solver is the one MFC uses and the paper profiles (it is the
+single most expensive kernel).  HLL and Rusanov are provided as more
+dissipative baselines for comparison and testing.
+
+All solvers share one interface: given left/right primitive face states
+of shape ``(nvars, ...)`` they return ``(flux, u_face)`` where ``flux``
+is the numerical flux of the conservative variables and ``u_face`` the
+interface normal velocity used by the nonconservative
+:math:`\\alpha\\,\\nabla\\!\\cdot u` term.
+"""
+
+from repro.riemann.common import FaceStates, decompose_faces, physical_flux
+from repro.riemann.hllc import hllc_flux
+from repro.riemann.hll import hll_flux
+from repro.riemann.rusanov import rusanov_flux
+
+SOLVERS = {
+    "hllc": hllc_flux,
+    "hll": hll_flux,
+    "rusanov": rusanov_flux,
+}
+
+__all__ = [
+    "FaceStates",
+    "decompose_faces",
+    "physical_flux",
+    "hllc_flux",
+    "hll_flux",
+    "rusanov_flux",
+    "SOLVERS",
+]

@@ -1,0 +1,39 @@
+"""HLL approximate Riemann solver (two-wave baseline).
+
+More dissipative than HLLC at contact discontinuities — which is exactly
+where a diffuse-interface multiphase solver lives — so it serves as the
+"why HLLC" baseline in tests and ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eos.mixture import Mixture
+from repro.riemann.common import advect_volume_fractions, decompose_faces
+from repro.state.layout import StateLayout
+
+
+def hll_flux(layout: StateLayout, mixture: Mixture,
+             prim_l: np.ndarray, prim_r: np.ndarray, direction: int):
+    """HLL flux and interface velocity; same interface as :func:`hllc_flux`."""
+    L = decompose_faces(layout, mixture, prim_l, direction)
+    R = decompose_faces(layout, mixture, prim_r, direction)
+
+    s_l = np.minimum(L.un - L.c, R.un - R.c)
+    s_r = np.maximum(L.un + L.c, R.un + R.c)
+
+    # Single-state middle flux; guard s_r == s_l (identical silent states).
+    den = s_r - s_l
+    tiny = np.finfo(den.dtype).tiny
+    safe_den = np.where(np.abs(den) < tiny, 1.0, den)
+    middle = (s_r * L.flux - s_l * R.flux + s_l * s_r * (R.cons - L.cons)) / safe_den
+    middle = np.where(np.abs(den) < tiny, L.flux, middle)
+
+    flux = np.where(s_l >= 0.0, L.flux, np.where(s_r <= 0.0, R.flux, middle))
+
+    # HLL has no contact wave; use the Roe-like average bounded by the fan.
+    u_mid = 0.5 * (L.un + R.un)
+    u_face = np.where(s_l >= 0.0, L.un, np.where(s_r <= 0.0, R.un, u_mid))
+    advect_volume_fractions(layout, flux, prim_l, prim_r, u_face)
+    return flux, u_face

@@ -1,0 +1,86 @@
+"""HLLC approximate Riemann solver (Toro), adapted to the five-equation model.
+
+This is MFC's production flux and — with WENO — one of the two kernels
+the paper's roofline and breakdown figures track.  Wave-speed estimates
+are the Davis bounds; the contact speed and star states follow Toro's
+restoration of the contact wave, with every "density-like" conserved
+variable (partial densities and advected volume fractions) scaled by the
+same star-region compression factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eos.mixture import Mixture
+from repro.riemann.common import advect_volume_fractions, decompose_faces
+from repro.state.layout import StateLayout
+
+
+def hllc_flux(layout: StateLayout, mixture: Mixture,
+              prim_l: np.ndarray, prim_r: np.ndarray, direction: int):
+    """HLLC flux and interface velocity for batched face states.
+
+    Parameters
+    ----------
+    prim_l, prim_r:
+        Primitive states just left/right of each face, shape ``(nvars, ...)``.
+    direction:
+        Face-normal dimension index.
+
+    Returns
+    -------
+    (flux, u_face):
+        ``flux`` has the shape of the inputs; ``u_face`` the shape of one
+        variable.  ``u_face`` is the x/t = 0 sample of the interface
+        velocity (``S*`` inside the star region), which the RHS uses for
+        the nonconservative volume-fraction source.
+    """
+    L = decompose_faces(layout, mixture, prim_l, direction)
+    R = decompose_faces(layout, mixture, prim_r, direction)
+
+    # Davis wave-speed estimates.
+    s_l = np.minimum(L.un - L.c, R.un - R.c)
+    s_r = np.maximum(L.un + L.c, R.un + R.c)
+
+    # Contact speed.  The denominator vanishes only for identical states
+    # with zero normal-velocity jump, where any finite S* gives the same
+    # flux; guard it to avoid 0/0.
+    num = R.p - L.p + L.rho * L.un * (s_l - L.un) - R.rho * R.un * (s_r - R.un)
+    den = L.rho * (s_l - L.un) - R.rho * (s_r - R.un)
+    tiny = np.finfo(den.dtype).tiny
+    safe_den = np.where(np.abs(den) < tiny, tiny, den)
+    s_star = num / safe_den
+    s_star = np.where(np.abs(den) < tiny, 0.5 * (L.un + R.un), s_star)
+
+    flux = np.where(s_l >= 0.0, L.flux, R.flux)
+    star_l = _star_flux(layout, L, s_l, s_star, direction)
+    star_r = _star_flux(layout, R, s_r, s_star, direction)
+    in_star_l = (s_l < 0.0) & (s_star >= 0.0)
+    in_star_r = (s_star < 0.0) & (s_r >= 0.0)
+    flux = np.where(in_star_l, star_l, flux)
+    flux = np.where(in_star_r, star_r, flux)
+
+    u_face = np.where(s_l >= 0.0, L.un, np.where(s_r <= 0.0, R.un, s_star))
+    advect_volume_fractions(layout, flux, prim_l, prim_r, u_face)
+    return flux, u_face
+
+
+def _star_flux(layout: StateLayout, K, s_k: np.ndarray, s_star: np.ndarray,
+               direction: int) -> np.ndarray:
+    """``F_K + S_K (q*_K - q_K)`` for one side of the fan."""
+    factor = (s_k - K.un) / (s_k - s_star)
+    q_star = np.empty_like(K.cons)
+    q_star[layout.partial_densities] = K.cons[layout.partial_densities] * factor
+    rho_star = K.rho * factor
+
+    # Tangential momentum advects unchanged velocity; normal carries S*.
+    q_star[layout.momentum] = K.cons[layout.momentum] * factor
+    q_star[layout.momentum_component(direction)] = rho_star * s_star
+
+    e_k = K.cons[layout.energy] / K.rho
+    q_star[layout.energy] = rho_star * (
+        e_k + (s_star - K.un) * (s_star + K.p / (K.rho * (s_k - K.un))))
+
+    q_star[layout.advected] = K.cons[layout.advected] * factor
+    return K.flux + s_k * (q_star - K.cons)

@@ -1,0 +1,22 @@
+"""Rusanov (local Lax-Friedrichs) flux — the simplest, most dissipative baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eos.mixture import Mixture
+from repro.riemann.common import advect_volume_fractions, decompose_faces
+from repro.state.layout import StateLayout
+
+
+def rusanov_flux(layout: StateLayout, mixture: Mixture,
+                 prim_l: np.ndarray, prim_r: np.ndarray, direction: int):
+    """Rusanov flux and interface velocity; same interface as :func:`hllc_flux`."""
+    L = decompose_faces(layout, mixture, prim_l, direction)
+    R = decompose_faces(layout, mixture, prim_r, direction)
+
+    s_max = np.maximum(np.abs(L.un) + L.c, np.abs(R.un) + R.c)
+    flux = 0.5 * (L.flux + R.flux) - 0.5 * s_max * (R.cons - L.cons)
+    u_face = 0.5 * (L.un + R.un)
+    advect_volume_fractions(layout, flux, prim_l, prim_r, u_face)
+    return flux, u_face

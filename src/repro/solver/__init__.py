@@ -1,0 +1,35 @@
+"""The MFC-equivalent solver: RHS assembly, case setup, simulation driver."""
+
+from repro.solver.rhs import RHS, RHSConfig
+from repro.solver.case import Case, Patch, box, halfspace, sphere
+from repro.solver.simulation import Simulation, StepRecord
+from repro.solver.diagnostics import (
+    enstrophy,
+    interface_cells,
+    kinetic_energy,
+    max_mach,
+    mixedness,
+    phase_volumes,
+)
+from repro.solver.geometry import GEOMETRIES
+from repro.solver.positivity import limit_face_states
+
+__all__ = [
+    "RHS",
+    "RHSConfig",
+    "Case",
+    "Patch",
+    "box",
+    "halfspace",
+    "sphere",
+    "Simulation",
+    "StepRecord",
+    "GEOMETRIES",
+    "limit_face_states",
+    "kinetic_energy",
+    "enstrophy",
+    "max_mach",
+    "phase_volumes",
+    "mixedness",
+    "interface_cells",
+]

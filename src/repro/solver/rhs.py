@@ -1,0 +1,170 @@
+"""Right-hand-side assembly for the five-equation system (paper eq. (1)).
+
+Per direction ``d`` the dimension-split pipeline is exactly MFC's:
+
+1. pad primitives with ghost cells along ``d`` and fill them
+   (physical BCs here; halo exchange in distributed runs),
+2. WENO-reconstruct left/right face states,
+3. solve the face Riemann problems (HLLC by default),
+4. accumulate the conservative flux divergence and the face-velocity
+   divergence for the nonconservative
+   :math:`\\alpha \\nabla\\!\\cdot u` term.
+
+The optional :class:`~repro.common.timing.Stopwatch` records wall time
+per stage under the kernel names the paper's breakdown figures use
+("weno", "riemann", "packing", "other"), so the host-side benches can
+report the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bc.boundary import BoundarySet, fill_axis_ghosts, pad_axis
+from repro.common import ConfigurationError, Stopwatch
+from repro.eos.mixture import Mixture
+from repro.grid.cartesian import StructuredGrid
+from repro.riemann import SOLVERS
+from repro.solver.geometry import (
+    GEOMETRIES,
+    apply_axisymmetric_terms,
+    validate_geometry,
+)
+from repro.solver.positivity import limit_face_states
+from repro.solver.viscous import Viscosity, viscous_rhs
+from repro.state.conversions import cons_to_prim
+from repro.state.layout import StateLayout
+from repro.weno import halo_width, reconstruct_faces
+
+
+@dataclass(frozen=True)
+class RHSConfig:
+    """Numerical options of the RHS.
+
+    ``geometry="axisymmetric"`` interprets a 2D grid as ``(x, r)`` and
+    adds the cylindrical geometric source terms (paper §III-A).
+    """
+
+    weno_order: int = 5
+    riemann_solver: str = "hllc"
+    geometry: str = "cartesian"
+    #: Per-component dynamic viscosities; None runs inviscid (Euler).
+    viscosity: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.riemann_solver not in SOLVERS:
+            raise ConfigurationError(
+                f"unknown Riemann solver {self.riemann_solver!r}; "
+                f"choose from {sorted(SOLVERS)}")
+        halo_width(self.weno_order)  # validates the order
+        if self.geometry not in GEOMETRIES:
+            raise ConfigurationError(
+                f"geometry must be one of {GEOMETRIES}, got {self.geometry!r}")
+        if self.viscosity is not None:
+            Viscosity(tuple(self.viscosity))  # validates
+
+
+@dataclass
+class RHS:
+    """Callable computing :math:`dq/dt` for a conservative field ``q``."""
+
+    layout: StateLayout
+    mixture: Mixture
+    grid: StructuredGrid
+    bcs: BoundarySet
+    config: RHSConfig = field(default_factory=RHSConfig)
+    stopwatch: Stopwatch | None = None
+
+    def __post_init__(self) -> None:
+        if self.grid.ndim != self.layout.ndim:
+            raise ConfigurationError(
+                f"grid is {self.grid.ndim}D but layout expects {self.layout.ndim}D")
+        if self.bcs.ndim() != self.layout.ndim:
+            raise ConfigurationError("boundary set dimensionality mismatch")
+        self._ng = halo_width(self.config.weno_order)
+        self._riemann = SOLVERS[self.config.riemann_solver]
+        validate_geometry(self.config.geometry, self.layout, self.grid)
+        if self.config.geometry == "axisymmetric":
+            self._radius = self.grid.centers(1).reshape(1, -1)
+        else:
+            self._radius = None
+        self._viscosity = (Viscosity(tuple(self.config.viscosity))
+                           if self.config.viscosity is not None else None)
+        if self._viscosity is not None and len(self._viscosity.mu) != self.layout.ncomp:
+            raise ConfigurationError(
+                f"{len(self._viscosity.mu)} viscosities for "
+                f"{self.layout.ncomp} components")
+        #: Cumulative count of face states replaced by the positivity
+        #: fallback (0 in well-resolved single-phase runs).
+        self.limited_faces = 0
+
+    @property
+    def ghost_width(self) -> int:
+        return self._ng
+
+    def __call__(self, q: np.ndarray) -> np.ndarray:
+        layout = self.layout
+        sw = self.stopwatch
+        widths = self.grid.width_fields()
+
+        if sw is not None:
+            with sw.time("other"):
+                prim = cons_to_prim(layout, self.mixture, q)
+        else:
+            prim = cons_to_prim(layout, self.mixture, q)
+
+        dqdt = np.zeros_like(q)
+        divu = np.zeros(q.shape[1:], dtype=q.dtype)
+
+        for d in range(layout.ndim):
+            self._accumulate_direction(prim, d, widths[d], dqdt, divu)
+
+        if self._radius is not None:
+            apply_axisymmetric_terms(layout, prim, q, self._radius, dqdt, divu)
+
+        if self._viscosity is not None:
+            if sw is not None:
+                with sw.time("other"):
+                    dqdt += viscous_rhs(layout, self.grid, prim, self._viscosity)
+            else:
+                dqdt += viscous_rhs(layout, self.grid, prim, self._viscosity)
+
+        # Nonconservative term: dalpha/dt += alpha * div(u).
+        dqdt[layout.advected] += prim[layout.advected] * divu
+        return dqdt
+
+    # ------------------------------------------------------------------
+    def _accumulate_direction(self, prim: np.ndarray, d: int, width: np.ndarray,
+                              dqdt: np.ndarray, divu: np.ndarray) -> None:
+        layout, ng, sw = self.layout, self._ng, self.stopwatch
+        lo, hi = self.bcs.per_axis[d]
+
+        def timed(name):
+            return sw.time(name) if sw is not None else _NullCtx()
+
+        with timed("packing"):
+            padded = pad_axis(prim, d, ng)
+            fill_axis_ghosts(padded, layout, d, ng, lo, hi)
+
+        with timed("weno"):
+            v_l, v_r = reconstruct_faces(padded, d + 1, self.config.weno_order)
+            self.limited_faces += limit_face_states(
+                layout, self.mixture, padded, v_l, v_r, d, ng)
+
+        with timed("riemann"):
+            flux, u_face = self._riemann(layout, self.mixture, v_l, v_r, d)
+
+        with timed("other"):
+            # dq/dt += (F_{i-1/2} - F_{i+1/2}) / dx = -diff(F)/dx.
+            dqdt -= np.diff(flux, axis=d + 1) / width
+            divu += np.diff(u_face, axis=d) / width
+
+
+class _NullCtx:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None

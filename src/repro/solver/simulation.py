@@ -1,0 +1,178 @@
+"""Simulation driver: time marching, state checks, grind-time accounting.
+
+The driver mirrors MFC's main loop: compute a CFL-limited step, advance
+with SSP-RK3, periodically validate the state, and keep the conserved
+totals and wall-time statistics the paper's performance figures are
+built from.  Grind time follows the paper's definition —
+
+    nanoseconds per grid cell, per PDE, per right-hand-side evaluation —
+
+where an SSP-RK3 step performs three RHS evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.bc.boundary import BoundarySet
+from repro.common import ConfigurationError, NumericsError, Stopwatch, WallTimer
+from repro.solver.case import Case
+from repro.solver.rhs import RHS, RHSConfig
+from repro.state.conversions import cons_to_prim
+from repro.timestepping.cfl import cfl_dt
+from repro.timestepping.ssp_rk import SSP_SCHEMES, ssp_rk_step
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Bookkeeping for one completed time step."""
+
+    step: int
+    time: float
+    dt: float
+    wall_seconds: float
+
+
+@dataclass
+class Simulation:
+    """Time-marches a :class:`~repro.solver.case.Case`.
+
+    Parameters
+    ----------
+    case:
+        Grid, mixture, and initial condition.
+    bcs:
+        Physical boundary conditions.
+    cfl:
+        CFL number for adaptive stepping (ignored when ``fixed_dt`` set).
+    rk_order:
+        SSP-RK order (1, 2, or 3; MFC uses 3).
+    check_every:
+        Validate the state (finite, positive density) every this many
+        steps; 0 disables checks.
+    """
+
+    case: Case
+    bcs: BoundarySet
+    config: RHSConfig = field(default_factory=RHSConfig)
+    cfl: float = 0.5
+    rk_order: int = 3
+    fixed_dt: float | None = None
+    check_every: int = 10
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+
+    def __post_init__(self) -> None:
+        if self.rk_order not in SSP_SCHEMES:
+            raise ConfigurationError(f"unsupported RK order {self.rk_order}")
+        self.layout = self.case.layout
+        self.mixture = self.case.mixture
+        self.grid = self.case.grid
+        self.rhs = RHS(self.layout, self.mixture, self.grid, self.bcs,
+                       self.config, stopwatch=self.stopwatch)
+        self.q = self.case.initial_conservative()
+        self.time = 0.0
+        self.step_count = 0
+        self.history: list[StepRecord] = []
+
+    # ------------------------------------------------------------------
+    def primitive(self) -> np.ndarray:
+        """Current primitive field (fresh array)."""
+        return cons_to_prim(self.layout, self.mixture, self.q)
+
+    def conserved_totals(self) -> np.ndarray:
+        """Volume-integrated conservative variables (for conservation tests)."""
+        vol = self.grid.cell_volumes()
+        return np.array([(self.q[v] * vol).sum() for v in range(self.layout.nvars)])
+
+    def compute_dt(self) -> float:
+        if self.fixed_dt is not None:
+            return self.fixed_dt
+        return cfl_dt(self.layout, self.mixture, self.primitive(), self.grid, self.cfl)
+
+    def step(self) -> StepRecord:
+        """Advance one time step; returns its record."""
+        dt = self.compute_dt()
+        with WallTimer() as timer:
+            self.q = ssp_rk_step(self.rhs, self.q, dt, self.rk_order)
+        self.time += dt
+        self.step_count += 1
+        rec = StepRecord(self.step_count, self.time, dt, timer.elapsed)
+        self.history.append(rec)
+        if self.check_every and self.step_count % self.check_every == 0:
+            self.validate_state()
+        return rec
+
+    def run(self, *, t_end: float | None = None, n_steps: int | None = None,
+            callback: Callable[["Simulation", StepRecord], None] | None = None) -> None:
+        """March until ``t_end`` or for ``n_steps`` (whichever is given).
+
+        The final step is clipped so the run lands exactly on ``t_end``.
+        """
+        if (t_end is None) == (n_steps is None):
+            raise ConfigurationError("specify exactly one of t_end or n_steps")
+        if n_steps is not None:
+            for _ in range(n_steps):
+                rec = self.step()
+                if callback is not None:
+                    callback(self, rec)
+            return
+        assert t_end is not None
+        while self.time < t_end * (1.0 - 1e-12):
+            dt = self.compute_dt()
+            if self.time + dt > t_end:
+                saved = self.fixed_dt
+                self.fixed_dt = t_end - self.time
+                try:
+                    rec = self.step()
+                finally:
+                    self.fixed_dt = saved
+            else:
+                rec = self.step()
+            if callback is not None:
+                callback(self, rec)
+
+    # ------------------------------------------------------------------
+    def validate_state(self) -> None:
+        """Raise :class:`NumericsError` if the state became unphysical."""
+        if not np.all(np.isfinite(self.q)):
+            raise NumericsError(f"non-finite state at step {self.step_count}")
+        rho = self.q[self.layout.partial_densities].sum(axis=0)
+        if not np.all(rho > 0.0):
+            raise NumericsError(f"non-positive density at step {self.step_count}")
+
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path) -> int:
+        """Write the current state as a restart snapshot; returns bytes."""
+        from repro.io.binary import write_snapshot
+
+        return write_snapshot(path, self.q, step=self.step_count, time=self.time)
+
+    def load_checkpoint(self, path) -> None:
+        """Restore state, step count, and time from a snapshot."""
+        from repro.io.binary import read_snapshot
+
+        header, q = read_snapshot(path)
+        if q.shape != self.q.shape:
+            raise ConfigurationError(
+                f"checkpoint shape {q.shape} does not match case {self.q.shape}")
+        self.q = q
+        self.step_count = header.step
+        self.time = header.time
+        self.history.clear()
+
+    # ------------------------------------------------------------------
+    def grind_time_ns(self) -> float:
+        """Grind time: ns per cell, per PDE, per RHS evaluation (paper's metric)."""
+        if not self.history:
+            raise NumericsError("no steps recorded yet")
+        wall = sum(r.wall_seconds for r in self.history)
+        rhs_evals = len(self.history) * len(SSP_SCHEMES[self.rk_order])
+        work = self.grid.num_cells * self.layout.nvars * rhs_evals
+        return wall / work * 1e9
+
+    def kernel_breakdown(self) -> dict[str, float]:
+        """Share of host wall time per kernel family ("weno", "riemann", ...)."""
+        return self.stopwatch.fractions()

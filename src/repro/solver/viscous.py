@@ -1,0 +1,91 @@
+"""Viscous fluxes for the five-equation model.
+
+MFC's numerical method follows Coralic & Colonius's finite-volume WENO
+scheme *for viscous compressible multicomponent flows*; the GPU paper
+profiles the inviscid kernels, but the solver it ports carries viscous
+terms.  This module adds the Newtonian viscous stress divergence
+
+.. math::
+
+   \\partial_t(\\rho u) \\mathrel{+}= \\nabla\\cdot\\tau, \\qquad
+   \\partial_t(\\rho E) \\mathrel{+}= \\nabla\\cdot(\\tau u),
+
+with :math:`\\tau = \\mu\\,(\\nabla u + \\nabla u^T) -
+\\tfrac{2}{3}\\mu (\\nabla\\cdot u) I` and a volume-fraction-weighted
+mixture viscosity :math:`\\mu_m = \\sum_i \\alpha_i \\mu_i`, discretised
+with central differences (second order, adequate for the resolved-scale
+diffusion these laptop-scale cases need).  Heat conduction is omitted,
+as in MFC's default five-equation configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import ConfigurationError, DTYPE
+from repro.grid.cartesian import StructuredGrid
+from repro.state.conversions import full_alphas
+from repro.state.layout import StateLayout
+
+
+@dataclass(frozen=True)
+class Viscosity:
+    """Per-component dynamic viscosities (Pa s)."""
+
+    mu: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.mu or any(m < 0.0 for m in self.mu):
+            raise ConfigurationError("viscosities must be non-negative")
+
+    def mixture_mu(self, layout: StateLayout, prim: np.ndarray) -> np.ndarray:
+        """Volume-fraction-weighted mixture viscosity field."""
+        if len(self.mu) != layout.ncomp:
+            raise ConfigurationError(
+                f"{len(self.mu)} viscosities for {layout.ncomp} components")
+        alphas = full_alphas(layout, prim[layout.advected])
+        mus = np.asarray(self.mu, dtype=DTYPE)
+        return np.tensordot(mus, alphas, axes=(0, 0))
+
+
+def viscous_rhs(layout: StateLayout, grid: StructuredGrid, prim: np.ndarray,
+                viscosity: Viscosity) -> np.ndarray:
+    """Viscous contribution to ``dq/dt`` (momentum and energy rows only).
+
+    Central differences via :func:`numpy.gradient` on (possibly
+    stretched) cell-centre coordinates; one-sided at domain boundaries,
+    which is consistent with the extrapolation BCs the viscous cases
+    use.
+    """
+    mu = viscosity.mixture_mu(layout, prim)
+    vel = [prim[layout.momentum_component(d)] for d in range(layout.ndim)]
+    coords = [grid.centers(d) for d in range(layout.ndim)]
+
+    def ddx(f: np.ndarray, d: int) -> np.ndarray:
+        if f.shape[d] < 2:
+            return np.zeros_like(f)
+        return np.gradient(f, coords[d], axis=d)
+
+    # Velocity gradient tensor g[i][j] = d u_i / d x_j.
+    g = [[ddx(vel[i], j) for j in range(layout.ndim)]
+         for i in range(layout.ndim)]
+    div_u = sum(g[i][i] for i in range(layout.ndim))
+
+    # Stress tensor tau[i][j].
+    tau = [[mu * (g[i][j] + g[j][i]) for j in range(layout.ndim)]
+           for i in range(layout.ndim)]
+    for i in range(layout.ndim):
+        tau[i][i] = tau[i][i] - (2.0 / 3.0) * mu * div_u
+
+    dqdt = np.zeros_like(prim)
+    for i in range(layout.ndim):
+        comp = layout.momentum_component(i)
+        for j in range(layout.ndim):
+            dqdt[comp] += ddx(tau[i][j], j)
+    # Energy: div(tau . u).
+    for j in range(layout.ndim):
+        work = sum(tau[i][j] * vel[i] for i in range(layout.ndim))
+        dqdt[layout.energy] += ddx(work, j)
+    return dqdt

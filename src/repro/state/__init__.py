@@ -1,0 +1,6 @@
+"""State-vector layout and conservative/primitive conversions."""
+
+from repro.state.layout import StateLayout
+from repro.state.conversions import cons_to_prim, prim_to_cons, full_alphas
+
+__all__ = ["StateLayout", "cons_to_prim", "prim_to_cons", "full_alphas"]

@@ -1,0 +1,89 @@
+"""Index layout of the five-equation state vector.
+
+For ``ncomp`` components in ``ndim`` space dimensions the conservative
+vector (paper §II-A) is laid out along axis 0 as::
+
+    q[0 : ncomp]                    alpha_i * rho_i   (partial densities)
+    q[ncomp : ncomp+ndim]           rho * u           (momentum)
+    q[ncomp+ndim]                   rho * E           (total energy)
+    q[ncomp+ndim+1 : nvars]         alpha_1 .. alpha_{ncomp-1}
+
+The final component's volume fraction is implicit
+(:math:`\\alpha_N = 1 - \\sum_{i<N}\\alpha_i`), as in MFC.  The primitive
+vector shares the layout with momentum replaced by velocity and energy by
+pressure.
+
+The equation count ``nvars = 2*ncomp + ndim - 1 + 1`` is what the paper's
+"grind time per grid cell and PDE" normalises by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StateLayout:
+    """Immutable description of where each equation lives along axis 0."""
+
+    ncomp: int
+    ndim: int
+
+    def __post_init__(self) -> None:
+        if self.ncomp < 1:
+            raise ConfigurationError(f"ncomp must be >= 1, got {self.ncomp}")
+        if self.ndim not in (1, 2, 3):
+            raise ConfigurationError(f"ndim must be 1, 2, or 3, got {self.ndim}")
+
+    # -- sizes ------------------------------------------------------------
+    @property
+    def nvars(self) -> int:
+        """Number of PDEs: partial densities + momentum + energy + advected fractions."""
+        return 2 * self.ncomp + self.ndim
+
+    @property
+    def n_advected(self) -> int:
+        """Number of explicitly advected volume fractions (``ncomp - 1``)."""
+        return self.ncomp - 1
+
+    # -- slices -----------------------------------------------------------
+    @property
+    def partial_densities(self) -> slice:
+        return slice(0, self.ncomp)
+
+    @property
+    def momentum(self) -> slice:
+        return slice(self.ncomp, self.ncomp + self.ndim)
+
+    @property
+    def energy(self) -> int:
+        return self.ncomp + self.ndim
+
+    @property
+    def advected(self) -> slice:
+        return slice(self.ncomp + self.ndim + 1, self.nvars)
+
+    # primitive synonyms, for readability at call sites
+    @property
+    def velocity(self) -> slice:
+        return self.momentum
+
+    @property
+    def pressure(self) -> int:
+        return self.energy
+
+    def momentum_component(self, d: int) -> int:
+        """Flat index of the momentum (or velocity) component along dimension ``d``."""
+        if not 0 <= d < self.ndim:
+            raise ConfigurationError(f"dimension {d} out of range for ndim={self.ndim}")
+        return self.ncomp + d
+
+    def describe(self) -> list[str]:
+        """Human-readable names of each conservative equation, in layout order."""
+        names = [f"alpha_rho[{i}]" for i in range(self.ncomp)]
+        names += [f"momentum[{'xyz'[d]}]" for d in range(self.ndim)]
+        names.append("energy")
+        names += [f"alpha[{i}]" for i in range(self.n_advected)]
+        return names

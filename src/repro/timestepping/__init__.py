@@ -1,0 +1,6 @@
+"""Explicit time integration: SSP Runge-Kutta and CFL-based step control."""
+
+from repro.timestepping.cfl import cfl_dt, max_wave_speed
+from repro.timestepping.ssp_rk import SSP_SCHEMES, ssp_rk_step
+
+__all__ = ["cfl_dt", "max_wave_speed", "SSP_SCHEMES", "ssp_rk_step"]

@@ -1,0 +1,38 @@
+"""CFL-based time-step selection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import NumericsError
+from repro.eos.mixture import Mixture
+from repro.grid.cartesian import StructuredGrid
+from repro.state.conversions import full_alphas
+from repro.state.layout import StateLayout
+
+
+def max_wave_speed(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
+                   grid: StructuredGrid) -> float:
+    """Largest :math:`(|u_d| + c)/\\Delta x_d` over all cells and directions.
+
+    This is the quantity whose reciprocal bounds the stable explicit step.
+    """
+    rho = prim[layout.partial_densities].sum(axis=0)
+    alphas = full_alphas(layout, prim[layout.advected])
+    c = mixture.sound_speed(alphas, rho, prim[layout.pressure])
+    rate = 0.0
+    for d, w in enumerate(grid.width_fields()):
+        speed = np.abs(prim[layout.momentum_component(d)]) + c
+        rate = max(rate, float((speed / w).max()))
+    return rate
+
+
+def cfl_dt(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
+           grid: StructuredGrid, cfl: float) -> float:
+    """Stable time step ``cfl / max_d (|u_d| + c)/dx_d``."""
+    if not 0.0 < cfl <= 1.0:
+        raise NumericsError(f"CFL number must be in (0, 1], got {cfl}")
+    rate = max_wave_speed(layout, mixture, prim, grid)
+    if not np.isfinite(rate) or rate <= 0.0:
+        raise NumericsError(f"invalid maximum wave rate {rate}")
+    return cfl / rate

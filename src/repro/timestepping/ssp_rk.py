@@ -1,0 +1,56 @@
+"""Strong-stability-preserving Runge-Kutta integrators (Shu-Osher form).
+
+MFC time-marches with SSP-RK3; orders 1 and 2 are provided for testing
+and temporal-convergence studies.  Each stage is a convex combination
+
+.. math::
+
+   q^{(k)} = a\\,q^n + b\\,q^{(k-1)} + c\\,\\Delta t\\,L(q^{(k-1)}),
+
+which preserves any convex invariant (positivity, maximum principles)
+the forward-Euler building block preserves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.common import ConfigurationError
+
+#: Shu-Osher tableaux: per stage, coefficients (a, b, c) of
+#: ``a*q_n + b*q_prev + c*dt*L(q_prev)``.
+SSP_SCHEMES: dict[int, tuple[tuple[float, float, float], ...]] = {
+    1: (
+        (1.0, 0.0, 1.0),
+    ),
+    2: (
+        (1.0, 0.0, 1.0),
+        (0.5, 0.5, 0.5),
+    ),
+    3: (
+        (1.0, 0.0, 1.0),
+        (0.75, 0.25, 0.25),
+        (1.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0),
+    ),
+}
+
+
+def ssp_rk_step(rhs: Callable[[np.ndarray], np.ndarray], q: np.ndarray,
+                dt: float, order: int = 3) -> np.ndarray:
+    """Advance ``q`` by one step of the SSP-RK scheme of the given order.
+
+    ``rhs(q)`` must return :math:`L(q) = dq/dt`; the input array is not
+    modified.
+    """
+    if order not in SSP_SCHEMES:
+        raise ConfigurationError(
+            f"SSP-RK order must be one of {sorted(SSP_SCHEMES)}, got {order}")
+    q_n = q
+    q_k = q
+    for a, b, c in SSP_SCHEMES[order]:
+        # First stage has b == 0, so q_prev's coefficient pattern still
+        # holds with q_k == q_n.
+        q_k = a * q_n + b * q_k + (c * dt) * rhs(q_k)
+    return q_k

@@ -1,0 +1,6 @@
+"""Validation references: exact Riemann solutions and convergence measurement."""
+
+from repro.validation.exact import ExactRiemann, sod_solution
+from repro.validation.convergence import observed_order
+
+__all__ = ["ExactRiemann", "sod_solution", "observed_order"]

@@ -1,0 +1,23 @@
+"""Convergence-order measurement on grid-refinement sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import ConfigurationError
+
+
+def observed_order(resolutions, errors) -> float:
+    """Least-squares slope of log(error) vs log(1/n).
+
+    ``resolutions`` are cell counts (increasing), ``errors`` the matching
+    norms.  The returned slope is the empirical order of accuracy.
+    """
+    n = np.asarray(resolutions, dtype=float)
+    e = np.asarray(errors, dtype=float)
+    if n.size != e.size or n.size < 2:
+        raise ConfigurationError("need matching arrays of at least two refinements")
+    if np.any(e <= 0.0):
+        raise ConfigurationError("errors must be positive to take logs")
+    slope, _ = np.polyfit(np.log(1.0 / n), np.log(e), 1)
+    return float(slope)

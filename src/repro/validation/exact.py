@@ -1,0 +1,149 @@
+"""Exact Riemann solution for a single stiffened gas.
+
+Classic two-rarefaction/shock iteration (Toro ch. 4) generalised to the
+stiffened-gas EOS via the substitution :math:`p \\to p + \\pi_\\infty`:
+a stiffened gas is an ideal gas in the shifted pressure variable.  In
+the single-fluid limit this validates the five-equation solver (the
+paper's §III.F cites MFC's canonical-problem validation suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import DTYPE, NumericsError
+from repro.eos.stiffened_gas import StiffenedGas
+
+
+@dataclass(frozen=True)
+class ExactRiemann:
+    """Exact solution of a 1D Riemann problem for one stiffened gas."""
+
+    eos: StiffenedGas
+    rho_l: float
+    u_l: float
+    p_l: float
+    rho_r: float
+    u_r: float
+    p_r: float
+
+    def __post_init__(self) -> None:
+        for name in ("rho_l", "rho_r"):
+            if getattr(self, name) <= 0.0:
+                raise NumericsError(f"{name} must be positive")
+
+    # -- helpers over the shifted pressure P = p + pi_inf -----------------
+    def _shift(self, p: float) -> float:
+        return p + self.eos.pi_inf
+
+    def _sound(self, rho: float, p: float) -> float:
+        return float(np.sqrt(self.eos.gamma * self._shift(p) / rho))
+
+    def _f_side(self, p: float, rho_k: float, p_k: float) -> tuple[float, float]:
+        """Toro's f_K(p) and its derivative, in shifted pressure."""
+        g = self.eos.gamma
+        P = self._shift(p)
+        P_k = self._shift(p_k)
+        c_k = self._sound(rho_k, p_k)
+        if P > P_k:  # shock
+            a_k = 2.0 / ((g + 1.0) * rho_k)
+            b_k = (g - 1.0) / (g + 1.0) * P_k
+            f = (P - P_k) * np.sqrt(a_k / (P + b_k))
+            df = np.sqrt(a_k / (P + b_k)) * (1.0 - 0.5 * (P - P_k) / (P + b_k))
+        else:  # rarefaction
+            f = 2.0 * c_k / (g - 1.0) * ((P / P_k) ** ((g - 1.0) / (2.0 * g)) - 1.0)
+            df = (1.0 / (rho_k * c_k)) * (P / P_k) ** (-(g + 1.0) / (2.0 * g))
+        return float(f), float(df)
+
+    def star_state(self, *, tol: float = 1e-12, max_iter: int = 200) -> tuple[float, float]:
+        """Star-region pressure and velocity via Newton iteration."""
+        du = self.u_r - self.u_l
+        # Initial guess: primitive-variable (PVRS) estimate, floored.
+        c_l = self._sound(self.rho_l, self.p_l)
+        c_r = self._sound(self.rho_r, self.p_r)
+        p = max(0.5 * (self.p_l + self.p_r)
+                - 0.125 * du * (self.rho_l + self.rho_r) * (c_l + c_r),
+                1e-8 * max(self._shift(self.p_l), self._shift(self.p_r))
+                - self.eos.pi_inf + 1e-300)
+        for _ in range(max_iter):
+            f_l, df_l = self._f_side(p, self.rho_l, self.p_l)
+            f_r, df_r = self._f_side(p, self.rho_r, self.p_r)
+            f = f_l + f_r + du
+            step = f / (df_l + df_r)
+            p_new = p - step
+            if self._shift(p_new) <= 0.0:
+                p_new = 0.5 * (p + (-self.eos.pi_inf))  # bisect toward vacuum bound
+            if abs(p_new - p) <= tol * (abs(p) + tol):
+                p = p_new
+                break
+            p = p_new
+        else:
+            raise NumericsError("exact Riemann Newton iteration did not converge")
+        f_l, _ = self._f_side(p, self.rho_l, self.p_l)
+        f_r, _ = self._f_side(p, self.rho_r, self.p_r)
+        u = 0.5 * (self.u_l + self.u_r) + 0.5 * (f_r - f_l)
+        return float(p), float(u)
+
+    def sample(self, xi: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample ``(rho, u, p)`` at similarity coordinates ``xi = x/t``."""
+        g = self.eos.gamma
+        p_star, u_star = self.star_state()
+        xi = np.asarray(xi, dtype=DTYPE)
+        rho = np.empty_like(xi)
+        u = np.empty_like(xi)
+        p = np.empty_like(xi)
+
+        P_star = self._shift(p_star)
+        for side in ("L", "R"):
+            if side == "L":
+                rho_k, u_k, p_k, sgn = self.rho_l, self.u_l, self.p_l, 1.0
+                region = xi <= u_star
+            else:
+                rho_k, u_k, p_k, sgn = self.rho_r, self.u_r, self.p_r, -1.0
+                region = xi > u_star
+            P_k = self._shift(p_k)
+            c_k = self._sound(rho_k, p_k)
+            if P_star > P_k:  # shock on this side
+                ratio = P_star / P_k
+                rho_star = rho_k * ((g + 1.0) * ratio + (g - 1.0)) / ((g - 1.0) * ratio + (g + 1.0))
+                s = u_k - sgn * c_k * np.sqrt((g + 1.0) / (2.0 * g) * ratio
+                                              + (g - 1.0) / (2.0 * g))
+                pre = region & (sgn * (xi - s) < 0.0)
+                post = region & ~pre
+                rho[pre], u[pre], p[pre] = rho_k, u_k, p_k
+                rho[post], u[post], p[post] = rho_star, u_star, p_star
+            else:  # rarefaction
+                rho_star = rho_k * (P_star / P_k) ** (1.0 / g)
+                c_star = self._sound(rho_star, p_star)
+                head = u_k - sgn * c_k
+                tail = u_star - sgn * c_star
+                pre = region & (sgn * (xi - head) < 0.0)
+                post = region & (sgn * (xi - tail) > 0.0)
+                fan = region & ~pre & ~post
+                rho[pre], u[pre], p[pre] = rho_k, u_k, p_k
+                rho[post], u[post], p[post] = rho_star, u_star, p_star
+                if np.any(fan):
+                    xif = xi[fan]
+                    u_f = (2.0 / (g + 1.0)) * (sgn * c_k + 0.5 * (g - 1.0) * u_k + xif)
+                    c_f = sgn * (u_f - xif)
+                    P_f = P_k * (c_f / c_k) ** (2.0 * g / (g - 1.0))
+                    rho[fan] = g * P_f / c_f ** 2
+                    u[fan] = u_f
+                    p[fan] = P_f - self.eos.pi_inf
+        return rho, u, p
+
+
+def sod_solution(x: np.ndarray, t: float, *, x0: float = 0.5,
+                 eos: StiffenedGas | None = None):
+    """Exact Sod shock-tube profile ``(rho, u, p)`` at time ``t``.
+
+    Standard states: left (1, 0, 1), right (0.125, 0, 0.1), ideal gas
+    gamma = 1.4 unless another EOS is given.
+    """
+    eos = eos or StiffenedGas(1.4, 0.0, "air")
+    prob = ExactRiemann(eos, 1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+    if t <= 0.0:
+        raise NumericsError("sample time must be positive")
+    return prob.sample((np.asarray(x, dtype=DTYPE) - x0) / t)

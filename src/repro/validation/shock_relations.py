@@ -1,0 +1,76 @@
+"""Rankine-Hugoniot relations for stiffened gases.
+
+Used by the example cases to construct post-shock states for a given
+shock Mach number (the paper's Mach 1.46 shock-droplet and Mach 2.4
+shock-bubble-cloud initial conditions), and by tests to verify the
+solver propagates shocks at the exact speed.
+
+Formulated in the shifted pressure :math:`P = p + \\pi_\\infty`, under
+which a stiffened gas obeys the ideal-gas jump conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import ConfigurationError
+from repro.eos.stiffened_gas import StiffenedGas
+
+
+@dataclass(frozen=True)
+class PostShockState:
+    """The state behind a planar shock moving into a quiescent medium."""
+
+    rho: float
+    velocity: float       # piston (particle) velocity behind the shock
+    pressure: float
+    shock_speed: float
+
+
+def post_shock_state(eos: StiffenedGas, mach: float, rho0: float,
+                     p0: float) -> PostShockState:
+    """Rankine-Hugoniot jump across a shock of the given Mach number.
+
+    The upstream medium is at rest with density ``rho0`` and pressure
+    ``p0``; the returned state moves in the shock's propagation
+    direction.
+    """
+    if mach <= 1.0:
+        raise ConfigurationError(f"shock Mach number must exceed 1, got {mach}")
+    if rho0 <= 0.0:
+        raise ConfigurationError("upstream density must be positive")
+    g = eos.gamma
+    m2 = mach * mach
+    c0 = eos.sound_speed(rho0, p0)
+    P0 = p0 + eos.pi_inf
+
+    P1 = P0 * (2.0 * g * m2 - (g - 1.0)) / (g + 1.0)
+    rho1 = rho0 * (g + 1.0) * m2 / ((g - 1.0) * m2 + 2.0)
+    u1 = float(mach * c0 * (1.0 - rho0 / rho1))
+    return PostShockState(rho=float(rho1), velocity=u1,
+                          pressure=float(P1 - eos.pi_inf),
+                          shock_speed=float(mach * c0))
+
+
+def shock_mach_from_pressure_ratio(eos: StiffenedGas, p1: float,
+                                   p0: float) -> float:
+    """Shock Mach number producing a given post/pre (shifted) pressure ratio."""
+    g = eos.gamma
+    ratio = (p1 + eos.pi_inf) / (p0 + eos.pi_inf)
+    if ratio <= 1.0:
+        raise ConfigurationError("post-shock pressure must exceed upstream")
+    return float(np.sqrt((ratio * (g + 1.0) + (g - 1.0)) / (2.0 * g)))
+
+
+def verify_jump(eos: StiffenedGas, state: PostShockState, rho0: float,
+                p0: float, *, rtol: float = 1e-10) -> bool:
+    """Check mass/momentum conservation across the jump (for tests)."""
+    s = state.shock_speed
+    m_up = rho0 * (0.0 - s)
+    m_down = state.rho * (state.velocity - s)
+    mass_ok = np.isclose(m_up, m_down, rtol=rtol)
+    mom_up = p0 + rho0 * (0.0 - s) ** 2
+    mom_down = state.pressure + state.rho * (state.velocity - s) ** 2
+    return bool(mass_ok and np.isclose(mom_up, mom_down, rtol=rtol))

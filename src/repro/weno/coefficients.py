@@ -1,0 +1,38 @@
+"""WENO coefficient tables (Jiang & Shu formulation, uniform spacing).
+
+MFC supports both uniform and tanh-stretched grids; as in mapped-
+coordinate practice, reconstruction uses the uniform-spacing coefficients
+and the metric enters through the per-cell :math:`\\Delta x` in the flux
+divergence (see :mod:`repro.solver.rhs`).
+"""
+
+from __future__ import annotations
+
+from repro.common import ConfigurationError
+
+#: Regularisation added to smoothness indicators (MFC default scale).
+WENO_EPS = 1e-16
+
+#: Ideal (linear) weights per order, upwind orientation, stencil index 0
+#: being the most upwind stencil.
+IDEAL_WEIGHTS = {
+    1: (1.0,),
+    3: (1.0 / 3.0, 2.0 / 3.0),
+    5: (1.0 / 10.0, 6.0 / 10.0, 3.0 / 10.0),
+}
+
+SUPPORTED_ORDERS = tuple(sorted(IDEAL_WEIGHTS))
+
+
+def halo_width(order: int) -> int:
+    """Ghost cells required per side for a given WENO order.
+
+    Order 1 (donor cell) needs one ghost cell, order 3 needs two, order 5
+    needs three: the downwind stencil of the first interior face reaches
+    ``order // 2`` cells past the boundary and the upwind reconstruction
+    of the boundary face needs one more.
+    """
+    if order not in IDEAL_WEIGHTS:
+        raise ConfigurationError(
+            f"WENO order must be one of {SUPPORTED_ORDERS}, got {order}")
+    return order // 2 + 1

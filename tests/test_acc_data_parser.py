@@ -1,0 +1,126 @@
+"""Tests for data-directive parsing and execution (Listings 3-6 brackets)."""
+
+import numpy as np
+import pytest
+
+from repro.acc.data_parser import (
+    apply_data_directive,
+    data_region,
+    parse_data_directive,
+)
+from repro.acc.data_region import DeviceDataEnvironment
+from repro.common import DirectiveError
+
+
+class TestParse:
+    def test_enter_data(self):
+        kind, clauses = parse_data_directive("!$acc enter data copyin(q) create(buf)")
+        assert kind == "enter data"
+        assert clauses == {"copyin": ["q"], "create": ["buf"]}
+
+    def test_update_host(self):
+        kind, clauses = parse_data_directive("!$acc update host(a, b)")
+        assert kind == "update"
+        assert clauses["host"] == ["a", "b"]
+
+    def test_host_data(self):
+        kind, clauses = parse_data_directive(
+            "!$acc host_data use_device(v_temp, v_sf_t)")
+        assert kind == "host_data"
+        assert clauses["use_device"] == ["v_temp", "v_sf_t"]
+
+    def test_continuation(self):
+        kind, clauses = parse_data_directive(
+            "!$acc enter data copyin(a) &\n!$acc copyin(b)")
+        assert clauses["copyin"] == ["a", "b"]
+
+    def test_invalid_clause_for_kind(self):
+        with pytest.raises(DirectiveError):
+            parse_data_directive("!$acc enter data copyout(q)")
+
+    def test_no_clauses(self):
+        with pytest.raises(DirectiveError):
+            parse_data_directive("!$acc update")
+
+    def test_unsupported_kind(self):
+        with pytest.raises(DirectiveError):
+            parse_data_directive("!$acc kernels loop")
+
+    def test_not_acc(self):
+        with pytest.raises(DirectiveError):
+            parse_data_directive("do i = 1, n")
+
+
+class TestApply:
+    def setup_method(self):
+        self.env = DeviceDataEnvironment()
+        self.host = {"q": np.arange(4.0), "buf": np.zeros(4)}
+
+    def test_enter_and_exit_roundtrip(self):
+        apply_data_directive(self.env, "!$acc enter data copyin(q) create(buf)",
+                             self.host)
+        assert self.env.is_present("q") and self.env.is_present("buf")
+        self.env.device_view("q")[:] = 7.0
+        apply_data_directive(self.env, "!$acc exit data copyout(q) delete(buf)",
+                             self.host)
+        np.testing.assert_array_equal(self.host["q"], 7.0)
+        assert not self.env.is_present("buf")
+
+    def test_update_directions(self):
+        apply_data_directive(self.env, "!$acc enter data copyin(q)", self.host)
+        self.host["q"][:] = -1.0
+        apply_data_directive(self.env, "!$acc update device(q)", self.host)
+        np.testing.assert_array_equal(self.env.device_view("q"), -1.0)
+        self.env.device_view("q")[:] = 9.0
+        apply_data_directive(self.env, "!$acc update host(q)", self.host)
+        np.testing.assert_array_equal(self.host["q"], 9.0)
+
+    def test_host_data_returns_context(self):
+        apply_data_directive(self.env, "!$acc enter data copyin(q)", self.host)
+        ctx = apply_data_directive(self.env, "!$acc host_data use_device(q)",
+                                   self.host)
+        with ctx as (dev,):
+            assert dev is self.env.device_view("q")
+
+    def test_unknown_host_array(self):
+        with pytest.raises(DirectiveError):
+            apply_data_directive(self.env, "!$acc enter data copyin(nope)",
+                                 self.host)
+
+    def test_listing3_sequence(self):
+        """The cuTENSOR transpose bracket of Listing 3, end to end."""
+        from repro.fields import geam_transpose_cutensor
+
+        rng = np.random.default_rng(0)
+        host = {"v_temp": rng.random((4, 5, 6, 2)),
+                "v_sf_t": np.zeros((6, 5, 4, 2))}
+        env = DeviceDataEnvironment()
+        apply_data_directive(env, "!$acc enter data copyin(v_temp) create(v_sf_t)",
+                             host)
+        with apply_data_directive(env, "!$acc host_data use_device(v_temp, v_sf_t)",
+                                  host) as (v_temp, v_sf_t):
+            v_sf_t[...] = geam_transpose_cutensor(v_temp)  # the library call
+        apply_data_directive(env, "!$acc exit data copyout(v_sf_t) delete(v_temp)",
+                             host)
+        np.testing.assert_array_equal(
+            host["v_sf_t"], geam_transpose_cutensor(host["v_temp"]))
+
+
+class TestDataRegion:
+    def test_structured_region(self):
+        env = DeviceDataEnvironment()
+        host = {"a": np.ones(3), "b": np.zeros(3)}
+        with data_region(env, host, copyin=("a",), create=("b",),
+                         copyout=("b",)):
+            assert env.is_present("a") and env.is_present("b")
+            env.device_view("b")[:] = 5.0
+        assert not env.is_present("a") and not env.is_present("b")
+        np.testing.assert_array_equal(host["b"], 5.0)
+
+    def test_cleanup_on_exception(self):
+        env = DeviceDataEnvironment()
+        host = {"a": np.ones(3)}
+        with pytest.raises(RuntimeError):
+            with data_region(env, host, copyin=("a",)):
+                raise RuntimeError("kernel failed")
+        assert not env.is_present("a")

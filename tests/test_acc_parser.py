@@ -1,0 +1,133 @@
+"""Tests for the OpenACC directive-text parser against the paper's listings."""
+
+import pytest
+
+from repro.acc import Clause, derive_launch
+from repro.acc.parser import parse_directive, parse_loop_nest
+from repro.common import DirectiveError
+
+# The paper's Listing 1, verbatim structure.
+LISTING_1 = """
+!$acc parallel loop collapse(3) gang vector default(present) &
+!$acc private(alpha_rho_L(1:num_fluids), alpha_L(1:num_fluids))
+do l = 0, p
+  do k = 0, n
+    do j = 0, m
+      !$acc loop seq
+      do i = 1, num_fluids
+      end do
+    end do
+  end do
+end do
+"""
+
+EXTENTS = {"m": 100, "n": 100, "p": 100, "num_fluids": 2,
+           "j": 100, "k": 100, "l": 100, "i": 2}
+
+
+class TestParseDirective:
+    def test_parallel_loop_with_all_clauses(self):
+        d = parse_directive("!$acc parallel loop collapse(3) gang vector "
+                            "default(present)")
+        assert d["kind"] == "parallel_loop"
+        assert Clause.GANG in d["clauses"] and Clause.VECTOR in d["clauses"]
+        assert d["collapse"] == 3
+        assert d["default_present"]
+
+    def test_loop_seq(self):
+        d = parse_directive("!$acc loop seq")
+        assert d["kind"] == "loop"
+        assert d["clauses"] == frozenset({Clause.SEQ})
+
+    def test_continuation_lines(self):
+        d = parse_directive("!$acc parallel loop gang &\n!$acc vector")
+        assert {Clause.GANG, Clause.VECTOR} <= set(d["clauses"])
+
+    def test_vector_length(self):
+        d = parse_directive("!$acc parallel loop gang vector(256)")
+        assert d["vector_length"] == 256
+        assert Clause.VECTOR in d["clauses"]
+
+    def test_private_numeric_size_is_compile_time(self):
+        d = parse_directive("!$acc parallel loop gang private(tmp(1:4))")
+        (p,) = d["privates"]
+        assert p.name == "tmp" and p.size == 4 and p.compile_time_size
+
+    def test_private_symbolic_size_is_runtime(self):
+        # The §III.D cliff: a private array sized by a variable.
+        d = parse_directive("!$acc parallel loop gang "
+                            "private(alpha_rho_L(1:num_fluids))")
+        (p,) = d["privates"]
+        assert not p.compile_time_size
+
+    def test_private_scalar(self):
+        d = parse_directive("!$acc parallel loop gang private(s)")
+        (p,) = d["privates"]
+        assert p.size == 1 and p.compile_time_size
+
+    def test_multiple_privates(self):
+        d = parse_directive("!$acc parallel loop gang private(a(1:3), b, c(2:5))")
+        names = [p.name for p in d["privates"]]
+        assert names == ["a", "b", "c"]
+        assert d["privates"][2].size == 4
+
+    def test_rejects_non_acc(self):
+        with pytest.raises(DirectiveError):
+            parse_directive("do j = 1, m")
+
+    def test_rejects_unsupported_directive(self):
+        with pytest.raises(DirectiveError):
+            parse_directive("!$acc update host(q)")
+
+
+class TestParseLoopNest:
+    def test_listing_1_structure(self):
+        nest = parse_loop_nest(LISTING_1, EXTENTS)
+        assert len(nest.loops) == 4
+        assert nest.loops[0].name == "l"
+        assert nest.loops[0].collapse == 3
+        assert nest.loops[3].is_seq
+        assert nest.default_present
+        assert len(nest.privates) == 2
+        assert not nest.privates[0].compile_time_size
+
+    def test_listing_1_parallelism(self):
+        nest = parse_loop_nest(LISTING_1, EXTENTS)
+        assert nest.parallel_iterations() == 100 ** 3
+        assert nest.serial_iterations_per_thread() == pytest.approx(2.0)
+
+    def test_listing_1_launch(self):
+        nest = parse_loop_nest(LISTING_1, EXTENTS)
+        lc = derive_launch(nest)
+        assert lc.total_threads >= 100 ** 3
+
+    def test_numeric_bounds(self):
+        src = ("!$acc parallel loop gang vector\n"
+               "do j = 1, 64\n")
+        nest = parse_loop_nest(src, {})
+        assert nest.loops[0].extent == 64
+
+    def test_unresolvable_bound(self):
+        src = ("!$acc parallel loop gang\n"
+               "do j = 1, mystery\n")
+        with pytest.raises(DirectiveError):
+            parse_loop_nest(src, {})
+
+    def test_requires_parallel_loop(self):
+        with pytest.raises(DirectiveError):
+            parse_loop_nest("!$acc loop seq\ndo i = 1, 2\n", {})
+
+    def test_fixed_private_version_avoids_cliff(self):
+        # §III.D's fix: declare the offending array with a compile-time size.
+        from repro.acc.compiler import get_compiler
+
+        bad = parse_loop_nest(LISTING_1, EXTENTS)
+        fixed_src = LISTING_1.replace("alpha_rho_L(1:num_fluids)",
+                                      "alpha_rho_L(1:2)")
+        good = parse_loop_nest(fixed_src, EXTENTS)
+        cce = get_compiler("cce")
+        assert not cce.private_arrays_compile_sized(bad)
+        assert not cce.private_arrays_compile_sized(good)  # alpha_L still symbolic
+        fully_fixed = parse_loop_nest(
+            fixed_src.replace("alpha_L(1:num_fluids)", "alpha_L(1:2)"), EXTENTS)
+        assert cce.private_arrays_compile_sized(fully_fixed)

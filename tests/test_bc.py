@@ -1,0 +1,155 @@
+"""Tests for ghost-cell boundary conditions."""
+
+import numpy as np
+import pytest
+
+from repro.bc import (
+    BC,
+    BoundarySet,
+    fill_axis_ghosts,
+    fill_ghosts,
+    pad_axis,
+    pad_with_ghosts,
+)
+from repro.common import ConfigurationError, DTYPE
+from repro.state import StateLayout
+
+LAY1 = StateLayout(ncomp=2, ndim=1)
+LAY2 = StateLayout(ncomp=2, ndim=2)
+
+
+def field_1d(n=8):
+    rng = np.random.default_rng(0)
+    return rng.random((LAY1.nvars, n)).astype(DTYPE)
+
+
+class TestBoundarySet:
+    def test_factories(self):
+        for factory in (BoundarySet.all_periodic, BoundarySet.all_extrapolation,
+                        BoundarySet.all_reflective):
+            bs = factory(2)
+            assert bs.ndim() == 2
+
+    def test_periodic_must_pair(self):
+        with pytest.raises(ConfigurationError):
+            BoundarySet(((BC.PERIODIC, BC.REFLECTIVE),))
+
+    def test_mixed_non_periodic_ok(self):
+        bs = BoundarySet(((BC.REFLECTIVE, BC.EXTRAPOLATION),))
+        assert bs.per_axis[0] == (BC.REFLECTIVE, BC.EXTRAPOLATION)
+
+
+class TestPadding:
+    def test_pad_with_ghosts_shape(self):
+        f = field_1d(8)
+        p = pad_with_ghosts(f, 3)
+        assert p.shape == (LAY1.nvars, 14)
+        np.testing.assert_array_equal(p[:, 3:11], f)
+
+    def test_pad_axis_only_pads_one_axis(self):
+        f = np.zeros((LAY2.nvars, 4, 6), dtype=DTYPE)
+        p = pad_axis(f, 1, 2)
+        assert p.shape == (LAY2.nvars, 4, 10)
+
+    def test_pad_axis_preserves_interior(self):
+        rng = np.random.default_rng(1)
+        f = rng.random((LAY2.nvars, 4, 6))
+        p = pad_axis(f, 0, 3)
+        np.testing.assert_array_equal(p[:, 3:7, :], f)
+
+
+class TestPeriodic:
+    def test_wraps_interior(self):
+        f = field_1d(8)
+        p = pad_with_ghosts(f, 3)
+        fill_ghosts(p, LAY1, BoundarySet.all_periodic(1), 3)
+        np.testing.assert_array_equal(p[:, :3], f[:, -3:])
+        np.testing.assert_array_equal(p[:, -3:], f[:, :3])
+
+    def test_periodic_roundtrip_consistency(self):
+        # Shifting data by one cell and refilling matches a rolled fill.
+        f = field_1d(8)
+        p1 = pad_with_ghosts(f, 2)
+        fill_ghosts(p1, LAY1, BoundarySet.all_periodic(1), 2)
+        f2 = np.roll(f, 1, axis=1)
+        p2 = pad_with_ghosts(f2, 2)
+        fill_ghosts(p2, LAY1, BoundarySet.all_periodic(1), 2)
+        np.testing.assert_array_equal(np.roll(p1[:, 1:-1], 1, axis=1)[:, 1:-1],
+                                      p2[:, 2:-2])
+
+
+class TestExtrapolation:
+    def test_copies_edge_cell(self):
+        f = field_1d(8)
+        p = pad_with_ghosts(f, 3)
+        fill_ghosts(p, LAY1, BoundarySet.all_extrapolation(1), 3)
+        for g in range(3):
+            np.testing.assert_array_equal(p[:, g], f[:, 0])
+            np.testing.assert_array_equal(p[:, -(g + 1)], f[:, -1])
+
+
+class TestReflective:
+    def test_mirrors_and_negates_normal_velocity(self):
+        f = field_1d(8)
+        p = pad_with_ghosts(f, 3)
+        fill_ghosts(p, LAY1, BoundarySet.all_reflective(1), 3)
+        mom = LAY1.momentum_component(0)
+        for g in range(3):
+            # ghost g (from wall) mirrors interior cell g
+            for v in range(LAY1.nvars):
+                expected = f[v, g] * (-1.0 if v == mom else 1.0)
+                assert p[v, 2 - g] == expected
+                expected_hi = f[v, -1 - g] * (-1.0 if v == mom else 1.0)
+                assert p[v, -3 + g] == pytest.approx(expected_hi)
+
+    def test_2d_negates_only_normal_component(self):
+        rng = np.random.default_rng(2)
+        f = rng.random((LAY2.nvars, 6, 6))
+        p = pad_axis(f, 0, 2)
+        fill_axis_ghosts(p, LAY2, 0, 2, BC.REFLECTIVE, BC.REFLECTIVE)
+        mx = LAY2.momentum_component(0)
+        my = LAY2.momentum_component(1)
+        np.testing.assert_allclose(p[mx, 1, :], -f[mx, 0, :])
+        np.testing.assert_allclose(p[my, 1, :], f[my, 0, :])
+
+    def test_zero_normal_velocity_at_wall_symmetry(self):
+        # With symmetric data, wall face value interpolates to zero velocity.
+        f = np.ones((LAY1.nvars, 4), dtype=DTYPE)
+        f[LAY1.momentum_component(0)] = 2.0
+        p = pad_with_ghosts(f, 1)
+        fill_ghosts(p, LAY1, BoundarySet.all_reflective(1), 1)
+        wall_avg = 0.5 * (p[LAY1.momentum_component(0), 0]
+                          + p[LAY1.momentum_component(0), 1])
+        assert wall_avg == 0.0
+
+
+class TestMultiAxis:
+    def test_corners_composed(self):
+        rng = np.random.default_rng(3)
+        f = rng.random((LAY2.nvars, 5, 5))
+        p = pad_with_ghosts(f, 2)
+        fill_ghosts(p, LAY2, BoundarySet.all_periodic(2), 2)
+        # Corner ghost equals doubly-wrapped interior.
+        np.testing.assert_array_equal(p[:, :2, :2], p[:, 5:7, 5:7])
+
+    def test_mixed_bcs_per_axis(self):
+        rng = np.random.default_rng(4)
+        f = rng.random((LAY2.nvars, 6, 6))
+        bs = BoundarySet(((BC.PERIODIC, BC.PERIODIC),
+                          (BC.EXTRAPOLATION, BC.EXTRAPOLATION)))
+        p = pad_with_ghosts(f, 2)
+        fill_ghosts(p, LAY2, bs, 2)
+        np.testing.assert_array_equal(p[:, :2, 2:8], f[:, -2:, :])
+        np.testing.assert_array_equal(p[:, 2:8, 1], p[:, 2:8, 2])
+
+    def test_dim_mismatch_raises(self):
+        f = field_1d()
+        p = pad_with_ghosts(f, 2)
+        with pytest.raises(ConfigurationError):
+            fill_ghosts(p, LAY1, BoundarySet.all_periodic(2), 2)
+
+    def test_too_few_interior_cells_raises(self):
+        f = field_1d(2)
+        p = pad_with_ghosts(f, 3)
+        with pytest.raises(ConfigurationError):
+            fill_ghosts(p, LAY1, BoundarySet.all_periodic(1), 3)

@@ -1,0 +1,78 @@
+"""Tests for the L2 cache model behind the paper's packing analysis."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.hardware import get_device
+from repro.hardware.cache import SetAssociativeCache, transpose_miss_ratio
+
+
+class TestSetAssociativeCache:
+    def test_repeat_access_hits(self):
+        c = SetAssociativeCache(capacity_bytes=4096)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(64)  # same 128-byte line
+        assert c.hits == 2 and c.misses == 1
+
+    def test_distinct_lines_miss(self):
+        c = SetAssociativeCache(capacity_bytes=4096)
+        c.access(0)
+        assert not c.access(128)
+        assert not c.access(256)
+
+    def test_capacity_eviction_lru(self):
+        # 2 lines capacity (1 set x ... ) -> third line evicts the LRU.
+        c = SetAssociativeCache(capacity_bytes=256, ways=2, policy="lru")
+        c.access(0)
+        c.access(128)
+        c.access(256)           # evicts line 0
+        assert not c.access(0)  # miss again
+
+    def test_working_set_within_capacity_all_hits_on_reuse(self):
+        c = SetAssociativeCache(capacity_bytes=64 * 1024, policy="lru")
+        lines = range(0, 32 * 1024, 128)
+        for a in lines:
+            c.access(a)
+        hits_before = c.hits
+        for a in lines:
+            assert c.access(a)
+        assert c.hits == hits_before + len(list(lines))
+
+    def test_miss_ratio_empty(self):
+        assert SetAssociativeCache(capacity_bytes=1024).miss_ratio == 0.0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity_bytes=0)
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity_bytes=1024, policy="fifo")
+
+
+class TestTransposeMissRatio:
+    def test_paper_3x_claim(self):
+        # §V: "the MI250X has three times the L2 cache misses of an A100"
+        # for the array-packing kernels.
+        a100 = transpose_miss_ratio(get_device("a100"))
+        mi = transpose_miss_ratio(get_device("mi250x"))
+        assert mi / a100 == pytest.approx(3.0, rel=0.25)
+
+    def test_ordering_follows_l2_capacity(self):
+        ratios = {k: transpose_miss_ratio(get_device(k))
+                  for k in ("h100", "a100", "mi250x", "v100")}
+        # Bigger L2 -> fewer misses; V100 (6 MB) worst, H100 (50 MB) best.
+        assert ratios["h100"] <= ratios["a100"] < ratios["mi250x"] < ratios["v100"]
+
+    def test_compulsory_floor(self):
+        # Even an infinite cache pays compulsory misses.
+        big = transpose_miss_ratio(get_device("h100"), working_set_bytes=1e6)
+        assert big > 0.0
+
+    def test_larger_working_set_more_misses(self):
+        small = transpose_miss_ratio(get_device("mi250x"), working_set_bytes=6e6)
+        large = transpose_miss_ratio(get_device("mi250x"), working_set_bytes=16e6)
+        assert large > small
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            transpose_miss_ratio(get_device("a100"), scale=0.0)

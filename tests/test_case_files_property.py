@@ -1,0 +1,77 @@
+"""Property-based tests for JSON case files: every valid generated spec
+builds, serialises, and reproduces the same initial condition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import case_from_dict, case_to_dict
+
+fluid_st = st.fixed_dictionaries({
+    "gamma": st.floats(1.1, 6.5),
+    "pi_inf": st.floats(0.0, 1e9),
+})
+
+velocity_st = st.floats(-100.0, 100.0)
+
+
+@st.composite
+def case_spec(draw):
+    ndim = draw(st.integers(1, 2))
+    ncomp = draw(st.integers(1, 3))
+    shape = [draw(st.integers(8, 24)) for _ in range(ndim)]
+    bounds = [[0.0, float(draw(st.floats(0.5, 4.0)))] for _ in range(ndim)]
+    fluids = [draw(fluid_st) for _ in range(ncomp)]
+
+    def patch(geometry):
+        alpha = [float(a) for a in
+                 draw(st.lists(st.floats(0.05, 0.9 / max(ncomp - 1, 1)),
+                               min_size=ncomp - 1, max_size=ncomp - 1))]
+        return {
+            "geometry": geometry,
+            "alpha_rho": [float(draw(st.floats(0.01, 100.0)))
+                          for _ in range(ncomp)],
+            "velocity": [float(draw(velocity_st)) for _ in range(ndim)],
+            "pressure": float(draw(st.floats(1e2, 1e7))),
+            "alpha": alpha,
+        }
+
+    background = patch({"kind": "box",
+                        "lo": [b[0] - 1.0 for b in bounds],
+                        "hi": [b[1] + 1.0 for b in bounds]})
+    center = [0.5 * (b[0] + b[1]) for b in bounds]
+    overlay = patch({"kind": "sphere", "center": center,
+                     "radius": float(draw(st.floats(0.05, 0.5)))})
+    return {
+        "grid": {"bounds": bounds, "shape": shape},
+        "fluids": fluids,
+        "patches": [background, overlay],
+    }
+
+
+class TestCaseFileProperties:
+    @given(case_spec())
+    @settings(max_examples=30, deadline=None)
+    def test_spec_builds_finite_ic(self, spec):
+        case = case_from_dict(spec)
+        q = case.initial_conservative()
+        assert np.all(np.isfinite(q))
+        assert q.shape == (case.layout.nvars, *case.grid.shape)
+
+    @given(case_spec())
+    @settings(max_examples=20, deadline=None)
+    def test_serialise_roundtrip_preserves_ic(self, spec):
+        case = case_from_dict(spec)
+        geoms = [p["geometry"] for p in spec["patches"]]
+        spec2 = case_to_dict(case, geometries=geoms)
+        q1 = case.initial_conservative()
+        q2 = case_from_dict(spec2).initial_conservative()
+        np.testing.assert_array_equal(q1, q2)
+
+    @given(case_spec())
+    @settings(max_examples=15, deadline=None)
+    def test_density_positive_everywhere(self, spec):
+        case = case_from_dict(spec)
+        prim = case.initial_primitive()
+        rho = prim[case.layout.partial_densities].sum(axis=0)
+        assert np.all(rho > 0.0)

@@ -1,0 +1,306 @@
+"""Tests for decomposition, halo exchange, comm/I-O models, and scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bc import BC, BoundarySet
+from repro.cluster import (
+    BlockDecomposition,
+    DistributedSolver,
+    FRONTIER,
+    HaloExchanger,
+    IOModel,
+    CommModel,
+    NetworkModel,
+    ScalingDriver,
+    SUMMIT,
+    factor3d,
+)
+from repro.cluster.halo import pack_face, unpack_face
+from repro.common import ConfigurationError, DTYPE
+from repro.eos import Mixture, StiffenedGas
+from repro.grid import StructuredGrid
+from repro.solver import Case, Patch, RHSConfig, Simulation, box, sphere
+from repro.state import StateLayout
+
+AIR = StiffenedGas(1.4)
+MIX = Mixture((AIR, AIR))
+
+
+class TestFactor3D:
+    def test_perfect_cube(self):
+        assert factor3d(64) == (4, 4, 4)
+
+    def test_powers_of_two(self):
+        assert factor3d(128) == (8, 4, 4)
+        assert factor3d(2048) == (16, 16, 8)
+
+    def test_one_rank(self):
+        assert factor3d(1) == (1, 1, 1)
+
+    def test_prime(self):
+        assert factor3d(7) == (7, 1, 1)
+
+    def test_2d(self):
+        assert factor3d(12, ndim=2) == (4, 3)
+
+    def test_product_preserved(self):
+        for n in (6, 30, 128, 360, 1024):
+            dims = factor3d(n)
+            assert np.prod(dims) == n
+
+    @given(st.integers(1, 10000))
+    @settings(max_examples=50)
+    def test_product_always_preserved(self, n):
+        assert int(np.prod(factor3d(n))) == n
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            factor3d(0)
+
+
+class TestBlockDecomposition:
+    def test_local_cells_sum_to_global(self):
+        d = BlockDecomposition((10, 7), (3, 2), (False, False))
+        total = sum(int(np.prod(d.local_cells(r))) for r in range(d.nranks))
+        assert total == 70
+
+    def test_local_slices_tile_domain(self):
+        d = BlockDecomposition((9,), (3,), (False,))
+        covered = []
+        for r in range(3):
+            s = d.local_slices(r)[0]
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(9))
+
+    def test_rank_coords_roundtrip(self):
+        d = BlockDecomposition((8, 8, 8), (2, 2, 2))
+        for r in range(8):
+            assert d.coords_rank(d.rank_coords(r)) == r
+
+    def test_neighbors_interior(self):
+        d = BlockDecomposition((8, 8), (4, 2), (False, False))
+        r = d.coords_rank((1, 0))
+        assert d.neighbor(r, 0, -1) == d.coords_rank((0, 0))
+        assert d.neighbor(r, 0, 1) == d.coords_rank((2, 0))
+
+    def test_neighbors_at_wall(self):
+        d = BlockDecomposition((8,), (4,), (False,))
+        assert d.neighbor(0, 0, -1) is None
+        assert d.neighbor(3, 0, 1) is None
+
+    def test_periodic_wraps(self):
+        d = BlockDecomposition((8,), (4,), (True,))
+        assert d.neighbor(0, 0, -1) == 3
+        assert d.neighbor(3, 0, 1) == 0
+
+    def test_blocks_beat_slabs_on_surface_to_volume(self):
+        # The paper's §III-A rationale for 3D blocks.
+        cells = (128, 128, 128)
+        blocks = BlockDecomposition.balanced(cells, 64)
+        slabs = BlockDecomposition.slabs(cells, 64)
+        pencils = BlockDecomposition.pencils(cells, 64)
+        r = blocks.coords_rank(tuple(g // 2 for g in blocks.rank_grid))
+        sv_block = blocks.surface_to_volume(r, ng=3)
+        rs = slabs.coords_rank(tuple(g // 2 for g in slabs.rank_grid))
+        sv_slab = slabs.surface_to_volume(rs, ng=3)
+        rp = pencils.coords_rank(tuple(g // 2 for g in pencils.rank_grid))
+        sv_pencil = pencils.surface_to_volume(rp, ng=3)
+        assert sv_block < sv_pencil < sv_slab
+
+    def test_cannot_oversplit(self):
+        with pytest.raises(ConfigurationError):
+            BlockDecomposition((4,), (8,), (False,))
+
+    def test_max_halo_bytes_upper_bounds_actual(self):
+        d = BlockDecomposition((16, 16, 16), (2, 2, 2))
+        bound = d.max_halo_bytes(ng=3, nvars=7)
+        actual = max(d.halo_cells(r, 3) for r in range(8)) * 7 * 8
+        assert bound >= actual
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        lay = StateLayout(2, 1)
+        rng = np.random.default_rng(0)
+        padded = rng.random((lay.nvars, 14))
+        buf = pack_face(padded, 0, 3, -1)
+        assert buf.ndim == 1
+        other = np.zeros_like(padded)
+        unpack_face(other, 0, 3, 1, buf)
+        np.testing.assert_array_equal(other[:, -3:], padded[:, 3:6])
+
+    def test_buffer_size_checked(self):
+        padded = np.zeros((5, 14))
+        with pytest.raises(ConfigurationError):
+            unpack_face(padded, 0, 3, -1, np.zeros(7))
+
+
+def sod_like_setup(n=48, ndim=1):
+    shape = (n,) * ndim
+    bounds = tuple((0.0, 1.0) for _ in range(ndim))
+    grid = StructuredGrid.uniform(bounds, shape)
+    case = Case(grid, MIX)
+    case.add(Patch(box([0.0] * ndim, [1.0] * ndim), (0.5, 0.5),
+                   (0.0,) * ndim, 1.0, (0.5,)))
+    case.add(Patch(sphere([0.4] * ndim, 0.2), (1.0, 1.0),
+                   (0.0,) * ndim, 2.0, (0.5,)))
+    return case
+
+
+class TestDistributedEqualsSerial:
+    @pytest.mark.parametrize("nranks,ndim,bc_factory", [
+        (4, 1, BoundarySet.all_extrapolation),
+        (3, 1, BoundarySet.all_reflective),
+        (2, 1, BoundarySet.all_periodic),
+        (4, 2, BoundarySet.all_extrapolation),
+        (4, 2, BoundarySet.all_periodic),
+    ])
+    def test_bitwise_identical(self, nranks, ndim, bc_factory):
+        case = sod_like_setup(24 if ndim == 2 else 48, ndim)
+        bcs = bc_factory(ndim)
+        sim = Simulation(case, bcs, fixed_dt=5e-4, check_every=0)
+        q0 = sim.q.copy()
+        for _ in range(4):
+            sim.step()
+
+        periodic = tuple(b[0] is BC.PERIODIC for b in bcs.per_axis)
+        decomp = BlockDecomposition.balanced(case.grid.shape, nranks,
+                                             periodic=periodic)
+        ds = DistributedSolver(case.grid, case.layout, MIX, bcs, decomp,
+                               RHSConfig())
+        q_dist = ds.run(q0, dt=5e-4, n_steps=4)
+        np.testing.assert_array_equal(q_dist, sim.q)
+
+    def test_halo_byte_accounting(self):
+        case = sod_like_setup(48, 1)
+        bcs = BoundarySet.all_extrapolation(1)
+        decomp = BlockDecomposition((48,), (4,), (False,))
+        ds = DistributedSolver(case.grid, case.layout, MIX, bcs, decomp, RHSConfig())
+        ds.run(case.initial_conservative(), dt=5e-4, n_steps=1)
+        # 3 interior faces x 2 directions x 3 RK stages x 1 axis sweep.
+        assert ds.halo.messages == 3 * 2 * 3
+        assert ds.halo.bytes_exchanged == ds.halo.messages * 3 * case.layout.nvars * 8
+
+    def test_split_gather_roundtrip(self):
+        lay = StateLayout(2, 2)
+        decomp = BlockDecomposition((12, 8), (3, 2))
+        h = HaloExchanger(decomp, lay, BoundarySet.all_extrapolation(2), 3)
+        rng = np.random.default_rng(5)
+        field = rng.random((lay.nvars, 12, 8))
+        np.testing.assert_array_equal(h.gather(h.split(field)), field)
+
+    def test_periodicity_mismatch_rejected(self):
+        lay = StateLayout(2, 1)
+        decomp = BlockDecomposition((8,), (2,), (False,))
+        with pytest.raises(ConfigurationError):
+            HaloExchanger(decomp, lay, BoundarySet.all_periodic(1), 2)
+
+
+class TestCommModel:
+    def test_message_time_monotone_in_size(self):
+        net = NetworkModel.of(FRONTIER)
+        assert net.message_time(1e6) < net.message_time(1e7)
+
+    def test_latency_floor(self):
+        net = NetworkModel.of(FRONTIER)
+        assert net.message_time(0) == pytest.approx(FRONTIER.mpi_latency_us * 1e-6)
+
+    def test_contention_unity_below_threshold(self):
+        net = NetworkModel.of(FRONTIER)
+        assert net.contention(16) == 1.0
+        assert net.contention(8192) > 1.0
+
+    def test_staged_slower_than_gpu_aware(self):
+        ga = CommModel(FRONTIER, gpu_aware=True)
+        st_ = CommModel(FRONTIER, gpu_aware=False)
+        assert st_.sendrecv_time(1e7) > ga.sendrecv_time(1e7)
+
+    def test_halo_time_grows_with_block_surface(self):
+        cm = CommModel(FRONTIER)
+        small = cm.halo_exchange_time(local_cells=(64, 64, 64), ng=3, nvars=7)
+        large = cm.halo_exchange_time(local_cells=(128, 128, 128), ng=3, nvars=7)
+        assert large > small
+
+
+class TestIOModel:
+    def test_shared_file_superlinear(self):
+        io = IOModel()
+        per_rank = 1e6
+        t1 = io.shared_file_time(1024, per_rank)
+        t2 = io.shared_file_time(2048, per_rank)
+        assert t2 > 2.0 * t1 * 0.9  # superlinear-ish growth
+
+    def test_fpp_scales_linearly(self):
+        io = IOModel()
+        per_rank = 1e6
+        t1 = io.file_per_process_time(1024, per_rank)
+        t2 = io.file_per_process_time(2048, per_rank)
+        assert t2 < 2.5 * t1
+
+    def test_fpp_wins_at_scale(self):
+        # The paper's 65,536-GCD observation.
+        io = IOModel()
+        per_rank = 32e6 * 7 * 8 / 1000  # 1/1000th of state per snapshot
+        assert io.file_per_process_time(65536, per_rank) < \
+            io.shared_file_time(65536, per_rank)
+
+    def test_crossover_exists(self):
+        io = IOModel()
+        n = io.crossover_ranks(1e6)
+        assert 2 <= n <= 1 << 20
+
+    def test_wave_count_effect(self):
+        io_small_waves = IOModel(wave_size=16)
+        io_big_waves = IOModel(wave_size=1024)
+        assert io_small_waves.file_per_process_time(4096, 1e6) > \
+            io_big_waves.file_per_process_time(4096, 1e6)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            IOModel(wave_size=0)
+        with pytest.raises(ConfigurationError):
+            IOModel().shared_file_time(0, 1e6)
+
+
+class TestScalingDriver:
+    def test_weak_scaling_near_unity(self):
+        drv = ScalingDriver(FRONTIER)
+        eff = drv.weak_efficiency(drv.weak_scaling(32_000_000, [128, 1024, 65536]))
+        assert eff[0] == 1.0
+        assert all(0.9 < e <= 1.001 for e in eff)
+
+    def test_weak_efficiency_decreases(self):
+        drv = ScalingDriver(FRONTIER)
+        eff = drv.weak_efficiency(drv.weak_scaling(32_000_000, [128, 8192, 65536]))
+        assert eff[2] <= eff[1] <= eff[0] + 1e-9
+
+    def test_strong_efficiency_decreases(self):
+        drv = ScalingDriver(FRONTIER, gpu_aware=False)
+        eff = drv.strong_efficiency(drv.strong_scaling(32e6 * 128,
+                                                       [128, 512, 2048]))
+        assert eff[0] == 1.0
+        assert eff[2] < eff[1] < 1.0
+
+    def test_gpu_aware_improves_strong_scaling(self):
+        pts_ga = ScalingDriver(FRONTIER, gpu_aware=True)
+        pts_st = ScalingDriver(FRONTIER, gpu_aware=False)
+        e_ga = pts_ga.strong_efficiency(pts_ga.strong_scaling(32e6 * 128, [128, 2048]))
+        e_st = pts_st.strong_efficiency(pts_st.strong_scaling(32e6 * 128, [128, 2048]))
+        assert e_ga[1] > e_st[1]
+
+    def test_smaller_problem_scales_worse(self):
+        drv = ScalingDriver(FRONTIER, gpu_aware=False)
+        big = drv.strong_efficiency(drv.strong_scaling(32e6 * 128, [128, 2048]))
+        small = drv.strong_efficiency(drv.strong_scaling(16e6 * 128, [128, 2048]))
+        assert small[1] < big[1]
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScalingDriver(SUMMIT).weak_scaling(1_000_000, [])
+
+    def test_machine_fraction(self):
+        assert FRONTIER.fraction_of_machine(65536) == pytest.approx(0.87, abs=0.01)
+        assert SUMMIT.fraction_of_machine(13824) == pytest.approx(0.50, abs=0.01)

@@ -1,0 +1,100 @@
+"""Property-based tests for the cluster substrate: random decompositions,
+random fields, random BCs — the distributed path must always agree with
+the serial one."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bc import BC, BoundarySet
+from repro.cluster import BlockDecomposition, DistributedSolver, HaloExchanger
+from repro.cluster.mpi_sim import NetworkModel, allreduce_time
+from repro.cluster.topology import FRONTIER
+from repro.common import ConfigurationError, DTYPE
+from repro.eos import Mixture, StiffenedGas
+from repro.grid import StructuredGrid
+from repro.solver import RHS, RHSConfig
+from repro.state import StateLayout
+
+AIR = StiffenedGas(1.4)
+MIX = Mixture((AIR, AIR))
+
+
+@st.composite
+def decomp_1d(draw):
+    nranks = draw(st.integers(1, 6))
+    cells = draw(st.integers(max(nranks * 3, 12), 48))
+    periodic = draw(st.booleans())
+    return cells, nranks, periodic
+
+
+class TestHaloProperty:
+    @given(decomp_1d(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_distributed_rhs_equals_serial_rhs(self, cfg, seed):
+        cells, nranks, periodic = cfg
+        rng = np.random.default_rng(seed)
+        lay = StateLayout(2, 1)
+        grid = StructuredGrid.uniform(((0.0, 1.0),), (cells,))
+        bcs = (BoundarySet.all_periodic(1) if periodic
+               else BoundarySet.all_extrapolation(1))
+
+        prim = np.empty((lay.nvars, cells), dtype=DTYPE)
+        prim[lay.partial_densities] = rng.uniform(0.2, 1.0, (2, cells))
+        prim[lay.velocity] = rng.uniform(-0.5, 0.5, (1, cells))
+        prim[lay.pressure] = rng.uniform(0.5, 2.0, cells)
+        prim[lay.advected] = rng.uniform(0.2, 0.8, (1, cells))
+        from repro.state import prim_to_cons
+
+        q = prim_to_cons(lay, MIX, prim)
+
+        serial = RHS(lay, MIX, grid, bcs)(q)
+        decomp = BlockDecomposition((cells,), (nranks,), (periodic,))
+        ds = DistributedSolver(grid, lay, MIX, bcs, decomp, RHSConfig())
+        blocks = ds.halo.split(q)
+        dist = ds.halo.gather(ds.rhs_blocks(blocks))
+        np.testing.assert_array_equal(dist, serial)
+
+    @given(st.integers(2, 5), st.integers(2, 4), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_split_gather_identity_2d(self, rx, ry, seed):
+        lay = StateLayout(2, 2)
+        cells = (rx * 5, ry * 4)
+        decomp = BlockDecomposition(cells, (rx, ry))
+        h = HaloExchanger(decomp, lay, BoundarySet.all_extrapolation(2), 3)
+        rng = np.random.default_rng(seed)
+        field = rng.random((lay.nvars, *cells))
+        np.testing.assert_array_equal(h.gather(h.split(field)), field)
+
+    @given(st.integers(1, 512))
+    @settings(max_examples=30)
+    def test_every_rank_block_positive(self, nranks):
+        cells = (600, 600, 600)  # larger than any prime factor of <= 512
+        decomp = BlockDecomposition.balanced(cells, nranks)
+        for r in (0, nranks // 2, nranks - 1):
+            local = decomp.local_cells(r)
+            assert all(c >= 1 for c in local)
+
+
+class TestAllreduce:
+    def test_single_rank_free(self):
+        net = NetworkModel.of(FRONTIER)
+        assert allreduce_time(net, 1) == 0.0
+
+    def test_logarithmic_growth(self):
+        net = NetworkModel.of(FRONTIER)
+        t256 = allreduce_time(net, 256)
+        t65536 = allreduce_time(net, 65536)
+        # 8 doublings more -> cost grows by exactly 16/8 hops ratio.
+        assert t65536 / t256 == pytest.approx(2.0, rel=1e-9)
+
+    def test_microseconds_at_machine_scale(self):
+        # Paper §IV-B: "no significant collective communication".
+        net = NetworkModel.of(FRONTIER)
+        assert allreduce_time(net, 65536) < 200e-6
+
+    def test_invalid_ranks(self):
+        net = NetworkModel.of(FRONTIER)
+        with pytest.raises(ConfigurationError):
+            allreduce_time(net, 0)

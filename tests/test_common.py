@@ -1,0 +1,122 @@
+"""Tests for repro.common: dtype policy, timers, error hierarchy."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    DTYPE,
+    EPS,
+    ConfigurationError,
+    DirectiveError,
+    NumericsError,
+    PositivityError,
+    ReproError,
+    ShapeError,
+    Stopwatch,
+    WallTimer,
+    as_float_array,
+    require_float,
+)
+
+
+class TestDtypePolicy:
+    def test_dtype_is_float64(self):
+        assert DTYPE == np.float64
+
+    def test_eps_matches_machine_epsilon(self):
+        assert EPS == np.finfo(np.float64).eps
+
+    def test_as_float_array_from_list(self):
+        arr = as_float_array([1, 2, 3])
+        assert arr.dtype == DTYPE
+        assert arr.flags.c_contiguous
+
+    def test_as_float_array_no_copy_when_valid(self):
+        src = np.ones(5, dtype=DTYPE)
+        assert as_float_array(src) is src
+
+    def test_as_float_array_copy_flag_forces_copy(self):
+        src = np.ones(5, dtype=DTYPE)
+        out = as_float_array(src, copy=True)
+        assert out is not src
+        out[0] = 7.0
+        assert src[0] == 1.0
+
+    def test_as_float_array_fixes_noncontiguous(self):
+        src = np.ones((4, 4), dtype=DTYPE)[:, ::2]
+        out = as_float_array(src)
+        assert out.flags.c_contiguous
+
+    def test_as_float_array_converts_float32(self):
+        out = as_float_array(np.ones(3, dtype=np.float32))
+        assert out.dtype == DTYPE
+
+    def test_require_float_accepts_valid(self):
+        arr = np.zeros((2, 3), dtype=DTYPE)
+        assert require_float(arr, ndim=2) is arr
+
+    def test_require_float_rejects_wrong_dtype(self):
+        with pytest.raises(ShapeError):
+            require_float(np.zeros(3, dtype=np.float32))
+
+    def test_require_float_rejects_non_array(self):
+        with pytest.raises(ShapeError):
+            require_float([1.0, 2.0])
+
+    def test_require_float_rejects_wrong_ndim(self):
+        with pytest.raises(ShapeError):
+            require_float(np.zeros(3, dtype=DTYPE), ndim=2)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (ConfigurationError, ShapeError, NumericsError, DirectiveError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(PositivityError, NumericsError)
+
+    def test_reproerror_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+
+class TestTimers:
+    def test_walltimer_measures_elapsed(self):
+        with WallTimer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_walltimer_resets_between_uses(self):
+        t = WallTimer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first or first == 0.0
+
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        sw.add("a", 1.0)
+        sw.add("a", 2.0)
+        sw.add("b", 1.0)
+        assert sw.laps["a"] == 3.0
+        assert sw.total() == 4.0
+
+    def test_stopwatch_fractions_sum_to_one(self):
+        sw = Stopwatch()
+        sw.add("x", 3.0)
+        sw.add("y", 1.0)
+        fr = sw.fractions()
+        assert fr["x"] == pytest.approx(0.75)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_stopwatch_empty_fractions(self):
+        assert Stopwatch().fractions() == {}
+
+    def test_stopwatch_context_manager(self):
+        sw = Stopwatch()
+        with sw.time("section"):
+            time.sleep(0.005)
+        assert sw.laps["section"] >= 0.004

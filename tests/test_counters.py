@@ -1,0 +1,69 @@
+"""Tests for the modeled hardware counters."""
+
+import pytest
+
+from repro.hardware import ProblemShape, get_device, rhs_workloads
+from repro.profiling.counters import counters_report, kernel_counters
+
+WORKS = rhs_workloads(ProblemShape(cells=1_000_000))
+
+
+def work(fam):
+    return next(w for w in WORKS if w.kernel_class == fam)
+
+
+class TestKernelCounters:
+    def test_traffic_splits_sum_to_total(self):
+        c = kernel_counters(get_device("a100"), work("weno"))
+        assert c.dram_read_bytes + c.dram_write_bytes == pytest.approx(
+            work("weno").bytes)
+
+    def test_bandwidth_below_peak(self):
+        for fam in ("weno", "riemann", "pack", "other"):
+            c = kernel_counters(get_device("a100"), work(fam))
+            assert 0.0 < c.bw_fraction_of_peak <= 1.0, fam
+
+    def test_flops_fraction_matches_fig1(self):
+        c = kernel_counters(get_device("v100"), work("weno"))
+        assert c.fp64_fraction_of_peak == pytest.approx(0.45, abs=0.05)
+
+    def test_pack_kernel_has_no_flops(self):
+        c = kernel_counters(get_device("a100"), work("pack"))
+        assert c.fp64_gflops == 0.0
+
+    def test_pack_l2_miss_ratio_from_cache_model(self):
+        a = kernel_counters(get_device("a100"), work("pack"))
+        m = kernel_counters(get_device("mi250x"), work("pack"), "cce")
+        assert m.l2_miss_ratio / a.l2_miss_ratio == pytest.approx(3.0, rel=0.25)
+
+    def test_compute_kernel_reuse_lowers_misses(self):
+        weno = kernel_counters(get_device("a100"), work("weno"))
+        riemann = kernel_counters(get_device("a100"), work("riemann"))
+        # Higher arithmetic intensity -> more reuse -> lower miss ratio.
+        assert weno.l2_miss_ratio < riemann.l2_miss_ratio
+
+    def test_occupancy_full_at_1m_cells(self):
+        c = kernel_counters(get_device("a100"), work("weno"))
+        assert c.occupancy == 1.0
+
+    def test_occupancy_partial_for_small_kernels(self):
+        small = work("weno").scaled(1e-3)  # ~1000 threads
+        c = kernel_counters(get_device("a100"), small)
+        assert 0.0 < c.occupancy < 0.05
+
+    def test_cpu_occupancy_is_unity(self):
+        c = kernel_counters(get_device("epyc9564"), work("weno").scaled(1e-3))
+        assert c.occupancy == 1.0
+
+    def test_l2_misses_positive(self):
+        c = kernel_counters(get_device("mi250x"), work("pack"), "cce")
+        assert c.l2_misses > 0.0
+
+
+class TestCountersReport:
+    def test_report_structure(self):
+        rep = counters_report(get_device("mi250x"), WORKS, "cce")
+        assert "AMD MI250X" in rep
+        assert "weno_reconstruction" in rep
+        assert "L2miss" in rep
+        assert len(rep.splitlines()) == 2 + len(WORKS)

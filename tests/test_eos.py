@@ -1,0 +1,153 @@
+"""Tests for the stiffened-gas EOS and Allaire mixture rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError, DTYPE
+from repro.eos import Mixture, StiffenedGas, mixture_gamma_pi
+from repro.eos.stiffened_gas import AIR, WATER
+
+gammas = st.floats(min_value=1.05, max_value=8.0, allow_nan=False)
+pi_infs = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+pressures = st.floats(min_value=1e-3, max_value=1e9, allow_nan=False)
+densities = st.floats(min_value=1e-3, max_value=1e5, allow_nan=False)
+
+
+class TestStiffenedGas:
+    def test_rejects_gamma_at_most_one(self):
+        with pytest.raises(ConfigurationError):
+            StiffenedGas(gamma=1.0)
+        with pytest.raises(ConfigurationError):
+            StiffenedGas(gamma=0.9)
+
+    def test_rejects_negative_pi_inf(self):
+        with pytest.raises(ConfigurationError):
+            StiffenedGas(gamma=1.4, pi_inf=-1.0)
+
+    def test_ideal_gas_limit(self):
+        # pi_inf = 0 recovers p = (gamma - 1) rho e.
+        p = AIR.pressure(1.0, np.array(2.5))
+        assert p == pytest.approx(1.0)
+
+    def test_internal_energy_known_value(self):
+        # rho e = p/(g-1) + g*pi/(g-1); air at p=1: 1/0.4 = 2.5.
+        assert AIR.internal_energy(1.0, 1.0) == pytest.approx(2.5)
+
+    def test_sound_speed_air(self):
+        # c = sqrt(1.4 * 1 / 1) for p=rho=1.
+        assert AIR.sound_speed(1.0, 1.0) == pytest.approx(np.sqrt(1.4))
+
+    def test_water_is_stiff(self):
+        # Water's sound speed at ambient conditions ~ 1450 m/s.
+        c = WATER.sound_speed(1000.0, 101325.0)
+        assert 1200.0 < c < 1700.0
+
+    def test_gamma_pi_coefficients(self):
+        sg = StiffenedGas(gamma=3.0, pi_inf=10.0)
+        assert sg.Gamma == pytest.approx(0.5)
+        assert sg.Pi == pytest.approx(15.0)
+
+    @given(gammas, pi_infs, densities, pressures)
+    @settings(max_examples=100)
+    def test_pressure_energy_roundtrip(self, g, pi, rho, p):
+        sg = StiffenedGas(gamma=g, pi_inf=pi)
+        rho_e = sg.internal_energy(rho, p)
+        assert sg.pressure(rho, rho_e) == pytest.approx(p, rel=1e-9, abs=1e-6)
+
+    @given(gammas, pi_infs, densities, pressures)
+    @settings(max_examples=100)
+    def test_sound_speed_positive(self, g, pi, rho, p):
+        sg = StiffenedGas(gamma=g, pi_inf=pi)
+        assert sg.sound_speed(rho, p) > 0.0
+
+    def test_is_physical(self):
+        assert AIR.is_physical(1.0, 1.0)
+        assert not AIR.is_physical(-1.0, 1.0)
+        assert not AIR.is_physical(1.0, -0.5)
+        # Stiffened gas tolerates negative pressure above -pi_inf.
+        assert WATER.is_physical(1000.0, -1e6)
+
+    def test_vectorized_over_fields(self):
+        rho = np.ones((4, 5))
+        p = np.full((4, 5), 2.0)
+        c = AIR.sound_speed(rho, p)
+        assert c.shape == (4, 5)
+        assert np.allclose(c, np.sqrt(1.4 * 2.0))
+
+
+class TestMixture:
+    def setup_method(self):
+        self.mix = Mixture((AIR, WATER))
+
+    def test_requires_at_least_one_fluid(self):
+        with pytest.raises(ConfigurationError):
+            Mixture(())
+
+    def test_ncomp(self):
+        assert self.mix.ncomp == 2
+
+    def test_pure_air_limit(self):
+        alphas = np.array([[1.0 - 1e-12], [1e-12]])
+        p = np.array([101325.0])
+        rho_e = self.mix.internal_energy(alphas, p)
+        assert rho_e[0] == pytest.approx(AIR.internal_energy(1.0, 101325.0), rel=1e-4)
+
+    def test_pure_water_limit(self):
+        alphas = np.array([[1e-12], [1.0 - 1e-12]])
+        p = np.array([101325.0])
+        c = self.mix.sound_speed(alphas, np.array([1000.0]), p)
+        assert c[0] == pytest.approx(WATER.sound_speed(1000.0, 101325.0), rel=1e-4)
+
+    def test_gamma_pi_is_volume_weighted(self):
+        alphas = np.array([[0.25], [0.75]])
+        Gm, Pm = self.mix.gamma_pi(alphas)
+        assert Gm[0] == pytest.approx(0.25 * AIR.Gamma + 0.75 * WATER.Gamma)
+        assert Pm[0] == pytest.approx(0.25 * AIR.Pi + 0.75 * WATER.Pi)
+
+    def test_gamma_pi_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            self.mix.gamma_pi(np.ones((3, 4)))
+
+    def test_pressure_energy_roundtrip_mixture(self):
+        alphas = np.array([[0.3, 0.6], [0.7, 0.4]])
+        p = np.array([2e5, 3e5])
+        rho_e = self.mix.internal_energy(alphas, p)
+        back = self.mix.pressure(alphas, rho_e)
+        np.testing.assert_allclose(back, p, rtol=1e-12)
+
+    @given(st.floats(min_value=1e-6, max_value=1.0 - 1e-6), pressures, densities)
+    @settings(max_examples=50)
+    def test_roundtrip_random_fraction(self, a1, p, rho):
+        alphas = np.array([[a1], [1.0 - a1]])
+        rho_e = self.mix.internal_energy(alphas, np.array([p]))
+        assert self.mix.pressure(alphas, rho_e)[0] == pytest.approx(p, rel=1e-9, abs=1e-6)
+
+    def test_mixture_gamma_pi_function(self):
+        alphas = np.array([[0.5], [0.5]])
+        Gm, Pm = mixture_gamma_pi(alphas, (AIR, WATER))
+        Gm2, Pm2 = self.mix.gamma_pi(alphas)
+        np.testing.assert_allclose(Gm, Gm2)
+        np.testing.assert_allclose(Pm, Pm2)
+
+    def test_mixture_gamma_pi_count_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            mixture_gamma_pi(np.ones((3, 2)), (AIR, WATER))
+
+    def test_sound_speed_between_limits_for_similar_fluids(self):
+        # For two ideal gases the frozen mixture speed interpolates.
+        gas1 = StiffenedGas(1.4)
+        gas2 = StiffenedGas(1.6)
+        mix = Mixture((gas1, gas2))
+        a = np.linspace(0.01, 0.99, 9)
+        alphas = np.stack([a, 1.0 - a])
+        c = mix.sound_speed(alphas, np.ones(9), np.ones(9))
+        c1 = gas1.sound_speed(1.0, 1.0)
+        c2 = gas2.sound_speed(1.0, 1.0)
+        assert np.all(c >= min(c1, c2) - 1e-12)
+        assert np.all(c <= max(c1, c2) + 1e-12)
+
+    def test_results_are_float64(self):
+        alphas = np.array([[0.5], [0.5]], dtype=DTYPE)
+        assert self.mix.internal_energy(alphas, np.array([1.0])).dtype == DTYPE

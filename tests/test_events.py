@@ -1,0 +1,149 @@
+"""Tests for the discrete-event cluster timeline simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BlockDecomposition, FRONTIER, SUMMIT
+from repro.cluster.events import Event, EventSimulator, StepTimeline
+from repro.common import ConfigurationError
+
+
+def sim_for(cells=(64, 64, 64), nranks=8, **kw):
+    decomp = BlockDecomposition.balanced(cells, nranks)
+    return EventSimulator(FRONTIER, decomp, **kw)
+
+
+class TestEvent:
+    def test_duration(self):
+        assert Event(0, "compute", 1.0, 3.5).duration == 2.5
+
+
+class TestTimelineBasics:
+    def test_balanced_run_has_no_idle(self):
+        # Perfectly divisible cells: every rank identical; messages pair
+        # up exactly, so nobody waits (up to the end-of-step skew of the
+        # wall ranks, which have fewer unpacks).
+        tl = sim_for(cells=(64, 64, 64), nranks=8).simulate_rhs()
+        assert tl.finish > 0.0
+        assert tl.max_idle_fraction() < 0.005
+
+    def test_event_kinds_present(self):
+        tl = sim_for().simulate_rhs()
+        kinds = {e.kind for e in tl.events}
+        assert {"compute", "pack", "wire", "unpack"} <= kinds
+        assert "stage" not in kinds  # GPU-aware by default
+
+    def test_staged_adds_stage_events(self):
+        tl = sim_for(gpu_aware=False).simulate_rhs()
+        assert any(e.kind == "stage" for e in tl.events)
+
+    def test_staged_slower_than_gpu_aware(self):
+        t_ga = sim_for(gpu_aware=True).simulate_rhs().finish
+        t_st = sim_for(gpu_aware=False).simulate_rhs().finish
+        assert t_st > t_ga
+
+    def test_events_ordered_per_rank(self):
+        tl = sim_for().simulate_rhs()
+        for r in range(tl.nranks):
+            evs = sorted(tl.rank_events(r), key=lambda e: e.start)
+            for a, b in zip(evs, evs[1:]):
+                assert b.start >= a.start
+
+    def test_step_is_three_rhs(self):
+        sim = sim_for()
+        rhs = sim.simulate_rhs().finish
+        step = sim.simulate_step(rhs_evals=3).finish
+        assert step == pytest.approx(3.0 * rhs, rel=1e-9)
+
+    def test_requires_3d(self):
+        decomp = BlockDecomposition((64, 64), (2, 2))
+        with pytest.raises(ConfigurationError):
+            EventSimulator(FRONTIER, decomp)
+
+
+class TestImbalance:
+    def test_remainder_blocks_create_idle(self):
+        # 130 cells across 4 ranks along one axis: 33/33/32/32-cell
+        # slabs.  Blocks are large enough to saturate the device, so the
+        # bigger blocks genuinely compute longer and their neighbours
+        # wait at the exchange.
+        decomp = BlockDecomposition((130, 64, 64), (4, 1, 1))
+        tl = EventSimulator(FRONTIER, decomp).simulate_rhs()
+        assert tl.max_idle_fraction() > 0.005
+
+    def test_subsaturation_blocks_hide_imbalance(self):
+        # Below the GPU's saturation thread count, block time is set by
+        # occupancy, not cells — a small remainder costs nothing.
+        decomp = BlockDecomposition((65, 32, 32), (4, 1, 1))
+        tl = EventSimulator(FRONTIER, decomp).simulate_rhs()
+        assert tl.max_idle_fraction() < 0.005
+
+    def test_compute_noise_creates_idle(self):
+        tl = sim_for(compute_noise=0.2, seed=1).simulate_rhs()
+        assert tl.max_idle_fraction() > 0.01
+
+    def test_noise_extends_critical_path(self):
+        quiet = sim_for(compute_noise=0.0).simulate_rhs().finish
+        noisy = sim_for(compute_noise=0.2, seed=1).simulate_rhs().finish
+        assert noisy > quiet
+
+    def test_timeline_agrees_with_closed_form_order(self):
+        # The event simulator's step time is within ~25% of the
+        # ScalingDriver's closed-form estimate on a balanced problem.
+        from repro.cluster import ScalingDriver
+
+        nranks, cells_per = 8, 32 ** 3
+        decomp = BlockDecomposition.balanced((64, 64, 64), nranks)
+        tl = EventSimulator(FRONTIER, decomp).simulate_step()
+        drv = ScalingDriver(FRONTIER, gpu_aware=True)
+        pts = drv.weak_scaling(cells_per, [nranks])
+        assert tl.finish == pytest.approx(pts[0].step_seconds, rel=0.3)
+
+
+class TestGantt:
+    def test_gantt_renders(self):
+        tl = sim_for(nranks=4).simulate_rhs()
+        art = tl.gantt(width=40)
+        lines = art.splitlines()
+        assert "ms" in lines[0]
+        assert len(lines) == 5  # header + 4 ranks
+        assert all(line.startswith("r") for line in lines[1:])
+        assert "c" in art and "w" in art
+
+    def test_gantt_truncates_ranks(self):
+        tl = sim_for(nranks=27, cells=(66, 66, 66)).simulate_rhs()
+        art = tl.gantt(max_ranks=4)
+        assert "more ranks" in art
+
+
+class TestIntraNodeLinks:
+    def test_intra_node_speeds_small_runs(self):
+        # 8 GCDs = one Frontier node: with intra-node links every message
+        # takes the xGMI path and the step gets faster.
+        decomp = BlockDecomposition.balanced((128, 128, 128), 8)
+        slow = EventSimulator(FRONTIER, decomp).simulate_rhs().finish
+        fast = EventSimulator(FRONTIER, decomp,
+                              use_intra_node_links=True).simulate_rhs().finish
+        assert fast < slow
+
+    def test_no_effect_on_single_rank(self):
+        decomp = BlockDecomposition.balanced((64, 64, 64), 1)
+        a = EventSimulator(FRONTIER, decomp).simulate_rhs().finish
+        b = EventSimulator(FRONTIER, decomp,
+                           use_intra_node_links=True).simulate_rhs().finish
+        assert a == b
+
+    def test_node_boundary_stays_on_critical_path(self):
+        # 16 ranks on 2 nodes, slabs along one axis: interior messages
+        # get faster (total wire time drops) but the node-boundary pair
+        # still pays NIC time, so the critical path is unchanged.
+        decomp = BlockDecomposition((512, 64, 64), (16, 1, 1))
+        base = EventSimulator(FRONTIER, decomp).simulate_rhs()
+        mixed = EventSimulator(FRONTIER, decomp,
+                               use_intra_node_links=True).simulate_rhs()
+
+        def wire_total(tl):
+            return sum(e.duration for e in tl.events if e.kind == "wire")
+
+        assert wire_total(mixed) < wire_total(base)
+        assert mixed.finish == pytest.approx(base.finish, rel=1e-9)

@@ -1,0 +1,98 @@
+"""Tests for the azimuthal low-pass FFT filter."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.fftfilter import FFTFilterPlan, lowpass_azimuthal
+from repro.grid import CylindricalGrid, StructuredGrid
+
+
+def cyl_grid(nz=4, nr=8, ntheta=32):
+    zr = StructuredGrid.uniform(((0.0, 1.0), (0.05, 1.0)), (nz, nr))
+    return CylindricalGrid(zr, ntheta)
+
+
+class TestFFTFilterPlan:
+    def test_passes_low_modes_exactly(self):
+        n = 32
+        theta = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        data = (1.0 + np.cos(2 * theta))[None, :]  # modes 0 and 2
+        plan = FFTFilterPlan(n, np.array([4]))
+        out = plan.execute(data)
+        np.testing.assert_allclose(out, data, atol=1e-12)
+
+    def test_removes_high_modes(self):
+        n = 32
+        theta = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        data = np.cos(10 * theta)[None, :]
+        plan = FFTFilterPlan(n, np.array([4]))
+        out = plan.execute(data)
+        np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+    def test_mixed_signal_keeps_only_low(self):
+        n = 64
+        theta = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        low = np.sin(3 * theta)
+        high = 0.5 * np.sin(20 * theta)
+        plan = FFTFilterPlan(n, np.array([8]))
+        out = plan.execute((low + high)[None, :])
+        np.testing.assert_allclose(out[0], low, atol=1e-12)
+
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((3, 16))
+        plan = FFTFilterPlan(16, np.full(3, 2))
+        out = plan.execute(data)
+        np.testing.assert_allclose(out.mean(axis=-1), data.mean(axis=-1), rtol=1e-12)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((2, 32))
+        plan = FFTFilterPlan(32, np.array([5, 9]))
+        once = plan.execute(data)
+        twice = plan.execute(once)
+        np.testing.assert_allclose(twice, once, atol=1e-12)
+
+    def test_per_ring_cutoffs_differ(self):
+        n = 32
+        theta = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        data = np.tile(np.cos(6 * theta), (2, 1))
+        plan = FFTFilterPlan(n, np.array([2, 10]))
+        out = plan.execute(data)
+        np.testing.assert_allclose(out[0], 0.0, atol=1e-12)   # filtered
+        np.testing.assert_allclose(out[1], data[1], atol=1e-12)  # kept
+
+    def test_shape_validation(self):
+        plan = FFTFilterPlan(16, np.array([2, 2]))
+        with pytest.raises(ConfigurationError):
+            plan.execute(np.zeros((2, 8)))     # wrong ntheta
+        with pytest.raises(ConfigurationError):
+            plan.execute(np.zeros((3, 16)))    # wrong ring count
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            FFTFilterPlan(2, np.array([1]))
+        with pytest.raises(ConfigurationError):
+            FFTFilterPlan(16, np.array([-1]))
+
+
+class TestLowpassAzimuthal:
+    def test_filters_inner_rings_harder(self):
+        g = cyl_grid(nz=2, nr=8, ntheta=32)
+        theta = np.linspace(0, 2 * np.pi, 32, endpoint=False)
+        # Mode-10 wiggle everywhere.
+        field = np.broadcast_to(np.cos(10 * theta), (1, 2, 8, 32)).copy()
+        out = lowpass_azimuthal(g, field)
+        cut = g.mode_cutoff()
+        inner_energy = np.abs(out[0, 0, 0]).max()
+        outer_energy = np.abs(out[0, 0, -1]).max()
+        assert cut[0] < 10 <= cut[-1] + 6  # inner ring cuts mode 10
+        assert inner_energy < 1e-10
+        assert outer_energy > 0.9
+
+    def test_preserves_axisymmetric_flow(self):
+        g = cyl_grid()
+        field = np.ones((2, 4, 8, 32))
+        out = lowpass_azimuthal(g, field)
+        np.testing.assert_allclose(out, field, atol=1e-12)

@@ -1,0 +1,189 @@
+"""Tests for field banks, packing, and the three transpose paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError, DTYPE, ShapeError
+from repro.fields import (
+    FieldBank,
+    ScalarField,
+    geam_transpose_cutensor,
+    geam_transpose_hipblas,
+    pack_bank,
+    transpose_loop,
+    unpack_bank,
+)
+from repro.fields.packing import bank_from_packed
+from repro.fields.transpose import COALESCE_Z_PERM
+
+
+def random_bank(nvars=5, shape=(4, 3, 6), seed=0):
+    rng = np.random.default_rng(seed)
+    return FieldBank([ScalarField(rng.random(shape).astype(DTYPE), f"v{i}")
+                      for i in range(nvars)])
+
+
+class TestScalarField:
+    def test_requires_float64(self):
+        with pytest.raises(ShapeError):
+            ScalarField(np.zeros(3, dtype=np.float32))
+
+    def test_shape_property(self):
+        f = ScalarField(np.zeros((2, 3), dtype=DTYPE), "a")
+        assert f.shape == (2, 3)
+
+
+class TestFieldBank:
+    def test_fields_are_separate_allocations(self):
+        bank = FieldBank.zeros(4, (3, 3))
+        bases = {bank[i].__array_interface__["data"][0] for i in range(4)}
+        assert len(bases) == 4
+
+    def test_from_stacked_copies(self):
+        stacked = np.ones((3, 2, 2), dtype=DTYPE)
+        bank = FieldBank.from_stacked(stacked)
+        stacked[0, 0, 0] = 9.0
+        assert bank[0][0, 0] == 1.0
+
+    def test_to_stacked_roundtrip(self):
+        bank = random_bank()
+        np.testing.assert_array_equal(
+            FieldBank.from_stacked(bank.to_stacked()).to_stacked(),
+            bank.to_stacked())
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            FieldBank([ScalarField(np.zeros((2, 2), dtype=DTYPE)),
+                       ScalarField(np.zeros((3, 3), dtype=DTYPE))])
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FieldBank([])
+
+    def test_iteration_and_names(self):
+        bank = random_bank(3)
+        assert len(bank) == 3
+        assert bank.names() == ["v0", "v1", "v2"]
+        assert sum(1 for _ in bank) == 3
+
+
+class TestPacking:
+    @pytest.mark.parametrize("variable_axis", ["first", "last"])
+    def test_pack_unpack_roundtrip(self, variable_axis):
+        bank = random_bank()
+        packed = pack_bank(bank, variable_axis=variable_axis)
+        out = FieldBank.zeros(len(bank), bank.field_shape)
+        unpack_bank(packed, out, variable_axis=variable_axis)
+        for i in range(len(bank)):
+            np.testing.assert_array_equal(out[i], bank[i])
+
+    def test_pack_last_layout(self):
+        bank = random_bank(nvars=2, shape=(3, 4, 5))
+        packed = pack_bank(bank, variable_axis="last")
+        assert packed.shape == (3, 4, 5, 2)
+        np.testing.assert_array_equal(packed[..., 1], bank[1])
+
+    def test_pack_first_layout(self):
+        bank = random_bank(nvars=2, shape=(3, 4, 5))
+        packed = pack_bank(bank, variable_axis="first")
+        assert packed.shape == (2, 3, 4, 5)
+        np.testing.assert_array_equal(packed[0], bank[0])
+
+    def test_packed_is_contiguous(self):
+        packed = pack_bank(random_bank())
+        assert packed.flags.c_contiguous
+
+    def test_unpack_shape_mismatch(self):
+        bank = random_bank()
+        with pytest.raises(ShapeError):
+            unpack_bank(np.zeros((1, 2, 3, 4)), bank)
+
+    def test_bad_axis_name(self):
+        with pytest.raises(ConfigurationError):
+            pack_bank(random_bank(), variable_axis="middle")
+
+    def test_bank_from_packed_roundtrip(self):
+        bank = random_bank()
+        packed = pack_bank(bank)
+        bank2 = bank_from_packed(packed)
+        for i in range(len(bank)):
+            np.testing.assert_array_equal(bank2[i], bank[i])
+
+    @given(st.integers(1, 6), st.integers(1, 5), st.integers(1, 5), st.integers(1, 5),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_hypothesis(self, nvars, a, b, c, seed):
+        bank = random_bank(nvars, (a, b, c), seed)
+        for axis in ("first", "last"):
+            packed = pack_bank(bank, variable_axis=axis)
+            out = FieldBank.zeros(nvars, (a, b, c))
+            unpack_bank(packed, out, variable_axis=axis)
+            for i in range(nvars):
+                np.testing.assert_array_equal(out[i], bank[i])
+
+
+class TestTransposes:
+    def test_perm_constant(self):
+        assert COALESCE_Z_PERM == (2, 1, 0, 3)
+
+    @given(st.integers(1, 7), st.integers(1, 7), st.integers(1, 7), st.integers(1, 4),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_all_three_paths_agree(self, n1, n2, n3, n4, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.random((n1, n2, n3, n4))
+        a = transpose_loop(v)
+        b = geam_transpose_cutensor(v)
+        c = geam_transpose_hipblas(v)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(a, c)
+
+    def test_element_mapping(self):
+        # out[q, l, k, j] == v[k, l, q, j], per Listings 3-4.
+        v = np.arange(2 * 3 * 4 * 2, dtype=DTYPE).reshape(2, 3, 4, 2)
+        out = geam_transpose_hipblas(v)
+        for k in range(2):
+            for l in range(3):
+                for q in range(4):
+                    for j in range(2):
+                        assert out[q, l, k, j] == v[k, l, q, j]
+
+    def test_transpose_is_involution(self):
+        rng = np.random.default_rng(9)
+        v = rng.random((3, 4, 5, 2))
+        np.testing.assert_array_equal(
+            geam_transpose_cutensor(geam_transpose_cutensor(v)), v)
+
+    def test_results_contiguous(self):
+        v = np.zeros((3, 4, 5, 2))
+        assert transpose_loop(v).flags.c_contiguous
+        assert geam_transpose_cutensor(v).flags.c_contiguous
+        assert geam_transpose_hipblas(v).flags.c_contiguous
+
+    def test_transpose_loop_general_perm(self):
+        rng = np.random.default_rng(4)
+        v = rng.random((2, 3, 4, 5))
+        out = transpose_loop(v, (3, 0, 2, 1))
+        np.testing.assert_array_equal(out, np.transpose(v, (3, 0, 2, 1)))
+
+    def test_transpose_loop_bad_perm(self):
+        with pytest.raises(ShapeError):
+            transpose_loop(np.zeros((2, 2, 2, 2)), (0, 1, 2, 2))
+
+    def test_non_4d_rejected(self):
+        with pytest.raises(ShapeError):
+            geam_transpose_cutensor(np.zeros((2, 2, 2)))
+        with pytest.raises(ShapeError):
+            geam_transpose_hipblas(np.zeros((2, 2)))
+
+    def test_pack_then_coalesce_matches_direct(self):
+        # Listing 3's full pipeline: pack the bank, coalesce z, compare
+        # to packing the transposed fields directly.
+        bank = random_bank(nvars=3, shape=(4, 5, 6))
+        packed = pack_bank(bank, variable_axis="last")
+        coalesced = geam_transpose_cutensor(packed)
+        for j in range(3):
+            np.testing.assert_array_equal(coalesced[..., j],
+                                          np.ascontiguousarray(bank[j].T))

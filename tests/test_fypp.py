@@ -1,0 +1,155 @@
+"""Tests for the miniature Fypp preprocessor (paper §III.C inlining)."""
+
+import pytest
+
+from repro.acc.fypp import FyppError, FyppPreprocessor, inline_serial_subroutine
+
+
+class TestInterpolation:
+    def test_simple_variable(self):
+        pre = FyppPreprocessor({"n": 5})
+        assert pre.process("x = ${n}$") == "x = 5"
+
+    def test_expression(self):
+        pre = FyppPreprocessor({"n": 5})
+        assert pre.process("x = ${n * 2 + 1}$") == "x = 11"
+
+    def test_multiple_on_one_line(self):
+        pre = FyppPreprocessor({"a": 1, "b": 2})
+        assert pre.process("${a}$ + ${b}$ = ${a + b}$") == "1 + 2 = 3"
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(FyppError):
+            FyppPreprocessor().process("${missing}$")
+
+    def test_plain_text_untouched(self):
+        text = "def f(x):\n    return x\n"
+        assert FyppPreprocessor().process(text) == text
+
+
+class TestForLoop:
+    def test_unrolls(self):
+        out = FyppPreprocessor().process(
+            "#:for i in range(3)\n"
+            "a[${i}$] = ${i * i}$\n"
+            "#:endfor\n")
+        assert out == "a[0] = 0\na[1] = 1\na[2] = 4\n"
+
+    def test_tuple_unpacking(self):
+        out = FyppPreprocessor().process(
+            "#:for k, v in [('x', 1), ('y', 2)]\n"
+            "${k}$ = ${v}$\n"
+            "#:endfor\n")
+        assert out == "x = 1\ny = 2\n"
+
+    def test_nested_loops(self):
+        out = FyppPreprocessor().process(
+            "#:for i in range(2)\n"
+            "#:for j in range(2)\n"
+            "m[${i}$][${j}$]\n"
+            "#:endfor\n"
+            "#:endfor\n")
+        assert out.splitlines() == ["m[0][0]", "m[0][1]", "m[1][0]", "m[1][1]"]
+
+    def test_missing_endfor(self):
+        with pytest.raises(FyppError):
+            FyppPreprocessor().process("#:for i in range(2)\nx\n")
+
+    def test_unpack_mismatch(self):
+        with pytest.raises(FyppError):
+            FyppPreprocessor().process(
+                "#:for a, b in [(1, 2, 3)]\nx\n#:endfor\n")
+
+
+class TestConditionals:
+    def test_true_branch(self):
+        out = FyppPreprocessor({"gpu": True}).process(
+            "#:if gpu\nfast\n#:else\nslow\n#:endif\n")
+        assert out == "fast\n"
+
+    def test_false_branch(self):
+        out = FyppPreprocessor({"gpu": False}).process(
+            "#:if gpu\nfast\n#:else\nslow\n#:endif\n")
+        assert out == "slow\n"
+
+    def test_no_else(self):
+        out = FyppPreprocessor({"x": 0}).process("#:if x\nyes\n#:endif\nend\n")
+        assert out == "end\n"
+
+    def test_nested_if(self):
+        out = FyppPreprocessor({"a": True, "b": False}).process(
+            "#:if a\n#:if b\nab\n#:else\na_only\n#:endif\n#:endif\n")
+        assert out == "a_only\n"
+
+
+class TestMacros:
+    TEMPLATE = (
+        "#:def axpy(alpha, n)\n"
+        "#:for i in range(n)\n"
+        "y[${i}$] += ${alpha}$ * x[${i}$]\n"
+        "#:endfor\n"
+        "#:enddef\n"
+        "@:axpy(2, 3)\n")
+
+    def test_macro_expansion(self):
+        out = FyppPreprocessor().process(self.TEMPLATE)
+        assert out == ("y[0] += 2 * x[0]\n"
+                       "y[1] += 2 * x[1]\n"
+                       "y[2] += 2 * x[2]\n")
+
+    def test_call_site_indentation_preserved(self):
+        out = FyppPreprocessor().process(
+            "#:def body()\n"
+            "stmt\n"
+            "#:enddef\n"
+            "    @:body()\n")
+        assert out == "    stmt\n"
+
+    def test_macro_called_twice(self):
+        out = FyppPreprocessor().process(
+            "#:def inc(v)\n"
+            "x += ${v}$\n"
+            "#:enddef\n"
+            "@:inc(1)\n"
+            "@:inc(10)\n")
+        assert out == "x += 1\nx += 10\n"
+
+    def test_undefined_macro(self):
+        with pytest.raises(FyppError):
+            FyppPreprocessor().process("@:nope(1)\n")
+
+    def test_arity_checked(self):
+        with pytest.raises(FyppError):
+            FyppPreprocessor().process(
+                "#:def f(a, b)\n${a}$${b}$\n#:enddef\n@:f(1)\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(FyppError):
+            FyppPreprocessor().process("#:include 'x'\n")
+
+
+class TestInlineSerialSubroutine:
+    def test_generates_executable_python(self):
+        # The real use: inline a serial "EOS" helper into a kernel body,
+        # generating Python that actually runs.
+        kernel = (
+            "def pressure_kernel(rho_e, out):\n"
+            "    for i in range(len(out)):\n"
+            "        @:eos_pressure(rho_e[i], out, i)\n")
+        eos = (
+            "(e, dst, idx)\n"
+            "${dst}$[${idx}$] = (${gamma}$ - 1.0) * ${e}$\n")
+        src = inline_serial_subroutine(kernel, {"eos_pressure": eos},
+                                       env={"gamma": 1.4})
+        assert "@:" not in src and "#:def" not in src
+        ns = {}
+        exec(src, ns)  # noqa: S102
+        out = [0.0, 0.0]
+        ns["pressure_kernel"]([2.5, 5.0], out)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(2.0)
+
+    def test_inlined_source_has_no_call(self):
+        kernel = "@:helper()\n"
+        src = inline_serial_subroutine(kernel, {"helper": "inlined_line\n"})
+        assert src == "inlined_line\n"

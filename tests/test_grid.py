@@ -1,0 +1,150 @@
+"""Tests for structured grids, stretching, and cylindrical metadata."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError
+from repro.grid import CylindricalGrid, StructuredGrid, tanh_stretched_faces, uniform_faces
+
+
+class TestUniformFaces:
+    def test_count_and_bounds(self):
+        f = uniform_faces(0.0, 2.0, 10)
+        assert f.size == 11
+        assert f[0] == 0.0 and f[-1] == 2.0
+        np.testing.assert_allclose(np.diff(f), 0.2)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            uniform_faces(1.0, 1.0, 4)
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ConfigurationError):
+            uniform_faces(0.0, 1.0, 0)
+
+
+class TestTanhStretching:
+    def test_monotone_and_pinned(self):
+        f = tanh_stretched_faces(0.0, 1.0, 50, focus=0.3, strength=4.0)
+        assert f[0] == 0.0 and f[-1] == 1.0
+        assert np.all(np.diff(f) > 0.0)
+
+    def test_refines_at_focus(self):
+        f = tanh_stretched_faces(-1.0, 1.0, 100, focus=0.0, strength=3.0, width=0.15)
+        w = np.diff(f)
+        centers = 0.5 * (f[1:] + f[:-1])
+        near = np.abs(centers) < 0.1
+        far = np.abs(centers) > 0.6
+        assert w[near].mean() < 0.5 * w[far].mean()
+
+    def test_zero_strength_is_uniform(self):
+        f = tanh_stretched_faces(0.0, 1.0, 20, focus=0.5, strength=0.0)
+        np.testing.assert_allclose(np.diff(f), 0.05, rtol=1e-10)
+
+    def test_focus_outside_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tanh_stretched_faces(0.0, 1.0, 10, focus=2.0)
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tanh_stretched_faces(0.0, 1.0, 10, focus=0.5, strength=-1.0)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tanh_stretched_faces(0.0, 1.0, 10, focus=0.5, width=0.0)
+
+
+class TestStructuredGrid:
+    def test_uniform_2d(self):
+        g = StructuredGrid.uniform(((0.0, 1.0), (0.0, 2.0)), (4, 8))
+        assert g.ndim == 2
+        assert g.shape == (4, 8)
+        assert g.num_cells == 32
+        np.testing.assert_allclose(g.widths(0), 0.25)
+        np.testing.assert_allclose(g.widths(1), 0.25)
+
+    def test_centers_are_midpoints(self):
+        g = StructuredGrid.uniform(((0.0, 1.0),), (4,))
+        np.testing.assert_allclose(g.centers(0), [0.125, 0.375, 0.625, 0.875])
+
+    def test_min_width_with_stretching(self):
+        g = StructuredGrid.stretched(((0.0, 1.0),), (64,), focus=(0.5,), strength=5.0)
+        assert g.min_width() < 1.0 / 64.0
+
+    def test_cell_volumes_2d(self):
+        g = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), (2, 5))
+        vol = g.cell_volumes()
+        assert vol.shape == (2, 5)
+        assert vol.sum() == pytest.approx(1.0)
+
+    def test_cell_volumes_3d_sum(self):
+        g = StructuredGrid.uniform(((0.0, 2.0), (0.0, 3.0), (0.0, 0.5)), (3, 4, 5))
+        assert g.cell_volumes().sum() == pytest.approx(3.0)
+
+    def test_width_fields_broadcast_shapes(self):
+        g = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0), (0.0, 1.0)), (3, 4, 5))
+        wf = g.width_fields()
+        assert wf[0].shape == (3, 1, 1)
+        assert wf[1].shape == (1, 4, 1)
+        assert wf[2].shape == (1, 1, 5)
+
+    def test_meshgrid_shapes(self):
+        g = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), (3, 4))
+        X, Y = g.meshgrid()
+        assert X.shape == (3, 4) and Y.shape == (3, 4)
+        assert X[0, 0] != X[1, 0] and Y[0, 0] != Y[0, 1]
+
+    def test_rejects_nonmonotone_faces(self):
+        with pytest.raises(ConfigurationError):
+            StructuredGrid((np.array([0.0, 0.5, 0.4, 1.0]),))
+
+    def test_rejects_4d(self):
+        f = np.linspace(0, 1, 3)
+        with pytest.raises(ConfigurationError):
+            StructuredGrid((f, f, f, f))
+
+    def test_mismatched_bounds_shape(self):
+        with pytest.raises(ConfigurationError):
+            StructuredGrid.uniform(((0.0, 1.0),), (4, 4))
+
+
+class TestCylindricalGrid:
+    def make(self, nz=4, nr=8, ntheta=16):
+        zr = StructuredGrid.uniform(((0.0, 1.0), (0.05, 1.0)), (nz, nr))
+        return CylindricalGrid(zr, ntheta)
+
+    def test_shape(self):
+        g = self.make()
+        assert g.shape == (4, 8, 16)
+
+    def test_dtheta(self):
+        g = self.make(ntheta=8)
+        assert g.dtheta == pytest.approx(2.0 * np.pi / 8.0)
+
+    def test_arc_lengths_grow_with_radius(self):
+        g = self.make()
+        arcs = g.arc_lengths()
+        assert arcs.shape == (8,)
+        assert np.all(np.diff(arcs) > 0.0)
+
+    def test_mode_cutoff_monotone_in_radius(self):
+        g = self.make(nr=16, ntheta=64)
+        cut = g.mode_cutoff()
+        assert np.all(np.diff(cut) >= 0)
+        assert cut[-1] == 32  # outermost ring keeps the Nyquist mode
+        assert cut[0] >= 1    # never filter everything
+
+    def test_requires_positive_radius(self):
+        zr = StructuredGrid.uniform(((0.0, 1.0), (-0.1, 1.0)), (4, 8))
+        with pytest.raises(ConfigurationError):
+            CylindricalGrid(zr, 16)
+
+    def test_requires_min_ntheta(self):
+        zr = StructuredGrid.uniform(((0.0, 1.0), (0.1, 1.0)), (4, 8))
+        with pytest.raises(ConfigurationError):
+            CylindricalGrid(zr, 2)
+
+    def test_requires_2d_zr(self):
+        g1 = StructuredGrid.uniform(((0.0, 1.0),), (4,))
+        with pytest.raises(ConfigurationError):
+            CylindricalGrid(g1, 16)

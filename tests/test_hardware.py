@@ -1,0 +1,240 @@
+"""Tests for the device catalog, roofline, cost model, and transfer model."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.hardware import (
+    CPUS,
+    CostModel,
+    DEVICES,
+    GPUS,
+    KernelWorkload,
+    ProblemShape,
+    RooflinePoint,
+    attainable_gflops,
+    get_device,
+    ridge_intensity,
+    rhs_workloads,
+    step_workloads,
+    TransferModel,
+)
+from repro.hardware.costmodel import (
+    AOS_TIME_PENALTY,
+    GPU_SATURATION_THREADS,
+    NOT_INLINED_PENALTY,
+    RUNTIME_PRIVATE_PENALTY,
+)
+
+
+class TestDeviceCatalog:
+    def test_all_paper_devices_present(self):
+        assert {"v100", "a100", "h100", "gh200", "mi250x"} <= set(GPUS)
+        assert {"epyc9564", "xeonmax9468", "grace", "power10"} <= set(CPUS)
+
+    def test_get_device_case_insensitive(self):
+        assert get_device("MI250X").name == "AMD MI250X GCD"
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigurationError):
+            get_device("mi300")
+
+    def test_paper_quoted_specs(self):
+        # §V: A100/H100/GH200 bandwidths 2/3.35/4 TB/s, L2 40/50/50 MB;
+        # MI250X has an 8 MB L2; V100 900 GB/s.
+        assert get_device("a100").mem_bw_gbps == 2000.0
+        assert get_device("h100").mem_bw_gbps == 3350.0
+        assert get_device("gh200").mem_bw_gbps == 4000.0
+        assert get_device("a100").l2_mib == 40.0
+        assert get_device("h100").l2_mib == 50.0
+        assert get_device("mi250x").l2_mib == 8.0
+        assert get_device("v100").mem_bw_gbps == 900.0
+
+    def test_mi250x_ridge_is_3p4x_v100(self):
+        # Paper Fig. 1: the MI250X's memory->compute transition sits at
+        # ~3.4x the arithmetic intensity of a V100.
+        ratio = ridge_intensity(get_device("mi250x")) / ridge_intensity(get_device("v100"))
+        assert ratio == pytest.approx(3.4, abs=0.15)
+
+    def test_invalid_kind_rejected(self):
+        from repro.hardware.devices import DeviceSpec
+        with pytest.raises(ConfigurationError):
+            DeviceSpec("x", "v", "tpu", 1.0, 1.0, 1.0)
+
+
+class TestRoofline:
+    def test_memory_bound_region(self):
+        dev = get_device("v100")
+        low = 0.5 * ridge_intensity(dev)
+        assert attainable_gflops(dev, low) == pytest.approx(low * dev.mem_bw_gbps)
+
+    def test_compute_bound_region(self):
+        dev = get_device("v100")
+        high = 10.0 * ridge_intensity(dev)
+        assert attainable_gflops(dev, high) == dev.roofline_peak_gflops
+
+    def test_invalid_intensity(self):
+        with pytest.raises(ConfigurationError):
+            attainable_gflops(get_device("v100"), 0.0)
+
+    def test_roofline_point_bound_classification(self):
+        v100 = get_device("v100")
+        mem = RooflinePoint("riemann", v100, intensity=1.3, achieved_gflops=1000.0)
+        cmp_ = RooflinePoint("weno", v100, intensity=14.0, achieved_gflops=3500.0)
+        assert mem.bound == "memory"
+        assert cmp_.bound == "compute"
+
+    def test_fraction_of_peak(self):
+        v100 = get_device("v100")
+        pt = RooflinePoint("weno", v100, intensity=14.0, achieved_gflops=3510.0)
+        assert pt.fraction_of_peak == pytest.approx(0.45)
+
+
+class TestKernelWorkload:
+    def test_intensity(self):
+        w = KernelWorkload("k", "other", flops=100.0, bytes=50.0)
+        assert w.intensity == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KernelWorkload("k", "bogus", flops=1.0, bytes=1.0)
+        with pytest.raises(ConfigurationError):
+            KernelWorkload("k", "other", flops=1.0, bytes=0.0)
+        with pytest.raises(ConfigurationError):
+            KernelWorkload("k", "other", flops=1.0, bytes=1.0, launches=0)
+
+    def test_scaled(self):
+        w = KernelWorkload("k", "other", flops=100.0, bytes=50.0, threads=10.0)
+        s = w.scaled(3.0)
+        assert s.flops == 300.0 and s.bytes == 150.0 and s.threads == 30.0
+        assert s.launches == w.launches
+
+
+class TestCostModel:
+    def big(self, **kw):
+        base = dict(name="k", kernel_class="other", flops=1e10, bytes=1e9,
+                    threads=GPU_SATURATION_THREADS)
+        base.update(kw)
+        return KernelWorkload(**base)
+
+    def test_memory_vs_compute_bound_pricing(self):
+        cm = CostModel(get_device("a100"))
+        mem = self.big(name="m", flops=1e8, bytes=1e9)   # AI 0.1: memory bound
+        cmp_ = self.big(name="c", flops=1e12, bytes=1e9)  # AI 1000: compute bound
+        # Memory-bound time ~ bytes/bw; compute-bound ~ flops/peak.
+        t_mem = cm.kernel_time(mem)
+        t_cmp = cm.kernel_time(cmp_)
+        assert t_cmp > t_mem
+
+    def test_underutilized_launch_is_slower(self):
+        cm = CostModel(get_device("a100"))
+        full = self.big(name="f")
+        starved = self.big(name="s", threads=100)
+        assert cm.kernel_time(starved) > 100.0 * cm.kernel_time(full)
+
+    def test_cpu_has_no_utilization_penalty(self):
+        cm = CostModel(get_device("epyc9564"))
+        full = self.big(name="f")
+        starved = self.big(name="s", threads=1)
+        assert cm.kernel_time(starved) == pytest.approx(cm.kernel_time(full))
+
+    def test_aos_penalty_magnitude(self):
+        cm = CostModel(get_device("a100"))
+        base = self.big(name="b")
+        aos = self.big(name="a", layout_aos=True)
+        assert cm.kernel_time(aos) / cm.kernel_time(base) == pytest.approx(
+            AOS_TIME_PENALTY, rel=0.01)
+
+    def test_uncoalesced_tenfold_on_weno_intensity(self):
+        # §III.C's "ten-times speedup" from coalescing the WENO kernel.
+        cm = CostModel(get_device("v100"))
+        vd = 21.0
+        base = KernelWorkload("w", "weno", flops=300 * vd * 1e6, bytes=21.4 * vd * 1e6,
+                              threads=1e6)
+        unc = KernelWorkload("w2", "weno", flops=300 * vd * 1e6, bytes=21.4 * vd * 1e6,
+                             threads=1e6, coalesced=False)
+        ratio = cm.kernel_time(unc) / cm.kernel_time(base)
+        assert 8.0 < ratio < 12.0
+
+    def test_not_inlined_penalty(self):
+        cm = CostModel(get_device("v100"))
+        base = self.big(name="b")
+        n = self.big(name="n", inlined=False)
+        assert cm.kernel_time(n) / cm.kernel_time(base) == pytest.approx(
+            NOT_INLINED_PENALTY, rel=0.01)
+
+    def test_private_penalty_requires_cce_and_amd(self):
+        bad = self.big(name="p", private_compile_sized=False)
+        t_cce_amd = CostModel(get_device("mi250x"), "cce").kernel_time(bad)
+        t_cce_nv = CostModel(get_device("v100"), "cce").kernel_time(bad)
+        t_nvhpc = CostModel(get_device("v100"), "nvhpc").kernel_time(bad)
+        good = self.big(name="g")
+        assert t_cce_amd == pytest.approx(
+            RUNTIME_PRIVATE_PENALTY * CostModel(get_device("mi250x"), "cce").kernel_time(good),
+            rel=0.01)
+        assert t_cce_nv == pytest.approx(
+            CostModel(get_device("v100"), "cce").kernel_time(good), rel=0.01)
+        assert t_nvhpc == pytest.approx(t_cce_nv, rel=0.01)
+
+    def test_launch_latency_additive(self):
+        cm = CostModel(get_device("a100"))
+        one = self.big(name="o", launches=1)
+        ten = self.big(name="t", launches=10)
+        dev = get_device("a100")
+        assert cm.kernel_time(ten) - cm.kernel_time(one) == pytest.approx(
+            9 * dev.kernel_launch_us * 1e-6)
+
+    def test_achieved_gflops_below_roof(self):
+        cm = CostModel(get_device("a100"))
+        w = self.big(name="w", kernel_class="weno")
+        achieved = cm.achieved_gflops(w)
+        assert 0.0 < achieved < attainable_gflops(get_device("a100"), w.intensity)
+
+
+class TestWorkloadSuite:
+    def test_suite_has_four_families(self):
+        works = rhs_workloads(ProblemShape(cells=1_000_000))
+        assert {w.kernel_class for w in works} == {"weno", "riemann", "pack", "other"}
+
+    def test_step_is_three_rhs(self):
+        shape = ProblemShape(cells=1000)
+        rhs = rhs_workloads(shape)
+        step = step_workloads(shape, rhs_evals=3)
+        assert len(step) == 3 * len(rhs)
+
+    def test_workload_scales_with_cells(self):
+        small = rhs_workloads(ProblemShape(cells=1000))
+        large = rhs_workloads(ProblemShape(cells=2000))
+        for s, l in zip(small, large):
+            assert l.flops == pytest.approx(2.0 * s.flops)
+            assert l.bytes == pytest.approx(2.0 * s.bytes)
+
+    def test_weno_intensity_between_ridges(self):
+        # The calibrated WENO intensity sits between V100's and MI250X's
+        # ridges: compute-bound on V100, memory-bound on MI250X (Fig. 1).
+        w = next(w for w in rhs_workloads(ProblemShape(cells=1000))
+                 if w.kernel_class == "weno")
+        assert ridge_intensity(get_device("v100")) < w.intensity
+        assert w.intensity < ridge_intensity(get_device("mi250x"))
+
+    def test_riemann_memory_bound_everywhere(self):
+        w = next(w for w in rhs_workloads(ProblemShape(cells=1000))
+                 if w.kernel_class == "riemann")
+        for key in GPUS:
+            assert w.intensity < ridge_intensity(get_device(key)), key
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            ProblemShape(cells=0)
+
+
+class TestTransferModel:
+    def test_time_is_latency_plus_bandwidth(self):
+        tm = TransferModel(bandwidth_gbps=10.0, latency_us=5.0)
+        assert tm.time(0) == pytest.approx(5e-6)
+        assert tm.time(10e9) == pytest.approx(5e-6 + 1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TransferModel(bandwidth_gbps=0.0, latency_us=1.0)
+        with pytest.raises(ConfigurationError):
+            TransferModel(bandwidth_gbps=1.0, latency_us=1.0).time(-1)

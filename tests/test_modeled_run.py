@@ -1,0 +1,68 @@
+"""Tests for the end-to-end modeled profiler."""
+
+import pytest
+
+from repro import quickstart_sod
+from repro.common import ConfigurationError
+from repro.hardware import get_device
+from repro.profiling import ModeledRun
+
+
+class TestModeledRun:
+    def make(self, device="a100", n=64):
+        sim = quickstart_sod(n)
+        sim.fixed_dt = 1e-3
+        compiler = "cce" if get_device(device).vendor == "amd" else "nvhpc"
+        return ModeledRun(sim, get_device(device), compiler)
+
+    def test_real_simulation_advances(self):
+        run = self.make()
+        run.run(n_steps=3)
+        assert run.sim.step_count == 3
+        assert run.sim.time == pytest.approx(3e-3)
+
+    def test_profile_accumulates_all_families(self):
+        run = self.make()
+        run.run(n_steps=2)
+        assert set(run.profile.class_seconds()) == {"weno", "riemann", "pack", "other"}
+        # 2 steps x 3 RHS x 4 kernels.
+        assert sum(r.launches for r in run.profile.records.values()) == 24
+
+    def test_grind_requires_steps(self):
+        run = self.make()
+        with pytest.raises(ConfigurationError):
+            run.modeled_grind_ns()
+
+    def test_modeled_grind_matches_costmodel(self):
+        run = self.make()
+        run.run(n_steps=4)
+        # Modeled grind is per cell-PDE-RHS, so it is independent of the
+        # number of steps and equals the per-RHS suite pricing.
+        from repro.hardware import CostModel, ProblemShape, rhs_workloads
+
+        cm = CostModel(get_device("a100"), "nvhpc")
+        shape = ProblemShape(cells=run.sim.grid.num_cells,
+                             nvars=run.sim.layout.nvars,
+                             ndim=run.sim.layout.ndim)
+        expected = cm.suite_time(rhs_workloads(shape)) \
+            / (shape.cells * shape.nvars) * 1e9
+        assert run.modeled_grind_ns() == pytest.approx(expected, rel=1e-12)
+
+    def test_device_ordering_preserved(self):
+        grinds = {}
+        for key in ("gh200", "v100"):
+            run = self.make(key)
+            run.run(n_steps=2)
+            grinds[key] = run.modeled_grind_ns()
+        assert grinds["gh200"] < grinds["v100"]
+
+    def test_report_contains_kernels(self):
+        run = self.make()
+        run.run(n_steps=1)
+        rep = run.report()
+        assert "weno_reconstruction" in rep and "riemann_hllc" in rep
+
+    def test_speedup_over_host_positive(self):
+        run = self.make()
+        run.run(n_steps=2)
+        assert run.speedup_over_host() > 0.0

@@ -1,0 +1,84 @@
+"""Tests for rank-to-node placement policies."""
+
+import pytest
+
+from repro.cluster import BlockDecomposition
+from repro.cluster.placement import Placement, best_policy, intra_node_fraction
+from repro.common import ConfigurationError
+
+
+class TestPlacement:
+    def test_contiguous_mapping(self):
+        p = Placement(nranks=16, ranks_per_node=8, policy="contiguous")
+        assert p.nnodes == 2
+        assert p.node_of(0) == 0 and p.node_of(7) == 0
+        assert p.node_of(8) == 1 and p.node_of(15) == 1
+
+    def test_strided_mapping(self):
+        p = Placement(nranks=16, ranks_per_node=8, policy="strided")
+        assert p.node_of(0) == 0 and p.node_of(1) == 1
+        assert p.node_of(2) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Placement(0, 8)
+        with pytest.raises(ConfigurationError):
+            Placement(8, 8, policy="hilbert")
+        with pytest.raises(ConfigurationError):
+            Placement(8, 8).node_of(9)
+
+
+class TestIntraNodeFraction:
+    def test_single_node_is_all_intra(self):
+        decomp = BlockDecomposition.balanced((32, 32, 32), 8)
+        p = Placement(8, 8, "contiguous")
+        assert intra_node_fraction(decomp, p) == 1.0
+
+    def test_contiguous_beats_strided_on_slabs(self):
+        # Slabs along one axis: consecutive ranks are neighbours, so
+        # contiguous packing keeps most faces on-node; striding sends
+        # every face across nodes.
+        decomp = BlockDecomposition((128, 16, 16), (16, 1, 1))
+        contiguous = intra_node_fraction(decomp, Placement(16, 8, "contiguous"))
+        strided = intra_node_fraction(decomp, Placement(16, 8, "strided"))
+        assert contiguous > 0.8
+        assert strided == 0.0
+
+    def test_best_policy_picks_contiguous_for_slabs(self):
+        decomp = BlockDecomposition((128, 16, 16), (16, 1, 1))
+        assert best_policy(decomp, ranks_per_node=8) == "contiguous"
+
+    def test_fraction_in_unit_interval(self):
+        decomp = BlockDecomposition.balanced((64, 64, 64), 64)
+        for policy in ("contiguous", "strided"):
+            f = intra_node_fraction(decomp, Placement(64, 8, policy))
+            assert 0.0 <= f <= 1.0
+
+    def test_rank_count_mismatch(self):
+        decomp = BlockDecomposition.balanced((32, 32, 32), 8)
+        with pytest.raises(ConfigurationError):
+            intra_node_fraction(decomp, Placement(16, 8))
+
+    def test_periodic_self_neighbor_excluded(self):
+        # One rank with periodic wrap: its neighbour is itself; no pairs.
+        decomp = BlockDecomposition((16, 16, 16), (1, 1, 1),
+                                    (True, True, True))
+        assert intra_node_fraction(decomp, Placement(1, 8)) == 0.0
+
+
+class TestPlacementInEventSimulator:
+    def test_contiguous_placement_cuts_wire_time(self):
+        from repro.cluster import FRONTIER
+        from repro.cluster.events import EventSimulator
+
+        decomp = BlockDecomposition((512, 64, 64), (16, 1, 1))
+
+        def wire_total(placement):
+            sim = EventSimulator(FRONTIER, decomp, use_intra_node_links=True,
+                                 placement=placement)
+            tl = sim.simulate_rhs()
+            return sum(e.duration for e in tl.events if e.kind == "wire")
+
+        contiguous = wire_total(Placement(16, 8, "contiguous"))
+        strided = wire_total(Placement(16, 8, "strided"))
+        assert contiguous < strided

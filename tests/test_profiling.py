@@ -1,0 +1,93 @@
+"""Tests for the profiler and its derived reports."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.hardware import get_device
+from repro.profiling import KernelRecord, Profile
+
+
+class TestKernelRecord:
+    def test_merge_accumulates(self):
+        r = KernelRecord("k", "weno")
+        r.merge(1.0, 100.0, 50.0)
+        r.merge(2.0, 200.0, 100.0)
+        assert r.seconds == 3.0 and r.flops == 300.0 and r.launches == 2
+
+    def test_intensity(self):
+        r = KernelRecord("k", "weno", seconds=1.0, flops=140.0, bytes=10.0)
+        assert r.intensity == 14.0
+
+    def test_intensity_requires_bytes(self):
+        with pytest.raises(ConfigurationError):
+            _ = KernelRecord("k", "weno").intensity
+
+    def test_achieved_gflops(self):
+        r = KernelRecord("k", "weno", seconds=2.0, flops=4e9, bytes=1.0)
+        assert r.achieved_gflops == pytest.approx(2.0)
+
+
+class TestProfile:
+    def make(self):
+        p = Profile(device_name="test")
+        p.record("weno_x", "weno", 2.0, flops=1e9, nbytes=1e8)
+        p.record("weno_y", "weno", 1.0, flops=5e8, nbytes=5e7)
+        p.record("hllc", "riemann", 3.0, flops=1e9, nbytes=1e9)
+        p.record("pack", "pack", 4.0, nbytes=1e10)
+        return p
+
+    def test_total_seconds(self):
+        assert self.make().total_seconds() == 10.0
+
+    def test_class_aggregation(self):
+        cs = self.make().class_seconds()
+        assert cs == {"weno": 3.0, "riemann": 3.0, "pack": 4.0}
+
+    def test_class_fractions_sum_to_one(self):
+        fr = self.make().class_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr["pack"] == pytest.approx(0.4)
+
+    def test_empty_profile_fractions(self):
+        assert Profile().class_fractions() == {}
+
+    def test_repeated_record_merges(self):
+        p = Profile()
+        p.record("k", "other", 1.0)
+        p.record("k", "other", 2.0)
+        assert p.records["k"].seconds == 3.0
+        assert p.records["k"].launches == 2
+
+    def test_class_change_rejected(self):
+        p = Profile()
+        p.record("k", "other", 1.0)
+        with pytest.raises(ConfigurationError):
+            p.record("k", "weno", 1.0)
+
+    def test_grind_time(self):
+        p = Profile()
+        p.record("k", "other", 1.0)
+        # 1 s over (1e6 cells * 10 PDEs * 10 evals) = 1e-8 s = 10 ns.
+        assert p.grind_time_ns(cells=10**6, pdes=10, rhs_evals=10) == pytest.approx(10.0)
+
+    def test_grind_time_validates(self):
+        with pytest.raises(ConfigurationError):
+            Profile().grind_time_ns(cells=0, pdes=1, rhs_evals=1)
+
+    def test_roofline_points(self):
+        p = self.make()
+        pts = p.roofline_points(get_device("v100"))
+        names = {pt.kernel for pt in pts}
+        assert "hllc" in names
+        assert "pack" not in names  # zero-flop kernels are not placed
+
+    def test_roofline_points_filter(self):
+        pts = self.make().roofline_points(get_device("v100"), kernels=("hllc",))
+        assert len(pts) == 1 and pts[0].kernel == "hllc"
+
+    def test_report_format(self):
+        rep = self.make().report()
+        assert "pack" in rep and "%" in rep and "test" in rep
+        # Longest kernel first.
+        lines = rep.splitlines()
+        assert lines[2].startswith("pack")

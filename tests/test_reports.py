@@ -1,0 +1,69 @@
+"""Tests for the profiler report renderers."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.hardware import get_device
+from repro.profiling import ModeledRun, Profile
+from repro.profiling.reports import device_comparison_report, kernel_stats_report
+
+
+def modeled_profile(device_key, steps=2):
+    from repro import quickstart_sod
+
+    sim = quickstart_sod(64)
+    sim.fixed_dt = 1e-3
+    dev = get_device(device_key)
+    run = ModeledRun(sim, dev, "cce" if dev.vendor == "amd" else "nvhpc")
+    run.run(n_steps=steps)
+    return run.profile
+
+
+class TestKernelStatsReport:
+    def test_contains_kernels_and_columns(self):
+        profile = modeled_profile("a100")
+        rep = kernel_stats_report(profile, get_device("a100"))
+        assert "weno_reconstruction" in rep
+        assert "riemann_hllc" in rep
+        assert "bound" in rep and "GF/s" in rep
+
+    def test_boundness_classification(self):
+        profile = modeled_profile("v100")
+        rep = kernel_stats_report(profile, get_device("v100"))
+        weno_line = next(line for line in rep.splitlines()
+                         if line.startswith("weno"))
+        riemann_line = next(line for line in rep.splitlines()
+                            if line.startswith("riemann"))
+        assert "compute" in weno_line     # WENO compute-bound on V100
+        assert "memory" in riemann_line
+
+    def test_pure_movement_kernel_shows_bandwidth(self):
+        profile = modeled_profile("a100")
+        rep = kernel_stats_report(profile, get_device("a100"))
+        pack_line = next(line for line in rep.splitlines()
+                         if line.startswith("array_packing"))
+        assert "--" in pack_line and "memory" in pack_line
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kernel_stats_report(Profile(), get_device("a100"))
+
+
+class TestDeviceComparisonReport:
+    def test_absolute_and_normalized(self):
+        profiles = {k: modeled_profile(k) for k in ("a100", "v100")}
+        abs_rep = device_comparison_report(profiles)
+        pct_rep = device_comparison_report(profiles, normalize=True)
+        assert "a100" in abs_rep and "v100" in abs_rep
+        assert "%" in pct_rep and "%" not in abs_rep.splitlines()[1]
+
+    def test_share_rows_sum_to_100(self):
+        profiles = {"a100": modeled_profile("a100")}
+        rep = device_comparison_report(profiles, normalize=True)
+        row = rep.splitlines()[1]
+        pcts = [float(tok.rstrip("%")) for tok in row.split() if tok.endswith("%")]
+        assert sum(pcts) == pytest.approx(100.0, abs=0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            device_comparison_report({})

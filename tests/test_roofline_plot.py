@@ -1,0 +1,55 @@
+"""Tests for the ASCII roofline chart."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.hardware import RooflinePoint, get_device
+from repro.profiling.roofline_plot import roofline_chart
+
+
+def points_for(device):
+    return [
+        RooflinePoint("weno", device, intensity=14.0, achieved_gflops=3500.0),
+        RooflinePoint("riemann", device, intensity=1.33, achieved_gflops=840.0),
+    ]
+
+
+class TestRooflineChart:
+    def test_contains_header_and_frame(self):
+        dev = get_device("v100")
+        art = roofline_chart(dev, points_for(dev))
+        assert "NV V100" in art
+        assert "ridge" in art
+        assert art.count("|") >= 2 * 18
+
+    def test_markers_reflect_boundness(self):
+        dev = get_device("v100")
+        art = roofline_chart(dev, points_for(dev))
+        # WENO compute-bound on V100 -> uppercase W; Riemann memory -> r.
+        assert "W" in art and "r" in art
+        assert "W=weno" in art and "r=riemann" in art
+
+    def test_mi250x_weno_lowercase(self):
+        dev = get_device("mi250x")
+        pts = [RooflinePoint("weno", dev, intensity=14.0, achieved_gflops=3500.0)]
+        art = roofline_chart(dev, pts)
+        assert "w=weno" in art  # memory-bound there
+
+    def test_roof_glyphs(self):
+        dev = get_device("a100")
+        art = roofline_chart(dev, [])
+        assert "/" in art and "-" in art and "+" in art
+
+    def test_size_validation(self):
+        dev = get_device("a100")
+        with pytest.raises(ConfigurationError):
+            roofline_chart(dev, [], width=8)
+        with pytest.raises(ConfigurationError):
+            roofline_chart(dev, [], ai_range=(2.0, 1.0))
+
+    def test_chart_dimensions(self):
+        dev = get_device("a100")
+        art = roofline_chart(dev, [], width=32, height=8)
+        body = [line for line in art.splitlines() if line.startswith("|")]
+        assert len(body) == 8
+        assert all(len(line) == 34 for line in body)

@@ -1,0 +1,93 @@
+"""Tests for the Rankine-Hugoniot utilities, including a solver
+shock-speed verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bc import BoundarySet
+from repro.common import ConfigurationError
+from repro.eos import Mixture, StiffenedGas
+from repro.grid import StructuredGrid
+from repro.solver import Case, Patch, Simulation, box, halfspace
+from repro.validation.shock_relations import (
+    post_shock_state,
+    shock_mach_from_pressure_ratio,
+    verify_jump,
+)
+
+AIR = StiffenedGas(1.4)
+WATER = StiffenedGas(6.12, 3.43e8)
+
+
+class TestJumpConditions:
+    def test_weak_shock_limit(self):
+        s = post_shock_state(AIR, 1.0001, 1.0, 1.0)
+        assert s.pressure == pytest.approx(1.0, rel=1e-3)
+        assert s.rho == pytest.approx(1.0, rel=1e-3)
+        assert abs(s.velocity) < 1e-3
+
+    def test_strong_shock_density_limit(self):
+        # rho1/rho0 -> (g+1)/(g-1) = 6 for gamma = 1.4.
+        s = post_shock_state(AIR, 50.0, 1.0, 1.0)
+        assert s.rho == pytest.approx(6.0, rel=1e-2)
+
+    def test_mach_146_reference(self):
+        # The paper's shock-droplet shock: M = 1.46 in atmospheric air.
+        s = post_shock_state(AIR, 1.46, 1.204, 101325.0)
+        assert s.pressure == pytest.approx(2.32 * 101325.0, rel=0.01)
+        assert s.velocity == pytest.approx(222.0, rel=0.01)
+
+    @given(st.floats(1.05, 10.0), st.floats(0.1, 10.0), st.floats(0.1, 10.0))
+    @settings(max_examples=60)
+    def test_conservation_across_jump(self, mach, rho0, p0):
+        s = post_shock_state(AIR, mach, rho0, p0)
+        assert verify_jump(AIR, s, rho0, p0)
+
+    @given(st.floats(1.05, 5.0))
+    @settings(max_examples=40)
+    def test_stiffened_gas_jump(self, mach):
+        s = post_shock_state(WATER, mach, 1000.0, 101325.0)
+        assert verify_jump(WATER, s, 1000.0, 101325.0)
+        assert s.rho > 1000.0
+        assert s.pressure > 101325.0
+
+    def test_mach_pressure_roundtrip(self):
+        s = post_shock_state(AIR, 2.4, 1.0, 1.0)
+        back = shock_mach_from_pressure_ratio(AIR, s.pressure, 1.0)
+        assert back == pytest.approx(2.4, rel=1e-10)
+
+    def test_invalid_mach(self):
+        with pytest.raises(ConfigurationError):
+            post_shock_state(AIR, 0.9, 1.0, 1.0)
+
+    def test_invalid_pressure_ratio(self):
+        with pytest.raises(ConfigurationError):
+            shock_mach_from_pressure_ratio(AIR, 0.5, 1.0)
+
+
+class TestSolverShockSpeed:
+    def test_solver_propagates_shock_at_rh_speed(self):
+        # Set up a clean M = 1.5 shock and measure its numerical speed.
+        mach = 1.5
+        s = post_shock_state(AIR, mach, 1.0, 1.0)
+        mix = Mixture((AIR, AIR))
+        n = 400
+        grid = StructuredGrid.uniform(((0.0, 4.0),), (n,))
+        case = Case(grid, mix)
+        case.add(Patch(box([0.0], [4.0]), (0.5, 0.5), (0.0,), 1.0, (0.5,)))
+        case.add(Patch(halfspace(0, 0.5), (s.rho / 2, s.rho / 2),
+                       (s.velocity,), s.pressure, (0.5,)))
+        sim = Simulation(case, BoundarySet.all_extrapolation(1), cfl=0.4)
+        x = grid.centers(0)
+
+        def front():
+            p = sim.primitive()[sim.layout.pressure]
+            return float(x[np.argmax(p < 0.5 * (1.0 + s.pressure))])
+
+        sim.run(t_end=0.5)
+        x0 = front()
+        sim.run(t_end=1.0)
+        measured = (front() - x0) / 0.5
+        assert measured == pytest.approx(s.shock_speed, rel=0.03)

@@ -1,0 +1,160 @@
+"""Tests for the state layout and conservative/primitive conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError, DTYPE, PositivityError
+from repro.eos import Mixture, StiffenedGas
+from repro.state import StateLayout, cons_to_prim, full_alphas, prim_to_cons
+
+AIR = StiffenedGas(1.4, 0.0, "air")
+WATER = StiffenedGas(6.12, 3.43e8, "water")
+
+
+class TestStateLayout:
+    def test_nvars_2comp_3d(self):
+        lay = StateLayout(ncomp=2, ndim=3)
+        assert lay.nvars == 7  # 2 densities + 3 momentum + energy + 1 advected alpha
+
+    def test_nvars_1comp_1d(self):
+        lay = StateLayout(ncomp=1, ndim=1)
+        assert lay.nvars == 3  # rho, mom, E (no advected fraction)
+        assert lay.n_advected == 0
+
+    def test_slices_partition_the_vector(self):
+        lay = StateLayout(ncomp=3, ndim=2)
+        covered = set()
+        covered.update(range(*lay.partial_densities.indices(lay.nvars)))
+        covered.update(range(*lay.momentum.indices(lay.nvars)))
+        covered.add(lay.energy)
+        covered.update(range(*lay.advected.indices(lay.nvars)))
+        assert covered == set(range(lay.nvars))
+
+    def test_momentum_component(self):
+        lay = StateLayout(ncomp=2, ndim=3)
+        assert lay.momentum_component(0) == 2
+        assert lay.momentum_component(2) == 4
+        with pytest.raises(ConfigurationError):
+            lay.momentum_component(3)
+
+    def test_velocity_pressure_aliases(self):
+        lay = StateLayout(ncomp=2, ndim=2)
+        assert lay.velocity == lay.momentum
+        assert lay.pressure == lay.energy
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            StateLayout(ncomp=0, ndim=1)
+        with pytest.raises(ConfigurationError):
+            StateLayout(ncomp=2, ndim=4)
+
+    def test_describe_matches_nvars(self):
+        lay = StateLayout(ncomp=2, ndim=3)
+        names = lay.describe()
+        assert len(names) == lay.nvars
+        assert names[lay.energy] == "energy"
+
+
+class TestFullAlphas:
+    def test_two_components_sum_to_one(self):
+        lay = StateLayout(ncomp=2, ndim=1)
+        adv = np.array([[0.3, 0.8]])
+        alphas = full_alphas(lay, adv)
+        np.testing.assert_allclose(alphas.sum(axis=0), 1.0)
+        np.testing.assert_allclose(alphas[0], [0.3, 0.8])
+
+    def test_single_component(self):
+        lay = StateLayout(ncomp=1, ndim=1)
+        alphas = full_alphas(lay, np.empty((0, 4)))
+        np.testing.assert_allclose(alphas, 1.0)
+
+    def test_clipping_out_of_range(self):
+        lay = StateLayout(ncomp=2, ndim=1)
+        alphas = full_alphas(lay, np.array([[-0.1, 1.5]]))
+        assert np.all(alphas > 0.0)
+        assert np.all(alphas <= 1.0)
+
+
+def _random_prim(lay, mixture, rng, shape):
+    prim = np.empty((lay.nvars, *shape), dtype=DTYPE)
+    prim[lay.partial_densities] = rng.uniform(0.1, 10.0, (lay.ncomp, *shape))
+    prim[lay.velocity] = rng.uniform(-100.0, 100.0, (lay.ndim, *shape))
+    prim[lay.pressure] = rng.uniform(1e3, 1e7, shape)
+    if lay.n_advected:
+        a = rng.uniform(0.05, 0.95, (lay.n_advected, *shape))
+        prim[lay.advected] = a / max(lay.n_advected, 1)
+    return prim
+
+
+class TestConversions:
+    @pytest.mark.parametrize("ncomp,ndim", [(1, 1), (2, 1), (2, 2), (2, 3), (3, 2)])
+    def test_roundtrip(self, ncomp, ndim):
+        lay = StateLayout(ncomp=ncomp, ndim=ndim)
+        fluids = tuple([AIR, WATER, StiffenedGas(1.6, 10.0)][:ncomp])
+        mix = Mixture(fluids)
+        rng = np.random.default_rng(42)
+        prim = _random_prim(lay, mix, rng, (5,) * ndim)
+        q = prim_to_cons(lay, mix, prim)
+        back = cons_to_prim(lay, mix, q)
+        np.testing.assert_allclose(back, prim, rtol=1e-10, atol=1e-8)
+
+    def test_cons_fields_physical_meaning(self):
+        lay = StateLayout(ncomp=2, ndim=1)
+        mix = Mixture((AIR, AIR))
+        prim = np.array([[0.5], [0.5], [2.0], [1.0], [0.5]])  # rho=1, u=2, p=1
+        q = prim_to_cons(lay, mix, prim)
+        assert q[lay.momentum_component(0), 0] == pytest.approx(2.0)  # rho u
+        # E = p/(g-1) + 0.5 rho u^2 = 2.5 + 2 = 4.5
+        assert q[lay.energy, 0] == pytest.approx(4.5)
+
+    def test_check_rejects_negative_density(self):
+        lay = StateLayout(ncomp=2, ndim=1)
+        mix = Mixture((AIR, AIR))
+        q = np.ones((lay.nvars, 3), dtype=DTYPE)
+        q[0] = -2.0
+        with pytest.raises(PositivityError):
+            cons_to_prim(lay, mix, q, check=True)
+
+    def test_check_rejects_deep_negative_pressure(self):
+        lay = StateLayout(ncomp=2, ndim=1)
+        mix = Mixture((AIR, AIR))
+        prim = np.array([[0.5], [0.5], [0.0], [1.0], [0.5]])
+        q = prim_to_cons(lay, mix, prim)
+        q[lay.energy] = -100.0  # energy far below kinetic -> p < 0
+        with pytest.raises(PositivityError):
+            cons_to_prim(lay, mix, q, check=True)
+
+    def test_kinetic_energy_split(self):
+        # Velocity-dependent part of energy must be exactly 0.5 rho |u|^2.
+        lay = StateLayout(ncomp=2, ndim=3)
+        mix = Mixture((AIR, WATER))
+        rng = np.random.default_rng(1)
+        prim = _random_prim(lay, mix, rng, (4, 3, 2))
+        q_moving = prim_to_cons(lay, mix, prim)
+        prim_still = prim.copy()
+        prim_still[lay.velocity] = 0.0
+        q_still = prim_to_cons(lay, mix, prim_still)
+        rho = prim[lay.partial_densities].sum(axis=0)
+        ke = 0.5 * rho * (prim[lay.velocity] ** 2).sum(axis=0)
+        np.testing.assert_allclose(q_moving[lay.energy] - q_still[lay.energy],
+                                   ke, rtol=1e-12)
+
+    @given(st.floats(1e-3, 1e3), st.floats(-50.0, 50.0), st.floats(1e2, 1e8),
+           st.floats(0.05, 0.95))
+    @settings(max_examples=100)
+    def test_roundtrip_hypothesis(self, rho, u, p, alpha):
+        lay = StateLayout(ncomp=2, ndim=1)
+        mix = Mixture((AIR, WATER))
+        prim = np.array([[alpha * rho], [(1 - alpha) * rho], [u], [p], [alpha]])
+        q = prim_to_cons(lay, mix, prim)
+        back = cons_to_prim(lay, mix, q)
+        np.testing.assert_allclose(back, prim, rtol=1e-9, atol=1e-9)
+
+    def test_preserves_dtype(self):
+        lay = StateLayout(ncomp=2, ndim=2)
+        mix = Mixture((AIR, AIR))
+        rng = np.random.default_rng(7)
+        prim = _random_prim(lay, mix, rng, (3, 3))
+        assert prim_to_cons(lay, mix, prim).dtype == DTYPE

@@ -1,0 +1,120 @@
+"""Tests for SSP-RK integrators and CFL step control."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError, NumericsError
+from repro.eos import Mixture, StiffenedGas
+from repro.grid import StructuredGrid
+from repro.state import StateLayout, prim_to_cons
+from repro.timestepping import SSP_SCHEMES, cfl_dt, max_wave_speed, ssp_rk_step
+from repro.validation import observed_order
+
+AIR = StiffenedGas(1.4)
+
+
+class TestSSPRKSchemes:
+    def test_tableaux_consistency(self):
+        # Each stage's q_n/q_prev coefficients must sum to 1 (convexity).
+        for order, stages in SSP_SCHEMES.items():
+            for a, b, c in stages:
+                assert a + b == pytest.approx(1.0), f"order {order}"
+                assert 0.0 <= a <= 1.0 and 0.0 <= b <= 1.0 and c > 0.0
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_exact_on_constant_rhs(self, order):
+        # dq/dt = k integrates exactly for any RK order.
+        q = np.array([1.0])
+        out = ssp_rk_step(lambda q: np.array([2.0]), q, 0.5, order)
+        assert out[0] == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("order,expected", [(1, 0.9), (2, 1.9), (3, 2.9)])
+    def test_temporal_convergence_order(self, order, expected):
+        # dq/dt = -q with exact solution e^{-t}.
+        def run(dt):
+            q = np.array([1.0])
+            t = 0.0
+            while t < 1.0 - 1e-12:
+                q = ssp_rk_step(lambda q: -q, q, dt, order)
+                t += dt
+            return abs(q[0] - np.exp(-1.0))
+        dts = [0.1, 0.05, 0.025, 0.0125]
+        errors = [run(dt) for dt in dts]
+        ns = [1.0 / dt for dt in dts]
+        assert observed_order(ns, errors) > expected
+
+    def test_linear_stability_with_cfl_one(self):
+        # SSP property: forward-Euler-stable steps stay stable composed.
+        q = np.array([1.0])
+        for _ in range(100):
+            q = ssp_rk_step(lambda q: -q, q, 1.0, 3)
+        assert 0.0 < q[0] < 1.0
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            ssp_rk_step(lambda q: q, np.array([1.0]), 0.1, 4)
+
+    def test_does_not_mutate_input(self):
+        q = np.array([1.0, 2.0])
+        q_copy = q.copy()
+        ssp_rk_step(lambda x: -x, q, 0.1, 3)
+        np.testing.assert_array_equal(q, q_copy)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_preserves_shape_and_dtype(self, order):
+        q = np.zeros((5, 4, 3))
+        out = ssp_rk_step(lambda x: x * 0.0, q, 0.1, order)
+        assert out.shape == q.shape and out.dtype == q.dtype
+
+
+class TestCFL:
+    def setup_method(self):
+        self.lay = StateLayout(ncomp=2, ndim=1)
+        self.mix = Mixture((AIR, AIR))
+        self.grid = StructuredGrid.uniform(((0.0, 1.0),), (10,))
+
+    def make_prim(self, u=0.0, p=1.0, rho=1.0):
+        prim = np.empty((self.lay.nvars, 10))
+        prim[self.lay.partial_densities] = rho / 2.0
+        prim[self.lay.velocity] = u
+        prim[self.lay.pressure] = p
+        prim[self.lay.advected] = 0.5
+        return prim
+
+    def test_max_wave_speed_still_gas(self):
+        prim = self.make_prim()
+        rate = max_wave_speed(self.lay, self.mix, prim, self.grid)
+        # (|u| + c) / dx = sqrt(1.4) / 0.1
+        assert rate == pytest.approx(np.sqrt(1.4) / 0.1, rel=1e-12)
+
+    def test_velocity_increases_rate(self):
+        r0 = max_wave_speed(self.lay, self.mix, self.make_prim(u=0.0), self.grid)
+        r1 = max_wave_speed(self.lay, self.mix, self.make_prim(u=5.0), self.grid)
+        assert r1 == pytest.approx(r0 + 5.0 / 0.1, rel=1e-12)
+
+    def test_cfl_dt_scaling(self):
+        prim = self.make_prim()
+        dt1 = cfl_dt(self.lay, self.mix, prim, self.grid, 0.5)
+        dt2 = cfl_dt(self.lay, self.mix, prim, self.grid, 0.25)
+        assert dt1 == pytest.approx(2.0 * dt2)
+
+    def test_cfl_range_enforced(self):
+        prim = self.make_prim()
+        with pytest.raises(NumericsError):
+            cfl_dt(self.lay, self.mix, prim, self.grid, 0.0)
+        with pytest.raises(NumericsError):
+            cfl_dt(self.lay, self.mix, prim, self.grid, 1.5)
+
+    def test_nan_state_rejected(self):
+        prim = self.make_prim()
+        prim[self.lay.pressure] = np.nan
+        with pytest.raises(NumericsError):
+            cfl_dt(self.lay, self.mix, prim, self.grid, 0.5)
+
+    def test_stretched_grid_uses_min_width(self):
+        grid_s = StructuredGrid.stretched(((0.0, 1.0),), (10,), focus=(0.5,),
+                                          strength=5.0)
+        prim = self.make_prim()
+        dt_u = cfl_dt(self.lay, self.mix, prim, self.grid, 0.5)
+        dt_s = cfl_dt(self.lay, self.mix, prim, grid_s, 0.5)
+        assert dt_s < dt_u

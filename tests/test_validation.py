@@ -1,0 +1,114 @@
+"""Tests for the exact Riemann reference and convergence utilities."""
+
+import numpy as np
+import pytest
+
+from repro.common import ConfigurationError, NumericsError
+from repro.eos import StiffenedGas
+from repro.validation import ExactRiemann, observed_order, sod_solution
+
+AIR = StiffenedGas(1.4)
+
+
+class TestExactRiemann:
+    def test_sod_star_state_reference(self):
+        # Canonical Sod values: p* ~ 0.30313, u* ~ 0.92745 (Toro).
+        prob = ExactRiemann(AIR, 1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        p_star, u_star = prob.star_state()
+        assert p_star == pytest.approx(0.30313, rel=1e-4)
+        assert u_star == pytest.approx(0.92745, rel=1e-4)
+
+    def test_symmetric_problem_stationary_contact(self):
+        prob = ExactRiemann(AIR, 1.0, -1.0, 1.0, 1.0, 1.0, 1.0)
+        p_star, u_star = prob.star_state()
+        assert u_star == pytest.approx(0.0, abs=1e-12)
+        assert p_star < 1.0  # double rarefaction lowers pressure
+
+    def test_double_shock(self):
+        prob = ExactRiemann(AIR, 1.0, 2.0, 1.0, 1.0, -2.0, 1.0)
+        p_star, u_star = prob.star_state()
+        assert p_star > 1.0
+        assert u_star == pytest.approx(0.0, abs=1e-12)
+
+    def test_trivial_problem(self):
+        prob = ExactRiemann(AIR, 1.0, 0.5, 1.0, 1.0, 0.5, 1.0)
+        p_star, u_star = prob.star_state()
+        assert p_star == pytest.approx(1.0, rel=1e-10)
+        assert u_star == pytest.approx(0.5, rel=1e-10)
+
+    def test_sample_far_field_states(self):
+        prob = ExactRiemann(AIR, 1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        rho, u, p = prob.sample(np.array([-100.0, 100.0]))
+        assert rho[0] == pytest.approx(1.0) and p[0] == pytest.approx(1.0)
+        assert rho[1] == pytest.approx(0.125) and p[1] == pytest.approx(0.1)
+
+    def test_sample_contact_jump(self):
+        prob = ExactRiemann(AIR, 1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        p_star, u_star = prob.star_state()
+        rho, u, p = prob.sample(np.array([u_star - 1e-6, u_star + 1e-6]))
+        # Pressure and velocity continuous across the contact...
+        assert p[0] == pytest.approx(p[1], rel=1e-4)
+        assert u[0] == pytest.approx(u[1], rel=1e-4)
+        # ... density jumps.
+        assert abs(rho[0] - rho[1]) > 0.1
+
+    def test_rarefaction_fan_is_smooth(self):
+        prob = ExactRiemann(AIR, 1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        xi = np.linspace(-1.3, -0.6, 50)  # inside the left fan
+        rho, u, p = prob.sample(xi)
+        assert np.all(np.diff(u) > -1e-10)       # velocity increases across fan
+        assert np.all(np.diff(rho) < 1e-10)       # density decreases
+
+    def test_stiffened_gas_problem(self):
+        water = StiffenedGas(6.12, 3.43e8)
+        prob = ExactRiemann(water, 1000.0, 0.0, 1e9, 1000.0, 0.0, 1e5)
+        p_star, u_star = prob.star_state()
+        assert 1e5 < p_star < 1e9
+        assert u_star > 0.0
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(NumericsError):
+            ExactRiemann(AIR, -1.0, 0.0, 1.0, 1.0, 0.0, 1.0)
+
+    def test_sod_solution_helper(self):
+        x = np.linspace(0.0, 1.0, 101)
+        rho, u, p = sod_solution(x, 0.2)
+        assert rho[0] == pytest.approx(1.0)
+        assert rho[-1] == pytest.approx(0.125)
+        assert u.max() == pytest.approx(0.92745, rel=1e-3)
+
+    def test_sod_needs_positive_time(self):
+        with pytest.raises(NumericsError):
+            sod_solution(np.array([0.5]), 0.0)
+
+    def test_mass_flux_consistency_across_shock(self):
+        # Rankine-Hugoniot: rho (u - s) constant across the right shock.
+        prob = ExactRiemann(AIR, 1.0, 0.0, 1.0, 0.125, 0.0, 0.1)
+        p_star, u_star = prob.star_state()
+        g = 1.4
+        ratio = p_star / 0.1
+        rho_r_star = 0.125 * ((g + 1) * ratio + (g - 1)) / ((g - 1) * ratio + (g + 1))
+        c_r = np.sqrt(g * 0.1 / 0.125)
+        s = c_r * np.sqrt((g + 1) / (2 * g) * ratio + (g - 1) / (2 * g))
+        m1 = 0.125 * (0.0 - s)
+        m2 = rho_r_star * (u_star - s)
+        assert m1 == pytest.approx(m2, rel=1e-5)
+
+
+class TestObservedOrder:
+    def test_exact_power_law(self):
+        ns = [10, 20, 40, 80]
+        errors = [1.0 / n ** 3 for n in ns]
+        assert observed_order(ns, errors) == pytest.approx(3.0, rel=1e-10)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            observed_order([1, 2], [0.1])
+
+    def test_rejects_nonpositive_errors(self):
+        with pytest.raises(ConfigurationError):
+            observed_order([1, 2], [0.1, 0.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            observed_order([10], [0.1])

@@ -1,0 +1,175 @@
+"""Tests for WENO reconstruction: exactness, accuracy, non-oscillation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError, ShapeError
+from repro.validation import observed_order
+from repro.weno import IDEAL_WEIGHTS, halo_width, reconstruct_faces
+from repro.weno.reconstruct import weno_order_check
+
+
+class TestCoefficients:
+    def test_ideal_weights_sum_to_one(self):
+        for order, w in IDEAL_WEIGHTS.items():
+            assert sum(w) == pytest.approx(1.0), f"order {order}"
+
+    @pytest.mark.parametrize("order,ng", [(1, 1), (3, 2), (5, 3)])
+    def test_halo_widths(self, order, ng):
+        assert halo_width(order) == ng
+
+    def test_halo_width_rejects_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            halo_width(4)
+
+    def test_order_check(self):
+        assert weno_order_check(5) == 5
+        with pytest.raises(ConfigurationError):
+            weno_order_check(7)
+
+
+def _padded(fn, n, order, lo=0.0, hi=1.0):
+    """Sample fn at cell centres of a padded uniform grid."""
+    ng = halo_width(order)
+    dx = (hi - lo) / n
+    centers = lo + (np.arange(-ng, n + ng) + 0.5) * dx
+    return fn(centers), dx, centers
+
+
+class TestExactness:
+    @pytest.mark.parametrize("order", [1, 3, 5])
+    def test_constant_is_exact(self, order):
+        v, _, _ = _padded(lambda x: np.full_like(x, 3.7), 16, order)
+        vl, vr = reconstruct_faces(v, 0, order)
+        np.testing.assert_allclose(vl, 3.7, rtol=1e-14)
+        np.testing.assert_allclose(vr, 3.7, rtol=1e-14)
+
+    @pytest.mark.parametrize("order", [3, 5])
+    def test_linear_is_exact(self, order):
+        # Cell averages of a linear function equal midpoint values, and
+        # WENO >= 3 reconstructs linears exactly at smooth stencils.
+        n = 16
+        v, dx, centers = _padded(lambda x: 2.0 * x + 1.0, n, order)
+        vl, vr = reconstruct_faces(v, 0, order)
+        faces = centers[halo_width(order) - 1][None]  # unused; compute directly
+        xf = np.linspace(0.0, 1.0, n + 1)
+        exact = 2.0 * xf + 1.0
+        np.testing.assert_allclose(vl, exact, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(vr, exact, rtol=1e-10, atol=1e-10)
+
+    def test_weno5_quadratic_nearly_exact(self):
+        # Smoothness indicators differ so weights deviate from ideal, but
+        # each candidate polynomial reproduces the quadratic's face value
+        # from cell averages up to the cell-average correction.
+        n = 32
+        order = 5
+        ng = halo_width(order)
+        dx = 1.0 / n
+        edges = (np.arange(-ng, n + ng + 1)) * dx
+        # Exact cell averages of f(x) = x^2: (b^3 - a^3)/(3 dx).
+        v = (edges[1:] ** 3 - edges[:-1] ** 3) / (3.0 * dx)
+        vl, vr = reconstruct_faces(v, 0, order)
+        xf = np.linspace(0.0, 1.0, n + 1)
+        np.testing.assert_allclose(vl, xf ** 2, atol=1e-6)
+        np.testing.assert_allclose(vr, xf ** 2, atol=1e-6)
+
+
+class TestConvergence:
+    # Classic Jiang-Shu weights degrade one order at critical points, so
+    # WENO3 observes ~2 on sin; WENO5 holds ~5.
+    @pytest.mark.parametrize("order,expected_min", [(3, 1.9), (5, 4.5)])
+    def test_design_order_on_smooth_data(self, order, expected_min):
+        errors, ns = [], [16, 32, 64, 128]
+        for n in ns:
+            ng = halo_width(order)
+            dx = 2.0 * np.pi / n
+            edges = (np.arange(-ng, n + ng + 1)) * dx
+            avg = (np.cos(edges[:-1]) - np.cos(edges[1:])) / dx  # avg of sin
+            vl, _ = reconstruct_faces(avg, 0, order)
+            xf = np.linspace(0.0, 2.0 * np.pi, n + 1)
+            errors.append(np.abs(vl - np.sin(xf)).max())
+        assert observed_order(ns, errors) > expected_min
+
+    def test_first_order_is_donor_cell(self):
+        v = np.arange(10.0)
+        vl, vr = reconstruct_faces(v, 0, 1)
+        np.testing.assert_array_equal(vl, v[0:9])
+        np.testing.assert_array_equal(vr, v[1:10])
+
+
+class TestNonOscillation:
+    @pytest.mark.parametrize("order", [3, 5])
+    def test_step_function_no_new_extrema(self, order):
+        n = 40
+        v, _, centers = _padded(lambda x: np.where(x < 0.5, 1.0, 0.0), n, order)
+        vl, vr = reconstruct_faces(v, 0, order)
+        eps = 1e-10
+        assert vl.max() <= 1.0 + eps and vl.min() >= -eps
+        assert vr.max() <= 1.0 + eps and vr.min() >= -eps
+
+    @pytest.mark.parametrize("order", [3, 5])
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_bounded_by_stencil_range(self, order, seed):
+        rng = np.random.default_rng(seed)
+        n = 20
+        ng = halo_width(order)
+        v = rng.uniform(-5.0, 5.0, n + 2 * ng)
+        vl, vr = reconstruct_faces(v, 0, order)
+        # ENO-type schemes stay within the global data range (convex
+        # combinations of interpolants of the data).
+        lo, hi = v.min(), v.max()
+        span = hi - lo
+        assert vl.min() >= lo - 0.3 * span and vl.max() <= hi + 0.3 * span
+        assert vr.min() >= lo - 0.3 * span and vr.max() <= hi + 0.3 * span
+
+
+class TestShapesAndAxes:
+    def test_output_shape_1d(self):
+        v = np.zeros(26)
+        vl, vr = reconstruct_faces(v, 0, 5)
+        assert vl.shape == (21,) and vr.shape == (21,)
+
+    def test_leading_axes_carried(self):
+        v = np.random.default_rng(0).random((8, 5, 26))
+        vl, vr = reconstruct_faces(v, 2, 5)
+        assert vl.shape == (8, 5, 21)
+
+    def test_reconstruction_along_middle_axis(self):
+        rng = np.random.default_rng(3)
+        v = rng.random((4, 26, 6))
+        vl_mid, _ = reconstruct_faces(v, 1, 5)
+        # Must equal axis-last reconstruction transposed back.
+        vt = np.moveaxis(v, 1, -1)
+        vl_last, _ = reconstruct_faces(vt, 2, 5)
+        np.testing.assert_allclose(vl_mid, np.moveaxis(vl_last, -1, 1), rtol=1e-14)
+
+    def test_wrong_padding_raises(self):
+        with pytest.raises(ShapeError):
+            reconstruct_faces(np.zeros(10), 0, 5, n_interior=7)
+
+    def test_too_small_interior_raises(self):
+        with pytest.raises(ShapeError):
+            reconstruct_faces(np.zeros(6), 0, 5)  # 6 - 2*3 = 0 interior
+
+    def test_independent_of_other_axes(self):
+        # Reconstructing along axis 0 must not mix data across axis 1.
+        rng = np.random.default_rng(5)
+        v = rng.random((26, 4))
+        vl, _ = reconstruct_faces(v, 0, 5)
+        vl_col0, _ = reconstruct_faces(v[:, 0], 0, 5)
+        np.testing.assert_array_equal(vl[:, 0], vl_col0)
+
+
+class TestSymmetry:
+    @pytest.mark.parametrize("order", [3, 5])
+    def test_mirror_symmetry(self, order):
+        # Reversing the data must swap and reverse the face states.
+        rng = np.random.default_rng(11)
+        v = rng.random(24 + 2 * halo_width(order))
+        vl, vr = reconstruct_faces(v, 0, order)
+        vl_r, vr_r = reconstruct_faces(v[::-1].copy(), 0, order)
+        np.testing.assert_allclose(vl, vr_r[::-1], rtol=1e-13)
+        np.testing.assert_allclose(vr, vl_r[::-1], rtol=1e-13)
