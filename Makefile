@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples artifacts clean
+.PHONY: install test bench bench-rhs examples artifacts clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Hot-path perf trajectory: grind time + allocations per step
+# (emits benchmarks/results/BENCH_rhs.json).
+bench-rhs:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py
 
 # Regenerates benchmarks/results/*.txt (the figure artifacts).
 artifacts: bench

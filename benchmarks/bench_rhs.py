@@ -1,0 +1,109 @@
+"""RHS/RK hot-path benchmark: grind time and allocations per step.
+
+Runs the standard 2D two-component advecting-bubble case twice — once
+on the allocating reference path and once on the workspace-backed
+default — and emits ``benchmarks/results/BENCH_rhs.json`` with, per
+path:
+
+* ``grind_time_ns`` — nanoseconds per cell, per PDE, per RHS
+  evaluation (the paper's metric),
+* ``peak_transient_bytes_per_step`` — worst-case bytes allocated above
+  the pre-step baseline inside one ``Simulation.step()``,
+* ``net_bytes_per_step`` — traced-size growth per step (≈0 at steady
+  state; catches leaks).
+
+Future PRs append to the perf trajectory by re-running ``make
+bench-rhs`` and comparing against the committed JSON.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rhs.py [N]
+
+with optional grid extent ``N`` (default 64).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.bc import BoundarySet
+from repro.eos import Mixture, StiffenedGas
+from repro.grid import StructuredGrid
+from repro.profiling import measure_step_allocations
+from repro.solver import Case, Patch, Simulation, box, sphere
+
+AIR = StiffenedGas(1.4, 0.0, "air")
+MIX = Mixture((AIR, AIR))
+
+RESULT_PATH = Path(__file__).parent / "results" / "BENCH_rhs.json"
+
+
+def make_sim(n: int, use_workspace: bool) -> Simulation:
+    """The benchmark case: a pressurised bubble advecting through a box."""
+    grid = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), (n, n))
+    case = Case(grid, MIX)
+    case.add(Patch(box([0, 0], [1, 1]), alpha_rho=(0.5, 0.5),
+                   velocity=(0.3, -0.1), pressure=1.0, alpha=(0.5,)))
+    case.add(Patch(sphere([0.5, 0.5], 0.2), alpha_rho=(1.0, 1.0),
+                   velocity=(0.0, 0.0), pressure=2.0, alpha=(0.5,)))
+    return Simulation(case, BoundarySet.all_periodic(2), cfl=0.4,
+                      use_workspace=use_workspace)
+
+
+def bench_path(n: int, use_workspace: bool, *, warmup_steps: int = 3,
+               timed_steps: int = 25) -> dict:
+    """Benchmark one path; allocation tracing runs on a separate sim so
+    tracemalloc overhead never pollutes the timing."""
+    sim = make_sim(n, use_workspace)
+    sim.run(n_steps=warmup_steps)
+    sim.history.clear()
+    sim.run(n_steps=timed_steps)
+    grind = sim.grind_time_ns()
+
+    alloc_sim = make_sim(n, use_workspace)
+    stats = measure_step_allocations(alloc_sim, warmup=3, repeats=5)
+
+    return {
+        "use_workspace": use_workspace,
+        "grind_time_ns": grind,
+        "peak_transient_bytes_per_step": stats.peak_transient_bytes,
+        "net_bytes_per_step": stats.net_bytes / stats.calls,
+        "kernel_breakdown": sim.kernel_breakdown(),
+    }
+
+
+def main(argv: list[str]) -> int:
+    n = int(argv[1]) if len(argv) > 1 else 64
+    sim = make_sim(n, True)
+    field_bytes = sim.q.nbytes
+    results = {
+        "case": {"grid": [n, n], "nvars": sim.layout.nvars,
+                 "field_bytes": field_bytes,
+                 "workspace_bytes": sim.rhs.workspace.nbytes},
+        "reference": bench_path(n, use_workspace=False),
+        "workspace": bench_path(n, use_workspace=True),
+    }
+    ref, ws = results["reference"], results["workspace"]
+    results["speedup"] = ref["grind_time_ns"] / ws["grind_time_ns"]
+    results["allocation_reduction"] = (
+        ref["peak_transient_bytes_per_step"]
+        / max(1, ws["peak_transient_bytes_per_step"]))
+
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    print(f"grind time  : {ref['grind_time_ns']:8.1f} ns -> "
+          f"{ws['grind_time_ns']:8.1f} ns   ({results['speedup']:.2f}x)")
+    print(f"alloc/step  : {ref['peak_transient_bytes_per_step']/1e3:8.0f} kB -> "
+          f"{ws['peak_transient_bytes_per_step']/1e3:8.0f} kB   "
+          f"({results['allocation_reduction']:.1f}x lower)")
+    print(f"net/step    : {ref['net_bytes_per_step']/1e3:8.1f} kB -> "
+          f"{ws['net_bytes_per_step']/1e3:8.1f} kB")
+    print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -48,11 +48,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.series:
         print(f"wrote {len(writer.entries)} series snapshots to {args.series}")
     sim.validate_state()
-    print(f"done: {sim.step_count} steps to t = {sim.time:.6g}; "
-          f"grind {sim.grind_time_ns():.1f} ns/cell/PDE/RHS (host)")
-    shares = ", ".join(f"{k}={100 * v:.0f}%"
-                       for k, v in sorted(sim.kernel_breakdown().items()))
-    print(f"kernel shares: {shares}")
+    if sim.history:
+        print(f"done: {sim.step_count} steps to t = {sim.time:.6g}; "
+              f"grind {sim.grind_time_ns():.1f} ns/cell/PDE/RHS (host)")
+        shares = ", ".join(f"{k}={100 * v:.0f}%"
+                           for k, v in sorted(sim.kernel_breakdown().items()))
+        print(f"kernel shares: {shares}")
+    else:
+        print(f"done: horizon t_end already reached; no steps taken "
+              f"(t = {sim.time:.6g})")
 
     if args.snapshot:
         from repro.io.binary import write_snapshot

@@ -78,16 +78,25 @@ def pad_with_ghosts(field: np.ndarray, ng: int) -> np.ndarray:
     return padded
 
 
-def pad_axis(field: np.ndarray, axis: int, ng: int) -> np.ndarray:
+def pad_axis(field: np.ndarray, axis: int, ng: int,
+             out: np.ndarray | None = None) -> np.ndarray:
     """Pad only spatial ``axis`` of ``(nvars, *spatial)`` with ``ng`` ghosts per side.
 
     The dimension-split RHS reconstructs one direction at a time, so it
     only ever needs ghosts along that direction; per-axis padding keeps
     the temporary ``(1 + 2*ng/n)`` times the field instead of cubing it.
+    When ``out`` is given (a preallocated workspace buffer of the padded
+    shape) the interior is written into it and no allocation happens.
     """
     shape = list(field.shape)
     shape[axis + 1] += 2 * ng
-    padded = np.empty(shape, dtype=field.dtype)
+    if out is None:
+        padded = np.empty(shape, dtype=field.dtype)
+    else:
+        if list(out.shape) != shape:
+            raise ConfigurationError(
+                f"pad_axis out buffer has shape {out.shape}, expected {tuple(shape)}")
+        padded = out
     interior = [slice(None)] * field.ndim
     interior[axis + 1] = slice(ng, ng + field.shape[axis + 1])
     padded[tuple(interior)] = field

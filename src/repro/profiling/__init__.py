@@ -5,6 +5,11 @@ from repro.profiling.modeled import ModeledRun
 from repro.profiling.counters import KernelCounters, counters_report, kernel_counters
 from repro.profiling.reports import device_comparison_report, kernel_stats_report
 from repro.profiling.roofline_plot import roofline_chart
+from repro.profiling.allocations import (
+    AllocationStats,
+    measure_call_allocations,
+    measure_step_allocations,
+)
 
 __all__ = [
     "KernelRecord",
@@ -16,4 +21,7 @@ __all__ = [
     "kernel_stats_report",
     "device_comparison_report",
     "roofline_chart",
+    "AllocationStats",
+    "measure_call_allocations",
+    "measure_step_allocations",
 ]

@@ -1,0 +1,96 @@
+"""Allocation-regression harness (tracemalloc-based).
+
+The paper's optimizations are, at heart, allocation discipline: keep
+the hot kernels from creating or copying buffers inside the time loop.
+This module gives the host-side analog a measurable number — how many
+transient bytes one call of a hot-path function allocates — so the
+benchmark suite can track it alongside grind time and tests can assert
+a steady-state step stays below a fixed byte budget.
+
+``tracemalloc`` tracks the *current* and *peak* traced sizes; the
+transient cost of a call is the peak observed during the call minus the
+traced size just before it (buffers that already live in a workspace
+are part of the baseline and cost nothing).  The net delta additionally
+catches leaks: a steady-state step should neither spike nor grow.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class AllocationStats:
+    """Transient-allocation profile of a repeated call.
+
+    Attributes
+    ----------
+    calls:
+        Number of measured invocations (after warmup).
+    peak_transient_bytes:
+        Worst-case bytes allocated above the pre-call baseline during
+        any single measured call.
+    mean_transient_bytes:
+        Average of the per-call transient peaks.
+    net_bytes:
+        Traced-size growth across all measured calls (≈0 for a
+        steady-state step; positive values indicate per-step leaks or
+        caches still filling).
+    """
+
+    calls: int
+    peak_transient_bytes: int
+    mean_transient_bytes: float
+    net_bytes: int
+
+
+def measure_call_allocations(fn: Callable[[], object], *, warmup: int = 2,
+                             repeats: int = 3) -> AllocationStats:
+    """Measure the transient bytes ``fn()`` allocates per call.
+
+    ``warmup`` calls run untraced first so one-time caches (workspace
+    construction, lazy imports, ufunc buffers) do not pollute the
+    steady-state numbers.  Tracing overhead slows ``fn`` down
+    considerably — keep this off the timed benchmarking path.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    try:
+        transients = []
+        start_size, _ = tracemalloc.get_traced_memory()
+        for _ in range(repeats):
+            base, _ = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+            transients.append(max(0, peak - base))
+        end_size, _ = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+
+    return AllocationStats(
+        calls=repeats,
+        peak_transient_bytes=max(transients),
+        mean_transient_bytes=sum(transients) / len(transients),
+        net_bytes=end_size - start_size,
+    )
+
+
+def measure_step_allocations(sim, *, warmup: int = 2,
+                             repeats: int = 3) -> AllocationStats:
+    """Allocation profile of ``sim.step()`` at steady state.
+
+    Convenience wrapper for the common case: warm the workspace (and
+    any lazy caches) with a few untraced steps, then measure.
+    """
+    return measure_call_allocations(lambda: sim.step(), warmup=warmup,
+                                    repeats=repeats)

@@ -44,7 +44,8 @@ class FaceStates:
 
 
 def physical_flux(layout: StateLayout, prim: np.ndarray, cons: np.ndarray,
-                  rho: np.ndarray, p: np.ndarray, direction: int) -> np.ndarray:
+                  rho: np.ndarray, p: np.ndarray, direction: int,
+                  *, out: np.ndarray | None = None) -> np.ndarray:
     """Exact flux :math:`F^{(d)}(q)` of the five-equation system.
 
     The advected volume fractions get the advective flux
@@ -52,7 +53,7 @@ def physical_flux(layout: StateLayout, prim: np.ndarray, cons: np.ndarray,
     source is applied in the RHS assembly, following MFC.
     """
     un = prim[layout.momentum_component(direction)]
-    flux = np.empty_like(cons)
+    flux = np.empty_like(cons) if out is None else out
     flux[layout.partial_densities] = cons[layout.partial_densities] * un
     flux[layout.momentum] = cons[layout.momentum] * un
     flux[layout.momentum_component(direction)] += p
@@ -83,15 +84,34 @@ def advect_volume_fractions(layout: StateLayout, flux: np.ndarray,
     flux[layout.advected] = upwind * u_face
 
 
+class RiemannScratch:
+    """Preallocated face-field buffers for one direction's Riemann solve.
+
+    Each buffer has the face-state shape ``(nvars, ...)``.  The
+    ``star_*`` triple is consumed only by HLLC (two star-region fluxes
+    plus the star-state temporary); the decompositions use the
+    ``cons``/``flux`` pairs.  All uses are bitwise neutral — the
+    buffers only replace ``np.empty_like`` destinations.
+    """
+
+    __slots__ = ("cons_l", "flux_l", "cons_r", "flux_r",
+                 "star_l", "star_r", "star_tmp")
+
+    def __init__(self, shape: tuple[int, ...], dtype=DTYPE) -> None:
+        for name in self.__slots__:
+            setattr(self, name, np.empty(shape, dtype=dtype))
+
+
 def decompose_faces(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
-                    direction: int) -> FaceStates:
+                    direction: int, *, cons_out: np.ndarray | None = None,
+                    flux_out: np.ndarray | None = None) -> FaceStates:
     """Build a :class:`FaceStates` from one side's primitive face states."""
     rho = prim[layout.partial_densities].sum(axis=0)
     p = prim[layout.pressure]
     alphas = full_alphas(layout, prim[layout.advected])
     c = mixture.sound_speed(alphas, rho, p)
     un = prim[layout.momentum_component(direction)]
-    cons = prim_to_cons(layout, mixture, prim)
-    flux = physical_flux(layout, prim, cons, rho, p, direction)
+    cons = prim_to_cons(layout, mixture, prim, out=cons_out)
+    flux = physical_flux(layout, prim, cons, rho, p, direction, out=flux_out)
     return FaceStates(prim=prim, cons=cons, rho=rho, p=p, c=c,
                       un=np.asarray(un, dtype=DTYPE), flux=flux)

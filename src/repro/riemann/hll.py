@@ -15,10 +15,19 @@ from repro.state.layout import StateLayout
 
 
 def hll_flux(layout: StateLayout, mixture: Mixture,
-             prim_l: np.ndarray, prim_r: np.ndarray, direction: int):
+             prim_l: np.ndarray, prim_r: np.ndarray, direction: int,
+             *, out: np.ndarray | None = None,
+             out_u: np.ndarray | None = None,
+             scratch=None):
     """HLL flux and interface velocity; same interface as :func:`hllc_flux`."""
-    L = decompose_faces(layout, mixture, prim_l, direction)
-    R = decompose_faces(layout, mixture, prim_r, direction)
+    if scratch is None:
+        L = decompose_faces(layout, mixture, prim_l, direction)
+        R = decompose_faces(layout, mixture, prim_r, direction)
+    else:
+        L = decompose_faces(layout, mixture, prim_l, direction,
+                            cons_out=scratch.cons_l, flux_out=scratch.flux_l)
+        R = decompose_faces(layout, mixture, prim_r, direction,
+                            cons_out=scratch.cons_r, flux_out=scratch.flux_r)
 
     s_l = np.minimum(L.un - L.c, R.un - R.c)
     s_r = np.maximum(L.un + L.c, R.un + R.c)
@@ -30,10 +39,22 @@ def hll_flux(layout: StateLayout, mixture: Mixture,
     middle = (s_r * L.flux - s_l * R.flux + s_l * s_r * (R.cons - L.cons)) / safe_den
     middle = np.where(np.abs(den) < tiny, L.flux, middle)
 
-    flux = np.where(s_l >= 0.0, L.flux, np.where(s_r <= 0.0, R.flux, middle))
+    if out is None:
+        flux = np.where(s_l >= 0.0, L.flux, np.where(s_r <= 0.0, R.flux, middle))
+    else:
+        flux = out
+        np.copyto(flux, middle)
+        np.copyto(flux, R.flux, where=s_r <= 0.0)
+        np.copyto(flux, L.flux, where=s_l >= 0.0)
 
     # HLL has no contact wave; use the Roe-like average bounded by the fan.
     u_mid = 0.5 * (L.un + R.un)
-    u_face = np.where(s_l >= 0.0, L.un, np.where(s_r <= 0.0, R.un, u_mid))
+    if out_u is None:
+        u_face = np.where(s_l >= 0.0, L.un, np.where(s_r <= 0.0, R.un, u_mid))
+    else:
+        u_face = out_u
+        np.copyto(u_face, u_mid)
+        np.copyto(u_face, R.un, where=s_r <= 0.0)
+        np.copyto(u_face, L.un, where=s_l >= 0.0)
     advect_volume_fractions(layout, flux, prim_l, prim_r, u_face)
     return flux, u_face

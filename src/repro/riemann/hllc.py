@@ -18,7 +18,10 @@ from repro.state.layout import StateLayout
 
 
 def hllc_flux(layout: StateLayout, mixture: Mixture,
-              prim_l: np.ndarray, prim_r: np.ndarray, direction: int):
+              prim_l: np.ndarray, prim_r: np.ndarray, direction: int,
+              *, out: np.ndarray | None = None,
+              out_u: np.ndarray | None = None,
+              scratch=None):
     """HLLC flux and interface velocity for batched face states.
 
     Parameters
@@ -27,6 +30,14 @@ def hllc_flux(layout: StateLayout, mixture: Mixture,
         Primitive states just left/right of each face, shape ``(nvars, ...)``.
     direction:
         Face-normal dimension index.
+    out, out_u:
+        Optional preallocated destinations for the flux and interface
+        velocity (workspace buffers); results are bitwise identical to
+        the allocating path.
+    scratch:
+        Optional :class:`~repro.riemann.common.RiemannScratch` whose
+        buffers absorb the field-sized temporaries (decomposed
+        conservative states, physical fluxes, star fluxes).
 
     Returns
     -------
@@ -36,8 +47,14 @@ def hllc_flux(layout: StateLayout, mixture: Mixture,
         velocity (``S*`` inside the star region), which the RHS uses for
         the nonconservative volume-fraction source.
     """
-    L = decompose_faces(layout, mixture, prim_l, direction)
-    R = decompose_faces(layout, mixture, prim_r, direction)
+    if scratch is None:
+        L = decompose_faces(layout, mixture, prim_l, direction)
+        R = decompose_faces(layout, mixture, prim_r, direction)
+    else:
+        L = decompose_faces(layout, mixture, prim_l, direction,
+                            cons_out=scratch.cons_l, flux_out=scratch.flux_l)
+        R = decompose_faces(layout, mixture, prim_r, direction,
+                            cons_out=scratch.cons_r, flux_out=scratch.flux_r)
 
     # Davis wave-speed estimates.
     s_l = np.minimum(L.un - L.c, R.un - R.c)
@@ -53,24 +70,46 @@ def hllc_flux(layout: StateLayout, mixture: Mixture,
     s_star = num / safe_den
     s_star = np.where(np.abs(den) < tiny, 0.5 * (L.un + R.un), s_star)
 
-    flux = np.where(s_l >= 0.0, L.flux, R.flux)
-    star_l = _star_flux(layout, L, s_l, s_star, direction)
-    star_r = _star_flux(layout, R, s_r, s_star, direction)
+    if scratch is None:
+        star_l = _star_flux(layout, L, s_l, s_star, direction)
+        star_r = _star_flux(layout, R, s_r, s_star, direction)
+    else:
+        star_l = _star_flux(layout, L, s_l, s_star, direction,
+                            out=scratch.star_l, q_star=scratch.star_tmp)
+        star_r = _star_flux(layout, R, s_r, s_star, direction,
+                            out=scratch.star_r, q_star=scratch.star_tmp)
     in_star_l = (s_l < 0.0) & (s_star >= 0.0)
     in_star_r = (s_star < 0.0) & (s_r >= 0.0)
-    flux = np.where(in_star_l, star_l, flux)
-    flux = np.where(in_star_r, star_r, flux)
+    if out is None:
+        flux = np.where(s_l >= 0.0, L.flux, R.flux)
+        flux = np.where(in_star_l, star_l, flux)
+        flux = np.where(in_star_r, star_r, flux)
+    else:
+        # Same selection as the np.where chain, element-for-element.
+        flux = out
+        np.copyto(flux, R.flux)
+        np.copyto(flux, L.flux, where=s_l >= 0.0)
+        np.copyto(flux, star_l, where=in_star_l)
+        np.copyto(flux, star_r, where=in_star_r)
 
-    u_face = np.where(s_l >= 0.0, L.un, np.where(s_r <= 0.0, R.un, s_star))
+    if out_u is None:
+        u_face = np.where(s_l >= 0.0, L.un, np.where(s_r <= 0.0, R.un, s_star))
+    else:
+        u_face = out_u
+        np.copyto(u_face, s_star)
+        np.copyto(u_face, R.un, where=s_r <= 0.0)
+        np.copyto(u_face, L.un, where=s_l >= 0.0)
     advect_volume_fractions(layout, flux, prim_l, prim_r, u_face)
     return flux, u_face
 
 
 def _star_flux(layout: StateLayout, K, s_k: np.ndarray, s_star: np.ndarray,
-               direction: int) -> np.ndarray:
+               direction: int, *, out: np.ndarray | None = None,
+               q_star: np.ndarray | None = None) -> np.ndarray:
     """``F_K + S_K (q*_K - q_K)`` for one side of the fan."""
     factor = (s_k - K.un) / (s_k - s_star)
-    q_star = np.empty_like(K.cons)
+    if q_star is None:
+        q_star = np.empty_like(K.cons)
     q_star[layout.partial_densities] = K.cons[layout.partial_densities] * factor
     rho_star = K.rho * factor
 
@@ -83,4 +122,9 @@ def _star_flux(layout: StateLayout, K, s_k: np.ndarray, s_star: np.ndarray,
         e_k + (s_star - K.un) * (s_star + K.p / (K.rho * (s_k - K.un))))
 
     q_star[layout.advected] = K.cons[layout.advected] * factor
-    return K.flux + s_k * (q_star - K.cons)
+    if out is None:
+        return K.flux + s_k * (q_star - K.cons)
+    np.subtract(q_star, K.cons, out=q_star)
+    np.multiply(q_star, s_k, out=q_star)
+    np.add(K.flux, q_star, out=out)
+    return out

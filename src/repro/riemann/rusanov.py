@@ -10,13 +10,34 @@ from repro.state.layout import StateLayout
 
 
 def rusanov_flux(layout: StateLayout, mixture: Mixture,
-                 prim_l: np.ndarray, prim_r: np.ndarray, direction: int):
+                 prim_l: np.ndarray, prim_r: np.ndarray, direction: int,
+                 *, out: np.ndarray | None = None,
+                 out_u: np.ndarray | None = None,
+                 scratch=None):
     """Rusanov flux and interface velocity; same interface as :func:`hllc_flux`."""
-    L = decompose_faces(layout, mixture, prim_l, direction)
-    R = decompose_faces(layout, mixture, prim_r, direction)
+    if scratch is None:
+        L = decompose_faces(layout, mixture, prim_l, direction)
+        R = decompose_faces(layout, mixture, prim_r, direction)
+    else:
+        L = decompose_faces(layout, mixture, prim_l, direction,
+                            cons_out=scratch.cons_l, flux_out=scratch.flux_l)
+        R = decompose_faces(layout, mixture, prim_r, direction,
+                            cons_out=scratch.cons_r, flux_out=scratch.flux_r)
 
     s_max = np.maximum(np.abs(L.un) + L.c, np.abs(R.un) + R.c)
-    flux = 0.5 * (L.flux + R.flux) - 0.5 * s_max * (R.cons - L.cons)
-    u_face = 0.5 * (L.un + R.un)
+    dissipation = 0.5 * s_max * (R.cons - L.cons)
+    if out is None:
+        flux = 0.5 * (L.flux + R.flux) - dissipation
+    else:
+        flux = out
+        np.add(L.flux, R.flux, out=flux)
+        np.multiply(flux, 0.5, out=flux)
+        np.subtract(flux, dissipation, out=flux)
+    if out_u is None:
+        u_face = 0.5 * (L.un + R.un)
+    else:
+        u_face = out_u
+        np.add(L.un, R.un, out=u_face)
+        np.multiply(u_face, 0.5, out=u_face)
     advect_volume_fractions(layout, flux, prim_l, prim_r, u_face)
     return flux, u_face

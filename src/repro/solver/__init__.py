@@ -13,6 +13,7 @@ from repro.solver.diagnostics import (
 )
 from repro.solver.geometry import GEOMETRIES
 from repro.solver.positivity import limit_face_states
+from repro.solver.workspace import SolverWorkspace
 
 __all__ = [
     "RHS",
@@ -26,6 +27,7 @@ __all__ = [
     "StepRecord",
     "GEOMETRIES",
     "limit_face_states",
+    "SolverWorkspace",
     "kinetic_energy",
     "enstrophy",
     "max_mach",

@@ -34,6 +34,7 @@ from repro.solver.geometry import (
 )
 from repro.solver.positivity import limit_face_states
 from repro.solver.viscous import Viscosity, viscous_rhs
+from repro.solver.workspace import SolverWorkspace
 from repro.state.conversions import cons_to_prim
 from repro.state.layout import StateLayout
 from repro.weno import halo_width, reconstruct_faces
@@ -68,7 +69,15 @@ class RHSConfig:
 
 @dataclass
 class RHS:
-    """Callable computing :math:`dq/dt` for a conservative field ``q``."""
+    """Callable computing :math:`dq/dt` for a conservative field ``q``.
+
+    With ``use_workspace`` (the default) all padded-primitive, face,
+    flux, and accumulator buffers are preallocated once in a
+    :class:`~repro.solver.workspace.SolverWorkspace` and reused by every
+    call, so steady-state evaluations perform no new large-array
+    allocations; results are bitwise identical to the allocating
+    reference path (``use_workspace=False``).
+    """
 
     layout: StateLayout
     mixture: Mixture
@@ -76,6 +85,7 @@ class RHS:
     bcs: BoundarySet
     config: RHSConfig = field(default_factory=RHSConfig)
     stopwatch: Stopwatch | None = None
+    use_workspace: bool = True
 
     def __post_init__(self) -> None:
         if self.grid.ndim != self.layout.ndim:
@@ -99,27 +109,58 @@ class RHS:
         #: Cumulative count of face states replaced by the positivity
         #: fallback (0 in well-resolved single-phase runs).
         self.limited_faces = 0
+        #: Preallocated buffer arena; None runs the allocating
+        #: reference path.
+        self.workspace = (SolverWorkspace(self.layout, self.grid, self._ng)
+                          if self.use_workspace else None)
 
     @property
     def ghost_width(self) -> int:
         return self._ng
 
-    def __call__(self, q: np.ndarray) -> np.ndarray:
+    def __call__(self, q: np.ndarray, *, out: np.ndarray | None = None,
+                 prim: np.ndarray | None = None) -> np.ndarray:
+        """Compute ``dq/dt``.
+
+        Parameters
+        ----------
+        out:
+            Optional destination for the tendency (e.g. the workspace's
+            ``dqdt``); a fresh array is allocated when omitted, so plain
+            ``rhs(q)`` calls never hand out an aliased buffer.
+        prim:
+            Optional precomputed primitive field of ``q`` (the driver's
+            dt computation shares its ``cons_to_prim`` with RK stage
+            one through this).
+        """
         layout = self.layout
         sw = self.stopwatch
         widths = self.grid.width_fields()
+        ws = self.workspace
+        if ws is not None and not ws.compatible(q):
+            ws = None  # off-grid shapes fall back to the allocating path
 
-        if sw is not None:
-            with sw.time("other"):
-                prim = cons_to_prim(layout, self.mixture, q)
+        if prim is None:
+            prim_out = ws.prim if ws is not None else None
+            if sw is not None:
+                with sw.time("other"):
+                    prim = cons_to_prim(layout, self.mixture, q, out=prim_out)
+            else:
+                prim = cons_to_prim(layout, self.mixture, q, out=prim_out)
+
+        if out is None:
+            dqdt = np.zeros_like(q)
         else:
-            prim = cons_to_prim(layout, self.mixture, q)
-
-        dqdt = np.zeros_like(q)
-        divu = np.zeros(q.shape[1:], dtype=q.dtype)
+            dqdt = out
+            dqdt.fill(0.0)
+        if ws is not None:
+            divu = ws.divu
+            divu.fill(0.0)
+        else:
+            divu = np.zeros(q.shape[1:], dtype=q.dtype)
 
         for d in range(layout.ndim):
-            self._accumulate_direction(prim, d, widths[d], dqdt, divu)
+            self._accumulate_direction(prim, d, widths[d], dqdt, divu, ws)
 
         if self._radius is not None:
             apply_axisymmetric_terms(layout, prim, q, self._radius, dqdt, divu)
@@ -137,7 +178,8 @@ class RHS:
 
     # ------------------------------------------------------------------
     def _accumulate_direction(self, prim: np.ndarray, d: int, width: np.ndarray,
-                              dqdt: np.ndarray, divu: np.ndarray) -> None:
+                              dqdt: np.ndarray, divu: np.ndarray,
+                              ws: SolverWorkspace | None = None) -> None:
         layout, ng, sw = self.layout, self._ng, self.stopwatch
         lo, hi = self.bcs.per_axis[d]
 
@@ -145,21 +187,56 @@ class RHS:
             return sw.time(name) if sw is not None else _NullCtx()
 
         with timed("packing"):
-            padded = pad_axis(prim, d, ng)
+            padded = pad_axis(prim, d, ng,
+                              out=ws.padded[d] if ws is not None else None)
             fill_axis_ghosts(padded, layout, d, ng, lo, hi)
 
         with timed("weno"):
-            v_l, v_r = reconstruct_faces(padded, d + 1, self.config.weno_order)
+            if ws is not None:
+                v_l, v_r = reconstruct_faces(
+                    padded, d + 1, self.config.weno_order,
+                    out=(ws.face_l[d], ws.face_r[d]),
+                    scratch=ws.weno_scratch[d])
+            else:
+                v_l, v_r = reconstruct_faces(padded, d + 1, self.config.weno_order)
             self.limited_faces += limit_face_states(
                 layout, self.mixture, padded, v_l, v_r, d, ng)
 
         with timed("riemann"):
-            flux, u_face = self._riemann(layout, self.mixture, v_l, v_r, d)
+            if ws is not None:
+                flux, u_face = self._riemann(layout, self.mixture, v_l, v_r, d,
+                                             out=ws.flux[d], out_u=ws.u_face[d],
+                                             scratch=ws.riemann_scratch[d])
+            else:
+                flux, u_face = self._riemann(layout, self.mixture, v_l, v_r, d)
 
         with timed("other"):
             # dq/dt += (F_{i-1/2} - F_{i+1/2}) / dx = -diff(F)/dx.
-            dqdt -= np.diff(flux, axis=d + 1) / width
-            divu += np.diff(u_face, axis=d) / width
+            if ws is not None:
+                _accumulate_divergence(flux, d + 1, width, ws.div_scratch, dqdt,
+                                       np.subtract)
+                _accumulate_divergence(u_face, d, width, ws.divu_scratch, divu,
+                                       np.add)
+            else:
+                dqdt -= np.diff(flux, axis=d + 1) / width
+                divu += np.diff(u_face, axis=d) / width
+
+
+def _accumulate_divergence(faces: np.ndarray, axis: int, width: np.ndarray,
+                           scratch: np.ndarray, acc: np.ndarray, op) -> None:
+    """``acc op= diff(faces, axis)/width`` without temporaries.
+
+    Bitwise identical to ``np.diff``-based accumulation: the forward
+    difference, the width division, and the in-place accumulate are the
+    same three ufunc evaluations in the same order.
+    """
+    lo = [slice(None)] * faces.ndim
+    hi = [slice(None)] * faces.ndim
+    lo[axis] = slice(0, -1)
+    hi[axis] = slice(1, None)
+    np.subtract(faces[tuple(hi)], faces[tuple(lo)], out=scratch)
+    np.true_divide(scratch, width, out=scratch)
+    op(acc, scratch, out=acc)
 
 
 class _NullCtx:

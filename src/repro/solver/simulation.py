@@ -63,6 +63,10 @@ class Simulation:
     fixed_dt: float | None = None
     check_every: int = 10
     stopwatch: Stopwatch = field(default_factory=Stopwatch)
+    #: Preallocate all RHS/RK buffers once and reuse them every step
+    #: (bitwise identical to the allocating path; see
+    #: :mod:`repro.solver.workspace`).
+    use_workspace: bool = True
 
     def __post_init__(self) -> None:
         if self.rk_order not in SSP_SCHEMES:
@@ -71,7 +75,8 @@ class Simulation:
         self.mixture = self.case.mixture
         self.grid = self.case.grid
         self.rhs = RHS(self.layout, self.mixture, self.grid, self.bcs,
-                       self.config, stopwatch=self.stopwatch)
+                       self.config, stopwatch=self.stopwatch,
+                       use_workspace=self.use_workspace)
         self.q = self.case.initial_conservative()
         self.time = 0.0
         self.step_count = 0
@@ -87,16 +92,45 @@ class Simulation:
         vol = self.grid.cell_volumes()
         return np.array([(self.q[v] * vol).sum() for v in range(self.layout.nvars)])
 
-    def compute_dt(self) -> float:
+    def compute_dt(self, prim: np.ndarray | None = None) -> float:
+        """CFL-limited (or fixed) step; ``prim`` avoids a re-conversion."""
         if self.fixed_dt is not None:
             return self.fixed_dt
-        return cfl_dt(self.layout, self.mixture, self.primitive(), self.grid, self.cfl)
+        if prim is None:
+            prim = self.primitive()
+        return cfl_dt(self.layout, self.mixture, prim, self.grid, self.cfl)
 
-    def step(self) -> StepRecord:
-        """Advance one time step; returns its record."""
-        dt = self.compute_dt()
+    def step(self, dt: float | None = None, *,
+             dt_limit: float | None = None) -> StepRecord:
+        """Advance one time step; returns its record.
+
+        Parameters
+        ----------
+        dt:
+            Step size to use; computed from the CFL condition (or
+            ``fixed_dt``) when omitted.  Passing a precomputed dt avoids
+            a second wave-speed sweep when the caller already did one.
+        dt_limit:
+            Upper bound on the step (the driver clips the final step of
+            ``run(t_end=...)`` with this so the run lands exactly on the
+            horizon).
+        """
+        ws = self.rhs.workspace
+        prim0 = None
+        if ws is not None:
+            # One cons_to_prim serves both the dt computation and RK
+            # stage one (their inputs are identical, so sharing is
+            # bitwise neutral).
+            with self.stopwatch.time("other"):
+                prim0 = cons_to_prim(self.layout, self.mixture, self.q,
+                                     out=ws.prim)
+        if dt is None:
+            dt = self.compute_dt(prim0)
+        if dt_limit is not None and dt > dt_limit:
+            dt = dt_limit
         with WallTimer() as timer:
-            self.q = ssp_rk_step(self.rhs, self.q, dt, self.rk_order)
+            self.q = ssp_rk_step(self.rhs, self.q, dt, self.rk_order,
+                                 workspace=ws, prim0=prim0)
         self.time += dt
         self.step_count += 1
         rec = StepRecord(self.step_count, self.time, dt, timer.elapsed)
@@ -110,6 +144,8 @@ class Simulation:
         """March until ``t_end`` or for ``n_steps`` (whichever is given).
 
         The final step is clipped so the run lands exactly on ``t_end``.
+        A horizon at or before the current time is a no-op; a negative
+        one is a configuration error.
         """
         if (t_end is None) == (n_steps is None):
             raise ConfigurationError("specify exactly one of t_end or n_steps")
@@ -120,17 +156,11 @@ class Simulation:
                     callback(self, rec)
             return
         assert t_end is not None
+        if t_end < 0.0:
+            raise ConfigurationError(
+                f"t_end must be non-negative, got {t_end}")
         while self.time < t_end * (1.0 - 1e-12):
-            dt = self.compute_dt()
-            if self.time + dt > t_end:
-                saved = self.fixed_dt
-                self.fixed_dt = t_end - self.time
-                try:
-                    rec = self.step()
-                finally:
-                    self.fixed_dt = saved
-            else:
-                rec = self.step()
+            rec = self.step(dt_limit=t_end - self.time)
             if callback is not None:
                 callback(self, rec)
 
@@ -151,7 +181,14 @@ class Simulation:
         return write_snapshot(path, self.q, step=self.step_count, time=self.time)
 
     def load_checkpoint(self, path) -> None:
-        """Restore state, step count, and time from a snapshot."""
+        """Restore state, step count, and time from a snapshot.
+
+        All accumulated statistics — step history, kernel stopwatch
+        laps, and the RHS limiter counter — are reset so post-restart
+        ``kernel_breakdown()``/``grind_time_ns()`` and limiter stats
+        describe only the restarted run instead of mixing in
+        pre-restart accounting.
+        """
         from repro.io.binary import read_snapshot
 
         header, q = read_snapshot(path)
@@ -162,6 +199,8 @@ class Simulation:
         self.step_count = header.step
         self.time = header.time
         self.history.clear()
+        self.stopwatch.laps.clear()
+        self.rhs.limited_faces = 0
 
     # ------------------------------------------------------------------
     def grind_time_ns(self) -> float:

@@ -1,0 +1,143 @@
+"""Preallocated buffer arena for the solver hot path.
+
+The paper's central optimization story is memory management: flattening
+derived types, coalescing through transposes, and compile-time-sized
+``private`` arrays all exist to keep MFC's two hottest kernels from
+allocating or copying inside the time loop.  The NumPy analog of that
+discipline is a workspace: every padded-primitive scratch field, face
+state, flux buffer, divergence accumulator, and RK stage array is
+allocated once per :class:`~repro.solver.rhs.RHS` lifetime and reused by
+every subsequent step, so a steady-state step performs no new
+large-array allocations.
+
+All workspace-backed code paths are **bitwise identical** to the
+allocating reference paths (same operations in the same order, only the
+destination buffers differ); this is enforced by property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import DTYPE
+from repro.grid.cartesian import StructuredGrid
+from repro.riemann.common import RiemannScratch
+from repro.state.layout import StateLayout
+
+#: Number of scratch arrays the in-place WENO kernels need (order-5 worst
+#: case: three candidate polynomials, three nonlinear weights, two
+#: temporaries).
+WENO_SCRATCH_COUNT = 8
+
+
+class SolverWorkspace:
+    """Reusable buffers for one RHS/RK pipeline on a fixed grid.
+
+    Parameters
+    ----------
+    layout:
+        State layout (fixes the variable count).
+    grid:
+        Structured grid (fixes the spatial shape).
+    ng:
+        Ghost width of the reconstruction (from
+        :func:`repro.weno.halo_width`).
+
+    Attributes
+    ----------
+    prim:
+        Primitive-field buffer shared by the driver's dt computation and
+        the RHS (one ``cons_to_prim`` per RHS evaluation).
+    dqdt, divu:
+        RHS accumulators (conservative tendency, face-velocity
+        divergence).
+    padded, face_l, face_r, flux, u_face:
+        Per-direction scratch: ghost-padded primitives, reconstructed
+        left/right face states, Riemann flux, and interface velocity.
+    weno_scratch:
+        Per-direction tuples of scratch arrays (reconstruction axis
+        last) for the in-place WENO kernels.
+    div_scratch, divu_scratch:
+        Flux-divergence temporaries.
+    rk_stage, rk_result, rk_tmp:
+        Shu-Osher stage buffers; ``rk_result`` holds the step output and
+        is safely reusable as the next step's input.
+    """
+
+    def __init__(self, layout: StateLayout, grid: StructuredGrid, ng: int,
+                 dtype=DTYPE) -> None:
+        nvars = layout.nvars
+        spatial = grid.shape
+        ndim = len(spatial)
+        self.shape = (nvars, *spatial)
+        self.dtype = np.dtype(dtype)
+
+        def new(shape):
+            return np.empty(shape, dtype=self.dtype)
+
+        # Field-sized buffers.
+        self.prim = new(self.shape)
+        self.dqdt = new(self.shape)
+        self.divu = new(spatial)
+        self.div_scratch = new(self.shape)
+        self.divu_scratch = new(spatial)
+
+        # SSP-RK stage buffers (two alternating stages + result + temp).
+        self.rk_stage = (new(self.shape), new(self.shape))
+        self.rk_result = new(self.shape)
+        self.rk_tmp = new(self.shape)
+
+        # Per-direction pipeline buffers.
+        self.padded: list[np.ndarray] = []
+        self.face_l: list[np.ndarray] = []
+        self.face_r: list[np.ndarray] = []
+        self.flux: list[np.ndarray] = []
+        self.u_face: list[np.ndarray] = []
+        self.weno_scratch: list[tuple[np.ndarray, ...]] = []
+        self.riemann_scratch: list[RiemannScratch] = []
+        for d in range(ndim):
+            pshape = list(self.shape)
+            pshape[d + 1] += 2 * ng
+            fshape = list(self.shape)
+            fshape[d + 1] += 1
+            self.padded.append(new(pshape))
+            self.face_l.append(new(fshape))
+            self.face_r.append(new(fshape))
+            self.flux.append(new(fshape))
+            self.u_face.append(new(fshape[1:]))
+            # WENO kernels run with the reconstruction axis moved last.
+            last = ([nvars]
+                    + [spatial[k] for k in range(ndim) if k != d]
+                    + [spatial[d] + 1])
+            self.weno_scratch.append(
+                tuple(new(last) for _ in range(WENO_SCRATCH_COUNT)))
+            self.riemann_scratch.append(
+                RiemannScratch(tuple(fshape), dtype=self.dtype))
+
+    # ------------------------------------------------------------------
+    def compatible(self, q: np.ndarray) -> bool:
+        """Whether ``q`` matches the shape/dtype this workspace was built for."""
+        return q.shape == self.shape and q.dtype == self.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the arena (for memory reports)."""
+        total = 0
+        for arr in self._all_arrays():
+            total += arr.nbytes
+        return total
+
+    def _all_arrays(self):
+        yield from (self.prim, self.dqdt, self.divu, self.div_scratch,
+                    self.divu_scratch, self.rk_result, self.rk_tmp)
+        yield from self.rk_stage
+        yield from self.padded
+        yield from self.face_l
+        yield from self.face_r
+        yield from self.flux
+        yield from self.u_face
+        for group in self.weno_scratch:
+            yield from group
+        for rs in self.riemann_scratch:
+            for name in RiemannScratch.__slots__:
+                yield getattr(rs, name)

@@ -50,7 +50,7 @@ def full_alphas(layout: StateLayout, advected: np.ndarray) -> np.ndarray:
 
 
 def cons_to_prim(layout: StateLayout, mixture: Mixture, q: np.ndarray,
-                 *, check: bool = False) -> np.ndarray:
+                 *, check: bool = False, out: np.ndarray | None = None) -> np.ndarray:
     """Convert a conservative field ``q`` of shape ``(nvars, ...)`` to primitives.
 
     Parameters
@@ -59,8 +59,11 @@ def cons_to_prim(layout: StateLayout, mixture: Mixture, q: np.ndarray,
         When true, raise :class:`PositivityError` on non-positive density
         or on ``p + pi_inf_m <= 0``; hot paths leave this off and rely on
         the driver's periodic state checks.
+    out:
+        Optional preallocated destination (the workspace primitive
+        buffer); results are bitwise identical either way.
     """
-    prim = np.empty_like(q)
+    prim = np.empty_like(q) if out is None else out
     rho = q[layout.partial_densities].sum(axis=0)
     if check and not np.all(rho > 0.0):
         raise PositivityError("non-positive mixture density in cons_to_prim")
@@ -86,9 +89,10 @@ def cons_to_prim(layout: StateLayout, mixture: Mixture, q: np.ndarray,
     return prim
 
 
-def prim_to_cons(layout: StateLayout, mixture: Mixture, prim: np.ndarray) -> np.ndarray:
+def prim_to_cons(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
+                 *, out: np.ndarray | None = None) -> np.ndarray:
     """Convert a primitive field of shape ``(nvars, ...)`` to conservatives."""
-    q = np.empty_like(prim)
+    q = np.empty_like(prim) if out is None else out
     q[layout.partial_densities] = prim[layout.partial_densities]
     rho = prim[layout.partial_densities].sum(axis=0)
 

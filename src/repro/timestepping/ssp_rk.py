@@ -38,19 +38,53 @@ SSP_SCHEMES: dict[int, tuple[tuple[float, float, float], ...]] = {
 
 
 def ssp_rk_step(rhs: Callable[[np.ndarray], np.ndarray], q: np.ndarray,
-                dt: float, order: int = 3) -> np.ndarray:
+                dt: float, order: int = 3, *,
+                workspace=None, prim0: np.ndarray | None = None) -> np.ndarray:
     """Advance ``q`` by one step of the SSP-RK scheme of the given order.
 
     ``rhs(q)`` must return :math:`L(q) = dq/dt`; the input array is not
     modified.
+
+    With a :class:`~repro.solver.workspace.SolverWorkspace` the stages
+    run through preallocated buffers and the returned array is the
+    workspace's ``rk_result`` (reused on the next call — copy it if you
+    need it to survive).  The workspace path requires an ``rhs``
+    accepting ``out=`` and ``prim=`` keywords (the solver's
+    :class:`~repro.solver.rhs.RHS` does); ``prim0``, when given, is the
+    precomputed primitive field of ``q`` forwarded to the first stage so
+    the driver's dt computation and stage one share a single
+    ``cons_to_prim``.  Both paths are bitwise identical.
     """
     if order not in SSP_SCHEMES:
         raise ConfigurationError(
             f"SSP-RK order must be one of {sorted(SSP_SCHEMES)}, got {order}")
+    if workspace is None:
+        q_n = q
+        q_k = q
+        for a, b, c in SSP_SCHEMES[order]:
+            # First stage has b == 0, so q_prev's coefficient pattern still
+            # holds with q_k == q_n.
+            q_k = a * q_n + b * q_k + (c * dt) * rhs(q_k)
+        return q_k
+
+    stages = SSP_SCHEMES[order]
+    ws = workspace
     q_n = q
     q_k = q
-    for a, b, c in SSP_SCHEMES[order]:
-        # First stage has b == 0, so q_prev's coefficient pattern still
-        # holds with q_k == q_n.
-        q_k = a * q_n + b * q_k + (c * dt) * rhs(q_k)
+    for k, (a, b, c) in enumerate(stages):
+        # The result buffer may alias q_n (it is the previous step's
+        # output); intermediate stages go to alternating stage buffers,
+        # so q_n stays intact until the final stage's first write — and
+        # that write (a*q_n into the result) is element-aligned, hence
+        # safe under aliasing.
+        out = ws.rk_result if k == len(stages) - 1 else ws.rk_stage[k % 2]
+        L = rhs(q_k, out=ws.dqdt, prim=prim0 if k == 0 else None)
+        # q_{k+1} = (a*q_n + b*q_k) + (c*dt)*L, grouped as in the
+        # allocating path above so the two are bitwise identical.
+        np.multiply(q_k, b, out=ws.rk_tmp)
+        np.multiply(q_n, a, out=out)
+        np.add(out, ws.rk_tmp, out=out)
+        np.multiply(L, c * dt, out=ws.rk_tmp)
+        np.add(out, ws.rk_tmp, out=out)
+        q_k = out
     return q_k

@@ -89,7 +89,141 @@ def _downwind_faces(vlast: np.ndarray, start: int, count: int, order: int) -> np
     return _weno5(cells(2), cells(1), cells(0), cells(-1), cells(-2))
 
 
-def reconstruct_faces(v: np.ndarray, axis: int, order: int, *, n_interior: int | None = None):
+#: Scratch arrays the in-place kernels consume (order-5 worst case).
+SCRATCH_COUNT = 8
+
+
+def _weno3_into(out, s, vm1, v0, vp1) -> None:
+    """In-place :func:`_weno3`; bitwise identical, writes into ``out``.
+
+    Every NumPy temporary of the expression form is replaced by a
+    preallocated scratch array from ``s``, preserving the operation
+    order (and hence the floating-point result) exactly.
+    """
+    d0, d1 = IDEAL_WEIGHTS[3]
+    p0, p1, a0, a1, t = s[:5]
+    # p0 = -0.5*vm1 + 1.5*v0
+    np.multiply(vm1, -0.5, out=p0)
+    np.multiply(v0, 1.5, out=t)
+    np.add(p0, t, out=p0)
+    # p1 = 0.5*(v0 + vp1)
+    np.add(v0, vp1, out=p1)
+    np.multiply(p1, 0.5, out=p1)
+    # a0 = d0 / (eps + (v0 - vm1)**2)**2
+    np.subtract(v0, vm1, out=a0)
+    np.multiply(a0, a0, out=a0)
+    np.add(a0, WENO_EPS, out=a0)
+    np.multiply(a0, a0, out=a0)
+    np.true_divide(d0, a0, out=a0)
+    # a1 = d1 / (eps + (vp1 - v0)**2)**2
+    np.subtract(vp1, v0, out=a1)
+    np.multiply(a1, a1, out=a1)
+    np.add(a1, WENO_EPS, out=a1)
+    np.multiply(a1, a1, out=a1)
+    np.true_divide(d1, a1, out=a1)
+    # out = (a0*p0 + a1*p1) / (a0 + a1)
+    np.multiply(a0, p0, out=out)
+    np.multiply(a1, p1, out=t)
+    np.add(out, t, out=out)
+    np.add(a0, a1, out=t)
+    np.true_divide(out, t, out=out)
+
+
+def _weno5_into(out, s, vm2, vm1, v0, vp1, vp2) -> None:
+    """In-place :func:`_weno5`; bitwise identical, writes into ``out``."""
+    d0, d1, d2 = IDEAL_WEIGHTS[5]
+    p0, p1, p2, a0, a1, a2, t1, t2 = s[:8]
+    # p0 = (2*vm2 - 7*vm1 + 11*v0)/6
+    np.multiply(vm2, 2.0, out=p0)
+    np.multiply(vm1, 7.0, out=t1)
+    np.subtract(p0, t1, out=p0)
+    np.multiply(v0, 11.0, out=t1)
+    np.add(p0, t1, out=p0)
+    np.true_divide(p0, 6.0, out=p0)
+    # p1 = (-vm1 + 5*v0 + 2*vp1)/6
+    np.negative(vm1, out=p1)
+    np.multiply(v0, 5.0, out=t1)
+    np.add(p1, t1, out=p1)
+    np.multiply(vp1, 2.0, out=t1)
+    np.add(p1, t1, out=p1)
+    np.true_divide(p1, 6.0, out=p1)
+    # p2 = (2*v0 + 5*vp1 - vp2)/6
+    np.multiply(v0, 2.0, out=p2)
+    np.multiply(vp1, 5.0, out=t1)
+    np.add(p2, t1, out=p2)
+    np.subtract(p2, vp2, out=p2)
+    np.true_divide(p2, 6.0, out=p2)
+    # b0 = 13/12*(vm2 - 2*vm1 + v0)**2 + 0.25*(vm2 - 4*vm1 + 3*v0)**2
+    np.multiply(vm1, 2.0, out=t1)
+    np.subtract(vm2, t1, out=t1)
+    np.add(t1, v0, out=t1)
+    np.multiply(t1, t1, out=t1)
+    np.multiply(t1, 13.0 / 12.0, out=a0)
+    np.multiply(vm1, 4.0, out=t1)
+    np.subtract(vm2, t1, out=t1)
+    np.multiply(v0, 3.0, out=t2)
+    np.add(t1, t2, out=t1)
+    np.multiply(t1, t1, out=t1)
+    np.multiply(t1, 0.25, out=t1)
+    np.add(a0, t1, out=a0)
+    # b1 = 13/12*(vm1 - 2*v0 + vp1)**2 + 0.25*(vm1 - vp1)**2
+    np.multiply(v0, 2.0, out=t1)
+    np.subtract(vm1, t1, out=t1)
+    np.add(t1, vp1, out=t1)
+    np.multiply(t1, t1, out=t1)
+    np.multiply(t1, 13.0 / 12.0, out=a1)
+    np.subtract(vm1, vp1, out=t1)
+    np.multiply(t1, t1, out=t1)
+    np.multiply(t1, 0.25, out=t1)
+    np.add(a1, t1, out=a1)
+    # b2 = 13/12*(v0 - 2*vp1 + vp2)**2 + 0.25*(3*v0 - 4*vp1 + vp2)**2
+    np.multiply(vp1, 2.0, out=t1)
+    np.subtract(v0, t1, out=t1)
+    np.add(t1, vp2, out=t1)
+    np.multiply(t1, t1, out=t1)
+    np.multiply(t1, 13.0 / 12.0, out=a2)
+    np.multiply(v0, 3.0, out=t1)
+    np.multiply(vp1, 4.0, out=t2)
+    np.subtract(t1, t2, out=t1)
+    np.add(t1, vp2, out=t1)
+    np.multiply(t1, t1, out=t1)
+    np.multiply(t1, 0.25, out=t1)
+    np.add(a2, t1, out=a2)
+    # a_i = d_i / (eps + b_i)**2
+    for d, a in ((d0, a0), (d1, a1), (d2, a2)):
+        np.add(a, WENO_EPS, out=a)
+        np.multiply(a, a, out=a)
+        np.true_divide(d, a, out=a)
+    # out = (a0*p0 + a1*p1 + a2*p2) / (a0 + a1 + a2)
+    np.multiply(a0, p0, out=out)
+    np.multiply(a1, p1, out=t1)
+    np.add(out, t1, out=out)
+    np.multiply(a2, p2, out=t1)
+    np.add(out, t1, out=out)
+    np.add(a0, a1, out=t1)
+    np.add(t1, a2, out=t1)
+    np.true_divide(out, t1, out=out)
+
+
+def _faces_into(vlast: np.ndarray, start: int, count: int, order: int,
+                out: np.ndarray, scratch, downwind: bool) -> None:
+    """In-place upwind/downwind reconstruction into ``out`` (axis last)."""
+    def cells(offset: int) -> np.ndarray:
+        o = -offset if downwind else offset
+        return vlast[..., start + o: start + o + count]
+
+    if order == 1:
+        np.copyto(out, cells(0))
+    elif order == 3:
+        _weno3_into(out, scratch, cells(-1), cells(0), cells(1))
+    else:
+        _weno5_into(out, scratch, cells(-2), cells(-1), cells(0), cells(1), cells(2))
+
+
+def reconstruct_faces(v: np.ndarray, axis: int, order: int, *,
+                      n_interior: int | None = None,
+                      out: tuple[np.ndarray, np.ndarray] | None = None,
+                      scratch: tuple[np.ndarray, ...] | None = None):
     """Reconstruct left/right face states along ``axis``.
 
     Parameters
@@ -105,6 +239,15 @@ def reconstruct_faces(v: np.ndarray, axis: int, order: int, *, n_interior: int |
     n_interior:
         Number of interior cells along ``axis``; inferred from the padded
         extent when omitted.
+    out:
+        Optional ``(vL, vR)`` destination buffers with the face shape
+        (``axis`` extent ``n_interior + 1``).  When given, the kernels
+        run in place through scratch arrays and return the buffers —
+        bitwise identical to the allocating path.
+    scratch:
+        At least :data:`SCRATCH_COUNT` preallocated arrays shaped like
+        the output with the reconstruction axis moved last; allocated on
+        the fly when omitted.
 
     Returns
     -------
@@ -126,8 +269,19 @@ def reconstruct_faces(v: np.ndarray, axis: int, order: int, *, n_interior: int |
 
     vlast = np.moveaxis(v, axis, -1)
     nf = n_interior + 1
-    # Left states: upwind reconstruction from cells ng-1 .. ng+n-1.
-    vL = _upwind_faces(vlast, ng - 1, nf, order)
-    # Right states: downwind reconstruction from cells ng .. ng+n.
-    vR = _downwind_faces(vlast, ng, nf, order)
-    return np.moveaxis(vL, -1, axis), np.moveaxis(vR, -1, axis)
+    if out is None:
+        # Left states: upwind reconstruction from cells ng-1 .. ng+n-1.
+        vL = _upwind_faces(vlast, ng - 1, nf, order)
+        # Right states: downwind reconstruction from cells ng .. ng+n.
+        vR = _downwind_faces(vlast, ng, nf, order)
+        return np.moveaxis(vL, -1, axis), np.moveaxis(vR, -1, axis)
+
+    out_l, out_r = out
+    vl_last = np.moveaxis(out_l, axis, -1)
+    vr_last = np.moveaxis(out_r, axis, -1)
+    if scratch is None:
+        scratch = tuple(np.empty(vl_last.shape, dtype=v.dtype)
+                        for _ in range(SCRATCH_COUNT))
+    _faces_into(vlast, ng - 1, nf, order, vl_last, scratch, downwind=False)
+    _faces_into(vlast, ng, nf, order, vr_last, scratch, downwind=True)
+    return out_l, out_r
