@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-rhs examples artifacts clean
+.PHONY: install test test-thread bench bench-rhs examples artifacts clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -10,13 +10,19 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Fast tier-1 slice: the thread-tiled execution backend only.
+test-thread:
+	$(PYTHON) -m pytest tests/ -k thread
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Hot-path perf trajectory: grind time + allocations per step
-# (emits benchmarks/results/BENCH_rhs.json).
+# Hot-path perf trajectory: grind time + kernel breakdown over a grid x
+# thread-count sweep, plus allocations per step on the smallest grid
+# (appends to benchmarks/results/BENCH_rhs.json's history).
 bench-rhs:
-	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py \
+		--grid 64 --grid 256 --threads 1 --threads 2 --threads 4
 
 # Regenerates benchmarks/results/*.txt (the figure artifacts).
 artifacts: bench

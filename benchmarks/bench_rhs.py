@@ -1,31 +1,38 @@
-"""RHS/RK hot-path benchmark: grind time and allocations per step.
+"""RHS/RK hot-path benchmark: grind time, threading sweep, allocations.
 
-Runs the standard 2D two-component advecting-bubble case twice — once
-on the allocating reference path and once on the workspace-backed
-default — and emits ``benchmarks/results/BENCH_rhs.json`` with, per
-path:
+Runs the standard 2D two-component advecting-bubble case over a grid ×
+thread-count sweep and **appends** one entry to the ``"history"`` list
+of ``benchmarks/results/BENCH_rhs.json`` — the perf trajectory across
+PRs is a growing list, never an overwrite.  (A pre-history result file,
+the single workspace-vs-reference record of PR 1, is migrated in place
+as the first history entry.)
 
-* ``grind_time_ns`` — nanoseconds per cell, per PDE, per RHS
-  evaluation (the paper's metric),
-* ``peak_transient_bytes_per_step`` — worst-case bytes allocated above
-  the pre-step baseline inside one ``Simulation.step()``,
-* ``net_bytes_per_step`` — traced-size growth per step (≈0 at steady
-  state; catches leaks).
+Per grid the sweep records:
 
-Future PRs append to the perf trajectory by re-running ``make
-bench-rhs`` and comparing against the committed JSON.
+* ``reference`` / serial-workspace allocation stats on the smallest
+  grid — ``peak_transient_bytes_per_step`` and ``net_bytes_per_step``
+  (tracemalloc is priced out of the larger grids),
+* per thread count: ``grind_time_ns`` (nanoseconds per cell, per PDE,
+  per RHS evaluation — the paper's metric), the kernel breakdown, the
+  planned tile count, and ``speedup_vs_serial``.
+
+``host_cpus`` is stamped on every entry: thread scaling is only
+meaningful on multicore hosts, and a single-core container measures the
+backend's overhead, not its speedup.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_rhs.py [N]
+    PYTHONPATH=src python benchmarks/bench_rhs.py \
+        [--grid N ...] [--threads T ...] [--steps K] [--warmup W]
 
-with optional grid extent ``N`` (default 64).
+Defaults sweep grids 64 and 256 with 1, 2, and 4 threads.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
-import sys
+import os
 from pathlib import Path
 
 from repro.bc import BoundarySet
@@ -40,7 +47,8 @@ MIX = Mixture((AIR, AIR))
 RESULT_PATH = Path(__file__).parent / "results" / "BENCH_rhs.json"
 
 
-def make_sim(n: int, use_workspace: bool) -> Simulation:
+def make_sim(n: int, *, use_workspace: bool = True,
+             threads: int = 1) -> Simulation:
     """The benchmark case: a pressurised bubble advecting through a box."""
     grid = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), (n, n))
     case = Case(grid, MIX)
@@ -49,61 +57,115 @@ def make_sim(n: int, use_workspace: bool) -> Simulation:
     case.add(Patch(sphere([0.5, 0.5], 0.2), alpha_rho=(1.0, 1.0),
                    velocity=(0.0, 0.0), pressure=2.0, alpha=(0.5,)))
     return Simulation(case, BoundarySet.all_periodic(2), cfl=0.4,
-                      use_workspace=use_workspace)
+                      use_workspace=use_workspace, threads=threads)
 
 
-def bench_path(n: int, use_workspace: bool, *, warmup_steps: int = 3,
-               timed_steps: int = 25) -> dict:
-    """Benchmark one path; allocation tracing runs on a separate sim so
-    tracemalloc overhead never pollutes the timing."""
-    sim = make_sim(n, use_workspace)
-    sim.run(n_steps=warmup_steps)
+def time_grind(n: int, threads: int, *, use_workspace: bool = True,
+               warmup: int = 3, steps: int = 25) -> dict:
+    sim = make_sim(n, use_workspace=use_workspace, threads=threads)
+    sim.run(n_steps=warmup)
     sim.history.clear()
-    sim.run(n_steps=timed_steps)
-    grind = sim.grind_time_ns()
-
-    alloc_sim = make_sim(n, use_workspace)
-    stats = measure_step_allocations(alloc_sim, warmup=3, repeats=5)
-
-    return {
-        "use_workspace": use_workspace,
-        "grind_time_ns": grind,
-        "peak_transient_bytes_per_step": stats.peak_transient_bytes,
-        "net_bytes_per_step": stats.net_bytes / stats.calls,
+    sim.stopwatch.laps.clear()
+    sim.run(n_steps=steps)
+    out = {
+        "threads": threads,
+        "grind_time_ns": sim.grind_time_ns(),
         "kernel_breakdown": sim.kernel_breakdown(),
     }
+    if threads > 1:
+        out["tiles"] = sim.rhs._tiles
+    return out
 
 
-def main(argv: list[str]) -> int:
-    n = int(argv[1]) if len(argv) > 1 else 64
-    sim = make_sim(n, True)
-    field_bytes = sim.q.nbytes
-    results = {
-        "case": {"grid": [n, n], "nvars": sim.layout.nvars,
-                 "field_bytes": field_bytes,
-                 "workspace_bytes": sim.rhs.workspace.nbytes},
-        "reference": bench_path(n, use_workspace=False),
-        "workspace": bench_path(n, use_workspace=True),
+def alloc_stats(n: int, use_workspace: bool) -> dict:
+    sim = make_sim(n, use_workspace=use_workspace)
+    stats = measure_step_allocations(sim, warmup=3, repeats=5)
+    return {
+        "peak_transient_bytes_per_step": stats.peak_transient_bytes,
+        "net_bytes_per_step": stats.net_bytes / stats.calls,
     }
-    ref, ws = results["reference"], results["workspace"]
-    results["speedup"] = ref["grind_time_ns"] / ws["grind_time_ns"]
-    results["allocation_reduction"] = (
-        ref["peak_transient_bytes_per_step"]
-        / max(1, ws["peak_transient_bytes_per_step"]))
 
+
+def bench_grid(n: int, thread_counts: list[int], *, warmup: int,
+               steps: int | None, with_allocs: bool) -> dict:
+    grid_steps = steps if steps is not None else (25 if n < 128 else 8)
+    sim = make_sim(n)
+    entry: dict = {
+        "grid": [n, n],
+        "nvars": sim.layout.nvars,
+        "field_bytes": sim.q.nbytes,
+        "workspace_bytes": sim.rhs.workspace.nbytes,
+        "timed_steps": grid_steps,
+        "runs": [],
+    }
+    del sim
+    if with_allocs:
+        entry["reference_allocs"] = alloc_stats(n, use_workspace=False)
+        entry["workspace_allocs"] = alloc_stats(n, use_workspace=True)
+    serial_grind = None
+    for threads in thread_counts:
+        run = time_grind(n, threads, warmup=warmup, steps=grid_steps)
+        if threads == 1:
+            serial_grind = run["grind_time_ns"]
+        if serial_grind is not None:
+            run["speedup_vs_serial"] = serial_grind / run["grind_time_ns"]
+        entry["runs"].append(run)
+        tiles = f", {run['tiles']} tiles" if "tiles" in run else ""
+        speed = (f"   {run['speedup_vs_serial']:.2f}x"
+                 if "speedup_vs_serial" in run else "")
+        print(f"  {n:4d}^2  threads={threads}{tiles}: "
+              f"{run['grind_time_ns']:8.1f} ns/cell/PDE/RHS{speed}")
+    return entry
+
+
+def load_history() -> list[dict]:
+    """Existing trajectory; migrates the PR-1 single-record format."""
+    if not RESULT_PATH.exists():
+        return []
+    data = json.loads(RESULT_PATH.read_text())
+    if isinstance(data, dict) and "history" in data:
+        return data["history"]
+    # Pre-history format: one workspace-vs-reference record.
+    data["label"] = "workspace-arena"
+    return [data]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grid", type=int, action="append", default=None,
+                        help="grid extent N (repeatable; default 64, 256)")
+    parser.add_argument("--threads", type=int, action="append", default=None,
+                        help="thread count (repeatable; default 1, 2, 4)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="timed steps per run (default 25, or 8 for "
+                             "grids >= 128)")
+    parser.add_argument("--warmup", type=int, default=3)
+    parser.add_argument("--label", default="thread-sweep")
+    args = parser.parse_args(argv)
+
+    grids = args.grid or [64, 256]
+    thread_counts = args.threads or [1, 2, 4]
+    if 1 not in thread_counts:
+        thread_counts = [1] + thread_counts  # speedups need the baseline
+
+    host_cpus = os.cpu_count() or 1
+    entry: dict = {"label": args.label, "host_cpus": host_cpus, "grids": []}
+    print(f"host cpus: {host_cpus}"
+          + ("  (single core: thread runs measure overhead, not scaling)"
+             if host_cpus == 1 else ""))
+    smallest = min(grids)
+    for n in grids:
+        entry["grids"].append(
+            bench_grid(n, thread_counts, warmup=args.warmup, steps=args.steps,
+                       with_allocs=(n == smallest)))
+
+    history = load_history()
+    history.append(entry)
     RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
-
-    print(f"grind time  : {ref['grind_time_ns']:8.1f} ns -> "
-          f"{ws['grind_time_ns']:8.1f} ns   ({results['speedup']:.2f}x)")
-    print(f"alloc/step  : {ref['peak_transient_bytes_per_step']/1e3:8.0f} kB -> "
-          f"{ws['peak_transient_bytes_per_step']/1e3:8.0f} kB   "
-          f"({results['allocation_reduction']:.1f}x lower)")
-    print(f"net/step    : {ref['net_bytes_per_step']/1e3:8.1f} kB -> "
-          f"{ws['net_bytes_per_step']/1e3:8.1f} kB")
-    print(f"wrote {RESULT_PATH}")
+    RESULT_PATH.write_text(json.dumps({"history": history}, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH} ({len(history)} history entries)")
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv))
+    raise SystemExit(main())

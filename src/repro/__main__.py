@@ -18,7 +18,7 @@ from repro.solver import RHSConfig, Simulation
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.io.case_files import load_case
+    from repro.io.case_files import load_case, load_solver_options
 
     case = load_case(args.case)
     ndim = case.grid.ndim
@@ -27,13 +27,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "reflective": BoundarySet.all_reflective,
         "extrapolation": BoundarySet.all_extrapolation,
     }[args.bc](ndim)
+    # --threads overrides the case file's "solver": {"threads": N}.
+    threads = load_solver_options(args.case).get("threads", 1)
+    if args.threads is not None:
+        threads = args.threads
     sim = Simulation(case, bcs,
                      config=RHSConfig(weno_order=args.weno,
                                       riemann_solver=args.riemann,
                                       geometry=args.geometry),
-                     cfl=args.cfl)
+                     cfl=args.cfl, threads=threads)
     print(f"running {case.grid.num_cells} cells, {case.mixture.ncomp} fluids, "
-          f"WENO{args.weno} + {args.riemann.upper()}")
+          f"WENO{args.weno} + {args.riemann.upper()}"
+          + (f", {threads} threads" if threads > 1 else ""))
     callback = None
     if args.series:
         from repro.io.series import SeriesWriter
@@ -126,6 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("cartesian", "axisymmetric"))
     run.add_argument("--bc", default="extrapolation",
                      choices=("periodic", "reflective", "extrapolation"))
+    run.add_argument("--threads", type=int, default=None,
+                     help="worker threads for the tiled RHS backend "
+                          "(default: case file's solver.threads, else 1)")
     run.add_argument("--snapshot", default=None, help="write a binary snapshot")
     run.add_argument("--silo", default=None,
                      help="also write a .npz visualization database")

@@ -22,6 +22,10 @@ optimization story is written in:
   real NumPy body (which executes) plus a workload description (which
   is priced on a simulated device by
   :class:`repro.hardware.costmodel.CostModel`).
+* :mod:`repro.acc.gang` — the one piece that *executes* rather than
+  models: a :class:`~repro.acc.gang.GangExecutor` realizes the gang
+  axis of a directive nest as contiguous thread tiles on the host
+  (vector stays NumPy SIMD), powering the solver's threaded RHS path.
 """
 
 from repro.acc.directives import Clause, LoopDirective, ParallelLoopNest
@@ -30,10 +34,13 @@ from repro.acc.parser import parse_directive, parse_loop_nest
 from repro.acc.launch import LaunchConfig, derive_launch
 from repro.acc.compiler import COMPILERS, CompilerModel, get_compiler
 from repro.acc.data_region import DeviceDataEnvironment
+from repro.acc.gang import GangExecutor, tile_spans
 from repro.acc.kernel import AccKernel
 from repro.acc.runtime import AccRuntime
 
 __all__ = [
+    "GangExecutor",
+    "tile_spans",
     "Clause",
     "LoopDirective",
     "ParallelLoopNest",

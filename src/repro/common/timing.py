@@ -12,6 +12,7 @@ Two distinct notions of time coexist in this package:
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -46,15 +47,23 @@ class Stopwatch:
     Useful for coarse host-side breakdowns (e.g. "how long did RHS vs
     I/O take in this example script").  ``laps`` maps section name to
     accumulated seconds.
+
+    Accumulation is thread-safe: the thread-tiled gang backend has every
+    worker time its own tile kernels and fold them into the one shared
+    stopwatch, so the per-kernel breakdown keeps the same keys (and adds
+    up per-thread busy seconds) whether a stage ran serial or tiled.
     """
 
     laps: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def time(self, name: str) -> "_Lap":
         return _Lap(self, name)
 
     def add(self, name: str, seconds: float) -> None:
-        self.laps[name] = self.laps.get(name, 0.0) + seconds
+        with self._lock:
+            self.laps[name] = self.laps.get(name, 0.0) + seconds
 
     def total(self) -> float:
         return sum(self.laps.values())

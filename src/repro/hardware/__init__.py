@@ -21,8 +21,11 @@ from repro.hardware.costmodel import CostModel, KernelWorkload
 from repro.hardware.transfer import TransferModel
 from repro.hardware.workloads import ProblemShape, rhs_workloads, step_workloads
 from repro.hardware.cache import SetAssociativeCache, transpose_miss_ratio
+from repro.hardware.tiling import L2_OCCUPANCY, suggest_tile_count
 
 __all__ = [
+    "L2_OCCUPANCY",
+    "suggest_tile_count",
     "DeviceSpec",
     "DEVICES",
     "GPUS",

@@ -21,6 +21,40 @@ from repro.solver.case import Case, Patch, box, halfspace, sphere
 #: Geometry kinds a case file may reference.
 GEOMETRY_KINDS = ("box", "sphere", "halfspace")
 
+#: Keys the optional ``"solver"`` section of a case file may carry.
+SOLVER_OPTION_KEYS = ("threads",)
+
+
+def solver_options_from_dict(spec: dict) -> dict:
+    """Validated runtime options from a case file's ``"solver"`` section.
+
+    The section is optional and currently carries ``threads`` (worker
+    count for the thread-tiled execution backend; a positive integer).
+    Returns a plain dict of keyword arguments for
+    :class:`~repro.solver.simulation.Simulation`; an absent section
+    yields ``{}``.
+    """
+    solver = spec.get("solver")
+    if solver is None:
+        return {}
+    if not isinstance(solver, dict):
+        raise ConfigurationError(
+            f"'solver' section must be a mapping, got {type(solver).__name__}")
+    unknown = sorted(set(solver) - set(SOLVER_OPTION_KEYS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown solver option(s) {unknown}; "
+            f"choose from {sorted(SOLVER_OPTION_KEYS)}")
+    options: dict = {}
+    if "threads" in solver:
+        threads = solver["threads"]
+        if isinstance(threads, bool) or not isinstance(threads, int) \
+                or threads < 1:
+            raise ConfigurationError(
+                f"solver threads must be a positive integer, got {threads!r}")
+        options["threads"] = threads
+    return options
+
 
 def _geometry_from_dict(g: dict):
     kind = g.get("kind")
@@ -40,6 +74,7 @@ def case_from_dict(spec: dict) -> Case:
     for key in ("grid", "fluids", "patches"):
         if key not in spec:
             raise ConfigurationError(f"case file missing {key!r} section")
+    solver_options_from_dict(spec)  # validate the optional section early
 
     gspec = spec["grid"]
     bounds = tuple(tuple(float(v) for v in b) for b in gspec["bounds"])
@@ -103,6 +138,12 @@ def load_case(path: str | Path) -> Case:
     """Load a case from a JSON file."""
     with Path(path).open() as fh:
         return case_from_dict(json.load(fh))
+
+
+def load_solver_options(path: str | Path) -> dict:
+    """Validated solver options from a case file (``{}`` if absent)."""
+    with Path(path).open() as fh:
+        return solver_options_from_dict(json.load(fh))
 
 
 def save_case(path: str | Path, spec: dict) -> None:

@@ -101,6 +101,20 @@ class RiemannScratch:
         for name in self.__slots__:
             setattr(self, name, np.empty(shape, dtype=dtype))
 
+    def view(self, idx) -> "RiemannScratch":
+        """A scratch set whose buffers are views sliced by ``idx``.
+
+        The tile entry point of the thread-tiled backend: a worker takes
+        its private scratch and narrows every buffer to the face-tile
+        shape it is solving, so the solvers' ``out=`` ufunc calls see
+        exactly matching extents.  Views alias this scratch — never
+        share one parent across concurrently running tiles.
+        """
+        sliced = object.__new__(RiemannScratch)
+        for name in self.__slots__:
+            setattr(sliced, name, getattr(self, name)[idx])
+        return sliced
+
 
 def decompose_faces(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
                     direction: int, *, cons_out: np.ndarray | None = None,

@@ -23,9 +23,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bc.boundary import BoundarySet, fill_axis_ghosts, pad_axis
-from repro.common import ConfigurationError, Stopwatch
+from repro.common import DTYPE, ConfigurationError, Stopwatch
 from repro.eos.mixture import Mixture
 from repro.grid.cartesian import StructuredGrid
+from repro.hardware.devices import DeviceSpec, get_device
+from repro.hardware.tiling import suggest_tile_count
 from repro.riemann import SOLVERS
 from repro.solver.geometry import (
     GEOMETRIES,
@@ -37,7 +39,13 @@ from repro.solver.viscous import Viscosity, viscous_rhs
 from repro.solver.workspace import SolverWorkspace
 from repro.state.conversions import cons_to_prim
 from repro.state.layout import StateLayout
-from repro.weno import halo_width, reconstruct_faces
+from repro.weno import halo_width, reconstruct_faces, reconstruct_faces_span
+
+#: Field-sized rows of the direction pipeline live per tile row: padded
+#: primitives + prim + dqdt + both face states + flux + divergence
+#: scratch + 8 WENO + 7 Riemann scratch rows (the L2 tile heuristic's
+#: working-set estimate).
+PIPELINE_ROWS_PER_SLICE = 22
 
 
 @dataclass(frozen=True)
@@ -77,6 +85,18 @@ class RHS:
     call, so steady-state evaluations perform no new large-array
     allocations; results are bitwise identical to the allocating
     reference path (``use_workspace=False``).
+
+    With ``threads > 1`` the hot path (ghost pack → WENO → Riemann →
+    flux divergence) executes tiled across a
+    :class:`~repro.acc.gang.GangExecutor` thread pool: the gang axis of
+    the pipeline's ``parallel loop gang vector collapse(ndim)`` spec
+    becomes a contiguous-slab decomposition of the slowest spatial axis
+    (halo-overlapped reads, disjoint writes into the workspace
+    buffers), while the vector axis stays NumPy SIMD inside each tile.
+    The threaded path is bitwise identical to the serial one — same
+    inputs and same elementwise operation order per output cell.
+    ``tile_device`` (a catalog key or :class:`DeviceSpec`) lets the
+    L2-capacity tile heuristic size tiles for a specific host.
     """
 
     layout: StateLayout
@@ -86,6 +106,8 @@ class RHS:
     config: RHSConfig = field(default_factory=RHSConfig)
     stopwatch: Stopwatch | None = None
     use_workspace: bool = True
+    threads: int = 1
+    tile_device: DeviceSpec | str | None = None
 
     def __post_init__(self) -> None:
         if self.grid.ndim != self.layout.ndim:
@@ -113,6 +135,55 @@ class RHS:
         #: reference path.
         self.workspace = (SolverWorkspace(self.layout, self.grid, self._ng)
                           if self.use_workspace else None)
+        if (not isinstance(self.threads, int) or isinstance(self.threads, bool)
+                or self.threads < 1):
+            raise ConfigurationError(
+                f"threads must be a positive integer, got {self.threads!r}")
+        #: Thread-tile backend; None takes the serial path with zero
+        #: executor overhead.  (The acc import is deferred:
+        #: repro.acc's runtime pulls in the profiling drivers, which
+        #: import this module — a cycle at module-import time.)
+        self.executor = None
+        self._tiles: int | None = None
+        if self.threads > 1:
+            from repro.acc.gang import GangExecutor
+
+            self.executor = GangExecutor(self.threads)
+            self._tiles = self._plan_tiles()
+
+    def _plan_tiles(self) -> int:
+        """Tile count along spatial axis 0, from the gang spec + L2 size.
+
+        The pipeline's directive shape is the paper's Listing 1 —
+        ``parallel loop gang vector collapse(ndim)`` over the spatial
+        loops with the O(1) variable loop ``seq`` — resolved to gangs by
+        the :mod:`repro.acc` launch model, capped by the worker count,
+        then refined in worker multiples until one tile's working set
+        fits the target device's last-level cache.
+        """
+        from repro.acc.directives import Clause, LoopDirective, ParallelLoopNest
+
+        spatial = self.grid.shape
+        names = ("x", "y", "z")
+        loops = [LoopDirective(names[0], spatial[0],
+                               frozenset({Clause.GANG, Clause.VECTOR}),
+                               collapse=len(spatial))]
+        loops += [LoopDirective(names[k], spatial[k])
+                  for k in range(1, len(spatial))]
+        loops.append(LoopDirective("v", self.layout.nvars,
+                                   frozenset({Clause.SEQ})))
+        nest = ParallelLoopNest(tuple(loops))
+        gangs = self.executor.gangs_for(nest, spatial[0])
+        row_cells = 1
+        for extent in spatial[1:]:
+            row_cells *= extent
+        bytes_per_slice = (PIPELINE_ROWS_PER_SLICE * self.layout.nvars
+                           * row_cells * np.dtype(DTYPE).itemsize)
+        device = (get_device(self.tile_device)
+                  if isinstance(self.tile_device, str) else self.tile_device)
+        return suggest_tile_count(spatial[0], gangs,
+                                  bytes_per_slice=bytes_per_slice,
+                                  device=device)
 
     @property
     def ghost_width(self) -> int:
@@ -159,8 +230,15 @@ class RHS:
         else:
             divu = np.zeros(q.shape[1:], dtype=q.dtype)
 
+        # The tiled backend needs the workspace buffers (per-thread
+        # scratch, disjoint-write arenas); off-grid fallbacks run serial.
+        tiled = ws is not None and self.executor is not None
         for d in range(layout.ndim):
-            self._accumulate_direction(prim, d, widths[d], dqdt, divu, ws)
+            if tiled:
+                self._accumulate_direction_tiled(prim, d, widths[d], dqdt,
+                                                 divu, ws)
+            else:
+                self._accumulate_direction(prim, d, widths[d], dqdt, divu, ws)
 
         if self._radius is not None:
             apply_axisymmetric_terms(layout, prim, q, self._radius, dqdt, divu)
@@ -220,6 +298,111 @@ class RHS:
             else:
                 dqdt -= np.diff(flux, axis=d + 1) / width
                 divu += np.diff(u_face, axis=d) / width
+
+    # ------------------------------------------------------------------
+    def _accumulate_direction_tiled(self, prim: np.ndarray, d: int,
+                                    width: np.ndarray, dqdt: np.ndarray,
+                                    divu: np.ndarray,
+                                    ws: SolverWorkspace) -> None:
+        """One direction of the RHS, tiled along spatial axis 0.
+
+        Bitwise identical to :meth:`_accumulate_direction`: every tile
+        runs the same elementwise kernel sequence on slab views of the
+        same workspace buffers, reading halos freely but writing only
+        its own span.  Per-kernel wall time is recorded by each worker
+        into the shared (thread-safe) stopwatch, so the breakdown keys
+        match the serial path's.
+
+        For ``d == 0`` the tiled axis is the reconstruction axis itself:
+        the ghost pack, the face reconstruction/solve, and the
+        divergence accumulate each need a barrier between them because
+        tiles read one another's freshly written halo rows.  For
+        ``d > 0`` every slab is self-contained and the whole pipeline
+        runs fused in a single launch.
+        """
+        layout, ng, sw, ex = self.layout, self._ng, self.stopwatch, self.executor
+        lo_bc, hi_bc = self.bcs.per_axis[d]
+        order = self.config.weno_order
+        padded, v_l, v_r = ws.padded[d], ws.face_l[d], ws.face_r[d]
+        flux, u_face = ws.flux[d], ws.u_face[d]
+        rows = prim.shape[1]
+        tiles = self._tiles
+
+        def timed(name):
+            return sw.time(name) if sw is not None else _NullCtx()
+
+        if d == 0:
+            def pack(lo, hi):
+                with timed("packing"):
+                    padded[:, ng + lo:ng + hi] = prim[:, lo:hi]
+
+            ex.launch(pack, rows, tiles=tiles)
+            with timed("packing"):
+                fill_axis_ghosts(padded, layout, d, ng, lo_bc, hi_bc)
+
+            n_faces = rows + 1
+            w_max = -(-n_faces // min(tiles, n_faces))
+
+            def faces(lo, hi):
+                wscr, rscr = ws.thread_scratch(d, w_max)
+                fi = (slice(None), slice(lo, hi))
+                with timed("weno"):
+                    reconstruct_faces_span(padded, 1, order, lo, hi,
+                                           out=(v_l, v_r), scratch=wscr)
+                    limited = limit_face_states(
+                        layout, self.mixture, padded[:, lo:],
+                        v_l[fi], v_r[fi], d, ng)
+                with timed("riemann"):
+                    self._riemann(
+                        layout, self.mixture, v_l[fi], v_r[fi], d,
+                        out=flux[fi], out_u=u_face[lo:hi],
+                        scratch=rscr.view((slice(None), slice(0, hi - lo))))
+                return limited
+
+            self.limited_faces += sum(ex.launch(faces, n_faces, tiles=tiles))
+
+            def accum(lo, hi):
+                with timed("other"):
+                    ci = (slice(None), slice(lo, hi))
+                    fi = (slice(None), slice(lo, hi + 1))
+                    _accumulate_divergence(flux[fi], 1, width[lo:hi],
+                                           ws.div_scratch[ci], dqdt[ci],
+                                           np.subtract)
+                    _accumulate_divergence(u_face[lo:hi + 1], 0, width[lo:hi],
+                                           ws.divu_scratch[lo:hi], divu[lo:hi],
+                                           np.add)
+
+            ex.launch(accum, rows, tiles=tiles)
+            return
+
+        w_max = -(-rows // min(tiles, rows))
+
+        def slab(lo, hi):
+            wscr, rscr = ws.thread_scratch(d, w_max)
+            count = hi - lo
+            s = (slice(None), slice(lo, hi))
+            with timed("packing"):
+                pad_axis(prim[s], d, ng, out=padded[s])
+                fill_axis_ghosts(padded[s], layout, d, ng, lo_bc, hi_bc)
+            with timed("weno"):
+                tl, tr = reconstruct_faces(
+                    padded[s], d + 1, order, out=(v_l[s], v_r[s]),
+                    scratch=tuple(w[:, :count] for w in wscr))
+                limited = limit_face_states(layout, self.mixture, padded[s],
+                                            tl, tr, d, ng)
+            with timed("riemann"):
+                tf, tu = self._riemann(
+                    layout, self.mixture, tl, tr, d,
+                    out=flux[s], out_u=u_face[lo:hi],
+                    scratch=rscr.view((slice(None), slice(0, count))))
+            with timed("other"):
+                _accumulate_divergence(tf, d + 1, width, ws.div_scratch[s],
+                                       dqdt[s], np.subtract)
+                _accumulate_divergence(tu, d, width, ws.divu_scratch[lo:hi],
+                                       divu[lo:hi], np.add)
+            return limited
+
+        self.limited_faces += sum(ex.launch(slab, rows, tiles=tiles))
 
 
 def _accumulate_divergence(faces: np.ndarray, axis: int, width: np.ndarray,

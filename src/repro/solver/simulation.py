@@ -53,6 +53,17 @@ class Simulation:
     check_every:
         Validate the state (finite, positive density) every this many
         steps; 0 disables checks.
+    threads:
+        Worker threads for the thread-tiled execution backend (the
+        host realisation of ``acc parallel loop gang``).  ``1`` (the
+        default) takes the serial path with zero executor overhead;
+        values > 1 tile the RHS hot path and the RK axpy stages across
+        a thread pool, bitwise identically to serial.  Requires
+        ``use_workspace=True`` to take effect.
+    tile_device:
+        Optional :class:`~repro.hardware.DeviceSpec` (or catalog name)
+        whose L2 capacity sizes the tiles; see
+        :func:`repro.hardware.suggest_tile_count`.
     """
 
     case: Case
@@ -67,6 +78,8 @@ class Simulation:
     #: (bitwise identical to the allocating path; see
     #: :mod:`repro.solver.workspace`).
     use_workspace: bool = True
+    threads: int = 1
+    tile_device: object | None = None
 
     def __post_init__(self) -> None:
         if self.rk_order not in SSP_SCHEMES:
@@ -76,7 +89,8 @@ class Simulation:
         self.grid = self.case.grid
         self.rhs = RHS(self.layout, self.mixture, self.grid, self.bcs,
                        self.config, stopwatch=self.stopwatch,
-                       use_workspace=self.use_workspace)
+                       use_workspace=self.use_workspace,
+                       threads=self.threads, tile_device=self.tile_device)
         self.q = self.case.initial_conservative()
         self.time = 0.0
         self.step_count = 0
@@ -130,7 +144,8 @@ class Simulation:
             dt = dt_limit
         with WallTimer() as timer:
             self.q = ssp_rk_step(self.rhs, self.q, dt, self.rk_order,
-                                 workspace=ws, prim0=prim0)
+                                 workspace=ws, prim0=prim0,
+                                 executor=self.rhs.executor)
         self.time += dt
         self.step_count += 1
         rec = StepRecord(self.step_count, self.time, dt, timer.elapsed)

@@ -13,9 +13,31 @@ large-array allocations.
 All workspace-backed code paths are **bitwise identical** to the
 allocating reference paths (same operations in the same order, only the
 destination buffers differ); this is enforced by property tests.
+
+Thread-ownership rule
+---------------------
+The arena is built for one RHS/RK pipeline, which may execute its tiles
+on a :class:`~repro.acc.gang.GangExecutor` thread pool.  Buffers divide
+into two ownership classes:
+
+* **Shared, disjointly written** — ``prim``, ``dqdt``, ``divu``,
+  ``padded``, ``face_l``/``face_r``, ``flux``, ``u_face``,
+  ``div_scratch``/``divu_scratch``, and the RK stage buffers.
+  Concurrent tiles may read them anywhere (halo-overlapped reads) but
+  must write only inside their own tile span, so no synchronisation is
+  needed beyond the launch barrier.
+* **Serial-only scratch** — ``weno_scratch`` and ``riemann_scratch``
+  are whole-array temporaries for the *serial* in-place kernels.  They
+  are a data race the moment two threads enter ``_weno3_into``/
+  ``_weno5_into`` or a Riemann solve concurrently; threaded tiles must
+  instead take a private set from :meth:`SolverWorkspace.thread_scratch`,
+  which allocates lazily per worker thread (and per direction) and is
+  reused across that worker's subsequent tiles and steps.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -95,6 +117,8 @@ class SolverWorkspace:
         self.u_face: list[np.ndarray] = []
         self.weno_scratch: list[tuple[np.ndarray, ...]] = []
         self.riemann_scratch: list[RiemannScratch] = []
+        self._weno_shapes: list[list[int]] = []
+        self._face_shapes: list[list[int]] = []
         for d in range(ndim):
             pshape = list(self.shape)
             pshape[d + 1] += 2 * ng
@@ -113,6 +137,42 @@ class SolverWorkspace:
                 tuple(new(last) for _ in range(WENO_SCRATCH_COUNT)))
             self.riemann_scratch.append(
                 RiemannScratch(tuple(fshape), dtype=self.dtype))
+            self._weno_shapes.append(last)
+            self._face_shapes.append(fshape)
+
+        # Per-worker kernel scratch, keyed (thread ident, direction);
+        # see the module docstring's thread-ownership rule.
+        self._thread_scratch: dict[tuple[int, int],
+                                   tuple[int, tuple[np.ndarray, ...],
+                                         RiemannScratch]] = {}
+        self._scratch_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def thread_scratch(self, d: int, tile_width: int):
+        """Private ``(weno_scratch, riemann_scratch)`` for the calling thread.
+
+        Allocated lazily the first time a pool worker asks, sized for
+        tiles of at most ``tile_width`` along the tiled (slowest) axis
+        — the face-tile axis for direction 0, the spatial-0 slab axis
+        otherwise — and cached for the worker's later tiles and steps.
+        Callers narrow the buffers to their exact tile extent
+        (``s[..., :count]`` / :meth:`RiemannScratch.view`) before use.
+        """
+        key = (threading.get_ident(), d)
+        with self._scratch_lock:
+            entry = self._thread_scratch.get(key)
+            if entry is None or entry[0] < tile_width:
+                wshape = list(self._weno_shapes[d])
+                fshape = list(self._face_shapes[d])
+                tiled_axis = len(wshape) - 1 if d == 0 else 1
+                wshape[tiled_axis] = min(tile_width, wshape[tiled_axis])
+                fshape[1] = min(tile_width, fshape[1])
+                weno = tuple(np.empty(wshape, dtype=self.dtype)
+                             for _ in range(WENO_SCRATCH_COUNT))
+                entry = (tile_width, weno,
+                         RiemannScratch(tuple(fshape), dtype=self.dtype))
+                self._thread_scratch[key] = entry
+        return entry[1], entry[2]
 
     # ------------------------------------------------------------------
     def compatible(self, q: np.ndarray) -> bool:
@@ -139,5 +199,9 @@ class SolverWorkspace:
         for group in self.weno_scratch:
             yield from group
         for rs in self.riemann_scratch:
+            for name in RiemannScratch.__slots__:
+                yield getattr(rs, name)
+        for _, weno, rs in list(self._thread_scratch.values()):
+            yield from weno
             for name in RiemannScratch.__slots__:
                 yield getattr(rs, name)

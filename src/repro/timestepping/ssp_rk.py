@@ -39,7 +39,8 @@ SSP_SCHEMES: dict[int, tuple[tuple[float, float, float], ...]] = {
 
 def ssp_rk_step(rhs: Callable[[np.ndarray], np.ndarray], q: np.ndarray,
                 dt: float, order: int = 3, *,
-                workspace=None, prim0: np.ndarray | None = None) -> np.ndarray:
+                workspace=None, prim0: np.ndarray | None = None,
+                executor=None) -> np.ndarray:
     """Advance ``q`` by one step of the SSP-RK scheme of the given order.
 
     ``rhs(q)`` must return :math:`L(q) = dq/dt`; the input array is not
@@ -53,7 +54,10 @@ def ssp_rk_step(rhs: Callable[[np.ndarray], np.ndarray], q: np.ndarray,
     :class:`~repro.solver.rhs.RHS` does); ``prim0``, when given, is the
     precomputed primitive field of ``q`` forwarded to the first stage so
     the driver's dt computation and stage one share a single
-    ``cons_to_prim``.  Both paths are bitwise identical.
+    ``cons_to_prim``.  With a :class:`~repro.acc.gang.GangExecutor` the
+    Shu-Osher axpy combinations additionally run tiled along the
+    slowest spatial axis (elementwise ops on disjoint row slabs).  All
+    paths are bitwise identical.
     """
     if order not in SSP_SCHEMES:
         raise ConfigurationError(
@@ -69,6 +73,7 @@ def ssp_rk_step(rhs: Callable[[np.ndarray], np.ndarray], q: np.ndarray,
 
     stages = SSP_SCHEMES[order]
     ws = workspace
+    tiled = executor is not None and executor.parallel and q.ndim > 1
     q_n = q
     q_k = q
     for k, (a, b, c) in enumerate(stages):
@@ -76,15 +81,37 @@ def ssp_rk_step(rhs: Callable[[np.ndarray], np.ndarray], q: np.ndarray,
         # output); intermediate stages go to alternating stage buffers,
         # so q_n stays intact until the final stage's first write — and
         # that write (a*q_n into the result) is element-aligned, hence
-        # safe under aliasing.
+        # safe under aliasing (per tile exactly as for the whole array).
         out = ws.rk_result if k == len(stages) - 1 else ws.rk_stage[k % 2]
         L = rhs(q_k, out=ws.dqdt, prim=prim0 if k == 0 else None)
         # q_{k+1} = (a*q_n + b*q_k) + (c*dt)*L, grouped as in the
         # allocating path above so the two are bitwise identical.
-        np.multiply(q_k, b, out=ws.rk_tmp)
-        np.multiply(q_n, a, out=out)
-        np.add(out, ws.rk_tmp, out=out)
-        np.multiply(L, c * dt, out=ws.rk_tmp)
-        np.add(out, ws.rk_tmp, out=out)
+        if tiled:
+            _axpy_stage_tiled(executor, q_n, q_k, L, out, ws.rk_tmp,
+                              a, b, c * dt)
+        else:
+            np.multiply(q_k, b, out=ws.rk_tmp)
+            np.multiply(q_n, a, out=out)
+            np.add(out, ws.rk_tmp, out=out)
+            np.multiply(L, c * dt, out=ws.rk_tmp)
+            np.add(out, ws.rk_tmp, out=out)
         q_k = out
     return q_k
+
+
+def _axpy_stage_tiled(executor, q_n, q_k, L, out, tmp, a, b, cdt) -> None:
+    """One Shu-Osher combination, tiled along the slowest spatial axis.
+
+    Each tile runs the serial path's five ufunc evaluations on its own
+    row slab (disjoint writes to ``out`` and ``tmp``), so the result is
+    bitwise identical to the whole-array combination.
+    """
+    def stage(lo, hi):
+        s = (slice(None), slice(lo, hi))
+        np.multiply(q_k[s], b, out=tmp[s])
+        np.multiply(q_n[s], a, out=out[s])
+        np.add(out[s], tmp[s], out=out[s])
+        np.multiply(L[s], cdt, out=tmp[s])
+        np.add(out[s], tmp[s], out=out[s])
+
+    executor.launch(stage, q_n.shape[1])

@@ -8,12 +8,17 @@ packing/coalescing optimizations target.
 """
 
 from repro.weno.coefficients import halo_width, IDEAL_WEIGHTS, WENO_EPS
-from repro.weno.reconstruct import reconstruct_faces, weno_order_check
+from repro.weno.reconstruct import (
+    reconstruct_faces,
+    reconstruct_faces_span,
+    weno_order_check,
+)
 
 __all__ = [
     "halo_width",
     "IDEAL_WEIGHTS",
     "WENO_EPS",
     "reconstruct_faces",
+    "reconstruct_faces_span",
     "weno_order_check",
 ]

@@ -285,3 +285,39 @@ def reconstruct_faces(v: np.ndarray, axis: int, order: int, *,
     _faces_into(vlast, ng - 1, nf, order, vl_last, scratch, downwind=False)
     _faces_into(vlast, ng, nf, order, vr_last, scratch, downwind=True)
     return out_l, out_r
+
+
+def reconstruct_faces_span(v: np.ndarray, axis: int, order: int,
+                           lo: int, hi: int, *,
+                           out: tuple[np.ndarray, np.ndarray],
+                           scratch: tuple[np.ndarray, ...]) -> None:
+    """Reconstruct only faces ``[lo, hi)`` along ``axis`` into ``out``.
+
+    The tile entry point of the thread-tiled backend for the direction
+    whose reconstruction axis *is* the tiled axis: reads of ``v`` extend
+    a stencil halo beyond the span (they may overlap other tiles'
+    spans), while writes land exactly in ``out[..., lo:hi]`` — so
+    concurrent spans partitioning ``[0, n_faces)`` compose into bitwise
+    the same result as one :func:`reconstruct_faces` call, face for
+    face (the kernels are elementwise over faces).
+
+    ``out`` holds the *full* face buffers (``axis`` extent
+    ``n_interior + 1``); ``scratch`` needs :data:`SCRATCH_COUNT` arrays
+    whose reconstruction-last extent is at least ``hi - lo`` (per-thread
+    tile scratch — never share one set across concurrent spans).
+    """
+    order = weno_order_check(order)
+    ng = halo_width(order)
+    n_faces = v.shape[axis] - 2 * ng + 1
+    if not 0 <= lo < hi <= n_faces:
+        raise ShapeError(
+            f"face span [{lo}, {hi}) outside the {n_faces} faces of axis {axis}")
+    count = hi - lo
+    vlast = np.moveaxis(v, axis, -1)
+    vl_last = np.moveaxis(out[0], axis, -1)
+    vr_last = np.moveaxis(out[1], axis, -1)
+    span_scratch = tuple(s[..., :count] for s in scratch)
+    _faces_into(vlast, ng - 1 + lo, count, order, vl_last[..., lo:hi],
+                span_scratch, downwind=False)
+    _faces_into(vlast, ng + lo, count, order, vr_last[..., lo:hi],
+                span_scratch, downwind=True)

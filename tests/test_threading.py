@@ -1,0 +1,304 @@
+"""Tests for the thread-tiled execution backend.
+
+The host gang backend must be numerically invisible: a threaded RHS
+evaluation (and a whole threaded simulation) produces bitwise the same
+floats as the serial path, for every WENO order, Riemann solver, thread
+count, and uneven interior-to-tile split.  The executor itself must obey
+its contracts — ``threads=1`` never creates a pool, tile spans stay
+balanced, exceptions propagate — and the L2 tile heuristic must react to
+the device catalog's cache sizes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acc import GangExecutor, tile_spans
+from repro.bc import BoundarySet
+from repro.common import ConfigurationError, DTYPE
+from repro.eos import Mixture, StiffenedGas
+from repro.grid import StructuredGrid
+from repro.hardware import suggest_tile_count
+from repro.hardware.devices import get_device
+from repro.io.case_files import solver_options_from_dict
+from repro.solver import Case, Patch, RHS, RHSConfig, Simulation, box, sphere
+from repro.state import StateLayout, prim_to_cons
+
+AIR = StiffenedGas(1.4, 0.0, "air")
+WATER = StiffenedGas(4.4, 6000.0, "water")
+MIX = Mixture((AIR, WATER))
+
+
+def random_prim(rng, layout, shape):
+    """A random but physical primitive field."""
+    prim = np.empty((layout.nvars, *shape), dtype=DTYPE)
+    prim[layout.partial_densities] = rng.uniform(0.1, 2.0,
+                                                 (layout.ncomp, *shape))
+    prim[layout.velocity] = rng.uniform(-1.0, 1.0, (layout.ndim, *shape))
+    prim[layout.pressure] = rng.uniform(0.5, 3.0, shape)
+    alpha = rng.uniform(0.05, 0.95, (layout.ncomp - 1, *shape))
+    prim[layout.advected] = alpha
+    return prim
+
+
+def make_rhs(shape, *, threads=1, order=5, solver="hllc"):
+    grid = StructuredGrid.uniform(tuple((0.0, 1.0) for _ in shape), shape)
+    layout = StateLayout(ncomp=2, ndim=len(shape))
+    return RHS(layout, MIX, grid, BoundarySet.all_periodic(len(shape)),
+               RHSConfig(weno_order=order, riemann_solver=solver),
+               threads=threads)
+
+
+def bubble_sim(n=16, **kwargs):
+    grid = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), (n, n - 3))
+    case = Case(grid, MIX)
+    case.add(Patch(box([0, 0], [1, 1]), alpha_rho=(0.5, 0.5),
+                   velocity=(0.3, -0.1), pressure=1.0, alpha=(0.5,)))
+    case.add(Patch(sphere([0.5, 0.5], 0.2), alpha_rho=(1.0, 1.0),
+                   velocity=(0.0, 0.0), pressure=2.0, alpha=(0.5,),
+                   smear=0.05))
+    return Simulation(case, BoundarySet.all_periodic(2), cfl=0.4, **kwargs)
+
+
+# ----------------------------------------------------------------------
+class TestTileSpans:
+    def test_even_split(self):
+        assert tile_spans(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_front_loads_remainder(self):
+        spans = tile_spans(10, 4)
+        assert spans == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        widths = [hi - lo for lo, hi in spans]
+        assert max(widths) - min(widths) <= 1
+
+    def test_spans_cover_exactly(self):
+        for extent in (1, 2, 7, 33):
+            for tiles in (1, 2, 5, 40):
+                spans = tile_spans(extent, tiles)
+                assert spans[0][0] == 0 and spans[-1][1] == extent
+                for (_, a), (b, _) in zip(spans, spans[1:]):
+                    assert a == b
+
+    def test_tiles_clamped_to_extent(self):
+        assert tile_spans(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_empty_extent(self):
+        assert tile_spans(0, 4) == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            tile_spans(-1, 2)
+        with pytest.raises(ConfigurationError):
+            tile_spans(4, 0)
+
+
+class TestGangExecutor:
+    def test_serial_executor_never_creates_pool(self):
+        ex = GangExecutor(1)
+        assert not ex.parallel
+        out = ex.launch(lambda lo, hi: (lo, hi), 10)
+        assert out == [(0, 10)]
+        assert ex._pool is None  # zero executor overhead at threads=1
+
+    def test_results_in_span_order(self):
+        with GangExecutor(4) as ex:
+            out = ex.launch(lambda lo, hi: (lo, hi), 10, tiles=4)
+        assert out == tile_spans(10, 4)
+
+    def test_parallel_writes_disjoint_slabs(self):
+        arr = np.zeros(23)
+        with GangExecutor(3) as ex:
+            ex.launch(lambda lo, hi: arr.__setitem__(slice(lo, hi), 1.0), 23)
+        assert np.all(arr == 1.0)
+
+    def test_exception_propagates(self):
+        def boom(lo, hi):
+            if lo > 0:
+                raise ValueError(f"tile {lo}")
+            return lo
+
+        with GangExecutor(4) as ex:
+            with pytest.raises(ValueError, match="tile"):
+                ex.launch(boom, 8, tiles=4)
+
+    def test_run_thunks(self):
+        with GangExecutor(2) as ex:
+            assert ex.run([lambda: 1, lambda: 2, lambda: 3]) == [1, 2, 3]
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "2"])
+    def test_invalid_threads(self, bad):
+        with pytest.raises(ConfigurationError):
+            GangExecutor(bad)
+
+
+class TestTileHeuristic:
+    def test_baseline_one_tile_per_worker(self):
+        assert suggest_tile_count(100, 4) == 4
+        assert suggest_tile_count(3, 8) == 3
+
+    def test_small_l2_forces_more_tiles(self):
+        # One row's working set of 1 MiB: a 64-row extent at 4 tiles is
+        # 16 MiB/tile — far over the MI250X's 8 MB L2 budget but well
+        # inside the A100's 40 MB.
+        kwargs = dict(bytes_per_slice=1 << 20, workers=4)
+        mi = suggest_tile_count(64, device=get_device("mi250x"), **kwargs)
+        a100 = suggest_tile_count(64, device=get_device("a100"), **kwargs)
+        assert a100 == 4
+        assert mi > a100
+        assert mi % 4 == 0  # grown in worker multiples
+        # The chosen MI250X tiling fits the budget.
+        assert -(-64 // mi) * (1 << 20) <= 8388608 * 0.5
+
+    def test_growth_caps_at_extent(self):
+        tiles = suggest_tile_count(6, 4, bytes_per_slice=1 << 30,
+                                   device=get_device("mi250x"))
+        assert tiles == 6
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            suggest_tile_count(0, 4)
+        with pytest.raises(ConfigurationError):
+            suggest_tile_count(4, 0)
+
+
+# ----------------------------------------------------------------------
+class TestThreadedBitwise:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([1, 3, 5]),
+           st.sampled_from(["hllc", "hll", "rusanov"]),
+           st.integers(2, 4), st.integers(11, 23))
+    def test_rhs_matches_serial(self, seed, order, solver, threads, nx):
+        # nx deliberately not divisible by most tile counts: uneven
+        # spans must still reproduce the serial floats bit for bit.
+        rng = np.random.default_rng(seed)
+        shape = (nx, 9)
+        serial = make_rhs(shape, order=order, solver=solver)
+        tiled = make_rhs(shape, threads=threads, order=order, solver=solver)
+        q = prim_to_cons(serial.layout, MIX,
+                         random_prim(rng, serial.layout, shape))
+        np.testing.assert_array_equal(serial(q), tiled(q))
+        assert serial.limited_faces == tiled.limited_faces
+
+    def test_rhs_matches_serial_1d(self):
+        rng = np.random.default_rng(7)
+        serial = make_rhs((37,))
+        tiled = make_rhs((37,), threads=3)
+        q = prim_to_cons(serial.layout, MIX,
+                         random_prim(rng, serial.layout, (37,)))
+        np.testing.assert_array_equal(serial(q), tiled(q))
+
+    def test_rhs_matches_serial_3d(self):
+        rng = np.random.default_rng(11)
+        shape = (10, 7, 6)
+        serial = make_rhs(shape, order=3)
+        tiled = make_rhs(shape, threads=4, order=3)
+        q = prim_to_cons(serial.layout, MIX,
+                         random_prim(rng, serial.layout, shape))
+        np.testing.assert_array_equal(serial(q), tiled(q))
+
+    def test_simulation_matches_serial_over_steps(self):
+        # Whole-driver identity: covers the threaded RK axpy stages, the
+        # limiter counter reduction, and workspace reuse across steps.
+        a = bubble_sim(n=19, threads=1)
+        b = bubble_sim(n=19, threads=3)
+        for _ in range(5):
+            a.step()
+            b.step()
+        np.testing.assert_array_equal(a.q, b.q)
+        assert a.time == b.time
+        assert a.rhs.limited_faces == b.rhs.limited_faces
+
+
+class TestThreadPlumbing:
+    def test_threads_one_takes_serial_path(self):
+        sim = bubble_sim(threads=1)
+        assert sim.rhs.executor is None
+        assert sim.rhs._tiles is None
+
+    def test_threaded_sim_builds_executor_and_tiles(self):
+        sim = bubble_sim(threads=3)
+        assert sim.rhs.executor is not None
+        assert sim.rhs.executor.threads == 3
+        assert sim.rhs._tiles >= 1
+
+    @pytest.mark.parametrize("bad", [0, -2, 2.5, False])
+    def test_invalid_threads_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            bubble_sim(threads=bad)
+        with pytest.raises(ConfigurationError):
+            make_rhs((8, 8), threads=bad)
+
+    def test_thread_scratch_private_per_thread(self):
+        import threading
+
+        sim = bubble_sim(threads=2)
+        ws = sim.rhs.workspace
+        results = {}
+
+        def grab():
+            weno, riem = ws.thread_scratch(0, 8)
+            results[threading.get_ident()] = (weno, riem)
+
+        threads = [threading.Thread(target=grab) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        (w1, r1), (w2, r2) = results.values()
+        assert w1[0] is not w2[0]
+        assert r1.cons_l is not r2.cons_l
+        # Same thread re-asking gets its cached set back.
+        wa, _ = ws.thread_scratch(0, 8)
+        wb, _ = ws.thread_scratch(0, 4)
+        assert wa[0] is wb[0]
+        # Thread scratch is part of the arena's memory accounting.
+        assert ws.nbytes == sum(a.nbytes for a in ws._all_arrays())
+
+    def test_threaded_kernel_breakdown_has_same_rows(self):
+        sim = bubble_sim(threads=3)
+        sim.step()
+        shares = sim.kernel_breakdown()
+        assert {"packing", "weno", "riemann", "other"} <= set(shares)
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+
+class TestSolverOptions:
+    def test_absent_section_defaults_empty(self):
+        assert solver_options_from_dict({"grid": {}}) == {}
+
+    def test_threads_parsed(self):
+        assert solver_options_from_dict({"solver": {"threads": 4}}) == {
+            "threads": 4}
+
+    @pytest.mark.parametrize("bad", [{"threads": 0}, {"threads": -1},
+                                     {"threads": 2.5}, {"threads": True},
+                                     {"threads": "4"}, {"warp": 9}, []])
+    def test_invalid_sections_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            solver_options_from_dict({"solver": bad})
+
+    def test_cli_threads_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        spec = {
+            "grid": {"bounds": [[0.0, 1.0], [0.0, 1.0]], "shape": [12, 12]},
+            "fluids": [{"gamma": 1.4}, {"gamma": 1.4}],
+            "patches": [{
+                "geometry": {"kind": "box", "lo": [0, 0], "hi": [1, 1]},
+                "alpha_rho": [0.5, 0.5], "velocity": [0.3, 0.0],
+                "pressure": 1.0, "alpha": [0.5],
+            }],
+            "solver": {"threads": 2},
+        }
+        path = tmp_path / "case.json"
+        path.write_text(json.dumps(spec))
+        assert main(["run", str(path), "--steps", "2", "--bc", "periodic",
+                     "--weno", "3"]) == 0
+        assert "2 threads" in capsys.readouterr().out
+        # The flag overrides the case file.
+        assert main(["run", str(path), "--steps", "1", "--bc", "periodic",
+                     "--weno", "3", "--threads", "1"]) == 0
+        assert "threads" not in capsys.readouterr().out
