@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-thread bench bench-rhs examples artifacts clean
+.PHONY: install test test-thread bench bench-rhs bench-layout examples artifacts clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -23,6 +23,13 @@ bench:
 bench-rhs:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py \
 		--grid 64 --grid 256 --threads 1 --threads 2 --threads 4
+
+# Coalesced sweep engine: strided vs transposed grind time across grids
+# and thread counts (appends a layout-stamped history entry).
+bench-layout:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py \
+		--grid 64 --grid 256 --threads 1 --threads 4 \
+		--layout strided --layout transposed
 
 # Regenerates benchmarks/results/*.txt (the figure artifacts).
 artifacts: bench

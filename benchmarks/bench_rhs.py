@@ -12,20 +12,26 @@ Per grid the sweep records:
 * ``reference`` / serial-workspace allocation stats on the smallest
   grid — ``peak_transient_bytes_per_step`` and ``net_bytes_per_step``
   (tracemalloc is priced out of the larger grids),
-* per thread count: ``grind_time_ns`` (nanoseconds per cell, per PDE,
-  per RHS evaluation — the paper's metric), the kernel breakdown, the
-  planned tile count, and ``speedup_vs_serial``.
+* per thread count × sweep layout: ``grind_time_ns`` (nanoseconds per
+  cell, per PDE, per RHS evaluation — the paper's metric), the kernel
+  breakdown, the planned tile count, the sweep engine's data-movement
+  counters, ``speedup_vs_serial``, and — for non-strided layouts —
+  ``speedup_vs_strided`` at the same thread count.
 
 ``host_cpus`` is stamped on every entry: thread scaling is only
 meaningful on multicore hosts, and a single-core container measures the
-backend's overhead, not its speedup.
+backend's overhead, not its speedup.  Each run dict stamps its
+``layout`` so the history can be filtered by engine.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_rhs.py \
-        [--grid N ...] [--threads T ...] [--steps K] [--warmup W]
+        [--grid N ...] [--threads T ...] [--layout L ...]
+        [--steps K] [--warmup W]
 
-Defaults sweep grids 64 and 256 with 1, 2, and 4 threads.
+Defaults sweep grids 64 and 256 with 1, 2, and 4 threads in the strided
+layout; ``--layout transposed`` (repeatable, strided baseline always
+included) compares the coalesced sweep engine against it.
 """
 
 from __future__ import annotations
@@ -47,8 +53,8 @@ MIX = Mixture((AIR, AIR))
 RESULT_PATH = Path(__file__).parent / "results" / "BENCH_rhs.json"
 
 
-def make_sim(n: int, *, use_workspace: bool = True,
-             threads: int = 1) -> Simulation:
+def make_sim(n: int, *, use_workspace: bool = True, threads: int = 1,
+             layout: str = "strided") -> Simulation:
     """The benchmark case: a pressurised bubble advecting through a box."""
     grid = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), (n, n))
     case = Case(grid, MIX)
@@ -57,20 +63,25 @@ def make_sim(n: int, *, use_workspace: bool = True,
     case.add(Patch(sphere([0.5, 0.5], 0.2), alpha_rho=(1.0, 1.0),
                    velocity=(0.0, 0.0), pressure=2.0, alpha=(0.5,)))
     return Simulation(case, BoundarySet.all_periodic(2), cfl=0.4,
-                      use_workspace=use_workspace, threads=threads)
+                      use_workspace=use_workspace, threads=threads,
+                      sweep_layout=layout)
 
 
 def time_grind(n: int, threads: int, *, use_workspace: bool = True,
-               warmup: int = 3, steps: int = 25) -> dict:
-    sim = make_sim(n, use_workspace=use_workspace, threads=threads)
+               layout: str = "strided", warmup: int = 3,
+               steps: int = 25) -> dict:
+    sim = make_sim(n, use_workspace=use_workspace, threads=threads,
+                   layout=layout)
     sim.run(n_steps=warmup)
     sim.history.clear()
     sim.stopwatch.laps.clear()
     sim.run(n_steps=steps)
     out = {
         "threads": threads,
+        "layout": layout,
         "grind_time_ns": sim.grind_time_ns(),
         "kernel_breakdown": sim.kernel_breakdown(),
+        "sweep_counters": sim.rhs.sweep_counters.as_dict(),
     }
     if threads > 1:
         out["tiles"] = sim.rhs._tiles
@@ -86,8 +97,8 @@ def alloc_stats(n: int, use_workspace: bool) -> dict:
     }
 
 
-def bench_grid(n: int, thread_counts: list[int], *, warmup: int,
-               steps: int | None, with_allocs: bool) -> dict:
+def bench_grid(n: int, thread_counts: list[int], layouts: list[str], *,
+               warmup: int, steps: int | None, with_allocs: bool) -> dict:
     grid_steps = steps if steps is not None else (25 if n < 128 else 8)
     sim = make_sim(n)
     entry: dict = {
@@ -103,18 +114,28 @@ def bench_grid(n: int, thread_counts: list[int], *, warmup: int,
         entry["reference_allocs"] = alloc_stats(n, use_workspace=False)
         entry["workspace_allocs"] = alloc_stats(n, use_workspace=True)
     serial_grind = None
+    strided_grind: dict[int, float] = {}
     for threads in thread_counts:
-        run = time_grind(n, threads, warmup=warmup, steps=grid_steps)
-        if threads == 1:
-            serial_grind = run["grind_time_ns"]
-        if serial_grind is not None:
-            run["speedup_vs_serial"] = serial_grind / run["grind_time_ns"]
-        entry["runs"].append(run)
-        tiles = f", {run['tiles']} tiles" if "tiles" in run else ""
-        speed = (f"   {run['speedup_vs_serial']:.2f}x"
-                 if "speedup_vs_serial" in run else "")
-        print(f"  {n:4d}^2  threads={threads}{tiles}: "
-              f"{run['grind_time_ns']:8.1f} ns/cell/PDE/RHS{speed}")
+        for layout in layouts:
+            run = time_grind(n, threads, layout=layout, warmup=warmup,
+                             steps=grid_steps)
+            if layout == "strided":
+                strided_grind[threads] = run["grind_time_ns"]
+                if threads == 1:
+                    serial_grind = run["grind_time_ns"]
+            if serial_grind is not None:
+                run["speedup_vs_serial"] = serial_grind / run["grind_time_ns"]
+            if layout != "strided" and threads in strided_grind:
+                run["speedup_vs_strided"] = (strided_grind[threads]
+                                             / run["grind_time_ns"])
+            entry["runs"].append(run)
+            tiles = f", {run['tiles']} tiles" if "tiles" in run else ""
+            speed = (f"   {run['speedup_vs_serial']:.2f}x"
+                     if "speedup_vs_serial" in run else "")
+            vs = (f"  ({run['speedup_vs_strided']:.2f}x vs strided)"
+                  if "speedup_vs_strided" in run else "")
+            print(f"  {n:4d}^2  threads={threads} layout={layout:<10}{tiles}: "
+                  f"{run['grind_time_ns']:8.1f} ns/cell/PDE/RHS{speed}{vs}")
     return entry
 
 
@@ -140,24 +161,37 @@ def main(argv: list[str] | None = None) -> int:
                         help="timed steps per run (default 25, or 8 for "
                              "grids >= 128)")
     parser.add_argument("--warmup", type=int, default=3)
-    parser.add_argument("--label", default="thread-sweep")
+    parser.add_argument("--layout", action="append", default=None,
+                        choices=("strided", "transposed", "auto"),
+                        help="sweep layout (repeatable; default strided "
+                             "only; strided is always included as the "
+                             "comparison baseline)")
+    parser.add_argument("--label", default=None,
+                        help="history-entry label (default thread-sweep, "
+                             "or layout-sweep when layouts are compared)")
     args = parser.parse_args(argv)
 
     grids = args.grid or [64, 256]
     thread_counts = args.threads or [1, 2, 4]
     if 1 not in thread_counts:
         thread_counts = [1] + thread_counts  # speedups need the baseline
+    layouts = args.layout or ["strided"]
+    if "strided" not in layouts:
+        layouts = ["strided"] + layouts  # layout speedups need the baseline
+    label = args.label or ("layout-sweep" if len(layouts) > 1
+                           else "thread-sweep")
 
     host_cpus = os.cpu_count() or 1
-    entry: dict = {"label": args.label, "host_cpus": host_cpus, "grids": []}
+    entry: dict = {"label": label, "host_cpus": host_cpus,
+                   "layouts": layouts, "grids": []}
     print(f"host cpus: {host_cpus}"
           + ("  (single core: thread runs measure overhead, not scaling)"
              if host_cpus == 1 else ""))
     smallest = min(grids)
     for n in grids:
         entry["grids"].append(
-            bench_grid(n, thread_counts, warmup=args.warmup, steps=args.steps,
-                       with_allocs=(n == smallest)))
+            bench_grid(n, thread_counts, layouts, warmup=args.warmup,
+                       steps=args.steps, with_allocs=(n == smallest)))
 
     history = load_history()
     history.append(entry)

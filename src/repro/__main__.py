@@ -27,18 +27,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "reflective": BoundarySet.all_reflective,
         "extrapolation": BoundarySet.all_extrapolation,
     }[args.bc](ndim)
-    # --threads overrides the case file's "solver": {"threads": N}.
-    threads = load_solver_options(args.case).get("threads", 1)
+    # --threads / --layout override the case file's "solver" section.
+    solver_options = load_solver_options(args.case)
+    threads = solver_options.get("threads", 1)
     if args.threads is not None:
         threads = args.threads
+    layout = solver_options.get("sweep_layout", "strided")
+    if args.layout is not None:
+        layout = args.layout
     sim = Simulation(case, bcs,
                      config=RHSConfig(weno_order=args.weno,
                                       riemann_solver=args.riemann,
                                       geometry=args.geometry),
-                     cfl=args.cfl, threads=threads)
+                     cfl=args.cfl, threads=threads, sweep_layout=layout)
     print(f"running {case.grid.num_cells} cells, {case.mixture.ncomp} fluids, "
           f"WENO{args.weno} + {args.riemann.upper()}"
-          + (f", {threads} threads" if threads > 1 else ""))
+          + (f", {threads} threads" if threads > 1 else "")
+          + (f", {layout} sweeps" if layout != "strided" else ""))
     callback = None
     if args.series:
         from repro.io.series import SeriesWriter
@@ -59,6 +64,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         shares = ", ".join(f"{k}={100 * v:.0f}%"
                            for k, v in sorted(sim.kernel_breakdown().items()))
         print(f"kernel shares: {shares}")
+        if sim.rhs.sweep_counters.transposed_sweeps:
+            print(sim.rhs.sweep_counters.summary())
     else:
         print(f"done: horizon t_end already reached; no steps taken "
               f"(t = {sim.time:.6g})")
@@ -134,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--threads", type=int, default=None,
                      help="worker threads for the tiled RHS backend "
                           "(default: case file's solver.threads, else 1)")
+    run.add_argument("--layout", default=None,
+                     choices=("strided", "transposed", "auto"),
+                     help="sweep memory layout: strided, transposed "
+                          "(axis-contiguous y/z sweeps), or auto "
+                          "(default: case file's solver.layout, else strided)")
     run.add_argument("--snapshot", default=None, help="write a binary snapshot")
     run.add_argument("--silo", default=None,
                      help="also write a .npz visualization database")

@@ -106,6 +106,25 @@ class GangExecutor:
         cfg = derive_launch(nest)
         return max(1, min(self.threads, cfg.num_gangs, extent))
 
+    def plan_tiles(self, nest: ParallelLoopNest, extent: int, *,
+                   bytes_per_slice: int = 0,
+                   device=None) -> int:
+        """Tile count for a gang nest over ``extent`` rows, L2-refined.
+
+        Composes :meth:`gangs_for` (the directive → gang resolution)
+        with :func:`repro.hardware.tiling.suggest_tile_count` (grow the
+        tile count in worker multiples until one tile's working set fits
+        the device's last-level cache).  Sweep pipelines call this once
+        per tiled extent — the strided and transposed layouts tile
+        different axes, so their extents differ.
+        """
+        from repro.hardware.tiling import suggest_tile_count
+
+        gangs = self.gangs_for(nest, extent)
+        return suggest_tile_count(extent, gangs,
+                                  bytes_per_slice=bytes_per_slice,
+                                  device=device)
+
     # ------------------------------------------------------------------
     def launch(self, body: Callable[[int, int], object], extent: int, *,
                tiles: int | None = None,

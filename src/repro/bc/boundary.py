@@ -104,9 +104,19 @@ def pad_axis(field: np.ndarray, axis: int, ng: int,
 
 
 def fill_axis_ghosts(padded: np.ndarray, layout: StateLayout, axis: int, ng: int,
-                     lo: BC, hi: BC) -> None:
-    """Fill the ghost cells of one spatial ``axis`` of a per-axis padded field."""
-    _fill_axis(padded, layout, axis, ng, lo, hi)
+                     lo: BC, hi: BC, *, normal_direction: int | None = None) -> None:
+    """Fill the ghost cells of one spatial ``axis`` of a per-axis padded field.
+
+    ``normal_direction`` names the *physical* direction the ghosts face
+    (the momentum component a reflective wall negates).  It defaults to
+    ``axis`` — correct in the standard layout, where spatial axes sit in
+    physical order.  In an axis-contiguous transposed layout the sweep
+    direction lives on the trailing array axis instead, so the sweep
+    engine passes the physical direction explicitly; the filled values
+    are bitwise the ones the standard layout produces.
+    """
+    _fill_axis(padded, layout, axis, ng, lo, hi,
+               normal_direction=normal_direction)
 
 
 def _axis_slices(padded: np.ndarray, axis: int, ng: int):
@@ -130,8 +140,9 @@ def fill_ghosts(padded: np.ndarray, layout: StateLayout, bcs: BoundarySet, ng: i
 
 
 def _fill_axis(padded: np.ndarray, layout: StateLayout, axis: int, ng: int,
-               lo: BC, hi: BC) -> None:
+               lo: BC, hi: BC, *, normal_direction: int | None = None) -> None:
     ax, n = _axis_slices(padded, axis, ng)
+    normal = axis if normal_direction is None else normal_direction
     if n < ng:
         raise ConfigurationError(
             f"axis {axis} has only {n} interior cells for {ng} ghost cells")
@@ -153,7 +164,7 @@ def _fill_axis(padded: np.ndarray, layout: StateLayout, axis: int, ng: int,
         padded[sl(0, ng)] = padded[sl(ng, ng + 1)]
     else:  # REFLECTIVE: mirror and negate normal component
         padded[sl(0, ng)] = padded[sl_rev(ng, ng + ng)]
-        comp = layout.momentum_component(axis)
+        comp = layout.momentum_component(normal)
         padded[(comp,) + sl(0, ng)[1:]] *= -1.0
 
     # High side ghosts: indices [ng + n, ng + n + ng).
@@ -163,5 +174,5 @@ def _fill_axis(padded: np.ndarray, layout: StateLayout, axis: int, ng: int,
         padded[sl(ng + n, ng + n + ng)] = padded[sl(ng + n - 1, ng + n)]
     else:
         padded[sl(ng + n, ng + n + ng)] = padded[sl_rev(n, ng + n)]
-        comp = layout.momentum_component(axis)
+        comp = layout.momentum_component(normal)
         padded[(comp,) + sl(ng + n, ng + n + ng)[1:]] *= -1.0

@@ -20,7 +20,10 @@ from repro.fields.packing import pack_bank, unpack_bank
 from repro.fields.transpose import (
     geam_transpose_cutensor,
     geam_transpose_hipblas,
+    inverse_perm,
+    sweep_perm,
     transpose_loop,
+    untranspose_loop,
 )
 
 __all__ = [
@@ -29,6 +32,9 @@ __all__ = [
     "pack_bank",
     "unpack_bank",
     "transpose_loop",
+    "untranspose_loop",
+    "sweep_perm",
+    "inverse_perm",
     "geam_transpose_cutensor",
     "geam_transpose_hipblas",
 ]

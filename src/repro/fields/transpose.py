@@ -36,17 +36,73 @@ def _require_4d(v: np.ndarray) -> None:
         raise ShapeError(f"transpose paths expect a packed 4D array, got ndim={v.ndim}")
 
 
-def transpose_loop(v: np.ndarray, perm: tuple[int, ...] = COALESCE_Z_PERM) -> np.ndarray:
-    """Directive-loop transpose: one strided gather into a fresh array.
+def _check_perm(perm: tuple[int, ...], ndim: int) -> None:
+    if len(perm) != ndim or sorted(perm) != list(range(ndim)):
+        raise ShapeError(f"perm {perm} is not a permutation of axes of ndim={ndim}")
+
+
+def sweep_perm(ndim: int, axis: int) -> tuple[int, ...]:
+    """Permutation moving ``axis`` last, preserving the order of the rest.
+
+    This is the generalisation of :data:`COALESCE_Z_PERM` the sweep
+    engine uses: for a packed array of ``ndim`` axes it produces the
+    axis-contiguous layout in which reconstruction along ``axis`` runs
+    with unit stride.  ``sweep_perm(n, n - 1)`` is the identity (the
+    trailing axis is already contiguous).
+    """
+    if not 0 <= axis < ndim:
+        raise ShapeError(f"axis {axis} outside ndim={ndim}")
+    return tuple(k for k in range(ndim) if k != axis) + (axis,)
+
+
+def inverse_perm(perm: tuple[int, ...]) -> tuple[int, ...]:
+    """The permutation undoing ``perm``."""
+    _check_perm(perm, len(perm))
+    inv = [0] * len(perm)
+    for i, p in enumerate(perm):
+        inv[p] = i
+    return tuple(inv)
+
+
+def transpose_loop(v: np.ndarray, perm: tuple[int, ...] = COALESCE_Z_PERM, *,
+                   out: np.ndarray | None = None) -> np.ndarray:
+    """Directive-loop transpose: one strided gather into ``out``.
 
     Models the fully collapsed ``parallel loop collapse(4) gang vector``
     kernel: NumPy's assignment through the permuted view is exactly the
-    uncoalesced read / coalesced write that kernel performs.
+    uncoalesced read / coalesced write that kernel performs.  With
+    ``out`` (a preallocated workspace buffer of the permuted shape) no
+    allocation happens — this is the steady-state path of the sweep
+    engine's layout changes.
     """
-    if len(perm) != v.ndim or sorted(perm) != list(range(v.ndim)):
-        raise ShapeError(f"perm {perm} is not a permutation of axes of ndim={v.ndim}")
-    out = np.empty(tuple(v.shape[p] for p in perm), dtype=v.dtype)
+    _check_perm(perm, v.ndim)
+    shape = tuple(v.shape[p] for p in perm)
+    if out is None:
+        out = np.empty(shape, dtype=v.dtype)
+    elif out.shape != shape:
+        raise ShapeError(
+            f"transpose out buffer has shape {out.shape}, expected {shape}")
     out[...] = np.transpose(v, perm)
+    return out
+
+
+def untranspose_loop(t: np.ndarray, perm: tuple[int, ...], *,
+                     out: np.ndarray | None = None) -> np.ndarray:
+    """Inverse of :func:`transpose_loop`: scatter ``t`` back to standard layout.
+
+    ``t`` is an array in the layout ``transpose_loop(v, perm)`` produced;
+    the result (or ``out``) has the original layout of ``v``.  One
+    strided scatter — the coalesced-read / uncoalesced-write mirror of
+    the forward kernel.
+    """
+    _check_perm(perm, t.ndim)
+    shape = tuple(t.shape[p] for p in inverse_perm(perm))
+    if out is None:
+        out = np.empty(shape, dtype=t.dtype)
+    elif out.shape != shape:
+        raise ShapeError(
+            f"untranspose out buffer has shape {out.shape}, expected {shape}")
+    np.copyto(np.transpose(out, perm), t)
     return out
 
 

@@ -11,9 +11,11 @@ documented where it is defined).
 
 from repro.hardware.devices import (
     CPUS,
+    DEFAULT_HOST_KEY,
     DEVICES,
     GPUS,
     DeviceSpec,
+    default_host_device,
     get_device,
 )
 from repro.hardware.roofline import RooflinePoint, attainable_gflops, ridge_intensity
@@ -31,6 +33,8 @@ __all__ = [
     "GPUS",
     "CPUS",
     "get_device",
+    "DEFAULT_HOST_KEY",
+    "default_host_device",
     "RooflinePoint",
     "attainable_gflops",
     "ridge_intensity",

@@ -97,6 +97,21 @@ CPUS: dict[str, DeviceSpec] = {
 
 DEVICES: dict[str, DeviceSpec] = {**GPUS, **CPUS}
 
+#: Catalog entry standing in for "the machine this process runs on"
+#: when a heuristic needs cache/bandwidth numbers but the caller named
+#: no device: a mainstream many-core server CPU.
+DEFAULT_HOST_KEY = "epyc9564"
+
+
+def default_host_device() -> DeviceSpec:
+    """The catalog's generic host stand-in (see :data:`DEFAULT_HOST_KEY`).
+
+    Heuristics that are "informed by the device catalog" — the sweep
+    engine's auto layout choice, tile sizing — fall back to this spec
+    when no explicit ``tile_device`` / ``--device`` was given.
+    """
+    return DEVICES[DEFAULT_HOST_KEY]
+
 
 def get_device(key: str) -> DeviceSpec:
     """Look up a device by its short key (e.g. ``"mi250x"``)."""

@@ -22,15 +22,16 @@ from repro.solver.case import Case, Patch, box, halfspace, sphere
 GEOMETRY_KINDS = ("box", "sphere", "halfspace")
 
 #: Keys the optional ``"solver"`` section of a case file may carry.
-SOLVER_OPTION_KEYS = ("threads",)
+SOLVER_OPTION_KEYS = ("threads", "layout")
 
 
 def solver_options_from_dict(spec: dict) -> dict:
     """Validated runtime options from a case file's ``"solver"`` section.
 
-    The section is optional and currently carries ``threads`` (worker
-    count for the thread-tiled execution backend; a positive integer).
-    Returns a plain dict of keyword arguments for
+    The section is optional and carries ``threads`` (worker count for
+    the thread-tiled execution backend; a positive integer) and
+    ``layout`` (sweep memory layout: ``"strided"``, ``"transposed"``,
+    or ``"auto"``).  Returns a plain dict of keyword arguments for
     :class:`~repro.solver.simulation.Simulation`; an absent section
     yields ``{}``.
     """
@@ -53,6 +54,12 @@ def solver_options_from_dict(spec: dict) -> dict:
             raise ConfigurationError(
                 f"solver threads must be a positive integer, got {threads!r}")
         options["threads"] = threads
+    if "layout" in solver:
+        from repro.solver.sweep import validate_sweep_layout
+
+        # JSON name "layout" maps to the Simulation kwarg sweep_layout
+        # (Simulation.layout is the state layout).
+        options["sweep_layout"] = validate_sweep_layout(solver["layout"])
     return options
 
 

@@ -2,7 +2,12 @@
 
 from repro.profiling.profiler import KernelRecord, Profile
 from repro.profiling.modeled import ModeledRun
-from repro.profiling.counters import KernelCounters, counters_report, kernel_counters
+from repro.profiling.counters import (
+    KernelCounters,
+    SweepCounters,
+    counters_report,
+    kernel_counters,
+)
 from repro.profiling.reports import device_comparison_report, kernel_stats_report
 from repro.profiling.roofline_plot import roofline_chart
 from repro.profiling.allocations import (
@@ -16,6 +21,7 @@ __all__ = [
     "Profile",
     "ModeledRun",
     "KernelCounters",
+    "SweepCounters",
     "kernel_counters",
     "counters_report",
     "kernel_stats_report",

@@ -1,11 +1,18 @@
-"""Modeled hardware counters per kernel (the rocprof / nsight-compute
-"metrics" view the paper's §V analysis is built on).
+"""Hardware-style counters: modeled per-kernel metrics and measured
+per-sweep data-movement accounting.
 
-For each kernel workload on a device this derives the counters a GPU
-profiler would report: DRAM read/write traffic, achieved bandwidth and
-its fraction of peak, FP64 throughput, L2 hit/miss estimates (from the
-mechanistic cache model for packing kernels, from the roofline-implied
-reuse for compute kernels), and occupancy of the launch configuration.
+:func:`kernel_counters` derives, for each kernel workload on a device,
+the counters a GPU profiler would report: DRAM read/write traffic,
+achieved bandwidth and its fraction of peak, FP64 throughput, L2
+hit/miss estimates (from the mechanistic cache model for packing
+kernels, from the roofline-implied reuse for compute kernels), and
+occupancy of the launch configuration.
+
+:class:`SweepCounters` is the *measured* counterpart for the layout
+engine's host execution: it tallies how many direction sweeps ran with
+strided vs. contiguous inner loops and how many bytes were physically
+permuted between layouts — making the coalescing win observable, not
+just timed.
 """
 
 from __future__ import annotations
@@ -97,6 +104,89 @@ def kernel_counters(device: DeviceSpec, work: KernelWorkload,
         l2_miss_ratio=miss_ratio,
         occupancy=occupancy,
     )
+
+
+@dataclass
+class SweepCounters:
+    """Measured data-movement accounting of the layout-aware sweep engine.
+
+    One instance lives on each :class:`~repro.solver.rhs.RHS` and is
+    bumped once per direction sweep (not per tile, so no locking is
+    needed under the thread-tiled backend).
+
+    Attributes
+    ----------
+    strided_sweeps / transposed_sweeps:
+        Direction sweeps whose WENO inner loops ran strided vs.
+        contiguous (the transposed engine's axis-last layout *and*
+        sweeps whose reconstruction axis is naturally contiguous both
+        count as contiguous — what matters is the inner-loop stride).
+    bytes_reconstructed_strided / bytes_reconstructed_contiguous:
+        Face-state bytes (both sides) produced through each kind of
+        inner loop.
+    transposes:
+        Physical layout permutations performed (gather in + flux and
+        interface-velocity scatters back: three per transposed sweep).
+    bytes_transposed:
+        Bytes those permutations moved (each counted once, by the size
+        of the permuted array).
+    """
+
+    strided_sweeps: int = 0
+    transposed_sweeps: int = 0
+    bytes_reconstructed_strided: int = 0
+    bytes_reconstructed_contiguous: int = 0
+    transposes: int = 0
+    bytes_transposed: int = 0
+
+    def record_strided(self, face_bytes: int, *, contiguous: bool = False) -> None:
+        """Count one sweep that ran in the standard layout.
+
+        ``contiguous=True`` marks the natural fast case — the sweep
+        whose reconstruction axis already is the trailing array axis.
+        """
+        if contiguous:
+            self.bytes_reconstructed_contiguous += face_bytes
+        else:
+            self.strided_sweeps += 1
+            self.bytes_reconstructed_strided += face_bytes
+
+    def record_transposed(self, face_bytes: int, transposed_bytes: int,
+                          transposes: int = 3) -> None:
+        """Count one sweep that ran through the transposed engine."""
+        self.transposed_sweeps += 1
+        self.bytes_reconstructed_contiguous += face_bytes
+        self.transposes += transposes
+        self.bytes_transposed += transposed_bytes
+
+    def merge(self, other: "SweepCounters") -> None:
+        self.strided_sweeps += other.strided_sweeps
+        self.transposed_sweeps += other.transposed_sweeps
+        self.bytes_reconstructed_strided += other.bytes_reconstructed_strided
+        self.bytes_reconstructed_contiguous += other.bytes_reconstructed_contiguous
+        self.transposes += other.transposes
+        self.bytes_transposed += other.bytes_transposed
+
+    def as_dict(self) -> dict:
+        """Plain dict for JSON benchmark records."""
+        return {
+            "strided_sweeps": self.strided_sweeps,
+            "transposed_sweeps": self.transposed_sweeps,
+            "bytes_reconstructed_strided": self.bytes_reconstructed_strided,
+            "bytes_reconstructed_contiguous": self.bytes_reconstructed_contiguous,
+            "transposes": self.transposes,
+            "bytes_transposed": self.bytes_transposed,
+        }
+
+    def summary(self) -> str:
+        """One-line human summary (printed by the CLI and reports)."""
+        return (f"sweeps: {self.transposed_sweeps} transposed, "
+                f"{self.strided_sweeps} strided; "
+                f"{self.bytes_transposed / 1e6:.1f} MB permuted via "
+                f"{self.transposes} transposes; reconstructed "
+                f"{self.bytes_reconstructed_contiguous / 1e6:.1f} MB "
+                f"contiguous / "
+                f"{self.bytes_reconstructed_strided / 1e6:.1f} MB strided")
 
 
 def counters_report(device: DeviceSpec, works: list[KernelWorkload],

@@ -49,10 +49,17 @@ class KernelRecord:
 
 @dataclass
 class Profile:
-    """A collection of kernel records plus whole-run metadata."""
+    """A collection of kernel records plus whole-run metadata.
+
+    ``sweep`` optionally attaches a
+    :class:`~repro.profiling.counters.SweepCounters` instance (the
+    layout engine's measured data-movement tallies) so reports show the
+    strided-vs-contiguous picture next to the kernel times.
+    """
 
     device_name: str = "unknown"
     records: dict[str, KernelRecord] = field(default_factory=dict)
+    sweep: object | None = None
 
     def record(self, name: str, kernel_class: str, seconds: float,
                flops: float = 0.0, nbytes: float = 0.0) -> None:
@@ -115,4 +122,6 @@ class Profile:
             pct = 100.0 * rec.seconds / total if total > 0 else 0.0
             lines.append(f"{rec.name:<28} {rec.kernel_class:<8} "
                          f"{rec.seconds * 1e3:>10.3f} {pct:>6.1f} {rec.launches:>9}")
+        if self.sweep is not None:
+            lines.append(self.sweep.summary())
         return "\n".join(lines)

@@ -13,6 +13,7 @@ from repro.solver.diagnostics import (
 )
 from repro.solver.geometry import GEOMETRIES
 from repro.solver.positivity import limit_face_states
+from repro.solver.sweep import SWEEP_LAYOUTS, plan_transposed_axes
 from repro.solver.workspace import SolverWorkspace
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "StepRecord",
     "GEOMETRIES",
     "limit_face_states",
+    "SWEEP_LAYOUTS",
+    "plan_transposed_axes",
     "SolverWorkspace",
     "kinetic_energy",
     "enstrophy",

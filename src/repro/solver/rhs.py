@@ -25,10 +25,11 @@ import numpy as np
 from repro.bc.boundary import BoundarySet, fill_axis_ghosts, pad_axis
 from repro.common import DTYPE, ConfigurationError, Stopwatch
 from repro.eos.mixture import Mixture
+from repro.fields.transpose import sweep_perm, untranspose_loop
 from repro.grid.cartesian import StructuredGrid
 from repro.hardware.devices import DeviceSpec, get_device
-from repro.hardware.tiling import suggest_tile_count
 from repro.riemann import SOLVERS
+from repro.solver.sweep import plan_transposed_axes, validate_sweep_layout
 from repro.solver.geometry import (
     GEOMETRIES,
     apply_axisymmetric_terms,
@@ -97,6 +98,17 @@ class RHS:
     inputs and same elementwise operation order per output cell.
     ``tile_device`` (a catalog key or :class:`DeviceSpec`) lets the
     L2-capacity tile heuristic size tiles for a specific host.
+
+    ``sweep_layout`` selects the coalesced sweep engine (paper §III.D):
+    ``"strided"`` runs every direction in the standard ``(v, x, y, z)``
+    layout, ``"transposed"`` physically permutes the non-contiguous
+    directions into an axis-last scratch layout before reconstructing
+    (three bulk transposes replace the many strided passes inside
+    WENO/Riemann), and ``"auto"`` chooses per direction from the
+    bytes-moved vs. bytes-saved heuristic in
+    :mod:`repro.solver.sweep`.  All three are bitwise identical; the
+    transposed engine needs the workspace, so ``use_workspace=False``
+    (and off-grid fallback calls) always sweep strided.
     """
 
     layout: StateLayout
@@ -108,6 +120,7 @@ class RHS:
     use_workspace: bool = True
     threads: int = 1
     tile_device: DeviceSpec | str | None = None
+    sweep_layout: str = "strided"
 
     def __post_init__(self) -> None:
         if self.grid.ndim != self.layout.ndim:
@@ -131,9 +144,31 @@ class RHS:
         #: Cumulative count of face states replaced by the positivity
         #: fallback (0 in well-resolved single-phase runs).
         self.limited_faces = 0
+        validate_sweep_layout(self.sweep_layout)
+        self._device = (get_device(self.tile_device)
+                        if isinstance(self.tile_device, str)
+                        else self.tile_device)
+        #: Directions the sweep engine physically transposes; empty for
+        #: the strided engine and whenever there is no workspace to own
+        #: the transposed scratch.
+        if self.use_workspace:
+            self._transposed_axes = plan_transposed_axes(
+                self.sweep_layout, self.layout.nvars, self.grid.shape,
+                self.config.weno_order, device=self._device)
+        else:
+            self._transposed_axes = frozenset()
+        #: Per-sweep data-movement tallies (strided vs. contiguous
+        #: reconstruction, bytes permuted); surfaced by the CLI, the
+        #: benches, and :meth:`Profile.report`.  (Deferred import:
+        #: repro.profiling's drivers import repro.solver.simulation,
+        #: which imports this module — a cycle at module-import time.)
+        from repro.profiling.counters import SweepCounters
+
+        self.sweep_counters = SweepCounters()
         #: Preallocated buffer arena; None runs the allocating
         #: reference path.
-        self.workspace = (SolverWorkspace(self.layout, self.grid, self._ng)
+        self.workspace = (SolverWorkspace(self.layout, self.grid, self._ng,
+                                          transposed_axes=self._transposed_axes)
                           if self.use_workspace else None)
         if (not isinstance(self.threads, int) or isinstance(self.threads, bool)
                 or self.threads < 1):
@@ -145,21 +180,31 @@ class RHS:
         #: import this module — a cycle at module-import time.)
         self.executor = None
         self._tiles: int | None = None
+        #: Per-direction tile counts for the transposed engine, whose
+        #: slab axis is the first *untransposed* spatial axis (array
+        #: axis 1 of the transposed block), not spatial axis 0.
+        self._tiles_t: dict[int, int] = {}
         if self.threads > 1:
             from repro.acc.gang import GangExecutor
 
             self.executor = GangExecutor(self.threads)
-            self._tiles = self._plan_tiles()
+            spatial = self.grid.shape
+            self._tiles = self._plan_tiles(spatial[0])
+            for d in sorted(self._transposed_axes):
+                extent = spatial[1] if d == 0 else spatial[0]
+                self._tiles_t[d] = self._plan_tiles(extent)
 
-    def _plan_tiles(self) -> int:
-        """Tile count along spatial axis 0, from the gang spec + L2 size.
+    def _plan_tiles(self, extent: int) -> int:
+        """Tile count along a slab axis, from the gang spec + L2 size.
 
         The pipeline's directive shape is the paper's Listing 1 —
         ``parallel loop gang vector collapse(ndim)`` over the spatial
         loops with the O(1) variable loop ``seq`` — resolved to gangs by
         the :mod:`repro.acc` launch model, capped by the worker count,
         then refined in worker multiples until one tile's working set
-        fits the target device's last-level cache.
+        fits the target device's last-level cache.  ``extent`` is the
+        slab axis length: spatial axis 0 for the strided engine, the
+        transposed block's axis-1 extent for the transposed engine.
         """
         from repro.acc.directives import Clause, LoopDirective, ParallelLoopNest
 
@@ -173,17 +218,15 @@ class RHS:
         loops.append(LoopDirective("v", self.layout.nvars,
                                    frozenset({Clause.SEQ})))
         nest = ParallelLoopNest(tuple(loops))
-        gangs = self.executor.gangs_for(nest, spatial[0])
-        row_cells = 1
-        for extent in spatial[1:]:
-            row_cells *= extent
+        cells = 1
+        for n in spatial:
+            cells *= n
         bytes_per_slice = (PIPELINE_ROWS_PER_SLICE * self.layout.nvars
-                           * row_cells * np.dtype(DTYPE).itemsize)
-        device = (get_device(self.tile_device)
-                  if isinstance(self.tile_device, str) else self.tile_device)
-        return suggest_tile_count(spatial[0], gangs,
-                                  bytes_per_slice=bytes_per_slice,
-                                  device=device)
+                           * (cells // max(extent, 1))
+                           * np.dtype(DTYPE).itemsize)
+        return self.executor.plan_tiles(nest, extent,
+                                        bytes_per_slice=bytes_per_slice,
+                                        device=self._device)
 
     @property
     def ghost_width(self) -> int:
@@ -230,11 +273,19 @@ class RHS:
         else:
             divu = np.zeros(q.shape[1:], dtype=q.dtype)
 
-        # The tiled backend needs the workspace buffers (per-thread
-        # scratch, disjoint-write arenas); off-grid fallbacks run serial.
+        # The tiled backend and the transposed engine both need the
+        # workspace buffers (per-thread scratch, disjoint-write arenas,
+        # transposed scratch); off-grid fallbacks run serial strided.
         tiled = ws is not None and self.executor is not None
         for d in range(layout.ndim):
-            if tiled:
+            if ws is not None and d in self._transposed_axes:
+                if tiled:
+                    self._accumulate_direction_transposed_tiled(
+                        prim, d, widths[d], dqdt, divu, ws)
+                else:
+                    self._accumulate_direction_transposed(
+                        prim, d, widths[d], dqdt, divu, ws)
+            elif tiled:
                 self._accumulate_direction_tiled(prim, d, widths[d], dqdt,
                                                  divu, ws)
             else:
@@ -298,6 +349,9 @@ class RHS:
             else:
                 dqdt -= np.diff(flux, axis=d + 1) / width
                 divu += np.diff(u_face, axis=d) / width
+
+        self.sweep_counters.record_strided(
+            v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1))
 
     # ------------------------------------------------------------------
     def _accumulate_direction_tiled(self, prim: np.ndarray, d: int,
@@ -373,6 +427,8 @@ class RHS:
                                            np.add)
 
             ex.launch(accum, rows, tiles=tiles)
+            self.sweep_counters.record_strided(
+                v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1))
             return
 
         w_max = -(-rows // min(tiles, rows))
@@ -403,6 +459,155 @@ class RHS:
             return limited
 
         self.limited_faces += sum(ex.launch(slab, rows, tiles=tiles))
+        self.sweep_counters.record_strided(
+            v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1))
+
+    # ------------------------------------------------------------------
+    def _accumulate_direction_transposed(self, prim: np.ndarray, d: int,
+                                         width: np.ndarray, dqdt: np.ndarray,
+                                         divu: np.ndarray,
+                                         ws: SolverWorkspace) -> None:
+        """One direction swept in the axis-contiguous transposed layout.
+
+        The paper's §III.D coalescing transform, host-side: instead of
+        running WENO/Riemann with a strided inner loop (dozens of
+        strided passes over the face block for order 5), the padded
+        primitives are gathered once into a workspace-owned scratch
+        block whose reconstruction axis is last, the whole
+        pad→WENO→Riemann pipeline runs contiguously there, and only the
+        face fluxes are scattered back for the divergence accumulate —
+        three bulk permutations in total, all timed as "packing".
+
+        Bitwise identical to :meth:`_accumulate_direction`: every
+        kernel is elementwise over faces with the same per-face
+        operation order, so physical layout cannot change any result
+        bit; the transposes themselves are pure data movement.
+        """
+        layout, ng, sw = self.layout, self._ng, self.stopwatch
+        lo_bc, hi_bc = self.bcs.per_axis[d]
+        arr = prim.ndim
+        perm = sweep_perm(arr, d + 1)
+        tpad = ws.t_padded[d]
+        tvl, tvr = ws.t_face_l[d], ws.t_face_r[d]
+        tflux, tuface = ws.t_flux[d], ws.t_u_face[d]
+        flux, u_face = ws.flux[d], ws.u_face[d]
+        n = prim.shape[d + 1]
+
+        def timed(name):
+            return sw.time(name) if sw is not None else _NullCtx()
+
+        with timed("packing"):
+            # Gather the primitives into the axis-last padded block (the
+            # engine's one strided read), then fill ghosts contiguously.
+            tpad[..., ng:ng + n] = np.transpose(prim, perm)
+            fill_axis_ghosts(tpad, layout, arr - 2, ng, lo_bc, hi_bc,
+                             normal_direction=d)
+
+        with timed("weno"):
+            reconstruct_faces(tpad, arr - 1, self.config.weno_order,
+                              out=(tvl, tvr), scratch=ws.weno_scratch[d])
+            self.limited_faces += limit_face_states(
+                layout, self.mixture, tpad, tvl, tvr, arr - 2, ng)
+
+        with timed("riemann"):
+            self._riemann(layout, self.mixture, tvl, tvr, d,
+                          out=tflux, out_u=tuface,
+                          scratch=ws.t_riemann_scratch[d])
+
+        with timed("packing"):
+            # Scatter only the face fluxes back to the standard layout.
+            untranspose_loop(tflux, perm, out=flux)
+            untranspose_loop(tuface, tuple(p - 1 for p in perm[1:]),
+                             out=u_face)
+
+        with timed("other"):
+            _accumulate_divergence(flux, d + 1, width, ws.div_scratch, dqdt,
+                                   np.subtract)
+            _accumulate_divergence(u_face, d, width, ws.divu_scratch, divu,
+                                   np.add)
+
+        self.sweep_counters.record_transposed(
+            tvl.nbytes + tvr.nbytes,
+            prim.nbytes + flux.nbytes + u_face.nbytes)
+
+    # ------------------------------------------------------------------
+    def _accumulate_direction_transposed_tiled(self, prim: np.ndarray, d: int,
+                                               width: np.ndarray,
+                                               dqdt: np.ndarray,
+                                               divu: np.ndarray,
+                                               ws: SolverWorkspace) -> None:
+        """Transposed sweep tiled along the transposed block's axis 1.
+
+        Unlike the strided ``d == 0`` path (three barrier-separated
+        launches because tiles cut the reconstruction axis itself), the
+        transposed engine's slab axis is always perpendicular to the
+        reconstruction axis, so every slab owns its full reconstruction
+        extent and the whole gather→pad→WENO→Riemann→scatter→accumulate
+        pipeline runs fused in a single launch for every direction —
+        including ``d == 0``.
+        """
+        layout, ng, sw, ex = self.layout, self._ng, self.stopwatch, self.executor
+        lo_bc, hi_bc = self.bcs.per_axis[d]
+        order = self.config.weno_order
+        arr = prim.ndim
+        perm = sweep_perm(arr, d + 1)
+        tpad = ws.t_padded[d]
+        tvl, tvr = ws.t_face_l[d], ws.t_face_r[d]
+        tflux, tuface = ws.t_flux[d], ws.t_u_face[d]
+        flux, u_face = ws.flux[d], ws.u_face[d]
+        n = prim.shape[d + 1]
+        # Standard-layout views pre-permuted so each slab's gather and
+        # scatter are plain slice assignments (disjoint writes: the
+        # slab axis is axis 1 of every transposed buffer).
+        tview = np.transpose(prim, perm)
+        flux_t = np.transpose(flux, perm)
+        uface_t = np.transpose(u_face, tuple(p - 1 for p in perm[1:]))
+        tiled_axis = perm[1]  # standard-layout array axis the slabs cut
+        extent = tpad.shape[1]
+        tiles = self._tiles_t[d]
+        w_max = -(-extent // min(tiles, extent))
+
+        def timed(name):
+            return sw.time(name) if sw is not None else _NullCtx()
+
+        def slab(lo, hi):
+            wscr, rscr = ws.thread_scratch(d, w_max, transposed=True)
+            count = hi - lo
+            s = (slice(None), slice(lo, hi))
+            with timed("packing"):
+                tpad[s][..., ng:ng + n] = tview[s]
+                fill_axis_ghosts(tpad[s], layout, arr - 2, ng, lo_bc, hi_bc,
+                                 normal_direction=d)
+            with timed("weno"):
+                tl, tr = reconstruct_faces(
+                    tpad[s], arr - 1, order, out=(tvl[s], tvr[s]),
+                    scratch=tuple(w[:, :count] for w in wscr))
+                limited = limit_face_states(layout, self.mixture, tpad[s],
+                                            tl, tr, arr - 2, ng)
+            with timed("riemann"):
+                tf, tu = self._riemann(
+                    layout, self.mixture, tl, tr, d,
+                    out=tflux[s], out_u=tuface[lo:hi],
+                    scratch=rscr.view((slice(None), slice(0, count))))
+            with timed("packing"):
+                np.copyto(flux_t[s], tf)
+                np.copyto(uface_t[lo:hi], tu)
+            with timed("other"):
+                std = [slice(None)] * arr
+                std[tiled_axis] = slice(lo, hi)
+                std = tuple(std)
+                _accumulate_divergence(flux[std], d + 1, width,
+                                       ws.div_scratch[std], dqdt[std],
+                                       np.subtract)
+                _accumulate_divergence(u_face[std[1:]], d, width,
+                                       ws.divu_scratch[std[1:]], divu[std[1:]],
+                                       np.add)
+            return limited
+
+        self.limited_faces += sum(ex.launch(slab, extent, tiles=tiles))
+        self.sweep_counters.record_transposed(
+            tvl.nbytes + tvr.nbytes,
+            prim.nbytes + flux.nbytes + u_face.nbytes)
 
 
 def _accumulate_divergence(faces: np.ndarray, axis: int, width: np.ndarray,

@@ -64,6 +64,13 @@ class Simulation:
         Optional :class:`~repro.hardware.DeviceSpec` (or catalog name)
         whose L2 capacity sizes the tiles; see
         :func:`repro.hardware.suggest_tile_count`.
+    sweep_layout:
+        Memory layout of the RHS direction sweeps: ``"strided"`` (the
+        default), ``"transposed"`` (axis-contiguous sweep engine for
+        the non-contiguous directions), or ``"auto"`` (per-direction
+        heuristic; see :mod:`repro.solver.sweep`).  Bitwise identical
+        either way.  Named ``layout`` in case files and on the CLI;
+        the Python field avoids shadowing the state layout attribute.
     """
 
     case: Case
@@ -80,6 +87,7 @@ class Simulation:
     use_workspace: bool = True
     threads: int = 1
     tile_device: object | None = None
+    sweep_layout: str = "strided"
 
     def __post_init__(self) -> None:
         if self.rk_order not in SSP_SCHEMES:
@@ -90,7 +98,8 @@ class Simulation:
         self.rhs = RHS(self.layout, self.mixture, self.grid, self.bcs,
                        self.config, stopwatch=self.stopwatch,
                        use_workspace=self.use_workspace,
-                       threads=self.threads, tile_device=self.tile_device)
+                       threads=self.threads, tile_device=self.tile_device,
+                       sweep_layout=self.sweep_layout)
         self.q = self.case.initial_conservative()
         self.time = 0.0
         self.step_count = 0

@@ -1,0 +1,137 @@
+"""Layout planning for the coalesced sweep engine (paper §III.D-§III.E).
+
+The paper's largest single-GPU win restores coalesced memory access in
+the non-contiguous direction sweeps by physically transposing the packed
+state so the reconstruction axis is contiguous, sweeping in that layout,
+and transposing only the face fluxes back.  This module decides *which*
+directions of an RHS evaluation get that treatment:
+
+``strided``
+    Never transpose — every sweep reads the standard ``(nvars, x, y, z)``
+    block through strided views (the pre-engine behaviour).
+``transposed``
+    Transpose every direction whose reconstruction axis is not already
+    the trailing (contiguous) array axis.  (This repo packs C-order, so
+    the *last* spatial axis is the coalesced one — the mirror image of
+    the paper's Fortran layout, where x is contiguous and the y/z sweeps
+    pay the strided penalty.)
+``auto``
+    Per-direction cost heuristic, informed by the device catalog: weigh
+    the bytes the two physical transposes move against the bytes the
+    strided inner loops would waste, and keep the strided layout when
+    the whole padded sweep block fits in the device's per-core share of
+    last-level cache (resident data makes strided passes cheap).
+
+All three choices are bitwise identical in results; the knob only moves
+data. The heuristic's constants are deliberately coarse — the decision
+it must get right is "large sweep block, strided axis" (transpose) vs
+"cache-resident block or already-contiguous axis" (don't).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common import DTYPE, ConfigurationError
+from repro.hardware.devices import DeviceSpec, default_host_device
+from repro.hardware.tiling import L2_OCCUPANCY
+from repro.weno import halo_width
+
+#: Valid values of the sweep-layout knob.
+SWEEP_LAYOUTS = ("strided", "transposed", "auto")
+
+#: Estimated face-sized strided array passes the in-place WENO kernels
+#: make per sweep (both sides): every ``cells(offset)`` operand read and
+#: every write through the moved-axis ``out`` view walks the array with
+#: the sweep axis' stride.  Counted from ``_weno{3,5}_into``; order 1 is
+#: two plain copies.
+STRIDED_PASSES = {1: 4, 3: 34, 5: 70}
+
+#: Cache-line size the waste model assumes (one strided element touch
+#: drags a whole line through the hierarchy).
+CACHE_LINE_BYTES = 128
+
+
+def validate_sweep_layout(mode: str) -> str:
+    """Validate and return a sweep-layout knob value."""
+    if mode not in SWEEP_LAYOUTS:
+        raise ConfigurationError(
+            f"sweep layout must be one of {SWEEP_LAYOUTS}, got {mode!r}")
+    return mode
+
+
+def cache_budget_bytes(device: DeviceSpec) -> float:
+    """Last-level-cache bytes one sweep may assume it owns on ``device``.
+
+    GPUs share their L2 across the whole chip; CPUs share the catalog's
+    L3 figure across cores, and a host sweep pipeline effectively runs
+    per core — so the budget is the per-core share, scaled by the same
+    occupancy margin the tile heuristic uses.
+    """
+    share = device.l2_bytes / (device.cores or 1)
+    return share * L2_OCCUPANCY
+
+
+def _transpose_wins(nvars: int, spatial: tuple[int, ...], d: int,
+                    ng: int, order: int, device: DeviceSpec) -> bool:
+    """The auto rule for one direction (reconstruction axis not last)."""
+    itemsize = np.dtype(DTYPE).itemsize
+    cells = 1
+    for extent in spatial:
+        cells *= extent
+    padded_cells = cells // spatial[d] * (spatial[d] + 2 * ng)
+    face_cells = cells // spatial[d] * (spatial[d] + 1)
+
+    # If the whole padded block is cache-resident, strided passes hit
+    # the cache and transposing only adds traffic.
+    if nvars * padded_cells * itemsize <= cache_budget_bytes(device):
+        return False
+
+    # Bytes the transposes move: gather the primitives in, scatter the
+    # flux and the interface velocity back.
+    bytes_moved = itemsize * (nvars * cells + nvars * face_cells + face_cells)
+
+    # Bytes the strided inner loops waste: each strided element touch
+    # drags a cache line of which only one element is used; the line is
+    # dead by the time its neighbours come around (the block exceeds the
+    # cache budget, per the test above).
+    inner = 1
+    for extent in spatial[d + 1:]:
+        inner *= extent
+    penalty = min(CACHE_LINE_BYTES // itemsize, max(1, inner))
+    bytes_saved = (STRIDED_PASSES[order] * itemsize * nvars * face_cells
+                   * (penalty - 1) / penalty)
+    return bytes_saved > bytes_moved
+
+
+def plan_transposed_axes(mode: str, nvars: int, spatial: tuple[int, ...],
+                         weno_order: int,
+                         device: DeviceSpec | None = None) -> frozenset[int]:
+    """Directions the RHS should sweep in the axis-contiguous layout.
+
+    Parameters
+    ----------
+    mode:
+        The knob: ``"strided"``, ``"transposed"``, or ``"auto"``.
+    nvars, spatial:
+        Packed-field shape (variable count and spatial extents).
+    weno_order:
+        Reconstruction order (fixes the ghost width and the strided-pass
+        count of the waste model).
+    device:
+        Catalog entry whose cache geometry informs ``auto``; defaults to
+        :func:`repro.hardware.devices.default_host_device`.
+    """
+    validate_sweep_layout(mode)
+    ndim = len(spatial)
+    # The trailing spatial axis is already contiguous in C order: its
+    # sweep never transposes, under any mode.
+    candidates = [d for d in range(ndim) if d != ndim - 1]
+    if mode == "strided" or not candidates:
+        return frozenset()
+    if mode == "transposed":
+        return frozenset(candidates)
+    ng = halo_width(weno_order)
+    dev = device if device is not None else default_host_device()
+    return frozenset(d for d in candidates
+                     if _transpose_wins(nvars, spatial, d, ng, weno_order, dev))

@@ -76,6 +76,10 @@ class SolverWorkspace:
     padded, face_l, face_r, flux, u_face:
         Per-direction scratch: ghost-padded primitives, reconstructed
         left/right face states, Riemann flux, and interface velocity.
+    t_padded, t_face_l, t_face_r, t_flux, t_u_face, t_riemann_scratch:
+        The same pipeline buffers in the axis-contiguous transposed
+        layout (reconstruction axis last), allocated only for the
+        directions in ``transposed_axes`` and reused every step.
     weno_scratch:
         Per-direction tuples of scratch arrays (reconstruction axis
         last) for the in-place WENO kernels.
@@ -87,12 +91,15 @@ class SolverWorkspace:
     """
 
     def __init__(self, layout: StateLayout, grid: StructuredGrid, ng: int,
-                 dtype=DTYPE) -> None:
+                 dtype=DTYPE, transposed_axes: frozenset[int] | tuple = ()) -> None:
         nvars = layout.nvars
         spatial = grid.shape
         ndim = len(spatial)
         self.shape = (nvars, *spatial)
         self.dtype = np.dtype(dtype)
+        #: Directions the sweep engine runs in the axis-contiguous
+        #: transposed layout; fixes which ``t_*`` buffers exist.
+        self.transposed_axes = frozenset(transposed_axes)
 
         def new(shape):
             return np.empty(shape, dtype=self.dtype)
@@ -140,15 +147,42 @@ class SolverWorkspace:
             self._weno_shapes.append(last)
             self._face_shapes.append(fshape)
 
-        # Per-worker kernel scratch, keyed (thread ident, direction);
-        # see the module docstring's thread-ownership rule.
-        self._thread_scratch: dict[tuple[int, int],
+        # Axis-contiguous transposed sweep buffers (paper §III.D): for
+        # each direction the engine transposes, the padded primitive
+        # block, both face states, the flux, and the interface velocity
+        # in the layout with the reconstruction axis last.  Face shapes
+        # coincide with the reconstruction-axis-last ``weno_scratch``
+        # shapes, so the WENO scratch is shared between layouts.
+        self.t_padded: dict[int, np.ndarray] = {}
+        self.t_face_l: dict[int, np.ndarray] = {}
+        self.t_face_r: dict[int, np.ndarray] = {}
+        self.t_flux: dict[int, np.ndarray] = {}
+        self.t_u_face: dict[int, np.ndarray] = {}
+        self.t_riemann_scratch: dict[int, RiemannScratch] = {}
+        for d in sorted(self.transposed_axes):
+            if not 0 <= d < ndim:
+                raise ValueError(f"transposed axis {d} outside {ndim} dims")
+            tface = self._weno_shapes[d]
+            tpad = list(tface)
+            tpad[-1] = spatial[d] + 2 * ng
+            self.t_padded[d] = new(tpad)
+            self.t_face_l[d] = new(tface)
+            self.t_face_r[d] = new(tface)
+            self.t_flux[d] = new(tface)
+            self.t_u_face[d] = new(tface[1:])
+            self.t_riemann_scratch[d] = RiemannScratch(tuple(tface),
+                                                       dtype=self.dtype)
+
+        # Per-worker kernel scratch, keyed (thread ident, direction,
+        # layout); see the module docstring's thread-ownership rule.
+        self._thread_scratch: dict[tuple[int, int, bool],
                                    tuple[int, tuple[np.ndarray, ...],
                                          RiemannScratch]] = {}
         self._scratch_lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def thread_scratch(self, d: int, tile_width: int):
+    def thread_scratch(self, d: int, tile_width: int, *,
+                       transposed: bool = False):
         """Private ``(weno_scratch, riemann_scratch)`` for the calling thread.
 
         Allocated lazily the first time a pool worker asks, sized for
@@ -157,16 +191,26 @@ class SolverWorkspace:
         otherwise — and cached for the worker's later tiles and steps.
         Callers narrow the buffers to their exact tile extent
         (``s[..., :count]`` / :meth:`RiemannScratch.view`) before use.
+
+        With ``transposed=True`` both scratch sets take the
+        axis-contiguous layout of the transposed sweep engine (the
+        reconstruction-axis-last face shape, tiled along array axis 1),
+        cached separately from the strided sets.
         """
-        key = (threading.get_ident(), d)
+        key = (threading.get_ident(), d, transposed)
         with self._scratch_lock:
             entry = self._thread_scratch.get(key)
             if entry is None or entry[0] < tile_width:
-                wshape = list(self._weno_shapes[d])
-                fshape = list(self._face_shapes[d])
-                tiled_axis = len(wshape) - 1 if d == 0 else 1
-                wshape[tiled_axis] = min(tile_width, wshape[tiled_axis])
-                fshape[1] = min(tile_width, fshape[1])
+                if transposed:
+                    wshape = list(self._weno_shapes[d])
+                    wshape[1] = min(tile_width, wshape[1])
+                    fshape = wshape
+                else:
+                    wshape = list(self._weno_shapes[d])
+                    fshape = list(self._face_shapes[d])
+                    tiled_axis = len(wshape) - 1 if d == 0 else 1
+                    wshape[tiled_axis] = min(tile_width, wshape[tiled_axis])
+                    fshape[1] = min(tile_width, fshape[1])
                 weno = tuple(np.empty(wshape, dtype=self.dtype)
                              for _ in range(WENO_SCRATCH_COUNT))
                 entry = (tile_width, weno,
@@ -196,6 +240,12 @@ class SolverWorkspace:
         yield from self.face_r
         yield from self.flux
         yield from self.u_face
+        for buffers in (self.t_padded, self.t_face_l, self.t_face_r,
+                        self.t_flux, self.t_u_face):
+            yield from buffers.values()
+        for rs in self.t_riemann_scratch.values():
+            for name in RiemannScratch.__slots__:
+                yield getattr(rs, name)
         for group in self.weno_scratch:
             yield from group
         for rs in self.riemann_scratch:

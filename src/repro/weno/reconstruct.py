@@ -93,6 +93,32 @@ def _downwind_faces(vlast: np.ndarray, start: int, count: int, order: int) -> np
 SCRATCH_COUNT = 8
 
 
+def _axis_last(arr: np.ndarray, axis: int, *, output: bool = False) -> np.ndarray:
+    """``arr`` with ``axis`` moved last — guaranteed to be a view.
+
+    When ``axis`` already is the trailing axis the array itself is
+    returned (the contiguous fast path the transposed sweep layout
+    hits: no wrapper view at all).  Otherwise the ``np.moveaxis`` result
+    is checked to actually alias ``arr`` — for destination buffers
+    (``output=True``) a silent copy would mean kernel writes never land
+    in the caller's array, so anything that defeats the view (an exotic
+    subclass, a non-writeable destination) raises instead of corrupting
+    the pipeline.
+    """
+    if axis % arr.ndim == arr.ndim - 1:
+        if output and not arr.flags.writeable:
+            raise ShapeError("output buffer is not writeable")
+        return arr
+    moved = np.moveaxis(arr, axis, -1)
+    if not np.may_share_memory(moved, arr):
+        raise ShapeError(
+            "np.moveaxis produced a copy instead of a view; kernel "
+            "writes would not land in the caller's buffer")
+    if output and not moved.flags.writeable:
+        raise ShapeError("output buffer is not writeable")
+    return moved
+
+
 def _weno3_into(out, s, vm1, v0, vp1) -> None:
     """In-place :func:`_weno3`; bitwise identical, writes into ``out``.
 
@@ -267,7 +293,7 @@ def reconstruct_faces(v: np.ndarray, axis: int, order: int, *,
             f"axis {axis} has padded extent {padded}, expected "
             f"{n_interior} interior cells + 2*{ng} ghost cells")
 
-    vlast = np.moveaxis(v, axis, -1)
+    vlast = _axis_last(v, axis)
     nf = n_interior + 1
     if out is None:
         # Left states: upwind reconstruction from cells ng-1 .. ng+n-1.
@@ -277,8 +303,8 @@ def reconstruct_faces(v: np.ndarray, axis: int, order: int, *,
         return np.moveaxis(vL, -1, axis), np.moveaxis(vR, -1, axis)
 
     out_l, out_r = out
-    vl_last = np.moveaxis(out_l, axis, -1)
-    vr_last = np.moveaxis(out_r, axis, -1)
+    vl_last = _axis_last(out_l, axis, output=True)
+    vr_last = _axis_last(out_r, axis, output=True)
     if scratch is None:
         scratch = tuple(np.empty(vl_last.shape, dtype=v.dtype)
                         for _ in range(SCRATCH_COUNT))
@@ -313,9 +339,9 @@ def reconstruct_faces_span(v: np.ndarray, axis: int, order: int,
         raise ShapeError(
             f"face span [{lo}, {hi}) outside the {n_faces} faces of axis {axis}")
     count = hi - lo
-    vlast = np.moveaxis(v, axis, -1)
-    vl_last = np.moveaxis(out[0], axis, -1)
-    vr_last = np.moveaxis(out[1], axis, -1)
+    vlast = _axis_last(v, axis)
+    vl_last = _axis_last(out[0], axis, output=True)
+    vr_last = _axis_last(out[1], axis, output=True)
     span_scratch = tuple(s[..., :count] for s in scratch)
     _faces_into(vlast, ng - 1 + lo, count, order, vl_last[..., lo:hi],
                 span_scratch, downwind=False)

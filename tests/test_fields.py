@@ -11,9 +11,12 @@ from repro.fields import (
     ScalarField,
     geam_transpose_cutensor,
     geam_transpose_hipblas,
+    inverse_perm,
     pack_bank,
+    sweep_perm,
     transpose_loop,
     unpack_bank,
+    untranspose_loop,
 )
 from repro.fields.packing import bank_from_packed
 from repro.fields.transpose import COALESCE_Z_PERM
@@ -187,3 +190,73 @@ class TestTransposes:
         for j in range(3):
             np.testing.assert_array_equal(coalesced[..., j],
                                           np.ascontiguousarray(bank[j].T))
+
+
+class TestSweepPerms:
+    @pytest.mark.parametrize("ndim,axis,expected", [
+        (4, 1, (0, 2, 3, 1)),
+        (4, 2, (0, 1, 3, 2)),
+        (4, 3, (0, 1, 2, 3)),
+        (3, 1, (0, 2, 1)),
+        (2, 0, (1, 0)),
+    ])
+    def test_sweep_perm(self, ndim, axis, expected):
+        assert sweep_perm(ndim, axis) == expected
+
+    def test_sweep_perm_bad_axis(self):
+        with pytest.raises(ShapeError):
+            sweep_perm(3, 3)
+
+    def test_inverse_perm(self):
+        perm = sweep_perm(4, 1)
+        inv = inverse_perm(perm)
+        assert tuple(perm[i] for i in inv) == (0, 1, 2, 3)
+        assert tuple(inv[p] for p in perm) == (0, 1, 2, 3)
+
+    def test_sweep_perm_makes_axis_contiguous(self):
+        v = np.zeros((3, 4, 5, 6))
+        t = transpose_loop(v, sweep_perm(4, 1))
+        assert t.shape == (3, 5, 6, 4)
+        assert t.flags.c_contiguous
+
+
+class TestTransposeOutBuffers:
+    """Workspace-owned ``out=`` paths: no allocation, exact round trip."""
+
+    def test_transpose_loop_out(self):
+        rng = np.random.default_rng(12)
+        v = rng.random((3, 4, 5, 6))
+        perm = sweep_perm(4, 2)
+        out = np.empty(tuple(v.shape[p] for p in perm))
+        got = transpose_loop(v, perm, out=out)
+        assert got is out
+        np.testing.assert_array_equal(out, np.transpose(v, perm))
+
+    def test_transpose_loop_out_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            transpose_loop(np.zeros((2, 3, 4, 5)), sweep_perm(4, 1),
+                           out=np.zeros((2, 3, 4, 5)))
+
+    @pytest.mark.parametrize("axis", [0, 1, 2, 3])
+    def test_untranspose_roundtrip(self, axis):
+        rng = np.random.default_rng(13)
+        v = rng.random((3, 4, 5, 6))
+        perm = sweep_perm(4, axis)
+        t = transpose_loop(v, perm)
+        back = np.empty_like(v)
+        got = untranspose_loop(t, perm, out=back)
+        assert got is back
+        np.testing.assert_array_equal(back, v)
+
+    def test_untranspose_allocating(self):
+        rng = np.random.default_rng(14)
+        v = rng.random((2, 5, 3))
+        perm = sweep_perm(3, 1)
+        np.testing.assert_array_equal(
+            untranspose_loop(transpose_loop(v, perm), perm), v)
+
+    def test_untranspose_out_shape_mismatch(self):
+        perm = sweep_perm(3, 0)
+        with pytest.raises(ShapeError):
+            untranspose_loop(np.zeros((3, 4, 2)), perm,
+                             out=np.zeros((3, 4, 2)))

@@ -173,3 +173,42 @@ class TestSymmetry:
         vl_r, vr_r = reconstruct_faces(v[::-1].copy(), 0, order)
         np.testing.assert_allclose(vl, vr_r[::-1], rtol=1e-13)
         np.testing.assert_allclose(vr, vl_r[::-1], rtol=1e-13)
+
+
+class TestOutBuffers:
+    """The in-place path must write through ``np.moveaxis`` views into
+    the *caller's* buffers — a silent copy would leave them stale (the
+    hidden-copy hazard of non-trailing reconstruction axes)."""
+
+    @pytest.mark.parametrize("order", [1, 3, 5])
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_writes_land_in_caller_buffer(self, order, axis):
+        rng = np.random.default_rng(4)
+        ng = halo_width(order)
+        shape = [4, 5, 6]
+        shape[axis] += 2 * ng
+        v = rng.random(tuple(shape))
+        fshape = [4, 5, 6]
+        fshape[axis] += 1
+        out_l = np.full(tuple(fshape), np.nan)
+        out_r = np.full(tuple(fshape), np.nan)
+        vl, vr = reconstruct_faces(v, axis, order, out=(out_l, out_r))
+        assert vl is out_l and vr is out_r
+        ref_l, ref_r = reconstruct_faces(v, axis, order)
+        np.testing.assert_array_equal(out_l, ref_l)
+        np.testing.assert_array_equal(out_r, ref_r)
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_non_writeable_out_rejected(self, axis):
+        rng = np.random.default_rng(5)
+        ng = halo_width(5)
+        shape = [4, 5, 6]
+        shape[axis] += 2 * ng
+        v = rng.random(tuple(shape))
+        fshape = [4, 5, 6]
+        fshape[axis] += 1
+        out_l = np.empty(tuple(fshape))
+        out_r = np.empty(tuple(fshape))
+        out_l.flags.writeable = False
+        with pytest.raises(ShapeError):
+            reconstruct_faces(v, axis, 5, out=(out_l, out_r))
