@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-thread bench bench-rhs bench-layout examples artifacts clean
+.PHONY: install test test-thread test-fault bench bench-rhs bench-layout examples artifacts clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -13,6 +13,11 @@ test:
 # Fast tier-1 slice: the thread-tiled execution backend only.
 test-thread:
 	$(PYTHON) -m pytest tests/ -k thread
+
+# Fault-injection and recovery suite (rollback-retry, checkpoint
+# corruption fallback, determinism across layouts/threads).
+test-fault:
+	$(PYTHON) -m pytest tests/ -m faults
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -54,7 +54,7 @@ RESULT_PATH = Path(__file__).parent / "results" / "BENCH_rhs.json"
 
 
 def make_sim(n: int, *, use_workspace: bool = True, threads: int = 1,
-             layout: str = "strided") -> Simulation:
+             layout: str = "strided", **solver_kwargs) -> Simulation:
     """The benchmark case: a pressurised bubble advecting through a box."""
     grid = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), (n, n))
     case = Case(grid, MIX)
@@ -64,7 +64,7 @@ def make_sim(n: int, *, use_workspace: bool = True, threads: int = 1,
                    velocity=(0.0, 0.0), pressure=2.0, alpha=(0.5,)))
     return Simulation(case, BoundarySet.all_periodic(2), cfl=0.4,
                       use_workspace=use_workspace, threads=threads,
-                      sweep_layout=layout)
+                      sweep_layout=layout, **solver_kwargs)
 
 
 def time_grind(n: int, threads: int, *, use_workspace: bool = True,
@@ -95,6 +95,33 @@ def alloc_stats(n: int, use_workspace: bool) -> dict:
         "peak_transient_bytes_per_step": stats.peak_transient_bytes,
         "net_bytes_per_step": stats.net_bytes / stats.calls,
     }
+
+
+def recovery_stats(n: int, *, steps: int = 12) -> dict:
+    """Cost of the resilience layer on the benchmark case.
+
+    A guarded run (default retry policy, rotating checkpoints every 5
+    steps, one transient injected NaN mid-run) whose recovery counters
+    and checkpoint overhead are stamped into the bench record — the
+    price tag of turning the failure path on.
+    """
+    import tempfile
+
+    from repro.faults import CellFaultPlan
+    from repro.solver import RetryPolicy
+
+    with tempfile.TemporaryDirectory() as ckdir:
+        sim = make_sim(n, retry=RetryPolicy(), checkpoint_every=5,
+                       checkpoint_dir=ckdir,
+                       fault_injector=CellFaultPlan(step=steps // 2, seed=1234))
+        sim.run(n_steps=steps)
+        wall = (sum(r.wall_seconds for r in sim.history)
+                + sim.recovery.checkpoint_seconds)
+        out = sim.recovery.as_dict()
+        out["guarded_steps"] = steps
+        out["checkpoint_overhead_pct"] = (
+            100.0 * sim.recovery.checkpoint_seconds / wall if wall > 0 else 0.0)
+        return out
 
 
 def bench_grid(n: int, thread_counts: list[int], layouts: list[str], *,
@@ -192,6 +219,10 @@ def main(argv: list[str] | None = None) -> int:
         entry["grids"].append(
             bench_grid(n, thread_counts, layouts, warmup=args.warmup,
                        steps=args.steps, with_allocs=(n == smallest)))
+    entry["recovery"] = recovery_stats(smallest)
+    print(f"recovery on {smallest}^2: {entry['recovery']['retries']} retries, "
+          f"{entry['recovery']['checkpoints_written']} checkpoints, "
+          f"{entry['recovery']['checkpoint_overhead_pct']:.2f}% checkpoint overhead")
 
     history = load_history()
     history.append(entry)

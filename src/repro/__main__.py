@@ -27,7 +27,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "reflective": BoundarySet.all_reflective,
         "extrapolation": BoundarySet.all_extrapolation,
     }[args.bc](ndim)
-    # --threads / --layout override the case file's "solver" section.
+    # CLI flags override the case file's "solver" section.
     solver_options = load_solver_options(args.case)
     threads = solver_options.get("threads", 1)
     if args.threads is not None:
@@ -35,11 +35,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     layout = solver_options.get("sweep_layout", "strided")
     if args.layout is not None:
         layout = args.layout
+    resilience: dict = {
+        key: solver_options[key]
+        for key in ("checkpoint_every", "checkpoint_keep", "checkpoint_dir",
+                    "validate_every", "retry")
+        if key in solver_options}
+    if args.checkpoint_every is not None:
+        resilience["checkpoint_every"] = args.checkpoint_every
+    if args.checkpoint_dir is not None:
+        resilience["checkpoint_dir"] = args.checkpoint_dir
+    if args.checkpoint_keep is not None:
+        resilience["checkpoint_keep"] = args.checkpoint_keep
+    if args.validate_every is not None:
+        resilience["validate_every"] = args.validate_every
+    if args.retries is not None:
+        from repro.solver import RetryPolicy
+
+        resilience["retry"] = RetryPolicy(max_retries=args.retries)
     sim = Simulation(case, bcs,
                      config=RHSConfig(weno_order=args.weno,
                                       riemann_solver=args.riemann,
                                       geometry=args.geometry),
-                     cfl=args.cfl, threads=threads, sweep_layout=layout)
+                     cfl=args.cfl, threads=threads, sweep_layout=layout,
+                     **resilience)
     print(f"running {case.grid.num_cells} cells, {case.mixture.ncomp} fluids, "
           f"WENO{args.weno} + {args.riemann.upper()}"
           + (f", {threads} threads" if threads > 1 else "")
@@ -69,6 +87,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         print(f"done: horizon t_end already reached; no steps taken "
               f"(t = {sim.time:.6g})")
+    if sim.recovery.any():
+        print(sim.recovery.summary())
 
     if args.snapshot:
         from repro.io.binary import write_snapshot
@@ -146,6 +166,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sweep memory layout: strided, transposed "
                           "(axis-contiguous y/z sweeps), or auto "
                           "(default: case file's solver.layout, else strided)")
+    run.add_argument("--checkpoint-every", type=int, default=None,
+                     help="write a rotating durable checkpoint every N steps "
+                          "(default: case file's solver.checkpoint_every)")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="directory for rotating checkpoints "
+                          "(default: case file's solver.checkpoint_dir)")
+    run.add_argument("--checkpoint-keep", type=int, default=None,
+                     help="how many rotating checkpoints to retain (default 3)")
+    run.add_argument("--validate-every", type=int, default=None,
+                     help="extra full state validation every N steps of run "
+                          "(default: case file's solver.validate_every, else off)")
+    run.add_argument("--retries", type=int, default=None,
+                     help="enable the guarded step with rollback-retry and "
+                          "this many retries per step (plus scheme escalation)")
     run.add_argument("--snapshot", default=None, help="write a binary snapshot")
     run.add_argument("--silo", default=None,
                      help="also write a .npz visualization database")

@@ -9,6 +9,15 @@ from repro.cluster.distributed import DistributedSolver
 from repro.cluster.events import Event, EventSimulator, StepTimeline
 from repro.cluster.placement import Placement, best_policy, intra_node_fraction
 from repro.cluster.io_model import IOModel
+from repro.cluster.resilience import (
+    FailureModel,
+    ResilientPoint,
+    ResilientRunOutcome,
+    daly_interval,
+    resilience_efficiency,
+    resilience_waste,
+    simulate_resilient_run,
+)
 from repro.cluster.scaling import ScalingDriver, ScalingPoint
 
 __all__ = [
@@ -28,6 +37,13 @@ __all__ = [
     "best_policy",
     "intra_node_fraction",
     "IOModel",
+    "FailureModel",
+    "daly_interval",
+    "resilience_waste",
+    "resilience_efficiency",
+    "ResilientPoint",
+    "ResilientRunOutcome",
+    "simulate_resilient_run",
     "ScalingDriver",
     "ScalingPoint",
 ]

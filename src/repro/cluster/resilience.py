@@ -1,0 +1,221 @@
+"""Pricing fault tolerance at scale: MTBF, Young/Daly, restart loss.
+
+The paper's 87%-efficiency Frontier runs only count the steps that
+*survive*: at 8,192+ nodes the system MTBF drops to hours, and every
+failure burns (a) the work since the last checkpoint and (b) a restart.
+Checkpointing more often shrinks (a) but pays write time; the classic
+Young/Daly analysis picks the interval balancing the two.  This module
+prices that trade so :class:`~repro.cluster.scaling.ScalingDriver` can
+report *effective* efficiency — network scaling x resilience waste —
+at Frontier-like node counts.
+
+Model
+-----
+With checkpoint write time ``delta``, restart time ``R``, and system
+MTBF ``M`` (node MTBF / node count), a checkpoint interval ``tau``
+wastes
+
+    w(tau) = delta / (tau + delta)          (checkpoint overhead)
+           + (tau / 2 + R) / M              (expected rework + restart)
+
+and Daly's higher-order optimum (valid for ``delta < 2 M``) is
+
+    tau* = sqrt(2 delta M) [1 + (1/3) sqrt(delta / 2M)
+                              + (1/9) (delta / 2M)] - delta.
+
+Efficiency is ``1 - w``; both are exposed analytically (property-tested
+for monotonicity in MTBF) and as a deterministic event replay
+(:func:`simulate_resilient_run`) driven by a seeded
+:class:`~repro.faults.ranks.RankFailurePlan`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Exponential node-failure statistics plus restart cost.
+
+    ``node_mtbf_hours`` is per *node* (the unit that fails and is
+    rebooted); ``restart_seconds`` covers relaunch, checkpoint re-read,
+    and warmup.
+    """
+
+    node_mtbf_hours: float = 50_000.0
+    restart_seconds: float = 180.0
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_hours <= 0.0:
+            raise ConfigurationError(
+                f"node_mtbf_hours must be positive, got {self.node_mtbf_hours}")
+        if self.restart_seconds < 0.0:
+            raise ConfigurationError(
+                f"restart_seconds must be >= 0, got {self.restart_seconds}")
+
+    def system_mtbf_seconds(self, nnodes: int) -> float:
+        """Memoryless clocks compose: system MTBF = node MTBF / nodes."""
+        if nnodes < 1:
+            raise ConfigurationError(f"nnodes must be >= 1, got {nnodes}")
+        return self.node_mtbf_hours * 3600.0 / nnodes
+
+    def expected_failures(self, nnodes: int, duration_seconds: float) -> float:
+        return duration_seconds / self.system_mtbf_seconds(nnodes)
+
+
+# ----------------------------------------------------------------------
+def daly_interval(checkpoint_seconds: float, mtbf_seconds: float) -> float:
+    """Daly's optimal checkpoint interval (seconds of compute between
+    checkpoints).
+
+    Uses the higher-order perturbation solution (J. T. Daly, FGCS 2006);
+    when the machine fails faster than twice the checkpoint write time
+    (``delta >= 2 M``) no interval helps and the model degenerates to
+    ``tau = M``.
+    """
+    delta, M = checkpoint_seconds, mtbf_seconds
+    if delta < 0.0 or M <= 0.0:
+        raise ConfigurationError(
+            f"need checkpoint_seconds >= 0 and mtbf_seconds > 0, "
+            f"got {delta}, {M}")
+    if delta == 0.0:
+        return 0.0
+    if delta >= 2.0 * M:
+        return M
+    x = delta / (2.0 * M)
+    return math.sqrt(2.0 * delta * M) * (1.0 + math.sqrt(x) / 3.0 + x / 9.0) - delta
+
+
+def resilience_waste(*, checkpoint_seconds: float, mtbf_seconds: float,
+                     restart_seconds: float,
+                     interval_seconds: float | None = None) -> float:
+    """Fraction of wall time lost to checkpoints, rework, and restarts.
+
+    ``interval_seconds=None`` uses the Daly-optimal interval.  Clamped
+    to [0, 1]; 1 means the machine fails faster than it can make
+    progress.
+    """
+    delta, M, R = checkpoint_seconds, mtbf_seconds, restart_seconds
+    tau = daly_interval(delta, M) if interval_seconds is None else interval_seconds
+    if tau < 0.0:
+        raise ConfigurationError(f"interval must be >= 0, got {tau}")
+    waste = 0.0
+    if tau + delta > 0.0:
+        waste += delta / (tau + delta)
+    waste += (tau / 2.0 + R) / M
+    return min(1.0, max(0.0, waste))
+
+
+def resilience_efficiency(*, checkpoint_seconds: float, mtbf_seconds: float,
+                          restart_seconds: float,
+                          interval_seconds: float | None = None) -> float:
+    """``1 - resilience_waste`` — the fraction of wall doing new steps."""
+    return 1.0 - resilience_waste(
+        checkpoint_seconds=checkpoint_seconds, mtbf_seconds=mtbf_seconds,
+        restart_seconds=restart_seconds, interval_seconds=interval_seconds)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ResilientPoint:
+    """One scaling point with fault tolerance priced in.
+
+    Wraps the network-only :class:`~repro.cluster.scaling.ScalingPoint`
+    with the node count, system MTBF, per-checkpoint write time (from
+    the I/O model), the Daly-optimal checkpoint interval, and the
+    resulting resilience efficiency.
+    """
+
+    point: "ScalingPoint"  # noqa: F821 — annotation only, no import cycle
+    nnodes: int
+    system_mtbf_seconds: float
+    checkpoint_seconds: float
+    checkpoint_interval_seconds: float
+    resilience_efficiency: float
+
+    @property
+    def checkpoint_overhead(self) -> float:
+        """Fraction of wall spent writing checkpoints at the Daly interval."""
+        total = self.checkpoint_interval_seconds + self.checkpoint_seconds
+        return self.checkpoint_seconds / total if total > 0.0 else 0.0
+
+    @property
+    def effective_step_seconds(self) -> float:
+        """Wall seconds per *surviving* step (compute + comm + waste)."""
+        if self.resilience_efficiency <= 0.0:
+            return math.inf
+        return self.point.step_seconds / self.resilience_efficiency
+
+
+@dataclass(frozen=True)
+class ResilientRunOutcome:
+    """Tally of one deterministic failure-replay (see
+    :func:`simulate_resilient_run`)."""
+
+    wall_seconds: float
+    steps_completed: int
+    steps_replayed: int          #: work re-done after rollbacks
+    checkpoints_written: int
+    restarts: int
+
+    @property
+    def useful_fraction(self) -> float:
+        """Completed steps over total steps marched (1.0 = nothing redone)."""
+        total_steps = self.steps_completed + self.steps_replayed
+        if total_steps <= 0:
+            return 1.0
+        return self.steps_completed / total_steps
+
+
+def simulate_resilient_run(*, n_steps: int, step_seconds: float,
+                           checkpoint_every: int, checkpoint_seconds: float,
+                           restart_seconds: float,
+                           failure_times: list[float] | tuple[float, ...] = (),
+                           ) -> ResilientRunOutcome:
+    """Deterministically replay a run through a given failure timeline.
+
+    Failures (wall-clock seconds, e.g. from
+    :meth:`repro.faults.ranks.RankFailurePlan.failure_times` converted
+    to seconds) kill whatever is in flight: the run rolls back to the
+    last completed checkpoint, pays ``restart_seconds``, and re-marches.
+    A checkpoint interrupted mid-write does not count (that is exactly
+    what the atomic-rename format guarantees on the real filesystem).
+    """
+    if n_steps < 0 or step_seconds < 0 or checkpoint_seconds < 0 \
+            or restart_seconds < 0 or checkpoint_every < 0:
+        raise ConfigurationError("simulate_resilient_run arguments must be >= 0")
+    pending = sorted(float(t) for t in failure_times)
+    wall = 0.0
+    step = 0                # completed steps
+    last_ckpt = 0           # step the newest durable checkpoint holds
+    replayed = 0
+    ckpts = 0
+    restarts = 0
+
+    def crash(at: float) -> None:
+        nonlocal wall, step, replayed, restarts
+        replayed += step - last_ckpt
+        wall = at + restart_seconds
+        step = last_ckpt
+        restarts += 1
+
+    while step < n_steps:
+        if pending and wall + step_seconds > pending[0]:
+            crash(pending.pop(0))
+            continue
+        wall += step_seconds
+        step += 1
+        if checkpoint_every and step % checkpoint_every == 0 and step < n_steps:
+            if pending and wall + checkpoint_seconds > pending[0]:
+                crash(pending.pop(0))
+                continue
+            wall += checkpoint_seconds
+            ckpts += 1
+            last_ckpt = step
+    return ResilientRunOutcome(wall_seconds=wall, steps_completed=n_steps,
+                               steps_replayed=replayed,
+                               checkpoints_written=ckpts, restarts=restarts)

@@ -18,7 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.decomposition import BlockDecomposition, factor3d
+from repro.cluster.io_model import IOModel
 from repro.cluster.mpi_sim import CommModel, NetworkModel, allreduce_time
+from repro.cluster.resilience import (
+    FailureModel,
+    ResilientPoint,
+    daly_interval,
+    resilience_efficiency,
+)
 from repro.cluster.topology import MachineSpec
 from repro.common import ConfigurationError
 from repro.hardware.costmodel import CostModel
@@ -101,6 +108,53 @@ class ScalingDriver:
             raise ConfigurationError("need at least one device count")
         global_cells = self._cube_cells(total_cells)
         return [self._point(nd, global_cells) for nd in device_counts]
+
+    # ------------------------------------------------------------------
+    def resilient_weak_scaling(self, cells_per_device: int,
+                               device_counts: list[int], *,
+                               failures: FailureModel | None = None,
+                               io: IOModel | None = None,
+                               bytes_per_value: int = 8,
+                               ) -> list[ResilientPoint]:
+        """Weak scaling with fault tolerance priced in (paper regime:
+        multi-day runs at thousands of nodes).
+
+        Each point gets a per-checkpoint write time from the I/O model
+        (file-per-process, the strategy MFC switched to at scale), a
+        system MTBF from the failure model, the Daly-optimal interval,
+        and the resulting resilience efficiency.  Combine with the
+        network curve via :meth:`effective_efficiency`.
+        """
+        failures = failures or FailureModel()
+        io = io or IOModel()
+        out = []
+        for p in self.weak_scaling(cells_per_device, device_counts):
+            nnodes = max(1, p.ndevices // self.machine.devices_per_node)
+            bytes_per_rank = p.cells_per_device * self.nvars * bytes_per_value
+            delta = io.file_per_process_time(p.ndevices, bytes_per_rank)
+            mtbf = failures.system_mtbf_seconds(nnodes)
+            out.append(ResilientPoint(
+                point=p, nnodes=nnodes, system_mtbf_seconds=mtbf,
+                checkpoint_seconds=delta,
+                checkpoint_interval_seconds=daly_interval(delta, mtbf),
+                resilience_efficiency=resilience_efficiency(
+                    checkpoint_seconds=delta, mtbf_seconds=mtbf,
+                    restart_seconds=failures.restart_seconds)))
+        return out
+
+    @staticmethod
+    def effective_efficiency(rpoints: list[ResilientPoint]) -> list[float]:
+        """Weak-scaling efficiency x resilience efficiency per point.
+
+        The headline number for a priced-resilience report: the
+        fraction of perfect-scaling, failure-free throughput a real
+        campaign at each device count retains.
+        """
+        if not rpoints:
+            raise ConfigurationError("need at least one resilient point")
+        base = rpoints[0].point.step_seconds
+        return [base / rp.point.step_seconds * rp.resilience_efficiency
+                for rp in rpoints]
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -7,6 +7,7 @@ single source of truth; tests assert that solver outputs carry it.
 
 from repro.common.dtype import DTYPE, EPS, as_float_array, require_float
 from repro.common.errors import (
+    CheckpointError,
     ConfigurationError,
     DirectiveError,
     NumericsError,
@@ -22,6 +23,7 @@ __all__ = [
     "as_float_array",
     "require_float",
     "ReproError",
+    "CheckpointError",
     "ConfigurationError",
     "DirectiveError",
     "NumericsError",

@@ -15,6 +15,17 @@ class ShapeError(ReproError):
     """An array has the wrong dtype, rank, or extent."""
 
 
+class CheckpointError(ConfigurationError):
+    """A checkpoint file is unreadable, corrupt, or incompatible.
+
+    Raised when a snapshot fails its CRC32 integrity check, is
+    truncated, or records dtype/endianness/layout metadata that does
+    not match what the reader expects.  Subclasses
+    :class:`ConfigurationError` so callers guarding against malformed
+    restart files keep working.
+    """
+
+
 class NumericsError(ReproError):
     """The numerical state became invalid (NaN/Inf, CFL violation, ...)."""
 

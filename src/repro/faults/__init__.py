@@ -1,0 +1,30 @@
+"""Deterministic, seeded fault injection for resilience testing.
+
+Production campaigns at the paper's scale (65,536 devices, multi-day
+walls) meet soft errors, dying nodes, and half-written files as a
+matter of course.  You cannot wait for a cosmic ray to test the
+recovery machinery, so this package *manufactures* the faults — always
+from an explicit seed, so every corruption is reproducible bit for bit:
+
+* :class:`~repro.faults.inject.CellFaultPlan` — corrupt solver-state
+  cells (NaN / negative density / infinity) at a chosen step, plugging
+  into ``Simulation(fault_injector=...)``.  Faults are applied to the
+  driver-level, standard-layout state, so the *same seed produces the
+  same fault* regardless of sweep layout or thread count.
+* :mod:`repro.faults.files` — truncate or bit-flip checkpoint files to
+  exercise CRC detection and fallback.
+* :class:`~repro.faults.ranks.RankFailurePlan` — seeded exponential
+  (MTBF-driven) rank-failure timelines for the cluster model.
+"""
+
+from repro.faults.inject import FAULT_MODES, CellFaultPlan
+from repro.faults.files import bitflip_file, truncate_file
+from repro.faults.ranks import RankFailurePlan
+
+__all__ = [
+    "CellFaultPlan",
+    "FAULT_MODES",
+    "truncate_file",
+    "bitflip_file",
+    "RankFailurePlan",
+]

@@ -1,0 +1,63 @@
+"""Seeded corruption of files on disk.
+
+The checkpoint layer's promise is that *any* single-file corruption —
+a write cut short by a dying node, a flipped bit on a worn SSD — is
+detected by CRC32 and survived by falling back to the previous valid
+checkpoint.  These helpers manufacture exactly those corruptions,
+deterministically, so the promise is testable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.common import ConfigurationError
+
+
+def truncate_file(path: str | Path, *, keep_fraction: float = 0.5) -> int:
+    """Chop a file to ``keep_fraction`` of its size (a torn write).
+
+    Returns the number of bytes removed.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ConfigurationError(
+            f"keep_fraction must lie in [0, 1), got {keep_fraction}")
+    path = Path(path)
+    size = path.stat().st_size
+    keep = int(size * keep_fraction)
+    with path.open("rb+") as fh:
+        fh.truncate(keep)
+    return size - keep
+
+
+def bitflip_file(path: str | Path, *, seed: int, nflips: int = 1,
+                 skip_bytes: int = 0) -> list[tuple[int, int]]:
+    """Flip ``nflips`` random bits of a file (a silent media error).
+
+    The victim (byte offset, bit) pairs derive only from ``seed`` and
+    the file size, so the same seed corrupts the same bits.
+    ``skip_bytes`` protects a prefix (e.g. flip only payload bytes, or
+    only header bytes, by slicing the offset range).  Returns the
+    flipped ``(offset, bit)`` pairs.
+    """
+    if nflips < 1:
+        raise ConfigurationError(f"nflips must be >= 1, got {nflips}")
+    path = Path(path)
+    size = path.stat().st_size
+    if skip_bytes >= size:
+        raise ConfigurationError(
+            f"skip_bytes {skip_bytes} >= file size {size}")
+    rng = np.random.default_rng(seed)
+    flips = []
+    with path.open("rb+") as fh:
+        for _ in range(nflips):
+            offset = int(rng.integers(skip_bytes, size))
+            bit = int(rng.integers(8))
+            fh.seek(offset)
+            byte = fh.read(1)[0]
+            fh.seek(offset)
+            fh.write(bytes([byte ^ (1 << bit)]))
+            flips.append((offset, bit))
+    return flips

@@ -1,0 +1,64 @@
+"""Seeded rank-failure timelines for the simulated cluster.
+
+Leadership machines fail by the node: each of the paper's multi-day
+Frontier campaigns statistically *will* lose nodes, which is why the
+cluster model prices checkpoint/restart (see
+:mod:`repro.cluster.resilience`).  A :class:`RankFailurePlan` draws the
+failure times themselves — independent exponential (memoryless) clocks
+per rank, from one seed — so a simulated run can be killed and
+restarted at reproducible instants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RankFailurePlan:
+    """Deterministic exponential failure draws for ``nranks`` ranks.
+
+    ``mtbf_hours`` is the *per-rank* mean time between failures; the
+    aggregate failure rate is ``nranks / mtbf_hours`` (system MTBF
+    shrinks linearly with the machine, the scaling-killer the Daly
+    interval exists to manage).
+    """
+
+    nranks: int
+    mtbf_hours: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ConfigurationError(f"nranks must be >= 1, got {self.nranks}")
+        if self.mtbf_hours <= 0.0:
+            raise ConfigurationError(
+                f"mtbf_hours must be positive, got {self.mtbf_hours}")
+
+    def failure_times(self, horizon_hours: float) -> list[tuple[float, int]]:
+        """All ``(time_hours, rank)`` failures before ``horizon_hours``.
+
+        Sorted by time; pure function of ``(seed, nranks, mtbf_hours,
+        horizon)``.  Each rank's clock restarts after a failure (the
+        node is rebooted or swapped, not removed).
+        """
+        if horizon_hours < 0.0:
+            raise ConfigurationError(
+                f"horizon_hours must be >= 0, got {horizon_hours}")
+        rng = np.random.default_rng(self.seed)
+        events: list[tuple[float, int]] = []
+        for rank in range(self.nranks):
+            t = rng.exponential(self.mtbf_hours)
+            while t < horizon_hours:
+                events.append((float(t), rank))
+                t += rng.exponential(self.mtbf_hours)
+        events.sort()
+        return events
+
+    def expected_failures(self, horizon_hours: float) -> float:
+        """Analytic expectation matching :meth:`failure_times`."""
+        return self.nranks * horizon_hours / self.mtbf_hours

@@ -15,7 +15,13 @@ working analogs of all three:
   Python-dictionary input decks.
 """
 
-from repro.io.binary import SnapshotHeader, read_snapshot, write_snapshot
+from repro.io.binary import (
+    SnapshotHeader,
+    read_snapshot,
+    verify_snapshot,
+    write_snapshot,
+)
+from repro.io.checkpoint import CheckpointManager
 from repro.io.parallel import (
     gather_shared_file,
     write_file_per_process,
@@ -29,6 +35,8 @@ __all__ = [
     "SnapshotHeader",
     "write_snapshot",
     "read_snapshot",
+    "verify_snapshot",
+    "CheckpointManager",
     "write_shared_file",
     "gather_shared_file",
     "write_file_per_process",

@@ -22,16 +22,22 @@ from repro.solver.case import Case, Patch, box, halfspace, sphere
 GEOMETRY_KINDS = ("box", "sphere", "halfspace")
 
 #: Keys the optional ``"solver"`` section of a case file may carry.
-SOLVER_OPTION_KEYS = ("threads", "layout")
+SOLVER_OPTION_KEYS = ("threads", "layout", "checkpoint_every",
+                      "checkpoint_keep", "checkpoint_dir", "validate_every",
+                      "retry")
 
 
 def solver_options_from_dict(spec: dict) -> dict:
     """Validated runtime options from a case file's ``"solver"`` section.
 
     The section is optional and carries ``threads`` (worker count for
-    the thread-tiled execution backend; a positive integer) and
-    ``layout`` (sweep memory layout: ``"strided"``, ``"transposed"``,
-    or ``"auto"``).  Returns a plain dict of keyword arguments for
+    the thread-tiled execution backend; a positive integer), ``layout``
+    (sweep memory layout: ``"strided"``, ``"transposed"``, or
+    ``"auto"``), the resilience knobs ``checkpoint_every`` /
+    ``checkpoint_keep`` / ``checkpoint_dir`` / ``validate_every``, and
+    a ``retry`` mapping for the rollback-retry policy (see
+    :meth:`repro.solver.resilience.RetryPolicy.from_dict`).  Returns a
+    plain dict of keyword arguments for
     :class:`~repro.solver.simulation.Simulation`; an absent section
     yields ``{}``.
     """
@@ -60,6 +66,25 @@ def solver_options_from_dict(spec: dict) -> dict:
         # JSON name "layout" maps to the Simulation kwarg sweep_layout
         # (Simulation.layout is the state layout).
         options["sweep_layout"] = validate_sweep_layout(solver["layout"])
+    for key in ("checkpoint_every", "checkpoint_keep", "validate_every"):
+        if key in solver:
+            value = solver[key]
+            floor = 1 if key == "checkpoint_keep" else 0
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < floor:
+                raise ConfigurationError(
+                    f"solver {key} must be an integer >= {floor}, got {value!r}")
+            options[key] = value
+    if "checkpoint_dir" in solver:
+        value = solver["checkpoint_dir"]
+        if not isinstance(value, str) or not value:
+            raise ConfigurationError(
+                f"solver checkpoint_dir must be a non-empty string, got {value!r}")
+        options["checkpoint_dir"] = value
+    if "retry" in solver:
+        from repro.solver.resilience import RetryPolicy
+
+        options["retry"] = RetryPolicy.from_dict(solver["retry"])
     return options
 
 

@@ -1,0 +1,123 @@
+"""Durable checkpoint directory: rotation, verification, fallback.
+
+Long production runs (the paper's multi-day, 65,536-device campaigns)
+survive hardware faults by periodically writing restart snapshots and,
+on failure, restarting from the newest one that is still intact.  A
+:class:`CheckpointManager` owns one directory of rotating snapshots:
+
+* **save** writes atomically (temp file + fsync + rename, via
+  :func:`repro.io.binary.write_snapshot`) and prunes all but the newest
+  ``keep`` checkpoints,
+* **load_latest** walks the directory newest-first, verifies each
+  candidate's CRC32 checksums, and returns the first valid one —
+  a truncated or bit-flipped newest checkpoint silently falls back to
+  its predecessor instead of killing the restart.
+
+The scan/rejection tallies are kept on the manager so drivers can
+surface them in recovery reports.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.common import CheckpointError, ConfigurationError
+from repro.io.binary import SnapshotHeader, read_snapshot, write_snapshot
+
+#: Checkpoint file names: ``<prefix>_<step>.bin`` (step zero-padded so
+#: lexicographic order matches step order).
+_STEP_WIDTH = 9
+
+
+class CheckpointManager:
+    """Rotating, integrity-checked checkpoints in one directory.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live; created on first save.
+    keep:
+        How many checkpoints to retain (oldest pruned first).
+    prefix:
+        File-name prefix (lets several runs share a directory).
+
+    Attributes
+    ----------
+    verified / rejected:
+        How many candidate checkpoints passed / failed integrity
+        verification across this manager's lifetime (surfaced in the
+        recovery counters).
+    """
+
+    def __init__(self, directory: str | Path, *, keep: int = 3,
+                 prefix: str = "ckpt") -> None:
+        if keep < 1:
+            raise ConfigurationError(f"keep must be >= 1, got {keep}")
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", prefix):
+            raise ConfigurationError(f"invalid checkpoint prefix {prefix!r}")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.prefix = prefix
+        self.verified = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}_{step:0{_STEP_WIDTH}d}.bin"
+
+    def checkpoints(self) -> list[Path]:
+        """Existing checkpoint files, oldest first (by recorded step)."""
+        if not self.directory.is_dir():
+            return []
+        pattern = re.compile(
+            rf"{re.escape(self.prefix)}_(\d{{{_STEP_WIDTH}}})\.bin")
+        found = [(int(m.group(1)), p)
+                 for p in self.directory.iterdir()
+                 if (m := pattern.fullmatch(p.name))]
+        return [p for _, p in sorted(found)]
+
+    # ------------------------------------------------------------------
+    def save(self, q: np.ndarray, *, step: int, time: float) -> Path:
+        """Atomically write one checkpoint and prune beyond ``keep``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(step)
+        write_snapshot(path, q, step=step, time=time)
+        for old in self.checkpoints()[:-self.keep]:
+            old.unlink(missing_ok=True)
+        return path
+
+    # ------------------------------------------------------------------
+    def load_latest(
+        self, *, expect_shape: tuple[int, ...] | None = None,
+    ) -> tuple[Path, SnapshotHeader, np.ndarray]:
+        """The newest checkpoint that passes verification.
+
+        Walks newest-to-oldest; corrupt candidates (CRC failure,
+        truncation, metadata mismatch) are counted in ``rejected`` and
+        skipped.  ``expect_shape`` additionally rejects checkpoints of
+        the wrong field shape (a different case in the same directory).
+        Raises :class:`~repro.common.CheckpointError` when nothing
+        survives.
+        """
+        candidates = self.checkpoints()
+        reasons: list[str] = []
+        for path in reversed(candidates):
+            try:
+                header, q = read_snapshot(path)
+                if expect_shape is not None \
+                        and (header.nvars, *header.shape) != tuple(expect_shape):
+                    raise CheckpointError(
+                        f"checkpoint shape {(header.nvars, *header.shape)} "
+                        f"does not match case {tuple(expect_shape)}")
+            except CheckpointError as err:
+                self.rejected += 1
+                reasons.append(f"{path.name}: {err}")
+                continue
+            self.verified += 1
+            return path, header, q
+        detail = ("; ".join(reasons) if reasons
+                  else f"no checkpoints under {self.directory}")
+        raise CheckpointError(f"no valid checkpoint to restart from ({detail})")

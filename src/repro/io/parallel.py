@@ -14,6 +14,7 @@ ranks:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -85,6 +86,18 @@ def write_shared_file(path: str | Path, decomp: BlockDecomposition,
                     row = block[(var, *idx, slice(None))]
                     fh.write(np.ascontiguousarray(row).tobytes())
                     total += run * itemsize
+        # Finalize: now that every rank's slab landed, stamp the payload
+        # CRC32 into the header (the "close the collective file" step),
+        # so gathers get the same integrity check as plain snapshots.
+        fh.seek(HEADER_BYTES)
+        crc = 0
+        while True:
+            chunk = fh.read(1 << 20)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+        fh.seek(0)
+        fh.write(header.pack(crc))
     return total
 
 

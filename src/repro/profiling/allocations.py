@@ -32,6 +32,12 @@ class AllocationStats:
     peak_transient_bytes:
         Worst-case bytes allocated above the pre-call baseline during
         any single measured call.
+    min_transient_bytes:
+        Best-case per-call transient.  This is the steady-state floor:
+        a genuine per-call allocation shows up in *every* repeat, while
+        one-off interpreter events (a GC pass, a lazily filled cache
+        hit by exactly one repeat) only inflate the peak — so byte
+        budgets should assert on the minimum.
     mean_transient_bytes:
         Average of the per-call transient peaks.
     net_bytes:
@@ -42,6 +48,7 @@ class AllocationStats:
 
     calls: int
     peak_transient_bytes: int
+    min_transient_bytes: int
     mean_transient_bytes: float
     net_bytes: int
 
@@ -80,6 +87,7 @@ def measure_call_allocations(fn: Callable[[], object], *, warmup: int = 2,
     return AllocationStats(
         calls=repeats,
         peak_transient_bytes=max(transients),
+        min_transient_bytes=min(transients),
         mean_transient_bytes=sum(transients) / len(transients),
         net_bytes=end_size - start_size,
     )

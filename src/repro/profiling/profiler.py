@@ -54,12 +54,16 @@ class Profile:
     ``sweep`` optionally attaches a
     :class:`~repro.profiling.counters.SweepCounters` instance (the
     layout engine's measured data-movement tallies) so reports show the
-    strided-vs-contiguous picture next to the kernel times.
+    strided-vs-contiguous picture next to the kernel times; ``recovery``
+    likewise attaches a simulation's
+    :class:`~repro.solver.resilience.RecoveryCounters` so reports show
+    what the resilience machinery did (retries, rollbacks, checkpoints).
     """
 
     device_name: str = "unknown"
     records: dict[str, KernelRecord] = field(default_factory=dict)
     sweep: object | None = None
+    recovery: object | None = None
 
     def record(self, name: str, kernel_class: str, seconds: float,
                flops: float = 0.0, nbytes: float = 0.0) -> None:
@@ -124,4 +128,6 @@ class Profile:
                          f"{rec.seconds * 1e3:>10.3f} {pct:>6.1f} {rec.launches:>9}")
         if self.sweep is not None:
             lines.append(self.sweep.summary())
+        if self.recovery is not None and self.recovery.any():
+            lines.append(self.recovery.summary())
         return "\n".join(lines)

@@ -2,6 +2,13 @@
 
 from repro.solver.rhs import RHS, RHSConfig
 from repro.solver.case import Case, Patch, box, halfspace, sphere
+from repro.solver.resilience import (
+    RecoveryCounters,
+    RetryPolicy,
+    SimulationDivergedError,
+    StateDiagnostics,
+    check_state,
+)
 from repro.solver.simulation import Simulation, StepRecord
 from repro.solver.diagnostics import (
     enstrophy,
@@ -26,6 +33,11 @@ __all__ = [
     "sphere",
     "Simulation",
     "StepRecord",
+    "RetryPolicy",
+    "RecoveryCounters",
+    "StateDiagnostics",
+    "check_state",
+    "SimulationDivergedError",
     "GEOMETRIES",
     "limit_face_states",
     "SWEEP_LAYOUTS",

@@ -8,11 +8,38 @@ built from.  Grind time follows the paper's definition —
     nanoseconds per grid cell, per PDE, per right-hand-side evaluation —
 
 where an SSP-RK3 step performs three RHS evaluations.
+
+Resilient marching
+------------------
+Multi-day production campaigns must survive both numerical blow-ups and
+machine faults, so the driver layers three defenses on top of the plain
+loop (all off by default, all bitwise neutral when idle):
+
+* a **step guard** (``retry=RetryPolicy(...)``): every step is
+  validated post hoc; a failed step rolls the state back to the
+  workspace's rollback snapshot and re-runs under the policy — first at
+  the same dt (healing transient faults bitwise identically to a clean
+  run), then with dt backoff, then down the scheme-escalation ladder —
+  raising :class:`~repro.solver.resilience.SimulationDivergedError`
+  only when everything is exhausted;
+* **periodic validation** (``validate_every``) and **rotating durable
+  checkpoints** (``checkpoint_every`` + ``checkpoint_dir``) inside
+  :meth:`run`, with :meth:`restore_latest` falling back past corrupt
+  checkpoints on restart;
+* a pluggable **fault injector** (any object with an
+  ``apply(q, step=..., attempt=...) -> int`` method, e.g.
+  :class:`repro.faults.CellFaultPlan`) that corrupts the post-step
+  state deterministically so the recovery machinery can be tested
+  end to end.
+
+Every recovery action is tallied in :attr:`Simulation.recovery`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -20,10 +47,22 @@ import numpy as np
 from repro.bc.boundary import BoundarySet
 from repro.common import ConfigurationError, NumericsError, Stopwatch, WallTimer
 from repro.solver.case import Case
+from repro.solver.resilience import (
+    ESCALATION_ORDERS,
+    RecoveryCounters,
+    RetryPolicy,
+    SimulationDivergedError,
+    check_state,
+)
 from repro.solver.rhs import RHS, RHSConfig
 from repro.state.conversions import cons_to_prim
 from repro.timestepping.cfl import cfl_dt
 from repro.timestepping.ssp_rk import SSP_SCHEMES, ssp_rk_step
+
+
+def _scheme_name(order: int) -> str:
+    """Human name of a reconstruction order (``weno5``, ``first_order``)."""
+    return "first_order" if order <= 1 else f"weno{order}"
 
 
 @dataclass(frozen=True)
@@ -34,6 +73,9 @@ class StepRecord:
     time: float
     dt: float
     wall_seconds: float
+    #: Rollback-retries the guarded step needed before it passed
+    #: validation (0 on the unguarded path and for clean steps).
+    retries: int = 0
 
 
 @dataclass
@@ -71,6 +113,23 @@ class Simulation:
         heuristic; see :mod:`repro.solver.sweep`).  Bitwise identical
         either way.  Named ``layout`` in case files and on the CLI;
         the Python field avoids shadowing the state layout attribute.
+    retry:
+        Optional :class:`~repro.solver.resilience.RetryPolicy` (or the
+        equivalent dict) enabling the guarded step with
+        rollback-retry.  ``None`` (the default) keeps the unguarded
+        fast path, bitwise identical to previous behaviour.
+    validate_every:
+        Extra :meth:`validate_state` cadence applied by :meth:`run`
+        *after* the per-step ``check_every`` logic; 0 (default) off.
+    checkpoint_every / checkpoint_dir / checkpoint_keep:
+        Rotating durable checkpoints every N steps of :meth:`run` into
+        ``checkpoint_dir`` keeping the newest ``checkpoint_keep``
+        files; 0 (default) disables auto-checkpointing.
+    fault_injector:
+        Optional fault-injection plan (duck-typed: ``apply(q, step=...,
+        attempt=...) -> int`` corrupting ``q`` in place and returning
+        the number of cells touched), called on every candidate
+        post-step state.  Test/chaos-engineering hook.
     """
 
     case: Case
@@ -88,10 +147,25 @@ class Simulation:
     threads: int = 1
     tile_device: object | None = None
     sweep_layout: str = "strided"
+    retry: RetryPolicy | dict | None = None
+    validate_every: int = 0
+    checkpoint_every: int = 0
+    checkpoint_dir: str | Path | None = None
+    checkpoint_keep: int = 3
+    fault_injector: object | None = None
 
     def __post_init__(self) -> None:
         if self.rk_order not in SSP_SCHEMES:
             raise ConfigurationError(f"unsupported RK order {self.rk_order}")
+        if isinstance(self.retry, dict):
+            self.retry = RetryPolicy.from_dict(self.retry)
+        for name in ("validate_every", "checkpoint_every"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.checkpoint_every and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_dir")
         self.layout = self.case.layout
         self.mixture = self.case.mixture
         self.grid = self.case.grid
@@ -104,6 +178,20 @@ class Simulation:
         self.time = 0.0
         self.step_count = 0
         self.history: list[StepRecord] = []
+        #: Tally of every recovery action (retries, rollbacks,
+        #: checkpoints, restarts, injected faults) over this driver's
+        #: lifetime; surfaced by the CLI, profiler, and benchmarks.
+        self.recovery = RecoveryCounters()
+        self._ckpt_manager = None
+        # Escalation fallbacks are built lazily (each carries its own
+        # workspace) and only for rungs below the configured order.
+        self._fallback_rhs_cache: dict[int, RHS] = {}
+        if self.retry is not None:
+            self._escalation_ladder = tuple(
+                rung for rung in self.retry.escalation
+                if ESCALATION_ORDERS[rung] < self.config.weno_order)
+        else:
+            self._escalation_ladder = ()
 
     # ------------------------------------------------------------------
     def primitive(self) -> np.ndarray:
@@ -137,6 +225,14 @@ class Simulation:
             Upper bound on the step (the driver clips the final step of
             ``run(t_end=...)`` with this so the run lands exactly on the
             horizon).
+
+        With a :class:`~repro.solver.resilience.RetryPolicy` configured
+        the step is guarded: the post-step state is validated and a
+        failure rolls back and retries under the policy, raising
+        :class:`~repro.solver.resilience.SimulationDivergedError` when
+        every retry and escalation rung is exhausted (the pre-step
+        state is left restored, so checkpoint-based recovery can take
+        over).
         """
         ws = self.rhs.workspace
         prim0 = None
@@ -151,10 +247,15 @@ class Simulation:
             dt = self.compute_dt(prim0)
         if dt_limit is not None and dt > dt_limit:
             dt = dt_limit
+        if self.retry is not None:
+            return self._guarded_step(dt, prim0)
         with WallTimer() as timer:
             self.q = ssp_rk_step(self.rhs, self.q, dt, self.rk_order,
                                  workspace=ws, prim0=prim0,
                                  executor=self.rhs.executor)
+            if self.fault_injector is not None:
+                self.recovery.faults_injected += int(self.fault_injector.apply(
+                    self.q, step=self.step_count + 1, attempt=0))
         self.time += dt
         self.step_count += 1
         rec = StepRecord(self.step_count, self.time, dt, timer.elapsed)
@@ -163,21 +264,129 @@ class Simulation:
             self.validate_state()
         return rec
 
+    # ------------------------------------------------------------------
+    def _fallback_rhs(self, order: int) -> RHS:
+        """Cached lower-order RHS for a scheme-escalation retry.
+
+        Built on first use (so an untroubled run allocates nothing
+        extra), serial and strided: an escalated step is a rare rescue
+        where robustness, not throughput, is the point.
+        """
+        rhs = self._fallback_rhs_cache.get(order)
+        if rhs is None:
+            cfg = dataclasses.replace(self.config, weno_order=order)
+            rhs = RHS(self.layout, self.mixture, self.grid, self.bcs, cfg,
+                      stopwatch=self.stopwatch,
+                      use_workspace=self.use_workspace,
+                      threads=1, sweep_layout="strided")
+            self._fallback_rhs_cache[order] = rhs
+        return rhs
+
+    def _limited_faces_total(self) -> int:
+        return self.rhs.limited_faces + sum(
+            r.limited_faces for r in self._fallback_rhs_cache.values())
+
+    def _guarded_step(self, dt: float, prim0: np.ndarray | None) -> StepRecord:
+        """One step under the retry policy (see :meth:`step`)."""
+        policy = self.retry
+        ws = self.rhs.workspace
+        if ws is not None:
+            # q may alias ws.rk_result (a failed RK step clobbers it),
+            # so the guard snapshots into the workspace-owned rollback
+            # buffer — no per-step allocation.
+            np.copyto(ws.rollback, self.q)
+            snapshot = ws.rollback
+        else:
+            snapshot = self.q.copy()
+        ladder = self._escalation_ladder
+        total_attempts = 1 + policy.max_retries + len(ladder)
+        dts: list[float] = []
+        schemes: list[str] = []
+        diag = None
+        with WallTimer() as timer:
+            for attempt in range(total_attempts):
+                if attempt <= policy.max_retries:
+                    rhs = self.rhs
+                    order = self.config.weno_order
+                    dt_a = policy.dt_for_attempt(dt, attempt)
+                else:
+                    rung = ladder[attempt - policy.max_retries - 1]
+                    order = ESCALATION_ORDERS[rung]
+                    rhs = self._fallback_rhs(order)
+                    dt_a = policy.dt_for_attempt(dt, policy.max_retries)
+                ws_a = rhs.workspace
+                if attempt == 0:
+                    prim_a = prim0
+                elif ws_a is not None:
+                    # ws.prim was clobbered by the failed attempt's RK
+                    # stages; recompute — bitwise identical to the
+                    # value a fresh step would have computed.
+                    with self.stopwatch.time("other"):
+                        prim_a = cons_to_prim(self.layout, self.mixture,
+                                              self.q, out=ws_a.prim)
+                else:
+                    prim_a = None
+                dts.append(dt_a)
+                schemes.append(_scheme_name(order))
+                q_new = ssp_rk_step(rhs, self.q, dt_a, self.rk_order,
+                                    workspace=ws_a, prim0=prim_a,
+                                    executor=rhs.executor)
+                if self.fault_injector is not None:
+                    self.recovery.faults_injected += int(
+                        self.fault_injector.apply(
+                            q_new, step=self.step_count + 1, attempt=attempt))
+                vprim = None
+                if ws_a is not None:
+                    vprim = cons_to_prim(self.layout, self.mixture, q_new,
+                                         out=ws_a.prim)
+                diag = check_state(self.layout, self.mixture, q_new,
+                                   prim=vprim)
+                if diag is None:
+                    self.q = q_new
+                    break
+                self.recovery.guard_failures += 1
+                np.copyto(self.q, snapshot)
+                self.recovery.rollbacks += 1
+                if attempt + 1 < total_attempts:
+                    self.recovery.retries += 1
+                    if attempt + 1 > policy.max_retries:
+                        self.recovery.escalations += 1
+                    elif attempt + 1 > policy.same_dt_retries:
+                        self.recovery.dt_halvings += 1
+            else:
+                # Exhausted: the pre-step state is restored in self.q,
+                # so a caller holding checkpoints can still recover.
+                raise SimulationDivergedError(
+                    step=self.step_count + 1, time=self.time,
+                    dts=tuple(dts), schemes=tuple(schemes),
+                    diagnostics=diag,
+                    limited_faces=self._limited_faces_total())
+        self.time += dts[-1]
+        self.step_count += 1
+        rec = StepRecord(self.step_count, self.time, dts[-1], timer.elapsed,
+                         retries=len(dts) - 1)
+        self.history.append(rec)
+        if self.check_every and self.step_count % self.check_every == 0:
+            self.validate_state()
+        return rec
+
+    # ------------------------------------------------------------------
     def run(self, *, t_end: float | None = None, n_steps: int | None = None,
             callback: Callable[["Simulation", StepRecord], None] | None = None) -> None:
         """March until ``t_end`` or for ``n_steps`` (whichever is given).
 
         The final step is clipped so the run lands exactly on ``t_end``.
         A horizon at or before the current time is a no-op; a negative
-        one is a configuration error.
+        one is a configuration error.  After each step (and its
+        callback) the driver applies the ``validate_every`` and
+        ``checkpoint_every`` cadences.
         """
         if (t_end is None) == (n_steps is None):
             raise ConfigurationError("specify exactly one of t_end or n_steps")
         if n_steps is not None:
             for _ in range(n_steps):
                 rec = self.step()
-                if callback is not None:
-                    callback(self, rec)
+                self._after_step(rec, callback)
             return
         assert t_end is not None
         if t_end < 0.0:
@@ -185,17 +394,72 @@ class Simulation:
                 f"t_end must be non-negative, got {t_end}")
         while self.time < t_end * (1.0 - 1e-12):
             rec = self.step(dt_limit=t_end - self.time)
-            if callback is not None:
-                callback(self, rec)
+            self._after_step(rec, callback)
+
+    def _after_step(self, rec: StepRecord,
+                    callback: Callable | None) -> None:
+        if callback is not None:
+            callback(self, rec)
+        if self.validate_every and self.step_count % self.validate_every == 0:
+            self.validate_state()
+        if self.checkpoint_every \
+                and self.step_count % self.checkpoint_every == 0:
+            self.checkpoint_now()
 
     # ------------------------------------------------------------------
     def validate_state(self) -> None:
-        """Raise :class:`NumericsError` if the state became unphysical."""
-        if not np.all(np.isfinite(self.q)):
-            raise NumericsError(f"non-finite state at step {self.step_count}")
-        rho = self.q[self.layout.partial_densities].sum(axis=0)
-        if not np.all(rho > 0.0):
-            raise NumericsError(f"non-positive density at step {self.step_count}")
+        """Raise :class:`NumericsError` if the state became unphysical.
+
+        The error names the check that failed, the first offending
+        cell, and the primitive variable there (via
+        :func:`repro.solver.resilience.check_state`).
+        """
+        diag = check_state(self.layout, self.mixture, self.q)
+        if diag is not None:
+            raise NumericsError(
+                f"unphysical state at step {self.step_count}: {diag}")
+
+    # ------------------------------------------------------------------
+    @property
+    def checkpoint_manager(self):
+        """Lazy :class:`~repro.io.checkpoint.CheckpointManager` over
+        ``checkpoint_dir`` (requires the directory to be configured)."""
+        if self._ckpt_manager is None:
+            if self.checkpoint_dir is None:
+                raise ConfigurationError(
+                    "no checkpoint_dir configured on this Simulation")
+            from repro.io.checkpoint import CheckpointManager
+
+            self._ckpt_manager = CheckpointManager(
+                self.checkpoint_dir, keep=self.checkpoint_keep)
+        return self._ckpt_manager
+
+    def checkpoint_now(self) -> Path:
+        """Write one rotating durable checkpoint of the current state."""
+        with WallTimer() as timer:
+            path = self.checkpoint_manager.save(
+                self.q, step=self.step_count, time=self.time)
+        self.recovery.checkpoints_written += 1
+        self.recovery.checkpoint_seconds += timer.elapsed
+        return path
+
+    def restore_latest(self) -> Path:
+        """Restore from the newest *valid* checkpoint in ``checkpoint_dir``.
+
+        Corrupt candidates (truncated, bit-flipped, wrong shape) are
+        skipped with their rejection counted; raises
+        :class:`~repro.common.CheckpointError` when no checkpoint
+        survives verification.  Returns the path restored from.
+        """
+        mgr = self.checkpoint_manager
+        verified0, rejected0 = mgr.verified, mgr.rejected
+        try:
+            path, header, q = mgr.load_latest(expect_shape=self.q.shape)
+        finally:
+            self.recovery.checkpoints_verified += mgr.verified - verified0
+            self.recovery.checkpoints_rejected += mgr.rejected - rejected0
+        self._apply_restart(header.step, header.time, q)
+        return path
 
     # ------------------------------------------------------------------
     def save_checkpoint(self, path) -> int:
@@ -211,7 +475,8 @@ class Simulation:
         laps, and the RHS limiter counter — are reset so post-restart
         ``kernel_breakdown()``/``grind_time_ns()`` and limiter stats
         describe only the restarted run instead of mixing in
-        pre-restart accounting.
+        pre-restart accounting.  (The :attr:`recovery` tally is *not*
+        reset: restarts are exactly what it exists to count.)
         """
         from repro.io.binary import read_snapshot
 
@@ -219,12 +484,17 @@ class Simulation:
         if q.shape != self.q.shape:
             raise ConfigurationError(
                 f"checkpoint shape {q.shape} does not match case {self.q.shape}")
+        self.recovery.checkpoints_verified += 1
+        self._apply_restart(header.step, header.time, q)
+
+    def _apply_restart(self, step: int, time: float, q: np.ndarray) -> None:
         self.q = q
-        self.step_count = header.step
-        self.time = header.time
+        self.step_count = step
+        self.time = time
         self.history.clear()
         self.stopwatch.laps.clear()
         self.rhs.limited_faces = 0
+        self.recovery.restarts += 1
 
     # ------------------------------------------------------------------
     def grind_time_ns(self) -> float:

@@ -88,6 +88,12 @@ class SolverWorkspace:
     rk_stage, rk_result, rk_tmp:
         Shu-Osher stage buffers; ``rk_result`` holds the step output and
         is safely reusable as the next step's input.
+    rollback:
+        Pre-step snapshot of the conserved state for the driver's
+        failure guard: the guarded step copies ``q`` here before
+        advancing and restores from it on a failed validation, so
+        rollback-retry performs zero steady-state allocations.  Written
+        only by the (serial) driver, never by kernels.
     """
 
     def __init__(self, layout: StateLayout, grid: StructuredGrid, ng: int,
@@ -115,6 +121,9 @@ class SolverWorkspace:
         self.rk_stage = (new(self.shape), new(self.shape))
         self.rk_result = new(self.shape)
         self.rk_tmp = new(self.shape)
+
+        # Failure-guard rollback snapshot (driver-owned).
+        self.rollback = new(self.shape)
 
         # Per-direction pipeline buffers.
         self.padded: list[np.ndarray] = []
@@ -233,7 +242,8 @@ class SolverWorkspace:
 
     def _all_arrays(self):
         yield from (self.prim, self.dqdt, self.divu, self.div_scratch,
-                    self.divu_scratch, self.rk_result, self.rk_tmp)
+                    self.divu_scratch, self.rk_result, self.rk_tmp,
+                    self.rollback)
         yield from self.rk_stage
         yield from self.padded
         yield from self.face_l

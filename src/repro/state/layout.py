@@ -87,3 +87,11 @@ class StateLayout:
         names.append("energy")
         names += [f"alpha[{i}]" for i in range(self.n_advected)]
         return names
+
+    def describe_primitive(self) -> list[str]:
+        """Human-readable names of each primitive variable, in layout order."""
+        names = [f"alpha_rho[{i}]" for i in range(self.ncomp)]
+        names += [f"velocity[{'xyz'[d]}]" for d in range(self.ndim)]
+        names.append("pressure")
+        names += [f"alpha[{i}]" for i in range(self.n_advected)]
+        return names

@@ -1,0 +1,261 @@
+"""Tests for durable checkpoints: atomicity metadata, CRC detection,
+rotation, and corrupt-fallback restart.
+
+The production promise under test: *any* single-file corruption — torn
+write, flipped bit, wrong-dtype file — is detected at read time with a
+clear :class:`CheckpointError`, and a restart falls back to the newest
+checkpoint that is still whole.
+"""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.bc import BoundarySet
+from repro.common import CheckpointError, ConfigurationError
+from repro.eos import Mixture, StiffenedGas
+from repro.faults import bitflip_file, truncate_file
+from repro.grid import StructuredGrid
+from repro.io import CheckpointManager, read_snapshot, verify_snapshot, write_snapshot
+from repro.io.binary import HEADER_BYTES, MAGIC, NATIVE_DTYPE_STR, SnapshotHeader
+from repro.solver import Case, Patch, Simulation, box, sphere
+
+AIR = StiffenedGas(1.4, 0.0, "air")
+MIX = Mixture((AIR, AIR))
+
+
+def bubble_sim(n=16, **kwargs):
+    grid = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), (n, n))
+    case = Case(grid, MIX)
+    case.add(Patch(box([0, 0], [1, 1]), alpha_rho=(0.5, 0.5),
+                   velocity=(0.3, -0.1), pressure=1.0, alpha=(0.5,)))
+    case.add(Patch(sphere([0.5, 0.5], 0.2), alpha_rho=(1.0, 1.0),
+                   velocity=(0.0, 0.0), pressure=2.0, alpha=(0.5,)))
+    return Simulation(case, BoundarySet.all_periodic(2), cfl=0.4, **kwargs)
+
+
+def random_q(seed=0, shape=(7, 6, 5)):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestSnapshotIntegrity:
+    def test_roundtrip_preserves_metadata(self, tmp_path):
+        path = tmp_path / "snap.bin"
+        q = random_q(1)
+        write_snapshot(path, q, step=12, time=0.5)
+        header, back = read_snapshot(path)
+        np.testing.assert_array_equal(q, back)
+        assert header.step == 12 and header.time == 0.5
+        assert header.dtype_str == NATIVE_DTYPE_STR
+        assert header.order == "C"
+        assert verify_snapshot(path) == header
+
+    def test_payload_bitflip_detected(self, tmp_path):
+        path = tmp_path / "snap.bin"
+        write_snapshot(path, random_q(2), step=1, time=0.0)
+        flips = bitflip_file(path, seed=99, skip_bytes=HEADER_BYTES)
+        assert flips and flips[0][0] >= HEADER_BYTES
+        with pytest.raises(CheckpointError, match="payload"):
+            read_snapshot(path)
+
+    def test_header_bitflip_detected(self, tmp_path):
+        path = tmp_path / "snap.bin"
+        write_snapshot(path, random_q(3), step=1, time=0.0)
+        # Corrupt a header byte past the magic (offset 6 = ndim field).
+        with path.open("rb+") as fh:
+            fh.seek(6)
+            b = fh.read(1)[0]
+            fh.seek(6)
+            fh.write(bytes([b ^ 0x01]))
+        with pytest.raises(CheckpointError):
+            read_snapshot(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "snap.bin"
+        write_snapshot(path, random_q(4), step=1, time=0.0)
+        removed = truncate_file(path, keep_fraction=0.6)
+        assert removed > 0
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_snapshot(path)
+
+    def test_foreign_dtype_reported_clearly(self, tmp_path):
+        # Hand-craft a v2 file recording float32 payloads: the reader
+        # must name the dtype mismatch, not mis-diagnose truncation.
+        path = tmp_path / "alien.bin"
+        header = SnapshotHeader(step=0, time=0.0, nvars=2, shape=(4,),
+                                dtype_str="<f4")
+        payload = np.zeros((2, 4), dtype="<f4").tobytes()
+        path.write_bytes(header.pack(payload_crc=zlib.crc32(payload)) + payload)
+        with pytest.raises(CheckpointError, match="<f4"):
+            read_snapshot(path)
+
+    def test_foreign_endianness_reported(self, tmp_path):
+        path = tmp_path / "bigend.bin"
+        header = SnapshotHeader(step=0, time=0.0, nvars=2, shape=(4,),
+                                dtype_str=">f8")
+        payload = np.zeros((2, 4), dtype=">f8").tobytes()
+        path.write_bytes(header.pack(payload_crc=zlib.crc32(payload)) + payload)
+        with pytest.raises(CheckpointError, match=">f8"):
+            read_snapshot(path)
+
+    def test_v1_headers_still_readable(self, tmp_path):
+        # Pre-CRC files (version 1, 56-byte header) keep loading.
+        path = tmp_path / "old.bin"
+        q = random_q(5, shape=(3, 4, 4))
+        raw = struct.pack("<4sHHqd4q", MAGIC, 1, q.ndim - 1, 9, 0.25,
+                          q.shape[0], q.shape[1], q.shape[2], 0)
+        path.write_bytes(raw + q.tobytes())
+        header, back = read_snapshot(path)
+        assert header.version == 1 and header.step == 9
+        np.testing.assert_array_equal(q, back)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "snap.bin"
+        write_snapshot(path, random_q(6), step=1, time=0.0)
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "snap.bin"]
+        assert leftovers == []
+
+
+class TestCheckpointManager:
+    def test_rotation_keeps_newest_k(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=2)
+        q = random_q(7)
+        for step in (1, 2, 3, 4):
+            mgr.save(q, step=step, time=0.1 * step)
+        names = [p.name for p in mgr.checkpoints()]
+        assert names == ["ckpt_000000003.bin", "ckpt_000000004.bin"]
+
+    def test_corrupt_newest_falls_back(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=3)
+        for step in (1, 2, 3):
+            mgr.save(random_q(step), step=step, time=float(step))
+        bitflip_file(mgr.path_for(3), seed=5, skip_bytes=HEADER_BYTES)
+        path, header, q = mgr.load_latest()
+        assert path == mgr.path_for(2) and header.step == 2
+        np.testing.assert_array_equal(q, random_q(2))
+        assert mgr.rejected == 1 and mgr.verified == 1
+
+    def test_all_corrupt_raises_with_reasons(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=3)
+        for step in (1, 2):
+            mgr.save(random_q(step), step=step, time=float(step))
+        truncate_file(mgr.path_for(1), keep_fraction=0.3)
+        bitflip_file(mgr.path_for(2), seed=8, skip_bytes=HEADER_BYTES)
+        with pytest.raises(CheckpointError) as err:
+            mgr.load_latest()
+        assert "ckpt_000000001.bin" in str(err.value)
+        assert "ckpt_000000002.bin" in str(err.value)
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            CheckpointManager(tmp_path / "void").load_latest()
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(random_q(9, shape=(3, 8)), step=1, time=0.0)
+        with pytest.raises(CheckpointError, match="does not match"):
+            mgr.load_latest(expect_shape=(3, 9))
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointManager(tmp_path, keep=0)
+        with pytest.raises(ConfigurationError):
+            CheckpointManager(tmp_path, prefix="../evil")
+
+
+class TestSimulationCheckpointing:
+    def test_run_writes_rotating_checkpoints(self, tmp_path):
+        sim = bubble_sim(checkpoint_every=2, checkpoint_dir=tmp_path,
+                         checkpoint_keep=2)
+        sim.run(n_steps=7)
+        steps = [p.name for p in sim.checkpoint_manager.checkpoints()]
+        assert steps == ["ckpt_000000004.bin", "ckpt_000000006.bin"]
+        assert sim.recovery.checkpoints_written == 3
+        assert sim.recovery.checkpoint_seconds > 0.0
+
+    def test_restore_latest_resumes_bit_identically(self, tmp_path):
+        straight = bubble_sim()
+        straight.run(n_steps=8)
+
+        crashed = bubble_sim(checkpoint_every=2, checkpoint_dir=tmp_path)
+        crashed.run(n_steps=5)  # checkpoints at 2 and 4
+
+        resumed = bubble_sim(checkpoint_dir=tmp_path)
+        path = resumed.restore_latest()
+        assert path.name == "ckpt_000000004.bin"
+        assert resumed.step_count == 4
+        assert resumed.recovery.restarts == 1
+        resumed.run(n_steps=4)
+        np.testing.assert_array_equal(resumed.q, straight.q)
+        assert resumed.time == straight.time
+
+    def test_restore_latest_skips_corrupt_newest(self, tmp_path):
+        crashed = bubble_sim(checkpoint_every=2, checkpoint_dir=tmp_path,
+                             checkpoint_keep=3)
+        crashed.run(n_steps=6)
+        # The "node died mid-write" scenario on the newest checkpoint.
+        truncate_file(crashed.checkpoint_manager.path_for(6),
+                      keep_fraction=0.5)
+
+        resumed = bubble_sim(checkpoint_dir=tmp_path)
+        path = resumed.restore_latest()
+        assert path.name == "ckpt_000000004.bin"
+        assert resumed.recovery.checkpoints_rejected == 1
+        assert resumed.recovery.checkpoints_verified == 1
+        assert resumed.step_count == 4
+
+    def test_checkpoint_every_requires_dir(self):
+        with pytest.raises(ConfigurationError, match="checkpoint_dir"):
+            bubble_sim(checkpoint_every=5)
+
+    def test_load_checkpoint_counts_restart(self, tmp_path):
+        sim = bubble_sim()
+        sim.run(n_steps=3)
+        sim.save_checkpoint(tmp_path / "s.bin")
+        sim.load_checkpoint(tmp_path / "s.bin")
+        assert sim.recovery.restarts == 1
+        assert sim.recovery.checkpoints_verified == 1
+
+
+class TestCaseFileWiring:
+    def spec(self, solver):
+        return {
+            "grid": {"bounds": [[0.0, 1.0]], "shape": [16]},
+            "fluids": [{"gamma": 1.4}],
+            "patches": [{"geometry": {"kind": "box", "lo": [0.0], "hi": [1.0]},
+                         "alpha_rho": [1.0], "velocity": [0.0],
+                         "pressure": 1.0, "alpha": []}],
+            "solver": solver,
+        }
+
+    def test_resilience_options_parsed(self):
+        from repro.io.case_files import solver_options_from_dict
+        from repro.solver import RetryPolicy
+
+        opts = solver_options_from_dict(self.spec({
+            "checkpoint_every": 10, "checkpoint_keep": 5,
+            "checkpoint_dir": "ckpts", "validate_every": 4,
+            "retry": {"max_retries": 2, "same_dt_retries": 0}}))
+        assert opts["checkpoint_every"] == 10
+        assert opts["checkpoint_keep"] == 5
+        assert opts["checkpoint_dir"] == "ckpts"
+        assert opts["validate_every"] == 4
+        assert opts["retry"] == RetryPolicy(max_retries=2, same_dt_retries=0)
+
+    @pytest.mark.parametrize("solver", [
+        {"checkpoint_every": -1},
+        {"checkpoint_every": True},
+        {"checkpoint_keep": 0},
+        {"checkpoint_dir": ""},
+        {"validate_every": "often"},
+        {"retry": {"max_retries": -2}},
+        {"retry": 7},
+        {"checkpoints": 3},  # unknown key
+    ])
+    def test_invalid_options_rejected(self, solver):
+        from repro.io.case_files import solver_options_from_dict
+
+        with pytest.raises(ConfigurationError):
+            solver_options_from_dict(self.spec(solver))

@@ -1,0 +1,237 @@
+"""Tests for priced resilience: MTBF model, Young/Daly intervals, and
+the ScalingDriver's effective-efficiency report at Frontier scale.
+
+The key analytic promises, property-tested: the Daly interval and the
+resilience efficiency are both monotone in MTBF (a more reliable
+machine never checkpoints more often or wastes more), and the
+deterministic failure replay agrees with itself and with intuition
+(no failures ⇒ no waste).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    FailureModel,
+    IOModel,
+    ResilientRunOutcome,
+    ScalingDriver,
+    daly_interval,
+    resilience_efficiency,
+    resilience_waste,
+    simulate_resilient_run,
+)
+from repro.cluster.topology import FRONTIER
+from repro.common import ConfigurationError
+from repro.faults import RankFailurePlan
+
+# Valid-Daly-regime strategies: delta < 2 M everywhere.
+DELTA = st.floats(0.01, 100.0)
+MTBF = st.floats(3600.0, 1.0e8)
+RESTART = st.floats(0.0, 600.0)
+
+
+class TestFailureModel:
+    def test_system_mtbf_scales_inversely_with_nodes(self):
+        fm = FailureModel(node_mtbf_hours=20_000.0)
+        assert fm.system_mtbf_seconds(1) == 20_000.0 * 3600.0
+        assert fm.system_mtbf_seconds(8192) == pytest.approx(
+            20_000.0 * 3600.0 / 8192)
+        assert fm.expected_failures(8192, 86_400.0) == pytest.approx(
+            86_400.0 * 8192 / (20_000.0 * 3600.0))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureModel(node_mtbf_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            FailureModel(restart_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            FailureModel().system_mtbf_seconds(0)
+
+
+class TestDalyInterval:
+    def test_zero_checkpoint_cost_means_continuous(self):
+        assert daly_interval(0.0, 1000.0) == 0.0
+
+    def test_degenerate_regime_caps_at_mtbf(self):
+        assert daly_interval(500.0, 100.0) == 100.0
+
+    def test_first_order_term_dominates(self):
+        # For delta << M the classic Young sqrt(2 delta M) should be a
+        # tight lower bound on the higher-order Daly interval.
+        delta, M = 1.0, 1.0e6
+        tau = daly_interval(delta, M)
+        young = math.sqrt(2.0 * delta * M)
+        assert young - delta < tau < young * 1.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            daly_interval(-1.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            daly_interval(1.0, 0.0)
+
+    @given(DELTA, MTBF, st.floats(1.01, 100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_interval_monotone_in_mtbf(self, delta, mtbf, factor):
+        assert daly_interval(delta, mtbf * factor) >= \
+            daly_interval(delta, mtbf) - 1e-9
+
+    @given(DELTA, MTBF, st.floats(0.25, 4.0))
+    @settings(max_examples=100, deadline=None)
+    def test_daly_interval_near_optimal(self, delta, mtbf, stretch):
+        # Perturbing the interval must not beat the Daly waste by more
+        # than the perturbation solution's own O((delta/2M)^3/2) error.
+        best = resilience_waste(checkpoint_seconds=delta, mtbf_seconds=mtbf,
+                                restart_seconds=0.0)
+        other = resilience_waste(
+            checkpoint_seconds=delta, mtbf_seconds=mtbf, restart_seconds=0.0,
+            interval_seconds=daly_interval(delta, mtbf) * stretch)
+        assert best <= other * 1.02 + 1e-9
+
+
+class TestResilienceEfficiency:
+    @given(DELTA, MTBF, RESTART, st.floats(1.01, 100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_efficiency_monotone_in_mtbf(self, delta, mtbf, restart, factor):
+        lo = resilience_efficiency(checkpoint_seconds=delta,
+                                   mtbf_seconds=mtbf,
+                                   restart_seconds=restart)
+        hi = resilience_efficiency(checkpoint_seconds=delta,
+                                   mtbf_seconds=mtbf * factor,
+                                   restart_seconds=restart)
+        assert hi >= lo - 1e-9
+
+    @given(DELTA, MTBF, RESTART)
+    @settings(max_examples=100, deadline=None)
+    def test_waste_bounded(self, delta, mtbf, restart):
+        w = resilience_waste(checkpoint_seconds=delta, mtbf_seconds=mtbf,
+                             restart_seconds=restart)
+        assert 0.0 <= w <= 1.0
+
+    def test_no_cost_no_waste(self):
+        assert resilience_efficiency(checkpoint_seconds=0.0,
+                                     mtbf_seconds=1.0e9,
+                                     restart_seconds=0.0) == \
+            pytest.approx(1.0, abs=1e-4)
+
+
+class TestResilientWeakScaling:
+    @pytest.fixture(scope="class")
+    def report(self):
+        driver = ScalingDriver(FRONTIER)
+        counts = [8, 512, 8192, 65_536]
+        rpoints = driver.resilient_weak_scaling(
+            32**3, counts, failures=FailureModel(node_mtbf_hours=20_000.0))
+        return counts, rpoints, ScalingDriver.effective_efficiency(rpoints)
+
+    def test_frontier_scale_point_present(self, report):
+        counts, rpoints, _ = report
+        # Acceptance floor: the report reaches >= 8192 devices.
+        assert counts[-1] >= 8192
+        biggest = rpoints[-1]
+        assert biggest.nnodes == 65_536 // FRONTIER.devices_per_node
+        assert biggest.checkpoint_seconds > 0.0
+        assert biggest.checkpoint_interval_seconds > 0.0
+        assert 0.0 < biggest.resilience_efficiency < 1.0
+
+    def test_mtbf_shrinks_with_machine(self, report):
+        _, rpoints, _ = report
+        mtbfs = [rp.system_mtbf_seconds for rp in rpoints]
+        assert mtbfs == sorted(mtbfs, reverse=True)
+        eff = [rp.resilience_efficiency for rp in rpoints]
+        assert eff == sorted(eff, reverse=True)
+
+    def test_effective_efficiency_below_network_only(self, report):
+        _, rpoints, effective = report
+        network = ScalingDriver.weak_efficiency([rp.point for rp in rpoints])
+        assert len(effective) == len(rpoints)
+        for e, n, rp in zip(effective, network, rpoints):
+            assert e == pytest.approx(n * rp.resilience_efficiency)
+            assert e < n  # resilience always costs something
+
+    def test_checkpoint_overhead_and_effective_step(self, report):
+        _, rpoints, _ = report
+        rp = rpoints[-1]
+        assert 0.0 < rp.checkpoint_overhead < 1.0
+        assert rp.effective_step_seconds > rp.point.step_seconds
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScalingDriver.effective_efficiency([])
+
+
+class TestSimulateResilientRun:
+    def test_failure_free_run_has_no_waste(self):
+        out = simulate_resilient_run(n_steps=100, step_seconds=1.0,
+                                     checkpoint_every=10,
+                                     checkpoint_seconds=2.0,
+                                     restart_seconds=30.0)
+        # 9 checkpoints: every 10 steps but never at the final step.
+        assert out == ResilientRunOutcome(wall_seconds=118.0,
+                                          steps_completed=100,
+                                          steps_replayed=0,
+                                          checkpoints_written=9, restarts=0)
+        assert out.useful_fraction == 1.0
+
+    def test_failure_replays_since_last_checkpoint(self):
+        out = simulate_resilient_run(n_steps=20, step_seconds=1.0,
+                                     checkpoint_every=10,
+                                     checkpoint_seconds=0.0,
+                                     restart_seconds=5.0,
+                                     failure_times=[14.5])
+        # Crash mid step 15: steps 11-14 are replayed from the step-10
+        # checkpoint after a 5 s restart.
+        assert out.restarts == 1
+        assert out.steps_replayed == 4
+        assert out.steps_completed == 20
+        assert out.wall_seconds == pytest.approx(14.5 + 5.0 + 10.0)
+
+    def test_interrupted_checkpoint_does_not_count(self):
+        out = simulate_resilient_run(n_steps=10, step_seconds=1.0,
+                                     checkpoint_every=5,
+                                     checkpoint_seconds=4.0,
+                                     restart_seconds=0.0,
+                                     failure_times=[6.0])
+        # The step-5 checkpoint write (wall 5 -> 9) is killed at 6.0, so
+        # rollback is to step 0, not step 5.
+        assert out.restarts == 1
+        assert out.steps_replayed == 5
+        # Only the post-restart retry lands (none at the final step).
+        assert out.checkpoints_written == 1
+
+    def test_deterministic_under_seeded_rank_failures(self):
+        plan = RankFailurePlan(nranks=64, mtbf_hours=200.0, seed=11)
+        times = [t * 3600.0 for t, _ in plan.failure_times(24.0)]
+        runs = [simulate_resilient_run(n_steps=10_000, step_seconds=6.0,
+                                       checkpoint_every=50,
+                                       checkpoint_seconds=3.0,
+                                       restart_seconds=120.0,
+                                       failure_times=times)
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+        assert runs[0].restarts == len(
+            [t for t in times if t <= runs[0].wall_seconds])
+        assert 0.0 < runs[0].useful_fraction <= 1.0
+
+    def test_checkpointing_pays_off_under_failures(self):
+        times = [2_000.0, 6_000.0, 9_500.0]
+        with_ckpt = simulate_resilient_run(
+            n_steps=5_000, step_seconds=1.0, checkpoint_every=100,
+            checkpoint_seconds=1.0, restart_seconds=60.0,
+            failure_times=times)
+        without = simulate_resilient_run(
+            n_steps=5_000, step_seconds=1.0, checkpoint_every=0,
+            checkpoint_seconds=1.0, restart_seconds=60.0,
+            failure_times=times)
+        assert with_ckpt.wall_seconds < without.wall_seconds
+        assert with_ckpt.steps_replayed < without.steps_replayed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_resilient_run(n_steps=-1, step_seconds=1.0,
+                                   checkpoint_every=1,
+                                   checkpoint_seconds=0.0,
+                                   restart_seconds=0.0)

@@ -74,7 +74,9 @@ class TestSnapshot:
 
     def test_header_pack_unpack(self):
         h = SnapshotHeader(step=7, time=0.25, nvars=5, shape=(8, 9, 10))
-        assert SnapshotHeader.unpack(h.pack()) == h
+        header, payload_crc = SnapshotHeader.unpack(h.pack(payload_crc=41))
+        assert header == h
+        assert payload_crc == 41
 
 
 class TestParallelWriters:

@@ -275,7 +275,11 @@ class TestWorkspaceOwnership:
         out = np.empty_like(q)
         stats = measure_call_allocations(lambda: rhs(q, out=out),
                                          warmup=2, repeats=3)
-        assert stats.peak_transient_bytes < 64 * 1024
+        # Budget the min over repeats: a real per-call allocation shows
+        # in every repeat (the allocating reference path measures ~175 KB
+        # here vs ~48 KB of Python-object noise), while one-off
+        # interpreter events inflate only the peak.
+        assert stats.min_transient_bytes < 64 * 1024
 
 
 # ----------------------------------------------------------------------

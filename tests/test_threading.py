@@ -235,8 +235,13 @@ class TestThreadPlumbing:
         sim = bubble_sim(threads=2)
         ws = sim.rhs.workspace
         results = {}
+        # Both threads must be alive at once: a thread that exits before
+        # the other starts can have its ident recycled, collapsing the
+        # two results dict entries into one.
+        barrier = threading.Barrier(2)
 
         def grab():
+            barrier.wait()
             weno, riem = ws.thread_scratch(0, 8)
             results[threading.get_ident()] = (weno, riem)
 

@@ -227,12 +227,36 @@ class TestAllocationBudget:
                          cfl=0.4, use_workspace=True)
         field_bytes = sim.q.nbytes
         stats = measure_step_allocations(sim, warmup=3, repeats=3)
-        # The workspace path peaks well under 4 field-sized transients
+        # The workspace path stays well under 4 field-sized transients
         # (the EOS helpers' small temporaries); the allocating reference
-        # path measures ~18 fields on the same case.
-        assert stats.peak_transient_bytes < 4 * field_bytes
+        # path measures ~18 fields on the same case.  Budget the min
+        # over repeats: real per-step allocations recur every repeat,
+        # one-off interpreter events only inflate the peak.
+        assert stats.min_transient_bytes < 4 * field_bytes
         # No leak: traced size must not grow by a field per step.
         assert stats.net_bytes < field_bytes
+
+    def test_guarded_step_stays_under_budget(self):
+        # The failure guard (rollback snapshot + post-step validation)
+        # must ride on the workspace arena: its snapshot lives in
+        # ws.rollback and validation reuses ws.prim, so a guarded clean
+        # step fits the same transient budget as an unguarded one.
+        from repro.solver import RetryPolicy
+
+        sim = Simulation(bubble_case(24), BoundarySet.all_periodic(2),
+                         cfl=0.4, use_workspace=True, retry=RetryPolicy())
+        field_bytes = sim.q.nbytes
+        stats = measure_step_allocations(sim, warmup=3, repeats=3)
+        assert stats.min_transient_bytes < 4 * field_bytes
+        assert stats.net_bytes < field_bytes
+
+    def test_rollback_buffer_is_workspace_owned(self):
+        sim = Simulation(bubble_case(16), BoundarySet.all_periodic(2),
+                         cfl=0.4, use_workspace=True)
+        ws = sim.rhs.workspace
+        assert ws.rollback.shape == sim.q.shape
+        assert ws.rollback.dtype == sim.q.dtype
+        assert not np.shares_memory(ws.rollback, sim.q)
 
     def test_reference_path_allocates_more(self):
         # Guards the measurement itself: if tracemalloc stopped seeing
@@ -243,4 +267,4 @@ class TestAllocationBudget:
                              cfl=0.4, use_workspace=False)
         ws = measure_step_allocations(ws_sim, warmup=2, repeats=3)
         ref = measure_step_allocations(ref_sim, warmup=2, repeats=3)
-        assert ref.peak_transient_bytes > 3 * ws.peak_transient_bytes
+        assert ref.min_transient_bytes > 3 * ws.min_transient_bytes
