@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-thread test-fault bench bench-rhs bench-layout examples artifacts clean
+.PHONY: install test test-thread test-fault bench bench-rhs bench-layout bench-tuned tune examples artifacts clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -35,6 +35,17 @@ bench-layout:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py \
 		--grid 64 --grid 256 --threads 1 --threads 4 \
 		--layout strided --layout transposed
+
+# Empirical autotuner: tuned-vs-untuned grind comparison on the bench
+# case (appends a tuned-stamped history entry with the winning plan).
+bench-tuned:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py \
+		--grid 256 --threads 1 --tuned
+
+# Autotune the quickstart example case on this host and cache the
+# winning kernel-variant plan (see docs/tuning.md).
+tune:
+	PYTHONPATH=src $(PYTHON) -m repro tune examples/cases/shock_bubble_resilient.json
 
 # Regenerates benchmarks/results/*.txt (the figure artifacts).
 artifacts: bench

@@ -18,20 +18,25 @@ Per grid the sweep records:
   counters, ``speedup_vs_serial``, and — for non-strided layouts —
   ``speedup_vs_strided`` at the same thread count.
 
-``host_cpus`` is stamped on every entry: thread scaling is only
-meaningful on multicore hosts, and a single-core container measures the
-backend's overhead, not its speedup.  Each run dict stamps its
-``layout`` so the history can be filtered by engine.
+``host_cpus``, the short git SHA, the NumPy version, and the dtype are
+stamped on every entry so history points are attributable to a commit
+and toolchain: thread scaling is only meaningful on multicore hosts,
+and a single-core container measures the backend's overhead, not its
+speedup.  Each run dict stamps its ``layout`` so the history can be
+filtered by engine.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_rhs.py \
         [--grid N ...] [--threads T ...] [--layout L ...]
-        [--steps K] [--warmup W]
+        [--steps K] [--warmup W] [--tuned]
 
 Defaults sweep grids 64 and 256 with 1, 2, and 4 threads in the strided
 layout; ``--layout transposed`` (repeatable, strided baseline always
-included) compares the coalesced sweep engine against it.
+included) compares the coalesced sweep engine against it.  ``--tuned``
+additionally autotunes each grid (``repro.tuning``, fresh throwaway
+cache) and appends a run with the winning plan and its
+tuned-vs-untuned speedup.
 """
 
 from __future__ import annotations
@@ -39,9 +44,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 from pathlib import Path
 
+import numpy as np
+
 from repro.bc import BoundarySet
+from repro.common import DTYPE
 from repro.eos import Mixture, StiffenedGas
 from repro.grid import StructuredGrid
 from repro.profiling import measure_step_allocations
@@ -67,23 +76,37 @@ def make_sim(n: int, *, use_workspace: bool = True, threads: int = 1,
                       sweep_layout=layout, **solver_kwargs)
 
 
+def _git_sha() -> str:
+    try:
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              capture_output=True, text=True, check=True,
+                              cwd=Path(__file__).parent)
+        return proc.stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
 def time_grind(n: int, threads: int, *, use_workspace: bool = True,
                layout: str = "strided", warmup: int = 3,
-               steps: int = 25) -> dict:
+               steps: int = 25, **solver_kwargs) -> dict:
     sim = make_sim(n, use_workspace=use_workspace, threads=threads,
-                   layout=layout)
+                   layout=layout, **solver_kwargs)
     sim.run(n_steps=warmup)
     sim.history.clear()
     sim.stopwatch.laps.clear()
     sim.run(n_steps=steps)
     out = {
-        "threads": threads,
-        "layout": layout,
+        "threads": sim.threads,
+        "layout": sim.sweep_layout,
         "grind_time_ns": sim.grind_time_ns(),
         "kernel_breakdown": sim.kernel_breakdown(),
         "sweep_counters": sim.rhs.sweep_counters.as_dict(),
     }
-    if threads > 1:
+    if sim.tuning_plan is not None:
+        out["tuning_plan"] = sim.tuning_plan.as_dict()
+        if sim.tuner is not None:
+            out["tuning_timing_runs"] = sim.tuner.timing_runs
+    if sim.threads > 1:
         out["tiles"] = sim.rhs._tiles
     return out
 
@@ -125,7 +148,8 @@ def recovery_stats(n: int, *, steps: int = 12) -> dict:
 
 
 def bench_grid(n: int, thread_counts: list[int], layouts: list[str], *,
-               warmup: int, steps: int | None, with_allocs: bool) -> dict:
+               warmup: int, steps: int | None, with_allocs: bool,
+               tuned: bool = False) -> dict:
     grid_steps = steps if steps is not None else (25 if n < 128 else 8)
     sim = make_sim(n)
     entry: dict = {
@@ -163,6 +187,27 @@ def bench_grid(n: int, thread_counts: list[int], layouts: list[str], *,
                   if "speedup_vs_strided" in run else "")
             print(f"  {n:4d}^2  threads={threads} layout={layout:<10}{tiles}: "
                   f"{run['grind_time_ns']:8.1f} ns/cell/PDE/RHS{speed}{vs}")
+    if tuned:
+        # Tuned-vs-untuned comparison: autotune into a throwaway cache
+        # (fresh measurement, not a stale plan), then grind with the
+        # winning plan and compare against the serial strided baseline.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            run = time_grind(n, thread_counts[0], warmup=warmup,
+                             steps=grid_steps, tuning="auto",
+                             tuning_cache=str(Path(td) / "cache.json"))
+        run["tuned"] = True
+        if serial_grind is not None:
+            run["speedup_vs_untuned"] = serial_grind / run["grind_time_ns"]
+        entry["runs"].append(run)
+        plan = run["tuning_plan"]
+        vs = (f"  ({run['speedup_vs_untuned']:.2f}x vs untuned)"
+              if "speedup_vs_untuned" in run else "")
+        print(f"  {n:4d}^2  tuned: weno={plan['weno_variant']} "
+              f"riemann={plan['riemann_variant']} "
+              f"layout={plan['sweep_layout']} threads={plan['threads']}: "
+              f"{run['grind_time_ns']:8.1f} ns/cell/PDE/RHS{vs}")
     return entry
 
 
@@ -193,9 +238,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="sweep layout (repeatable; default strided "
                              "only; strided is always included as the "
                              "comparison baseline)")
+    parser.add_argument("--tuned", action="store_true",
+                        help="also autotune each grid (fresh throwaway "
+                             "cache) and record the tuned-vs-untuned "
+                             "comparison run")
     parser.add_argument("--label", default=None,
                         help="history-entry label (default thread-sweep, "
-                             "or layout-sweep when layouts are compared)")
+                             "layout-sweep when layouts are compared, or "
+                             "tuned-sweep with --tuned)")
     args = parser.parse_args(argv)
 
     grids = args.grid or [64, 256]
@@ -205,11 +255,14 @@ def main(argv: list[str] | None = None) -> int:
     layouts = args.layout or ["strided"]
     if "strided" not in layouts:
         layouts = ["strided"] + layouts  # layout speedups need the baseline
-    label = args.label or ("layout-sweep" if len(layouts) > 1
+    label = args.label or ("tuned-sweep" if args.tuned
+                           else "layout-sweep" if len(layouts) > 1
                            else "thread-sweep")
 
     host_cpus = os.cpu_count() or 1
     entry: dict = {"label": label, "host_cpus": host_cpus,
+                   "git_sha": _git_sha(), "numpy": np.__version__,
+                   "dtype": str(np.dtype(DTYPE)),
                    "layouts": layouts, "grids": []}
     print(f"host cpus: {host_cpus}"
           + ("  (single core: thread runs measure overhead, not scaling)"
@@ -218,7 +271,8 @@ def main(argv: list[str] | None = None) -> int:
     for n in grids:
         entry["grids"].append(
             bench_grid(n, thread_counts, layouts, warmup=args.warmup,
-                       steps=args.steps, with_allocs=(n == smallest)))
+                       steps=args.steps, with_allocs=(n == smallest),
+                       tuned=args.tuned))
     entry["recovery"] = recovery_stats(smallest)
     print(f"recovery on {smallest}^2: {entry['recovery']['retries']} retries, "
           f"{entry['recovery']['checkpoints_written']} checkpoints, "

@@ -52,16 +52,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.solver import RetryPolicy
 
         resilience["retry"] = RetryPolicy(max_retries=args.retries)
+    tuning = solver_options.get("tuning", "off")
+    if args.tune:
+        tuning = "auto"
+    tuning_cache = solver_options.get("tuning_cache")
+    if args.tuning_cache is not None:
+        tuning_cache = args.tuning_cache
     sim = Simulation(case, bcs,
                      config=RHSConfig(weno_order=args.weno,
                                       riemann_solver=args.riemann,
                                       geometry=args.geometry),
                      cfl=args.cfl, threads=threads, sweep_layout=layout,
+                     tuning=tuning, tuning_cache=tuning_cache,
                      **resilience)
     print(f"running {case.grid.num_cells} cells, {case.mixture.ncomp} fluids, "
           f"WENO{args.weno} + {args.riemann.upper()}"
           + (f", {threads} threads" if threads > 1 else "")
           + (f", {layout} sweeps" if layout != "strided" else ""))
+    if sim.tuning_plan is not None:
+        print(sim.tuning_plan.summary())
     callback = None
     if args.series:
         from repro.io.series import SeriesWriter
@@ -101,6 +110,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
             export_silo(args.snapshot, args.silo, case.grid, case.mixture)
             print(f"wrote visualization database {args.silo}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.io.case_files import load_case, load_solver_options
+    from repro.tuning import resolve_cache_path
+
+    case = load_case(args.case)
+    ndim = case.grid.ndim
+    bcs = {
+        "periodic": BoundarySet.all_periodic,
+        "reflective": BoundarySet.all_reflective,
+        "extrapolation": BoundarySet.all_extrapolation,
+    }[args.bc](ndim)
+    solver_options = load_solver_options(args.case)
+    threads = solver_options.get("threads", 1)
+    if args.threads is not None:
+        threads = args.threads
+    layout = solver_options.get("sweep_layout", "strided")
+    if args.layout is not None:
+        layout = args.layout
+    tuning_cache = solver_options.get("tuning_cache")
+    if args.tuning_cache is not None:
+        tuning_cache = args.tuning_cache
+    sim = Simulation(case, bcs,
+                     config=RHSConfig(weno_order=args.weno,
+                                      riemann_solver=args.riemann,
+                                      geometry=args.geometry),
+                     threads=threads, sweep_layout=layout,
+                     tuning="auto", tuning_cache=tuning_cache)
+    plan = sim.tuning_plan
+    print(f"tuned {case.grid.num_cells} cells, WENO{args.weno} + "
+          f"{args.riemann.upper()}: {sim.tuner.timing_runs} timing runs")
+    print(plan.summary())
+    print(f"cached in {resolve_cache_path(tuning_cache)}")
     return 0
 
 
@@ -180,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--retries", type=int, default=None,
                      help="enable the guarded step with rollback-retry and "
                           "this many retries per step (plus scheme escalation)")
+    run.add_argument("--tune", action="store_true",
+                     help="empirically autotune kernel variants for this "
+                          "case/host before running (cached; see docs/tuning.md)")
+    run.add_argument("--tuning-cache", default=None,
+                     help="tuning-cache file (default: $REPRO_TUNING_CACHE, "
+                          "else .repro_tuning/cache.json)")
     run.add_argument("--snapshot", default=None, help="write a binary snapshot")
     run.add_argument("--silo", default=None,
                      help="also write a .npz visualization database")
@@ -188,6 +238,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--series-interval", type=int, default=100,
                      help="steps between series snapshots (default 100)")
     run.set_defaults(func=_cmd_run)
+
+    tune = sub.add_parser("tune",
+                          help="benchmark kernel variants for a case on this "
+                               "host and cache the winning plan")
+    tune.add_argument("case")
+    tune.add_argument("--weno", type=int, default=5, choices=(1, 3, 5))
+    tune.add_argument("--riemann", default="hllc",
+                      choices=("hllc", "hll", "rusanov"))
+    tune.add_argument("--geometry", default="cartesian",
+                      choices=("cartesian", "axisymmetric"))
+    tune.add_argument("--bc", default="extrapolation",
+                      choices=("periodic", "reflective", "extrapolation"))
+    tune.add_argument("--threads", type=int, default=None,
+                      help="baseline worker-thread count fed to the tuner "
+                           "(default: case file's solver.threads, else 1)")
+    tune.add_argument("--layout", default=None,
+                      choices=("strided", "transposed", "auto"),
+                      help="baseline sweep layout fed to the tuner")
+    tune.add_argument("--tuning-cache", default=None,
+                      help="tuning-cache file (default: $REPRO_TUNING_CACHE, "
+                           "else .repro_tuning/cache.json)")
+    tune.set_defaults(func=_cmd_tune)
 
     pre = sub.add_parser("preprocess",
                          help="generate the initial-condition snapshot "

@@ -88,6 +88,11 @@ class GangExecutor:
                 f"threads must be a positive integer, got {threads!r}")
         self.threads = threads
         self._pool: ThreadPoolExecutor | None = None
+        #: Every :meth:`plan_tiles` decision (extent, resolved gangs,
+        #: chosen tile count, working-set bytes, device) — the profiler
+        #: report surfaces these so tuned-vs-heuristic tiling is
+        #: comparable post-hoc.
+        self.tile_plans: list[dict] = []
 
     # ------------------------------------------------------------------
     @property
@@ -121,9 +126,25 @@ class GangExecutor:
         from repro.hardware.tiling import suggest_tile_count
 
         gangs = self.gangs_for(nest, extent)
-        return suggest_tile_count(extent, gangs,
-                                  bytes_per_slice=bytes_per_slice,
-                                  device=device)
+        tiles = suggest_tile_count(extent, gangs,
+                                   bytes_per_slice=bytes_per_slice,
+                                   device=device)
+        self.tile_plans.append({
+            "extent": extent,
+            "gangs": gangs,
+            "tiles": tiles,
+            "bytes_per_slice": bytes_per_slice,
+            "device": getattr(device, "name", device),
+        })
+        return tiles
+
+    def tile_plan_summary(self) -> str:
+        """One-line summary of the recorded tile-plan decisions."""
+        if not self.tile_plans:
+            return f"tiles: no planned launches ({self.threads} workers)"
+        parts = [f"extent {p['extent']} -> {p['tiles']} tiles "
+                 f"({p['gangs']} gangs)" for p in self.tile_plans]
+        return f"tiles ({self.threads} workers): " + "; ".join(parts)
 
     # ------------------------------------------------------------------
     def launch(self, body: Callable[[int, int], object], extent: int, *,

@@ -24,7 +24,7 @@ GEOMETRY_KINDS = ("box", "sphere", "halfspace")
 #: Keys the optional ``"solver"`` section of a case file may carry.
 SOLVER_OPTION_KEYS = ("threads", "layout", "checkpoint_every",
                       "checkpoint_keep", "checkpoint_dir", "validate_every",
-                      "retry")
+                      "retry", "tuning", "tuning_cache")
 
 
 def solver_options_from_dict(spec: dict) -> dict:
@@ -85,6 +85,26 @@ def solver_options_from_dict(spec: dict) -> dict:
         from repro.solver.resilience import RetryPolicy
 
         options["retry"] = RetryPolicy.from_dict(solver["retry"])
+    if "tuning" in solver:
+        value = solver["tuning"]
+        if isinstance(value, dict):
+            from repro.tuning import TuningPlan
+
+            entry = dict(value)
+            entry.setdefault("source", "manual")
+            options["tuning"] = TuningPlan.from_dict(entry)
+        elif value in ("off", "auto"):
+            options["tuning"] = value
+        else:
+            raise ConfigurationError(
+                f"solver tuning must be 'off', 'auto', or a plan mapping, "
+                f"got {value!r}")
+    if "tuning_cache" in solver:
+        value = solver["tuning_cache"]
+        if not isinstance(value, str) or not value:
+            raise ConfigurationError(
+                f"solver tuning_cache must be a non-empty string, got {value!r}")
+        options["tuning_cache"] = value
     return options
 
 

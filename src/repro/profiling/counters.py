@@ -130,6 +130,10 @@ class SweepCounters:
     bytes_transposed:
         Bytes those permutations moved (each counted once, by the size
         of the permuted array).
+    weno_passes:
+        Whole-array ufunc passes the reconstruction kernels made over
+        face-sized operands (both sides) — the memory-sweep count the
+        stacked-stencil variant exists to reduce.
     """
 
     strided_sweeps: int = 0
@@ -138,8 +142,10 @@ class SweepCounters:
     bytes_reconstructed_contiguous: int = 0
     transposes: int = 0
     bytes_transposed: int = 0
+    weno_passes: int = 0
 
-    def record_strided(self, face_bytes: int, *, contiguous: bool = False) -> None:
+    def record_strided(self, face_bytes: int, *, contiguous: bool = False,
+                       weno_passes: int = 0) -> None:
         """Count one sweep that ran in the standard layout.
 
         ``contiguous=True`` marks the natural fast case — the sweep
@@ -150,14 +156,16 @@ class SweepCounters:
         else:
             self.strided_sweeps += 1
             self.bytes_reconstructed_strided += face_bytes
+        self.weno_passes += weno_passes
 
     def record_transposed(self, face_bytes: int, transposed_bytes: int,
-                          transposes: int = 3) -> None:
+                          transposes: int = 3, *, weno_passes: int = 0) -> None:
         """Count one sweep that ran through the transposed engine."""
         self.transposed_sweeps += 1
         self.bytes_reconstructed_contiguous += face_bytes
         self.transposes += transposes
         self.bytes_transposed += transposed_bytes
+        self.weno_passes += weno_passes
 
     def merge(self, other: "SweepCounters") -> None:
         self.strided_sweeps += other.strided_sweeps
@@ -166,6 +174,7 @@ class SweepCounters:
         self.bytes_reconstructed_contiguous += other.bytes_reconstructed_contiguous
         self.transposes += other.transposes
         self.bytes_transposed += other.bytes_transposed
+        self.weno_passes += other.weno_passes
 
     def as_dict(self) -> dict:
         """Plain dict for JSON benchmark records."""
@@ -176,6 +185,7 @@ class SweepCounters:
             "bytes_reconstructed_contiguous": self.bytes_reconstructed_contiguous,
             "transposes": self.transposes,
             "bytes_transposed": self.bytes_transposed,
+            "weno_passes": self.weno_passes,
         }
 
     def summary(self) -> str:
@@ -186,7 +196,8 @@ class SweepCounters:
                 f"{self.transposes} transposes; reconstructed "
                 f"{self.bytes_reconstructed_contiguous / 1e6:.1f} MB "
                 f"contiguous / "
-                f"{self.bytes_reconstructed_strided / 1e6:.1f} MB strided")
+                f"{self.bytes_reconstructed_strided / 1e6:.1f} MB strided; "
+                f"{self.weno_passes} WENO ufunc passes")
 
 
 def counters_report(device: DeviceSpec, works: list[KernelWorkload],

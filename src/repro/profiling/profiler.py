@@ -58,12 +58,18 @@ class Profile:
     likewise attaches a simulation's
     :class:`~repro.solver.resilience.RecoveryCounters` so reports show
     what the resilience machinery did (retries, rollbacks, checkpoints).
+    ``tiling`` attaches an :meth:`RHS.tile_plan` dict (chosen tile
+    counts + the executor's planning decisions) and ``tuning`` a
+    :class:`~repro.tuning.TuningPlan`, so tuned-vs-heuristic execution
+    choices are visible next to the kernel times.
     """
 
     device_name: str = "unknown"
     records: dict[str, KernelRecord] = field(default_factory=dict)
     sweep: object | None = None
     recovery: object | None = None
+    tiling: dict | None = None
+    tuning: object | None = None
 
     def record(self, name: str, kernel_class: str, seconds: float,
                flops: float = 0.0, nbytes: float = 0.0) -> None:
@@ -130,4 +136,12 @@ class Profile:
             lines.append(self.sweep.summary())
         if self.recovery is not None and self.recovery.any():
             lines.append(self.recovery.summary())
+        if self.tiling is not None and self.tiling.get("tiles") is not None:
+            t = self.tiling
+            extra = "".join(f", d{d}: {n}" for d, n in
+                            sorted(t.get("tiles_transposed", {}).items()))
+            lines.append(f"tiling ({t.get('source', 'heuristic')}): "
+                         f"{t['tiles']} tiles{extra}")
+        if self.tuning is not None:
+            lines.append(self.tuning.summary())
         return "\n".join(lines)

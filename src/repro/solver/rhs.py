@@ -28,7 +28,7 @@ from repro.eos.mixture import Mixture
 from repro.fields.transpose import sweep_perm, untranspose_loop
 from repro.grid.cartesian import StructuredGrid
 from repro.hardware.devices import DeviceSpec, get_device
-from repro.riemann import SOLVERS
+from repro.riemann import SOLVERS, resolve_riemann_flux, validate_riemann_variant
 from repro.solver.sweep import plan_transposed_axes, validate_sweep_layout
 from repro.solver.geometry import (
     GEOMETRIES,
@@ -41,6 +41,11 @@ from repro.solver.workspace import SolverWorkspace
 from repro.state.conversions import cons_to_prim
 from repro.state.layout import StateLayout
 from repro.weno import halo_width, reconstruct_faces, reconstruct_faces_span
+from repro.weno.stacked import (
+    narrow_scratch_rows,
+    validate_weno_variant,
+    weno_passes_per_side,
+)
 
 #: Field-sized rows of the direction pipeline live per tile row: padded
 #: primitives + prim + dqdt + both face states + flux + divergence
@@ -121,6 +126,14 @@ class RHS:
     threads: int = 1
     tile_device: DeviceSpec | str | None = None
     sweep_layout: str = "strided"
+    #: Registered kernel implementations (all bitwise identical — the
+    #: autotuner's choice axes): :data:`repro.weno.WENO_VARIANTS` and
+    #: :data:`repro.riemann.RIEMANN_VARIANTS`.
+    weno_variant: str = "chained"
+    riemann_variant: str = "reference"
+    #: Explicit per-launch tile count overriding the L2 heuristic
+    #: (another tuner knob); None keeps the heuristic.
+    tiles: int | None = None
 
     def __post_init__(self) -> None:
         if self.grid.ndim != self.layout.ndim:
@@ -129,7 +142,19 @@ class RHS:
         if self.bcs.ndim() != self.layout.ndim:
             raise ConfigurationError("boundary set dimensionality mismatch")
         self._ng = halo_width(self.config.weno_order)
-        self._riemann = SOLVERS[self.config.riemann_solver]
+        validate_weno_variant(self.weno_variant)
+        validate_riemann_variant(self.riemann_variant)
+        self._riemann = resolve_riemann_flux(self.config.riemann_solver,
+                                             self.riemann_variant)
+        #: Face-block ufunc passes both reconstruction sides of one
+        #: sweep cost (tallied into the sweep counters).
+        self._weno_sweep_passes = 2 * weno_passes_per_side(
+            self.weno_variant, self.config.weno_order)
+        if self.tiles is not None and (
+                not isinstance(self.tiles, int) or isinstance(self.tiles, bool)
+                or self.tiles < 1):
+            raise ConfigurationError(
+                f"tiles must be a positive integer or None, got {self.tiles!r}")
         validate_geometry(self.config.geometry, self.layout, self.grid)
         if self.config.geometry == "axisymmetric":
             self._radius = self.grid.centers(1).reshape(1, -1)
@@ -168,7 +193,9 @@ class RHS:
         #: Preallocated buffer arena; None runs the allocating
         #: reference path.
         self.workspace = (SolverWorkspace(self.layout, self.grid, self._ng,
-                                          transposed_axes=self._transposed_axes)
+                                          transposed_axes=self._transposed_axes,
+                                          weno_variant=self.weno_variant,
+                                          weno_order=self.config.weno_order)
                           if self.use_workspace else None)
         if (not isinstance(self.threads, int) or isinstance(self.threads, bool)
                 or self.threads < 1):
@@ -205,7 +232,12 @@ class RHS:
         fits the target device's last-level cache.  ``extent`` is the
         slab axis length: spatial axis 0 for the strided engine, the
         transposed block's axis-1 extent for the transposed engine.
+        An explicit ``tiles`` override (the tuner knob) bypasses the
+        heuristic, clamped to the extent.
         """
+        if self.tiles is not None:
+            return max(1, min(self.tiles, extent))
+
         from repro.acc.directives import Clause, LoopDirective, ParallelLoopNest
 
         spatial = self.grid.shape
@@ -227,6 +259,22 @@ class RHS:
         return self.executor.plan_tiles(nest, extent,
                                         bytes_per_slice=bytes_per_slice,
                                         device=self._device)
+
+    def tile_plan(self) -> dict:
+        """The chosen tiling, for profiler reports and bench records.
+
+        ``source`` says whether the counts came from the explicit
+        ``tiles`` override (a tuning plan) or the L2 heuristic;
+        ``plans`` carries the executor's per-extent planning decisions
+        (empty for overridden or serial runs).
+        """
+        return {
+            "tiles": self._tiles,
+            "tiles_transposed": dict(self._tiles_t),
+            "source": ("override" if self.tiles is not None else "heuristic"),
+            "plans": (list(self.executor.tile_plans)
+                      if self.executor is not None else []),
+        }
 
     @property
     def ghost_width(self) -> int:
@@ -325,9 +373,11 @@ class RHS:
                 v_l, v_r = reconstruct_faces(
                     padded, d + 1, self.config.weno_order,
                     out=(ws.face_l[d], ws.face_r[d]),
-                    scratch=ws.weno_scratch[d])
+                    scratch=ws.weno_scratch[d], variant=self.weno_variant)
             else:
-                v_l, v_r = reconstruct_faces(padded, d + 1, self.config.weno_order)
+                v_l, v_r = reconstruct_faces(padded, d + 1,
+                                             self.config.weno_order,
+                                             variant=self.weno_variant)
             self.limited_faces += limit_face_states(
                 layout, self.mixture, padded, v_l, v_r, d, ng)
 
@@ -351,7 +401,8 @@ class RHS:
                 divu += np.diff(u_face, axis=d) / width
 
         self.sweep_counters.record_strided(
-            v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1))
+            v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1),
+            weno_passes=self._weno_sweep_passes)
 
     # ------------------------------------------------------------------
     def _accumulate_direction_tiled(self, prim: np.ndarray, d: int,
@@ -402,7 +453,8 @@ class RHS:
                 fi = (slice(None), slice(lo, hi))
                 with timed("weno"):
                     reconstruct_faces_span(padded, 1, order, lo, hi,
-                                           out=(v_l, v_r), scratch=wscr)
+                                           out=(v_l, v_r), scratch=wscr,
+                                           variant=self.weno_variant)
                     limited = limit_face_states(
                         layout, self.mixture, padded[:, lo:],
                         v_l[fi], v_r[fi], d, ng)
@@ -428,7 +480,8 @@ class RHS:
 
             ex.launch(accum, rows, tiles=tiles)
             self.sweep_counters.record_strided(
-                v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1))
+                v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1),
+                weno_passes=self._weno_sweep_passes)
             return
 
         w_max = -(-rows // min(tiles, rows))
@@ -443,7 +496,9 @@ class RHS:
             with timed("weno"):
                 tl, tr = reconstruct_faces(
                     padded[s], d + 1, order, out=(v_l[s], v_r[s]),
-                    scratch=tuple(w[:, :count] for w in wscr))
+                    scratch=narrow_scratch_rows(wscr, self.weno_variant,
+                                                order, count),
+                    variant=self.weno_variant)
                 limited = limit_face_states(layout, self.mixture, padded[s],
                                             tl, tr, d, ng)
             with timed("riemann"):
@@ -460,7 +515,8 @@ class RHS:
 
         self.limited_faces += sum(ex.launch(slab, rows, tiles=tiles))
         self.sweep_counters.record_strided(
-            v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1))
+            v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1),
+            weno_passes=self._weno_sweep_passes)
 
     # ------------------------------------------------------------------
     def _accumulate_direction_transposed(self, prim: np.ndarray, d: int,
@@ -505,7 +561,8 @@ class RHS:
 
         with timed("weno"):
             reconstruct_faces(tpad, arr - 1, self.config.weno_order,
-                              out=(tvl, tvr), scratch=ws.weno_scratch[d])
+                              out=(tvl, tvr), scratch=ws.weno_scratch[d],
+                              variant=self.weno_variant)
             self.limited_faces += limit_face_states(
                 layout, self.mixture, tpad, tvl, tvr, arr - 2, ng)
 
@@ -528,7 +585,8 @@ class RHS:
 
         self.sweep_counters.record_transposed(
             tvl.nbytes + tvr.nbytes,
-            prim.nbytes + flux.nbytes + u_face.nbytes)
+            prim.nbytes + flux.nbytes + u_face.nbytes,
+            weno_passes=self._weno_sweep_passes)
 
     # ------------------------------------------------------------------
     def _accumulate_direction_transposed_tiled(self, prim: np.ndarray, d: int,
@@ -581,7 +639,9 @@ class RHS:
             with timed("weno"):
                 tl, tr = reconstruct_faces(
                     tpad[s], arr - 1, order, out=(tvl[s], tvr[s]),
-                    scratch=tuple(w[:, :count] for w in wscr))
+                    scratch=narrow_scratch_rows(wscr, self.weno_variant,
+                                                order, count),
+                    variant=self.weno_variant)
                 limited = limit_face_states(layout, self.mixture, tpad[s],
                                             tl, tr, arr - 2, ng)
             with timed("riemann"):
@@ -607,7 +667,8 @@ class RHS:
         self.limited_faces += sum(ex.launch(slab, extent, tiles=tiles))
         self.sweep_counters.record_transposed(
             tvl.nbytes + tvr.nbytes,
-            prim.nbytes + flux.nbytes + u_face.nbytes)
+            prim.nbytes + flux.nbytes + u_face.nbytes,
+            weno_passes=self._weno_sweep_passes)
 
 
 def _accumulate_divergence(faces: np.ndarray, axis: int, width: np.ndarray,

@@ -130,6 +130,21 @@ class Simulation:
         attempt=...) -> int`` corrupting ``q`` in place and returning
         the number of cells touched), called on every candidate
         post-step state.  Test/chaos-engineering hook.
+    tuning:
+        Execution-plan selection over the kernel-variant registry
+        (:mod:`repro.tuning`): ``"off"`` (default) keeps the configured
+        ``threads``/``sweep_layout`` with the reference kernels;
+        ``"auto"`` runs the empirical autotuner (consulting the
+        persistent tuning cache — a cache hit performs zero timing
+        runs) and adopts the winning plan; a
+        :class:`~repro.tuning.TuningPlan` (or its dict form) applies a
+        hand-picked plan.  Every plan is bitwise identical in results —
+        tuning only moves time.  The resolved plan is exposed as
+        :attr:`tuning_plan` (None when off), the tuner (when used) as
+        :attr:`tuner`.
+    tuning_cache:
+        Cache file for ``tuning="auto"``; defaults to
+        ``$REPRO_TUNING_CACHE`` or ``.repro_tuning/cache.json``.
     """
 
     case: Case
@@ -153,6 +168,8 @@ class Simulation:
     checkpoint_dir: str | Path | None = None
     checkpoint_keep: int = 3
     fault_injector: object | None = None
+    tuning: object = "off"
+    tuning_cache: str | Path | None = None
 
     def __post_init__(self) -> None:
         if self.rk_order not in SSP_SCHEMES:
@@ -169,12 +186,30 @@ class Simulation:
         self.layout = self.case.layout
         self.mixture = self.case.mixture
         self.grid = self.case.grid
+        self.q = self.case.initial_conservative()
+        #: Resolved :class:`~repro.tuning.TuningPlan` (None with tuning
+        #: off) and the :class:`~repro.tuning.Autotuner` that produced
+        #: it (None unless ``tuning="auto"``).
+        self.tuning_plan = None
+        self.tuner = None
+        self._resolve_tuning()
+        plan = self.tuning_plan
+        if plan is not None:
+            # The plan's knobs replace the configured ones (that is the
+            # point of tuning); the fields are updated so the driver's
+            # own record of its configuration stays truthful.
+            self.threads = plan.threads
+            self.sweep_layout = plan.sweep_layout
         self.rhs = RHS(self.layout, self.mixture, self.grid, self.bcs,
                        self.config, stopwatch=self.stopwatch,
                        use_workspace=self.use_workspace,
                        threads=self.threads, tile_device=self.tile_device,
-                       sweep_layout=self.sweep_layout)
-        self.q = self.case.initial_conservative()
+                       sweep_layout=self.sweep_layout,
+                       weno_variant=(plan.weno_variant if plan is not None
+                                     else "chained"),
+                       riemann_variant=(plan.riemann_variant
+                                        if plan is not None else "reference"),
+                       tiles=plan.tiles if plan is not None else None)
         self.time = 0.0
         self.step_count = 0
         self.history: list[StepRecord] = []
@@ -192,6 +227,42 @@ class Simulation:
                 if ESCALATION_ORDERS[rung] < self.config.weno_order)
         else:
             self._escalation_ladder = ()
+
+    # ------------------------------------------------------------------
+    def _resolve_tuning(self) -> None:
+        """Resolve the ``tuning`` knob into :attr:`tuning_plan`.
+
+        Deferred imports: :mod:`repro.tuning` imports the RHS module,
+        which sits below this one in the package graph.
+        """
+        spec = self.tuning
+        if spec is None or spec == "off":
+            return
+        from repro.tuning import Autotuner, TuningCache, TuningPlan
+
+        if isinstance(spec, TuningPlan):
+            self.tuning_plan = spec
+            return
+        if isinstance(spec, dict):
+            entry = dict(spec)
+            entry.setdefault("source", "manual")
+            self.tuning_plan = TuningPlan.from_dict(entry)
+            return
+        if spec == "auto":
+            from repro.hardware.devices import get_device
+
+            device = (get_device(self.tile_device)
+                      if isinstance(self.tile_device, str)
+                      else self.tile_device)
+            self.tuner = Autotuner(cache=TuningCache(self.tuning_cache),
+                                   device=device)
+            self.tuning_plan = self.tuner.plan_for(
+                self.layout, self.mixture, self.grid, self.bcs, self.config,
+                self.q, threads=self.threads, sweep_layout=self.sweep_layout)
+            return
+        raise ConfigurationError(
+            f"tuning must be 'off', 'auto', a TuningPlan, or a plan dict; "
+            f"got {spec!r}")
 
     # ------------------------------------------------------------------
     def primitive(self) -> np.ndarray:

@@ -45,10 +45,12 @@ from repro.common import DTYPE
 from repro.grid.cartesian import StructuredGrid
 from repro.riemann.common import RiemannScratch
 from repro.state.layout import StateLayout
+from repro.weno.stacked import allocate_weno_scratch, validate_weno_variant
 
-#: Number of scratch arrays the in-place WENO kernels need (order-5 worst
-#: case: three candidate polynomials, three nonlinear weights, two
-#: temporaries).
+#: Number of scratch arrays the in-place chained WENO kernels need
+#: (order-5 worst case: three candidate polynomials, three nonlinear
+#: weights, two temporaries).  The stacked variant's differently-shaped
+#: set comes from :func:`repro.weno.stacked.stacked_scratch_shapes`.
 WENO_SCRATCH_COUNT = 8
 
 
@@ -97,12 +99,22 @@ class SolverWorkspace:
     """
 
     def __init__(self, layout: StateLayout, grid: StructuredGrid, ng: int,
-                 dtype=DTYPE, transposed_axes: frozenset[int] | tuple = ()) -> None:
+                 dtype=DTYPE, transposed_axes: frozenset[int] | tuple = (),
+                 weno_variant: str = "chained",
+                 weno_order: int | None = None) -> None:
         nvars = layout.nvars
         spatial = grid.shape
         ndim = len(spatial)
         self.shape = (nvars, *spatial)
         self.dtype = np.dtype(dtype)
+        #: WENO kernel variant the scratch sets are shaped for (the
+        #: stacked variant's candidate-stacked/extended buffers differ
+        #: from the chained kernels' homogeneous 8-array set).
+        self.weno_variant = validate_weno_variant(weno_variant)
+        if self.weno_variant != "chained" and weno_order is None:
+            raise ValueError(
+                "weno_order is required for non-chained WENO scratch")
+        self.weno_order = weno_order if weno_order is not None else 0
         #: Directions the sweep engine runs in the axis-contiguous
         #: transposed layout; fixes which ``t_*`` buffers exist.
         self.transposed_axes = frozenset(transposed_axes)
@@ -150,7 +162,8 @@ class SolverWorkspace:
                     + [spatial[k] for k in range(ndim) if k != d]
                     + [spatial[d] + 1])
             self.weno_scratch.append(
-                tuple(new(last) for _ in range(WENO_SCRATCH_COUNT)))
+                allocate_weno_scratch(self.weno_variant, self.weno_order,
+                                      tuple(last), self.dtype))
             self.riemann_scratch.append(
                 RiemannScratch(tuple(fshape), dtype=self.dtype))
             self._weno_shapes.append(last)
@@ -220,8 +233,9 @@ class SolverWorkspace:
                     tiled_axis = len(wshape) - 1 if d == 0 else 1
                     wshape[tiled_axis] = min(tile_width, wshape[tiled_axis])
                     fshape[1] = min(tile_width, fshape[1])
-                weno = tuple(np.empty(wshape, dtype=self.dtype)
-                             for _ in range(WENO_SCRATCH_COUNT))
+                weno = allocate_weno_scratch(self.weno_variant,
+                                             self.weno_order, tuple(wshape),
+                                             self.dtype)
                 entry = (tile_width, weno,
                          RiemannScratch(tuple(fshape), dtype=self.dtype))
                 self._thread_scratch[key] = entry

@@ -1,0 +1,159 @@
+"""Empirical autotuner over the kernel-variant registry.
+
+Given a case signature and host fingerprint, the tuner benchmarks the
+cross-product of kernel variant × threads × sweep layout × tile count
+(:func:`repro.tuning.registry.candidate_plans`) with warmup/repeat
+control, *verifies each candidate bitwise* against the reference
+configuration, and picks the fastest valid plan — the Triton-autotune
+pattern applied to the RHS hot path.  Winning plans persist in a
+:class:`~repro.tuning.cache.TuningCache`, so the second run of the same
+case on the same host performs zero timing runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.common import DTYPE
+from repro.solver.rhs import RHS
+from repro.tuning.cache import TuningCache
+from repro.tuning.plan import (
+    TuningPlan,
+    case_signature,
+    host_fingerprint,
+    plan_cache_key,
+)
+from repro.tuning.registry import candidate_plans
+
+
+def heuristic_plan(*, threads: int = 1,
+                   sweep_layout: str = "strided") -> TuningPlan:
+    """The untimed model-heuristic fallback plan.
+
+    Reference kernels at the caller's configured threads/layout, tiling
+    left to the L2 heuristic — exactly what a run without the tuner
+    does.  Used whenever tuning is off, the cache is corrupt, or
+    measurement is impossible.
+    """
+    return TuningPlan(weno_variant="chained", riemann_variant="reference",
+                     sweep_layout=sweep_layout, threads=threads,
+                     source="heuristic")
+
+
+@dataclass
+class Autotuner:
+    """Benchmarks candidate plans and caches the winner per case/host.
+
+    Parameters
+    ----------
+    cache:
+        Optional :class:`TuningCache`; None tunes every call.
+    warmup / repeats:
+        Timed-loop control per candidate: ``warmup`` untimed RHS
+        evaluations (page in scratch, settle the allocator), then the
+        minimum of ``repeats`` timed ones.
+    device:
+        Optional catalog device pinned for the layout/tile heuristics
+        and the host fingerprint.
+    """
+
+    cache: TuningCache | None = None
+    warmup: int = 1
+    repeats: int = 3
+    device: object | None = None
+    #: RHS evaluations performed for timing/validation (0 on a cache
+    #: hit — the round-trip acceptance criterion).
+    timing_runs: int = field(default=0, init=False)
+
+    # ------------------------------------------------------------------
+    def plan_for(self, layout, mixture, grid, bcs, config, q, *,
+                 threads: int = 1, sweep_layout: str = "strided",
+                 dtype=DTYPE) -> TuningPlan:
+        """The plan to run this case with on this host.
+
+        Cache hit → the stored plan (``source="cache"``), zero timing
+        runs.  Miss → measure, store, return (``source="tuned"``).
+        """
+        sig = case_signature(layout, grid, config, dtype)
+        fp = host_fingerprint(self.device)
+        key = plan_cache_key(sig, fp)
+        if self.cache is not None:
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                return replace(cached, source="cache")
+        plan = self.measure(layout, mixture, grid, bcs, config, q,
+                            threads=threads, sweep_layout=sweep_layout)
+        if self.cache is not None:
+            self.cache.store(key, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    def measure(self, layout, mixture, grid, bcs, config, q, *,
+                threads: int = 1,
+                sweep_layout: str = "strided") -> TuningPlan:
+        """Benchmark every candidate plan; return the fastest valid one.
+
+        Every candidate's output is compared bitwise against the
+        reference configuration before it may win — a variant that is
+        fast but wrong is discarded, never selected.  The first
+        candidate is always the model-heuristic default, whose time
+        becomes the winner's ``modeled_ns``.
+        """
+        import os
+
+        reference = RHS(layout, mixture, grid, bcs, config)
+        out = np.empty_like(q)
+        expected = reference(q).tobytes()
+        self.timing_runs += 1
+
+        candidates = candidate_plans(ndim=layout.ndim,
+                                     cpu_count=os.cpu_count() or 1,
+                                     threads=threads,
+                                     sweep_layout=sweep_layout)
+        timed: list[tuple[float, dict]] = []
+        modeled_ns: float | None = None
+        for cand in candidates:
+            rhs = RHS(layout, mixture, grid, bcs, config,
+                      threads=cand["threads"],
+                      tile_device=self.device,
+                      sweep_layout=cand["sweep_layout"],
+                      weno_variant=cand["weno_variant"],
+                      riemann_variant=cand["riemann_variant"],
+                      tiles=cand["tiles"])
+            try:
+                rhs(q, out=out)
+                self.timing_runs += 1
+                if out.tobytes() != expected:
+                    continue  # fast-but-wrong never wins
+                for _ in range(self.warmup):
+                    rhs(q, out=out)
+                    self.timing_runs += 1
+                best = None
+                for _ in range(self.repeats):
+                    t0 = time.perf_counter_ns()
+                    rhs(q, out=out)
+                    elapsed = time.perf_counter_ns() - t0
+                    self.timing_runs += 1
+                    if best is None or elapsed < best:
+                        best = elapsed
+            finally:
+                if rhs.executor is not None:
+                    rhs.executor.shutdown()
+            timed.append((float(best), cand))
+            if modeled_ns is None:
+                modeled_ns = float(best)  # candidate 0 is the heuristic
+
+        if not timed:
+            return heuristic_plan(threads=threads, sweep_layout=sweep_layout)
+        best_ns, winner = min(timed, key=lambda item: item[0])
+        return TuningPlan(weno_variant=winner["weno_variant"],
+                          riemann_variant=winner["riemann_variant"],
+                          sweep_layout=winner["sweep_layout"],
+                          threads=winner["threads"],
+                          tiles=winner["tiles"],
+                          source="tuned",
+                          measured_ns=best_ns,
+                          modeled_ns=modeled_ns)

@@ -1,0 +1,132 @@
+"""Persistent per-host tuning cache.
+
+A versioned JSON file mapping :func:`repro.tuning.plan.plan_cache_key`
+keys to serialized :class:`~repro.tuning.plan.TuningPlan` entries.
+Location: an explicit path, else ``$REPRO_TUNING_CACHE``, else
+``.repro_tuning/cache.json`` under the working directory (ship the file
+with a case to skip first-run tuning on identical hosts).
+
+Robustness contract (the checkpoint file's, applied to tuning state):
+
+* **Atomic writes** — temp file in the destination directory, flushed
+  and fsynced, then ``os.replace``; a crash mid-store leaves the
+  previous cache intact, never a half-written JSON.
+* **Corrupt anything falls back to the model heuristic** — unreadable
+  files, non-JSON bytes, wrong format versions, and entries that fail
+  plan validation all behave as cache misses (tallied in
+  :attr:`TuningCache.corrupt_events`), so a damaged cache costs one
+  re-tune, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.tuning.plan import TuningPlan
+from repro.tuning.registry import REGISTRY_VERSION
+
+#: On-disk format version (the file layout, not the variant registry).
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_ENV_VAR = "REPRO_TUNING_CACHE"
+
+#: Default cache file, relative to the working directory.
+DEFAULT_CACHE_PATH = Path(".repro_tuning") / "cache.json"
+
+
+def resolve_cache_path(path: str | Path | None = None) -> Path:
+    """The cache file to use: explicit arg > env var > default."""
+    if path is not None:
+        return Path(path)
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path(DEFAULT_CACHE_PATH)
+
+
+class TuningCache:
+    """Load/store tuning plans keyed by signature+fingerprint+registry."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = resolve_cache_path(path)
+        #: Lookup outcomes, for tests and reports.
+        self.hits = 0
+        self.misses = 0
+        #: Times a corrupt file or entry was skipped (each one is also
+        #: counted as a miss).
+        self.corrupt_events = 0
+
+    # ------------------------------------------------------------------
+    def _load_entries(self) -> dict:
+        """The cache file's entry map; ``{}`` on any corruption."""
+        try:
+            raw = self.path.read_text()
+        except FileNotFoundError:
+            return {}
+        except OSError:
+            self.corrupt_events += 1
+            return {}
+        try:
+            data = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt_events += 1
+            return {}
+        if (not isinstance(data, dict)
+                or data.get("version") != CACHE_FORMAT_VERSION
+                or data.get("registry") != REGISTRY_VERSION
+                or not isinstance(data.get("entries"), dict)):
+            self.corrupt_events += 1
+            return {}
+        return data["entries"]
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> TuningPlan | None:
+        """The cached plan under ``key``, or None (miss or corrupt)."""
+        entry = self._load_entries().get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            plan = TuningPlan.from_dict(entry)
+        except Exception:
+            self.corrupt_events += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return plan
+
+    def store(self, key: str, plan: TuningPlan) -> Path:
+        """Atomically persist ``plan`` under ``key``; returns the path."""
+        entries = self._load_entries()
+        entries[key] = plan.as_dict()
+        payload = json.dumps(
+            {"version": CACHE_FORMAT_VERSION, "registry": REGISTRY_VERSION,
+             "entries": entries},
+            indent=2, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent,
+                                   prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return self.path
+
+    def clear(self) -> None:
+        """Delete the cache file (missing is fine)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,155 @@
+"""Tuning plans, case signatures, host fingerprints, and cache keys.
+
+A :class:`TuningPlan` is one point in the execution-choice space the
+kernel-variant registry spans: which WENO and Riemann implementations to
+run, the sweep memory layout, the gang thread count, and the tile-count
+override.  Every registered combination is bitwise identical in results;
+a plan only moves time.
+
+Plans are cached per ``(case signature, host fingerprint, registry
+version)``: the signature captures what the *problem* looks like (grid
+shape, variable count, order, solver, dtype), the fingerprint what the
+*host* looks like (cores, catalog cache geometry, numpy version) — the
+same case on a different machine, or the same machine after a numpy
+upgrade, re-tunes instead of replaying a stale plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.common import DTYPE, ConfigurationError
+from repro.hardware.devices import default_host_device
+from repro.riemann import validate_riemann_variant
+from repro.solver.sweep import validate_sweep_layout
+from repro.tuning.registry import REGISTRY_VERSION
+from repro.weno import validate_weno_variant
+
+#: Sources a plan can come from (how much to trust its timings).
+PLAN_SOURCES = ("heuristic", "tuned", "cache", "manual")
+
+
+@dataclass(frozen=True)
+class TuningPlan:
+    """One execution configuration of the RHS hot path.
+
+    ``measured_ns`` is the plan's own benchmarked time per RHS
+    evaluation; ``modeled_ns`` is the time of the model-heuristic
+    default plan (chained/reference kernels, heuristic layout and
+    tiling) measured in the same tuning session — their ratio is the
+    measured-vs-modeled delta the profiler report and bench records
+    surface.  Both are ``None`` for plans that were never timed
+    (heuristic fallbacks, hand-written plans).
+    """
+
+    weno_variant: str = "chained"
+    riemann_variant: str = "reference"
+    sweep_layout: str = "strided"
+    threads: int = 1
+    tiles: int | None = None
+    source: str = "heuristic"
+    measured_ns: float | None = None
+    modeled_ns: float | None = None
+
+    def __post_init__(self) -> None:
+        validate_weno_variant(self.weno_variant)
+        validate_riemann_variant(self.riemann_variant)
+        validate_sweep_layout(self.sweep_layout)
+        if (isinstance(self.threads, bool) or not isinstance(self.threads, int)
+                or self.threads < 1):
+            raise ConfigurationError(
+                f"plan threads must be a positive integer, got {self.threads!r}")
+        if self.tiles is not None and (
+                isinstance(self.tiles, bool) or not isinstance(self.tiles, int)
+                or self.tiles < 1):
+            raise ConfigurationError(
+                f"plan tiles must be a positive integer or None, "
+                f"got {self.tiles!r}")
+        if self.source not in PLAN_SOURCES:
+            raise ConfigurationError(
+                f"plan source must be one of {PLAN_SOURCES}, "
+                f"got {self.source!r}")
+
+    # ------------------------------------------------------------------
+    def speedup_vs_modeled(self) -> float | None:
+        """Measured-over-modeled speedup (>1 means the tuner won)."""
+        if not self.measured_ns or not self.modeled_ns:
+            return None
+        return self.modeled_ns / self.measured_ns
+
+    def summary(self) -> str:
+        """One line for profiler reports and CLI output."""
+        tiles = f" tiles={self.tiles}" if self.tiles is not None else ""
+        line = (f"tuning ({self.source}): weno={self.weno_variant} "
+                f"riemann={self.riemann_variant} layout={self.sweep_layout} "
+                f"threads={self.threads}{tiles}")
+        if self.measured_ns is not None:
+            line += f"; measured {self.measured_ns / 1e6:.2f} ms/RHS"
+            speed = self.speedup_vs_modeled()
+            if speed is not None:
+                line += (f", {speed:.2f}x vs modeled heuristic "
+                         f"({self.modeled_ns / 1e6:.2f} ms)")
+        return line
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-serialisable representation (cache entry / bench record)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "TuningPlan":
+        """Rebuild a plan from :meth:`as_dict` output; strict on keys."""
+        if not isinstance(spec, dict):
+            raise ConfigurationError(
+                f"tuning plan must be a mapping, got {type(spec).__name__}")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown tuning plan key(s) {unknown}; "
+                f"choose from {sorted(known)}")
+        return cls(**spec)
+
+
+# ----------------------------------------------------------------------
+def case_signature(layout, grid, config, dtype=DTYPE) -> dict:
+    """What the problem looks like, for cache keying."""
+    return {
+        "grid": list(grid.shape),
+        "nvars": layout.nvars,
+        "weno_order": config.weno_order,
+        "riemann_solver": config.riemann_solver,
+        "dtype": str(np.dtype(dtype)),
+    }
+
+
+def host_fingerprint(device=None) -> dict:
+    """What the host looks like, for cache keying.
+
+    Cache geometry comes from the device catalog entry the tile and
+    layout heuristics consult (the default host device unless the run
+    pinned one), so a plan tuned against one cache model never leaks
+    onto another.
+    """
+    dev = device if device is not None else default_host_device()
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": np.__version__,
+        "device": dev.name,
+        "l2_bytes": dev.l2_bytes,
+        "cores": dev.cores,
+    }
+
+
+def plan_cache_key(signature: dict, fingerprint: dict) -> str:
+    """Deterministic cache key: signature + fingerprint + registry version."""
+    payload = json.dumps(
+        {"signature": signature, "host": fingerprint,
+         "registry": REGISTRY_VERSION},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()

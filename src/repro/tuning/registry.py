@@ -1,0 +1,75 @@
+"""Kernel-variant registry: the choice axes the autotuner enumerates.
+
+The paper's biggest wins came from choosing the right kernel
+implementation for the hardware at hand — Fypp-inlined vs
+subroutine-call WENO (§III.E), directive-loop vs vendor-library
+transposes (§III.D), compile-time-sized private arrays on CCE.  Those
+were compile-time choices; here they are first-run-time choices over
+*registered, interchangeable, bitwise-identical* implementations:
+
+* WENO kernels: :data:`repro.weno.WENO_VARIANTS` (``chained`` /
+  ``stacked``),
+* Riemann kernels: :data:`repro.riemann.RIEMANN_VARIANTS`
+  (``reference`` / ``fused``),
+* sweep memory layout: ``strided`` / ``transposed`` / ``auto``,
+* thread count and per-launch tile count of the gang backend.
+
+:data:`REGISTRY_VERSION` is baked into every tuning-cache key: adding,
+removing, or re-costing a variant bumps it, invalidating stale cached
+plans instead of silently replaying them.
+"""
+
+from __future__ import annotations
+
+from repro.riemann import RIEMANN_VARIANTS
+from repro.weno import WENO_VARIANTS
+
+#: Bump when the variant set (or anything that changes their relative
+#: performance) changes; part of every cache key.
+REGISTRY_VERSION = 1
+
+
+def candidate_plans(*, ndim: int, cpu_count: int, threads: int = 1,
+                    sweep_layout: str = "auto") -> list[dict]:
+    """The cross-product of execution plans the autotuner benchmarks.
+
+    Parameters
+    ----------
+    ndim:
+        Spatial dimensionality (1D has no non-contiguous direction, so
+        the transposed layout is never a candidate there).
+    cpu_count:
+        Host cores; bounds the thread-count axis.
+    threads / sweep_layout:
+        The caller's configured values — always included as candidates
+        so the tuner can only improve on (never silently discard) an
+        explicit configuration.
+
+    Returns plan dicts with keys ``weno_variant``, ``riemann_variant``,
+    ``sweep_layout``, ``threads``, ``tiles``; the first entry is always
+    the model-heuristic default plan (chained/reference at the
+    configured threads and layout), whose measured time becomes the
+    tuned plan's ``modeled_ns`` reference point.
+    """
+    layouts = [sweep_layout]
+    if ndim > 1:
+        layouts += [m for m in ("strided", "transposed") if m != sweep_layout]
+    elif sweep_layout != "strided":
+        layouts.append("strided")
+    thread_counts = sorted({1, threads, max(1, cpu_count)})
+
+    plans = [{"weno_variant": "chained", "riemann_variant": "reference",
+              "sweep_layout": sweep_layout, "threads": threads,
+              "tiles": None}]
+    for wv in WENO_VARIANTS:
+        for rv in RIEMANN_VARIANTS:
+            for mode in layouts:
+                for t in thread_counts:
+                    tile_counts = [None] if t == 1 else [None, t, 2 * t]
+                    for tiles in tile_counts:
+                        plan = {"weno_variant": wv, "riemann_variant": rv,
+                                "sweep_layout": mode, "threads": t,
+                                "tiles": tiles}
+                        if plan not in plans:
+                            plans.append(plan)
+    return plans

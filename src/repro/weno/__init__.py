@@ -13,6 +13,12 @@ from repro.weno.reconstruct import (
     reconstruct_faces_span,
     weno_order_check,
 )
+from repro.weno.stacked import (
+    WENO_VARIANTS,
+    allocate_weno_scratch,
+    validate_weno_variant,
+    weno_passes_per_side,
+)
 
 __all__ = [
     "halo_width",
@@ -21,4 +27,8 @@ __all__ = [
     "reconstruct_faces",
     "reconstruct_faces_span",
     "weno_order_check",
+    "WENO_VARIANTS",
+    "allocate_weno_scratch",
+    "validate_weno_variant",
+    "weno_passes_per_side",
 ]

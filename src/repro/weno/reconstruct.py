@@ -232,8 +232,16 @@ def _weno5_into(out, s, vm2, vm1, v0, vp1, vp2) -> None:
 
 
 def _faces_into(vlast: np.ndarray, start: int, count: int, order: int,
-                out: np.ndarray, scratch, downwind: bool) -> None:
+                out: np.ndarray, scratch, downwind: bool,
+                variant: str = "chained") -> None:
     """In-place upwind/downwind reconstruction into ``out`` (axis last)."""
+    if variant != "chained":
+        from repro.weno.stacked import stacked_faces_into, validate_weno_variant
+
+        validate_weno_variant(variant)
+        stacked_faces_into(vlast, start, count, order, out, scratch, downwind)
+        return
+
     def cells(offset: int) -> np.ndarray:
         o = -offset if downwind else offset
         return vlast[..., start + o: start + o + count]
@@ -249,7 +257,8 @@ def _faces_into(vlast: np.ndarray, start: int, count: int, order: int,
 def reconstruct_faces(v: np.ndarray, axis: int, order: int, *,
                       n_interior: int | None = None,
                       out: tuple[np.ndarray, np.ndarray] | None = None,
-                      scratch: tuple[np.ndarray, ...] | None = None):
+                      scratch: tuple[np.ndarray, ...] | None = None,
+                      variant: str = "chained"):
     """Reconstruct left/right face states along ``axis``.
 
     Parameters
@@ -273,7 +282,15 @@ def reconstruct_faces(v: np.ndarray, axis: int, order: int, *,
     scratch:
         At least :data:`SCRATCH_COUNT` preallocated arrays shaped like
         the output with the reconstruction axis moved last; allocated on
-        the fly when omitted.
+        the fly when omitted.  The ``"stacked"`` variant instead takes
+        the shapes of
+        :func:`repro.weno.stacked.stacked_scratch_shapes`.
+    variant:
+        Kernel implementation for the ``out=`` path: ``"chained"`` (the
+        per-candidate ufunc chains) or ``"stacked"`` (candidate-batched
+        stacked-stencil kernels; see :mod:`repro.weno.stacked`).  All
+        variants are bitwise identical; the allocating path
+        (``out=None``) always runs chained.
 
     Returns
     -------
@@ -306,17 +323,26 @@ def reconstruct_faces(v: np.ndarray, axis: int, order: int, *,
     vl_last = _axis_last(out_l, axis, output=True)
     vr_last = _axis_last(out_r, axis, output=True)
     if scratch is None:
-        scratch = tuple(np.empty(vl_last.shape, dtype=v.dtype)
-                        for _ in range(SCRATCH_COUNT))
-    _faces_into(vlast, ng - 1, nf, order, vl_last, scratch, downwind=False)
-    _faces_into(vlast, ng, nf, order, vr_last, scratch, downwind=True)
+        if variant == "chained":
+            scratch = tuple(np.empty(vl_last.shape, dtype=v.dtype)
+                            for _ in range(SCRATCH_COUNT))
+        else:
+            from repro.weno.stacked import allocate_weno_scratch
+
+            scratch = allocate_weno_scratch(variant, order, vl_last.shape,
+                                            v.dtype)
+    _faces_into(vlast, ng - 1, nf, order, vl_last, scratch, downwind=False,
+                variant=variant)
+    _faces_into(vlast, ng, nf, order, vr_last, scratch, downwind=True,
+                variant=variant)
     return out_l, out_r
 
 
 def reconstruct_faces_span(v: np.ndarray, axis: int, order: int,
                            lo: int, hi: int, *,
                            out: tuple[np.ndarray, np.ndarray],
-                           scratch: tuple[np.ndarray, ...]) -> None:
+                           scratch: tuple[np.ndarray, ...],
+                           variant: str = "chained") -> None:
     """Reconstruct only faces ``[lo, hi)`` along ``axis`` into ``out``.
 
     The tile entry point of the thread-tiled backend for the direction
@@ -342,8 +368,13 @@ def reconstruct_faces_span(v: np.ndarray, axis: int, order: int,
     vlast = _axis_last(v, axis)
     vl_last = _axis_last(out[0], axis, output=True)
     vr_last = _axis_last(out[1], axis, output=True)
-    span_scratch = tuple(s[..., :count] for s in scratch)
+    if variant == "chained":
+        span_scratch = tuple(s[..., :count] for s in scratch)
+    else:
+        from repro.weno.stacked import narrow_scratch_faces
+
+        span_scratch = narrow_scratch_faces(scratch, variant, order, count)
     _faces_into(vlast, ng - 1 + lo, count, order, vl_last[..., lo:hi],
-                span_scratch, downwind=False)
+                span_scratch, downwind=False, variant=variant)
     _faces_into(vlast, ng + lo, count, order, vr_last[..., lo:hi],
-                span_scratch, downwind=True)
+                span_scratch, downwind=True, variant=variant)

@@ -34,6 +34,7 @@ from repro.solver import (
     plan_transposed_axes,
     sphere,
 )
+from repro.hardware.tiling import L2_OCCUPANCY
 from repro.solver.sweep import cache_budget_bytes, validate_sweep_layout
 from repro.state import StateLayout, prim_to_cons
 
@@ -123,6 +124,29 @@ class TestPlanner:
     def test_validate_rejects_unknown_mode(self):
         with pytest.raises(ConfigurationError):
             validate_sweep_layout("coalesced")
+
+    # -- device sensitivity regressions (two catalog devices) ----------
+    def test_auto_follows_device_cache_budget(self):
+        # An MI250X GCD exposes its whole 8 MiB L2 to the sweep (no
+        # per-core split), twice the EPYC core's share: at 256^2 the
+        # EPYC transposes while the GCD keeps the block resident.
+        assert plan_transposed_axes("auto", 6, (256, 256), 5,
+                                    device=get_device("epyc9564")) == {0}
+        assert plan_transposed_axes("auto", 6, (256, 256), 5,
+                                    device=get_device("mi250x")) == frozenset()
+
+    def test_auto_transposes_oversized_blocks_on_gpu_device(self):
+        # Past any budget, both devices agree: transpose the y sweep.
+        assert plan_transposed_axes("auto", 6, (512, 512), 5,
+                                    device=get_device("mi250x")) == {0}
+
+    def test_cache_budget_whole_l2_without_core_count(self):
+        gcd = get_device("mi250x")
+        epyc = get_device("epyc9564")
+        assert cache_budget_bytes(gcd) == pytest.approx(
+            gcd.l2_bytes * L2_OCCUPANCY)
+        assert cache_budget_bytes(epyc) == pytest.approx(
+            epyc.l2_bytes / epyc.cores * L2_OCCUPANCY)
 
 
 # ----------------------------------------------------------------------
