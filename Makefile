@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-thread test-fault bench bench-rhs bench-layout bench-tuned tune examples artifacts clean
+.PHONY: install test test-thread test-fault test-procs bench bench-rhs bench-layout bench-tuned bench-cluster tune examples artifacts clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,6 +18,11 @@ test-thread:
 # corruption fallback, determinism across layouts/threads).
 test-fault:
 	$(PYTHON) -m pytest tests/ -m faults
+
+# Multi-process executor suite: shared-memory halo exchange,
+# decomposed-vs-serial bit-identity, rank-fault restart.
+test-procs:
+	$(PYTHON) -m pytest tests/test_procs.py tests/test_cluster.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -41,6 +46,13 @@ bench-layout:
 bench-tuned:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py \
 		--grid 256 --threads 1 --tuned
+
+# Real multi-process weak/strong scaling through the shared-memory
+# cluster executor, reconciled against the analytic comm model
+# (appends to benchmarks/results/BENCH_cluster.json's history).
+bench-cluster:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_cluster.py \
+		--ranks 1 --ranks 2 --ranks 4
 
 # Autotune the quickstart example case on this host and cache the
 # winning kernel-variant plan (see docs/tuning.md).

@@ -1,0 +1,253 @@
+"""Multi-process cluster benchmark: measured weak/strong scaling vs model.
+
+Runs the standard 2D advecting-bubble case through the real
+multi-process executor (:class:`repro.cluster.ProcessCluster`, one
+process per rank, halos through shared memory) at a sweep of rank
+counts and **appends** one entry to the ``"history"`` list of
+``benchmarks/results/BENCH_cluster.json`` — like ``bench_rhs.py``, the
+trajectory across PRs is a growing list, never an overwrite.
+
+Two curves per entry:
+
+* **weak scaling** — a fixed per-rank block, the global problem grows
+  with the rank grid; efficiency is ``t(1 rank) / t(R ranks)`` per
+  step,
+* **strong scaling** — a fixed global problem split across the rank
+  grid; efficiency is ``t(1) / (R * t(R))``.
+
+Every measured point carries a **model-error column** reconciling the
+analytic communication model with what the transport actually did:
+
+* halo messages and bytes — the analytic counts
+  (``decomp.total_messages()`` and ``decomp.total_halo_bytes()`` per
+  RHS evaluation, the same accounting ``CommModel.halo_exchange_time``
+  charges via ``max_neighbors_per_axis``) against the merged
+  :class:`~repro.profiling.counters.HaloCounters`; after the PR-6
+  billing fixes these agree exactly, and the bench records the
+  percentage error to prove it,
+* dt reductions — one per rank per step against the measured tally,
+* step-time efficiency — the :class:`~repro.cluster.ScalingDriver`
+  prediction for the same rank counts (priced on Summit's network; the
+  host is not Summit, so this column is a shape comparison, not an
+  identity) next to the measured efficiency.
+
+Each point also re-runs the same march serially and asserts the
+decomposed result is **bit-identical** — a benchmark that silently
+computed something else would be worthless.
+
+``host_cpus``, the short git SHA, the NumPy version, and the dtype are
+stamped on every entry: on a single-core container every rank shares
+one core, so measured "scaling" is the executor's overhead curve, not
+a speedup curve (the stamp is what makes that interpretable later).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py \
+        [--ranks R ...] [--cells-per-rank N] [--global-cells N]
+        [--steps K] [--label L]
+
+Defaults sweep 1, 2, and 4 ranks with 48^2 cells per rank (weak) and a
+96^2 global grid (strong), 8 timed steps each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+from pathlib import Path
+
+import numpy as np
+
+from repro.bc import BoundarySet
+from repro.common import DTYPE
+from repro.cluster import BlockDecomposition, ScalingDriver
+from repro.cluster.decomposition import factor3d
+from repro.cluster.topology import SUMMIT
+from repro.eos import Mixture, StiffenedGas
+from repro.grid import StructuredGrid
+from repro.solver import Case, Patch, Simulation, box, sphere
+from repro.timestepping.ssp_rk import SSP_SCHEMES
+from repro.weno import halo_width
+
+AIR = StiffenedGas(1.4, 0.0, "air")
+MIX = Mixture((AIR, AIR))
+
+RESULT_PATH = Path(__file__).parent / "results" / "BENCH_cluster.json"
+
+RK_ORDER = 3
+
+
+def make_sim(shape: tuple[int, int], *, ranks: int = 1) -> Simulation:
+    """The benchmark case: a pressurised bubble advecting through a box."""
+    grid = StructuredGrid.uniform(((0.0, 1.0), (0.0, 1.0)), shape)
+    case = Case(grid, MIX)
+    case.add(Patch(box([0, 0], [1, 1]), alpha_rho=(0.5, 0.5),
+                   velocity=(0.3, -0.1), pressure=1.0, alpha=(0.5,)))
+    case.add(Patch(sphere([0.5, 0.5], 0.2), alpha_rho=(1.0, 1.0),
+                   velocity=(0.0, 0.0), pressure=2.0, alpha=(0.5,)))
+    return Simulation(case, BoundarySet.all_periodic(2), cfl=0.4,
+                      rk_order=RK_ORDER, ranks=ranks)
+
+
+def _git_sha() -> str:
+    try:
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              capture_output=True, text=True, check=True,
+                              cwd=Path(__file__).parent)
+        return proc.stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _pct_error(modeled: float, measured: float) -> float:
+    if measured == 0:
+        return 0.0 if modeled == 0 else float("inf")
+    return 100.0 * (modeled - measured) / measured
+
+
+def measure_point(shape: tuple[int, int], ranks: int, steps: int,
+                  serial_q: np.ndarray) -> dict:
+    """One measured scaling point; asserts bit-identity to ``serial_q``."""
+    sim = make_sim(shape, ranks=ranks)
+    sim.run(n_steps=steps)
+    if not np.array_equal(sim.q, serial_q):
+        raise AssertionError(
+            f"{ranks}-rank run diverged bitwise from serial on {shape}")
+    wall = [r.wall_seconds for r in sim.history]
+    # Drop the first step: it pays the page-faulting of freshly mapped
+    # shared memory (and, serially, first-touch of the workspace).
+    timed = wall[1:] if len(wall) > 1 else wall
+    point: dict = {
+        "ranks": ranks,
+        "global_cells": list(shape),
+        "seconds_per_step": sum(timed) / len(timed),
+        "grind_time_ns": sim.grind_time_ns(),
+        "bit_identical": True,
+    }
+    if ranks == 1:
+        return point
+    decomp = BlockDecomposition.balanced(shape, ranks,
+                                         periodic=(True, True))
+    rhs_evals = len(SSP_SCHEMES[RK_ORDER])
+    ng = halo_width(sim.config.weno_order)
+    halo = sim.halo_counters
+    modeled_msgs = decomp.total_messages() * rhs_evals * steps
+    modeled_bytes = (decomp.total_halo_bytes(ng, sim.layout.nvars)
+                     * rhs_evals * steps)
+    modeled_reductions = ranks * steps
+    point.update({
+        "rank_grid": list(decomp.rank_grid),
+        "halo": halo.as_dict(),
+        "messages_modeled": modeled_msgs,
+        "message_model_error_pct": _pct_error(modeled_msgs, halo.messages),
+        "bytes_modeled": modeled_bytes,
+        "byte_model_error_pct": _pct_error(modeled_bytes,
+                                           halo.bytes_exchanged),
+        "reductions_modeled": modeled_reductions,
+        "reduction_model_error_pct": _pct_error(modeled_reductions,
+                                                halo.reductions),
+    })
+    return point
+
+
+def bench_curve(kind: str, shapes: dict[int, tuple[int, int]],
+                steps: int) -> dict:
+    """One scaling curve (weak or strong) over ``{ranks: global shape}``."""
+    rank_counts = sorted(shapes)
+    curve: dict = {"kind": kind, "timed_steps": steps, "points": []}
+    serial: dict[tuple[int, int], np.ndarray] = {}
+    for shape in set(shapes.values()):
+        ref = make_sim(shape)
+        ref.run(n_steps=steps)
+        serial[shape] = ref.q
+    base = None
+    driver = ScalingDriver(SUMMIT, nvars=7, rhs_evals=len(SSP_SCHEMES[RK_ORDER]))
+    if kind == "weak":
+        cells_per_rank = int(np.prod(shapes[rank_counts[0]]))
+        modeled = driver.weak_scaling(cells_per_rank, rank_counts)
+        modeled_eff = ScalingDriver.weak_efficiency(modeled)
+    else:
+        total = int(np.prod(shapes[rank_counts[0]]))
+        modeled = driver.strong_scaling(total, rank_counts)
+        modeled_eff = ScalingDriver.strong_efficiency(modeled)
+    for ranks, eff_model in zip(rank_counts, modeled_eff):
+        shape = shapes[ranks]
+        point = measure_point(shape, ranks, steps, serial[shape])
+        t = point["seconds_per_step"]
+        if base is None:
+            base = t
+        eff = base / t if kind == "weak" else base / (ranks * t)
+        point["efficiency_measured"] = eff
+        point["efficiency_modeled"] = eff_model
+        point["efficiency_model_error"] = eff_model - eff
+        curve["points"].append(point)
+        msg_err = point.get("message_model_error_pct", 0.0)
+        byte_err = point.get("byte_model_error_pct", 0.0)
+        print(f"  {kind:<6} ranks={ranks}  {shape[0]}x{shape[1]}: "
+              f"{t * 1e3:8.2f} ms/step  eff={eff:5.2f} "
+              f"(model {eff_model:.2f})  "
+              f"msg-err={msg_err:+.1f}%  byte-err={byte_err:+.1f}%")
+    return curve
+
+
+def load_history() -> list[dict]:
+    if not RESULT_PATH.exists():
+        return []
+    return json.loads(RESULT_PATH.read_text())["history"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ranks", type=int, action="append", default=None,
+                        help="rank count (repeatable; default 1, 2, 4)")
+    parser.add_argument("--cells-per-rank", type=int, default=48,
+                        help="per-rank block edge for the weak curve "
+                             "(default 48)")
+    parser.add_argument("--global-cells", type=int, default=96,
+                        help="global grid edge for the strong curve "
+                             "(default 96)")
+    parser.add_argument("--steps", type=int, default=8,
+                        help="timed steps per point (default 8)")
+    parser.add_argument("--label", default="scaling-sweep")
+    args = parser.parse_args(argv)
+
+    rank_counts = sorted(set(args.ranks or [1, 2, 4]))
+    if 1 not in rank_counts:
+        rank_counts = [1] + rank_counts  # efficiencies need the baseline
+
+    host_cpus = os.cpu_count() or 1
+    print(f"host cpus: {host_cpus}"
+          + ("  (single core: every rank shares it — measured curves "
+             "show executor overhead, not speedup)" if host_cpus == 1
+             else ""))
+
+    # Weak curve: per-rank block held fixed, global grid tiled by the
+    # same balanced rank grid the executor will pick.
+    n = args.cells_per_rank
+    weak_shapes = {}
+    for ranks in rank_counts:
+        g = factor3d(ranks, ndim=2)
+        weak_shapes[ranks] = (n * g[0], n * g[1])
+    strong_shapes = {ranks: (args.global_cells, args.global_cells)
+                     for ranks in rank_counts}
+
+    entry: dict = {
+        "label": args.label, "host_cpus": host_cpus, "git_sha": _git_sha(),
+        "numpy": np.__version__, "dtype": str(np.dtype(DTYPE)),
+        "rank_counts": rank_counts,
+        "weak": bench_curve("weak", weak_shapes, args.steps),
+        "strong": bench_curve("strong", strong_shapes, args.steps),
+    }
+
+    history = load_history()
+    history.append(entry)
+    RESULT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULT_PATH.write_text(json.dumps({"history": history}, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH} ({len(history)} history entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     threads = solver_options.get("threads", 1)
     if args.threads is not None:
         threads = args.threads
+    ranks = solver_options.get("ranks", 1)
+    if args.ranks is not None:
+        ranks = args.ranks
     layout = solver_options.get("sweep_layout", "strided")
     if args.layout is not None:
         layout = args.layout
@@ -62,12 +65,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      config=RHSConfig(weno_order=args.weno,
                                       riemann_solver=args.riemann,
                                       geometry=args.geometry),
-                     cfl=args.cfl, threads=threads, sweep_layout=layout,
+                     cfl=args.cfl, threads=threads, ranks=ranks,
+                     sweep_layout=layout,
                      tuning=tuning, tuning_cache=tuning_cache,
                      **resilience)
     print(f"running {case.grid.num_cells} cells, {case.mixture.ncomp} fluids, "
           f"WENO{args.weno} + {args.riemann.upper()}"
           + (f", {threads} threads" if threads > 1 else "")
+          + (f", {ranks} ranks" if ranks > 1 else "")
           + (f", {layout} sweeps" if layout != "strided" else ""))
     if sim.tuning_plan is not None:
         print(sim.tuning_plan.summary())
@@ -90,9 +95,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"grind {sim.grind_time_ns():.1f} ns/cell/PDE/RHS (host)")
         shares = ", ".join(f"{k}={100 * v:.0f}%"
                            for k, v in sorted(sim.kernel_breakdown().items()))
-        print(f"kernel shares: {shares}")
+        if shares:  # kernel laps live in the workers on multi-process runs
+            print(f"kernel shares: {shares}")
         if sim.rhs.sweep_counters.transposed_sweeps:
             print(sim.rhs.sweep_counters.summary())
+        if sim.halo_counters is not None:
+            print(sim.halo_counters.summary())
     else:
         print(f"done: horizon t_end already reached; no steps taken "
               f"(t = {sim.time:.6g})")
@@ -205,6 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--threads", type=int, default=None,
                      help="worker threads for the tiled RHS backend "
                           "(default: case file's solver.threads, else 1)")
+    run.add_argument("--ranks", type=int, default=None,
+                     help="processes for a multi-process block-decomposed "
+                          "run with shared-memory halo exchange "
+                          "(default: case file's solver.ranks, else 1)")
     run.add_argument("--layout", default=None,
                      choices=("strided", "transposed", "auto"),
                      help="sweep memory layout: strided, transposed "

@@ -4,8 +4,16 @@ I/O model, machine topologies, and the scaling experiment drivers."""
 from repro.cluster.decomposition import BlockDecomposition, factor3d
 from repro.cluster.topology import FRONTIER, SUMMIT, MachineSpec
 from repro.cluster.mpi_sim import CommModel, NetworkModel
-from repro.cluster.halo import HaloExchanger
+from repro.cluster.halo import HaloExchanger, validate_periodicity
+from repro.cluster.ranksolver import RankSolver
 from repro.cluster.distributed import DistributedSolver
+from repro.cluster.procs import (
+    ClusterResult,
+    ProcessCluster,
+    RankFault,
+    SharedMemoryTransport,
+    ShmArena,
+)
 from repro.cluster.events import Event, EventSimulator, StepTimeline
 from repro.cluster.placement import Placement, best_policy, intra_node_fraction
 from repro.cluster.io_model import IOModel
@@ -29,7 +37,14 @@ __all__ = [
     "NetworkModel",
     "CommModel",
     "HaloExchanger",
+    "validate_periodicity",
+    "RankSolver",
     "DistributedSolver",
+    "ProcessCluster",
+    "ClusterResult",
+    "RankFault",
+    "SharedMemoryTransport",
+    "ShmArena",
     "Event",
     "EventSimulator",
     "StepTimeline",

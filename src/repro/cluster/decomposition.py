@@ -175,6 +175,52 @@ class BlockDecomposition:
         return None
 
     # -- communication volume --------------------------------------------------
+    def neighbor_sides(self, rank: int, axis: int) -> int:
+        """Number of halo messages ``rank`` receives along ``axis`` (0-2).
+
+        A periodic axis with a single rank still exchanges with itself
+        on both sides (the wrap copy is a real message in MPI terms), so
+        this is simply the count of non-``None`` neighbours.
+        """
+        return sum(1 for side in (-1, 1)
+                   if self.neighbor(rank, axis, side) is not None)
+
+    def max_neighbors_per_axis(self) -> tuple[int, ...]:
+        """Worst-rank neighbour count per axis.
+
+        This is what the analytic comm model must charge instead of a
+        flat two messages per axis: an undecomposed non-periodic axis
+        (``rank_grid[axis] == 1``) sends nothing, a two-rank
+        non-periodic axis sends one message per rank, and anything
+        periodic or deeper sends two.
+        """
+        out = []
+        for axis in range(self.ndim):
+            ranks = self.rank_grid[axis]
+            if self.periodic[axis] or ranks > 2:
+                out.append(2)
+            elif ranks == 2:
+                out.append(1)
+            else:
+                out.append(0)
+        return tuple(out)
+
+    def total_messages(self) -> int:
+        """Halo messages per full exchange, summed over ranks and axes.
+
+        ``HaloExchanger.messages`` after one exchange equals exactly
+        this (tests assert it), which is what keeps the analytic model
+        and the functional transport reconciled.
+        """
+        return sum(self.neighbor_sides(r, axis)
+                   for r in range(self.nranks)
+                   for axis in range(self.ndim))
+
+    def total_halo_bytes(self, ng: int, nvars: int, itemsize: int = 8) -> int:
+        """Bytes moved per full exchange, summed over ranks and axes."""
+        return sum(self.halo_cells(r, ng)
+                   for r in range(self.nranks)) * nvars * itemsize
+
     def halo_cells(self, rank: int, ng: int) -> int:
         """Cells exchanged per halo pass (both sides, all axes with neighbours)."""
         local = self.local_cells(rank)
@@ -203,9 +249,8 @@ class BlockDecomposition:
             base, rem = divmod(cells, ranks)
             largest.append(base + (1 if rem else 0))
         total = 0
+        sides = self.max_neighbors_per_axis()
         for axis in range(self.ndim):
             face = int(np.prod(largest)) // largest[axis]
-            sides = 2 if (self.rank_grid[axis] > 2 or self.periodic[axis]) \
-                else (1 if self.rank_grid[axis] == 2 else 0)
-            total += sides * ng * face
+            total += sides[axis] * ng * face
         return total * nvars * itemsize

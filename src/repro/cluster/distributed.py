@@ -6,6 +6,16 @@ ghost values at interior faces supplied by the functional halo exchange
 instead of physical BCs.  A decomposed run reproduces the single-block
 run bit for bit (tests assert this), which is the correctness property
 that makes the paper's weak/strong-scaling numbers meaningful.
+
+Each rank is a :class:`~repro.cluster.ranksolver.RankSolver` owning a
+full :class:`~repro.solver.workspace.SolverWorkspace` for its block, so
+steady-state RHS evaluations allocate nothing — the distributed analog
+of the serial ``out=`` paths (and what the multi-process executor in
+:mod:`repro.cluster.procs` runs one-per-process).  The in-process
+driver is bulk-synchronous: within every RK stage all ranks post their
+boundary strips (:meth:`RankSolver.rhs_begin`) before any rank fills
+ghosts and sweeps (:meth:`RankSolver.rhs_finish`), the single-process
+stand-in for the shared-memory mailbox ordering.
 """
 
 from __future__ import annotations
@@ -17,16 +27,14 @@ import numpy as np
 from repro.bc.boundary import BoundarySet
 from repro.cluster.decomposition import BlockDecomposition
 from repro.cluster.halo import HaloExchanger
+from repro.cluster.ranksolver import RankSolver, rk_stages
 from repro.common import ConfigurationError
 from repro.eos.mixture import Mixture
 from repro.grid.cartesian import StructuredGrid
-from repro.riemann import SOLVERS
-from repro.solver.positivity import limit_face_states
+from repro.profiling.counters import SweepCounters
 from repro.solver.rhs import RHSConfig
-from repro.state.conversions import cons_to_prim
 from repro.state.layout import StateLayout
-from repro.timestepping.ssp_rk import SSP_SCHEMES
-from repro.weno import halo_width, reconstruct_faces
+from repro.weno import halo_width
 
 
 @dataclass
@@ -39,6 +47,13 @@ class DistributedSolver:
     bcs: BoundarySet
     decomp: BlockDecomposition
     config: RHSConfig = field(default_factory=RHSConfig)
+    #: Sweep layout per rank — same knob (and bitwise-identity
+    #: guarantee) as the serial solver's ``sweep_layout``.
+    sweep_layout: str = "strided"
+    #: Compute ghost-free interior faces before filling ghosts (the
+    #: communication-hiding schedule the multi-process executor relies
+    #: on).  Results are bitwise identical either way.
+    overlap: bool = True
 
     def __post_init__(self) -> None:
         if self.decomp.global_cells != self.grid.shape:
@@ -46,52 +61,42 @@ class DistributedSolver:
                 f"decomposition covers {self.decomp.global_cells}, "
                 f"grid has {self.grid.shape}")
         self._ng = halo_width(self.config.weno_order)
-        self._riemann = SOLVERS[self.config.riemann_solver]
         self.halo = HaloExchanger(self.decomp, self.layout, self.bcs, self._ng)
-        # Per-rank width fields, sliced from the global grid.
-        self._widths: list[tuple[np.ndarray, ...]] = []
-        for r in range(self.decomp.nranks):
-            slices = self.decomp.local_slices(r)
-            per_axis = []
-            for d in range(self.grid.ndim):
-                w = self.grid.widths(d)[slices[d]]
-                newshape = [1] * self.grid.ndim
-                newshape[d] = w.size
-                per_axis.append(w.reshape(newshape))
-            self._widths.append(tuple(per_axis))
+        self.ranks = [
+            RankSolver(self.decomp, r, self.layout, self.mixture, self.bcs,
+                       self.config, self.grid, self.halo,
+                       sweep_layout=self.sweep_layout, overlap=self.overlap)
+            for r in range(self.decomp.nranks)
+        ]
 
     # ------------------------------------------------------------------
     def rhs_blocks(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
-        """Per-rank ``dq/dt``, with halo exchange before each sweep."""
-        lay = self.layout
-        prims = [cons_to_prim(lay, self.mixture, b) for b in blocks]
-        dqdts = [np.zeros_like(b) for b in blocks]
-        divus = [np.zeros(b.shape[1:], dtype=b.dtype) for b in blocks]
+        """Per-rank ``dq/dt``, with halo exchange before each sweep.
 
-        for d in range(lay.ndim):
-            padded = self.halo.padded_axis(prims, d)
-            for r in range(self.decomp.nranks):
-                v_l, v_r = reconstruct_faces(padded[r], d + 1, self.config.weno_order)
-                limit_face_states(lay, self.mixture, padded[r], v_l, v_r,
-                                  d, self._ng)
-                flux, u_face = self._riemann(lay, self.mixture, v_l, v_r, d)
-                width = self._widths[r][d]
-                dqdts[r] -= np.diff(flux, axis=d + 1) / width
-                divus[r] += np.diff(u_face, axis=d) / width
-
-        for r in range(self.decomp.nranks):
-            dqdts[r][lay.advected] += prims[r][lay.advected] * divus[r]
-        return dqdts
+        Returns each rank's workspace ``dqdt`` buffer (reused by the
+        next call — copy if it must survive).  Steady state allocates
+        no new large arrays.
+        """
+        prims = [rank.rhs_begin(q) for rank, q in zip(self.ranks, blocks)]
+        return [rank.rhs_finish(prim)
+                for rank, prim in zip(self.ranks, prims)]
 
     def step_blocks(self, blocks: list[np.ndarray], dt: float,
                     rk_order: int = 3) -> list[np.ndarray]:
-        """One SSP-RK step of every rank's block (bulk-synchronous)."""
+        """One SSP-RK step of every rank's block (bulk-synchronous).
+
+        Returns each rank's ``rk_result`` workspace buffer; the stage
+        combinations replicate :func:`~repro.timestepping.ssp_rk.
+        ssp_rk_step`'s exact ufunc grouping, so a decomposed step is
+        bitwise the serial one.
+        """
+        stages = rk_stages(rk_order)
         q_n = blocks
         q_k = blocks
-        for a, b, c in SSP_SCHEMES[rk_order]:
+        for k, coeffs in enumerate(stages):
             rhs = self.rhs_blocks(q_k)
-            q_k = [a * qn + b * qk + (c * dt) * L
-                   for qn, qk, L in zip(q_n, q_k, rhs)]
+            q_k = [rank.rk_stage_combine(k, len(stages), coeffs, dt, qn, qk, L)
+                   for rank, qn, qk, L in zip(self.ranks, q_n, q_k, rhs)]
         return q_k
 
     # ------------------------------------------------------------------
@@ -100,5 +105,15 @@ class DistributedSolver:
         """March a global field for ``n_steps`` and gather the result."""
         blocks = self.halo.split(q_global)
         for _ in range(n_steps):
-            blocks = self.step_blocks(blocks, dt, rk_order)
+            stepped = self.step_blocks(blocks, dt, rk_order)
+            for block, result in zip(blocks, stepped):
+                block[...] = result
         return self.halo.gather(blocks)
+
+    # ------------------------------------------------------------------
+    def merged_sweep_counters(self) -> SweepCounters:
+        """Cluster-wide sweep counters (sum over ranks)."""
+        total = SweepCounters()
+        for rank in self.ranks:
+            total.merge(rank.sweep_counters)
+        return total

@@ -21,8 +21,71 @@ import numpy as np
 
 from repro.bc.boundary import BC, BoundarySet, fill_axis_ghosts, pad_axis
 from repro.cluster.decomposition import BlockDecomposition
-from repro.common import ConfigurationError
+from repro.common import DTYPE, ConfigurationError
+from repro.profiling.counters import HaloCounters
 from repro.state.layout import StateLayout
+
+
+def validate_periodicity(decomp: BlockDecomposition, bcs: BoundarySet) -> None:
+    """Reject boundary sets whose periodicity disagrees with the decomposition.
+
+    Both sides of every axis are inspected: a malformed set with
+    ``PERIODIC`` on one side only is an error naming the axis, not a
+    silent pass (the exchange would fill one ghost layer from a wrap
+    and the other from a wall).
+    """
+    for axis in range(decomp.ndim):
+        lo, hi = bcs.per_axis[axis]
+        per_lo = lo is BC.PERIODIC
+        per_hi = hi is BC.PERIODIC
+        if per_lo != per_hi:
+            raise ConfigurationError(
+                f"axis {axis}: PERIODIC boundary on one side only "
+                f"(lo={lo.name}, hi={hi.name}) — periodic axes must be "
+                f"periodic on both sides")
+        if per_lo != decomp.periodic[axis]:
+            raise ConfigurationError(
+                f"axis {axis}: BoundarySet periodicity must match the "
+                f"decomposition's periodic flags")
+
+
+def fill_wall_ghosts(padded: np.ndarray, layout: StateLayout, bcs: BoundarySet,
+                     decomp: BlockDecomposition, rank: int, axis: int,
+                     ng: int) -> None:
+    """Apply physical BCs on ``rank``'s global-wall side(s) of ``axis``.
+
+    Sides facing an interior (or periodic-wrap) neighbour are left for
+    the halo transport to fill; a rank in the middle of a decomposed
+    axis gets no wall fill at all.
+    """
+    lo_bc, hi_bc = bcs.per_axis[axis]
+    coords = decomp.rank_coords(rank)
+    at_lo = coords[axis] == 0 and not decomp.periodic[axis]
+    at_hi = (coords[axis] == decomp.rank_grid[axis] - 1
+             and not decomp.periodic[axis])
+    if at_lo or at_hi:
+        _fill_wall(padded, layout, axis, ng,
+                   lo_bc if at_lo else None, hi_bc if at_hi else None)
+
+
+def boundary_strip(field: np.ndarray, axis: int, ng: int, side: int) -> np.ndarray:
+    """View of the outgoing boundary region of an *unpadded* block.
+
+    ``side=-1`` is the low-interior strip (destined for the low
+    neighbour's high ghosts), ``side=+1`` the high-interior strip.
+    """
+    n = field.shape[axis + 1]
+    idx = [slice(None)] * field.ndim
+    idx[axis + 1] = slice(0, ng) if side == -1 else slice(n - ng, n)
+    return field[tuple(idx)]
+
+
+def ghost_strip(padded: np.ndarray, axis: int, ng: int, side: int) -> np.ndarray:
+    """View of the ghost layer of a *padded* block on ``side``."""
+    n = padded.shape[axis + 1] - 2 * ng
+    idx = [slice(None)] * padded.ndim
+    idx[axis + 1] = slice(0, ng) if side == -1 else slice(n + ng, n + 2 * ng)
+    return padded[tuple(idx)]
 
 
 def pack_face(padded: np.ndarray, axis: int, ng: int, side: int) -> np.ndarray:
@@ -63,18 +126,70 @@ class HaloExchanger:
                  bcs: BoundarySet, ng: int):
         if decomp.ndim != layout.ndim:
             raise ConfigurationError("decomposition/layout dimensionality mismatch")
-        for axis in range(decomp.ndim):
-            per = bcs.per_axis[axis][0] is BC.PERIODIC
-            if per != decomp.periodic[axis]:
-                raise ConfigurationError(
-                    f"axis {axis}: BoundarySet periodicity must match the "
-                    f"decomposition's periodic flags")
+        validate_periodicity(decomp, bcs)
         self.decomp = decomp
         self.layout = layout
         self.bcs = bcs
         self.ng = ng
-        self.bytes_exchanged = 0
-        self.messages = 0
+        self.counters = HaloCounters()
+        # Preallocated per-(rank, axis, side) mailboxes for the
+        # post/fill protocol: one boundary-strip-shaped buffer per
+        # neighboured side, reused every exchange.  Neighbours along an
+        # axis share their other-axis extents, so a rank's outgoing
+        # strip always matches the receiver's ghost region.
+        self._mailbox: dict[tuple[int, int, int], np.ndarray] = {}
+        for r in range(decomp.nranks):
+            local = decomp.local_cells(r)
+            for axis in range(decomp.ndim):
+                for side in (-1, 1):
+                    if decomp.neighbor(r, axis, side) is None:
+                        continue
+                    shape = [layout.nvars, *local]
+                    shape[axis + 1] = ng
+                    self._mailbox[(r, axis, side)] = np.empty(shape, dtype=DTYPE)
+
+    # Legacy counter aliases (tests and benchmarks read these).
+    @property
+    def bytes_exchanged(self) -> int:
+        return self.counters.bytes_exchanged
+
+    @property
+    def messages(self) -> int:
+        return self.counters.messages
+
+    # -- mailbox protocol ----------------------------------------------------
+    def post(self, rank: int, axis: int, field: np.ndarray) -> None:
+        """Pack ``rank``'s boundary strips along ``axis`` into its mailboxes.
+
+        ``field`` is the rank's *unpadded* block.  In-process posting is
+        a single strided copy into the preallocated mailbox — the
+        stand-in for packing straight into a shared-memory segment.
+        """
+        ng = self.ng
+        for side in (-1, 1):
+            box = self._mailbox.get((rank, axis, side))
+            if box is None:
+                continue
+            box[...] = boundary_strip(field, axis, ng, side)
+            self.counters.posts += 1
+
+    def fill(self, rank: int, axis: int, padded: np.ndarray) -> None:
+        """Fill ``rank``'s interior-face ghosts along ``axis`` from the
+        neighbours' posted mailboxes (the ``MPI_Sendrecv`` completion)."""
+        ng = self.ng
+        for side in (-1, 1):
+            nb = self.decomp.neighbor(rank, axis, side)
+            if nb is None:
+                continue
+            box = self._mailbox[(nb, axis, -side)]
+            ghost_strip(padded, axis, ng, side)[...] = box
+            self.counters.messages += 1
+            self.counters.bytes_exchanged += box.nbytes
+
+    def fill_walls(self, rank: int, axis: int, padded: np.ndarray) -> None:
+        """Apply physical BCs on ``rank``'s global-wall side(s) of ``axis``."""
+        fill_wall_ghosts(padded, self.layout, self.bcs, self.decomp,
+                         rank, axis, self.ng)
 
     # -- field scatter/gather ------------------------------------------------
     def split(self, global_field: np.ndarray) -> list[np.ndarray]:
@@ -106,8 +221,8 @@ class HaloExchanger:
                 # The neighbour's facing boundary region fills our ghosts.
                 buf = pack_face(padded[nb], axis, ng, -side)
                 unpack_face(padded[r], axis, ng, side, buf)
-                self.bytes_exchanged += buf.nbytes
-                self.messages += 1
+                self.counters.bytes_exchanged += buf.nbytes
+                self.counters.messages += 1
 
         # Global walls: physical boundary conditions.
         lo_bc, hi_bc = self.bcs.per_axis[axis]

@@ -65,12 +65,17 @@ class NetworkModel:
             + nbytes / (self.bandwidth_gbps * 1e9) * self.contention(nnodes)
 
 
-def allreduce_time(net: NetworkModel, nranks: int, nbytes: float = 8.0) -> float:
+def allreduce_time(net: NetworkModel, nranks: int, nbytes: float = 8.0,
+                   *, nnodes: int = 1) -> float:
     """One small MPI_Allreduce (recursive doubling): the per-step dt
     reduction every explicit CFL-stepped code performs.
 
     Cost: ``2 * ceil(log2 n)`` latency hops plus the (tiny) payload per
-    hop.  Microseconds even at 65,536 ranks — the model confirms the
+    hop, each hop priced through :meth:`NetworkModel.message_time` so
+    the same ``contention(nnodes)`` factor the halo messages pay applies
+    here too (previously the reduction rode uncontended bandwidth at
+    65,536 ranks while point-to-point traffic did not).  Still
+    microseconds even at full machine scale — the model confirms the
     paper's implicit assumption that no significant collective
     communication is required (§IV-B).
     """
@@ -79,7 +84,7 @@ def allreduce_time(net: NetworkModel, nranks: int, nbytes: float = 8.0) -> float
     if nranks == 1:
         return 0.0
     hops = 2 * math.ceil(math.log2(nranks))
-    return hops * (net.latency_us * 1e-6 + nbytes / (net.bandwidth_gbps * 1e9))
+    return hops * net.message_time(nbytes, nnodes=nnodes)
 
 
 @dataclass(frozen=True)
@@ -108,19 +113,37 @@ class CommModel:
         return wire + 2.0 * staging
 
     def halo_exchange_time(self, *, local_cells: tuple[int, ...], ng: int,
-                           nvars: int, nnodes: int = 1, itemsize: int = 8) -> float:
+                           nvars: int, nnodes: int = 1, itemsize: int = 8,
+                           sides_per_axis: tuple[int, ...] | None = None) -> float:
         """One full halo exchange: per-dimension sequential sendrecv phases.
 
         MFC exchanges dimension by dimension (each phase needs the
         previous one's corners), and within a dimension performs one
-        ``MPI_Sendrecv`` per side in sequence — two messages per axis.
+        ``MPI_Sendrecv`` per side in sequence.
+
+        ``sides_per_axis`` is the decomposition's per-axis neighbour
+        count (:meth:`BlockDecomposition.max_neighbors_per_axis`): an
+        axis that is not decomposed (``rank_grid[axis] == 1``,
+        non-periodic) exchanges nothing, a two-rank non-periodic axis
+        exchanges one message, everything else two.  When omitted the
+        model falls back to the worst case of two messages per axis,
+        which matches a fully-decomposed interior rank.
         """
         total = 0.0
         ncells = 1
         for c in local_cells:
             ncells *= c
+        if sides_per_axis is None:
+            sides_per_axis = tuple(2 for _ in local_cells)
+        elif len(sides_per_axis) != len(local_cells):
+            raise ConfigurationError(
+                f"sides_per_axis covers {len(sides_per_axis)} axes, "
+                f"local_cells has {len(local_cells)}")
         for axis, extent in enumerate(local_cells):
+            if sides_per_axis[axis] == 0:
+                continue
             face = ncells // extent
             nbytes = float(ng * face * nvars * itemsize)
-            total += 2.0 * self.sendrecv_time(nbytes, nnodes=nnodes)
+            total += sides_per_axis[axis] * self.sendrecv_time(nbytes,
+                                                               nnodes=nnodes)
         return total

@@ -1,0 +1,583 @@
+"""Real multi-process distributed runs with shared-memory halo exchange.
+
+This is the executable counterpart of the analytic cluster models: one
+OS process per rank of the 3D block decomposition, each running a
+:class:`~repro.cluster.ranksolver.RankSolver` over its own block, with
+halo buffers packed zero-copy into ``multiprocessing.shared_memory``
+segments and exchanged through a lightweight mailbox protocol (the
+single-node stand-in for ``MPI_Sendrecv``).
+
+Mailbox protocol
+----------------
+Every neighboured ``(rank, axis, side)`` gets a boundary-strip-shaped
+mailbox in the arena plus two int64 sequence words:
+
+* the **producer** (the strip's owner) waits until ``ack >= s - 1``
+  (the consumer finished with the previous exchange), writes the strip
+  directly into the shared segment, then publishes ``post = s``;
+* the **consumer** (the neighbour) waits until ``post >= s``, unpacks
+  the strip into its ghost layer, then publishes ``ack = s``.
+
+Posts of exchange ``s`` wait only on fills of ``s - 1`` and fills of
+``s`` wait only on posts of ``s``, so the dependency graph is acyclic —
+no deadlock for any decomposition, periodic or not.  Waits spin with a
+deadline and are tallied in :class:`~repro.profiling.counters.
+HaloCounters` (``waits``/``wait_ns`` — the un-hidden communication the
+interior-compute overlap exists to shrink).
+
+The per-step dt reduction reuses the same idea with one slot, one
+write-sequence word, and one read-sequence word per rank; every rank
+computes ``max`` over the slots in the same order, so all ranks adopt a
+bitwise-identical dt (max is exact in floating point).
+
+Fault tolerance
+---------------
+Each rank writes its own rotating :class:`~repro.io.checkpoint.
+CheckpointManager` file (``rank0000_*.bin`` …, file-per-process — the
+strategy MFC switched to at scale).  When a rank dies the parent
+terminates the survivors, finds the newest step for which *every* rank
+holds a checkpoint, builds a fresh arena, and respawns the cluster from
+that step.  Restarted runs are bit-identical to failure-free ones
+(every step is deterministic, so re-marching from step ``S`` reproduces
+the same states).  :class:`RankFault` injects a deterministic rank
+death to exercise the path end to end; wire it from a
+:class:`~repro.faults.ranks.RankFailurePlan` via
+:meth:`RankFault.from_plan`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.bc.boundary import BoundarySet
+from repro.cluster.decomposition import BlockDecomposition
+from repro.cluster.halo import boundary_strip, ghost_strip, validate_periodicity
+from repro.cluster.ranksolver import RankSolver, rk_stages
+from repro.common import DTYPE, ClusterError, ConfigurationError, NumericsError
+from repro.eos.mixture import Mixture
+from repro.grid.cartesian import StructuredGrid
+from repro.io.checkpoint import CheckpointManager
+from repro.profiling.counters import HaloCounters, SweepCounters
+from repro.solver.rhs import RHSConfig
+from repro.state.conversions import cons_to_prim
+from repro.state.layout import StateLayout
+from repro.weno import halo_width
+
+#: Exit code a worker uses to simulate a hardware fault (vs. 1 for a
+#: real Python error — both trigger the same restart path).
+_FAULT_EXIT = 3
+
+
+@dataclass(frozen=True)
+class RankFault:
+    """Deterministic injected rank death: ``rank`` exits (as a crashed
+    process would — no cleanup, no final checkpoint) right after
+    completing step ``step``.  Fires on the first attempt only, so the
+    restarted run can finish."""
+
+    rank: int
+    step: int
+
+    @classmethod
+    def from_plan(cls, plan, *, step_seconds: float, nranks: int,
+                  horizon_hours: float = 24.0) -> "RankFault | None":
+        """Derive the first injected death from a PR-4
+        :class:`~repro.faults.ranks.RankFailurePlan`.
+
+        The plan's first failure time (hours) is converted to the step
+        count a run with the given wall seconds-per-step would have
+        reached; returns None when the plan predicts no failure inside
+        the horizon."""
+        times = plan.failure_times(horizon_hours)
+        if not times:
+            return None
+        hours, rank = times[0]
+        step = max(1, int(hours * 3600.0 / step_seconds))
+        return cls(rank=rank % nranks, step=step)
+
+
+class ShmArena:
+    """One shared-memory segment holding every cross-process array.
+
+    Layout (all 8-byte aligned, zero-initialised):
+
+    * per-rank state blocks ``(nvars, *local_cells)`` float64 — the
+      authoritative ``q`` each worker marches in place (the parent
+      scatters the initial condition in and gathers the result out,
+      zero-copy on the worker side);
+    * per-``(rank, axis, side)`` halo mailboxes (boundary-strip shaped)
+      with their ``post``/``ack`` sequence words;
+    * the dt-reduction triple: ``slots`` float64 and
+      ``wrote``/``read`` sequence words, one each per rank.
+    """
+
+    def __init__(self, decomp: BlockDecomposition, nvars: int, ng: int):
+        self.decomp = decomp
+        self.nvars = nvars
+        self.ng = ng
+        self._slots: dict[object, tuple[int, tuple[int, ...], np.dtype]] = {}
+        offset = 0
+
+        def add(key, shape, dtype):
+            nonlocal offset
+            arr_bytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+            self._slots[key] = (offset, tuple(shape), np.dtype(dtype))
+            offset += arr_bytes
+
+        for r in range(decomp.nranks):
+            add(("block", r), (nvars, *decomp.local_cells(r)), DTYPE)
+        for r in range(decomp.nranks):
+            local = decomp.local_cells(r)
+            for axis in range(decomp.ndim):
+                for side in (-1, 1):
+                    if decomp.neighbor(r, axis, side) is None:
+                        continue
+                    shape = [nvars, *local]
+                    shape[axis + 1] = ng
+                    add(("box", r, axis, side), shape, DTYPE)
+                    add(("post", r, axis, side), (1,), np.int64)
+                    add(("ack", r, axis, side), (1,), np.int64)
+        add("slots", (decomp.nranks,), DTYPE)
+        add("wrote", (decomp.nranks,), np.int64)
+        add("read", (decomp.nranks,), np.int64)
+
+        self.shm = shared_memory.SharedMemory(create=True, size=max(offset, 8))
+        np.frombuffer(self.shm.buf, dtype=np.uint8, count=offset)[:] = 0
+
+    def view(self, key) -> np.ndarray:
+        offset, shape, dtype = self._slots[key]
+        return np.ndarray(shape, dtype=dtype, buffer=self.shm.buf,
+                          offset=offset)
+
+    def block(self, rank: int) -> np.ndarray:
+        return self.view(("block", rank))
+
+    def close(self) -> None:
+        self.shm.close()
+
+    def destroy(self) -> None:
+        self.shm.close()
+        self.shm.unlink()
+
+
+class SharedMemoryTransport:
+    """One worker's halo endpoint over the arena (see module docstring).
+
+    Duck-type compatible with :class:`~repro.cluster.halo.HaloExchanger`
+    as a :class:`RankSolver` transport: :meth:`post` packs boundary
+    strips straight into the shared mailboxes, :meth:`fill` completes
+    the sendrecv into the ghost layers.
+    """
+
+    def __init__(self, arena: ShmArena, rank: int, *,
+                 timeout: float = 30.0) -> None:
+        self.arena = arena
+        self.decomp = arena.decomp
+        self.rank = rank
+        self.ng = arena.ng
+        self.timeout = timeout
+        self.counters = HaloCounters()
+        # Exchange sequence numbers, tracked independently by producer
+        # and consumer — both sides perform exactly one exchange per
+        # RHS evaluation, so the counts agree by construction.
+        self._posted: dict[tuple[int, int], int] = {}
+        self._filled: dict[tuple[int, int], int] = {}
+        self._reduced = 0
+        self._slots = arena.view("slots")
+        self._wrote = arena.view("wrote")
+        self._read = arena.view("read")
+        # Views are materialised once; post/fill then touch only numpy
+        # arrays already mapped over the shared segment.
+        self._view: dict[tuple, np.ndarray] = {}
+        for r in range(self.decomp.nranks):
+            for axis in range(self.decomp.ndim):
+                for side in (-1, 1):
+                    if self.decomp.neighbor(r, axis, side) is None:
+                        continue
+                    for kind in ("box", "post", "ack"):
+                        key = (kind, r, axis, side)
+                        self._view[key] = arena.view(key)
+
+    # ------------------------------------------------------------------
+    def _wait(self, seq: np.ndarray, value: int, what: str) -> None:
+        """Spin until ``seq[0] >= value`` (with deadline)."""
+        if seq[0] >= value:
+            return
+        t0 = time.perf_counter_ns()
+        deadline = t0 + int(self.timeout * 1e9)
+        self.counters.waits += 1
+        spins = 0
+        while seq[0] < value:
+            spins += 1
+            # Yield aggressively once it is clearly not a micro-wait so
+            # oversubscribed single-core hosts make progress.
+            time.sleep(0 if spins < 200 else 5e-5)
+            if time.perf_counter_ns() > deadline:
+                raise ClusterError(
+                    f"rank {self.rank}: timed out after {self.timeout}s "
+                    f"waiting for {what} (seq {seq[0]} < {value}) — a peer "
+                    f"rank likely died")
+        self.counters.wait_ns += time.perf_counter_ns() - t0
+
+    # ------------------------------------------------------------------
+    def post(self, rank: int, axis: int, field: np.ndarray) -> None:
+        """Pack ``rank``'s boundary strips along ``axis`` into shared
+        mailboxes (zero-copy: the strided copy's destination *is* the
+        shared segment)."""
+        ng = self.ng
+        seq = self._posted.get((rank, axis), 0) + 1
+        for side in (-1, 1):
+            if self.decomp.neighbor(rank, axis, side) is None:
+                continue
+            self._wait(self._view[("ack", rank, axis, side)], seq - 1,
+                       f"ack of exchange {seq - 1} on axis {axis}")
+            box = self._view[("box", rank, axis, side)]
+            box[...] = boundary_strip(field, axis, ng, side)
+            self._view[("post", rank, axis, side)][0] = seq
+            self.counters.posts += 1
+        self._posted[(rank, axis)] = seq
+
+    def fill(self, rank: int, axis: int, padded: np.ndarray) -> None:
+        """Fill ``rank``'s interior-face ghosts along ``axis`` from the
+        neighbours' shared mailboxes."""
+        ng = self.ng
+        seq = self._filled.get((rank, axis), 0) + 1
+        for side in (-1, 1):
+            nb = self.decomp.neighbor(rank, axis, side)
+            if nb is None:
+                continue
+            self._wait(self._view[("post", nb, axis, -side)], seq,
+                       f"post {seq} from rank {nb} on axis {axis}")
+            box = self._view[("box", nb, axis, -side)]
+            ghost_strip(padded, axis, ng, side)[...] = box
+            self._view[("ack", nb, axis, -side)][0] = seq
+            self.counters.messages += 1
+            self.counters.bytes_exchanged += box.nbytes
+        self._filled[(rank, axis)] = seq
+
+    # ------------------------------------------------------------------
+    def reduce_max(self, value: float) -> float:
+        """Cluster-wide max (the dt reduction's core): every rank posts
+        its local value in a slot, waits for all slots of this round,
+        and takes the max in rank order — bitwise identical on every
+        rank, and bitwise equal to the serial whole-domain max (floating
+        max is exact under any grouping)."""
+        s = self._reduced + 1
+        n = self.decomp.nranks
+        for r in range(n):
+            self._wait(self._read[r:r + 1], s - 1,
+                       f"rank {r} to consume reduction {s - 1}")
+        self._slots[self.rank] = value
+        self._wrote[self.rank] = s
+        for r in range(n):
+            self._wait(self._wrote[r:r + 1], s,
+                       f"rank {r}'s reduction value {s}")
+        result = float(self._slots[0])
+        for r in range(1, n):
+            result = max(result, float(self._slots[r]))
+        self._read[self.rank] = s
+        self._reduced = s
+        self.counters.reductions += 1
+        return result
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """What one multi-process run produced."""
+
+    q: np.ndarray
+    time: float
+    step_count: int
+    halo: HaloCounters
+    sweep: SweepCounters
+    #: Per-step ``(step, time, dt, wall_seconds)`` tuples from rank 0.
+    history: tuple[tuple[int, float, float, float], ...]
+    restarts: int
+    limited_faces: int
+
+
+def _worker(arena: ShmArena, rank: int, grid: StructuredGrid,
+            layout: StateLayout, mixture: Mixture, bcs: BoundarySet,
+            config: RHSConfig, opts: dict, attempt: int,
+            restore_step: int | None, conn) -> None:
+    """One rank's process body (fork-inherited arguments, no pickling)."""
+    try:
+        transport = SharedMemoryTransport(arena, rank,
+                                          timeout=opts["timeout"])
+        rs = RankSolver(arena.decomp, rank, layout, mixture, bcs, config,
+                        grid, transport, sweep_layout=opts["sweep_layout"],
+                        overlap=opts["overlap"])
+        q = arena.block(rank)
+        mgr = None
+        if opts["checkpoint_dir"] is not None:
+            mgr = CheckpointManager(opts["checkpoint_dir"],
+                                    keep=opts["checkpoint_keep"],
+                                    prefix=f"rank{rank:04d}")
+        sim_time = 0.0
+        step_count = 0
+        if restore_step is not None:
+            from repro.io.binary import read_snapshot
+
+            header, saved = read_snapshot(mgr.path_for(restore_step))
+            q[...] = saved
+            sim_time = header.time
+            step_count = header.step
+
+        fault = opts["fault"]
+        stages = rk_stages(opts["rk_order"])
+        history = []
+
+        def march_one(dt_limit=None):
+            nonlocal sim_time, step_count
+            t0 = time.perf_counter()
+            # One cons_to_prim serves the dt computation and RK stage
+            # one, exactly as the serial driver shares them.
+            prim0 = cons_to_prim(layout, mixture, q, out=rs.ws.prim)
+            if opts["fixed_dt"] is not None:
+                dt = opts["fixed_dt"]
+            else:
+                rate = transport.reduce_max(rs.wave_rate(prim0))
+                if not np.isfinite(rate) or rate <= 0.0:
+                    raise NumericsError(f"invalid maximum wave rate {rate}")
+                dt = opts["cfl"] / rate
+            if dt_limit is not None and dt > dt_limit:
+                dt = dt_limit
+            q_n = q
+            q_k = q
+            for k, coeffs in enumerate(stages):
+                prim = rs.rhs_begin(q_k, prim=prim0 if k == 0 else None)
+                L = rs.rhs_finish(prim)
+                q_k = rs.rk_stage_combine(k, len(stages), coeffs, dt,
+                                          q_n, q_k, L)
+            q[...] = q_k
+            sim_time += dt
+            step_count += 1
+            history.append((step_count, sim_time, dt,
+                            time.perf_counter() - t0))
+            if (fault is not None and attempt == 0
+                    and rank == fault.rank and step_count == fault.step):
+                # Die as a crashed process would: no cleanup, no final
+                # checkpoint, peers left mid-protocol.
+                os._exit(_FAULT_EXIT)
+            if (mgr is not None and opts["checkpoint_every"]
+                    and step_count % opts["checkpoint_every"] == 0):
+                mgr.save(q, step=step_count, time=sim_time)
+
+        if opts["n_steps"] is not None:
+            while step_count < opts["n_steps"]:
+                march_one()
+        else:
+            t_end = opts["t_end"]
+            while sim_time < t_end * (1.0 - 1e-12):
+                march_one(dt_limit=t_end - sim_time)
+
+        conn.send({
+            "rank": rank,
+            "time": sim_time,
+            "step_count": step_count,
+            "halo": transport.counters.as_dict(),
+            "sweep": rs.sweep_counters.as_dict(),
+            "limited_faces": rs.limited_faces,
+            "history": history if rank == 0 else [],
+        })
+        conn.close()
+    except BaseException:
+        traceback.print_exc(file=sys.stderr)
+        os._exit(1)
+
+
+@dataclass
+class ProcessCluster:
+    """Multi-process executor for the 3D block decomposition.
+
+    Runs ``decomp.nranks`` worker processes (fork start method) over a
+    shared-memory arena and marches them bulk-synchronously via the
+    mailbox protocol.  Results are bit-identical to the single-block
+    :class:`~repro.solver.simulation.Simulation` and to the in-process
+    :class:`~repro.cluster.distributed.DistributedSolver` — including
+    across an injected rank failure recovered through
+    checkpoint-coordinated restart.
+    """
+
+    grid: StructuredGrid
+    layout: StateLayout
+    mixture: Mixture
+    bcs: BoundarySet
+    decomp: BlockDecomposition
+    config: RHSConfig
+    cfl: float = 0.5
+    fixed_dt: float | None = None
+    rk_order: int = 3
+    sweep_layout: str = "strided"
+    overlap: bool = True
+    checkpoint_every: int = 0
+    checkpoint_dir: str | Path | None = None
+    checkpoint_keep: int = 3
+    fault: RankFault | None = None
+    max_restarts: int = 1
+    #: Halo-wait spin deadline (seconds); also bounds how long the
+    #: parent waits for worker exit.
+    timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.decomp.global_cells != self.grid.shape:
+            raise ConfigurationError(
+                f"decomposition covers {self.decomp.global_cells}, "
+                f"grid has {self.grid.shape}")
+        validate_periodicity(self.decomp, self.bcs)
+        if self.checkpoint_every and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_dir")
+        if self.fault is not None and not self.checkpoint_every:
+            raise ConfigurationError(
+                "fault injection requires checkpointing "
+                "(set checkpoint_every and checkpoint_dir)")
+        if not 0 <= getattr(self.fault, "rank", 0) < self.decomp.nranks:
+            raise ConfigurationError(
+                f"fault rank {self.fault.rank} outside "
+                f"0..{self.decomp.nranks - 1}")
+        # Validate numerics knobs up front (in-process, good tracebacks)
+        # by building rank 0's solver against a throwaway transport.
+        rk_stages(self.rk_order)
+        RankSolver(self.decomp, 0, self.layout, self.mixture, self.bcs,
+                   self.config, self.grid, transport=None,
+                   sweep_layout=self.sweep_layout, overlap=self.overlap)
+
+    # ------------------------------------------------------------------
+    def _opts(self, *, t_end, n_steps) -> dict:
+        return {
+            "cfl": self.cfl, "fixed_dt": self.fixed_dt,
+            "rk_order": self.rk_order, "sweep_layout": self.sweep_layout,
+            "overlap": self.overlap, "timeout": self.timeout,
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoint_dir": (str(self.checkpoint_dir)
+                               if self.checkpoint_dir is not None else None),
+            "checkpoint_keep": self.checkpoint_keep, "fault": self.fault,
+            "t_end": t_end, "n_steps": n_steps,
+        }
+
+    def _common_checkpoint_step(self) -> int:
+        """Newest step for which every rank holds a checkpoint file."""
+        common: set[int] | None = None
+        for r in range(self.decomp.nranks):
+            mgr = CheckpointManager(self.checkpoint_dir,
+                                    keep=self.checkpoint_keep,
+                                    prefix=f"rank{r:04d}")
+            steps = {int(p.stem.split("_")[-1]) for p in mgr.checkpoints()}
+            common = steps if common is None else common & steps
+        if not common:
+            raise ClusterError(
+                "restart needed but no checkpoint step is present on "
+                "every rank")
+        return max(common)
+
+    def run(self, q0: np.ndarray, *, t_end: float | None = None,
+            n_steps: int | None = None) -> ClusterResult:
+        """March ``q0`` and gather the final global field.
+
+        Exactly one of ``t_end``/``n_steps``; semantics match
+        :meth:`Simulation.run` (final step clipped onto ``t_end``).
+        Survives up to ``max_restarts`` rank deaths via
+        checkpoint-coordinated restart.
+        """
+        if (t_end is None) == (n_steps is None):
+            raise ConfigurationError("specify exactly one of t_end or n_steps")
+        if q0.shape != (self.layout.nvars, *self.grid.shape):
+            raise ConfigurationError(
+                f"q0 has shape {q0.shape}, expected "
+                f"{(self.layout.nvars, *self.grid.shape)}")
+        ctx = multiprocessing.get_context("fork")
+        opts = self._opts(t_end=t_end, n_steps=n_steps)
+        restarts = 0
+        restore_step = None
+        while True:
+            arena = ShmArena(self.decomp, self.layout.nvars,
+                             halo_width(self.config.weno_order))
+            try:
+                for r in range(self.decomp.nranks):
+                    arena.block(r)[...] = q0[
+                        (slice(None), *self.decomp.local_slices(r))]
+                pipes, procs = [], []
+                for r in range(self.decomp.nranks):
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    p = ctx.Process(
+                        target=_worker,
+                        args=(arena, r, self.grid, self.layout, self.mixture,
+                              self.bcs, self.config, opts, restarts,
+                              restore_step, child_conn),
+                        daemon=True)
+                    p.start()
+                    child_conn.close()
+                    pipes.append(parent_conn)
+                    procs.append(p)
+                failed = self._join(procs)
+                if failed is None:
+                    results = [conn.recv() for conn in pipes]
+                    for conn in pipes:
+                        conn.close()
+                    return self._collect(arena, results, restarts)
+                for conn in pipes:
+                    conn.close()
+            finally:
+                arena.destroy()
+            restarts += 1
+            if restarts > self.max_restarts:
+                raise ClusterError(
+                    f"rank {failed[0]} exited with code {failed[1]} and "
+                    f"max_restarts={self.max_restarts} exhausted")
+            restore_step = self._common_checkpoint_step()
+
+    # ------------------------------------------------------------------
+    def _join(self, procs) -> tuple[int, int] | None:
+        """Wait for every worker; on the first failure terminate the
+        survivors (they would otherwise spin until their wait deadline)
+        and return ``(rank, exitcode)``."""
+        deadline = time.monotonic() + self.timeout + 60.0
+        pending = dict(enumerate(procs))
+        failed = None
+        while pending and failed is None:
+            for r, p in list(pending.items()):
+                p.join(timeout=0.02)
+                if p.exitcode is None:
+                    continue
+                del pending[r]
+                if p.exitcode != 0:
+                    failed = (r, p.exitcode)
+            if time.monotonic() > deadline:
+                failed = (-1, -1)
+        if failed is None:
+            return None
+        for p in pending.values():
+            p.terminate()
+            p.join()
+        return failed
+
+    def _collect(self, arena: ShmArena, results: list[dict],
+                 restarts: int) -> ClusterResult:
+        q = np.empty((self.layout.nvars, *self.grid.shape), dtype=DTYPE)
+        for r in range(self.decomp.nranks):
+            q[(slice(None), *self.decomp.local_slices(r))] = arena.block(r)
+        halo = HaloCounters()
+        sweep = SweepCounters()
+        history: list = []
+        limited = 0
+        for res in results:
+            halo.merge(HaloCounters(**res["halo"]))
+            sweep.merge(SweepCounters(**res["sweep"]))
+            limited += res["limited_faces"]
+            if res["rank"] == 0:
+                history = res["history"]
+        r0 = next(res for res in results if res["rank"] == 0)
+        return ClusterResult(
+            q=q, time=r0["time"], step_count=r0["step_count"], halo=halo,
+            sweep=sweep, history=tuple(tuple(h) for h in history),
+            restarts=restarts, limited_faces=limited)

@@ -1,0 +1,316 @@
+"""One rank's solver over its block of the decomposition (paper §III-A).
+
+A :class:`RankSolver` runs exactly the serial workspace RHS pipeline —
+``cons_to_prim`` → pad → WENO → positivity limit → Riemann → divergence
+accumulate — on one rank's local block, with ghost values at interior
+faces supplied by a halo *transport* instead of physical BCs.  It owns a
+full :class:`~repro.solver.workspace.SolverWorkspace` sized for the
+block, so a steady-state RHS evaluation performs no new large-array
+allocations (the distributed analog of the serial ``out=`` paths).
+
+The transport is duck-typed with two methods:
+
+* ``post(rank, axis, field)`` — pack the rank's boundary strips along
+  ``axis`` into the neighbours' mailboxes (in-process arrays for
+  :class:`~repro.cluster.halo.HaloExchanger`, shared-memory segments
+  for :class:`~repro.cluster.procs.SharedMemoryTransport`);
+* ``fill(rank, axis, padded)`` — complete the sendrecv by unpacking the
+  neighbours' posted strips into the rank's ghost layers.
+
+Communication hiding
+--------------------
+The RHS is split into :meth:`rhs_begin` (convert to primitives, post
+*every* axis's boundary strips) and :meth:`rhs_finish` (sweep the
+directions).  Because the exchange is dimension-split — each sweep pads
+along its own axis only, no corner dependencies — all packs can be
+posted up front, and each sweep first reconstructs the faces whose WENO
+stencils touch no ghost cell, only then waits for the neighbours'
+strips, and finishes with the ``ng`` boundary faces on each end.  The
+interior compute runs while the ghosts land: the paper's
+interior/boundary overlap, host-side.  Span-composed reconstruction is
+bitwise identical to the bulk call (the kernels are elementwise over
+faces), so overlap never changes a result bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bc.boundary import BoundarySet, pad_axis
+from repro.cluster.decomposition import BlockDecomposition
+from repro.cluster.halo import fill_wall_ghosts
+from repro.common import ConfigurationError
+from repro.eos.mixture import Mixture
+from repro.fields.transpose import sweep_perm, untranspose_loop
+from repro.grid.cartesian import StructuredGrid
+from repro.profiling.counters import SweepCounters
+from repro.riemann import resolve_riemann_flux
+from repro.solver.positivity import limit_face_states
+from repro.solver.rhs import RHSConfig, _accumulate_divergence
+from repro.solver.sweep import plan_transposed_axes, validate_sweep_layout
+from repro.solver.workspace import SolverWorkspace
+from repro.state.conversions import cons_to_prim, full_alphas
+from repro.state.layout import StateLayout
+from repro.timestepping.ssp_rk import SSP_SCHEMES
+from repro.weno import (
+    halo_width,
+    reconstruct_faces,
+    reconstruct_faces_span,
+    weno_passes_per_side,
+)
+
+
+class _BlockShape:
+    """Minimal grid stand-in for :class:`SolverWorkspace` (shape only)."""
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        self.shape = shape
+
+
+class RankSolver:
+    """The five-equation RHS/RK pipeline of one decomposed rank.
+
+    Parameters
+    ----------
+    decomp / rank:
+        The block decomposition and this rank's index in it.
+    layout / mixture / bcs / config:
+        The same numerics objects the serial solver takes; the boundary
+        set holds the *global* physical BCs (walls are applied only on
+        the sides of this block that touch the global domain edge).
+    grid:
+        The *global* structured grid; the rank slices its own cell
+        widths from it so a decomposed divergence is bitwise identical
+        to the serial one.
+    transport:
+        Halo transport (see module docstring).
+    sweep_layout:
+        ``"strided"`` / ``"transposed"`` / ``"auto"`` — same meaning
+        (and same bitwise-identical guarantee) as the serial solver.
+    overlap:
+        Compute interior faces while ghost strips land (default).
+        ``False`` waits for the exchange up front — same results,
+        no hiding; kept as a toggle for A/B timing.
+    """
+
+    def __init__(self, decomp: BlockDecomposition, rank: int,
+                 layout: StateLayout, mixture: Mixture, bcs: BoundarySet,
+                 config: RHSConfig, grid: StructuredGrid, transport, *,
+                 sweep_layout: str = "strided", overlap: bool = True) -> None:
+        if config.geometry != "cartesian":
+            raise ConfigurationError(
+                "distributed runs support cartesian geometry only")
+        if config.viscosity is not None:
+            raise ConfigurationError(
+                "distributed runs do not support viscous terms yet")
+        validate_sweep_layout(sweep_layout)
+        self.decomp = decomp
+        self.rank = rank
+        self.layout = layout
+        self.mixture = mixture
+        self.bcs = bcs
+        self.config = config
+        self.transport = transport
+        self.overlap = overlap
+        self.local = decomp.local_cells(rank)
+        self._ng = halo_width(config.weno_order)
+        self._riemann = resolve_riemann_flux(config.riemann_solver)
+        self._transposed = plan_transposed_axes(
+            sweep_layout, layout.nvars, self.local, config.weno_order)
+        self.ws = SolverWorkspace(layout, _BlockShape(self.local), self._ng,
+                                  transposed_axes=self._transposed,
+                                  weno_order=config.weno_order)
+        self.limited_faces = 0
+        self.sweep_counters = SweepCounters()
+        self._weno_sweep_passes = 2 * weno_passes_per_side(
+            "chained", config.weno_order)
+        # Per-axis cell widths sliced from the global grid, broadcast
+        # shaped — the same values the serial divergence divides by.
+        slices = decomp.local_slices(rank)
+        self._widths: list[np.ndarray] = []
+        for d in range(layout.ndim):
+            w = grid.widths(d)[slices[d]]
+            newshape = [1] * layout.ndim
+            newshape[d] = w.size
+            self._widths.append(w.reshape(newshape))
+
+    # -- the split RHS -------------------------------------------------------
+    def rhs_begin(self, q: np.ndarray, *, prim: np.ndarray | None = None
+                  ) -> np.ndarray:
+        """Convert to primitives and post every axis's boundary strips."""
+        if prim is None:
+            prim = cons_to_prim(self.layout, self.mixture, q, out=self.ws.prim)
+        for d in range(self.layout.ndim):
+            self.transport.post(self.rank, d, prim)
+        return prim
+
+    def rhs_finish(self, prim: np.ndarray, *,
+                   out: np.ndarray | None = None) -> np.ndarray:
+        """Sweep all directions and assemble ``dq/dt`` for the block."""
+        ws, lay = self.ws, self.layout
+        dqdt = ws.dqdt if out is None else out
+        dqdt.fill(0.0)
+        divu = ws.divu
+        divu.fill(0.0)
+        for d in range(lay.ndim):
+            if d in self._transposed:
+                self._direction_transposed(prim, d, dqdt, divu)
+            else:
+                self._direction(prim, d, dqdt, divu)
+        dqdt[lay.advected] += prim[lay.advected] * divu
+        return dqdt
+
+    def rhs(self, q: np.ndarray, *, out: np.ndarray | None = None,
+            prim: np.ndarray | None = None) -> np.ndarray:
+        """One-shot RHS with the :func:`ssp_rk_step` workspace signature."""
+        prim = self.rhs_begin(q, prim=prim)
+        return self.rhs_finish(prim, out=out)
+
+    # -- direction sweeps ----------------------------------------------------
+    def _fill_ghosts(self, d: int, padded: np.ndarray) -> None:
+        fill_wall_ghosts(padded, self.layout, self.bcs, self.decomp,
+                         self.rank, d, self._ng)
+        self.transport.fill(self.rank, d, padded)
+
+    def _direction(self, prim: np.ndarray, d: int, dqdt: np.ndarray,
+                   divu: np.ndarray) -> None:
+        ws, lay, ng = self.ws, self.layout, self._ng
+        padded = ws.padded[d]
+        pad_axis(prim, d, ng, out=padded)
+        n = prim.shape[d + 1]
+        # Overlap needs a non-empty ghost-free interior span and an
+        # actual exchange to hide; otherwise sweep in bulk.
+        if (self.overlap and n >= 2 * ng
+                and self.decomp.neighbor_sides(self.rank, d) > 0):
+            # Faces [ng, n-ng] read interior cells only — compute them
+            # while the neighbours' boundary strips are in flight.
+            self._faces_span(d, padded, ng, n - ng + 1)
+            self._fill_ghosts(d, padded)
+            self._faces_span(d, padded, 0, ng)
+            self._faces_span(d, padded, n - ng + 1, n + 1)
+        else:
+            self._fill_ghosts(d, padded)
+            v_l, v_r = reconstruct_faces(
+                padded, d + 1, self.config.weno_order,
+                out=(ws.face_l[d], ws.face_r[d]), scratch=ws.weno_scratch[d])
+            self.limited_faces += limit_face_states(
+                lay, self.mixture, padded, v_l, v_r, d, ng)
+            self._riemann(lay, self.mixture, v_l, v_r, d,
+                          out=ws.flux[d], out_u=ws.u_face[d],
+                          scratch=ws.riemann_scratch[d])
+        _accumulate_divergence(ws.flux[d], d + 1, self._widths[d],
+                               ws.div_scratch, dqdt, np.subtract)
+        _accumulate_divergence(ws.u_face[d], d, self._widths[d],
+                               ws.divu_scratch, divu, np.add)
+        self.sweep_counters.record_strided(
+            ws.face_l[d].nbytes + ws.face_r[d].nbytes,
+            contiguous=(d == lay.ndim - 1),
+            weno_passes=self._weno_sweep_passes)
+
+    def _faces_span(self, d: int, padded: np.ndarray, lo: int, hi: int) -> None:
+        """Reconstruct, limit, and solve faces ``[lo, hi)`` of direction ``d``.
+
+        Elementwise over faces, so spans partitioning the face range
+        compose bitwise into the same states the bulk path produces.
+        """
+        if lo >= hi:
+            return
+        ws, lay, ng = self.ws, self.layout, self._ng
+        v_l, v_r = ws.face_l[d], ws.face_r[d]
+        reconstruct_faces_span(padded, d + 1, self.config.weno_order, lo, hi,
+                               out=(v_l, v_r), scratch=ws.weno_scratch[d])
+        span = [slice(None)] * padded.ndim
+        span[d + 1] = slice(lo, hi)
+        span = tuple(span)
+        shifted = [slice(None)] * padded.ndim
+        shifted[d + 1] = slice(lo, None)
+        self.limited_faces += limit_face_states(
+            lay, self.mixture, padded[tuple(shifted)], v_l[span], v_r[span],
+            d, ng)
+        scr = [slice(None)] * padded.ndim
+        scr[d + 1] = slice(0, hi - lo)
+        self._riemann(lay, self.mixture, v_l[span], v_r[span], d,
+                      out=ws.flux[d][span], out_u=ws.u_face[d][span[1:]],
+                      scratch=ws.riemann_scratch[d].view(tuple(scr)))
+
+    def _direction_transposed(self, prim: np.ndarray, d: int,
+                              dqdt: np.ndarray, divu: np.ndarray) -> None:
+        """Direction ``d`` swept in the axis-contiguous transposed layout.
+
+        Ghosts are filled in the standard layout (walls + transport),
+        then the whole padded block is gathered into the axis-last
+        scratch — pure data movement, so the sweep stays bitwise
+        identical to the strided one.
+        """
+        ws, lay, ng = self.ws, self.layout, self._ng
+        arr = prim.ndim
+        perm = sweep_perm(arr, d + 1)
+        padded = ws.padded[d]
+        pad_axis(prim, d, ng, out=padded)
+        self._fill_ghosts(d, padded)
+        tpad = ws.t_padded[d]
+        tpad[...] = np.transpose(padded, perm)
+        tvl, tvr = ws.t_face_l[d], ws.t_face_r[d]
+        reconstruct_faces(tpad, arr - 1, self.config.weno_order,
+                          out=(tvl, tvr), scratch=ws.weno_scratch[d])
+        self.limited_faces += limit_face_states(
+            lay, self.mixture, tpad, tvl, tvr, arr - 2, ng)
+        self._riemann(lay, self.mixture, tvl, tvr, d,
+                      out=ws.t_flux[d], out_u=ws.t_u_face[d],
+                      scratch=ws.t_riemann_scratch[d])
+        untranspose_loop(ws.t_flux[d], perm, out=ws.flux[d])
+        untranspose_loop(ws.t_u_face[d], tuple(p - 1 for p in perm[1:]),
+                         out=ws.u_face[d])
+        _accumulate_divergence(ws.flux[d], d + 1, self._widths[d],
+                               ws.div_scratch, dqdt, np.subtract)
+        _accumulate_divergence(ws.u_face[d], d, self._widths[d],
+                               ws.divu_scratch, divu, np.add)
+        self.sweep_counters.record_transposed(
+            tvl.nbytes + tvr.nbytes,
+            prim.nbytes + ws.flux[d].nbytes + ws.u_face[d].nbytes,
+            weno_passes=self._weno_sweep_passes)
+
+    # -- time stepping helpers ----------------------------------------------
+    def wave_rate(self, prim: np.ndarray) -> float:
+        """Largest local :math:`(|u_d| + c)/\\Delta x_d` of the block.
+
+        The global CFL rate is the max of these over ranks — floating
+        max decomposes exactly, so the distributed dt is bitwise the
+        serial one.
+        """
+        lay = self.layout
+        rho = prim[lay.partial_densities].sum(axis=0)
+        alphas = full_alphas(lay, prim[lay.advected])
+        c = self.mixture.sound_speed(alphas, rho, prim[lay.pressure])
+        rate = 0.0
+        for d in range(lay.ndim):
+            speed = np.abs(prim[lay.momentum_component(d)]) + c
+            rate = max(rate, float((speed / self._widths[d]).max()))
+        return rate
+
+    def rk_stage_combine(self, k: int, n_stages: int, coeffs, dt: float,
+                         q_n: np.ndarray, q_k: np.ndarray, L: np.ndarray
+                         ) -> np.ndarray:
+        """One Shu-Osher convex combination through the workspace buffers.
+
+        Replicates the exact five-ufunc grouping of
+        :func:`~repro.timestepping.ssp_rk.ssp_rk_step`'s workspace path,
+        so a stage driven externally (the bulk-synchronous in-process
+        driver) is bitwise identical to one driven by ``ssp_rk_step``.
+        """
+        a, b, c = coeffs
+        ws = self.ws
+        out = ws.rk_result if k == n_stages - 1 else ws.rk_stage[k % 2]
+        np.multiply(q_k, b, out=ws.rk_tmp)
+        np.multiply(q_n, a, out=out)
+        np.add(out, ws.rk_tmp, out=out)
+        np.multiply(L, c * dt, out=ws.rk_tmp)
+        np.add(out, ws.rk_tmp, out=out)
+        return out
+
+
+def rk_stages(rk_order: int):
+    """The Shu-Osher tableau for ``rk_order`` (validated)."""
+    if rk_order not in SSP_SCHEMES:
+        raise ConfigurationError(f"unsupported RK order {rk_order}")
+    return SSP_SCHEMES[rk_order]

@@ -76,9 +76,12 @@ class ScalingDriver:
         nnodes = max(1, ndevices // self.machine.devices_per_node)
         comm_time = comm.halo_exchange_time(
             local_cells=local, ng=self._ng, nvars=self.nvars,
-            nnodes=nnodes) * self.rhs_evals
-        # Per-step dt allreduce (one per step, not per RHS evaluation).
-        comm_time += allreduce_time(NetworkModel.of(self.machine), ndevices)
+            nnodes=nnodes,
+            sides_per_axis=decomp.max_neighbors_per_axis()) * self.rhs_evals
+        # Per-step dt allreduce (one per step, not per RHS evaluation),
+        # priced with the same contention factor as the halo messages.
+        comm_time += allreduce_time(NetworkModel.of(self.machine), ndevices,
+                                    nnodes=nnodes)
         return ScalingPoint(ndevices, cells_local, compute, comm_time)
 
     @staticmethod

@@ -8,6 +8,7 @@ single source of truth; tests assert that solver outputs carry it.
 from repro.common.dtype import DTYPE, EPS, as_float_array, require_float
 from repro.common.errors import (
     CheckpointError,
+    ClusterError,
     ConfigurationError,
     DirectiveError,
     NumericsError,
@@ -24,6 +25,7 @@ __all__ = [
     "require_float",
     "ReproError",
     "CheckpointError",
+    "ClusterError",
     "ConfigurationError",
     "DirectiveError",
     "NumericsError",

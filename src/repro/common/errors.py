@@ -26,6 +26,11 @@ class CheckpointError(ConfigurationError):
     """
 
 
+class ClusterError(ReproError):
+    """A multi-process run failed: a rank died, a halo wait timed out,
+    or restart coordination found no common checkpoint."""
+
+
 class NumericsError(ReproError):
     """The numerical state became invalid (NaN/Inf, CFL violation, ...)."""
 

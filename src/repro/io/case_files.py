@@ -22,7 +22,7 @@ from repro.solver.case import Case, Patch, box, halfspace, sphere
 GEOMETRY_KINDS = ("box", "sphere", "halfspace")
 
 #: Keys the optional ``"solver"`` section of a case file may carry.
-SOLVER_OPTION_KEYS = ("threads", "layout", "checkpoint_every",
+SOLVER_OPTION_KEYS = ("threads", "ranks", "layout", "checkpoint_every",
                       "checkpoint_keep", "checkpoint_dir", "validate_every",
                       "retry", "tuning", "tuning_cache")
 
@@ -31,7 +31,9 @@ def solver_options_from_dict(spec: dict) -> dict:
     """Validated runtime options from a case file's ``"solver"`` section.
 
     The section is optional and carries ``threads`` (worker count for
-    the thread-tiled execution backend; a positive integer), ``layout``
+    the thread-tiled execution backend; a positive integer), ``ranks``
+    (process count for multi-process block-decomposed runs; a positive
+    integer), ``layout``
     (sweep memory layout: ``"strided"``, ``"transposed"``, or
     ``"auto"``), the resilience knobs ``checkpoint_every`` /
     ``checkpoint_keep`` / ``checkpoint_dir`` / ``validate_every``, and
@@ -60,6 +62,12 @@ def solver_options_from_dict(spec: dict) -> dict:
             raise ConfigurationError(
                 f"solver threads must be a positive integer, got {threads!r}")
         options["threads"] = threads
+    if "ranks" in solver:
+        ranks = solver["ranks"]
+        if isinstance(ranks, bool) or not isinstance(ranks, int) or ranks < 1:
+            raise ConfigurationError(
+                f"solver ranks must be a positive integer, got {ranks!r}")
+        options["ranks"] = ranks
     if "layout" in solver:
         from repro.solver.sweep import validate_sweep_layout
 

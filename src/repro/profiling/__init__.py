@@ -3,6 +3,7 @@
 from repro.profiling.profiler import KernelRecord, Profile
 from repro.profiling.modeled import ModeledRun
 from repro.profiling.counters import (
+    HaloCounters,
     KernelCounters,
     SweepCounters,
     counters_report,
@@ -20,6 +21,7 @@ __all__ = [
     "KernelRecord",
     "Profile",
     "ModeledRun",
+    "HaloCounters",
     "KernelCounters",
     "SweepCounters",
     "kernel_counters",

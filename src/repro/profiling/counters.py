@@ -200,6 +200,71 @@ class SweepCounters:
                 f"{self.weno_passes} WENO ufunc passes")
 
 
+@dataclass
+class HaloCounters:
+    """Measured communication accounting of the halo-exchange transports.
+
+    One instance lives on each transport (the in-process
+    :class:`~repro.cluster.halo.HaloExchanger` and the shared-memory
+    :class:`~repro.cluster.procs.SharedMemoryTransport`); multi-process
+    runs merge the per-rank instances into one cluster-wide tally, the
+    comm-side counterpart of :class:`SweepCounters`.
+
+    Attributes
+    ----------
+    messages:
+        Halo buffers received and unpacked into ghost layers (the
+        in-process analog of one ``MPI_Sendrecv`` completion).
+    bytes_exchanged:
+        Payload bytes those messages carried.
+    posts:
+        Boundary regions packed and posted to a neighbour's mailbox.
+    waits:
+        Receives that found the neighbour's mailbox not yet posted and
+        had to spin (zero for the in-process transport, where posting
+        is bulk-synchronous).
+    wait_ns:
+        Nanoseconds spent in those spins — the un-hidden fraction of
+        the exchange that interior-compute overlap exists to shrink.
+    reductions:
+        Cluster-wide dt min-reductions performed (one per CFL step).
+    """
+
+    messages: int = 0
+    bytes_exchanged: int = 0
+    posts: int = 0
+    waits: int = 0
+    wait_ns: int = 0
+    reductions: int = 0
+
+    def merge(self, other: "HaloCounters") -> None:
+        self.messages += other.messages
+        self.bytes_exchanged += other.bytes_exchanged
+        self.posts += other.posts
+        self.waits += other.waits
+        self.wait_ns += other.wait_ns
+        self.reductions += other.reductions
+
+    def as_dict(self) -> dict:
+        """Plain dict for JSON benchmark records."""
+        return {
+            "messages": self.messages,
+            "bytes_exchanged": self.bytes_exchanged,
+            "posts": self.posts,
+            "waits": self.waits,
+            "wait_ns": self.wait_ns,
+            "reductions": self.reductions,
+        }
+
+    def summary(self) -> str:
+        """One-line human summary (printed by the CLI and reports)."""
+        return (f"halo: {self.messages} messages, "
+                f"{self.bytes_exchanged / 1e6:.1f} MB exchanged, "
+                f"{self.posts} posts; {self.waits} waits "
+                f"({self.wait_ns / 1e6:.1f} ms un-hidden); "
+                f"{self.reductions} dt reductions")
+
+
 def counters_report(device: DeviceSpec, works: list[KernelWorkload],
                     compiler: str = "nvhpc") -> str:
     """The full metrics table for a kernel suite."""

@@ -54,7 +54,10 @@ class Profile:
     ``sweep`` optionally attaches a
     :class:`~repro.profiling.counters.SweepCounters` instance (the
     layout engine's measured data-movement tallies) so reports show the
-    strided-vs-contiguous picture next to the kernel times; ``recovery``
+    strided-vs-contiguous picture next to the kernel times; ``halo``
+    attaches a cluster run's merged
+    :class:`~repro.profiling.counters.HaloCounters` (messages, bytes,
+    un-hidden wait time) the same way; ``recovery``
     likewise attaches a simulation's
     :class:`~repro.solver.resilience.RecoveryCounters` so reports show
     what the resilience machinery did (retries, rollbacks, checkpoints).
@@ -67,6 +70,7 @@ class Profile:
     device_name: str = "unknown"
     records: dict[str, KernelRecord] = field(default_factory=dict)
     sweep: object | None = None
+    halo: object | None = None
     recovery: object | None = None
     tiling: dict | None = None
     tuning: object | None = None
@@ -134,6 +138,8 @@ class Profile:
                          f"{rec.seconds * 1e3:>10.3f} {pct:>6.1f} {rec.launches:>9}")
         if self.sweep is not None:
             lines.append(self.sweep.summary())
+        if self.halo is not None:
+            lines.append(self.halo.summary())
         if self.recovery is not None and self.recovery.any():
             lines.append(self.recovery.summary())
         if self.tiling is not None and self.tiling.get("tiles") is not None:

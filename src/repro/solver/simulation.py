@@ -44,7 +44,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.bc.boundary import BoundarySet
+from repro.bc.boundary import BC, BoundarySet
 from repro.common import ConfigurationError, NumericsError, Stopwatch, WallTimer
 from repro.solver.case import Case
 from repro.solver.resilience import (
@@ -102,6 +102,18 @@ class Simulation:
         values > 1 tile the RHS hot path and the RK axpy stages across
         a thread pool, bitwise identically to serial.  Requires
         ``use_workspace=True`` to take effect.
+    ranks:
+        Process count for multi-process block-decomposed runs (the
+        host realisation of MPI ranks; see
+        :class:`repro.cluster.ProcessCluster`).  ``1`` (the default)
+        keeps the in-process driver; values > 1 make :meth:`run`
+        delegate the whole march to a process cluster — one process
+        per rank, halos exchanged through shared memory — bitwise
+        identical to the serial march.  Incompatible with
+        ``threads > 1``, ``retry``, ``tuning``, and
+        ``fault_injector`` (rank faults are injected through
+        :class:`repro.cluster.RankFault` instead); the merged halo
+        counters land in :attr:`halo_counters` after the run.
     tile_device:
         Optional :class:`~repro.hardware.DeviceSpec` (or catalog name)
         whose L2 capacity sizes the tiles; see
@@ -160,6 +172,7 @@ class Simulation:
     #: :mod:`repro.solver.workspace`).
     use_workspace: bool = True
     threads: int = 1
+    ranks: int = 1
     tile_device: object | None = None
     sweep_layout: str = "strided"
     retry: RetryPolicy | dict | None = None
@@ -183,6 +196,25 @@ class Simulation:
         if self.checkpoint_every and self.checkpoint_dir is None:
             raise ConfigurationError(
                 "checkpoint_every requires a checkpoint_dir")
+        if self.ranks < 1:
+            raise ConfigurationError(
+                f"ranks must be a positive integer, got {self.ranks}")
+        if self.ranks > 1:
+            if self.threads > 1:
+                raise ConfigurationError(
+                    "ranks > 1 is incompatible with threads > 1 "
+                    "(pick one parallel backend)")
+            if self.retry is not None:
+                raise ConfigurationError(
+                    "ranks > 1 does not support the rollback-retry guard")
+            if self.tuning not in (None, "off"):
+                raise ConfigurationError(
+                    "ranks > 1 does not support tuning")
+            if self.fault_injector is not None:
+                raise ConfigurationError(
+                    "ranks > 1 does not support cell fault injectors; "
+                    "inject rank faults with repro.cluster.RankFault "
+                    "through ProcessCluster")
         self.layout = self.case.layout
         self.mixture = self.case.mixture
         self.grid = self.case.grid
@@ -217,6 +249,9 @@ class Simulation:
         #: checkpoints, restarts, injected faults) over this driver's
         #: lifetime; surfaced by the CLI, profiler, and benchmarks.
         self.recovery = RecoveryCounters()
+        #: Merged :class:`~repro.profiling.counters.HaloCounters` of the
+        #: last multi-process :meth:`run` (None until one completes).
+        self.halo_counters = None
         self._ckpt_manager = None
         # Escalation fallbacks are built lazily (each carries its own
         # workspace) and only for rungs below the configured order.
@@ -305,6 +340,10 @@ class Simulation:
         state is left restored, so checkpoint-based recovery can take
         over).
         """
+        if self.ranks > 1:
+            raise ConfigurationError(
+                "single-step marching is in-process only; with ranks > 1 "
+                "use run(), which delegates the whole march to the cluster")
         ws = self.rhs.workspace
         prim0 = None
         if ws is not None:
@@ -454,6 +493,15 @@ class Simulation:
         """
         if (t_end is None) == (n_steps is None):
             raise ConfigurationError("specify exactly one of t_end or n_steps")
+        if self.ranks > 1:
+            if callback is not None:
+                raise ConfigurationError(
+                    "per-step callbacks are not supported with ranks > 1")
+            if t_end is not None and t_end < 0.0:
+                raise ConfigurationError(
+                    f"t_end must be non-negative, got {t_end}")
+            self._run_cluster(t_end=t_end, n_steps=n_steps)
+            return
         if n_steps is not None:
             for _ in range(n_steps):
                 rec = self.step()
@@ -466,6 +514,49 @@ class Simulation:
         while self.time < t_end * (1.0 - 1e-12):
             rec = self.step(dt_limit=t_end - self.time)
             self._after_step(rec, callback)
+
+    def _run_cluster(self, *, t_end: float | None,
+                     n_steps: int | None) -> None:
+        """Delegate a whole march to a multi-process cluster.
+
+        Builds a balanced :class:`~repro.cluster.BlockDecomposition`
+        over :attr:`ranks` processes and runs
+        :class:`~repro.cluster.ProcessCluster` on the current state —
+        bitwise identical to the serial march.  The driver's state,
+        clock, step history, limiter/sweep counters, and restart tally
+        absorb the cluster's results, and the merged halo counters land
+        in :attr:`halo_counters`.
+        """
+        from repro.cluster import BlockDecomposition, ProcessCluster
+
+        if t_end is not None:
+            if self.time >= t_end * (1.0 - 1e-12):
+                return  # horizon already reached: a no-op, as in-process
+            t_end = t_end - self.time
+        periodic = tuple(lo is BC.PERIODIC for lo, _ in self.bcs.per_axis)
+        decomp = BlockDecomposition.balanced(
+            self.grid.shape, self.ranks, periodic=periodic)
+        cluster = ProcessCluster(
+            self.grid, self.layout, self.mixture, self.bcs, decomp,
+            self.config, cfl=self.cfl, fixed_dt=self.fixed_dt,
+            rk_order=self.rk_order, sweep_layout=self.sweep_layout,
+            checkpoint_every=self.checkpoint_every,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_keep=self.checkpoint_keep)
+        result = cluster.run(self.q, t_end=t_end, n_steps=n_steps)
+        base_step, base_time = self.step_count, self.time
+        self.q = result.q
+        self.time = base_time + result.time
+        self.step_count = base_step + result.step_count
+        for step, time, dt, wall in result.history:
+            self.history.append(StepRecord(
+                base_step + step, base_time + time, dt, wall))
+        self.halo_counters = result.halo
+        self.rhs.sweep_counters.merge(result.sweep)
+        self.rhs.limited_faces += result.limited_faces
+        self.recovery.restarts += result.restarts
+        if self.validate_every or self.check_every:
+            self.validate_state()
 
     def _after_step(self, rec: StepRecord,
                     callback: Callable | None) -> None:

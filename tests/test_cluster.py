@@ -199,6 +199,100 @@ class TestDistributedEqualsSerial:
             HaloExchanger(decomp, lay, BoundarySet.all_periodic(1), 2)
 
 
+class TestModelMeasuredReconciliation:
+    """The analytic comm model must bill exactly what the transport does."""
+
+    @pytest.mark.parametrize("shape,rank_grid,periodic", [
+        ((48,), (4,), (False,)),
+        ((48,), (2,), (True,)),
+        ((24, 24), (2, 1), (False, False)),   # undecomposed axis: no messages
+        ((24, 24), (2, 2), (False, True)),
+        ((12, 12, 12), (2, 2, 1), (False, False, False)),
+    ])
+    def test_modeled_counts_equal_measured(self, shape, rank_grid, periodic):
+        from repro.weno import halo_width
+
+        ndim = len(shape)
+        grid = StructuredGrid.uniform(tuple((0.0, 1.0) for _ in shape), shape)
+        case = Case(grid, MIX)
+        case.add(Patch(box([0.0] * ndim, [1.0] * ndim), (0.5, 0.5),
+                       (0.0,) * ndim, 1.0, (0.5,)))
+        bcs = BoundarySet(tuple(
+            (BC.PERIODIC, BC.PERIODIC) if p
+            else (BC.EXTRAPOLATION, BC.EXTRAPOLATION) for p in periodic))
+        decomp = BlockDecomposition(shape, rank_grid, periodic)
+        ds = DistributedSolver(grid, case.layout, MIX, bcs, decomp,
+                               RHSConfig())
+        ds.run(case.initial_conservative(), dt=1e-4, n_steps=1)
+        rhs_evals = 3  # SSP-RK3
+        ng = halo_width(ds.config.weno_order)
+        assert ds.halo.messages == decomp.total_messages() * rhs_evals
+        assert ds.halo.bytes_exchanged == \
+            decomp.total_halo_bytes(ng, case.layout.nvars) * rhs_evals
+
+    def test_undecomposed_axis_billed_zero_by_model(self):
+        # The satellite-1 regression in model terms: a (2, 1) rank grid
+        # must be billed less than the flat two-messages-per-axis
+        # worst case the model used to charge.
+        comm = CommModel(SUMMIT)
+        decomp = BlockDecomposition((24, 24), (2, 1), (False, False))
+        charged = comm.halo_exchange_time(
+            local_cells=(12, 24), ng=3, nvars=6,
+            sides_per_axis=decomp.max_neighbors_per_axis())
+        flat = comm.halo_exchange_time(local_cells=(12, 24), ng=3, nvars=6)
+        assert charged < flat
+
+    def test_one_sided_periodic_rejected_naming_axis(self):
+        # Satellite 4: a malformed BoundarySet (frozen-dataclass
+        # validation bypassed, as a hand-built config could) must be
+        # rejected by the exchanger naming the axis, not half-wrapped.
+        from repro.cluster import validate_periodicity
+
+        bcs = BoundarySet.all_extrapolation(2)
+        object.__setattr__(bcs, "per_axis",
+                           ((BC.EXTRAPOLATION, BC.EXTRAPOLATION),
+                            (BC.PERIODIC, BC.EXTRAPOLATION)))
+        decomp = BlockDecomposition((8, 8), (2, 2), (False, True))
+        with pytest.raises(ConfigurationError, match="axis 1"):
+            validate_periodicity(decomp, bcs)
+        lay = StateLayout(2, 2)
+        with pytest.raises(ConfigurationError, match="axis 1"):
+            HaloExchanger(decomp, lay, bcs, 3)
+
+
+class TestDistributedAllocationBudget:
+    """Satellite 3: ``rhs_blocks`` must reuse per-rank workspace buffers."""
+
+    def _solver(self):
+        case = sod_like_setup(24, 2)
+        bcs = BoundarySet.all_extrapolation(2)
+        decomp = BlockDecomposition.balanced(case.grid.shape, 2)
+        ds = DistributedSolver(case.grid, case.layout, MIX, bcs, decomp,
+                               RHSConfig())
+        return ds, case.initial_conservative()
+
+    def test_returns_same_buffers_every_call(self):
+        ds, q0 = self._solver()
+        blocks = ds.halo.split(q0)
+        first = ds.rhs_blocks(blocks)
+        second = ds.rhs_blocks(blocks)
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_steady_state_rhs_stays_under_budget(self):
+        from repro.profiling import measure_call_allocations
+
+        ds, q0 = self._solver()
+        blocks = ds.halo.split(q0)
+        stats = measure_call_allocations(lambda: ds.rhs_blocks(blocks),
+                                         warmup=2, repeats=3)
+        # Same budget shape as the serial workspace test: transients
+        # stay under a few fields (kernel temporaries), and nothing
+        # leaks a field per call.
+        assert stats.min_transient_bytes < 4 * q0.nbytes
+        assert stats.net_bytes < q0.nbytes
+
+
 class TestCommModel:
     def test_message_time_monotone_in_size(self):
         net = NetworkModel.of(FRONTIER)
@@ -207,6 +301,27 @@ class TestCommModel:
     def test_latency_floor(self):
         net = NetworkModel.of(FRONTIER)
         assert net.message_time(0) == pytest.approx(FRONTIER.mpi_latency_us * 1e-6)
+
+    def test_allreduce_pays_contention_at_scale(self):
+        # Satellite 2: the dt allreduce rides the same congested
+        # network as the halo messages, so beyond the contention
+        # threshold it must cost more per hop, not stay at the
+        # uncontended price.
+        from repro.cluster.mpi_sim import allreduce_time
+
+        import math
+
+        net = NetworkModel.of(FRONTIER)
+        nranks, nbytes = 4096, 8.0
+        assert net.contention(4096) > 1.0
+        contended = allreduce_time(net, nranks, nbytes, nnodes=4096)
+        flat = allreduce_time(net, nranks, nbytes, nnodes=1)
+        assert contended > flat
+        # Contention inflates exactly the bandwidth term of every hop.
+        hops = 2 * math.ceil(math.log2(nranks))
+        assert contended - flat == pytest.approx(
+            hops * nbytes / (net.bandwidth_gbps * 1e9)
+            * (net.contention(4096) - 1.0))
 
     def test_contention_unity_below_threshold(self):
         net = NetworkModel.of(FRONTIER)

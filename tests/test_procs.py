@@ -1,0 +1,287 @@
+"""Multi-process executor tests: shared-memory halos, bit-identity,
+rank-fault restart, and the ``ranks`` wiring through Simulation/CLI.
+
+The load-bearing invariant mirrors ``test_cluster.py``'s in-process
+one, now across real OS processes: a ``ProcessCluster`` run — one
+forked worker per rank, halos through shared-memory mailboxes, dt
+reduced in rank order — is **bit-identical** to the serial
+``Simulation`` march, for any rank count, WENO order, Riemann solver,
+sweep layout, and uneven split (property-tested), and stays so after a
+rank is killed mid-run and the team restarts from the newest common
+checkpoint.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bc import BoundarySet
+from repro.cluster import (
+    BlockDecomposition,
+    ProcessCluster,
+    RankFault,
+    ShmArena,
+)
+from repro.common import ClusterError, ConfigurationError
+from repro.eos import Mixture, StiffenedGas
+from repro.grid import StructuredGrid
+from repro.profiling import HaloCounters, Profile
+from repro.solver import Case, Patch, RHSConfig, Simulation, box, sphere
+
+AIR = StiffenedGas(1.4)
+MIX = Mixture((AIR, AIR))
+
+
+def bubble_case(shape):
+    ndim = len(shape)
+    grid = StructuredGrid.uniform(tuple((0.0, 1.0) for _ in shape), shape)
+    case = Case(grid, MIX)
+    case.add(Patch(box([0.0] * ndim, [1.0] * ndim), (0.5, 0.5),
+                   (0.3,) + (0.0,) * (ndim - 1), 1.0, (0.5,)))
+    case.add(Patch(sphere([0.4] * ndim, 0.2), (1.0, 1.0),
+                   (0.0,) * ndim, 2.0, (0.5,)))
+    return case
+
+
+def cluster_for(case, bcs, nranks, **kwargs):
+    from repro.bc import BC
+
+    periodic = tuple(lo is BC.PERIODIC for lo, _ in bcs.per_axis)
+    decomp = BlockDecomposition.balanced(case.grid.shape, nranks,
+                                         periodic=periodic)
+    config = kwargs.pop("config", RHSConfig())
+    return ProcessCluster(case.grid, case.layout, MIX, bcs, decomp, config,
+                          **kwargs)
+
+
+def serial_march(case, bcs, *, n_steps=None, t_end=None, **kwargs):
+    sim = Simulation(case, bcs, check_every=0, **kwargs)
+    sim.run(n_steps=n_steps, t_end=t_end)
+    return sim
+
+
+class TestProcessClusterBitIdentity:
+    @pytest.mark.parametrize("nranks,shape", [
+        (2, (48,)),
+        (4, (24, 24)),
+    ])
+    def test_fixed_dt_matches_serial(self, nranks, shape):
+        case = bubble_case(shape)
+        bcs = BoundarySet.all_extrapolation(len(shape))
+        sim = serial_march(case, bcs, n_steps=4, fixed_dt=2e-4)
+        pc = cluster_for(case, bcs, nranks, fixed_dt=2e-4)
+        result = pc.run(case.initial_conservative(), n_steps=4)
+        np.testing.assert_array_equal(result.q, sim.q)
+        assert result.step_count == 4
+        assert result.halo.messages > 0
+
+    def test_cfl_t_end_matches_serial_exactly(self):
+        # The CFL path exercises the shared-memory dt reduction: every
+        # rank must land on the bitwise-identical global wave speed, or
+        # the trajectories (and final times) drift apart.
+        case = bubble_case((20, 20))
+        bcs = BoundarySet.all_periodic(2)
+        sim = serial_march(case, bcs, t_end=2e-3, cfl=0.4)
+        pc = cluster_for(case, bcs, 4, cfl=0.4)
+        result = pc.run(case.initial_conservative(), t_end=2e-3)
+        np.testing.assert_array_equal(result.q, sim.q)
+        assert result.time == sim.time
+        assert result.step_count == sim.step_count
+        assert result.halo.reductions == 4 * sim.step_count
+
+    def test_3d_uneven_split(self):
+        case = bubble_case((11, 10, 9))
+        bcs = BoundarySet.all_extrapolation(3)
+        sim = serial_march(case, bcs, n_steps=1, fixed_dt=2e-4,
+                           config=RHSConfig(weno_order=3))
+        pc = cluster_for(case, bcs, 2, fixed_dt=2e-4,
+                         config=RHSConfig(weno_order=3))
+        result = pc.run(case.initial_conservative(), n_steps=1)
+        np.testing.assert_array_equal(result.q, sim.q)
+
+    @settings(max_examples=5, deadline=None)
+    @given(order=st.sampled_from([1, 3, 5]),
+           riemann=st.sampled_from(["hllc", "hll", "rusanov"]),
+           layout=st.sampled_from(["strided", "transposed", "auto"]),
+           n=st.integers(min_value=19, max_value=23),
+           nranks=st.sampled_from([2, 3]))
+    def test_any_order_solver_layout_split(self, order, riemann, layout,
+                                           n, nranks):
+        # Uneven splits by construction: n in 19..23 over 2-3 ranks
+        # leaves remainder cells on the low ranks for most draws.  The
+        # serial reference always runs strided/serial, so this also
+        # asserts cross-layout identity.
+        case = bubble_case((n, 16))
+        bcs = BoundarySet.all_extrapolation(2)
+        config = RHSConfig(weno_order=order, riemann_solver=riemann)
+        sim = serial_march(case, bcs, n_steps=2, fixed_dt=2e-4,
+                           config=config)
+        pc = cluster_for(case, bcs, nranks, fixed_dt=2e-4, config=config,
+                         sweep_layout=layout)
+        result = pc.run(case.initial_conservative(), n_steps=2)
+        np.testing.assert_array_equal(result.q, sim.q)
+
+    def test_overlap_off_identical(self):
+        case = bubble_case((24, 24))
+        bcs = BoundarySet.all_periodic(2)
+        q0 = case.initial_conservative()
+        on = cluster_for(case, bcs, 4, fixed_dt=2e-4, overlap=True)
+        off = cluster_for(case, bcs, 4, fixed_dt=2e-4, overlap=False)
+        np.testing.assert_array_equal(on.run(q0, n_steps=2).q,
+                                      off.run(q0, n_steps=2).q)
+
+
+class TestRankFaultRestart:
+    def test_killed_rank_restarts_bit_identical(self, tmp_path):
+        case = bubble_case((32,))
+        bcs = BoundarySet.all_extrapolation(1)
+        sim = serial_march(case, bcs, n_steps=6, fixed_dt=2e-4)
+        pc = cluster_for(case, bcs, 2, fixed_dt=2e-4,
+                         checkpoint_every=2, checkpoint_dir=tmp_path,
+                         fault=RankFault(rank=1, step=3))
+        result = pc.run(case.initial_conservative(), n_steps=6)
+        np.testing.assert_array_equal(result.q, sim.q)
+        assert result.restarts == 1
+
+    def test_fault_before_any_checkpoint_raises(self, tmp_path):
+        case = bubble_case((32,))
+        bcs = BoundarySet.all_extrapolation(1)
+        pc = cluster_for(case, bcs, 2, fixed_dt=2e-4,
+                         checkpoint_every=5, checkpoint_dir=tmp_path,
+                         fault=RankFault(rank=0, step=1))
+        with pytest.raises(ClusterError):
+            pc.run(case.initial_conservative(), n_steps=3)
+
+    def test_fault_requires_checkpointing(self):
+        case = bubble_case((32,))
+        bcs = BoundarySet.all_extrapolation(1)
+        with pytest.raises(ConfigurationError):
+            cluster_for(case, bcs, 2, fixed_dt=2e-4,
+                        fault=RankFault(rank=0, step=1))
+
+
+class TestShmArena:
+    def test_blocks_map_decomposition(self):
+        decomp = BlockDecomposition.balanced((10, 8), 4)
+        arena = ShmArena(decomp, nvars=5, ng=3)
+        try:
+            for r in range(4):
+                block = arena.block(r)
+                assert block.shape == (5,) + decomp.local_cells(r)
+                block[...] = float(r)  # writable, disjoint
+            for r in range(4):
+                assert np.all(arena.block(r) == float(r))
+        finally:
+            arena.destroy()
+
+
+class TestSimulationRanksWiring:
+    def test_run_matches_serial_and_merges_counters(self):
+        case = bubble_case((24, 24))
+        bcs = BoundarySet.all_periodic(2)
+        serial = serial_march(case, bcs, n_steps=3, fixed_dt=2e-4)
+        sim = Simulation(bubble_case((24, 24)), bcs, fixed_dt=2e-4,
+                         check_every=0, ranks=2)
+        sim.run(n_steps=3)
+        np.testing.assert_array_equal(sim.q, serial.q)
+        assert sim.step_count == 3
+        assert sim.time == serial.time
+        assert len(sim.history) == 3
+        assert sim.history[-1].step == 3
+        assert sim.halo_counters is not None
+        assert sim.halo_counters.messages > 0
+        # Fixed dt: every rank already knows the step, nothing to reduce.
+        assert sim.halo_counters.reductions == 0
+        assert sim.rhs.sweep_counters.bytes_reconstructed_strided > 0
+
+    def test_t_end_horizon_already_reached_is_noop(self):
+        case = bubble_case((16, 16))
+        sim = Simulation(case, BoundarySet.all_periodic(2), ranks=2)
+        sim.run(t_end=0.0)
+        assert sim.step_count == 0
+        assert sim.halo_counters is None
+
+    def test_step_rejected(self):
+        sim = Simulation(bubble_case((16, 16)), BoundarySet.all_periodic(2),
+                         ranks=2)
+        with pytest.raises(ConfigurationError):
+            sim.step()
+
+    def test_callback_rejected(self):
+        sim = Simulation(bubble_case((16, 16)), BoundarySet.all_periodic(2),
+                         ranks=2)
+        with pytest.raises(ConfigurationError):
+            sim.run(n_steps=1, callback=lambda s, r: None)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ranks": 0},
+        {"ranks": 2, "threads": 2},
+        {"ranks": 2, "retry": {"max_retries": 1}},
+        {"ranks": 2, "tuning": "auto"},
+        {"ranks": 2, "fault_injector": object()},
+    ])
+    def test_incompatible_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Simulation(bubble_case((16, 16)), BoundarySet.all_periodic(2),
+                       **kwargs)
+
+
+class TestCaseFileAndCLI:
+    CASE = {
+        "grid": {"bounds": [[0.0, 1.0], [0.0, 1.0]], "shape": [20, 20]},
+        "fluids": [{"gamma": 1.4}, {"gamma": 1.667}],
+        "patches": [
+            {"geometry": {"kind": "box", "lo": [0, 0], "hi": [1, 1]},
+             "alpha_rho": [1.0, 0.001], "velocity": [0.0, 0.0],
+             "pressure": 1.0, "alpha": [0.999]},
+            {"geometry": {"kind": "sphere", "center": [0.4, 0.5],
+                          "radius": 0.15},
+             "alpha_rho": [0.001, 0.2], "velocity": [0.0, 0.0],
+             "pressure": 1.5, "alpha": [0.001], "smear": 0.01},
+        ],
+    }
+
+    def test_solver_ranks_parsed(self):
+        from repro.io.case_files import solver_options_from_dict
+
+        spec = dict(self.CASE, solver={"ranks": 3})
+        assert solver_options_from_dict(spec) == {"ranks": 3}
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.0, "2"])
+    def test_solver_ranks_invalid(self, bad):
+        from repro.io.case_files import solver_options_from_dict
+
+        with pytest.raises(ConfigurationError):
+            solver_options_from_dict(dict(self.CASE, solver={"ranks": bad}))
+
+    def test_cli_ranks_bit_identical_snapshot(self, tmp_path, capsys):
+        from repro.__main__ import main
+        from repro.io.binary import read_snapshot
+
+        case_path = tmp_path / "case.json"
+        case_path.write_text(json.dumps(self.CASE))
+        serial_snap = tmp_path / "serial.bin"
+        ranks_snap = tmp_path / "ranks.bin"
+        assert main(["run", str(case_path), "--steps", "2",
+                     "--snapshot", str(serial_snap)]) == 0
+        assert main(["run", str(case_path), "--steps", "2", "--ranks", "2",
+                     "--snapshot", str(ranks_snap)]) == 0
+        out = capsys.readouterr().out
+        assert "2 ranks" in out
+        assert "halo:" in out
+        _, q_serial = read_snapshot(serial_snap)
+        _, q_ranks = read_snapshot(ranks_snap)
+        np.testing.assert_array_equal(q_ranks, q_serial)
+
+
+class TestProfileHaloReport:
+    def test_report_includes_halo_summary(self):
+        prof = Profile(device_name="host")
+        prof.record("weno", "weno", 1e-3)
+        halo = HaloCounters(messages=12, bytes_exchanged=4096, posts=12,
+                            waits=3, wait_ns=1_000_000, reductions=4)
+        prof.halo = halo
+        assert halo.summary() in prof.report()
