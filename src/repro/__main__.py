@@ -35,6 +35,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ranks = solver_options.get("ranks", 1)
     if args.ranks is not None:
         ranks = args.ranks
+    cluster: dict = {
+        key: solver_options[key]
+        for key in ("cluster_timeout", "max_restarts")
+        if key in solver_options}
+    if args.cluster_timeout is not None:
+        cluster["cluster_timeout"] = args.cluster_timeout
+    if args.max_restarts is not None:
+        cluster["max_restarts"] = args.max_restarts
     layout = solver_options.get("sweep_layout", "strided")
     if args.layout is not None:
         layout = args.layout
@@ -68,7 +76,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                      cfl=args.cfl, threads=threads, ranks=ranks,
                      sweep_layout=layout,
                      tuning=tuning, tuning_cache=tuning_cache,
-                     **resilience)
+                     **cluster, **resilience)
     print(f"running {case.grid.num_cells} cells, {case.mixture.ncomp} fluids, "
           f"WENO{args.weno} + {args.riemann.upper()}"
           + (f", {threads} threads" if threads > 1 else "")
@@ -217,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="processes for a multi-process block-decomposed "
                           "run with shared-memory halo exchange "
                           "(default: case file's solver.ranks, else 1)")
+    run.add_argument("--cluster-timeout", type=float, default=None,
+                     help="halo-wait / no-progress deadline in seconds for "
+                          "multi-process runs; raise it when one step can "
+                          "legitimately take longer (default: case file's "
+                          "solver.cluster_timeout, else 30)")
+    run.add_argument("--max-restarts", type=int, default=None,
+                     help="rank-failure restarts a multi-process run may "
+                          "attempt from the newest common checkpoint "
+                          "(default: case file's solver.max_restarts, else 1)")
     run.add_argument("--layout", default=None,
                      choices=("strided", "transposed", "auto"),
                      help="sweep memory layout: strided, transposed "

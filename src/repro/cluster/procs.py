@@ -25,10 +25,27 @@ deadline and are tallied in :class:`~repro.profiling.counters.
 HaloCounters` (``waits``/``wait_ns`` — the un-hidden communication the
 interior-compute overlap exists to shrink).
 
+Plain stores give no cross-process ordering on weakly-ordered CPUs
+(aarch64), so every sequence word is *published* inside a per-mailbox
+``multiprocessing.Lock`` critical section and every successful wait is
+followed by an acquire/release round-trip of the same lock before the
+payload is touched.  The waiter's acquire synchronises with the
+publisher's release (the sequence word was stored while the lock was
+held), so payload stores made before the publish happen-before payload
+loads made after the fence — a seqlock with the fences made explicit.
+The spin itself stays lock-free; the lock round-trip costs one
+semaphore pair per exchange, not per spin.
+
 The per-step dt reduction reuses the same idea with one slot, one
-write-sequence word, and one read-sequence word per rank; every rank
-computes ``max`` over the slots in the same order, so all ranks adopt a
-bitwise-identical dt (max is exact in floating point).
+write-sequence word, one read-sequence word, and one lock per rank;
+every rank computes ``max`` over the slots in the same order, so all
+ranks adopt a bitwise-identical dt (max is exact in floating point).
+
+Liveness is monitored through a per-rank heartbeat word bumped on
+every completed step and transport operation; the parent's join loop
+only arms its no-progress deadline when *nothing* moved (no heartbeat,
+no result, no exit), so the deadline bounds a hang, never the length
+of a legitimate run.
 
 Fault tolerance
 ---------------
@@ -39,7 +56,12 @@ terminates the survivors, finds the newest step for which *every* rank
 holds a checkpoint, builds a fresh arena, and respawns the cluster from
 that step.  Restarted runs are bit-identical to failure-free ones
 (every step is deterministic, so re-marching from step ``S`` reproduces
-the same states).  :class:`RankFault` injects a deterministic rank
+the same states).  Each call to :meth:`ProcessCluster.run` owns the
+rank-prefixed checkpoint set: stale ``rank####_*`` files left in the
+directory by a previous run are removed up front so only *this* run's
+steps are restart candidates, and a rank death with checkpointing
+disabled raises :class:`~repro.common.ClusterError` instead of
+attempting a restart.  :class:`RankFault` injects a deterministic rank
 death to exercise the path end to end; wire it from a
 :class:`~repro.faults.ranks.RankFailurePlan` via
 :meth:`RankFault.from_plan`.
@@ -49,6 +71,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import re
 import sys
 import time
 import traceback
@@ -76,13 +99,19 @@ from repro.weno import halo_width
 #: real Python error — both trigger the same restart path).
 _FAULT_EXIT = 3
 
+#: Per-rank checkpoint file names (any rank count, any step width) —
+#: the prefix set each :meth:`ProcessCluster.run` owns in its
+#: checkpoint directory.
+_RANK_CKPT = re.compile(r"rank\d{4}_\d+\.bin")
+
 
 @dataclass(frozen=True)
 class RankFault:
     """Deterministic injected rank death: ``rank`` exits (as a crashed
     process would — no cleanup, no final checkpoint) right after
-    completing step ``step``.  Fires on the first attempt only, so the
-    restarted run can finish."""
+    completing step ``step`` (counted on the run's absolute step clock,
+    i.e. including any ``base_step``).  Fires on the first attempt
+    only, so the restarted run can finish."""
 
     rank: int
     step: int
@@ -117,7 +146,16 @@ class ShmArena:
     * per-``(rank, axis, side)`` halo mailboxes (boundary-strip shaped)
       with their ``post``/``ack`` sequence words;
     * the dt-reduction triple: ``slots`` float64 and
-      ``wrote``/``read`` sequence words, one each per rank.
+      ``wrote``/``read`` sequence words, one each per rank;
+    * a per-rank ``beat`` heartbeat word (bumped by workers on every
+      step and transport operation; the parent's liveness monitor).
+
+    The arena also owns the protocol's synchronisation locks
+    (:attr:`locks`): one per halo mailbox and one per rank for the dt
+    reduction, inherited by the workers through fork.  Publishing a
+    sequence word inside its lock and fencing through the same lock
+    after a wait gives the payload hand-off a happens-before edge on
+    weakly-ordered CPUs (see the module docstring).
     """
 
     def __init__(self, decomp: BlockDecomposition, nvars: int, ng: int):
@@ -133,6 +171,10 @@ class ShmArena:
             self._slots[key] = (offset, tuple(shape), np.dtype(dtype))
             offset += arr_bytes
 
+        ctx = multiprocessing.get_context("fork")
+        #: Mailbox lock per ``(rank, axis, side)`` plus a reduction lock
+        #: per ``("red", rank)`` — the protocol's explicit fences.
+        self.locks: dict[tuple, object] = {}
         for r in range(decomp.nranks):
             add(("block", r), (nvars, *decomp.local_cells(r)), DTYPE)
         for r in range(decomp.nranks):
@@ -146,9 +188,13 @@ class ShmArena:
                     add(("box", r, axis, side), shape, DTYPE)
                     add(("post", r, axis, side), (1,), np.int64)
                     add(("ack", r, axis, side), (1,), np.int64)
+                    self.locks[(r, axis, side)] = ctx.Lock()
         add("slots", (decomp.nranks,), DTYPE)
         add("wrote", (decomp.nranks,), np.int64)
         add("read", (decomp.nranks,), np.int64)
+        add("beat", (decomp.nranks,), np.int64)
+        for r in range(decomp.nranks):
+            self.locks[("red", r)] = ctx.Lock()
 
         self.shm = shared_memory.SharedMemory(create=True, size=max(offset, 8))
         np.frombuffer(self.shm.buf, dtype=np.uint8, count=offset)[:] = 0
@@ -195,6 +241,8 @@ class SharedMemoryTransport:
         self._slots = arena.view("slots")
         self._wrote = arena.view("wrote")
         self._read = arena.view("read")
+        self._beat = arena.view("beat")
+        self._locks = arena.locks
         # Views are materialised once; post/fill then touch only numpy
         # arrays already mapped over the shared segment.
         self._view: dict[tuple, np.ndarray] = {}
@@ -208,25 +256,53 @@ class SharedMemoryTransport:
                         self._view[key] = arena.view(key)
 
     # ------------------------------------------------------------------
-    def _wait(self, seq: np.ndarray, value: int, what: str) -> None:
-        """Spin until ``seq[0] >= value`` (with deadline)."""
-        if seq[0] >= value:
-            return
-        t0 = time.perf_counter_ns()
-        deadline = t0 + int(self.timeout * 1e9)
-        self.counters.waits += 1
-        spins = 0
-        while seq[0] < value:
-            spins += 1
-            # Yield aggressively once it is clearly not a micro-wait so
-            # oversubscribed single-core hosts make progress.
-            time.sleep(0 if spins < 200 else 5e-5)
-            if time.perf_counter_ns() > deadline:
-                raise ClusterError(
-                    f"rank {self.rank}: timed out after {self.timeout}s "
-                    f"waiting for {what} (seq {seq[0]} < {value}) — a peer "
-                    f"rank likely died")
-        self.counters.wait_ns += time.perf_counter_ns() - t0
+    def beat(self) -> None:
+        """Bump this rank's heartbeat (the parent's liveness signal)."""
+        self._beat[self.rank] += 1
+
+    def _acquire(self, lock, what: str):
+        if not lock.acquire(timeout=self.timeout):
+            raise ClusterError(
+                f"rank {self.rank}: timed out after {self.timeout}s "
+                f"acquiring the lock for {what} — a peer rank likely died "
+                f"holding it")
+        return lock
+
+    def _fence(self, lock, what: str) -> None:
+        """Acquire/release ``lock`` once: pairs with the publisher's
+        release so payload stores made before the publish are visible
+        to payload loads made after this call (weak-memory fence)."""
+        self._acquire(lock, what).release()
+
+    def _publish(self, lock, seq: np.ndarray, index: int, value: int,
+                 what: str) -> None:
+        """Store ``seq[index] = value`` inside the lock (release-publish)."""
+        self._acquire(lock, what)
+        try:
+            seq[index] = value
+        finally:
+            lock.release()
+
+    def _wait(self, seq: np.ndarray, value: int, what: str, lock) -> None:
+        """Spin until ``seq[0] >= value`` (with deadline), then fence
+        through ``lock`` before the caller touches the payload."""
+        if seq[0] < value:
+            t0 = time.perf_counter_ns()
+            deadline = t0 + int(self.timeout * 1e9)
+            self.counters.waits += 1
+            spins = 0
+            while seq[0] < value:
+                spins += 1
+                # Yield aggressively once it is clearly not a micro-wait
+                # so oversubscribed single-core hosts make progress.
+                time.sleep(0 if spins < 200 else 5e-5)
+                if time.perf_counter_ns() > deadline:
+                    raise ClusterError(
+                        f"rank {self.rank}: timed out after {self.timeout}s "
+                        f"waiting for {what} (seq {seq[0]} < {value}) — a "
+                        f"peer rank likely died")
+            self.counters.wait_ns += time.perf_counter_ns() - t0
+        self._fence(lock, what)
 
     # ------------------------------------------------------------------
     def post(self, rank: int, axis: int, field: np.ndarray) -> None:
@@ -238,13 +314,16 @@ class SharedMemoryTransport:
         for side in (-1, 1):
             if self.decomp.neighbor(rank, axis, side) is None:
                 continue
+            lock = self._locks[(rank, axis, side)]
             self._wait(self._view[("ack", rank, axis, side)], seq - 1,
-                       f"ack of exchange {seq - 1} on axis {axis}")
+                       f"ack of exchange {seq - 1} on axis {axis}", lock)
             box = self._view[("box", rank, axis, side)]
             box[...] = boundary_strip(field, axis, ng, side)
-            self._view[("post", rank, axis, side)][0] = seq
+            self._publish(lock, self._view[("post", rank, axis, side)], 0,
+                          seq, f"post {seq} on axis {axis}")
             self.counters.posts += 1
         self._posted[(rank, axis)] = seq
+        self.beat()
 
     def fill(self, rank: int, axis: int, padded: np.ndarray) -> None:
         """Fill ``rank``'s interior-face ghosts along ``axis`` from the
@@ -255,14 +334,17 @@ class SharedMemoryTransport:
             nb = self.decomp.neighbor(rank, axis, side)
             if nb is None:
                 continue
+            lock = self._locks[(nb, axis, -side)]
             self._wait(self._view[("post", nb, axis, -side)], seq,
-                       f"post {seq} from rank {nb} on axis {axis}")
+                       f"post {seq} from rank {nb} on axis {axis}", lock)
             box = self._view[("box", nb, axis, -side)]
             ghost_strip(padded, axis, ng, side)[...] = box
-            self._view[("ack", nb, axis, -side)][0] = seq
+            self._publish(lock, self._view[("ack", nb, axis, -side)], 0,
+                          seq, f"ack {seq} to rank {nb} on axis {axis}")
             self.counters.messages += 1
             self.counters.bytes_exchanged += box.nbytes
         self._filled[(rank, axis)] = seq
+        self.beat()
 
     # ------------------------------------------------------------------
     def reduce_max(self, value: float) -> float:
@@ -275,24 +357,32 @@ class SharedMemoryTransport:
         n = self.decomp.nranks
         for r in range(n):
             self._wait(self._read[r:r + 1], s - 1,
-                       f"rank {r} to consume reduction {s - 1}")
+                       f"rank {r} to consume reduction {s - 1}",
+                       self._locks[("red", r)])
         self._slots[self.rank] = value
-        self._wrote[self.rank] = s
+        self._publish(self._locks[("red", self.rank)], self._wrote,
+                      self.rank, s, f"reduction value {s}")
         for r in range(n):
             self._wait(self._wrote[r:r + 1], s,
-                       f"rank {r}'s reduction value {s}")
+                       f"rank {r}'s reduction value {s}",
+                       self._locks[("red", r)])
         result = float(self._slots[0])
         for r in range(1, n):
             result = max(result, float(self._slots[r]))
-        self._read[self.rank] = s
+        self._publish(self._locks[("red", self.rank)], self._read,
+                      self.rank, s, f"reduction consume {s}")
         self._reduced = s
         self.counters.reductions += 1
+        self.beat()
         return result
 
 
 @dataclass(frozen=True)
 class ClusterResult:
-    """What one multi-process run produced."""
+    """What one multi-process run produced.  ``time``/``step_count``
+    (and the history/checkpoint records behind them) are absolute —
+    they include the ``base_time``/``base_step`` the run was seeded
+    with."""
 
     q: np.ndarray
     time: float
@@ -322,8 +412,12 @@ def _worker(arena: ShmArena, rank: int, grid: StructuredGrid,
             mgr = CheckpointManager(opts["checkpoint_dir"],
                                     keep=opts["checkpoint_keep"],
                                     prefix=f"rank{rank:04d}")
-        sim_time = 0.0
-        step_count = 0
+        # The march runs on the driver's absolute clock: checkpoint
+        # headers and history records carry the same time/step a serial
+        # Simulation would, even when the cluster continues a run that
+        # already advanced to base_time/base_step.
+        sim_time = opts["base_time"]
+        step_count = opts["base_step"]
         if restore_step is not None:
             from repro.io.binary import read_snapshot
 
@@ -363,6 +457,7 @@ def _worker(arena: ShmArena, rank: int, grid: StructuredGrid,
             step_count += 1
             history.append((step_count, sim_time, dt,
                             time.perf_counter() - t0))
+            transport.beat()
             if (fault is not None and attempt == 0
                     and rank == fault.rank and step_count == fault.step):
                 # Die as a crashed process would: no cleanup, no final
@@ -373,7 +468,8 @@ def _worker(arena: ShmArena, rank: int, grid: StructuredGrid,
                 mgr.save(q, step=step_count, time=sim_time)
 
         if opts["n_steps"] is not None:
-            while step_count < opts["n_steps"]:
+            end_step = opts["base_step"] + opts["n_steps"]
+            while step_count < end_step:
                 march_one()
         else:
             t_end = opts["t_end"]
@@ -424,11 +520,19 @@ class ProcessCluster:
     checkpoint_keep: int = 3
     fault: RankFault | None = None
     max_restarts: int = 1
-    #: Halo-wait spin deadline (seconds); also bounds how long the
-    #: parent waits for worker exit.
+    #: Halo-wait spin deadline (seconds); the parent's join loop uses
+    #: ``timeout + 60`` as its *no-progress* deadline — re-armed on
+    #: every observed heartbeat/result/exit, so it bounds a hang, not
+    #: the wall time of a legitimate run.
     timeout: float = 30.0
 
     def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive, got {self.timeout}")
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}")
         if self.decomp.global_cells != self.grid.shape:
             raise ConfigurationError(
                 f"decomposition covers {self.decomp.global_cells}, "
@@ -453,7 +557,7 @@ class ProcessCluster:
                    sweep_layout=self.sweep_layout, overlap=self.overlap)
 
     # ------------------------------------------------------------------
-    def _opts(self, *, t_end, n_steps) -> dict:
+    def _opts(self, *, t_end, n_steps, base_time, base_step) -> dict:
         return {
             "cfl": self.cfl, "fixed_dt": self.fixed_dt,
             "rk_order": self.rk_order, "sweep_layout": self.sweep_layout,
@@ -463,10 +567,34 @@ class ProcessCluster:
                                if self.checkpoint_dir is not None else None),
             "checkpoint_keep": self.checkpoint_keep, "fault": self.fault,
             "t_end": t_end, "n_steps": n_steps,
+            "base_time": base_time, "base_step": base_step,
         }
+
+    def _discard_stale_checkpoints(self) -> None:
+        """Remove rank checkpoints left by a previous run.
+
+        Each :meth:`run` owns the ``rank####_*`` prefix set in its
+        checkpoint directory: a stale file from an earlier run would
+        otherwise win ``max(common)`` during restart coordination and
+        silently resume this run from an unrelated, higher-step state.
+        """
+        if self.checkpoint_dir is None:
+            return
+        directory = Path(self.checkpoint_dir)
+        if not directory.is_dir():
+            return
+        for p in directory.iterdir():
+            if _RANK_CKPT.fullmatch(p.name):
+                p.unlink(missing_ok=True)
 
     def _common_checkpoint_step(self) -> int:
         """Newest step for which every rank holds a checkpoint file."""
+        if self.checkpoint_dir is None:
+            raise ClusterError(
+                "a rank died but checkpointing is disabled (no "
+                "checkpoint_dir) — cannot coordinate a restart; enable "
+                "checkpoint_every/checkpoint_dir to make rank failures "
+                "recoverable")
         common: set[int] | None = None
         for r in range(self.decomp.nranks):
             mgr = CheckpointManager(self.checkpoint_dir,
@@ -481,13 +609,21 @@ class ProcessCluster:
         return max(common)
 
     def run(self, q0: np.ndarray, *, t_end: float | None = None,
-            n_steps: int | None = None) -> ClusterResult:
+            n_steps: int | None = None, base_time: float = 0.0,
+            base_step: int = 0) -> ClusterResult:
         """March ``q0`` and gather the final global field.
 
         Exactly one of ``t_end``/``n_steps``; semantics match
-        :meth:`Simulation.run` (final step clipped onto ``t_end``).
-        Survives up to ``max_restarts`` rank deaths via
-        checkpoint-coordinated restart.
+        :meth:`Simulation.run` (final step clipped onto ``t_end``, with
+        ``t_end`` an *absolute* horizon when ``base_time`` is given).
+        ``base_time``/``base_step`` seed the workers' clock so
+        checkpoint headers, history records, and the returned
+        time/step are absolute — a cluster continuing a driver that
+        already marched to step ``S`` records step ``S + 1`` next, not
+        ``1``.  Survives up to ``max_restarts`` rank deaths via
+        checkpoint-coordinated restart; stale rank checkpoints from a
+        previous run in the same directory are discarded up front (see
+        :meth:`_discard_stale_checkpoints`).
         """
         if (t_end is None) == (n_steps is None):
             raise ConfigurationError("specify exactly one of t_end or n_steps")
@@ -495,18 +631,20 @@ class ProcessCluster:
             raise ConfigurationError(
                 f"q0 has shape {q0.shape}, expected "
                 f"{(self.layout.nvars, *self.grid.shape)}")
+        self._discard_stale_checkpoints()
         ctx = multiprocessing.get_context("fork")
-        opts = self._opts(t_end=t_end, n_steps=n_steps)
+        opts = self._opts(t_end=t_end, n_steps=n_steps,
+                          base_time=base_time, base_step=base_step)
         restarts = 0
         restore_step = None
         while True:
             arena = ShmArena(self.decomp, self.layout.nvars,
                              halo_width(self.config.weno_order))
+            pipes, procs = [], []
             try:
                 for r in range(self.decomp.nranks):
                     arena.block(r)[...] = q0[
                         (slice(None), *self.decomp.local_slices(r))]
-                pipes, procs = [], []
                 for r in range(self.decomp.nranks):
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     p = ctx.Process(
@@ -519,15 +657,12 @@ class ProcessCluster:
                     child_conn.close()
                     pipes.append(parent_conn)
                     procs.append(p)
-                failed = self._join(procs)
+                results, failed = self._join_and_drain(procs, pipes, arena)
                 if failed is None:
-                    results = [conn.recv() for conn in pipes]
-                    for conn in pipes:
-                        conn.close()
                     return self._collect(arena, results, restarts)
+            finally:
                 for conn in pipes:
                     conn.close()
-            finally:
                 arena.destroy()
             restarts += 1
             if restarts > self.max_restarts:
@@ -537,29 +672,72 @@ class ProcessCluster:
             restore_step = self._common_checkpoint_step()
 
     # ------------------------------------------------------------------
-    def _join(self, procs) -> tuple[int, int] | None:
-        """Wait for every worker; on the first failure terminate the
-        survivors (they would otherwise spin until their wait deadline)
-        and return ``(rank, exitcode)``."""
-        deadline = time.monotonic() + self.timeout + 60.0
+    def _join_and_drain(
+        self, procs, pipes, arena: ShmArena,
+    ) -> tuple[list[dict] | None, tuple[int, int] | None]:
+        """Wait for every worker, receiving results as they arrive.
+
+        Results are drained *while* joining: a rank's result (rank 0's
+        carries the whole per-step history) can outgrow the OS pipe
+        buffer, in which case the worker blocks in ``send`` and only
+        exits once the parent has received — recv-after-join would
+        deadlock.
+
+        The no-progress deadline (``timeout + 60``) is re-armed on any
+        observed progress — a heartbeat advance, a result arriving, a
+        worker exiting — so it bounds how long the cluster may sit
+        *stuck*, never the wall time of a legitimately long run.  On
+        the first failure (nonzero exit, or genuine no-progress expiry)
+        the survivors are terminated (they would otherwise spin until
+        their own wait deadlines) and ``(None received, (rank,
+        exitcode))`` is returned; a clean join returns ``(results,
+        None)``.
+        """
+        beat = arena.view("beat")
+        last_beat = beat.copy()
+        grace = self.timeout + 60.0
+        deadline = time.monotonic() + grace
         pending = dict(enumerate(procs))
+        results: dict[int, dict] = {}
         failed = None
         while pending and failed is None:
+            progress = False
             for r, p in list(pending.items()):
+                conn = pipes[r]
+                if r not in results and conn.poll(0):
+                    try:
+                        results[r] = conn.recv()
+                        progress = True
+                    except EOFError:
+                        pass  # died before sending; exitcode handles it
                 p.join(timeout=0.02)
                 if p.exitcode is None:
                     continue
                 del pending[r]
+                progress = True
+                if r not in results and conn.poll(0):
+                    try:
+                        results[r] = conn.recv()
+                    except EOFError:
+                        pass
                 if p.exitcode != 0:
                     failed = (r, p.exitcode)
-            if time.monotonic() > deadline:
+                elif r not in results:
+                    # Exited cleanly without reporting — unusable run.
+                    failed = (r, 0)
+            if not np.array_equal(beat, last_beat):
+                np.copyto(last_beat, beat)
+                progress = True
+            if progress:
+                deadline = time.monotonic() + grace
+            elif time.monotonic() > deadline:
                 failed = (-1, -1)
         if failed is None:
-            return None
+            return [results[r] for r in sorted(results)], None
         for p in pending.values():
             p.terminate()
             p.join()
-        return failed
+        return None, failed
 
     def _collect(self, arena: ShmArena, results: list[dict],
                  restarts: int) -> ClusterResult:

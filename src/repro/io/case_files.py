@@ -22,9 +22,10 @@ from repro.solver.case import Case, Patch, box, halfspace, sphere
 GEOMETRY_KINDS = ("box", "sphere", "halfspace")
 
 #: Keys the optional ``"solver"`` section of a case file may carry.
-SOLVER_OPTION_KEYS = ("threads", "ranks", "layout", "checkpoint_every",
-                      "checkpoint_keep", "checkpoint_dir", "validate_every",
-                      "retry", "tuning", "tuning_cache")
+SOLVER_OPTION_KEYS = ("threads", "ranks", "cluster_timeout", "max_restarts",
+                      "layout", "checkpoint_every", "checkpoint_keep",
+                      "checkpoint_dir", "validate_every", "retry", "tuning",
+                      "tuning_cache")
 
 
 def solver_options_from_dict(spec: dict) -> dict:
@@ -33,7 +34,10 @@ def solver_options_from_dict(spec: dict) -> dict:
     The section is optional and carries ``threads`` (worker count for
     the thread-tiled execution backend; a positive integer), ``ranks``
     (process count for multi-process block-decomposed runs; a positive
-    integer), ``layout``
+    integer) with its companions ``cluster_timeout`` (halo-wait /
+    no-progress deadline in seconds; a positive number) and
+    ``max_restarts`` (rank-failure restarts to attempt; an integer
+    >= 0), ``layout``
     (sweep memory layout: ``"strided"``, ``"transposed"``, or
     ``"auto"``), the resilience knobs ``checkpoint_every`` /
     ``checkpoint_keep`` / ``checkpoint_dir`` / ``validate_every``, and
@@ -68,6 +72,20 @@ def solver_options_from_dict(spec: dict) -> dict:
             raise ConfigurationError(
                 f"solver ranks must be a positive integer, got {ranks!r}")
         options["ranks"] = ranks
+    if "cluster_timeout" in solver:
+        value = solver["cluster_timeout"]
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or value <= 0:
+            raise ConfigurationError(
+                f"solver cluster_timeout must be a positive number, "
+                f"got {value!r}")
+        options["cluster_timeout"] = float(value)
+    if "max_restarts" in solver:
+        value = solver["max_restarts"]
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise ConfigurationError(
+                f"solver max_restarts must be an integer >= 0, got {value!r}")
+        options["max_restarts"] = value
     if "layout" in solver:
         from repro.solver.sweep import validate_sweep_layout
 

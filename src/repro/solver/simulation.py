@@ -114,6 +114,16 @@ class Simulation:
         ``fault_injector`` (rank faults are injected through
         :class:`repro.cluster.RankFault` instead); the merged halo
         counters land in :attr:`halo_counters` after the run.
+    cluster_timeout:
+        Halo-wait deadline in seconds for multi-process runs (default
+        30); the parent's no-progress watchdog uses it too, re-armed on
+        every observed heartbeat, so it bounds a single stall, not the
+        run length.  Raise it when one step of the local block can
+        legitimately take longer than the default.
+    max_restarts:
+        How many rank-failure restarts a multi-process run may attempt
+        (from the newest common checkpoint) before giving up with
+        :class:`~repro.common.ClusterError` (default 1).
     tile_device:
         Optional :class:`~repro.hardware.DeviceSpec` (or catalog name)
         whose L2 capacity sizes the tiles; see
@@ -173,6 +183,8 @@ class Simulation:
     use_workspace: bool = True
     threads: int = 1
     ranks: int = 1
+    cluster_timeout: float = 30.0
+    max_restarts: int = 1
     tile_device: object | None = None
     sweep_layout: str = "strided"
     retry: RetryPolicy | dict | None = None
@@ -199,6 +211,12 @@ class Simulation:
         if self.ranks < 1:
             raise ConfigurationError(
                 f"ranks must be a positive integer, got {self.ranks}")
+        if self.cluster_timeout <= 0:
+            raise ConfigurationError(
+                f"cluster_timeout must be positive, got {self.cluster_timeout}")
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}")
         if self.ranks > 1:
             if self.threads > 1:
                 raise ConfigurationError(
@@ -522,17 +540,18 @@ class Simulation:
         Builds a balanced :class:`~repro.cluster.BlockDecomposition`
         over :attr:`ranks` processes and runs
         :class:`~repro.cluster.ProcessCluster` on the current state —
-        bitwise identical to the serial march.  The driver's state,
-        clock, step history, limiter/sweep counters, and restart tally
-        absorb the cluster's results, and the merged halo counters land
-        in :attr:`halo_counters`.
+        bitwise identical to the serial march.  The workers are seeded
+        with the driver's absolute time/step, so worker checkpoint
+        headers and history records carry the same clock the driver
+        reports.  The driver's state, clock, step history,
+        limiter/sweep counters, and restart tally absorb the cluster's
+        results, and the merged halo counters land in
+        :attr:`halo_counters`.
         """
         from repro.cluster import BlockDecomposition, ProcessCluster
 
-        if t_end is not None:
-            if self.time >= t_end * (1.0 - 1e-12):
-                return  # horizon already reached: a no-op, as in-process
-            t_end = t_end - self.time
+        if t_end is not None and self.time >= t_end * (1.0 - 1e-12):
+            return  # horizon already reached: a no-op, as in-process
         periodic = tuple(lo is BC.PERIODIC for lo, _ in self.bcs.per_axis)
         decomp = BlockDecomposition.balanced(
             self.grid.shape, self.ranks, periodic=periodic)
@@ -542,15 +561,15 @@ class Simulation:
             rk_order=self.rk_order, sweep_layout=self.sweep_layout,
             checkpoint_every=self.checkpoint_every,
             checkpoint_dir=self.checkpoint_dir,
-            checkpoint_keep=self.checkpoint_keep)
-        result = cluster.run(self.q, t_end=t_end, n_steps=n_steps)
-        base_step, base_time = self.step_count, self.time
+            checkpoint_keep=self.checkpoint_keep,
+            max_restarts=self.max_restarts, timeout=self.cluster_timeout)
+        result = cluster.run(self.q, t_end=t_end, n_steps=n_steps,
+                             base_time=self.time, base_step=self.step_count)
         self.q = result.q
-        self.time = base_time + result.time
-        self.step_count = base_step + result.step_count
+        self.time = result.time
+        self.step_count = result.step_count
         for step, time, dt, wall in result.history:
-            self.history.append(StepRecord(
-                base_step + step, base_time + time, dt, wall))
+            self.history.append(StepRecord(step, time, dt, wall))
         self.halo_counters = result.halo
         self.rhs.sweep_counters.merge(result.sweep)
         self.rhs.limited_faces += result.limited_faces

@@ -134,6 +134,39 @@ class TestProcessClusterBitIdentity:
                                       off.run(q0, n_steps=2).q)
 
 
+class TestJoinAndDrain:
+    def test_history_larger_than_pipe_buffer_completes(self):
+        # Rank 0's result carries the whole per-step history; beyond the
+        # OS pipe buffer (~64 KiB, ~2000 steps) the worker blocks in
+        # send until the parent receives.  The parent must drain the
+        # result pipes *while* joining — recv-after-join deadlocks, the
+        # no-progress watchdog then kills a perfectly healthy run.
+        case = bubble_case((16,))
+        bcs = BoundarySet.all_extrapolation(1)
+        pc = cluster_for(case, bcs, 2, fixed_dt=1e-5,
+                         config=RHSConfig(weno_order=1))
+        result = pc.run(case.initial_conservative(), n_steps=2200)
+        assert result.step_count == 2200
+        assert len(result.history) == 2200
+        assert np.isfinite(result.q).all()
+
+    def test_arena_has_heartbeats(self):
+        # The join watchdog re-arms on heartbeat progress; the arena
+        # must expose one beat word per rank, zero-initialised.
+        decomp = BlockDecomposition.balanced((10, 8), 4)
+        arena = ShmArena(decomp, nvars=5, ng=3)
+        try:
+            beat = arena.view("beat")
+            assert beat.shape == (4,)
+            assert np.all(beat == 0)
+            # One mailbox lock per neighboured (rank, axis, side), one
+            # reduction lock per rank.
+            assert ("red", 0) in arena.locks
+            assert sum(1 for k in arena.locks if k[0] != "red") > 0
+        finally:
+            arena.destroy()
+
+
 class TestRankFaultRestart:
     def test_killed_rank_restarts_bit_identical(self, tmp_path):
         case = bubble_case((32,))
@@ -161,6 +194,38 @@ class TestRankFaultRestart:
         with pytest.raises(ConfigurationError):
             cluster_for(case, bcs, 2, fixed_dt=2e-4,
                         fault=RankFault(rank=0, step=1))
+
+    def test_rank_death_without_checkpointing_raises_cluster_error(self):
+        # A genuine rank death (not an injected fault) in a run with
+        # checkpointing disabled must surface as a ClusterError, not a
+        # TypeError from CheckpointManager(None, ...).
+        case = bubble_case((32,))
+        bcs = BoundarySet.all_extrapolation(1)
+        pc = cluster_for(case, bcs, 2, cfl=0.5)
+        q0 = case.initial_conservative()
+        q0[...] = np.nan  # every worker dies on the invalid wave rate
+        with pytest.raises(ClusterError, match="checkpoint"):
+            pc.run(q0, n_steps=2)
+
+    def test_stale_checkpoints_from_previous_run_not_restored(self, tmp_path):
+        # Run 1 leaves rank checkpoints at steps 4/6/8 in the
+        # directory.  Run 2 (same directory) loses a rank at step 3:
+        # the restart must come from run 2's own step-2 checkpoint, not
+        # silently resume from run 1's higher-step state.
+        case = bubble_case((32,))
+        bcs = BoundarySet.all_extrapolation(1)
+        pc1 = cluster_for(case, bcs, 2, fixed_dt=2e-4,
+                          checkpoint_every=2, checkpoint_dir=tmp_path)
+        pc1.run(case.initial_conservative(), n_steps=8)
+        assert list(tmp_path.glob("rank*_*.bin"))
+        serial = serial_march(case, bcs, n_steps=6, fixed_dt=2e-4)
+        pc2 = cluster_for(case, bcs, 2, fixed_dt=2e-4,
+                          checkpoint_every=2, checkpoint_dir=tmp_path,
+                          fault=RankFault(rank=1, step=3))
+        result = pc2.run(case.initial_conservative(), n_steps=6)
+        assert result.restarts == 1
+        assert result.step_count == 6
+        np.testing.assert_array_equal(result.q, serial.q)
 
 
 class TestShmArena:
@@ -196,6 +261,47 @@ class TestSimulationRanksWiring:
         # Fixed dt: every rank already knows the step, nothing to reduce.
         assert sim.halo_counters.reductions == 0
         assert sim.rhs.sweep_counters.bytes_reconstructed_strided > 0
+
+    def test_checkpoint_headers_use_driver_clock(self, tmp_path):
+        # A second run() continues the driver's absolute clock: worker
+        # checkpoints of the continuation must record the driver's
+        # step/time, not cluster-local ones starting at zero.
+        from repro.io.binary import read_snapshot
+
+        bcs = BoundarySet.all_extrapolation(1)
+        sim = Simulation(bubble_case((24,)), bcs, fixed_dt=2e-4,
+                         check_every=0, ranks=2,
+                         checkpoint_every=2, checkpoint_dir=tmp_path)
+        sim.run(n_steps=3)
+        sim.run(n_steps=3)  # steps 4..6 — checkpoints at 4 and 6
+        assert sim.step_count == 6
+        assert [r.step for r in sim.history] == list(range(1, 7))
+        steps = sorted(int(p.stem.split("_")[-1])
+                       for p in tmp_path.glob("rank0000_*.bin"))
+        assert steps == [4, 6]
+        header, _ = read_snapshot(
+            tmp_path / f"rank0000_{6:09d}.bin")
+        assert header.step == 6
+        assert header.time == sim.time
+        serial = serial_march(bubble_case((24,)), bcs, n_steps=6,
+                              fixed_dt=2e-4)
+        np.testing.assert_array_equal(sim.q, serial.q)
+        assert sim.time == serial.time
+
+    def test_cluster_knobs_plumbed(self):
+        # cluster_timeout/max_restarts reach the Simulation and are
+        # validated there.
+        case = bubble_case((16, 16))
+        sim = Simulation(case, BoundarySet.all_periodic(2), ranks=2,
+                         fixed_dt=2e-4, check_every=0,
+                         cluster_timeout=120.0, max_restarts=2)
+        sim.run(n_steps=1)
+        assert sim.step_count == 1
+        for kwargs in ({"cluster_timeout": 0.0}, {"cluster_timeout": -1.0},
+                       {"max_restarts": -1}):
+            with pytest.raises(ConfigurationError):
+                Simulation(bubble_case((16, 16)),
+                           BoundarySet.all_periodic(2), ranks=2, **kwargs)
 
     def test_t_end_horizon_already_reached_is_noop(self):
         case = bubble_case((16, 16))
@@ -257,6 +363,29 @@ class TestCaseFileAndCLI:
         with pytest.raises(ConfigurationError):
             solver_options_from_dict(dict(self.CASE, solver={"ranks": bad}))
 
+    def test_solver_cluster_knobs_parsed(self):
+        from repro.io.case_files import solver_options_from_dict
+
+        spec = dict(self.CASE, solver={"ranks": 2, "cluster_timeout": 120,
+                                       "max_restarts": 2})
+        assert solver_options_from_dict(spec) == {
+            "ranks": 2, "cluster_timeout": 120.0, "max_restarts": 2}
+
+    @pytest.mark.parametrize("solver", [
+        {"cluster_timeout": 0},
+        {"cluster_timeout": -5.0},
+        {"cluster_timeout": "30"},
+        {"cluster_timeout": True},
+        {"max_restarts": -1},
+        {"max_restarts": 1.5},
+        {"max_restarts": True},
+    ])
+    def test_solver_cluster_knobs_invalid(self, solver):
+        from repro.io.case_files import solver_options_from_dict
+
+        with pytest.raises(ConfigurationError):
+            solver_options_from_dict(dict(self.CASE, solver=solver))
+
     def test_cli_ranks_bit_identical_snapshot(self, tmp_path, capsys):
         from repro.__main__ import main
         from repro.io.binary import read_snapshot
@@ -268,6 +397,7 @@ class TestCaseFileAndCLI:
         assert main(["run", str(case_path), "--steps", "2",
                      "--snapshot", str(serial_snap)]) == 0
         assert main(["run", str(case_path), "--steps", "2", "--ranks", "2",
+                     "--cluster-timeout", "60", "--max-restarts", "2",
                      "--snapshot", str(ranks_snap)]) == 0
         out = capsys.readouterr().out
         assert "2 ranks" in out
