@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-thread test-fault test-procs bench bench-rhs bench-layout bench-tuned bench-cluster tune examples artifacts clean
+.PHONY: install test test-thread test-fault test-procs bench bench-rhs bench-layout bench-tuned bench-fused bench-cluster tune examples artifacts clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -46,6 +46,13 @@ bench-layout:
 bench-tuned:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py \
 		--grid 256 --threads 1 --tuned
+
+# Fused sweep kernels: fused-vs-tuned grind comparison on the bench
+# case (appends a fused-stamped history entry with launch counters and
+# the selected backend; see docs/fusion.md).
+bench-fused:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py \
+		--grid 256 --threads 1 --fused
 
 # Real multi-process weak/strong scaling through the shared-memory
 # cluster executor, reconciled against the analytic comm model

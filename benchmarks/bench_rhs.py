@@ -98,10 +98,13 @@ def time_grind(n: int, threads: int, *, use_workspace: bool = True,
     out = {
         "threads": sim.threads,
         "layout": sim.sweep_layout,
+        "fusion": sim.fusion,
         "grind_time_ns": sim.grind_time_ns(),
         "kernel_breakdown": sim.kernel_breakdown(),
         "sweep_counters": sim.rhs.sweep_counters.as_dict(),
     }
+    if sim.rhs.fusion_backend is not None:
+        out["fusion_backend"] = sim.rhs.fusion_backend
     if sim.tuning_plan is not None:
         out["tuning_plan"] = sim.tuning_plan.as_dict()
         if sim.tuner is not None:
@@ -149,7 +152,7 @@ def recovery_stats(n: int, *, steps: int = 12) -> dict:
 
 def bench_grid(n: int, thread_counts: list[int], layouts: list[str], *,
                warmup: int, steps: int | None, with_allocs: bool,
-               tuned: bool = False) -> dict:
+               tuned: bool = False, fused: bool = False) -> dict:
     grid_steps = steps if steps is not None else (25 if n < 128 else 8)
     sim = make_sim(n)
     entry: dict = {
@@ -208,6 +211,39 @@ def bench_grid(n: int, thread_counts: list[int], layouts: list[str], *,
               f"riemann={plan['riemann_variant']} "
               f"layout={plan['sweep_layout']} threads={plan['threads']}: "
               f"{run['grind_time_ns']:8.1f} ns/cell/PDE/RHS{vs}")
+    if fused:
+        # Fused-vs-tuned comparison: autotune once (fresh throwaway
+        # cache, fusion now a search axis), then grind the winning
+        # variant set twice — fusion forced off (the pre-fusion tuned
+        # baseline) and forced on — so the speedup isolates what the
+        # fused kernels buy over the best staged configuration.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            probe = make_sim(n, tuning="auto",
+                             tuning_cache=str(Path(td) / "cache.json"))
+            winner = probe.tuning_plan.as_dict()
+            del probe
+        runs = {}
+        for mode in ("off", "on"):
+            plan = dict(winner, fusion=mode, source="manual")
+            runs[mode] = time_grind(n, thread_counts[0], warmup=warmup,
+                                    steps=grid_steps, tuning=plan)
+        runs["off"]["tuned"] = True
+        runs["on"]["fused"] = True
+        runs["on"]["speedup_vs_tuned"] = (runs["off"]["grind_time_ns"]
+                                          / runs["on"]["grind_time_ns"])
+        entry["runs"] += [runs["off"], runs["on"]]
+        sc = runs["on"]["sweep_counters"]
+        print(f"  {n:4d}^2  tuned unfused (weno={winner['weno_variant']} "
+              f"riemann={winner['riemann_variant']} "
+              f"layout={winner['sweep_layout']}): "
+              f"{runs['off']['grind_time_ns']:8.1f} ns/cell/PDE/RHS")
+        print(f"  {n:4d}^2  fused ({runs['on'].get('fusion_backend', '?')}, "
+              f"{sc['fused_launches']} launches, "
+              f"{sc['fused_passes_saved']} passes saved): "
+              f"{runs['on']['grind_time_ns']:8.1f} ns/cell/PDE/RHS  "
+              f"({runs['on']['speedup_vs_tuned']:.2f}x vs tuned)")
     return entry
 
 
@@ -242,10 +278,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="also autotune each grid (fresh throwaway "
                              "cache) and record the tuned-vs-untuned "
                              "comparison run")
+    parser.add_argument("--fused", action="store_true",
+                        help="also record a fused-vs-tuned pair per grid: "
+                             "autotune (fresh throwaway cache), then grind "
+                             "the winning variants with fusion forced off "
+                             "and on (see docs/fusion.md)")
     parser.add_argument("--label", default=None,
                         help="history-entry label (default thread-sweep, "
-                             "layout-sweep when layouts are compared, or "
-                             "tuned-sweep with --tuned)")
+                             "layout-sweep when layouts are compared, "
+                             "tuned-sweep with --tuned, or fused-sweep "
+                             "with --fused)")
     args = parser.parse_args(argv)
 
     grids = args.grid or [64, 256]
@@ -255,7 +297,8 @@ def main(argv: list[str] | None = None) -> int:
     layouts = args.layout or ["strided"]
     if "strided" not in layouts:
         layouts = ["strided"] + layouts  # layout speedups need the baseline
-    label = args.label or ("tuned-sweep" if args.tuned
+    label = args.label or ("fused-sweep" if args.fused
+                           else "tuned-sweep" if args.tuned
                            else "layout-sweep" if len(layouts) > 1
                            else "thread-sweep")
 
@@ -272,7 +315,7 @@ def main(argv: list[str] | None = None) -> int:
         entry["grids"].append(
             bench_grid(n, thread_counts, layouts, warmup=args.warmup,
                        steps=args.steps, with_allocs=(n == smallest),
-                       tuned=args.tuned))
+                       tuned=args.tuned, fused=args.fused))
     entry["recovery"] = recovery_stats(smallest)
     print(f"recovery on {smallest}^2: {entry['recovery']['retries']} retries, "
           f"{entry['recovery']['checkpoints_written']} checkpoints, "

@@ -46,6 +46,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     layout = solver_options.get("sweep_layout", "strided")
     if args.layout is not None:
         layout = args.layout
+    fusion = solver_options.get("fusion", "off")
+    if args.fusion is not None:
+        fusion = args.fusion
     resilience: dict = {
         key: solver_options[key]
         for key in ("checkpoint_every", "checkpoint_keep", "checkpoint_dir",
@@ -74,14 +77,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                       riemann_solver=args.riemann,
                                       geometry=args.geometry),
                      cfl=args.cfl, threads=threads, ranks=ranks,
-                     sweep_layout=layout,
+                     sweep_layout=layout, fusion=fusion,
                      tuning=tuning, tuning_cache=tuning_cache,
                      **cluster, **resilience)
     print(f"running {case.grid.num_cells} cells, {case.mixture.ncomp} fluids, "
           f"WENO{args.weno} + {args.riemann.upper()}"
           + (f", {threads} threads" if threads > 1 else "")
           + (f", {ranks} ranks" if ranks > 1 else "")
-          + (f", {layout} sweeps" if layout != "strided" else ""))
+          + (f", {layout} sweeps" if layout != "strided" else "")
+          + (f", fusion {sim.fusion}" if sim.fusion != "off" else ""))
     if sim.tuning_plan is not None:
         print(sim.tuning_plan.summary())
     callback = None
@@ -234,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="rank-failure restarts a multi-process run may "
                           "attempt from the newest common checkpoint "
                           "(default: case file's solver.max_restarts, else 1)")
+    run.add_argument("--fusion", default=None,
+                     choices=("off", "on", "auto"),
+                     help="sweep kernel fusion: off, on (one cached "
+                          "per-tile kernel per sweep; see docs/fusion.md), "
+                          "or auto (default: case file's solver.fusion, "
+                          "else off)")
     run.add_argument("--layout", default=None,
                      choices=("strided", "transposed", "auto"),
                      help="sweep memory layout: strided, transposed "

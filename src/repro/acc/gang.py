@@ -113,22 +113,23 @@ class GangExecutor:
 
     def plan_tiles(self, nest: ParallelLoopNest, extent: int, *,
                    bytes_per_slice: int = 0,
-                   device=None) -> int:
+                   device=None, occupancy: float | None = None) -> int:
         """Tile count for a gang nest over ``extent`` rows, L2-refined.
 
         Composes :meth:`gangs_for` (the directive → gang resolution)
         with :func:`repro.hardware.tiling.suggest_tile_count` (grow the
         tile count in worker multiples until one tile's working set fits
-        the device's last-level cache).  Sweep pipelines call this once
-        per tiled extent — the strided and transposed layouts tile
-        different axes, so their extents differ.
+        ``occupancy`` of the device's last-level cache — the module
+        default when omitted).  Sweep pipelines call this once per tiled
+        extent — the strided and transposed layouts tile different axes,
+        so their extents differ.
         """
-        from repro.hardware.tiling import suggest_tile_count
+        from repro.hardware.tiling import L2_OCCUPANCY, suggest_tile_count
 
         gangs = self.gangs_for(nest, extent)
-        tiles = suggest_tile_count(extent, gangs,
-                                   bytes_per_slice=bytes_per_slice,
-                                   device=device)
+        tiles = suggest_tile_count(
+            extent, gangs, bytes_per_slice=bytes_per_slice, device=device,
+            occupancy=L2_OCCUPANCY if occupancy is None else occupancy)
         self.tile_plans.append({
             "extent": extent,
             "gangs": gangs,

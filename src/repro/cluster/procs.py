@@ -347,21 +347,38 @@ class SharedMemoryTransport:
         self.beat()
 
     # ------------------------------------------------------------------
-    def reduce_max(self, value: float) -> float:
-        """Cluster-wide max (the dt reduction's core): every rank posts
-        its local value in a slot, waits for all slots of this round,
-        and takes the max in rank order — bitwise identical on every
-        rank, and bitwise equal to the serial whole-domain max (floating
-        max is exact under any grouping)."""
+    def reduce_max_begin(self, value: float) -> None:
+        """Post this rank's contribution to the next max-reduction.
+
+        The nonblocking half of :meth:`reduce_max` (``MPI_Iallreduce``'s
+        start): waits until every rank consumed the *previous* round,
+        publishes ``value`` in this rank's slot, and returns — the
+        caller overlaps independent compute (the first RK stage's RHS,
+        which does not depend on dt) before collecting the result with
+        :meth:`reduce_max_finish`.
+        """
         s = self._reduced + 1
-        n = self.decomp.nranks
-        for r in range(n):
+        for r in range(self.decomp.nranks):
             self._wait(self._read[r:r + 1], s - 1,
                        f"rank {r} to consume reduction {s - 1}",
                        self._locks[("red", r)])
         self._slots[self.rank] = value
         self._publish(self._locks[("red", self.rank)], self._wrote,
                       self.rank, s, f"reduction value {s}")
+        self.beat()
+
+    def reduce_max_finish(self, *, overlapped: bool = False) -> float:
+        """Complete the reduction started by :meth:`reduce_max_begin`.
+
+        Waits for every rank's slot of this round, takes the max in
+        rank order — bitwise identical on every rank, and bitwise equal
+        to the serial whole-domain max (floating max is exact under any
+        grouping) — then releases the slots for the next round.
+        ``overlapped=True`` tallies the reduction as hidden behind
+        compute (:attr:`HaloCounters.reductions_overlapped`).
+        """
+        s = self._reduced + 1
+        n = self.decomp.nranks
         for r in range(n):
             self._wait(self._wrote[r:r + 1], s,
                        f"rank {r}'s reduction value {s}",
@@ -373,8 +390,15 @@ class SharedMemoryTransport:
                       self.rank, s, f"reduction consume {s}")
         self._reduced = s
         self.counters.reductions += 1
+        if overlapped:
+            self.counters.reductions_overlapped += 1
         self.beat()
         return result
+
+    def reduce_max(self, value: float) -> float:
+        """Blocking cluster-wide max: begin + finish back to back."""
+        self.reduce_max_begin(value)
+        return self.reduce_max_finish()
 
 
 @dataclass(frozen=True)
@@ -405,7 +429,7 @@ def _worker(arena: ShmArena, rank: int, grid: StructuredGrid,
                                           timeout=opts["timeout"])
         rs = RankSolver(arena.decomp, rank, layout, mixture, bcs, config,
                         grid, transport, sweep_layout=opts["sweep_layout"],
-                        overlap=opts["overlap"])
+                        overlap=opts["overlap"], fusion=opts["fusion"])
         q = arena.block(rank)
         mgr = None
         if opts["checkpoint_dir"] is not None:
@@ -438,18 +462,31 @@ def _worker(arena: ShmArena, rank: int, grid: StructuredGrid,
             prim0 = cons_to_prim(layout, mixture, q, out=rs.ws.prim)
             if opts["fixed_dt"] is not None:
                 dt = opts["fixed_dt"]
+                if dt_limit is not None and dt > dt_limit:
+                    dt = dt_limit
             else:
-                rate = transport.reduce_max(rs.wave_rate(prim0))
-                if not np.isfinite(rate) or rate <= 0.0:
-                    raise NumericsError(f"invalid maximum wave rate {rate}")
-                dt = opts["cfl"] / rate
-            if dt_limit is not None and dt > dt_limit:
-                dt = dt_limit
+                # Post the local wave rate now and collect the global
+                # max only once stage one's RHS — which does not depend
+                # on dt — is done, so the other ranks' contributions
+                # arrive while this rank computes.  dt is first consumed
+                # by rk_stage_combine, after the deferred finish; the
+                # reduction order and values are unchanged, so the
+                # overlapped dt is bitwise identical to the blocking one.
+                transport.reduce_max_begin(rs.wave_rate(prim0))
+                dt = None
             q_n = q
             q_k = q
             for k, coeffs in enumerate(stages):
                 prim = rs.rhs_begin(q_k, prim=prim0 if k == 0 else None)
                 L = rs.rhs_finish(prim)
+                if dt is None:
+                    rate = transport.reduce_max_finish(overlapped=True)
+                    if not np.isfinite(rate) or rate <= 0.0:
+                        raise NumericsError(
+                            f"invalid maximum wave rate {rate}")
+                    dt = opts["cfl"] / rate
+                    if dt_limit is not None and dt > dt_limit:
+                        dt = dt_limit
                 q_k = rs.rk_stage_combine(k, len(stages), coeffs, dt,
                                           q_n, q_k, L)
             q[...] = q_k
@@ -515,6 +552,10 @@ class ProcessCluster:
     rk_order: int = 3
     sweep_layout: str = "strided"
     overlap: bool = True
+    #: Kernel-fusion mode forwarded to every rank's
+    #: :class:`~repro.cluster.ranksolver.RankSolver` (``"off"`` /
+    #: ``"on"`` / ``"auto"``; see :mod:`repro.acc.fusion`).
+    fusion: str = "off"
     checkpoint_every: int = 0
     checkpoint_dir: str | Path | None = None
     checkpoint_keep: int = 3
@@ -554,14 +595,16 @@ class ProcessCluster:
         rk_stages(self.rk_order)
         RankSolver(self.decomp, 0, self.layout, self.mixture, self.bcs,
                    self.config, self.grid, transport=None,
-                   sweep_layout=self.sweep_layout, overlap=self.overlap)
+                   sweep_layout=self.sweep_layout, overlap=self.overlap,
+                   fusion=self.fusion)
 
     # ------------------------------------------------------------------
     def _opts(self, *, t_end, n_steps, base_time, base_step) -> dict:
         return {
             "cfl": self.cfl, "fixed_dt": self.fixed_dt,
             "rk_order": self.rk_order, "sweep_layout": self.sweep_layout,
-            "overlap": self.overlap, "timeout": self.timeout,
+            "overlap": self.overlap, "fusion": self.fusion,
+            "timeout": self.timeout,
             "checkpoint_every": self.checkpoint_every,
             "checkpoint_dir": (str(self.checkpoint_dir)
                                if self.checkpoint_dir is not None else None),

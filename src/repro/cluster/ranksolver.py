@@ -39,7 +39,7 @@ import numpy as np
 from repro.bc.boundary import BoundarySet, pad_axis
 from repro.cluster.decomposition import BlockDecomposition
 from repro.cluster.halo import fill_wall_ghosts
-from repro.common import ConfigurationError
+from repro.common import DTYPE, ConfigurationError
 from repro.eos.mixture import Mixture
 from repro.fields.transpose import sweep_perm, untranspose_loop
 from repro.grid.cartesian import StructuredGrid
@@ -47,7 +47,11 @@ from repro.profiling.counters import SweepCounters
 from repro.riemann import resolve_riemann_flux
 from repro.solver.positivity import limit_face_states
 from repro.solver.rhs import RHSConfig, _accumulate_divergence
-from repro.solver.sweep import plan_transposed_axes, validate_sweep_layout
+from repro.solver.sweep import (
+    plan_transposed_axes,
+    validate_fusion,
+    validate_sweep_layout,
+)
 from repro.solver.workspace import SolverWorkspace
 from repro.state.conversions import cons_to_prim, full_alphas
 from repro.state.layout import StateLayout
@@ -91,12 +95,22 @@ class RankSolver:
         Compute interior faces while ghost strips land (default).
         ``False`` waits for the exchange up front — same results,
         no hiding; kept as a toggle for A/B timing.
+    fusion:
+        Kernel-fusion mode (see :mod:`repro.acc.fusion`): ``"off"``
+        (default) keeps the staged pipeline; ``"on"``/``"auto"``
+        (the rank always owns a workspace, so both fuse) run each
+        strided *bulk* sweep — a direction where the interior/ghost
+        span split is not in play — as one fused kernel.  Overlapped
+        directions keep the span-composed engine (the fused kernel is
+        whole-extent), and transposed directions keep theirs; either
+        way results stay bitwise identical.
     """
 
     def __init__(self, decomp: BlockDecomposition, rank: int,
                  layout: StateLayout, mixture: Mixture, bcs: BoundarySet,
                  config: RHSConfig, grid: StructuredGrid, transport, *,
-                 sweep_layout: str = "strided", overlap: bool = True) -> None:
+                 sweep_layout: str = "strided", overlap: bool = True,
+                 fusion: str = "off") -> None:
         if config.geometry != "cartesian":
             raise ConfigurationError(
                 "distributed runs support cartesian geometry only")
@@ -104,6 +118,7 @@ class RankSolver:
             raise ConfigurationError(
                 "distributed runs do not support viscous terms yet")
         validate_sweep_layout(sweep_layout)
+        validate_fusion(fusion)
         self.decomp = decomp
         self.rank = rank
         self.layout = layout
@@ -133,6 +148,45 @@ class RankSolver:
             newshape = [1] * layout.ndim
             newshape[d] = w.size
             self._widths.append(w.reshape(newshape))
+        self.fusion = fusion
+        self.fusion_backend: str | None = None
+        self._fused_kernels: dict[int, tuple] = {}
+        if fusion != "off":
+            self._init_fusion()
+
+    def _init_fusion(self) -> None:
+        """Compile one pack-free fused kernel per strided direction.
+
+        The rank's caller owns padding, wall ghosts, and the transport
+        fill, so the fused region starts at WENO (``pack=False``); the
+        whole local extent runs as a single launch.
+        """
+        from repro.acc.fusion import (
+            FusedKernelSpec,
+            FusionContext,
+            fused_kernel,
+            plan_fusion,
+            select_backend,
+            sweep_stage_graph,
+        )
+
+        lay = self.layout
+        self.fusion_backend = select_backend(None)
+        self._fusion_ctx = FusionContext(lay, self.mixture, self._riemann)
+        for d in range(lay.ndim):
+            if d in self._transposed:
+                continue
+            stages = sweep_stage_graph(
+                ndim=lay.ndim, nvars=lay.nvars, spatial=self.local, d=d,
+                order=self.config.weno_order, pack=False)
+            region = plan_fusion(stages, d=d, ndim=lay.ndim)
+            spec = FusedKernelSpec(
+                kind="strided", pack=False, ndim=lay.ndim, d=d,
+                order=self.config.weno_order, weno_variant="chained",
+                riemann_solver=self.config.riemann_solver,
+                riemann_variant="reference", dtype=np.dtype(DTYPE).name,
+                backend=self.fusion_backend)
+            self._fused_kernels[d] = (spec, fused_kernel(spec), region)
 
     # -- the split RHS -------------------------------------------------------
     def rhs_begin(self, q: np.ndarray, *, prim: np.ndarray | None = None
@@ -190,6 +244,22 @@ class RankSolver:
             self._faces_span(d, padded, n - ng + 1, n + 1)
         else:
             self._fill_ghosts(d, padded)
+            fused = self._fused_kernels.get(d)
+            if fused is not None:
+                spec, kern, region = fused
+                self.limited_faces += kern(
+                    self._fusion_ctx, padded, ws.face_l[d], ws.face_r[d],
+                    ws.flux[d], ws.u_face[d], ws.weno_scratch[d],
+                    ws.riemann_scratch[d], ws.div_scratch, ws.divu_scratch,
+                    dqdt, divu, self._widths[d])
+                self.sweep_counters.record_strided(
+                    ws.face_l[d].nbytes + ws.face_r[d].nbytes,
+                    contiguous=(d == lay.ndim - 1),
+                    weno_passes=self._weno_sweep_passes)
+                self.sweep_counters.record_fused(
+                    1, region.passes_saved_per_tile(
+                        "chained", self.config.weno_order))
+                return
             v_l, v_r = reconstruct_faces(
                 padded, d + 1, self.config.weno_order,
                 out=(ws.face_l[d], ws.face_r[d]), scratch=ws.weno_scratch[d])

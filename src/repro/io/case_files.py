@@ -23,9 +23,9 @@ GEOMETRY_KINDS = ("box", "sphere", "halfspace")
 
 #: Keys the optional ``"solver"`` section of a case file may carry.
 SOLVER_OPTION_KEYS = ("threads", "ranks", "cluster_timeout", "max_restarts",
-                      "layout", "checkpoint_every", "checkpoint_keep",
-                      "checkpoint_dir", "validate_every", "retry", "tuning",
-                      "tuning_cache")
+                      "layout", "fusion", "checkpoint_every",
+                      "checkpoint_keep", "checkpoint_dir", "validate_every",
+                      "retry", "tuning", "tuning_cache")
 
 
 def solver_options_from_dict(spec: dict) -> dict:
@@ -39,7 +39,9 @@ def solver_options_from_dict(spec: dict) -> dict:
     ``max_restarts`` (rank-failure restarts to attempt; an integer
     >= 0), ``layout``
     (sweep memory layout: ``"strided"``, ``"transposed"``, or
-    ``"auto"``), the resilience knobs ``checkpoint_every`` /
+    ``"auto"``), ``fusion`` (sweep kernel fusion: ``"off"``, ``"on"``,
+    or ``"auto"``; see :mod:`repro.acc.fusion`), the resilience knobs
+    ``checkpoint_every`` /
     ``checkpoint_keep`` / ``checkpoint_dir`` / ``validate_every``, and
     a ``retry`` mapping for the rollback-retry policy (see
     :meth:`repro.solver.resilience.RetryPolicy.from_dict`).  Returns a
@@ -92,6 +94,10 @@ def solver_options_from_dict(spec: dict) -> dict:
         # JSON name "layout" maps to the Simulation kwarg sweep_layout
         # (Simulation.layout is the state layout).
         options["sweep_layout"] = validate_sweep_layout(solver["layout"])
+    if "fusion" in solver:
+        from repro.solver.sweep import validate_fusion
+
+        options["fusion"] = validate_fusion(solver["fusion"])
     for key in ("checkpoint_every", "checkpoint_keep", "validate_every"):
         if key in solver:
             value = solver[key]

@@ -133,7 +133,20 @@ class SweepCounters:
     weno_passes:
         Whole-array ufunc passes the reconstruction kernels made over
         face-sized operands (both sides) — the memory-sweep count the
-        stacked-stencil variant exists to reduce.
+        stacked-stencil variant exists to reduce.  Fused sweeps tally
+        the *same* nominal pass count as their unfused twins (the fused
+        kernel performs the identical ufunc sequence, only on tile-sized
+        operands), so BENCH_rhs.json pass counts stay comparable across
+        variants; the fusion win is carried by the two fields below.
+    fused_launches:
+        Fused per-tile kernel invocations (one per tile per direction
+        sweep) made by the :mod:`repro.acc.fusion` engine.
+    fused_passes_saved:
+        Field-sized intermediate passes those launches avoided
+        materialising: for each fused launch, the pipeline stages
+        between the first and last fused stage would each have written a
+        field-sized intermediate in the unfused engine but stayed in
+        L2-tile-sized scratch instead.
     """
 
     strided_sweeps: int = 0
@@ -143,6 +156,8 @@ class SweepCounters:
     transposes: int = 0
     bytes_transposed: int = 0
     weno_passes: int = 0
+    fused_launches: int = 0
+    fused_passes_saved: int = 0
 
     def record_strided(self, face_bytes: int, *, contiguous: bool = False,
                        weno_passes: int = 0) -> None:
@@ -175,6 +190,20 @@ class SweepCounters:
         self.transposes += other.transposes
         self.bytes_transposed += other.bytes_transposed
         self.weno_passes += other.weno_passes
+        self.fused_launches += other.fused_launches
+        self.fused_passes_saved += other.fused_passes_saved
+
+    def record_fused(self, launches: int, passes_saved: int) -> None:
+        """Count one direction sweep's fused per-tile kernel launches.
+
+        Called *in addition to* :meth:`record_strided` /
+        :meth:`record_transposed` (which keep the layout and nominal
+        pass accounting comparable across variants): ``launches`` is the
+        tile count of the sweep, ``passes_saved`` the field-sized
+        intermediate passes fusion kept tile-resident.
+        """
+        self.fused_launches += launches
+        self.fused_passes_saved += passes_saved
 
     def as_dict(self) -> dict:
         """Plain dict for JSON benchmark records."""
@@ -186,6 +215,8 @@ class SweepCounters:
             "transposes": self.transposes,
             "bytes_transposed": self.bytes_transposed,
             "weno_passes": self.weno_passes,
+            "fused_launches": self.fused_launches,
+            "fused_passes_saved": self.fused_passes_saved,
         }
 
     def summary(self) -> str:
@@ -197,7 +228,9 @@ class SweepCounters:
                 f"{self.bytes_reconstructed_contiguous / 1e6:.1f} MB "
                 f"contiguous / "
                 f"{self.bytes_reconstructed_strided / 1e6:.1f} MB strided; "
-                f"{self.weno_passes} WENO ufunc passes")
+                f"{self.weno_passes} WENO ufunc passes; "
+                f"{self.fused_launches} fused launches "
+                f"({self.fused_passes_saved} field passes kept tile-resident)")
 
 
 @dataclass
@@ -228,6 +261,11 @@ class HaloCounters:
         the exchange that interior-compute overlap exists to shrink.
     reductions:
         Cluster-wide dt min-reductions performed (one per CFL step).
+    reductions_overlapped:
+        The subset of those reductions whose completion was overlapped
+        with the first RK stage's interior compute (the split
+        ``reduce_max_begin``/``reduce_max_finish`` path) instead of
+        blocking the step up front.
     """
 
     messages: int = 0
@@ -236,6 +274,7 @@ class HaloCounters:
     waits: int = 0
     wait_ns: int = 0
     reductions: int = 0
+    reductions_overlapped: int = 0
 
     def merge(self, other: "HaloCounters") -> None:
         self.messages += other.messages
@@ -244,6 +283,7 @@ class HaloCounters:
         self.waits += other.waits
         self.wait_ns += other.wait_ns
         self.reductions += other.reductions
+        self.reductions_overlapped += other.reductions_overlapped
 
     def as_dict(self) -> dict:
         """Plain dict for JSON benchmark records."""
@@ -254,6 +294,7 @@ class HaloCounters:
             "waits": self.waits,
             "wait_ns": self.wait_ns,
             "reductions": self.reductions,
+            "reductions_overlapped": self.reductions_overlapped,
         }
 
     def summary(self) -> str:
@@ -262,7 +303,8 @@ class HaloCounters:
                 f"{self.bytes_exchanged / 1e6:.1f} MB exchanged, "
                 f"{self.posts} posts; {self.waits} waits "
                 f"({self.wait_ns / 1e6:.1f} ms un-hidden); "
-                f"{self.reductions} dt reductions")
+                f"{self.reductions} dt reductions "
+                f"({self.reductions_overlapped} overlapped)")
 
 
 def counters_report(device: DeviceSpec, works: list[KernelWorkload],

@@ -55,6 +55,19 @@ def resolve_riemann_flux(solver: str, variant: str = "reference"):
     return SOLVERS[solver]
 
 
+def riemann_expression(solver: str, variant: str = "reference"):
+    """Expression-provider entry for the fusion code generator.
+
+    Returns ``(qualname, callable)``: the provenance string the
+    generated source embeds in its header comment plus the resolved flux
+    kernel the fused region binds (the solvers are already single-call
+    face kernels, so the generator stitches them in as one bound stage
+    rather than re-deriving their arithmetic).
+    """
+    fn = resolve_riemann_flux(solver, variant)
+    return f"{fn.__module__}.{fn.__qualname__}", fn
+
+
 __all__ = [
     "FaceStates",
     "decompose_faces",
@@ -67,4 +80,5 @@ __all__ = [
     "RIEMANN_VARIANTS",
     "validate_riemann_variant",
     "resolve_riemann_flux",
+    "riemann_expression",
 ]

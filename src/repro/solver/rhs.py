@@ -29,7 +29,11 @@ from repro.fields.transpose import sweep_perm, untranspose_loop
 from repro.grid.cartesian import StructuredGrid
 from repro.hardware.devices import DeviceSpec, get_device
 from repro.riemann import SOLVERS, resolve_riemann_flux, validate_riemann_variant
-from repro.solver.sweep import plan_transposed_axes, validate_sweep_layout
+from repro.solver.sweep import (
+    plan_transposed_axes,
+    validate_fusion,
+    validate_sweep_layout,
+)
 from repro.solver.geometry import (
     GEOMETRIES,
     apply_axisymmetric_terms,
@@ -52,6 +56,22 @@ from repro.weno.stacked import (
 #: scratch + 8 WENO + 7 Riemann scratch rows (the L2 tile heuristic's
 #: working-set estimate).
 PIPELINE_ROWS_PER_SLICE = 22
+
+
+def _fused_tile_occupancy(device) -> float:
+    """Cache-budget fraction for one *fused* tile's scratch arena.
+
+    The gang heuristic budgets a tile against the whole device LLC
+    (every unfused stage streams field-sized buffers all workers
+    share).  A fused tile is different: its entire pipeline lives in a
+    private :class:`~repro.solver.workspace.FusionScratch` arena touched
+    by exactly one worker, so the budget that matters is one core's
+    *share* of the last-level cache — on a 64-core catalog CPU, 1/64th
+    of it.  Without this, big-LLC catalog entries make the heuristic
+    pick one whole-field tile and fusion degenerates to the unfused
+    memory behaviour (no locality win at all).
+    """
+    return 1.0 / max(1, getattr(device, "cores", None) or 1)
 
 
 @dataclass(frozen=True)
@@ -134,6 +154,13 @@ class RHS:
     #: Explicit per-launch tile count overriding the L2 heuristic
     #: (another tuner knob); None keeps the heuristic.
     tiles: int | None = None
+    #: Kernel-fusion knob (:data:`repro.solver.sweep.FUSION_MODES`):
+    #: ``"off"`` runs the stage-at-a-time pipeline, ``"on"`` compiles
+    #: each direction sweep into one fused per-tile kernel via
+    #: :mod:`repro.acc.fusion` (workspace required), ``"auto"`` fuses
+    #: whenever the workspace path is active.  All modes are bitwise
+    #: identical — fusion is a tuner axis like the sweep layout.
+    fusion: str = "off"
 
     def __post_init__(self) -> None:
         if self.grid.ndim != self.layout.ndim:
@@ -170,6 +197,15 @@ class RHS:
         #: fallback (0 in well-resolved single-phase runs).
         self.limited_faces = 0
         validate_sweep_layout(self.sweep_layout)
+        validate_fusion(self.fusion)
+        if self.fusion == "on" and not self.use_workspace:
+            raise ConfigurationError(
+                "fusion='on' requires the workspace (the fused kernels' "
+                "tile scratch arenas live there); use fusion='auto' to "
+                "fuse opportunistically")
+        #: Whether the direction sweeps run as fused per-tile kernels.
+        self._fused = (self.fusion == "on"
+                       or (self.fusion == "auto" and self.use_workspace))
         self._device = (get_device(self.tile_device)
                         if isinstance(self.tile_device, str)
                         else self.tile_device)
@@ -195,7 +231,8 @@ class RHS:
         self.workspace = (SolverWorkspace(self.layout, self.grid, self._ng,
                                           transposed_axes=self._transposed_axes,
                                           weno_variant=self.weno_variant,
-                                          weno_order=self.config.weno_order)
+                                          weno_order=self.config.weno_order,
+                                          fusion=self._fused)
                           if self.use_workspace else None)
         if (not isinstance(self.threads, int) or isinstance(self.threads, bool)
                 or self.threads < 1):
@@ -216,10 +253,87 @@ class RHS:
 
             self.executor = GangExecutor(self.threads)
             spatial = self.grid.shape
-            self._tiles = self._plan_tiles(spatial[0])
-            for d in sorted(self._transposed_axes):
+            if not self._fused:
+                self._tiles = self._plan_tiles(spatial[0])
+                for d in sorted(self._transposed_axes):
+                    extent = spatial[1] if d == 0 else spatial[0]
+                    self._tiles_t[d] = self._plan_tiles(extent)
+        #: Fused-kernel state: per-direction (spec, kernel, region)
+        #: triples, tile counts, and the shared runtime context.
+        self._fused_kernels: dict = {}
+        self._tiles_f: dict[int, int] = {}
+        self.fusion_backend: str | None = None
+        if self._fused:
+            self._init_fusion()
+
+    def _init_fusion(self) -> None:
+        """Plan, generate, and compile one fused kernel per direction.
+
+        For every sweep direction the directive-graph pass groups the
+        pad→WENO→limit→Riemann→divergence chain into a fused region
+        (proving it legal and picking the slab axis), the code generator
+        renders it as one shape-generic kernel, and the process-wide
+        cache compiles it at most once per spec — a second RHS with the
+        same configuration reuses the compiled kernel.  (Deferred
+        import: repro.acc's runtime pulls in the profiling drivers,
+        which import this module.)
+        """
+        from repro.acc.fusion import (
+            FusedKernelSpec,
+            FusionContext,
+            fused_kernel,
+            plan_fusion,
+            select_backend,
+            sweep_stage_graph,
+        )
+        from repro.acc.gang import tile_spans
+        from repro.hardware.devices import default_host_device
+        from repro.hardware.tiling import suggest_tile_count
+
+        self._tile_spans = tile_spans
+        self.fusion_backend = select_backend(None)
+        spatial = self.grid.shape
+        ndim = self.layout.ndim
+        cells = 1
+        for n in spatial:
+            cells *= n
+        self._fusion_ctx = FusionContext(self.layout, self.mixture,
+                                         self._riemann)
+        device = (self._device if self._device is not None
+                  else default_host_device())
+        for d in range(ndim):
+            kind = "transposed" if d in self._transposed_axes else "strided"
+            stages = sweep_stage_graph(
+                ndim=ndim, nvars=self.layout.nvars, spatial=spatial, d=d,
+                order=self.config.weno_order, pack=True)
+            region = plan_fusion(stages, d=d, ndim=ndim)
+            spec = FusedKernelSpec(
+                kind=kind, pack=True, ndim=ndim, d=d,
+                order=self.config.weno_order,
+                weno_variant=self.weno_variant,
+                riemann_solver=self.config.riemann_solver,
+                riemann_variant=self.riemann_variant,
+                dtype=np.dtype(DTYPE).name, backend=self.fusion_backend)
+            self._fused_kernels[d] = (spec, fused_kernel(spec), region)
+            if kind == "transposed":
                 extent = spatial[1] if d == 0 else spatial[0]
-                self._tiles_t[d] = self._plan_tiles(extent)
+            elif region.slab_axis is None:
+                extent = 1
+            else:
+                extent = spatial[region.slab_axis]
+            if self.executor is not None:
+                self._tiles_f[d] = self._plan_tiles(extent)
+            elif self.tiles is not None:
+                self._tiles_f[d] = max(1, min(self.tiles, extent))
+            else:
+                bytes_per_slice = (PIPELINE_ROWS_PER_SLICE
+                                   * self.layout.nvars
+                                   * (cells // max(extent, 1))
+                                   * np.dtype(DTYPE).itemsize)
+                self._tiles_f[d] = suggest_tile_count(
+                    extent, 1, bytes_per_slice=bytes_per_slice,
+                    device=device,
+                    occupancy=_fused_tile_occupancy(device))
 
     def _plan_tiles(self, extent: int) -> int:
         """Tile count along a slab axis, from the gang spec + L2 size.
@@ -233,12 +347,15 @@ class RHS:
         slab axis length: spatial axis 0 for the strided engine, the
         transposed block's axis-1 extent for the transposed engine.
         An explicit ``tiles`` override (the tuner knob) bypasses the
-        heuristic, clamped to the extent.
+        heuristic, clamped to the extent.  Only the fused engine plans
+        through here, so the cache budget is the per-core LLC share of
+        :func:`_fused_tile_occupancy`, not the whole-device gang budget.
         """
         if self.tiles is not None:
             return max(1, min(self.tiles, extent))
 
         from repro.acc.directives import Clause, LoopDirective, ParallelLoopNest
+        from repro.hardware.devices import default_host_device
 
         spatial = self.grid.shape
         names = ("x", "y", "z")
@@ -256,9 +373,11 @@ class RHS:
         bytes_per_slice = (PIPELINE_ROWS_PER_SLICE * self.layout.nvars
                            * (cells // max(extent, 1))
                            * np.dtype(DTYPE).itemsize)
-        return self.executor.plan_tiles(nest, extent,
-                                        bytes_per_slice=bytes_per_slice,
-                                        device=self._device)
+        device = (self._device if self._device is not None
+                  else default_host_device())
+        return self.executor.plan_tiles(
+            nest, extent, bytes_per_slice=bytes_per_slice, device=device,
+            occupancy=_fused_tile_occupancy(device))
 
     def tile_plan(self) -> dict:
         """The chosen tiling, for profiler reports and bench records.
@@ -271,6 +390,9 @@ class RHS:
         return {
             "tiles": self._tiles,
             "tiles_transposed": dict(self._tiles_t),
+            "tiles_fused": dict(self._tiles_f),
+            "fusion": self.fusion,
+            "fusion_backend": self.fusion_backend,
             "source": ("override" if self.tiles is not None else "heuristic"),
             "plans": (list(self.executor.tile_plans)
                       if self.executor is not None else []),
@@ -326,7 +448,10 @@ class RHS:
         # transposed scratch); off-grid fallbacks run serial strided.
         tiled = ws is not None and self.executor is not None
         for d in range(layout.ndim):
-            if ws is not None and d in self._transposed_axes:
+            if ws is not None and self._fused:
+                self._accumulate_direction_fused(prim, d, widths[d], dqdt,
+                                                 divu, ws)
+            elif ws is not None and d in self._transposed_axes:
                 if tiled:
                     self._accumulate_direction_transposed_tiled(
                         prim, d, widths[d], dqdt, divu, ws)
@@ -352,6 +477,99 @@ class RHS:
         # Nonconservative term: dalpha/dt += alpha * div(u).
         dqdt[layout.advected] += prim[layout.advected] * divu
         return dqdt
+
+    # ------------------------------------------------------------------
+    def _accumulate_direction_fused(self, prim: np.ndarray, d: int,
+                                    width: np.ndarray, dqdt: np.ndarray,
+                                    divu: np.ndarray,
+                                    ws: SolverWorkspace) -> None:
+        """One direction as a single fused per-tile kernel launch.
+
+        The compiled kernel (see :mod:`repro.acc.fusion`) runs the whole
+        pad→WENO→limit→Riemann→divergence chain on one slab tile against
+        a tile-sized :class:`~repro.solver.workspace.FusionScratch`
+        arena, so no stage spills a field-sized intermediate.  Bitwise
+        identical to the unfused paths: the generated body performs the
+        same elementwise operations in the same order, and the slab axis
+        is stencil-free in every stage (the graph legality rule), so
+        tiles compose exactly.
+        """
+        layout, sw = self.layout, self.stopwatch
+        lo_bc, hi_bc = self.bcs.per_axis[d]
+        spec, kern, region = self._fused_kernels[d]
+        ctx = self._fusion_ctx
+        tiles = self._tiles_f[d]
+        spatial = prim.shape[1:]
+        itemsize = prim.dtype.itemsize
+
+        def timed(name):
+            return sw.time(name) if sw is not None else _NullCtx()
+
+        if spec.kind == "strided":
+            sa = region.slab_axis
+            extent = 1 if sa is None else prim.shape[sa + 1]
+            w_max = -(-extent // min(tiles, extent))
+
+            def slab(lo, hi):
+                scr = ws.fusion_scratch(d, w_max).narrow(hi - lo)
+                if sa is None:
+                    pv, dq, dv = prim, dqdt, divu
+                else:
+                    ci = (slice(None),) * (sa + 1) + (slice(lo, hi),)
+                    pv, dq, dv = prim[ci], dqdt[ci], divu[ci[1:]]
+                with timed("fused"):
+                    return kern(ctx, pv, scr.pad, scr.vl, scr.vr, scr.flux,
+                                scr.uface, scr.wscr, scr.rscr, scr.dscr,
+                                scr.dvscr, dq, dv, width, lo_bc, hi_bc)
+        else:
+            arr = prim.ndim
+            perm = sweep_perm(arr, d + 1)
+            tview = np.transpose(prim, perm)
+            extent = tview.shape[1]
+            tiled_axis = perm[1]
+            w_max = -(-extent // min(tiles, extent))
+
+            def slab(lo, hi):
+                scr = ws.fusion_scratch(d, w_max,
+                                        transposed=True).narrow(hi - lo)
+                s = (slice(None), slice(lo, hi))
+                std = [slice(None)] * arr
+                std[tiled_axis] = slice(lo, hi)
+                std = tuple(std)
+                with timed("fused"):
+                    return kern(ctx, tview[s], scr.tpad, scr.tvl, scr.tvr,
+                                scr.tflux, scr.tuface, scr.flux, scr.uface,
+                                scr.flux_t, scr.uface_t, scr.wscr, scr.rscr,
+                                scr.dscr, scr.dvscr, dqdt[std],
+                                divu[std[1:]], width, lo_bc, hi_bc)
+
+        if self.executor is not None:
+            self.limited_faces += sum(
+                self.executor.launch(slab, extent, tiles=tiles))
+        else:
+            for lo, hi in self._tile_spans(extent, tiles):
+                self.limited_faces += slab(lo, hi)
+
+        # Nominal (field-sized) tallies keep the sweep counters
+        # comparable with the unfused engine, whose byte figures come
+        # from the workspace face buffers that do not exist here.
+        face_cells = 1
+        for k, n in enumerate(spatial):
+            face_cells *= (n + 1) if k == d else n
+        face_bytes = layout.nvars * face_cells * itemsize
+        if spec.kind == "strided":
+            self.sweep_counters.record_strided(
+                2 * face_bytes, contiguous=(d == layout.ndim - 1),
+                weno_passes=self._weno_sweep_passes)
+        else:
+            self.sweep_counters.record_transposed(
+                2 * face_bytes,
+                prim.nbytes + face_bytes + face_cells * itemsize,
+                weno_passes=self._weno_sweep_passes)
+        n_tiles = min(tiles, extent)
+        self.sweep_counters.record_fused(
+            n_tiles, n_tiles * region.passes_saved_per_tile(
+                self.weno_variant, self.config.weno_order))
 
     # ------------------------------------------------------------------
     def _accumulate_direction(self, prim: np.ndarray, d: int, width: np.ndarray,

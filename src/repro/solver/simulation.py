@@ -55,6 +55,7 @@ from repro.solver.resilience import (
     check_state,
 )
 from repro.solver.rhs import RHS, RHSConfig
+from repro.solver.sweep import validate_fusion
 from repro.state.conversions import cons_to_prim
 from repro.timestepping.cfl import cfl_dt
 from repro.timestepping.ssp_rk import SSP_SCHEMES, ssp_rk_step
@@ -135,6 +136,14 @@ class Simulation:
         heuristic; see :mod:`repro.solver.sweep`).  Bitwise identical
         either way.  Named ``layout`` in case files and on the CLI;
         the Python field avoids shadowing the state layout attribute.
+    fusion:
+        Kernel-fusion mode of the RHS direction sweeps (see
+        :mod:`repro.acc.fusion`): ``"off"`` (default) runs the
+        reference stage-at-a-time pipeline, ``"on"`` compiles each
+        sweep's pad → WENO → Riemann → divergence chain into one
+        cached per-tile kernel (requires ``use_workspace=True``),
+        ``"auto"`` fuses whenever the workspace is on.  Bitwise
+        identical either way; also a tuner axis.
     retry:
         Optional :class:`~repro.solver.resilience.RetryPolicy` (or the
         equivalent dict) enabling the guarded step with
@@ -187,6 +196,7 @@ class Simulation:
     max_restarts: int = 1
     tile_device: object | None = None
     sweep_layout: str = "strided"
+    fusion: str = "off"
     retry: RetryPolicy | dict | None = None
     validate_every: int = 0
     checkpoint_every: int = 0
@@ -199,6 +209,7 @@ class Simulation:
     def __post_init__(self) -> None:
         if self.rk_order not in SSP_SCHEMES:
             raise ConfigurationError(f"unsupported RK order {self.rk_order}")
+        validate_fusion(self.fusion)
         if isinstance(self.retry, dict):
             self.retry = RetryPolicy.from_dict(self.retry)
         for name in ("validate_every", "checkpoint_every"):
@@ -250,11 +261,12 @@ class Simulation:
             # own record of its configuration stays truthful.
             self.threads = plan.threads
             self.sweep_layout = plan.sweep_layout
+            self.fusion = plan.fusion
         self.rhs = RHS(self.layout, self.mixture, self.grid, self.bcs,
                        self.config, stopwatch=self.stopwatch,
                        use_workspace=self.use_workspace,
                        threads=self.threads, tile_device=self.tile_device,
-                       sweep_layout=self.sweep_layout,
+                       sweep_layout=self.sweep_layout, fusion=self.fusion,
                        weno_variant=(plan.weno_variant if plan is not None
                                      else "chained"),
                        riemann_variant=(plan.riemann_variant
@@ -559,6 +571,7 @@ class Simulation:
             self.grid, self.layout, self.mixture, self.bcs, decomp,
             self.config, cfl=self.cfl, fixed_dt=self.fixed_dt,
             rk_order=self.rk_order, sweep_layout=self.sweep_layout,
+            fusion=self.fusion,
             checkpoint_every=self.checkpoint_every,
             checkpoint_dir=self.checkpoint_dir,
             checkpoint_keep=self.checkpoint_keep,

@@ -40,6 +40,15 @@ from repro.weno import halo_width
 #: Valid values of the sweep-layout knob.
 SWEEP_LAYOUTS = ("strided", "transposed", "auto")
 
+#: Valid values of the kernel-fusion knob (see :mod:`repro.acc.fusion`).
+#: ``"off"`` keeps the stage-at-a-time pipeline, ``"on"`` requires the
+#: fused per-tile kernels (workspace mandatory), ``"auto"`` enables them
+#: whenever the workspace path is active.  Lives here rather than in the
+#: fusion package so the tuning/IO layers can validate the knob without
+#: importing :mod:`repro.acc` (whose runtime pulls in the profiling
+#: drivers — an import cycle at module level).
+FUSION_MODES = ("auto", "off", "on")
+
 #: Estimated face-sized strided array passes the in-place WENO kernels
 #: make per sweep (both sides): every ``cells(offset)`` operand read and
 #: every write through the moved-axis ``out`` view walks the array with
@@ -57,6 +66,14 @@ def validate_sweep_layout(mode: str) -> str:
     if mode not in SWEEP_LAYOUTS:
         raise ConfigurationError(
             f"sweep layout must be one of {SWEEP_LAYOUTS}, got {mode!r}")
+    return mode
+
+
+def validate_fusion(mode: str) -> str:
+    """Validate and return a kernel-fusion knob value."""
+    if mode not in FUSION_MODES:
+        raise ConfigurationError(
+            f"fusion must be one of {FUSION_MODES}, got {mode!r}")
     return mode
 
 

@@ -38,20 +38,167 @@ into two ownership classes:
 from __future__ import annotations
 
 import threading
+from types import SimpleNamespace
 
 import numpy as np
 
 from repro.common import DTYPE
+from repro.fields.transpose import sweep_perm
 from repro.grid.cartesian import StructuredGrid
 from repro.riemann.common import RiemannScratch
 from repro.state.layout import StateLayout
-from repro.weno.stacked import allocate_weno_scratch, validate_weno_variant
+from repro.weno.stacked import (
+    allocate_weno_scratch,
+    narrow_scratch_rows,
+    validate_weno_variant,
+)
 
 #: Number of scratch arrays the in-place chained WENO kernels need
 #: (order-5 worst case: three candidate polynomials, three nonlinear
 #: weights, two temporaries).  The stacked variant's differently-shaped
 #: set comes from :func:`repro.weno.stacked.stacked_scratch_shapes`.
 WENO_SCRATCH_COUNT = 8
+
+
+class FusionScratch:
+    """Tile-sized scratch arena of one fused sweep kernel.
+
+    This is the fusion compiler's memory story: where the unfused
+    pipeline spills field-sized padded/face/flux intermediates between
+    stages, a fused kernel's intermediates live here, sized for one slab
+    tile (``tile_width`` along the slab axis) so the whole pipeline's
+    working set can stay L2-resident.  One arena belongs to one worker
+    thread and one direction, mirroring the thread-ownership rule of
+    :meth:`SolverWorkspace.thread_scratch`.
+
+    ``transposed=True`` builds the axis-contiguous variant: the pipeline
+    buffers in reconstruction-axis-last layout plus the small
+    standard-layout face scratch the scatter and divergence stages use
+    (with pre-permuted ``flux_t``/``uface_t`` views for the scatter).
+    """
+
+    def __init__(self, nvars: int, spatial: tuple[int, ...], ng: int,
+                 d: int, tile_width: int, dtype,
+                 weno_variant: str, weno_order: int,
+                 transposed: bool = False) -> None:
+        ndim = len(spatial)
+        shape = (nvars, *spatial)
+        self.d = d
+        self.transposed = transposed
+        self.width_cap = tile_width
+        self.weno_variant = weno_variant
+        self.weno_order = weno_order
+
+        def new(s):
+            return np.empty(s, dtype=dtype)
+
+        # Reconstruction-axis-last face shape (the WENO layout).
+        last = ([nvars] + [spatial[k] for k in range(ndim) if k != d]
+                + [spatial[d] + 1])
+        if transposed:
+            perm = sweep_perm(ndim + 1, d + 1)
+            self.perm = perm
+            #: Standard-layout array axis the slabs cut (axis 1 of every
+            #: transposed buffer).
+            self.tiled_axis = perm[1]
+            w = min(tile_width, last[1])
+            tface = list(last)
+            tface[1] = w
+            tpad = list(tface)
+            tpad[-1] = spatial[d] + 2 * ng
+            self.tpad = new(tpad)
+            self.tvl = new(tface)
+            self.tvr = new(tface)
+            self.tflux = new(tface)
+            self.tuface = new(tface[1:])
+            self.wscr = allocate_weno_scratch(weno_variant, weno_order,
+                                              tuple(tface), dtype)
+            self.rscr = RiemannScratch(tuple(tface), dtype=dtype)
+            fstd = list(shape)
+            fstd[d + 1] += 1
+            fstd[self.tiled_axis] = min(tile_width, fstd[self.tiled_axis])
+            self.flux = new(fstd)
+            self.uface = new(fstd[1:])
+            dstd = list(shape)
+            dstd[self.tiled_axis] = fstd[self.tiled_axis]
+            self.dscr = new(dstd)
+            self.dvscr = new(dstd[1:])
+        else:
+            #: Spatial slab axis of the strided fused kernels: the first
+            #: spatial axis perpendicular to the reconstruction axis
+            #: (None in 1D — the single tile is the whole field).
+            self.slab_axis = None if ndim == 1 else (1 if d == 0 else 0)
+            pshape = list(shape)
+            pshape[d + 1] += 2 * ng
+            fshape = list(shape)
+            fshape[d + 1] += 1
+            wlast = list(last)
+            if self.slab_axis is not None:
+                w = min(tile_width, spatial[self.slab_axis])
+                pshape[self.slab_axis + 1] = w
+                fshape[self.slab_axis + 1] = w
+                wlast[1] = w  # the slab is axis 1 of every axis-last shape
+            self.pad = new(pshape)
+            self.vl = new(fshape)
+            self.vr = new(fshape)
+            self.flux = new(fshape)
+            self.uface = new(fshape[1:])
+            self.wscr = allocate_weno_scratch(weno_variant, weno_order,
+                                              tuple(wlast), dtype)
+            self.rscr = RiemannScratch(tuple(fshape), dtype=dtype)
+            dshape = list(shape)
+            if self.slab_axis is not None:
+                dshape[self.slab_axis + 1] = w
+            self.dscr = new(dshape)
+            self.dvscr = new(dshape[1:])
+
+    def narrow(self, count: int):
+        """Views of the arena narrowed to a ``count``-wide slab tile.
+
+        The last tile of an uneven split is narrower than the
+        allocation; narrowing is pure slicing, so a re-narrowed arena
+        aliases the same memory and stays cached across tiles and steps.
+        """
+        if self.transposed:
+            wscr = narrow_scratch_rows(self.wscr, self.weno_variant,
+                                       self.weno_order, count)
+            t = (slice(None), slice(0, count))
+            std = [slice(None)] * self.flux.ndim
+            std[self.tiled_axis] = slice(0, count)
+            std = tuple(std)
+            flux = self.flux[std]
+            uface = self.uface[std[1:]]
+            return SimpleNamespace(
+                tpad=self.tpad[t], tvl=self.tvl[t], tvr=self.tvr[t],
+                tflux=self.tflux[t], tuface=self.tuface[:count],
+                flux=flux, uface=uface,
+                flux_t=np.transpose(flux, self.perm),
+                uface_t=np.transpose(uface,
+                                     tuple(p - 1 for p in self.perm[1:])),
+                wscr=wscr, rscr=self.rscr.view(t),
+                dscr=self.dscr[std], dvscr=self.dvscr[std[1:]])
+        if self.slab_axis is None:
+            return self  # 1D: the single tile is the full arena
+        wscr = narrow_scratch_rows(self.wscr, self.weno_variant,
+                                   self.weno_order, count)
+        ci = (slice(None),) * (self.slab_axis + 1) + (slice(0, count),)
+        si = ci[1:]
+        return SimpleNamespace(
+            pad=self.pad[ci], vl=self.vl[ci], vr=self.vr[ci],
+            flux=self.flux[ci], uface=self.uface[si],
+            wscr=wscr, rscr=self.rscr.view(ci),
+            dscr=self.dscr[ci], dvscr=self.dvscr[si])
+
+    def _arrays(self):
+        if self.transposed:
+            yield from (self.tpad, self.tvl, self.tvr, self.tflux,
+                        self.tuface)
+        else:
+            yield from (self.pad, self.vl, self.vr)
+        yield from (self.flux, self.uface, self.dscr, self.dvscr)
+        yield from self.wscr
+        for name in RiemannScratch.__slots__:
+            yield getattr(self.rscr, name)
 
 
 class SolverWorkspace:
@@ -101,12 +248,22 @@ class SolverWorkspace:
     def __init__(self, layout: StateLayout, grid: StructuredGrid, ng: int,
                  dtype=DTYPE, transposed_axes: frozenset[int] | tuple = (),
                  weno_variant: str = "chained",
-                 weno_order: int | None = None) -> None:
+                 weno_order: int | None = None,
+                 fusion: bool = False) -> None:
         nvars = layout.nvars
         spatial = grid.shape
         ndim = len(spatial)
         self.shape = (nvars, *spatial)
         self.dtype = np.dtype(dtype)
+        #: Fused-kernel mode: the per-direction field-sized pipeline
+        #: buffers (padded/face/flux/divergence scratch and the ``t_*``
+        #: transposed set) are *not* allocated — fused kernels keep
+        #: those intermediates in tile-sized :class:`FusionScratch`
+        #: arenas instead, which is the fusion compiler's memory win.
+        self.fusion = bool(fusion)
+        self._ng = ng
+        self._spatial = tuple(spatial)
+        self._nvars = nvars
         #: WENO kernel variant the scratch sets are shaped for (the
         #: stacked variant's candidate-stacked/extended buffers differ
         #: from the chained kernels' homogeneous 8-array set).
@@ -126,8 +283,9 @@ class SolverWorkspace:
         self.prim = new(self.shape)
         self.dqdt = new(self.shape)
         self.divu = new(spatial)
-        self.div_scratch = new(self.shape)
-        self.divu_scratch = new(spatial)
+        if not self.fusion:
+            self.div_scratch = new(self.shape)
+            self.divu_scratch = new(spatial)
 
         # SSP-RK stage buffers (two alternating stages + result + temp).
         self.rk_stage = (new(self.shape), new(self.shape))
@@ -152,22 +310,24 @@ class SolverWorkspace:
             pshape[d + 1] += 2 * ng
             fshape = list(self.shape)
             fshape[d + 1] += 1
+            # WENO kernels run with the reconstruction axis moved last.
+            last = ([nvars]
+                    + [spatial[k] for k in range(ndim) if k != d]
+                    + [spatial[d] + 1])
+            self._weno_shapes.append(last)
+            self._face_shapes.append(fshape)
+            if self.fusion:
+                continue
             self.padded.append(new(pshape))
             self.face_l.append(new(fshape))
             self.face_r.append(new(fshape))
             self.flux.append(new(fshape))
             self.u_face.append(new(fshape[1:]))
-            # WENO kernels run with the reconstruction axis moved last.
-            last = ([nvars]
-                    + [spatial[k] for k in range(ndim) if k != d]
-                    + [spatial[d] + 1])
             self.weno_scratch.append(
                 allocate_weno_scratch(self.weno_variant, self.weno_order,
                                       tuple(last), self.dtype))
             self.riemann_scratch.append(
                 RiemannScratch(tuple(fshape), dtype=self.dtype))
-            self._weno_shapes.append(last)
-            self._face_shapes.append(fshape)
 
         # Axis-contiguous transposed sweep buffers (paper §III.D): for
         # each direction the engine transposes, the padded primitive
@@ -184,6 +344,8 @@ class SolverWorkspace:
         for d in sorted(self.transposed_axes):
             if not 0 <= d < ndim:
                 raise ValueError(f"transposed axis {d} outside {ndim} dims")
+            if self.fusion:
+                continue
             tface = self._weno_shapes[d]
             tpad = list(tface)
             tpad[-1] = spatial[d] + 2 * ng
@@ -200,7 +362,30 @@ class SolverWorkspace:
         self._thread_scratch: dict[tuple[int, int, bool],
                                    tuple[int, tuple[np.ndarray, ...],
                                          RiemannScratch]] = {}
+        #: Per-worker fused-kernel arenas, same key scheme.
+        self._fusion_scratch: dict[tuple[int, int, bool], FusionScratch] = {}
         self._scratch_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def fusion_scratch(self, d: int, tile_width: int, *,
+                       transposed: bool = False) -> FusionScratch:
+        """Private :class:`FusionScratch` arena for the calling thread.
+
+        Same lazy per-worker caching as :meth:`thread_scratch`: the
+        arena is built (or rebuilt, if a wider tile shows up) for slabs
+        of at most ``tile_width``, and callers take
+        :meth:`FusionScratch.narrow` views for their exact tile extent.
+        """
+        key = (threading.get_ident(), d, transposed)
+        with self._scratch_lock:
+            scr = self._fusion_scratch.get(key)
+            if scr is None or scr.width_cap < tile_width:
+                scr = FusionScratch(self._nvars, self._spatial, self._ng, d,
+                                    tile_width, self.dtype,
+                                    self.weno_variant, self.weno_order,
+                                    transposed=transposed)
+                self._fusion_scratch[key] = scr
+        return scr
 
     # ------------------------------------------------------------------
     def thread_scratch(self, d: int, tile_width: int, *,
@@ -255,9 +440,11 @@ class SolverWorkspace:
         return total
 
     def _all_arrays(self):
-        yield from (self.prim, self.dqdt, self.divu, self.div_scratch,
-                    self.divu_scratch, self.rk_result, self.rk_tmp,
-                    self.rollback)
+        yield from (self.prim, self.dqdt, self.divu, self.rk_result,
+                    self.rk_tmp, self.rollback)
+        if not self.fusion:
+            yield self.div_scratch
+            yield self.divu_scratch
         yield from self.rk_stage
         yield from self.padded
         yield from self.face_l
@@ -279,3 +466,5 @@ class SolverWorkspace:
             yield from weno
             for name in RiemannScratch.__slots__:
                 yield getattr(rs, name)
+        for scr in list(self._fusion_scratch.values()):
+            yield from scr._arrays()

@@ -122,7 +122,8 @@ class Autotuner:
                       sweep_layout=cand["sweep_layout"],
                       weno_variant=cand["weno_variant"],
                       riemann_variant=cand["riemann_variant"],
-                      tiles=cand["tiles"])
+                      tiles=cand["tiles"],
+                      fusion=cand.get("fusion", "off"))
             try:
                 rhs(q, out=out)
                 self.timing_runs += 1
@@ -154,6 +155,7 @@ class Autotuner:
                           sweep_layout=winner["sweep_layout"],
                           threads=winner["threads"],
                           tiles=winner["tiles"],
+                          fusion=winner.get("fusion", "off"),
                           source="tuned",
                           measured_ns=best_ns,
                           modeled_ns=modeled_ns)

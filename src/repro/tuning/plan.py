@@ -26,7 +26,7 @@ import numpy as np
 from repro.common import DTYPE, ConfigurationError
 from repro.hardware.devices import default_host_device
 from repro.riemann import validate_riemann_variant
-from repro.solver.sweep import validate_sweep_layout
+from repro.solver.sweep import validate_fusion, validate_sweep_layout
 from repro.tuning.registry import REGISTRY_VERSION
 from repro.weno import validate_weno_variant
 
@@ -52,6 +52,11 @@ class TuningPlan:
     sweep_layout: str = "strided"
     threads: int = 1
     tiles: int | None = None
+    #: Kernel-fusion knob (:data:`repro.solver.sweep.FUSION_MODES`).
+    #: Plans serialized before the fusion axis existed load with the
+    #: default ``"off"`` — but never silently: the derived registry
+    #: version already invalidates every pre-fusion cache entry.
+    fusion: str = "off"
     source: str = "heuristic"
     measured_ns: float | None = None
     modeled_ns: float | None = None
@@ -60,6 +65,7 @@ class TuningPlan:
         validate_weno_variant(self.weno_variant)
         validate_riemann_variant(self.riemann_variant)
         validate_sweep_layout(self.sweep_layout)
+        validate_fusion(self.fusion)
         if (isinstance(self.threads, bool) or not isinstance(self.threads, int)
                 or self.threads < 1):
             raise ConfigurationError(
@@ -85,9 +91,10 @@ class TuningPlan:
     def summary(self) -> str:
         """One line for profiler reports and CLI output."""
         tiles = f" tiles={self.tiles}" if self.tiles is not None else ""
+        fusion = f" fusion={self.fusion}" if self.fusion != "off" else ""
         line = (f"tuning ({self.source}): weno={self.weno_variant} "
                 f"riemann={self.riemann_variant} layout={self.sweep_layout} "
-                f"threads={self.threads}{tiles}")
+                f"threads={self.threads}{tiles}{fusion}")
         if self.measured_ns is not None:
             line += f"; measured {self.measured_ns / 1e6:.2f} ms/RHS"
             speed = self.speedup_vs_modeled()

@@ -14,19 +14,43 @@ were compile-time choices; here they are first-run-time choices over
 * sweep memory layout: ``strided`` / ``transposed`` / ``auto``,
 * thread count and per-launch tile count of the gang backend.
 
-:data:`REGISTRY_VERSION` is baked into every tuning-cache key: adding,
-removing, or re-costing a variant bumps it, invalidating stale cached
-plans instead of silently replaying them.
+:data:`REGISTRY_VERSION` is baked into every tuning-cache key: it is
+*derived* from the registered variant sets themselves, so adding or
+removing a variant (a new WENO kernel, a new fusion mode) changes the
+version automatically and invalidates stale cached plans instead of
+silently replaying a winner chosen from a smaller search space.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.riemann import RIEMANN_VARIANTS
+from repro.solver.sweep import FUSION_MODES, SWEEP_LAYOUTS
 from repro.weno import WENO_VARIANTS
 
-#: Bump when the variant set (or anything that changes their relative
-#: performance) changes; part of every cache key.
-REGISTRY_VERSION = 1
+
+def _derive_registry_version() -> str:
+    """Fingerprint of the registered variant axes.
+
+    Any change to the choice space — new kernel variant, new sweep
+    layout, new fusion mode — yields a new version string, so every
+    cached plan tuned against the old space misses and re-tunes.
+    """
+    axes = [
+        "weno:" + ",".join(WENO_VARIANTS),
+        "riemann:" + ",".join(RIEMANN_VARIANTS),
+        "layout:" + ",".join(SWEEP_LAYOUTS),
+        "fusion:" + ",".join(FUSION_MODES),
+    ]
+    digest = hashlib.sha256(";".join(axes).encode()).hexdigest()[:12]
+    return f"2:{digest}"
+
+
+#: Derived from the variant axes (see :func:`_derive_registry_version`);
+#: part of every cache key.  Caches written before the fusion axis
+#: existed carried the literal version ``1`` and therefore always miss.
+REGISTRY_VERSION = _derive_registry_version()
 
 
 def candidate_plans(*, ndim: int, cpu_count: int, threads: int = 1,
@@ -46,10 +70,10 @@ def candidate_plans(*, ndim: int, cpu_count: int, threads: int = 1,
         explicit configuration.
 
     Returns plan dicts with keys ``weno_variant``, ``riemann_variant``,
-    ``sweep_layout``, ``threads``, ``tiles``; the first entry is always
-    the model-heuristic default plan (chained/reference at the
-    configured threads and layout), whose measured time becomes the
-    tuned plan's ``modeled_ns`` reference point.
+    ``sweep_layout``, ``threads``, ``tiles``, ``fusion``; the first
+    entry is always the model-heuristic default plan (chained/reference
+    unfused at the configured threads and layout), whose measured time
+    becomes the tuned plan's ``modeled_ns`` reference point.
     """
     layouts = [sweep_layout]
     if ndim > 1:
@@ -60,16 +84,31 @@ def candidate_plans(*, ndim: int, cpu_count: int, threads: int = 1,
 
     plans = [{"weno_variant": "chained", "riemann_variant": "reference",
               "sweep_layout": sweep_layout, "threads": threads,
-              "tiles": None}]
+              "tiles": None, "fusion": "off"}]
     for wv in WENO_VARIANTS:
         for rv in RIEMANN_VARIANTS:
             for mode in layouts:
                 for t in thread_counts:
                     tile_counts = [None] if t == 1 else [None, t, 2 * t]
-                    for tiles in tile_counts:
-                        plan = {"weno_variant": wv, "riemann_variant": rv,
-                                "sweep_layout": mode, "threads": t,
-                                "tiles": tiles}
-                        if plan not in plans:
-                            plans.append(plan)
+                    # "auto" adds no distinct behaviour here (the
+                    # tuner's candidates always run the workspace
+                    # path), so the fusion axis is binary.
+                    for fusion in ("off", "on"):
+                        counts = tile_counts
+                        if fusion == "on":
+                            # The fused engine's whole win is slab
+                            # locality, and the catalog heuristic cannot
+                            # know this host's effective cache share —
+                            # search explicit slab counts around it so
+                            # the measurement, not the model, picks the
+                            # tile size.
+                            counts = list(dict.fromkeys(
+                                tile_counts + [4 * t, 8 * t, 16 * t]))
+                        for tiles in counts:
+                            plan = {"weno_variant": wv,
+                                    "riemann_variant": rv,
+                                    "sweep_layout": mode, "threads": t,
+                                    "tiles": tiles, "fusion": fusion}
+                            if plan not in plans:
+                                plans.append(plan)
     return plans

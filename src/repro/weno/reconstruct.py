@@ -231,6 +231,153 @@ def _weno5_into(out, s, vm2, vm1, v0, vp1, vp2) -> None:
     np.true_divide(out, t1, out=out)
 
 
+# ----------------------------------------------------------------------
+# Declarative operation schedules — the expression provider for the
+# :mod:`repro.acc.fusion` code generator.  Each entry is one ufunc
+# evaluation ``(op, a, b, out)`` (``b is None`` for unary ops); operand
+# symbols name the stencil cells (``vm2`` .. ``vp2``), the scratch slots
+# of ``_weno{3,5}_into`` (``p*``/``a*``/``t*``), the destination
+# (``out``), the regularisation constant (``"EPS"``), or are literal
+# float coefficients.  The schedules transcribe ``_weno3_into`` /
+# ``_weno5_into`` line for line — same ufuncs, same operand order, same
+# association — so source generated from them is bitwise identical to
+# the reference kernels (pinned by ``tests/test_fusion.py``).
+
+#: Scratch-slot names each order's schedule consumes, in ``s[:n]`` order.
+WENO_SCHEDULE_SCRATCH = {
+    1: (),
+    3: ("p0", "p1", "a0", "a1", "t"),
+    5: ("p0", "p1", "p2", "a0", "a1", "a2", "t1", "t2"),
+}
+
+#: Stencil-cell symbols each order reads, by cell offset from the centre.
+WENO_SCHEDULE_STENCIL = {
+    1: (("v0", 0),),
+    3: (("vm1", -1), ("v0", 0), ("vp1", 1)),
+    5: (("vm2", -2), ("vm1", -1), ("v0", 0), ("vp1", 1), ("vp2", 2)),
+}
+
+WENO3_SCHEDULE = (
+    ("multiply", "vm1", -0.5, "p0"),
+    ("multiply", "v0", 1.5, "t"),
+    ("add", "p0", "t", "p0"),
+    ("add", "v0", "vp1", "p1"),
+    ("multiply", "p1", 0.5, "p1"),
+    ("subtract", "v0", "vm1", "a0"),
+    ("multiply", "a0", "a0", "a0"),
+    ("add", "a0", "EPS", "a0"),
+    ("multiply", "a0", "a0", "a0"),
+    ("true_divide", IDEAL_WEIGHTS[3][0], "a0", "a0"),
+    ("subtract", "vp1", "v0", "a1"),
+    ("multiply", "a1", "a1", "a1"),
+    ("add", "a1", "EPS", "a1"),
+    ("multiply", "a1", "a1", "a1"),
+    ("true_divide", IDEAL_WEIGHTS[3][1], "a1", "a1"),
+    ("multiply", "a0", "p0", "out"),
+    ("multiply", "a1", "p1", "t"),
+    ("add", "out", "t", "out"),
+    ("add", "a0", "a1", "t"),
+    ("true_divide", "out", "t", "out"),
+)
+
+WENO5_SCHEDULE = (
+    ("multiply", "vm2", 2.0, "p0"),
+    ("multiply", "vm1", 7.0, "t1"),
+    ("subtract", "p0", "t1", "p0"),
+    ("multiply", "v0", 11.0, "t1"),
+    ("add", "p0", "t1", "p0"),
+    ("true_divide", "p0", 6.0, "p0"),
+    ("negative", "vm1", None, "p1"),
+    ("multiply", "v0", 5.0, "t1"),
+    ("add", "p1", "t1", "p1"),
+    ("multiply", "vp1", 2.0, "t1"),
+    ("add", "p1", "t1", "p1"),
+    ("true_divide", "p1", 6.0, "p1"),
+    ("multiply", "v0", 2.0, "p2"),
+    ("multiply", "vp1", 5.0, "t1"),
+    ("add", "p2", "t1", "p2"),
+    ("subtract", "p2", "vp2", "p2"),
+    ("true_divide", "p2", 6.0, "p2"),
+    ("multiply", "vm1", 2.0, "t1"),
+    ("subtract", "vm2", "t1", "t1"),
+    ("add", "t1", "v0", "t1"),
+    ("multiply", "t1", "t1", "t1"),
+    ("multiply", "t1", 13.0 / 12.0, "a0"),
+    ("multiply", "vm1", 4.0, "t1"),
+    ("subtract", "vm2", "t1", "t1"),
+    ("multiply", "v0", 3.0, "t2"),
+    ("add", "t1", "t2", "t1"),
+    ("multiply", "t1", "t1", "t1"),
+    ("multiply", "t1", 0.25, "t1"),
+    ("add", "a0", "t1", "a0"),
+    ("multiply", "v0", 2.0, "t1"),
+    ("subtract", "vm1", "t1", "t1"),
+    ("add", "t1", "vp1", "t1"),
+    ("multiply", "t1", "t1", "t1"),
+    ("multiply", "t1", 13.0 / 12.0, "a1"),
+    ("subtract", "vm1", "vp1", "t1"),
+    ("multiply", "t1", "t1", "t1"),
+    ("multiply", "t1", 0.25, "t1"),
+    ("add", "a1", "t1", "a1"),
+    ("multiply", "vp1", 2.0, "t1"),
+    ("subtract", "v0", "t1", "t1"),
+    ("add", "t1", "vp2", "t1"),
+    ("multiply", "t1", "t1", "t1"),
+    ("multiply", "t1", 13.0 / 12.0, "a2"),
+    ("multiply", "v0", 3.0, "t1"),
+    ("multiply", "vp1", 4.0, "t2"),
+    ("subtract", "t1", "t2", "t1"),
+    ("add", "t1", "vp2", "t1"),
+    ("multiply", "t1", "t1", "t1"),
+    ("multiply", "t1", 0.25, "t1"),
+    ("add", "a2", "t1", "a2"),
+    ("add", "a0", "EPS", "a0"),
+    ("multiply", "a0", "a0", "a0"),
+    ("true_divide", IDEAL_WEIGHTS[5][0], "a0", "a0"),
+    ("add", "a1", "EPS", "a1"),
+    ("multiply", "a1", "a1", "a1"),
+    ("true_divide", IDEAL_WEIGHTS[5][1], "a1", "a1"),
+    ("add", "a2", "EPS", "a2"),
+    ("multiply", "a2", "a2", "a2"),
+    ("true_divide", IDEAL_WEIGHTS[5][2], "a2", "a2"),
+    ("multiply", "a0", "p0", "out"),
+    ("multiply", "a1", "p1", "t1"),
+    ("add", "out", "t1", "out"),
+    ("multiply", "a2", "p2", "t1"),
+    ("add", "out", "t1", "out"),
+    ("add", "a0", "a1", "t1"),
+    ("add", "t1", "a2", "t1"),
+    ("true_divide", "out", "t1", "out"),
+)
+
+
+def weno_schedule(order: int):
+    """The declarative op schedule for ``order`` (empty for order 1)."""
+    weno_order_check(order)
+    return {1: (), 3: WENO3_SCHEDULE, 5: WENO5_SCHEDULE}[order]
+
+
+def run_weno_schedule(schedule, env: dict) -> None:
+    """Execute a schedule against an environment of named arrays.
+
+    The interpreter twin of the fusion code generator's rendered
+    source — used by the schedule pin tests to prove the tables
+    reproduce ``_weno{3,5}_into`` bit for bit without going through
+    ``compile()``.
+    """
+    def operand(sym):
+        if isinstance(sym, str):
+            return WENO_EPS if sym == "EPS" else env[sym]
+        return sym
+
+    for op, a, b, out in schedule:
+        ufunc = getattr(np, op)
+        if b is None:
+            ufunc(operand(a), out=env[out])
+        else:
+            ufunc(operand(a), operand(b), out=env[out])
+
+
 def _faces_into(vlast: np.ndarray, start: int, count: int, order: int,
                 out: np.ndarray, scratch, downwind: bool,
                 variant: str = "chained") -> None:

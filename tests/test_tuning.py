@@ -12,6 +12,7 @@ Acceptance invariants pinned here:
 * the plan round-trips case files, CLI flags, and the profiler report.
 """
 
+import dataclasses
 import json
 
 import numpy as np
@@ -120,7 +121,7 @@ class TestCacheKey:
         sig, fp = self._sim_parts()
         base = plan_cache_key(sig, fp)
         monkeypatch.setattr("repro.tuning.plan.REGISTRY_VERSION",
-                            REGISTRY_VERSION + 1)
+                            REGISTRY_VERSION + "-stale")
         assert plan_cache_key(sig, fp) != base
 
 
@@ -132,7 +133,7 @@ class TestCandidatePlans:
         assert plans[0] == {"weno_variant": "chained",
                             "riemann_variant": "reference",
                             "sweep_layout": "auto", "threads": 2,
-                            "tiles": None}
+                            "tiles": None, "fusion": "off"}
 
     def test_cross_product_covers_the_registry(self):
         plans = candidate_plans(ndim=2, cpu_count=4)
@@ -148,6 +149,17 @@ class TestCandidatePlans:
     def test_1d_has_no_transposed_candidates(self):
         plans = candidate_plans(ndim=1, cpu_count=2)
         assert all(p["sweep_layout"] != "transposed" for p in plans)
+
+    def test_fused_candidates_search_explicit_tiles(self):
+        # Slab locality is the fused engine's whole win, so fused
+        # candidates carry explicit tile counts even single-threaded
+        # (where the unfused axis only offers the heuristic).
+        plans = candidate_plans(ndim=2, cpu_count=1)
+        fused_tiles = {p["tiles"] for p in plans if p["fusion"] == "on"}
+        assert {None, 4, 8, 16} <= fused_tiles
+        unfused_tiles = {p["tiles"] for p in plans
+                         if p["fusion"] == "off" and p["threads"] == 1}
+        assert unfused_tiles == {None}
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +201,20 @@ class TestTuningCache:
         # And storing over the wreckage heals the file.
         cache.store("k1", heuristic_plan())
         assert TuningCache(path).lookup("k1") == heuristic_plan()
+
+    def test_pre_fusion_cache_is_stale(self, tmp_path):
+        # Caches written before the fusion axis existed carried the
+        # literal registry version 1; the derived version must reject
+        # them so a winner tuned over the smaller space is never
+        # replayed.
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({
+            "version": CACHE_FORMAT_VERSION, "registry": 1,
+            "entries": {"k1": dataclasses.asdict(heuristic_plan())}}))
+        cache = TuningCache(path)
+        assert REGISTRY_VERSION != 1
+        assert cache.lookup("k1") is None
+        assert cache.corrupt_events == 1
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         path = tmp_path / "cache.json"
