@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-thread test-fault test-procs bench bench-rhs bench-layout bench-tuned bench-fused bench-cluster tune examples artifacts clean
+.PHONY: install test test-thread test-fault test-procs test-ensemble bench bench-rhs bench-layout bench-tuned bench-fused bench-cluster bench-ensemble tune examples artifacts clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -23,6 +23,12 @@ test-fault:
 # decomposed-vs-serial bit-identity, rank-fault restart.
 test-procs:
 	$(PYTHON) -m pytest tests/test_procs.py tests/test_cluster.py
+
+# Batched ensemble suite: stacked-vs-standalone bit-identity across
+# orders/solvers/layouts/threads/fusion, ragged retirement, scheduler
+# grouping, allocation budget.
+test-ensemble:
+	$(PYTHON) -m pytest tests/ -m ensemble
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -60,6 +66,17 @@ bench-fused:
 bench-cluster:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_cluster.py \
 		--ranks 1 --ranks 2 --ranks 4
+
+# Batched ensemble execution: stacked vs sequential per-case grind over
+# a grid x batch-width sweep spanning both regimes — the small
+# overhead-dominated grids batching is for (16^2/32^2) and the
+# bandwidth-saturated ones it honestly cannot help (64^2/128^2).
+# Appends to benchmarks/results/BENCH_ensemble.json's history; see
+# docs/ensemble.md for the measured curve.
+bench-ensemble:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ensemble.py \
+		--grid 16 --grid 32 --grid 64 --grid 128 \
+		--batch 1 --batch 2 --batch 4 --batch 8 --batch 16
 
 # Autotune the quickstart example case on this host and cache the
 # winning kernel-variant plan (see docs/tuning.md).

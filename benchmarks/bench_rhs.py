@@ -99,6 +99,9 @@ def time_grind(n: int, threads: int, *, use_workspace: bool = True,
         "threads": sim.threads,
         "layout": sim.sweep_layout,
         "fusion": sim.fusion,
+        # Single-case driver: batch width 1 (ensemble runs live in
+        # BENCH_ensemble.json; the stamp keeps the schemas comparable).
+        "batch": 1,
         "grind_time_ns": sim.grind_time_ns(),
         "kernel_breakdown": sim.kernel_breakdown(),
         "sweep_counters": sim.rhs.sweep_counters.as_dict(),

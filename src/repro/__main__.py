@@ -133,6 +133,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ensemble(args: argparse.Namespace) -> int:
+    from repro.ensemble import EnsembleRunner
+    from repro.io.case_files import load_ensemble
+
+    jobs, batch_width, solver_options = load_ensemble(args.spec)
+    if args.batch_width is not None:
+        batch_width = args.batch_width
+    # CLI flags override the spec's "solver" section, as in `run`.
+    threads = solver_options.get("threads", 1)
+    if args.threads is not None:
+        threads = args.threads
+    layout = solver_options.get("sweep_layout", "strided")
+    if args.layout is not None:
+        layout = args.layout
+    fusion = solver_options.get("fusion", "off")
+    if args.fusion is not None:
+        fusion = args.fusion
+    tuning = solver_options.get("tuning", "off")
+    if args.tune:
+        tuning = "auto"
+    tuning_cache = solver_options.get("tuning_cache")
+    if args.tuning_cache is not None:
+        tuning_cache = args.tuning_cache
+    ndim = jobs[0].case.grid.ndim
+    bcs = {
+        "periodic": BoundarySet.all_periodic,
+        "reflective": BoundarySet.all_reflective,
+        "extrapolation": BoundarySet.all_extrapolation,
+    }[args.bc](ndim)
+    runner = EnsembleRunner(
+        jobs, bcs, batch_width=batch_width,
+        config=RHSConfig(weno_order=args.weno, riemann_solver=args.riemann,
+                         geometry=args.geometry),
+        cfl=args.cfl, threads=threads, sweep_layout=layout, fusion=fusion,
+        tuning=tuning, tuning_cache=tuning_cache)
+    plan = runner.plan_batches()
+    print(f"ensemble: {len(jobs)} jobs in {len(plan)} batch(es), "
+          f"width <= {batch_width}, WENO{args.weno} + {args.riemann.upper()}"
+          + (f", {threads} threads" if threads > 1 else "")
+          + (f", {layout} sweeps" if layout != "strided" else "")
+          + (f", fusion {fusion}" if fusion != "off" else ""))
+    report = runner.run()
+    print(report.summary())
+    print(f"total batch wall {report.total_wall_seconds:.3f} s")
+    return 0
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.io.case_files import load_case, load_solver_options
     from repro.tuning import resolve_cache_path
@@ -277,6 +324,33 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--series-interval", type=int, default=100,
                      help="steps between series snapshots (default 100)")
     run.set_defaults(func=_cmd_run)
+
+    ens = sub.add_parser("ensemble",
+                         help="march many same-shape cases through stacked "
+                              "batched drivers (see docs/ensemble.md)")
+    ens.add_argument("spec", help="JSON ensemble spec (jobs + batch_width)")
+    ens.add_argument("--batch-width", type=int, default=None,
+                     help="max cases per stacked batch (default: spec's "
+                          "batch_width, else 8)")
+    ens.add_argument("--cfl", type=float, default=0.5)
+    ens.add_argument("--weno", type=int, default=5, choices=(1, 3, 5))
+    ens.add_argument("--riemann", default="hllc",
+                     choices=("hllc", "hll", "rusanov"))
+    ens.add_argument("--geometry", default="cartesian",
+                     choices=("cartesian", "axisymmetric"))
+    ens.add_argument("--bc", default="extrapolation",
+                     choices=("periodic", "reflective", "extrapolation"))
+    ens.add_argument("--threads", type=int, default=None,
+                     help="worker threads for the stacked RHS backend")
+    ens.add_argument("--layout", default=None,
+                     choices=("strided", "transposed", "auto"))
+    ens.add_argument("--fusion", default=None,
+                     choices=("off", "on", "auto"))
+    ens.add_argument("--tune", action="store_true",
+                     help="autotune the stacked RHS per batch signature "
+                          "(cached; later same-shape batches replay the plan)")
+    ens.add_argument("--tuning-cache", default=None)
+    ens.set_defaults(func=_cmd_ensemble)
 
     tune = sub.add_parser("tune",
                           help="benchmark kernel variants for a case on this "

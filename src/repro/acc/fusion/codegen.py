@@ -95,6 +95,11 @@ class FusedKernelSpec:
     riemann_variant: str
     dtype: str  #: dtype name, part of the cache contract
     backend: str = "numpy"
+    #: Ensemble mode: ``ndim``/``d`` are *virtual* (axis 0 of the
+    #: spatial shape is a leading batch axis that is never swept), and
+    #: the physical direction the Riemann solve and the reflective
+    #: ghost fill act on is ``d - 1``.  Part of the compile-cache key.
+    batch: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in FUSED_KINDS:
@@ -108,6 +113,9 @@ class FusedKernelSpec:
         if not 0 <= self.d < self.ndim:
             raise ConfigurationError(
                 f"direction {self.d} outside {self.ndim} dims")
+        if self.batch and self.d < 1:
+            raise ConfigurationError(
+                "batched fused kernels cannot sweep the batch axis (d=0)")
         weno_order_check(self.order)
         validate_weno_variant(self.weno_variant)
         validate_riemann_variant(self.riemann_variant)
@@ -262,6 +270,10 @@ def generate_source(spec: FusedKernelSpec) -> str:
     """
     ng = halo_width(spec.order)
     d, ndim, arr = spec.d, spec.ndim, spec.ndim + 1
+    # Batched sweeps: axis indexing stays virtual, but the momentum
+    # component the Riemann solve and the reflective ghost fill act on
+    # is the physical direction d-1 (axis 0 is the batch axis).
+    phys = d - 1 if spec.batch else d
     qualname, _ = riemann_expression(spec.riemann_solver,
                                      spec.riemann_variant)
     body: list[str] = []
@@ -269,8 +281,12 @@ def generate_source(spec: FusedKernelSpec) -> str:
     if spec.kind == "strided":
         if spec.pack:
             body.append(f"pad{_index(arr, d + 1, f'{ng}:-{ng}')} = prim")
-            body.append(f"fill_ghosts(pad, ctx.layout, {d}, {ng}, "
-                        f"bc_lo, bc_hi)")
+            if spec.batch:
+                body.append(f"fill_ghosts(pad, ctx.layout, {d}, {ng}, "
+                            f"bc_lo, bc_hi, normal_direction={phys})")
+            else:
+                body.append(f"fill_ghosts(pad, ctx.layout, {d}, {ng}, "
+                            f"bc_lo, bc_hi)")
         if d == ndim - 1:
             body += ["pv = pad", "vlL = vl", "vrL = vr"]
         else:
@@ -281,19 +297,19 @@ def generate_source(spec: FusedKernelSpec) -> str:
         body += _weno_lines(spec, ng)
         body.append(f"limited = limit(ctx.layout, ctx.mixture, pad, "
                     f"vl, vr, {d}, {ng})")
-        body.append(f"ctx.riemann(ctx.layout, ctx.mixture, vl, vr, {d}, "
+        body.append(f"ctx.riemann(ctx.layout, ctx.mixture, vl, vr, {phys}, "
                     f"out=flux, out_u=uface, scratch=rscr)")
         body += _divergence_lines(spec, "flux", "uface")
     else:
         body.append(f"tpad[..., {ng}:-{ng}] = tsrc")
         body.append(f"fill_ghosts(tpad, ctx.layout, {ndim - 1}, {ng}, "
-                    f"bc_lo, bc_hi, normal_direction={d})")
+                    f"bc_lo, bc_hi, normal_direction={phys})")
         body += ["pv = tpad", "vlL = tvl", "vrL = tvr"]
         body.append(f"nf = pv.shape[-1] - {2 * ng - 1}")
         body += _weno_lines(spec, ng)
         body.append(f"limited = limit(ctx.layout, ctx.mixture, tpad, "
                     f"tvl, tvr, {ndim - 1}, {ng})")
-        body.append(f"ctx.riemann(ctx.layout, ctx.mixture, tvl, tvr, {d}, "
+        body.append(f"ctx.riemann(ctx.layout, ctx.mixture, tvl, tvr, {phys}, "
                     f"out=tflux, out_u=tuface, scratch=rscr)")
         body.append("np.copyto(flux_t, tflux)")
         body.append("np.copyto(uface_t, tuface)")
@@ -302,7 +318,9 @@ def generate_source(spec: FusedKernelSpec) -> str:
 
     args = ", ".join(kernel_signature(spec))
     header = [
-        f"# fused {spec.kind} sweep: d={d}/{ndim}D, order {spec.order} "
+        f"# fused {spec.kind} sweep: d={d}/{ndim}D"
+        f"{' (batched: axis 0 = ensemble)' if spec.batch else ''}, "
+        f"order {spec.order} "
         f"({spec.weno_variant}), riemann {qualname}, "
         f"dtype {spec.dtype}, backend {spec.backend}",
         f"def fused_sweep({args}):",

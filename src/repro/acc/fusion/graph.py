@@ -103,7 +103,9 @@ class FusedRegion:
 
 def _stage_nest(spatial: tuple[int, ...], nvars: int) -> ParallelLoopNest:
     """The ``parallel loop gang vector collapse(ndim)`` nest of one stage."""
-    names = ("x", "y", "z")
+    # Four names cover batched 3D sweeps, whose virtual iteration space
+    # carries a leading ensemble axis ahead of (x, y, z).
+    names = (("b", "x", "y", "z") if len(spatial) > 3 else ("x", "y", "z"))
     loops = [LoopDirective(names[0], spatial[0],
                            frozenset({Clause.GANG, Clause.VECTOR}),
                            collapse=len(spatial))]

@@ -158,10 +158,18 @@ class ShmArena:
     weakly-ordered CPUs (see the module docstring).
     """
 
-    def __init__(self, decomp: BlockDecomposition, nvars: int, ng: int):
+    def __init__(self, decomp: BlockDecomposition, nvars: int, ng: int, *,
+                 red_width: int = 1):
         self.decomp = decomp
         self.nvars = nvars
         self.ng = ng
+        if not isinstance(red_width, int) or isinstance(red_width, bool) \
+                or red_width < 1:
+            raise ConfigurationError(
+                f"red_width must be a positive integer, got {red_width!r}")
+        #: Payload width of one dt-reduction round: 1 for the scalar
+        #: single-case rate, B for an ensemble's per-case dt vector.
+        self.red_width = red_width
         self._slots: dict[object, tuple[int, tuple[int, ...], np.dtype]] = {}
         offset = 0
 
@@ -189,7 +197,7 @@ class ShmArena:
                     add(("post", r, axis, side), (1,), np.int64)
                     add(("ack", r, axis, side), (1,), np.int64)
                     self.locks[(r, axis, side)] = ctx.Lock()
-        add("slots", (decomp.nranks,), DTYPE)
+        add("slots", (decomp.nranks, red_width), DTYPE)
         add("wrote", (decomp.nranks,), np.int64)
         add("read", (decomp.nranks,), np.int64)
         add("beat", (decomp.nranks,), np.int64)
@@ -347,7 +355,7 @@ class SharedMemoryTransport:
         self.beat()
 
     # ------------------------------------------------------------------
-    def reduce_max_begin(self, value: float) -> None:
+    def reduce_max_begin(self, value) -> None:
         """Post this rank's contribution to the next max-reduction.
 
         The nonblocking half of :meth:`reduce_max` (``MPI_Iallreduce``'s
@@ -356,13 +364,17 @@ class SharedMemoryTransport:
         caller overlaps independent compute (the first RK stage's RHS,
         which does not depend on dt) before collecting the result with
         :meth:`reduce_max_finish`.
+
+        ``value`` may be a scalar (broadcast across the slot row) or a
+        vector of the arena's ``red_width`` — the latter carries an
+        ensemble's per-case dt payload through one reduction round.
         """
         s = self._reduced + 1
         for r in range(self.decomp.nranks):
             self._wait(self._read[r:r + 1], s - 1,
                        f"rank {r} to consume reduction {s - 1}",
                        self._locks[("red", r)])
-        self._slots[self.rank] = value
+        self._slots[self.rank, :] = value
         self._publish(self._locks[("red", self.rank)], self._wrote,
                       self.rank, s, f"reduction value {s}")
         self.beat()
@@ -370,12 +382,15 @@ class SharedMemoryTransport:
     def reduce_max_finish(self, *, overlapped: bool = False) -> float:
         """Complete the reduction started by :meth:`reduce_max_begin`.
 
-        Waits for every rank's slot of this round, takes the max in
-        rank order — bitwise identical on every rank, and bitwise equal
-        to the serial whole-domain max (floating max is exact under any
-        grouping) — then releases the slots for the next round.
-        ``overlapped=True`` tallies the reduction as hidden behind
-        compute (:attr:`HaloCounters.reductions_overlapped`).
+        Waits for every rank's slot of this round, takes the
+        elementwise max in rank order — bitwise identical on every
+        rank, and bitwise equal to the serial whole-domain max
+        (floating max is exact under any grouping) — then releases the
+        slots for the next round.  Returns a float for width-1 arenas
+        (the historical scalar contract) and the reduced vector for
+        wider payloads.  ``overlapped=True`` tallies the reduction as
+        hidden behind compute
+        (:attr:`HaloCounters.reductions_overlapped`).
         """
         s = self._reduced + 1
         n = self.decomp.nranks
@@ -383,9 +398,9 @@ class SharedMemoryTransport:
             self._wait(self._wrote[r:r + 1], s,
                        f"rank {r}'s reduction value {s}",
                        self._locks[("red", r)])
-        result = float(self._slots[0])
+        row = self._slots[0].copy()
         for r in range(1, n):
-            result = max(result, float(self._slots[r]))
+            np.maximum(row, self._slots[r], out=row)
         self._publish(self._locks[("red", self.rank)], self._read,
                       self.rank, s, f"reduction consume {s}")
         self._reduced = s
@@ -393,7 +408,7 @@ class SharedMemoryTransport:
         if overlapped:
             self.counters.reductions_overlapped += 1
         self.beat()
-        return result
+        return float(row[0]) if row.shape[0] == 1 else row
 
     def reduce_max(self, value: float) -> float:
         """Blocking cluster-wide max: begin + finish back to back."""

@@ -1,0 +1,26 @@
+"""Batched ensemble execution: one stacked RHS for N concurrent cases.
+
+See :mod:`repro.ensemble.simulation` for the bitwise contract and
+:mod:`repro.ensemble.runner` for the signature-grouping scheduler.
+"""
+
+from repro.ensemble.runner import (
+    BatchRecord,
+    EnsembleJob,
+    EnsembleReport,
+    EnsembleRunner,
+    batch_signature,
+)
+from repro.ensemble.simulation import EnsembleCaseResult, EnsembleSimulation
+from repro.ensemble.state import EnsembleState
+
+__all__ = [
+    "BatchRecord",
+    "EnsembleCaseResult",
+    "EnsembleJob",
+    "EnsembleReport",
+    "EnsembleRunner",
+    "EnsembleSimulation",
+    "EnsembleState",
+    "batch_signature",
+]

@@ -1,0 +1,390 @@
+"""Batched ensemble driver: one stacked RHS advances N cases at once.
+
+:class:`EnsembleSimulation` is the batch analog of
+:class:`repro.solver.simulation.Simulation`: the conservative states of
+``B`` same-shape cases are stacked into one ``(nvars, B, *grid)`` block
+(:class:`~repro.ensemble.state.EnsembleState`) and every step performs
+ONE shared ``cons_to_prim``, ONE batch-vectorised CFL reduction giving
+a per-case dt vector, and ONE stacked SSP-RK step whose RHS sweeps the
+batch axis as a leading virtual direction.  Amortising the Python/
+dispatch overhead of the pipeline across the batch is exactly the
+paper's GPU-occupancy argument run host-side: small per-case grids
+cannot saturate the machine alone, a stacked block can.
+
+Bitwise contract
+----------------
+Every case in the batch advances **bit-for-bit identically** to the
+same case marched by a standalone :class:`Simulation` with the same
+configuration.  The driver mirrors the standalone step exactly: shared
+``cons_to_prim`` into the workspace under the ``"other"`` stopwatch
+lap, per-case dt (``fixed_dt`` or the CFL bound — the vectorised
+reduction of :func:`repro.timestepping.cfl.cfl_dts` replays the scalar
+arithmetic per case), the final-step clip against the horizon, and the
+``check_every`` validation cadence.
+
+Ragged completion
+-----------------
+Cases may have different horizons.  When a case reaches its ``t_end``
+it *retires*: its final state is copied out, and the survivors are
+re-packed into a narrower contiguous batch (retire-and-compact).  The
+stacked RHS is rebuilt at the new width — compaction copies survivor
+states bitwise and every RHS width is bitwise-identical per case, so
+survivors are unperturbed by their neighbours' retirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bc.boundary import BoundarySet
+from repro.common import (
+    DTYPE,
+    ConfigurationError,
+    NumericsError,
+    Stopwatch,
+    WallTimer,
+)
+from repro.solver.case import Case
+from repro.solver.resilience import check_state
+from repro.solver.rhs import RHS, RHSConfig
+from repro.solver.sweep import validate_fusion
+from repro.state.conversions import cons_to_prim
+from repro.timestepping.cfl import cfl_dts
+from repro.timestepping.ssp_rk import SSP_SCHEMES, ssp_rk_step
+
+from repro.ensemble.state import EnsembleState
+
+
+@dataclass(frozen=True)
+class EnsembleCaseResult:
+    """Final state and telemetry of one ensemble case.
+
+    ``wall_seconds`` is the case's share of the batch wall time (each
+    stacked step's wall is split evenly across the cases it advanced);
+    ``grind_time_ns`` is the per-case amortised grind — nanoseconds per
+    cell per PDE per RHS evaluation, the paper's metric — computed from
+    that share.
+    """
+
+    index: int
+    name: str
+    q: np.ndarray
+    time: float
+    steps: int
+    wall_seconds: float
+    grind_time_ns: float | None
+
+
+class EnsembleSimulation:
+    """Time-marches ``B`` same-shape cases through one stacked RHS.
+
+    Parameters mirror the single-case :class:`Simulation` driver where
+    they apply; resilience features (retry, checkpoints, fault
+    injection, multi-process ranks) are single-case concerns and are
+    deliberately absent — an ensemble member needing them should run
+    standalone.
+
+    Parameters
+    ----------
+    cases:
+        Same-grid, same-mixture cases to stack (initial conditions may
+        differ).
+    bcs:
+        Physical boundary conditions, shared by every case.
+    tuning:
+        ``"off"``, ``"auto"``, a :class:`~repro.tuning.TuningPlan`, or
+        a plan dict — as in :class:`Simulation`, except an ``"auto"``
+        plan is keyed by the *batched* case signature (batch width
+        included), so a stacked plan never reuses or poisons a
+        single-case cache entry.
+    names:
+        Optional per-case labels carried into the results.
+    """
+
+    def __init__(self, cases: list[Case], bcs: BoundarySet, *,
+                 config: RHSConfig | None = None, cfl: float = 0.5,
+                 rk_order: int = 3, fixed_dt: float | None = None,
+                 check_every: int = 10, stopwatch: Stopwatch | None = None,
+                 threads: int = 1, tile_device: object | None = None,
+                 sweep_layout: str = "strided", fusion: str = "off",
+                 tuning: object = "off",
+                 tuning_cache: object | None = None,
+                 names: list[str] | None = None) -> None:
+        if rk_order not in SSP_SCHEMES:
+            raise ConfigurationError(f"unsupported RK order {rk_order}")
+        validate_fusion(fusion)
+        if check_every < 0:
+            raise ConfigurationError(
+                f"check_every must be >= 0, got {check_every}")
+        self.state = EnsembleState.from_cases(cases)
+        self.layout = self.state.layout
+        self.mixture = self.state.mixture
+        self.grid = self.state.grid
+        self.config = config if config is not None else RHSConfig()
+        self.bcs = bcs
+        self.cfl = cfl
+        self.rk_order = rk_order
+        self.fixed_dt = fixed_dt
+        self.check_every = check_every
+        self.stopwatch = stopwatch if stopwatch is not None else Stopwatch()
+        self.threads = threads
+        self.tile_device = tile_device
+        self.sweep_layout = sweep_layout
+        self.fusion = fusion
+        self.tuning = tuning
+        self.tuning_cache = tuning_cache
+        B = self.state.batch
+        if names is None:
+            names = [f"case{i}" for i in range(B)]
+        if len(names) != B:
+            raise ConfigurationError(
+                f"{len(names)} names for {B} cases")
+        self.names = list(names)
+        #: Initial batch width (the tuning-signature width; retirement
+        #: narrows :attr:`batch` but never re-tunes).
+        self.batch0 = B
+
+        #: Resolved plan / tuner, as in the single-case driver.
+        self.tuning_plan = None
+        self.tuner = None
+        self._resolve_tuning()
+        plan = self.tuning_plan
+        if plan is not None:
+            self.threads = plan.threads
+            self.sweep_layout = plan.sweep_layout
+            self.fusion = plan.fusion
+        self.rhs = self._build_rhs(B)
+
+        # Per-slot clocks, aligned with state.case_index.
+        self.time = np.zeros(B, dtype=DTYPE)
+        self.steps = np.zeros(B, dtype=np.int64)
+        self.wall = np.zeros(B, dtype=np.float64)
+        #: Stacked steps taken (every active case advances each one).
+        self.step_count = 0
+        #: Retire-and-compact events (telemetry).
+        self.retire_events = 0
+        #: Total batch wall seconds and case-steps (sum of batch widths
+        #: over all stacked steps) — the amortised-grind denominators.
+        self.wall_seconds_total = 0.0
+        self.case_steps_total = 0
+        self._results: dict[int, EnsembleCaseResult] = {}
+
+    # ------------------------------------------------------------------
+    def _resolve_tuning(self) -> None:
+        """Resolve the ``tuning`` knob against the *batched* signature."""
+        spec = self.tuning
+        if spec is None or spec == "off":
+            return
+        from repro.tuning import Autotuner, TuningCache, TuningPlan
+
+        if isinstance(spec, TuningPlan):
+            self.tuning_plan = spec
+            return
+        if isinstance(spec, dict):
+            entry = dict(spec)
+            entry.setdefault("source", "manual")
+            self.tuning_plan = TuningPlan.from_dict(entry)
+            return
+        if spec == "auto":
+            from repro.hardware.devices import get_device
+
+            device = (get_device(self.tile_device)
+                      if isinstance(self.tile_device, str)
+                      else self.tile_device)
+            self.tuner = Autotuner(cache=TuningCache(self.tuning_cache),
+                                   device=device)
+            self.tuning_plan = self.tuner.plan_for(
+                self.layout, self.mixture, self.grid, self.bcs, self.config,
+                self.state.stacked, threads=self.threads,
+                sweep_layout=self.sweep_layout, batch=self.batch0)
+            return
+        raise ConfigurationError(
+            f"tuning must be 'off', 'auto', a TuningPlan, or a plan dict; "
+            f"got {spec!r}")
+
+    def _build_rhs(self, batch: int) -> RHS:
+        plan = self.tuning_plan
+        return RHS(self.layout, self.mixture, self.grid, self.bcs,
+                   self.config, stopwatch=self.stopwatch,
+                   use_workspace=True, threads=self.threads,
+                   tile_device=self.tile_device,
+                   sweep_layout=self.sweep_layout, fusion=self.fusion,
+                   weno_variant=(plan.weno_variant if plan is not None
+                                 else "chained"),
+                   riemann_variant=(plan.riemann_variant
+                                    if plan is not None else "reference"),
+                   tiles=plan.tiles if plan is not None else None,
+                   batch=batch)
+
+    # ------------------------------------------------------------------
+    @property
+    def batch(self) -> int:
+        """Number of cases still marching."""
+        return self.state.batch
+
+    @property
+    def q(self) -> np.ndarray:
+        """The stacked conservative block ``(nvars, batch, *grid)``."""
+        return self.state.stacked
+
+    # ------------------------------------------------------------------
+    def step(self, *, dt_limit: np.ndarray | None = None) -> np.ndarray:
+        """Advance every active case one step; returns the dt vector.
+
+        Mirrors the standalone step exactly: one shared
+        ``cons_to_prim`` feeds both the dt computation and RK stage
+        one; ``dt_limit`` (per-case) clips the final step onto each
+        horizon with the same comparison semantics as the scalar
+        driver.
+        """
+        B = self.batch
+        if B == 0:
+            raise ConfigurationError("every ensemble case has retired")
+        ws = self.rhs.workspace
+        with self.stopwatch.time("other"):
+            prim0 = cons_to_prim(self.layout, self.mixture, self.state.stacked,
+                                 out=ws.prim)
+        if self.fixed_dt is not None:
+            dt = np.full(B, self.fixed_dt, dtype=DTYPE)
+        else:
+            dt = cfl_dts(self.layout, self.mixture, prim0, self.grid,
+                         self.cfl)
+        if dt_limit is not None:
+            # Per-case analog of "if dt > dt_limit: dt = dt_limit".
+            dt = np.minimum(dt, dt_limit)
+        dt_field = dt.reshape((B,) + (1,) * self.grid.ndim)
+        with WallTimer() as timer:
+            self.state.stacked = ssp_rk_step(
+                self.rhs, self.state.stacked, dt_field, self.rk_order,
+                workspace=ws, prim0=prim0, executor=self.rhs.executor)
+        self.time += dt
+        self.steps += 1
+        self.step_count += 1
+        self.wall += timer.elapsed / B
+        self.wall_seconds_total += timer.elapsed
+        self.case_steps_total += B
+        if self.check_every and self.step_count % self.check_every == 0:
+            self.validate_state()
+        return dt
+
+    # ------------------------------------------------------------------
+    def validate_state(self) -> None:
+        """Per-case physical-state check; the error names the case."""
+        for slot in range(self.batch):
+            diag = check_state(self.layout, self.mixture,
+                               self.state.view(slot))
+            if diag is not None:
+                orig = self.state.case_index[slot]
+                raise NumericsError(
+                    f"unphysical state in ensemble case {orig} "
+                    f"({self.names[orig]!r}) at stacked step "
+                    f"{self.step_count}: {diag}")
+
+    # ------------------------------------------------------------------
+    def run(self, *, t_end: object | None = None,
+            n_steps: int | None = None) -> list[EnsembleCaseResult]:
+        """March to per-case horizons (or a fixed stacked step count).
+
+        ``t_end`` may be a scalar (shared horizon) or a length-``B``
+        sequence of per-case horizons; cases retire independently as
+        they land on theirs (ragged completion).  ``n_steps`` advances
+        every active case that many stacked steps with no retirement.
+        Returns the per-case results in original case order.
+        """
+        if (t_end is None) == (n_steps is None):
+            raise ConfigurationError("specify exactly one of t_end or n_steps")
+        if n_steps is not None:
+            for _ in range(n_steps):
+                self.step()
+            return self.results()
+        try:
+            t_vec = np.broadcast_to(
+                np.asarray(t_end, dtype=DTYPE), (self.batch0,)).copy()
+        except ValueError:
+            raise ConfigurationError(
+                f"t_end must be a scalar or one horizon per case; got "
+                f"shape {np.asarray(t_end).shape} for {self.batch0} cases"
+            ) from None
+        if np.any(t_vec < 0.0):
+            raise ConfigurationError(
+                f"t_end must be non-negative, got {t_vec.min()}")
+        while self.batch:
+            slots = np.asarray(self.state.case_index)
+            t_slot = t_vec[slots]
+            # Same horizon predicate as the scalar driver's run loop.
+            active = self.time < t_slot * (1.0 - 1e-12)
+            if not active.all():
+                self._retire(np.flatnonzero(~active).tolist())
+                continue
+            self.step(dt_limit=t_slot - self.time)
+        return self.results()
+
+    # ------------------------------------------------------------------
+    def _case_result(self, slot: int) -> EnsembleCaseResult:
+        orig = self.state.case_index[slot]
+        steps = int(self.steps[slot])
+        work = (self.grid.num_cells * self.layout.nvars * steps
+                * len(SSP_SCHEMES[self.rk_order]))
+        grind = float(self.wall[slot]) / work * 1e9 if work else None
+        return EnsembleCaseResult(
+            index=orig, name=self.names[orig],
+            q=self.state.view(slot).copy(),
+            time=float(self.time[slot]), steps=steps,
+            wall_seconds=float(self.wall[slot]), grind_time_ns=grind)
+
+    def _retire(self, done: list[int]) -> None:
+        """Record finished slots; compact survivors; rebuild the RHS.
+
+        The rebuilt RHS reuses the resolved tuning plan (fused kernels
+        are compile-cached by spec, so a width change is cheap) and
+        inherits the old engine's sweep/limiter counters so telemetry
+        spans the whole run.
+        """
+        for slot in done:
+            self._results[self.state.case_index[slot]] = \
+                self._case_result(slot)
+        keep = [s for s in range(self.batch) if s not in set(done)]
+        old = self.rhs
+        self.state.compact(keep)
+        self.time = self.time[keep].copy()
+        self.steps = self.steps[keep].copy()
+        self.wall = self.wall[keep].copy()
+        self.retire_events += 1
+        if keep:
+            self.rhs = self._build_rhs(len(keep))
+            self.rhs.sweep_counters.merge(old.sweep_counters)
+            self.rhs.limited_faces = old.limited_faces
+        if old.executor is not None and (not keep or old is not self.rhs):
+            old.executor.shutdown()
+
+    # ------------------------------------------------------------------
+    def results(self) -> list[EnsembleCaseResult]:
+        """Per-case results in original order (snapshots for active cases)."""
+        out: dict[int, EnsembleCaseResult] = dict(self._results)
+        for slot in range(self.batch):
+            out[self.state.case_index[slot]] = self._case_result(slot)
+        missing = [i for i in range(self.batch0) if i not in out]
+        if missing:
+            raise ConfigurationError(
+                f"ensemble lost track of case(s) {missing}")
+        return [out[i] for i in range(self.batch0)]
+
+    # ------------------------------------------------------------------
+    def grind_time_ns(self) -> float:
+        """Amortised per-case grind over the whole ensemble (paper metric).
+
+        Batch wall divided by the total per-case work actually
+        advanced: ns per cell per PDE per RHS evaluation, counting each
+        stacked step once per case it carried.
+        """
+        if not self.case_steps_total:
+            raise NumericsError("no steps recorded yet")
+        work = (self.grid.num_cells * self.layout.nvars
+                * self.case_steps_total * len(SSP_SCHEMES[self.rk_order]))
+        return self.wall_seconds_total / work * 1e9
+
+    def kernel_breakdown(self) -> dict[str, float]:
+        """Share of host wall time per kernel family."""
+        return self.stopwatch.fractions()

@@ -1,0 +1,120 @@
+"""Stacked conservative state for an ensemble of same-shape cases.
+
+An :class:`EnsembleState` owns one contiguous array of shape
+``(nvars, B, *grid.shape)`` holding ``B`` concurrent cases.  The batch
+axis sits *inside* the variable axis — kernels index variables on axis
+0 and are shape-generic along every trailing axis, so the whole RHS
+pipeline sweeps the stacked block exactly as it would sweep one case
+with an extra leading "spatial" axis (the virtual-direction scheme of
+:class:`repro.solver.rhs.RHS` with ``batch`` set).
+
+Cases retire independently (ragged horizons): :meth:`compact` drops
+finished slots and re-packs the survivors contiguously, preserving the
+mapping back to the caller's original case order in
+:attr:`case_index`.  Compaction copies the survivor slices bitwise, so
+the remaining cases are unperturbed by their neighbours' retirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common import ConfigurationError
+from repro.solver.case import Case
+
+
+def _same_grid(a, b) -> bool:
+    """Bitwise grid identity: same rank and identical face coordinates."""
+    if a is b:
+        return True
+    if len(a.faces) != len(b.faces):
+        return False
+    return all(np.array_equal(fa, fb) for fa, fb in zip(a.faces, b.faces))
+
+
+@dataclass
+class EnsembleState:
+    """Conservative states of ``B`` cases stacked along axis 1.
+
+    ``stacked[:, i]`` is a zero-copy view of case ``i``'s conservative
+    field, shaped exactly like a standalone :class:`Case` state —
+    kernels and diagnostics that take ``(nvars, *grid.shape)`` arrays
+    work on it unchanged.
+    """
+
+    layout: object
+    mixture: object
+    grid: object
+    stacked: np.ndarray
+    #: Slot → position in the original case list (compaction permutes
+    #: slots but never forgets where a case came from).
+    case_index: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.stacked.ndim != self.grid.ndim + 2:
+            raise ConfigurationError(
+                f"stacked state must be (nvars, batch, *grid); got shape "
+                f"{self.stacked.shape} for a {self.grid.ndim}D grid")
+        if not self.case_index:
+            self.case_index = list(range(self.stacked.shape[1]))
+        if len(self.case_index) != self.stacked.shape[1]:
+            raise ConfigurationError(
+                f"case_index has {len(self.case_index)} entries for "
+                f"batch width {self.stacked.shape[1]}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cases(cls, cases: list[Case]) -> "EnsembleState":
+        """Stack the initial conservative states of same-shape cases.
+
+        All cases must share the grid (identical face coordinates) and
+        the mixture — one stacked RHS advances them all, so the
+        geometry and EOS must be common.  Initial conditions are free
+        to differ per case; that is the point of an ensemble.
+        """
+        if not cases:
+            raise ConfigurationError("ensemble needs at least one case")
+        first = cases[0]
+        for i, case in enumerate(cases[1:], start=1):
+            if not _same_grid(case.grid, first.grid):
+                raise ConfigurationError(
+                    f"ensemble case {i} has a different grid than case 0; "
+                    f"batched execution requires identical face coordinates")
+            if case.mixture != first.mixture:
+                raise ConfigurationError(
+                    f"ensemble case {i} has a different mixture than case 0; "
+                    f"batched execution requires a common EOS")
+        fields = [case.initial_conservative() for case in cases]
+        stacked = np.ascontiguousarray(np.stack(fields, axis=1))
+        return cls(first.layout, first.mixture, first.grid, stacked)
+
+    # ------------------------------------------------------------------
+    @property
+    def batch(self) -> int:
+        """Current (post-compaction) number of active cases."""
+        return self.stacked.shape[1]
+
+    def view(self, slot: int) -> np.ndarray:
+        """Zero-copy ``(nvars, *grid.shape)`` view of one active case."""
+        return self.stacked[:, slot]
+
+    # ------------------------------------------------------------------
+    def compact(self, keep: list[int]) -> None:
+        """Drop every slot not in ``keep``; re-pack survivors contiguously.
+
+        ``keep`` is a list of current slot indices in ascending order.
+        The survivor slices are copied bitwise into a fresh contiguous
+        block (fancy indexing materialises the copy), so retiring a
+        neighbour never perturbs a remaining case.
+        """
+        if sorted(set(keep)) != list(keep):
+            raise ConfigurationError(
+                f"compact keep-list must be strictly ascending slot "
+                f"indices, got {keep}")
+        if keep and not 0 <= keep[-1] < self.batch:
+            raise ConfigurationError(
+                f"compact slot {keep[-1]} outside batch of {self.batch}")
+        self.stacked = np.ascontiguousarray(self.stacked[:, keep])
+        self.case_index = [self.case_index[s] for s in keep]

@@ -230,6 +230,82 @@ def load_solver_options(path: str | Path) -> dict:
         return solver_options_from_dict(json.load(fh))
 
 
+#: Solver keys the ensemble runner understands (resilience and
+#: multi-process knobs are single-case concerns; see
+#: :mod:`repro.ensemble`).
+ENSEMBLE_SOLVER_KEYS = ("threads", "layout", "fusion", "tuning",
+                        "tuning_cache")
+
+
+def ensemble_from_dict(spec: dict, *, base_dir: str | Path | None = None):
+    """Jobs and options from an ensemble-spec dictionary.
+
+    The spec carries a ``"jobs"`` list — each entry an inline
+    ``"case"`` dictionary or a ``"case_file"`` path (resolved against
+    ``base_dir``), plus an optional per-job ``"t_end"`` and ``"name"``
+    — a top-level default ``"t_end"``, an optional ``"batch_width"``,
+    and an optional ``"solver"`` section restricted to
+    :data:`ENSEMBLE_SOLVER_KEYS`.  Returns ``(jobs, batch_width,
+    options)`` where ``jobs`` is a list of
+    :class:`repro.ensemble.EnsembleJob` and ``options`` the keyword
+    arguments for :class:`repro.ensemble.EnsembleRunner`.
+    """
+    from repro.ensemble import EnsembleJob
+
+    jobs_spec = spec.get("jobs")
+    if not isinstance(jobs_spec, list) or not jobs_spec:
+        raise ConfigurationError(
+            "ensemble spec needs a non-empty 'jobs' list")
+    default_t_end = spec.get("t_end")
+    batch_width = spec.get("batch_width", 8)
+    if isinstance(batch_width, bool) or not isinstance(batch_width, int) \
+            or batch_width < 1:
+        raise ConfigurationError(
+            f"batch_width must be a positive integer, got {batch_width!r}")
+    solver = spec.get("solver")
+    if solver is not None:
+        unknown = sorted(set(solver) - set(ENSEMBLE_SOLVER_KEYS))
+        if unknown:
+            raise ConfigurationError(
+                f"ensemble solver option(s) {unknown} not supported; "
+                f"choose from {sorted(ENSEMBLE_SOLVER_KEYS)}")
+    options = solver_options_from_dict(spec)
+
+    base = Path(base_dir) if base_dir is not None else Path(".")
+    jobs = []
+    for i, jspec in enumerate(jobs_spec):
+        if not isinstance(jspec, dict):
+            raise ConfigurationError(
+                f"ensemble job {i} must be a mapping, "
+                f"got {type(jspec).__name__}")
+        if ("case" in jspec) == ("case_file" in jspec):
+            raise ConfigurationError(
+                f"ensemble job {i} needs exactly one of 'case' (inline) "
+                f"or 'case_file' (path)")
+        if "case" in jspec:
+            case = case_from_dict(jspec["case"])
+        else:
+            case = load_case(base / jspec["case_file"])
+        t_end = jspec.get("t_end", default_t_end)
+        if t_end is None:
+            raise ConfigurationError(
+                f"ensemble job {i} has no 't_end' and the spec sets "
+                f"no default")
+        jobs.append(EnsembleJob(case, float(t_end),
+                                str(jspec.get("name", f"job{i}"))))
+    return jobs, batch_width, options
+
+
+def load_ensemble(path: str | Path):
+    """Load an ensemble spec from JSON; see :func:`ensemble_from_dict`.
+
+    ``case_file`` references resolve relative to the spec's directory.
+    """
+    path = Path(path)
+    with path.open() as fh:
+        return ensemble_from_dict(json.load(fh), base_dir=path.parent)
+
+
 def save_case(path: str | Path, spec: dict) -> None:
     """Write a case-file dictionary as JSON (validating it builds first)."""
     case_from_dict(spec)  # raises on malformed specs

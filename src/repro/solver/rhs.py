@@ -161,6 +161,15 @@ class RHS:
     #: whenever the workspace path is active.  All modes are bitwise
     #: identical — fusion is a tuner axis like the sweep layout.
     fusion: str = "off"
+    #: Ensemble batch width: ``batch=B`` evaluates B same-grid cases
+    #: stacked as ``q[:, b, ...]`` in ONE call, amortizing every ufunc
+    #: pass (and every fused-kernel launch) B-fold.  The batch axis is
+    #: treated as a leading *virtual spatial axis* that is never swept:
+    #: all sweeps, tile plans, and fused kernels see the virtual shape
+    #: ``(B, *grid.shape)`` while physical quantities (momentum
+    #: components, boundary sets, cell widths) keep their physical
+    #: direction index.  Every case advances bitwise as it would alone.
+    batch: int | None = None
 
     def __post_init__(self) -> None:
         if self.grid.ndim != self.layout.ndim:
@@ -168,6 +177,26 @@ class RHS:
                 f"grid is {self.grid.ndim}D but layout expects {self.layout.ndim}D")
         if self.bcs.ndim() != self.layout.ndim:
             raise ConfigurationError("boundary set dimensionality mismatch")
+        if self.batch is not None and (
+                not isinstance(self.batch, int) or isinstance(self.batch, bool)
+                or self.batch < 1):
+            raise ConfigurationError(
+                f"batch must be a positive integer or None, got {self.batch!r}")
+        #: Number of leading virtual (non-swept) axes: 1 when batched.
+        self._nb = 0 if self.batch is None else 1
+        #: Virtual spatial shape the sweeps/tiles/kernels operate on.
+        self._vspatial = (self.grid.shape if self.batch is None
+                          else (self.batch, *self.grid.shape))
+        if self.batch is not None:
+            if self.config.geometry != "cartesian":
+                raise ConfigurationError(
+                    "batched (ensemble) RHS supports cartesian geometry only")
+            if self.config.viscosity is not None:
+                raise ConfigurationError(
+                    "batched (ensemble) RHS does not support viscosity yet")
+            if not self.use_workspace:
+                raise ConfigurationError(
+                    "batched (ensemble) RHS requires use_workspace=True")
         self._ng = halo_width(self.config.weno_order)
         validate_weno_variant(self.weno_variant)
         validate_riemann_variant(self.riemann_variant)
@@ -213,9 +242,13 @@ class RHS:
         #: the strided engine and whenever there is no workspace to own
         #: the transposed scratch.
         if self.use_workspace:
-            self._transposed_axes = plan_transposed_axes(
-                self.sweep_layout, self.layout.nvars, self.grid.shape,
-                self.config.weno_order, device=self._device)
+            # Planned on the *physical* spatial shape (the batch axis is
+            # never a transpose candidate), then shifted into virtual
+            # axis indices.
+            self._transposed_axes = frozenset(
+                d + self._nb for d in plan_transposed_axes(
+                    self.sweep_layout, self.layout.nvars, self.grid.shape,
+                    self.config.weno_order, device=self._device))
         else:
             self._transposed_axes = frozenset()
         #: Per-sweep data-movement tallies (strided vs. contiguous
@@ -232,7 +265,8 @@ class RHS:
                                           transposed_axes=self._transposed_axes,
                                           weno_variant=self.weno_variant,
                                           weno_order=self.config.weno_order,
-                                          fusion=self._fused)
+                                          fusion=self._fused,
+                                          batch=self.batch)
                           if self.use_workspace else None)
         if (not isinstance(self.threads, int) or isinstance(self.threads, bool)
                 or self.threads < 1):
@@ -252,7 +286,7 @@ class RHS:
             from repro.acc.gang import GangExecutor
 
             self.executor = GangExecutor(self.threads)
-            spatial = self.grid.shape
+            spatial = self._vspatial
             if not self._fused:
                 self._tiles = self._plan_tiles(spatial[0])
                 for d in sorted(self._transposed_axes):
@@ -292,8 +326,8 @@ class RHS:
 
         self._tile_spans = tile_spans
         self.fusion_backend = select_backend(None)
-        spatial = self.grid.shape
-        ndim = self.layout.ndim
+        spatial = self._vspatial
+        ndim = len(spatial)
         cells = 1
         for n in spatial:
             cells *= n
@@ -301,7 +335,7 @@ class RHS:
                                          self._riemann)
         device = (self._device if self._device is not None
                   else default_host_device())
-        for d in range(ndim):
+        for d in range(self._nb, ndim):
             kind = "transposed" if d in self._transposed_axes else "strided"
             stages = sweep_stage_graph(
                 ndim=ndim, nvars=self.layout.nvars, spatial=spatial, d=d,
@@ -313,7 +347,8 @@ class RHS:
                 weno_variant=self.weno_variant,
                 riemann_solver=self.config.riemann_solver,
                 riemann_variant=self.riemann_variant,
-                dtype=np.dtype(DTYPE).name, backend=self.fusion_backend)
+                dtype=np.dtype(DTYPE).name, backend=self.fusion_backend,
+                batch=self.batch is not None)
             self._fused_kernels[d] = (spec, fused_kernel(spec), region)
             if kind == "transposed":
                 extent = spatial[1] if d == 0 else spatial[0]
@@ -357,8 +392,9 @@ class RHS:
         from repro.acc.directives import Clause, LoopDirective, ParallelLoopNest
         from repro.hardware.devices import default_host_device
 
-        spatial = self.grid.shape
-        names = ("x", "y", "z")
+        spatial = self._vspatial
+        # Virtual 4D nests (batched 3D sweeps) get a leading batch loop.
+        names = (("b", "x", "y", "z") if self._nb else ("x", "y", "z"))
         loops = [LoopDirective(names[0], spatial[0],
                                frozenset({Clause.GANG, Clause.VECTOR}),
                                collapse=len(spatial))]
@@ -446,23 +482,28 @@ class RHS:
         # The tiled backend and the transposed engine both need the
         # workspace buffers (per-thread scratch, disjoint-write arenas,
         # transposed scratch); off-grid fallbacks run serial strided.
+        # Virtual direction d sweeps array axis d+1; the physical
+        # direction (momentum component, BC axis, width field) is
+        # d - nb, where nb is the leading batch-axis count.
         tiled = ws is not None and self.executor is not None
-        for d in range(layout.ndim):
+        # A batched RHS may still be handed a single-case field (e.g. a
+        # validation probe); the array rank says which shape arrived.
+        nb = 1 if (self._nb and prim.ndim == layout.ndim + 2) else 0
+        for d in range(nb, nb + layout.ndim):
+            w = widths[d - nb]
             if ws is not None and self._fused:
-                self._accumulate_direction_fused(prim, d, widths[d], dqdt,
-                                                 divu, ws)
+                self._accumulate_direction_fused(prim, d, w, dqdt, divu, ws)
             elif ws is not None and d in self._transposed_axes:
                 if tiled:
                     self._accumulate_direction_transposed_tiled(
-                        prim, d, widths[d], dqdt, divu, ws)
+                        prim, d, w, dqdt, divu, ws)
                 else:
                     self._accumulate_direction_transposed(
-                        prim, d, widths[d], dqdt, divu, ws)
+                        prim, d, w, dqdt, divu, ws)
             elif tiled:
-                self._accumulate_direction_tiled(prim, d, widths[d], dqdt,
-                                                 divu, ws)
+                self._accumulate_direction_tiled(prim, d, w, dqdt, divu, ws)
             else:
-                self._accumulate_direction(prim, d, widths[d], dqdt, divu, ws)
+                self._accumulate_direction(prim, d, w, dqdt, divu, ws)
 
         if self._radius is not None:
             apply_axisymmetric_terms(layout, prim, q, self._radius, dqdt, divu)
@@ -495,7 +536,8 @@ class RHS:
         tiles compose exactly.
         """
         layout, sw = self.layout, self.stopwatch
-        lo_bc, hi_bc = self.bcs.per_axis[d]
+        pd = d - (prim.ndim - layout.ndim - 1)  # physical direction
+        lo_bc, hi_bc = self.bcs.per_axis[pd]
         spec, kern, region = self._fused_kernels[d]
         ctx = self._fusion_ctx
         tiles = self._tiles_f[d]
@@ -559,7 +601,7 @@ class RHS:
         face_bytes = layout.nvars * face_cells * itemsize
         if spec.kind == "strided":
             self.sweep_counters.record_strided(
-                2 * face_bytes, contiguous=(d == layout.ndim - 1),
+                2 * face_bytes, contiguous=(pd == layout.ndim - 1),
                 weno_passes=self._weno_sweep_passes)
         else:
             self.sweep_counters.record_transposed(
@@ -576,7 +618,8 @@ class RHS:
                               dqdt: np.ndarray, divu: np.ndarray,
                               ws: SolverWorkspace | None = None) -> None:
         layout, ng, sw = self.layout, self._ng, self.stopwatch
-        lo, hi = self.bcs.per_axis[d]
+        pd = d - (prim.ndim - layout.ndim - 1)  # physical direction
+        lo, hi = self.bcs.per_axis[pd]
 
         def timed(name):
             return sw.time(name) if sw is not None else _NullCtx()
@@ -584,7 +627,8 @@ class RHS:
         with timed("packing"):
             padded = pad_axis(prim, d, ng,
                               out=ws.padded[d] if ws is not None else None)
-            fill_axis_ghosts(padded, layout, d, ng, lo, hi)
+            fill_axis_ghosts(padded, layout, d, ng, lo, hi,
+                             normal_direction=pd)
 
         with timed("weno"):
             if ws is not None:
@@ -601,11 +645,11 @@ class RHS:
 
         with timed("riemann"):
             if ws is not None:
-                flux, u_face = self._riemann(layout, self.mixture, v_l, v_r, d,
+                flux, u_face = self._riemann(layout, self.mixture, v_l, v_r, pd,
                                              out=ws.flux[d], out_u=ws.u_face[d],
                                              scratch=ws.riemann_scratch[d])
             else:
-                flux, u_face = self._riemann(layout, self.mixture, v_l, v_r, d)
+                flux, u_face = self._riemann(layout, self.mixture, v_l, v_r, pd)
 
         with timed("other"):
             # dq/dt += (F_{i-1/2} - F_{i+1/2}) / dx = -diff(F)/dx.
@@ -619,7 +663,7 @@ class RHS:
                 divu += np.diff(u_face, axis=d) / width
 
         self.sweep_counters.record_strided(
-            v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1),
+            v_l.nbytes + v_r.nbytes, contiguous=(pd == layout.ndim - 1),
             weno_passes=self._weno_sweep_passes)
 
     # ------------------------------------------------------------------
@@ -644,7 +688,8 @@ class RHS:
         runs fused in a single launch.
         """
         layout, ng, sw, ex = self.layout, self._ng, self.stopwatch, self.executor
-        lo_bc, hi_bc = self.bcs.per_axis[d]
+        pd = d - (prim.ndim - layout.ndim - 1)  # physical direction
+        lo_bc, hi_bc = self.bcs.per_axis[pd]
         order = self.config.weno_order
         padded, v_l, v_r = ws.padded[d], ws.face_l[d], ws.face_r[d]
         flux, u_face = ws.flux[d], ws.u_face[d]
@@ -710,7 +755,8 @@ class RHS:
             s = (slice(None), slice(lo, hi))
             with timed("packing"):
                 pad_axis(prim[s], d, ng, out=padded[s])
-                fill_axis_ghosts(padded[s], layout, d, ng, lo_bc, hi_bc)
+                fill_axis_ghosts(padded[s], layout, d, ng, lo_bc, hi_bc,
+                                 normal_direction=pd)
             with timed("weno"):
                 tl, tr = reconstruct_faces(
                     padded[s], d + 1, order, out=(v_l[s], v_r[s]),
@@ -721,7 +767,7 @@ class RHS:
                                             tl, tr, d, ng)
             with timed("riemann"):
                 tf, tu = self._riemann(
-                    layout, self.mixture, tl, tr, d,
+                    layout, self.mixture, tl, tr, pd,
                     out=flux[s], out_u=u_face[lo:hi],
                     scratch=rscr.view((slice(None), slice(0, count))))
             with timed("other"):
@@ -733,7 +779,7 @@ class RHS:
 
         self.limited_faces += sum(ex.launch(slab, rows, tiles=tiles))
         self.sweep_counters.record_strided(
-            v_l.nbytes + v_r.nbytes, contiguous=(d == layout.ndim - 1),
+            v_l.nbytes + v_r.nbytes, contiguous=(pd == layout.ndim - 1),
             weno_passes=self._weno_sweep_passes)
 
     # ------------------------------------------------------------------
@@ -758,7 +804,8 @@ class RHS:
         bit; the transposes themselves are pure data movement.
         """
         layout, ng, sw = self.layout, self._ng, self.stopwatch
-        lo_bc, hi_bc = self.bcs.per_axis[d]
+        pd = d - (prim.ndim - layout.ndim - 1)  # physical direction
+        lo_bc, hi_bc = self.bcs.per_axis[pd]
         arr = prim.ndim
         perm = sweep_perm(arr, d + 1)
         tpad = ws.t_padded[d]
@@ -775,7 +822,7 @@ class RHS:
             # engine's one strided read), then fill ghosts contiguously.
             tpad[..., ng:ng + n] = np.transpose(prim, perm)
             fill_axis_ghosts(tpad, layout, arr - 2, ng, lo_bc, hi_bc,
-                             normal_direction=d)
+                             normal_direction=pd)
 
         with timed("weno"):
             reconstruct_faces(tpad, arr - 1, self.config.weno_order,
@@ -785,7 +832,7 @@ class RHS:
                 layout, self.mixture, tpad, tvl, tvr, arr - 2, ng)
 
         with timed("riemann"):
-            self._riemann(layout, self.mixture, tvl, tvr, d,
+            self._riemann(layout, self.mixture, tvl, tvr, pd,
                           out=tflux, out_u=tuface,
                           scratch=ws.t_riemann_scratch[d])
 
@@ -823,7 +870,8 @@ class RHS:
         including ``d == 0``.
         """
         layout, ng, sw, ex = self.layout, self._ng, self.stopwatch, self.executor
-        lo_bc, hi_bc = self.bcs.per_axis[d]
+        pd = d - (prim.ndim - layout.ndim - 1)  # physical direction
+        lo_bc, hi_bc = self.bcs.per_axis[pd]
         order = self.config.weno_order
         arr = prim.ndim
         perm = sweep_perm(arr, d + 1)
@@ -853,7 +901,7 @@ class RHS:
             with timed("packing"):
                 tpad[s][..., ng:ng + n] = tview[s]
                 fill_axis_ghosts(tpad[s], layout, arr - 2, ng, lo_bc, hi_bc,
-                                 normal_direction=d)
+                                 normal_direction=pd)
             with timed("weno"):
                 tl, tr = reconstruct_faces(
                     tpad[s], arr - 1, order, out=(tvl[s], tvr[s]),
@@ -864,7 +912,7 @@ class RHS:
                                             tl, tr, arr - 2, ng)
             with timed("riemann"):
                 tf, tu = self._riemann(
-                    layout, self.mixture, tl, tr, d,
+                    layout, self.mixture, tl, tr, pd,
                     out=tflux[s], out_u=tuface[lo:hi],
                     scratch=rscr.view((slice(None), slice(0, count))))
             with timed("packing"):

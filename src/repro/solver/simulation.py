@@ -691,6 +691,31 @@ class Simulation:
         self.recovery.restarts += 1
 
     # ------------------------------------------------------------------
+    @classmethod
+    def run_ensemble(cls, jobs, bcs, *, batch_width: int = 8,
+                     config: RHSConfig | None = None, **kwargs):
+        """March many same-shape cases through stacked batched drivers.
+
+        ``jobs`` is a list of :class:`repro.ensemble.EnsembleJob` (or
+        ``(case, t_end)`` tuples); compatible jobs are grouped into
+        batches of at most ``batch_width`` and advanced by ONE stacked
+        RHS per batch (see :mod:`repro.ensemble`), each case
+        bit-for-bit identical to its standalone run.  Remaining
+        keyword arguments are forwarded to
+        :class:`~repro.ensemble.EnsembleRunner` (``cfl``,
+        ``rk_order``, ``fixed_dt``, ``threads``, ``sweep_layout``,
+        ``fusion``, ``tuning``, ...).  Returns the
+        :class:`~repro.ensemble.EnsembleReport`.
+        """
+        from repro.ensemble import EnsembleJob, EnsembleRunner
+
+        normalized = [job if isinstance(job, EnsembleJob)
+                      else EnsembleJob(*job) for job in jobs]
+        runner = EnsembleRunner(normalized, bcs, batch_width=batch_width,
+                                config=config, **kwargs)
+        return runner.run()
+
+    # ------------------------------------------------------------------
     def grind_time_ns(self) -> float:
         """Grind time: ns per cell, per PDE, per RHS evaluation (paper's metric)."""
         if not self.history:

@@ -249,9 +249,22 @@ class SolverWorkspace:
                  dtype=DTYPE, transposed_axes: frozenset[int] | tuple = (),
                  weno_variant: str = "chained",
                  weno_order: int | None = None,
-                 fusion: bool = False) -> None:
+                 fusion: bool = False,
+                 batch: int | None = None) -> None:
         nvars = layout.nvars
-        spatial = grid.shape
+        if batch is not None and (not isinstance(batch, int)
+                                  or isinstance(batch, bool) or batch < 1):
+            raise ValueError(
+                f"batch must be a positive integer or None, got {batch!r}")
+        #: Ensemble batch width, or ``None`` for a single-case arena.
+        #: Batched arenas are shaped for the stacked state
+        #: ``(nvars, batch, *grid.shape)`` — the batch axis behaves as a
+        #: leading *virtual spatial axis* that is never swept, so every
+        #: per-direction buffer list carries a placeholder at index 0 to
+        #: keep virtual-direction indexing aligned.
+        self.batch = batch
+        self._nb = 0 if batch is None else 1
+        spatial = grid.shape if batch is None else (batch, *grid.shape)
         ndim = len(spatial)
         self.shape = (nvars, *spatial)
         self.dtype = np.dtype(dtype)
@@ -318,6 +331,17 @@ class SolverWorkspace:
             self._face_shapes.append(fshape)
             if self.fusion:
                 continue
+            if d < self._nb:
+                # Batch axis: never swept, so no pipeline buffers —
+                # placeholders keep virtual-direction indexing aligned.
+                self.padded.append(None)
+                self.face_l.append(None)
+                self.face_r.append(None)
+                self.flux.append(None)
+                self.u_face.append(None)
+                self.weno_scratch.append(())
+                self.riemann_scratch.append(None)
+                continue
             self.padded.append(new(pshape))
             self.face_l.append(new(fshape))
             self.face_r.append(new(fshape))
@@ -342,8 +366,10 @@ class SolverWorkspace:
         self.t_u_face: dict[int, np.ndarray] = {}
         self.t_riemann_scratch: dict[int, RiemannScratch] = {}
         for d in sorted(self.transposed_axes):
-            if not 0 <= d < ndim:
-                raise ValueError(f"transposed axis {d} outside {ndim} dims")
+            if not self._nb <= d < ndim:
+                raise ValueError(
+                    f"transposed axis {d} outside sweepable virtual axes "
+                    f"[{self._nb}, {ndim})")
             if self.fusion:
                 continue
             tface = self._weno_shapes[d]
@@ -446,11 +472,11 @@ class SolverWorkspace:
             yield self.div_scratch
             yield self.divu_scratch
         yield from self.rk_stage
-        yield from self.padded
-        yield from self.face_l
-        yield from self.face_r
-        yield from self.flux
-        yield from self.u_face
+        for group in (self.padded, self.face_l, self.face_r,
+                      self.flux, self.u_face):
+            for arr in group:
+                if arr is not None:  # batch-axis placeholder
+                    yield arr
         for buffers in (self.t_padded, self.t_face_l, self.t_face_r,
                         self.t_flux, self.t_u_face):
             yield from buffers.values()
@@ -460,6 +486,8 @@ class SolverWorkspace:
         for group in self.weno_scratch:
             yield from group
         for rs in self.riemann_scratch:
+            if rs is None:  # batch-axis placeholder
+                continue
             for name in RiemannScratch.__slots__:
                 yield getattr(rs, name)
         for _, weno, rs in list(self._thread_scratch.values()):

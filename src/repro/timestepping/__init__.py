@@ -1,6 +1,12 @@
 """Explicit time integration: SSP Runge-Kutta and CFL-based step control."""
 
-from repro.timestepping.cfl import cfl_dt, max_wave_speed
+from repro.timestepping.cfl import (
+    cfl_dt,
+    cfl_dts,
+    max_wave_speed,
+    max_wave_speeds,
+)
 from repro.timestepping.ssp_rk import SSP_SCHEMES, ssp_rk_step
 
-__all__ = ["cfl_dt", "max_wave_speed", "SSP_SCHEMES", "ssp_rk_step"]
+__all__ = ["cfl_dt", "cfl_dts", "max_wave_speed", "max_wave_speeds",
+           "SSP_SCHEMES", "ssp_rk_step"]

@@ -54,7 +54,15 @@ def ssp_rk_step(rhs: Callable[[np.ndarray], np.ndarray], q: np.ndarray,
     :class:`~repro.solver.rhs.RHS` does); ``prim0``, when given, is the
     precomputed primitive field of ``q`` forwarded to the first stage so
     the driver's dt computation and stage one share a single
-    ``cons_to_prim``.  With a :class:`~repro.acc.gang.GangExecutor` the
+    ``cons_to_prim``.
+
+    ``dt`` may be a scalar or an array broadcastable against ``q``'s
+    trailing axes — the ensemble engine passes a per-case dt field of
+    shape ``(B, 1, ...)`` against batch-stacked ``(nvars, B, *grid)``
+    states, so the broadcast multiply applies each case's scalar dt to
+    exactly that case's slab, bitwise as in a standalone step.
+
+    With a :class:`~repro.acc.gang.GangExecutor` the
     Shu-Osher axpy combinations additionally run tiled along the
     slowest spatial axis (elementwise ops on disjoint row slabs).  All
     paths are bitwise identical.
@@ -104,14 +112,19 @@ def _axpy_stage_tiled(executor, q_n, q_k, L, out, tmp, a, b, cdt) -> None:
 
     Each tile runs the serial path's five ufunc evaluations on its own
     row slab (disjoint writes to ``out`` and ``tmp``), so the result is
-    bitwise identical to the whole-array combination.
+    bitwise identical to the whole-array combination.  A per-case dt
+    field (ensemble runs; leading axis = batch = the tiled axis) is
+    sliced to the slab so the broadcast stays aligned.
     """
+    vec = isinstance(cdt, np.ndarray) and cdt.ndim > 0
+
     def stage(lo, hi):
         s = (slice(None), slice(lo, hi))
+        cw = cdt[lo:hi] if vec else cdt
         np.multiply(q_k[s], b, out=tmp[s])
         np.multiply(q_n[s], a, out=out[s])
         np.add(out[s], tmp[s], out=out[s])
-        np.multiply(L[s], cdt, out=tmp[s])
+        np.multiply(L[s], cw, out=tmp[s])
         np.add(out[s], tmp[s], out=out[s])
 
     executor.launch(stage, q_n.shape[1])

@@ -71,13 +71,17 @@ class Autotuner:
     # ------------------------------------------------------------------
     def plan_for(self, layout, mixture, grid, bcs, config, q, *,
                  threads: int = 1, sweep_layout: str = "strided",
-                 dtype=DTYPE) -> TuningPlan:
+                 dtype=DTYPE, batch: int | None = None) -> TuningPlan:
         """The plan to run this case with on this host.
 
         Cache hit → the stored plan (``source="cache"``), zero timing
         runs.  Miss → measure, store, return (``source="tuned"``).
+
+        ``batch`` tunes (and keys) the ensemble-stacked RHS instead of
+        the single-case one; ``q`` must then be the stacked state
+        ``(nvars, batch, *grid.shape)``.
         """
-        sig = case_signature(layout, grid, config, dtype)
+        sig = case_signature(layout, grid, config, dtype, batch=batch)
         fp = host_fingerprint(self.device)
         key = plan_cache_key(sig, fp)
         if self.cache is not None:
@@ -85,7 +89,8 @@ class Autotuner:
             if cached is not None:
                 return replace(cached, source="cache")
         plan = self.measure(layout, mixture, grid, bcs, config, q,
-                            threads=threads, sweep_layout=sweep_layout)
+                            threads=threads, sweep_layout=sweep_layout,
+                            batch=batch)
         if self.cache is not None:
             self.cache.store(key, plan)
         return plan
@@ -93,7 +98,8 @@ class Autotuner:
     # ------------------------------------------------------------------
     def measure(self, layout, mixture, grid, bcs, config, q, *,
                 threads: int = 1,
-                sweep_layout: str = "strided") -> TuningPlan:
+                sweep_layout: str = "strided",
+                batch: int | None = None) -> TuningPlan:
         """Benchmark every candidate plan; return the fastest valid one.
 
         Every candidate's output is compared bitwise against the
@@ -104,7 +110,7 @@ class Autotuner:
         """
         import os
 
-        reference = RHS(layout, mixture, grid, bcs, config)
+        reference = RHS(layout, mixture, grid, bcs, config, batch=batch)
         out = np.empty_like(q)
         expected = reference(q).tobytes()
         self.timing_runs += 1
@@ -123,7 +129,8 @@ class Autotuner:
                       weno_variant=cand["weno_variant"],
                       riemann_variant=cand["riemann_variant"],
                       tiles=cand["tiles"],
-                      fusion=cand.get("fusion", "off"))
+                      fusion=cand.get("fusion", "off"),
+                      batch=batch)
             try:
                 rhs(q, out=out)
                 self.timing_runs += 1

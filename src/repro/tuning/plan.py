@@ -124,15 +124,26 @@ class TuningPlan:
 
 
 # ----------------------------------------------------------------------
-def case_signature(layout, grid, config, dtype=DTYPE) -> dict:
-    """What the problem looks like, for cache keying."""
-    return {
+def case_signature(layout, grid, config, dtype=DTYPE, *,
+                   batch: int | None = None) -> dict:
+    """What the problem looks like, for cache keying.
+
+    ``batch`` is the ensemble batch width.  It enters the signature
+    only when set, so single-case keys are unchanged from earlier
+    registry generations — but a batched plan can never silently reuse
+    (or poison) a single-case plan, because a stacked RHS has a
+    different slab geometry and therefore different winning knobs.
+    """
+    sig = {
         "grid": list(grid.shape),
         "nvars": layout.nvars,
         "weno_order": config.weno_order,
         "riemann_solver": config.riemann_solver,
         "dtype": str(np.dtype(dtype)),
     }
+    if batch is not None:
+        sig["batch"] = int(batch)
+    return sig
 
 
 def host_fingerprint(device=None) -> dict:

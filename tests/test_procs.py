@@ -23,6 +23,7 @@ from repro.cluster import (
     BlockDecomposition,
     ProcessCluster,
     RankFault,
+    SharedMemoryTransport,
     ShmArena,
 )
 from repro.common import ClusterError, ConfigurationError
@@ -229,6 +230,78 @@ class TestRankFaultRestart:
 
 
 class TestShmArena:
+    def test_red_width_sizes_reduction_slots(self):
+        decomp = BlockDecomposition.balanced((10, 8), 2)
+        arena = ShmArena(decomp, nvars=3, ng=2, red_width=4)
+        try:
+            assert arena.red_width == 4
+            assert arena.view("slots").shape == (2, 4)
+        finally:
+            arena.destroy()
+        default = ShmArena(decomp, nvars=3, ng=2)
+        try:
+            assert default.view("slots").shape == (2, 1)
+        finally:
+            default.destroy()
+
+    def test_red_width_validated(self):
+        decomp = BlockDecomposition.balanced((10, 8), 2)
+        for bad in (0, -1, 2.0, True):
+            with pytest.raises(ConfigurationError):
+                ShmArena(decomp, nvars=3, ng=2, red_width=bad)
+
+    def test_vector_reduce_max_round_trip(self):
+        # An ensemble carries a per-case dt vector through one
+        # reduction round; the result must be the elementwise max
+        # over ranks, identical on every rank.
+        decomp = BlockDecomposition.balanced((16,), 2)
+        arena = ShmArena(decomp, nvars=3, ng=2, red_width=3)
+        try:
+            t0 = SharedMemoryTransport(arena, 0, timeout=5.0)
+            t1 = SharedMemoryTransport(arena, 1, timeout=5.0)
+            t0.reduce_max_begin(np.array([1.0, 5.0, 2.0]))
+            t1.reduce_max_begin(np.array([4.0, 0.5, 2.5]))
+            r0 = t0.reduce_max_finish()
+            r1 = t1.reduce_max_finish()
+            np.testing.assert_array_equal(r0, [4.0, 5.0, 2.5])
+            np.testing.assert_array_equal(r1, r0)
+        finally:
+            arena.destroy()
+
+    def test_scalar_broadcast_into_vector_slots(self):
+        # A scalar contribution (e.g. a rank with no ensemble payload)
+        # broadcasts across the slot row.
+        decomp = BlockDecomposition.balanced((16,), 2)
+        arena = ShmArena(decomp, nvars=3, ng=2, red_width=2)
+        try:
+            t0 = SharedMemoryTransport(arena, 0, timeout=5.0)
+            t1 = SharedMemoryTransport(arena, 1, timeout=5.0)
+            t0.reduce_max_begin(3.0)
+            t1.reduce_max_begin(np.array([1.0, 7.0]))
+            np.testing.assert_array_equal(t0.reduce_max_finish(),
+                                          [3.0, 7.0])
+            np.testing.assert_array_equal(t1.reduce_max_finish(),
+                                          [3.0, 7.0])
+        finally:
+            arena.destroy()
+
+    def test_width_one_still_returns_float(self):
+        # The historical scalar contract: width-1 arenas return a bare
+        # float, so existing cluster dt logic is untouched.
+        decomp = BlockDecomposition.balanced((16,), 2)
+        arena = ShmArena(decomp, nvars=3, ng=2)
+        try:
+            t0 = SharedMemoryTransport(arena, 0, timeout=5.0)
+            t1 = SharedMemoryTransport(arena, 1, timeout=5.0)
+            t0.reduce_max_begin(2.0)
+            t1.reduce_max_begin(6.0)
+            out = t0.reduce_max_finish()
+            assert isinstance(out, float)
+            assert out == 6.0
+            assert t1.reduce_max_finish() == 6.0
+        finally:
+            arena.destroy()
+
     def test_blocks_map_decomposition(self):
         decomp = BlockDecomposition.balanced((10, 8), 4)
         arena = ShmArena(decomp, nvars=5, ng=3)

@@ -7,7 +7,14 @@ from repro.common import ConfigurationError, NumericsError
 from repro.eos import Mixture, StiffenedGas
 from repro.grid import StructuredGrid
 from repro.state import StateLayout, prim_to_cons
-from repro.timestepping import SSP_SCHEMES, cfl_dt, max_wave_speed, ssp_rk_step
+from repro.timestepping import (
+    SSP_SCHEMES,
+    cfl_dt,
+    cfl_dts,
+    max_wave_speed,
+    max_wave_speeds,
+    ssp_rk_step,
+)
 from repro.validation import observed_order
 
 AIR = StiffenedGas(1.4)
@@ -118,3 +125,44 @@ class TestCFL:
         dt_u = cfl_dt(self.lay, self.mix, prim, self.grid, 0.5)
         dt_s = cfl_dt(self.lay, self.mix, prim, grid_s, 0.5)
         assert dt_s < dt_u
+
+
+class TestBatchedCFL:
+    """The batch-vectorised reduction replays the scalar one per case."""
+
+    def setup_method(self):
+        self.lay = StateLayout(ncomp=2, ndim=1)
+        self.mix = Mixture((AIR, AIR))
+        self.grid = StructuredGrid.uniform(((0.0, 1.0),), (10,))
+
+    def make_prim(self, u=0.0, p=1.0, rho=1.0):
+        prim = np.empty((self.lay.nvars, 10))
+        prim[self.lay.partial_densities] = rho / 2.0
+        prim[self.lay.velocity] = u
+        prim[self.lay.pressure] = p
+        prim[self.lay.advected] = 0.5
+        return prim
+
+    def test_vector_matches_scalar_bitwise(self):
+        prims = [self.make_prim(u=u, p=p)
+                 for u, p in ((0.0, 1.0), (3.0, 2.0), (-1.5, 0.7))]
+        stacked = np.stack(prims, axis=1)
+        rates = max_wave_speeds(self.lay, self.mix, stacked, self.grid)
+        dts = cfl_dts(self.lay, self.mix, stacked, self.grid, 0.5)
+        assert rates.shape == dts.shape == (3,)
+        for i, prim in enumerate(prims):
+            assert rates[i] == max_wave_speed(self.lay, self.mix, prim,
+                                              self.grid)
+            assert dts[i] == cfl_dt(self.lay, self.mix, prim, self.grid, 0.5)
+
+    def test_error_names_the_bad_case(self):
+        prims = [self.make_prim(), self.make_prim()]
+        prims[1][self.lay.pressure] = np.nan
+        stacked = np.stack(prims, axis=1)
+        with pytest.raises(NumericsError, match="case 1"):
+            cfl_dts(self.lay, self.mix, stacked, self.grid, 0.5)
+
+    def test_cfl_range_enforced(self):
+        stacked = np.stack([self.make_prim()], axis=1)
+        with pytest.raises(NumericsError):
+            cfl_dts(self.lay, self.mix, stacked, self.grid, 0.0)

@@ -124,6 +124,23 @@ class TestCacheKey:
                             REGISTRY_VERSION + "-stale")
         assert plan_cache_key(sig, fp) != base
 
+    def test_batched_signature_never_reuses_single_case_plans(self):
+        # The ensemble batch width enters the signature, so a stacked
+        # plan can neither reuse nor poison a single-case cache entry —
+        # and every width keys separately.
+        sim = bubble_sim(10)
+        config = RHSConfig()
+        single = case_signature(sim.layout, sim.rhs.grid, config)
+        assert "batch" not in single  # pre-ensemble keys are unchanged
+        fp = host_fingerprint()
+        keys = {plan_cache_key(single, fp)}
+        for width in (1, 4, 8):
+            batched = case_signature(sim.layout, sim.rhs.grid, config,
+                                     batch=width)
+            assert batched["batch"] == width
+            keys.add(plan_cache_key(batched, fp))
+        assert len(keys) == 4  # single-case + one per width, all distinct
+
 
 # ----------------------------------------------------------------------
 class TestCandidatePlans:
