@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-thread test-fault test-procs test-ensemble bench bench-rhs bench-layout bench-tuned bench-fused bench-cluster bench-ensemble tune examples artifacts clean
+.PHONY: install test test-thread test-fault test-procs test-ensemble test-chaos bench bench-rhs bench-layout bench-tuned bench-fused bench-cluster bench-ensemble tune examples artifacts clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -29,6 +29,14 @@ test-procs:
 # grouping, allocation budget.
 test-ensemble:
 	$(PYTHON) -m pytest tests/ -m ensemble
+
+# Chaos-recovery suite for the durable ensemble service: seeded worker
+# SIGKILLs, ledger/checkpoint corruption, poison-job quarantine, and
+# kill-at-every-append resume (the faults + ensemble markers) —
+# time-boxed because a regression here can leave supervised workers
+# hanging instead of failing.
+test-chaos:
+	timeout 600 $(PYTHON) -m pytest tests/ -m "faults or ensemble" -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

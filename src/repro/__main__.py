@@ -135,9 +135,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_ensemble(args: argparse.Namespace) -> int:
     from repro.ensemble import EnsembleRunner
-    from repro.io.case_files import load_ensemble
+    from repro.io.case_files import load_ensemble_spec
 
-    jobs, batch_width, solver_options = load_ensemble(args.spec)
+    jobs, batch_width, solver_options, service = load_ensemble_spec(args.spec)
     if args.batch_width is not None:
         batch_width = args.batch_width
     # CLI flags override the spec's "solver" section, as in `run`.
@@ -162,12 +162,42 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
         "reflective": BoundarySet.all_reflective,
         "extrapolation": BoundarySet.all_extrapolation,
     }[args.bc](ndim)
-    runner = EnsembleRunner(
-        jobs, bcs, batch_width=batch_width,
-        config=RHSConfig(weno_order=args.weno, riemann_solver=args.riemann,
-                         geometry=args.geometry),
-        cfl=args.cfl, threads=threads, sweep_layout=layout, fusion=fusion,
-        tuning=tuning, tuning_cache=tuning_cache)
+    # CLI service flags override (or create) the spec's service section.
+    if args.ledger is not None:
+        service["ledger"] = args.ledger
+    if args.checkpoint_dir is not None:
+        service["checkpoint_dir"] = args.checkpoint_dir
+    if args.results_dir is not None:
+        service["results_dir"] = args.results_dir
+    if args.max_attempts is not None:
+        service["max_attempts"] = args.max_attempts
+    if args.deadline is not None:
+        service["deadline_seconds"] = args.deadline
+    if args.checkpoint_every is not None:
+        service["checkpoint_every"] = args.checkpoint_every
+    if args.no_supervise:
+        service["supervise"] = False
+    if service and "ledger" not in service:
+        print("ensemble: durable-service flags need --ledger "
+              "(or a spec 'service' section)", file=sys.stderr)
+        return 2
+    config = RHSConfig(weno_order=args.weno, riemann_solver=args.riemann,
+                       geometry=args.geometry)
+    engine = dict(cfl=args.cfl, threads=threads, sweep_layout=layout,
+                  fusion=fusion, tuning=tuning, tuning_cache=tuning_cache)
+    if service:
+        from repro.ensemble import EnsembleService
+
+        svc = EnsembleService(jobs, bcs, batch_width=batch_width,
+                              config=config, **engine, **service)
+        print(f"ensemble service: {len(jobs)} jobs, width <= {batch_width}, "
+              f"ledger {svc.ledger.path}"
+              + (" (resuming)" if svc.ledger.exists() else ""))
+        report = svc.run()
+        print(report.summary())
+        return 0 if all(j.status == "done" for j in report.jobs) else 1
+    runner = EnsembleRunner(jobs, bcs, batch_width=batch_width,
+                            config=config, **engine)
     plan = runner.plan_batches()
     print(f"ensemble: {len(jobs)} jobs in {len(plan)} batch(es), "
           f"width <= {batch_width}, WENO{args.weno} + {args.riemann.upper()}"
@@ -350,6 +380,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="autotune the stacked RHS per batch signature "
                           "(cached; later same-shape batches replay the plan)")
     ens.add_argument("--tuning-cache", default=None)
+    ens.add_argument("--ledger", default=None,
+                     help="write-ahead ledger path: run as a durable, "
+                          "crash-tolerant job service (resumes if the "
+                          "ledger exists; see docs/ensemble.md)")
+    ens.add_argument("--checkpoint-dir", default=None,
+                     help="per-job restart checkpoints (default: "
+                          "'checkpoints' beside the ledger)")
+    ens.add_argument("--results-dir", default=None,
+                     help="final result snapshots (default: 'results' "
+                          "beside the ledger)")
+    ens.add_argument("--max-attempts", type=int, default=None,
+                     help="failures per job before quarantine (default 3)")
+    ens.add_argument("--deadline", type=float, default=None,
+                     help="no-progress deadline per batch attempt, "
+                          "seconds (default 60)")
+    ens.add_argument("--checkpoint-every", type=int, default=None,
+                     help="stacked steps between per-job checkpoints "
+                          "(default 5)")
+    ens.add_argument("--no-supervise", action="store_true",
+                     help="run batches in-process instead of supervised "
+                          "children (debugging; no SIGKILL protection)")
     ens.set_defaults(func=_cmd_ensemble)
 
     tune = sub.add_parser("tune",

@@ -13,6 +13,7 @@ from repro.cluster.procs import (
     RankFault,
     SharedMemoryTransport,
     ShmArena,
+    drain_and_join,
 )
 from repro.cluster.events import Event, EventSimulator, StepTimeline
 from repro.cluster.placement import Placement, best_policy, intra_node_fraction
@@ -45,6 +46,7 @@ __all__ = [
     "RankFault",
     "SharedMemoryTransport",
     "ShmArena",
+    "drain_and_join",
     "Event",
     "EventSimulator",
     "StepTimeline",

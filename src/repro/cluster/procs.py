@@ -543,6 +543,80 @@ def _worker(arena: ShmArena, rank: int, grid: StructuredGrid,
         os._exit(1)
 
 
+# ----------------------------------------------------------------------
+def drain_and_join(
+    procs, pipes, beat, grace: float, *, wall_deadline: float | None = None,
+) -> tuple[list[dict] | None, tuple[int, int] | None]:
+    """Wait for every worker, receiving results as they arrive.
+
+    Results are drained *while* joining: a worker's result can outgrow
+    the OS pipe buffer, in which case the worker blocks in ``send`` and
+    only exits once the parent has received — recv-after-join would
+    deadlock.
+
+    The no-progress deadline (``grace`` seconds) is re-armed on any
+    observed progress — an advance of the shared-memory ``beat`` array,
+    a result arriving, a worker exiting — so it bounds how long the
+    workers may sit *stuck*, never the wall time of a legitimately long
+    run.  ``wall_deadline`` (a ``time.monotonic()`` instant) optionally
+    bounds the total wait regardless of progress.  On the first failure
+    — nonzero exit, clean exit without a result, no-progress expiry
+    ``(-1, -1)``, or wall expiry ``(-1, -2)`` — the survivors are
+    terminated (they would otherwise spin until their own wait
+    deadlines) and ``(None, (index, exitcode))`` is returned; a clean
+    join returns ``(results, None)`` with results in worker order.
+
+    Shared by :class:`ProcessCluster` (per-rank heartbeats) and the
+    ensemble batch supervisor (one heartbeat per batch child).
+    """
+    last_beat = np.array(beat, copy=True)
+    deadline = time.monotonic() + grace
+    pending = dict(enumerate(procs))
+    results: dict[int, dict] = {}
+    failed = None
+    while pending and failed is None:
+        progress = False
+        for r, p in list(pending.items()):
+            conn = pipes[r]
+            if r not in results and conn.poll(0):
+                try:
+                    results[r] = conn.recv()
+                    progress = True
+                except EOFError:
+                    pass  # died before sending; exitcode handles it
+            p.join(timeout=0.02)
+            if p.exitcode is None:
+                continue
+            del pending[r]
+            progress = True
+            if r not in results and conn.poll(0):
+                try:
+                    results[r] = conn.recv()
+                except EOFError:
+                    pass
+            if p.exitcode != 0:
+                failed = (r, p.exitcode)
+            elif r not in results:
+                # Exited cleanly without reporting — unusable run.
+                failed = (r, 0)
+        if not np.array_equal(beat, last_beat):
+            np.copyto(last_beat, beat)
+            progress = True
+        if progress:
+            deadline = time.monotonic() + grace
+        elif time.monotonic() > deadline:
+            failed = (-1, -1)
+        if failed is None and wall_deadline is not None \
+                and time.monotonic() > wall_deadline:
+            failed = (-1, -2)
+    if failed is None:
+        return [results[r] for r in sorted(results)], None
+    for p in pending.values():
+        p.terminate()
+        p.join()
+    return None, failed
+
+
 @dataclass
 class ProcessCluster:
     """Multi-process executor for the 3D block decomposition.
@@ -733,69 +807,11 @@ class ProcessCluster:
     def _join_and_drain(
         self, procs, pipes, arena: ShmArena,
     ) -> tuple[list[dict] | None, tuple[int, int] | None]:
-        """Wait for every worker, receiving results as they arrive.
-
-        Results are drained *while* joining: a rank's result (rank 0's
-        carries the whole per-step history) can outgrow the OS pipe
-        buffer, in which case the worker blocks in ``send`` and only
-        exits once the parent has received — recv-after-join would
-        deadlock.
-
-        The no-progress deadline (``timeout + 60``) is re-armed on any
-        observed progress — a heartbeat advance, a result arriving, a
-        worker exiting — so it bounds how long the cluster may sit
-        *stuck*, never the wall time of a legitimately long run.  On
-        the first failure (nonzero exit, or genuine no-progress expiry)
-        the survivors are terminated (they would otherwise spin until
-        their own wait deadlines) and ``(None received, (rank,
-        exitcode))`` is returned; a clean join returns ``(results,
-        None)``.
-        """
-        beat = arena.view("beat")
-        last_beat = beat.copy()
-        grace = self.timeout + 60.0
-        deadline = time.monotonic() + grace
-        pending = dict(enumerate(procs))
-        results: dict[int, dict] = {}
-        failed = None
-        while pending and failed is None:
-            progress = False
-            for r, p in list(pending.items()):
-                conn = pipes[r]
-                if r not in results and conn.poll(0):
-                    try:
-                        results[r] = conn.recv()
-                        progress = True
-                    except EOFError:
-                        pass  # died before sending; exitcode handles it
-                p.join(timeout=0.02)
-                if p.exitcode is None:
-                    continue
-                del pending[r]
-                progress = True
-                if r not in results and conn.poll(0):
-                    try:
-                        results[r] = conn.recv()
-                    except EOFError:
-                        pass
-                if p.exitcode != 0:
-                    failed = (r, p.exitcode)
-                elif r not in results:
-                    # Exited cleanly without reporting — unusable run.
-                    failed = (r, 0)
-            if not np.array_equal(beat, last_beat):
-                np.copyto(last_beat, beat)
-                progress = True
-            if progress:
-                deadline = time.monotonic() + grace
-            elif time.monotonic() > deadline:
-                failed = (-1, -1)
-        if failed is None:
-            return [results[r] for r in sorted(results)], None
-        for p in pending.values():
-            p.terminate()
-            p.join()
-        return None, failed
+        """Wait for every worker through :func:`drain_and_join`, with
+        the arena's per-rank heartbeat words as the progress signal and
+        ``timeout + 60`` as the no-progress grace window."""
+        return drain_and_join(procs, pipes, arena.view("beat"),
+                              grace=self.timeout + 60.0)
 
     def _collect(self, arena: ShmArena, results: list[dict],
                  restarts: int) -> ClusterResult:

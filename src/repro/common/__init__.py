@@ -7,14 +7,19 @@ single source of truth; tests assert that solver outputs carry it.
 
 from repro.common.dtype import DTYPE, EPS, as_float_array, require_float
 from repro.common.errors import (
+    FAILURE_CLASSES,
     CheckpointError,
     ClusterError,
     ConfigurationError,
+    DeadlineError,
     DirectiveError,
+    InjectedCrash,
     NumericsError,
     PositivityError,
     ReproError,
     ShapeError,
+    WorkerDiedError,
+    failure_class,
 )
 from repro.common.timing import Stopwatch, WallTimer
 
@@ -27,10 +32,15 @@ __all__ = [
     "CheckpointError",
     "ClusterError",
     "ConfigurationError",
+    "DeadlineError",
     "DirectiveError",
+    "FAILURE_CLASSES",
+    "InjectedCrash",
     "NumericsError",
     "PositivityError",
     "ShapeError",
+    "WorkerDiedError",
+    "failure_class",
     "Stopwatch",
     "WallTimer",
 ]

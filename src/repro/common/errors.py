@@ -23,7 +23,16 @@ class CheckpointError(ConfigurationError):
     not match what the reader expects.  Subclasses
     :class:`ConfigurationError` so callers guarding against malformed
     restart files keep working.
+
+    ``reason`` categorises the rejection (``"crc"``, ``"truncated"``,
+    ``"magic"``, ``"version"``, ``"incompatible"``, ``"shape"``, or the
+    generic ``"corrupt"``) so recovery reports can say not just *how
+    many* checkpoints were skipped but *why*.
     """
+
+    def __init__(self, message: str = "", *, reason: str = "corrupt") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class ClusterError(ReproError):
@@ -46,3 +55,66 @@ class DirectiveError(ReproError):
     exceeding the nest depth, a ``seq`` loop also asking for ``gang``,
     or touching device data outside a data region.
     """
+
+
+class WorkerDiedError(ReproError):
+    """A supervised worker process vanished without reporting a result.
+
+    Raised (or recorded) by batch supervisors when a child exits with a
+    nonzero code, is killed by a signal, or exits cleanly without
+    sending its result — the process-death half of the transient
+    failure class.
+    """
+
+
+class DeadlineError(ReproError):
+    """A supervised worker blew its no-progress or wall-clock deadline.
+
+    The heartbeat-watching parent declares the worker stuck (no
+    heartbeat advance, no result, no exit within the grace window) or
+    over its wall budget, terminates it, and records this — the
+    timeout half of the transient failure class.
+    """
+
+
+class InjectedCrash(ReproError):
+    """A deterministic test-only crash fired (simulated process death).
+
+    Raised by crash hooks such as
+    :attr:`repro.ensemble.ledger.JobLedger.fail_after_appends` to
+    simulate the *service process itself* dying at an exact point.
+    Recovery machinery must never catch this — it stands in for
+    SIGKILL, which cannot be caught either.
+    """
+
+
+#: Failure classes for the job-service taxonomy.
+FAILURE_CLASSES = ("transient", "permanent")
+
+#: Error types that are *permanent*: retrying replays the same
+#: deterministic failure (an invalid spec, or a divergence that already
+#: exhausted the in-step retry/escalation ladder).  Everything else —
+#: worker death, deadlines, I/O hiccups — is presumed transient.
+_PERMANENT_TYPES = (ConfigurationError, ShapeError, NumericsError)
+
+#: Transient types listed explicitly (``CheckpointError`` subclasses
+#: ``ConfigurationError`` but a corrupt checkpoint is recoverable: the
+#: reader falls back or restarts from scratch).
+_TRANSIENT_TYPES = (CheckpointError, WorkerDiedError, DeadlineError,
+                    ClusterError, OSError)
+
+
+def failure_class(err: BaseException) -> str:
+    """Classify an exception as ``"transient"`` or ``"permanent"``.
+
+    Transient failures (worker death, timeout, I/O) are worth a bounded
+    retry — the same job may well succeed on clean hardware.  Permanent
+    failures (bad spec, divergence with the retry ladder exhausted) are
+    deterministic: retrying burns cycles to reproduce the same error,
+    so the service quarantines the job instead.
+    """
+    if isinstance(err, _TRANSIENT_TYPES):
+        return "transient"
+    if isinstance(err, _PERMANENT_TYPES):
+        return "permanent"
+    return "transient"

@@ -1,26 +1,42 @@
 """Batched ensemble execution: one stacked RHS for N concurrent cases.
 
-See :mod:`repro.ensemble.simulation` for the bitwise contract and
-:mod:`repro.ensemble.runner` for the signature-grouping scheduler.
+See :mod:`repro.ensemble.simulation` for the bitwise contract,
+:mod:`repro.ensemble.runner` for the signature-grouping scheduler, and
+:mod:`repro.ensemble.service` for the durable, crash-tolerant job
+service (write-ahead ledger, supervised batches, retry/quarantine).
 """
 
+from repro.ensemble.ledger import JobLedger, LedgerReplay, job_table
 from repro.ensemble.runner import (
     BatchRecord,
     EnsembleJob,
     EnsembleReport,
     EnsembleRunner,
     batch_signature,
+    plan_job_batches,
 )
+from repro.ensemble.service import EnsembleService, JobOutcome, ServiceReport
 from repro.ensemble.simulation import EnsembleCaseResult, EnsembleSimulation
 from repro.ensemble.state import EnsembleState
+from repro.ensemble.supervisor import BatchSpec, BatchSupervisor, execute_batch
 
 __all__ = [
     "BatchRecord",
+    "BatchSpec",
+    "BatchSupervisor",
     "EnsembleCaseResult",
     "EnsembleJob",
     "EnsembleReport",
     "EnsembleRunner",
+    "EnsembleService",
     "EnsembleSimulation",
     "EnsembleState",
+    "JobLedger",
+    "JobOutcome",
+    "LedgerReplay",
+    "ServiceReport",
     "batch_signature",
+    "execute_batch",
+    "job_table",
+    "plan_job_batches",
 ]

@@ -106,6 +106,30 @@ def batch_signature(case: Case, config: RHSConfig) -> str:
     return h.hexdigest()[:16]
 
 
+def plan_job_batches(jobs: list[EnsembleJob], config: RHSConfig,
+                     batch_width: int) -> list[tuple[str, list[int]]]:
+    """Group job indices by signature, chunked to ``batch_width``.
+
+    Order is deterministic: signatures appear in first-seen order,
+    jobs within a signature in submission order.  Shared by the
+    in-memory runner and the durable service (which re-plans over the
+    *unfinished* jobs on every scheduling round).
+    """
+    if not isinstance(batch_width, int) or isinstance(batch_width, bool) \
+            or batch_width < 1:
+        raise ConfigurationError(
+            f"batch_width must be a positive integer, got {batch_width!r}")
+    groups: dict[str, list[int]] = {}
+    for i, job in enumerate(jobs):
+        sig = batch_signature(job.case, config)
+        groups.setdefault(sig, []).append(i)
+    chunks: list[tuple[str, list[int]]] = []
+    for sig, indices in groups.items():
+        for lo in range(0, len(indices), batch_width):
+            chunks.append((sig, indices[lo:lo + batch_width]))
+    return chunks
+
+
 class EnsembleRunner:
     """Batches compatible jobs and runs them through stacked drivers.
 
@@ -148,15 +172,7 @@ class EnsembleRunner:
         Order is deterministic: signatures appear in first-seen order,
         jobs within a signature in submission order.
         """
-        groups: dict[str, list[int]] = {}
-        for i, job in enumerate(self.jobs):
-            sig = batch_signature(job.case, self.config)
-            groups.setdefault(sig, []).append(i)
-        chunks: list[tuple[str, list[int]]] = []
-        for sig, indices in groups.items():
-            for lo in range(0, len(indices), self.batch_width):
-                chunks.append((sig, indices[lo:lo + self.batch_width]))
-        return chunks
+        return plan_job_batches(self.jobs, self.config, self.batch_width)
 
     def run(self) -> EnsembleReport:
         """Execute every batch; results return in job-submission order."""

@@ -66,6 +66,11 @@ class EnsembleCaseResult:
     ``grind_time_ns`` is the per-case amortised grind — nanoseconds per
     cell per PDE per RHS evaluation, the paper's metric — computed from
     that share.
+
+    ``status`` is ``"done"`` for a case that reached its horizon and
+    ``"failed"`` for one retired by ``on_failure="retire"`` after its
+    state went unphysical; ``error`` carries the diagnostic (naming
+    the case) in the failed case.
     """
 
     index: int
@@ -75,6 +80,8 @@ class EnsembleCaseResult:
     steps: int
     wall_seconds: float
     grind_time_ns: float | None
+    status: str = "done"
+    error: str | None = None
 
 
 class EnsembleSimulation:
@@ -101,6 +108,34 @@ class EnsembleSimulation:
         single-case cache entry.
     names:
         Optional per-case labels carried into the results.
+    initial_states / initial_times / initial_steps:
+        Per-case restart seeds (state, absolute time, absolute step) —
+        how the durable service re-forms a batch from each case's
+        newest checkpoint.  A restarted case advances bit-for-bit as
+        if it had never stopped (checkpoint restart is bitwise-exact
+        and batch neighbours never perturb a case).
+    on_failure:
+        ``"raise"`` (default) aborts the batch on the first unphysical
+        case, as before.  ``"retire"`` instead retires *only* the
+        failing case — its result carries ``status="failed"`` and a
+        diagnostic naming it — and lets the survivors keep marching.
+    checkpoint_every / checkpoint_dir / checkpoint_keep /
+    checkpoint_prefixes:
+        Per-case rotating checkpoints: every ``checkpoint_every``
+        stacked steps each healthy active case is snapshotted under
+        its own prefix (default ``case<index>``) via
+        :class:`~repro.io.checkpoint.CheckpointManager`, stamped with
+        its absolute per-case step and time.
+    fault_plans:
+        ``{original case index: CellFaultPlan}`` — seeded corruption
+        applied to that case's post-step state on its absolute step
+        clock (chaos testing).
+    fault_attempt:
+        The attempt number handed to the fault plans (a transient
+        plan relents on the retry attempt, a poison plan never does).
+    step_callback:
+        Called with the simulation after every stacked step —
+        supervisor heartbeats and chaos kill switches hook in here.
     """
 
     def __init__(self, cases: list[Case], bcs: BoundarySet, *,
@@ -111,14 +146,34 @@ class EnsembleSimulation:
                  sweep_layout: str = "strided", fusion: str = "off",
                  tuning: object = "off",
                  tuning_cache: object | None = None,
-                 names: list[str] | None = None) -> None:
+                 names: list[str] | None = None,
+                 initial_states: list | None = None,
+                 initial_times: list | None = None,
+                 initial_steps: list | None = None,
+                 on_failure: str = "raise",
+                 checkpoint_every: int = 0,
+                 checkpoint_dir: object | None = None,
+                 checkpoint_keep: int = 3,
+                 checkpoint_prefixes: list[str] | None = None,
+                 fault_plans: dict | None = None,
+                 fault_attempt: int = 0,
+                 step_callback: object | None = None) -> None:
         if rk_order not in SSP_SCHEMES:
             raise ConfigurationError(f"unsupported RK order {rk_order}")
         validate_fusion(fusion)
         if check_every < 0:
             raise ConfigurationError(
                 f"check_every must be >= 0, got {check_every}")
-        self.state = EnsembleState.from_cases(cases)
+        if on_failure not in ("raise", "retire"):
+            raise ConfigurationError(
+                f"on_failure must be 'raise' or 'retire', got {on_failure!r}")
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if checkpoint_every and checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_dir")
+        self.state = EnsembleState.from_cases(cases, initial=initial_states)
         self.layout = self.state.layout
         self.mixture = self.state.mixture
         self.grid = self.state.grid
@@ -157,10 +212,44 @@ class EnsembleSimulation:
             self.fusion = plan.fusion
         self.rhs = self._build_rhs(B)
 
-        # Per-slot clocks, aligned with state.case_index.
-        self.time = np.zeros(B, dtype=DTYPE)
-        self.steps = np.zeros(B, dtype=np.int64)
+        def _clock(values, dtype):
+            if values is None:
+                return np.zeros(B, dtype=dtype)
+            vec = np.asarray(values, dtype=dtype)
+            if vec.shape != (B,):
+                raise ConfigurationError(
+                    f"restart clock needs one entry per case; got shape "
+                    f"{vec.shape} for {B} cases")
+            return vec.copy()
+
+        # Per-slot clocks, aligned with state.case_index.  Restarted
+        # cases carry their absolute time/step so horizons, fault
+        # plans, and checkpoint stamps all see the unbroken clock.
+        self.time = _clock(initial_times, DTYPE)
+        self.steps = _clock(initial_steps, np.int64)
+        #: Steps already on the clock at construction (excluded from
+        #: this run's grind accounting).
+        self.steps0 = self.steps.copy()
         self.wall = np.zeros(B, dtype=np.float64)
+        self.on_failure = on_failure
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_keep = checkpoint_keep
+        if checkpoint_prefixes is None:
+            checkpoint_prefixes = [f"case{i}" for i in range(B)]
+        if len(checkpoint_prefixes) != B:
+            raise ConfigurationError(
+                f"{len(checkpoint_prefixes)} checkpoint prefixes for "
+                f"{B} cases")
+        self.checkpoint_prefixes = list(checkpoint_prefixes)
+        self._ckpt_managers: dict[int, object] = {}
+        self.fault_plans = dict(fault_plans) if fault_plans else {}
+        self.fault_attempt = fault_attempt
+        self.step_callback = step_callback
+        #: Cells corrupted by fault plans (chaos telemetry).
+        self.faults_injected = 0
+        #: Checkpoints written by the per-case cadence.
+        self.checkpoints_written = 0
         #: Stacked steps taken (every active case advances each one).
         self.step_count = 0
         #: Retire-and-compact events (telemetry).
@@ -265,9 +354,71 @@ class EnsembleSimulation:
         self.wall += timer.elapsed / B
         self.wall_seconds_total += timer.elapsed
         self.case_steps_total += B
+        if self.fault_plans:
+            self._inject_faults()
+        failures: dict[int, str] = {}
         if self.check_every and self.step_count % self.check_every == 0:
-            self.validate_state()
+            failures = self._failed_slots()
+        if self.checkpoint_every \
+                and self.step_count % self.checkpoint_every == 0:
+            for slot in range(B):
+                if slot not in failures:
+                    self._checkpoint_slot(slot)
+        if failures:
+            self._retire(sorted(failures), failures=failures)
+        if self.step_callback is not None:
+            self.step_callback(self)
         return dt
+
+    # ------------------------------------------------------------------
+    def _inject_faults(self) -> None:
+        """Apply per-case fault plans on each case's absolute step."""
+        for slot in range(self.batch):
+            orig = self.state.case_index[slot]
+            plan = self.fault_plans.get(orig)
+            if plan is not None:
+                self.faults_injected += plan.apply(
+                    self.state.view(slot), step=int(self.steps[slot]),
+                    attempt=self.fault_attempt)
+
+    def _failed_slots(self) -> dict[int, str]:
+        """Slots whose state went unphysical, with their diagnostics.
+
+        In ``on_failure="raise"`` mode the first bad case aborts the
+        batch (the pre-service behavior); in ``"retire"`` mode every
+        bad slot is collected so the caller can retire them together
+        and let the survivors keep marching.
+        """
+        failures: dict[int, str] = {}
+        for slot in range(self.batch):
+            diag = check_state(self.layout, self.mixture,
+                               self.state.view(slot))
+            if diag is None:
+                continue
+            orig = self.state.case_index[slot]
+            message = (f"unphysical state in ensemble case {orig} "
+                       f"({self.names[orig]!r}) at case step "
+                       f"{int(self.steps[slot])} (stacked step "
+                       f"{self.step_count}): {diag}")
+            if self.on_failure == "raise":
+                raise NumericsError(message)
+            failures[slot] = message
+        return failures
+
+    def _checkpoint_slot(self, slot: int) -> None:
+        """Rotating durable checkpoint of one case, under its prefix."""
+        from repro.io.checkpoint import CheckpointManager
+
+        orig = self.state.case_index[slot]
+        mgr = self._ckpt_managers.get(orig)
+        if mgr is None:
+            mgr = CheckpointManager(self.checkpoint_dir,
+                                    keep=self.checkpoint_keep,
+                                    prefix=self.checkpoint_prefixes[orig])
+            self._ckpt_managers[orig] = mgr
+        mgr.save(self.state.view(slot), step=int(self.steps[slot]),
+                 time=float(self.time[slot]))
+        self.checkpoints_written += 1
 
     # ------------------------------------------------------------------
     def validate_state(self) -> None:
@@ -297,6 +448,8 @@ class EnsembleSimulation:
             raise ConfigurationError("specify exactly one of t_end or n_steps")
         if n_steps is not None:
             for _ in range(n_steps):
+                if not self.batch:  # every case retired (failures)
+                    break
                 self.step()
             return self.results()
         try:
@@ -322,34 +475,44 @@ class EnsembleSimulation:
         return self.results()
 
     # ------------------------------------------------------------------
-    def _case_result(self, slot: int) -> EnsembleCaseResult:
+    def _case_result(self, slot: int, *, status: str = "done",
+                     error: str | None = None) -> EnsembleCaseResult:
         orig = self.state.case_index[slot]
         steps = int(self.steps[slot])
-        work = (self.grid.num_cells * self.layout.nvars * steps
+        run_steps = steps - int(self.steps0[slot])
+        work = (self.grid.num_cells * self.layout.nvars * run_steps
                 * len(SSP_SCHEMES[self.rk_order]))
         grind = float(self.wall[slot]) / work * 1e9 if work else None
         return EnsembleCaseResult(
             index=orig, name=self.names[orig],
             q=self.state.view(slot).copy(),
             time=float(self.time[slot]), steps=steps,
-            wall_seconds=float(self.wall[slot]), grind_time_ns=grind)
+            wall_seconds=float(self.wall[slot]), grind_time_ns=grind,
+            status=status, error=error)
 
-    def _retire(self, done: list[int]) -> None:
+    def _retire(self, done: list[int],
+                failures: dict[int, str] | None = None) -> None:
         """Record finished slots; compact survivors; rebuild the RHS.
 
-        The rebuilt RHS reuses the resolved tuning plan (fused kernels
+        ``failures`` maps retiring slots to diagnostics: those cases
+        leave with ``status="failed"`` instead of ``"done"``.  The
+        rebuilt RHS reuses the resolved tuning plan (fused kernels
         are compile-cached by spec, so a width change is cheap) and
         inherits the old engine's sweep/limiter counters so telemetry
         spans the whole run.
         """
+        failures = failures or {}
         for slot in done:
+            error = failures.get(slot)
             self._results[self.state.case_index[slot]] = \
-                self._case_result(slot)
+                self._case_result(
+                    slot, status="failed" if error else "done", error=error)
         keep = [s for s in range(self.batch) if s not in set(done)]
         old = self.rhs
         self.state.compact(keep)
         self.time = self.time[keep].copy()
         self.steps = self.steps[keep].copy()
+        self.steps0 = self.steps0[keep].copy()
         self.wall = self.wall[keep].copy()
         self.retire_events += 1
         if keep:

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.common import ConfigurationError
+from repro.common import DTYPE, ConfigurationError
 from repro.solver.case import Case
 
 
@@ -66,13 +66,19 @@ class EnsembleState:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_cases(cls, cases: list[Case]) -> "EnsembleState":
+    def from_cases(cls, cases: list[Case],
+                   initial: list[np.ndarray | None] | None = None,
+                   ) -> "EnsembleState":
         """Stack the initial conservative states of same-shape cases.
 
         All cases must share the grid (identical face coordinates) and
         the mixture — one stacked RHS advances them all, so the
         geometry and EOS must be common.  Initial conditions are free
         to differ per case; that is the point of an ensemble.
+
+        ``initial`` optionally overrides the starting state per case —
+        a restart seed from a checkpoint instead of the case's own
+        initial condition; ``None`` entries fall back to the case.
         """
         if not cases:
             raise ConfigurationError("ensemble needs at least one case")
@@ -86,7 +92,22 @@ class EnsembleState:
                 raise ConfigurationError(
                     f"ensemble case {i} has a different mixture than case 0; "
                     f"batched execution requires a common EOS")
-        fields = [case.initial_conservative() for case in cases]
+        if initial is None:
+            initial = [None] * len(cases)
+        if len(initial) != len(cases):
+            raise ConfigurationError(
+                f"{len(initial)} initial states for {len(cases)} cases")
+        fields = []
+        for case, seed in zip(cases, initial):
+            if seed is None:
+                fields.append(case.initial_conservative())
+                continue
+            expect = (case.layout.nvars, *case.grid.shape)
+            if tuple(seed.shape) != expect:
+                raise ConfigurationError(
+                    f"restart state shape {tuple(seed.shape)} does not "
+                    f"match case {expect}")
+            fields.append(np.asarray(seed, dtype=DTYPE))
         stacked = np.ascontiguousarray(np.stack(fields, axis=1))
         return cls(first.layout, first.mixture, first.grid, stacked)
 

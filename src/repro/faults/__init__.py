@@ -20,6 +20,11 @@ from an explicit seed, so every corruption is reproducible bit for bit:
 from repro.faults.inject import FAULT_MODES, CellFaultPlan
 from repro.faults.files import bitflip_file, truncate_file
 from repro.faults.ranks import RankFailurePlan
+from repro.faults.chaos import (
+    EnsembleChaosPlan,
+    corrupt_ledger_record,
+    corrupt_newest_checkpoint,
+)
 
 __all__ = [
     "CellFaultPlan",
@@ -27,4 +32,7 @@ __all__ = [
     "truncate_file",
     "bitflip_file",
     "RankFailurePlan",
+    "EnsembleChaosPlan",
+    "corrupt_ledger_record",
+    "corrupt_newest_checkpoint",
 ]

@@ -33,27 +33,34 @@ def truncate_file(path: str | Path, *, keep_fraction: float = 0.5) -> int:
 
 
 def bitflip_file(path: str | Path, *, seed: int, nflips: int = 1,
-                 skip_bytes: int = 0) -> list[tuple[int, int]]:
+                 skip_bytes: int = 0,
+                 limit_bytes: int | None = None) -> list[tuple[int, int]]:
     """Flip ``nflips`` random bits of a file (a silent media error).
 
     The victim (byte offset, bit) pairs derive only from ``seed`` and
     the file size, so the same seed corrupts the same bits.
     ``skip_bytes`` protects a prefix (e.g. flip only payload bytes, or
-    only header bytes, by slicing the offset range).  Returns the
-    flipped ``(offset, bit)`` pairs.
+    only header bytes, by slicing the offset range); ``limit_bytes``
+    caps how far past ``skip_bytes`` a flip may land — together they
+    aim the corruption at one region, e.g. a single ledger record.
+    Returns the flipped ``(offset, bit)`` pairs.
     """
     if nflips < 1:
         raise ConfigurationError(f"nflips must be >= 1, got {nflips}")
+    if limit_bytes is not None and limit_bytes < 1:
+        raise ConfigurationError(
+            f"limit_bytes must be >= 1, got {limit_bytes}")
     path = Path(path)
     size = path.stat().st_size
     if skip_bytes >= size:
         raise ConfigurationError(
             f"skip_bytes {skip_bytes} >= file size {size}")
+    end = size if limit_bytes is None else min(size, skip_bytes + limit_bytes)
     rng = np.random.default_rng(seed)
     flips = []
     with path.open("rb+") as fh:
         for _ in range(nflips):
-            offset = int(rng.integers(skip_bytes, size))
+            offset = int(rng.integers(skip_bytes, end))
             bit = int(rng.integers(8))
             fh.seek(offset)
             byte = fh.read(1)[0]

@@ -91,32 +91,38 @@ class SnapshotHeader:
         """
         if len(raw) < _HEADER_BYTES_V1:
             raise CheckpointError(
-                f"truncated snapshot header: {len(raw)} bytes")
+                f"truncated snapshot header: {len(raw)} bytes",
+                reason="truncated")
         magic, version = struct.unpack_from("<4sH", raw)
         if magic != MAGIC:
-            raise CheckpointError("not a repro snapshot file (bad magic)")
+            raise CheckpointError("not a repro snapshot file (bad magic)",
+                                  reason="magic")
         if version == 1:
             _, _, ndim, step, time, nvars, *extents = struct.unpack(
                 _HEADER_FMT_V1, raw[:_HEADER_BYTES_V1])
             if not 1 <= ndim <= 3:
-                raise CheckpointError(f"corrupt snapshot: ndim={ndim}")
+                raise CheckpointError(f"corrupt snapshot: ndim={ndim}",
+                                  reason="corrupt")
             return cls(step=step, time=time, nvars=nvars,
                        shape=tuple(extents[:ndim]), version=1), -1
         if version != VERSION:
-            raise CheckpointError(f"unsupported snapshot version {version}")
+            raise CheckpointError(f"unsupported snapshot version {version}",
+                                  reason="version")
         if len(raw) < HEADER_BYTES:
             raise CheckpointError(
                 f"truncated snapshot header: {len(raw)} of "
-                f"{HEADER_BYTES} bytes")
+                f"{HEADER_BYTES} bytes", reason="truncated")
         raw = raw[:HEADER_BYTES]
         (header_crc,) = struct.unpack_from("<I", raw, HEADER_BYTES - 4)
         if zlib.crc32(raw[:HEADER_BYTES - 4]) != header_crc:
-            raise CheckpointError("snapshot header failed its CRC32 check")
+            raise CheckpointError("snapshot header failed its CRC32 check",
+                                  reason="crc")
         (_, _, ndim, step, time, nvars, *rest) = struct.unpack(
             _HEADER_FMT_V2, raw)
         extents, dtype_b, order_b, payload_crc = rest[:3], rest[3], rest[4], rest[5]
         if not 1 <= ndim <= 3:
-            raise CheckpointError(f"corrupt snapshot: ndim={ndim}")
+            raise CheckpointError(f"corrupt snapshot: ndim={ndim}",
+                                  reason="corrupt")
         return cls(step=step, time=time, nvars=nvars,
                    shape=tuple(extents[:ndim]),
                    dtype_str=dtype_b.rstrip(b"\x00").decode("ascii"),
@@ -132,11 +138,12 @@ class SnapshotHeader:
             raise CheckpointError(
                 f"checkpoint payload dtype {self.dtype_str!r} does not "
                 f"match this build's {NATIVE_DTYPE_STR!r} "
-                f"(dtype/endianness mismatch)")
+                f"(dtype/endianness mismatch)", reason="incompatible")
         if self.order != NATIVE_ORDER:
             raise CheckpointError(
                 f"checkpoint payload layout {self.order!r} does not "
-                f"match this build's {NATIVE_ORDER!r} (C order)")
+                f"match this build's {NATIVE_ORDER!r} (C order)",
+                reason="incompatible")
 
     def nbytes(self) -> int:
         n = self.nvars
@@ -199,10 +206,11 @@ def read_snapshot(path: str | Path) -> tuple[SnapshotHeader, np.ndarray]:
         data = fh.read(header.nbytes())
     if len(data) != header.nbytes():
         raise CheckpointError(
-            f"truncated snapshot {path}: {len(data)} of {header.nbytes()} bytes")
+            f"truncated snapshot {path}: {len(data)} of {header.nbytes()} "
+            f"bytes", reason="truncated")
     if payload_crc >= 0 and zlib.crc32(data) != payload_crc:
         raise CheckpointError(
-            f"snapshot {path} payload failed its CRC32 check")
+            f"snapshot {path} payload failed its CRC32 check", reason="crc")
     q = np.frombuffer(data, dtype=DTYPE).reshape((header.nvars, *header.shape))
     return header, q.copy()
 

@@ -296,14 +296,80 @@ def ensemble_from_dict(spec: dict, *, base_dir: str | Path | None = None):
     return jobs, batch_width, options
 
 
+#: Keys the ensemble spec's optional ``"service"`` section accepts —
+#: knobs of :class:`repro.ensemble.EnsembleService`.  Path-valued keys
+#: resolve relative to the spec file's directory.
+SERVICE_KEYS = ("ledger", "checkpoint_dir", "results_dir",
+                "max_attempts", "retry_base_seconds", "deadline_seconds",
+                "wall_limit_seconds", "supervise", "checkpoint_every",
+                "checkpoint_keep", "degrade_after", "min_batch_width")
+
+_SERVICE_PATH_KEYS = ("ledger", "checkpoint_dir", "results_dir")
+
+
+def service_options_from_dict(spec: dict, *,
+                              base_dir: str | Path | None = None) -> dict:
+    """Validated durable-service options (``{}`` when absent).
+
+    The ``"service"`` section turns a fire-and-forget ensemble run into
+    a durable campaign: a ``"ledger"`` path is mandatory once the
+    section exists, everything else defaults.  See
+    :class:`repro.ensemble.EnsembleService`.
+    """
+    service = spec.get("service")
+    if service is None:
+        return {}
+    if not isinstance(service, dict):
+        raise ConfigurationError(
+            f"'service' section must be a mapping, "
+            f"got {type(service).__name__}")
+    unknown = sorted(set(service) - set(SERVICE_KEYS))
+    if unknown:
+        raise ConfigurationError(
+            f"service option(s) {unknown} not supported; "
+            f"choose from {sorted(SERVICE_KEYS)}")
+    if "ledger" not in service:
+        raise ConfigurationError(
+            "a 'service' section needs a 'ledger' path")
+    base = Path(base_dir) if base_dir is not None else Path(".")
+    out = dict(service)
+    for key in _SERVICE_PATH_KEYS:
+        if key in out:
+            if not isinstance(out[key], str) or not out[key]:
+                raise ConfigurationError(
+                    f"service option {key!r} must be a non-empty path "
+                    f"string, got {out[key]!r}")
+            out[key] = base / out[key]
+    return out
+
+
 def load_ensemble(path: str | Path):
     """Load an ensemble spec from JSON; see :func:`ensemble_from_dict`.
 
     ``case_file`` references resolve relative to the spec's directory.
+    Ignores any ``"service"`` section — use :func:`load_ensemble_spec`
+    for the durable-service variant.
+    """
+    jobs, batch_width, options, _service = load_ensemble_spec(path)
+    return jobs, batch_width, options
+
+
+def load_ensemble_spec(path: str | Path):
+    """Load an ensemble spec including its durable-service options.
+
+    Returns ``(jobs, batch_width, options, service)`` where ``service``
+    is ``{}`` for plain in-memory specs and otherwise the validated
+    keyword arguments (ledger/checkpoint/results paths resolved
+    relative to the spec file) for
+    :class:`repro.ensemble.EnsembleService`.
     """
     path = Path(path)
     with path.open() as fh:
-        return ensemble_from_dict(json.load(fh), base_dir=path.parent)
+        spec = json.load(fh)
+    jobs, batch_width, options = ensemble_from_dict(
+        spec, base_dir=path.parent)
+    service = service_options_from_dict(spec, base_dir=path.parent)
+    return jobs, batch_width, options, service
 
 
 def save_case(path: str | Path, spec: dict) -> None:

@@ -50,6 +50,15 @@ class CheckpointManager:
         How many candidate checkpoints passed / failed integrity
         verification across this manager's lifetime (surfaced in the
         recovery counters).
+    skip_reasons:
+        Rejection tally keyed by :attr:`CheckpointError.reason
+        <repro.common.errors.CheckpointError>` category (``"crc"``,
+        ``"truncated"``, ``"shape"``, ...), so reports can say *why*
+        fallback skipped a snapshot, not just how often.
+    events:
+        One structured dict per rejection (``kind``, ``checkpoint``,
+        ``reason``, ``detail``) in observation order — the recovery
+        event stream drivers fold into their own logs.
     """
 
     def __init__(self, directory: str | Path, *, keep: int = 3,
@@ -63,6 +72,8 @@ class CheckpointManager:
         self.prefix = prefix
         self.verified = 0
         self.rejected = 0
+        self.skip_reasons: dict[str, int] = {}
+        self.events: list[dict] = []
 
     # ------------------------------------------------------------------
     def path_for(self, step: int) -> Path:
@@ -111,9 +122,16 @@ class CheckpointManager:
                         and (header.nvars, *header.shape) != tuple(expect_shape):
                     raise CheckpointError(
                         f"checkpoint shape {(header.nvars, *header.shape)} "
-                        f"does not match case {tuple(expect_shape)}")
+                        f"does not match case {tuple(expect_shape)}",
+                        reason="shape")
             except CheckpointError as err:
+                reason = getattr(err, "reason", "corrupt")
                 self.rejected += 1
+                self.skip_reasons[reason] = \
+                    self.skip_reasons.get(reason, 0) + 1
+                self.events.append({
+                    "kind": "checkpoint-skip", "checkpoint": path.name,
+                    "reason": reason, "detail": str(err)})
                 reasons.append(f"{path.name}: {err}")
                 continue
             self.verified += 1

@@ -32,7 +32,7 @@ escalation, which trade trajectory identity for survival.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -210,6 +210,10 @@ class RecoveryCounters:
     checkpoints_rejected: int = 0    #: candidates that failed CRC/metadata checks
     restarts: int = 0                #: states restored from a checkpoint
     checkpoint_seconds: float = 0.0  #: wall time spent writing checkpoints
+    #: Rejections keyed by :class:`~repro.common.CheckpointError`
+    #: reason category ("crc", "truncated", "shape", ...) — the *why*
+    #: behind ``checkpoints_rejected``.
+    checkpoint_skip_reasons: dict[str, int] = field(default_factory=dict)
 
     def any(self) -> bool:
         return any((self.retries, self.rollbacks, self.guard_failures,
@@ -231,11 +235,12 @@ class RecoveryCounters:
             "checkpoints_rejected": self.checkpoints_rejected,
             "restarts": self.restarts,
             "checkpoint_seconds": self.checkpoint_seconds,
+            "checkpoint_skip_reasons": dict(self.checkpoint_skip_reasons),
         }
 
     def summary(self) -> str:
         """One-line human summary (printed by the CLI and reports)."""
-        return (f"recovery: {self.retries} retries "
+        text = (f"recovery: {self.retries} retries "
                 f"({self.dt_halvings} dt halvings, "
                 f"{self.escalations} escalations), "
                 f"{self.rollbacks} rollbacks, "
@@ -244,6 +249,24 @@ class RecoveryCounters:
                 f"{self.checkpoints_verified} verified, "
                 f"{self.checkpoints_rejected} rejected, "
                 f"{self.restarts} restarts")
+        if self.checkpoint_skip_reasons:
+            why = ", ".join(f"{k}:{v}" for k, v in
+                            sorted(self.checkpoint_skip_reasons.items()))
+            text += f" (skipped: {why})"
+        return text
+
+    def record_checkpoint_skips(self, manager, *, verified0: int = 0,
+                                rejected0: int = 0,
+                                events0: int = 0) -> None:
+        """Fold a :class:`~repro.io.checkpoint.CheckpointManager`'s
+        verification tallies (beyond the given baselines) into these
+        counters, including the per-reason skip breakdown."""
+        self.checkpoints_verified += manager.verified - verified0
+        self.checkpoints_rejected += manager.rejected - rejected0
+        for event in manager.events[events0:]:
+            reason = event.get("reason", "corrupt")
+            self.checkpoint_skip_reasons[reason] = \
+                self.checkpoint_skip_reasons.get(reason, 0) + 1
 
 
 class SimulationDivergedError(NumericsError):

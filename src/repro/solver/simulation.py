@@ -647,11 +647,13 @@ class Simulation:
         """
         mgr = self.checkpoint_manager
         verified0, rejected0 = mgr.verified, mgr.rejected
+        events0 = len(mgr.events)
         try:
             path, header, q = mgr.load_latest(expect_shape=self.q.shape)
         finally:
-            self.recovery.checkpoints_verified += mgr.verified - verified0
-            self.recovery.checkpoints_rejected += mgr.rejected - rejected0
+            self.recovery.record_checkpoint_skips(
+                mgr, verified0=verified0, rejected0=rejected0,
+                events0=events0)
         self._apply_restart(header.step, header.time, q)
         return path
 

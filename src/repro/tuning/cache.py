@@ -16,14 +16,26 @@ Robustness contract (the checkpoint file's, applied to tuning state):
   plan validation all behave as cache misses (tallied in
   :attr:`TuningCache.corrupt_events`), so a damaged cache costs one
   re-tune, never an error.
+* **Lock-held merge-on-write** — :meth:`TuningCache.store` re-reads the
+  file and merges under an exclusive ``flock`` on a sibling ``.lock``
+  file, so two processes tuning concurrently against the same cache
+  cannot lose each other's entries to the read-modify-write race (the
+  atomic rename alone only protects against torn writes, not lost
+  updates).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: stores fall back to lockless writes
+    fcntl = None
 
 from repro.tuning.plan import TuningPlan
 from repro.tuning.registry import REGISTRY_VERSION
@@ -99,29 +111,53 @@ class TuningCache:
         self.hits += 1
         return plan
 
-    def store(self, key: str, plan: TuningPlan) -> Path:
-        """Atomically persist ``plan`` under ``key``; returns the path."""
-        entries = self._load_entries()
-        entries[key] = plan.as_dict()
-        payload = json.dumps(
-            {"version": CACHE_FORMAT_VERSION, "registry": REGISTRY_VERSION,
-             "entries": entries},
-            indent=2, sort_keys=True) + "\n"
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.path.parent,
-                                   prefix=self.path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(payload)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
-        except BaseException:
+    @contextlib.contextmanager
+    def _write_lock(self):
+        """Exclusive inter-process lock for read-merge-write stores.
+
+        Taken on a sibling ``.lock`` file (never on the cache itself —
+        ``os.replace`` swaps the cache's inode out from under any lock
+        held on it).  Degrades to a no-op where ``fcntl`` is missing.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        with lock_path.open("a") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def store(self, key: str, plan: TuningPlan) -> Path:
+        """Atomically persist ``plan`` under ``key``; returns the path.
+
+        The load-merge-write runs under :meth:`_write_lock`, so entries
+        stored by concurrent processes are merged, not overwritten.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._write_lock():
+            entries = self._load_entries()
+            entries[key] = plan.as_dict()
+            payload = json.dumps(
+                {"version": CACHE_FORMAT_VERSION,
+                 "registry": REGISTRY_VERSION, "entries": entries},
+                indent=2, sort_keys=True) + "\n"
+            fd, tmp = tempfile.mkstemp(dir=self.path.parent,
+                                       prefix=self.path.name, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(payload)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         return self.path
 
     def clear(self) -> None:

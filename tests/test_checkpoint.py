@@ -259,3 +259,58 @@ class TestCaseFileWiring:
 
         with pytest.raises(ConfigurationError):
             solver_options_from_dict(self.spec(solver))
+
+
+class TestSkipDiagnostics:
+    """Satellite of the durable service: a skipped checkpoint is a
+    *named* event with a reason category, not a silent counter bump."""
+
+    def _seeded_manager(self, tmp_path, steps=(1, 2, 3)):
+        mgr = CheckpointManager(tmp_path, keep=len(steps))
+        for step in steps:
+            mgr.save(random_q(step), step=step, time=float(step))
+        return mgr
+
+    def test_skip_reasons_categorised(self, tmp_path):
+        mgr = self._seeded_manager(tmp_path)
+        bitflip_file(mgr.path_for(3), seed=5, skip_bytes=HEADER_BYTES)
+        truncate_file(mgr.path_for(2), keep_fraction=0.3)
+        mgr.load_latest()
+        assert mgr.skip_reasons == {"crc": 1, "truncated": 1}
+        kinds = [(e["kind"], e["checkpoint"], e["reason"])
+                 for e in mgr.events]
+        assert ("checkpoint-skip", "ckpt_000000003.bin", "crc") in kinds
+        assert ("checkpoint-skip", "ckpt_000000002.bin",
+                "truncated") in kinds
+
+    def test_shape_mismatch_reason(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=2)
+        mgr.save(random_q(1, shape=(3, 8)), step=1, time=0.0)
+        with pytest.raises(CheckpointError, match="does not match"):
+            mgr.load_latest(expect_shape=(3, 9))
+        assert mgr.skip_reasons == {"shape": 1}
+        assert mgr.events[0]["reason"] == "shape"
+
+    def test_restore_latest_folds_skips_into_recovery(self, tmp_path):
+        crashed = bubble_sim(checkpoint_every=2, checkpoint_dir=tmp_path,
+                             checkpoint_keep=3)
+        crashed.run(n_steps=7)  # checkpoints at 2, 4, 6
+        bitflip_file(crashed.checkpoint_manager.path_for(6), seed=3,
+                     skip_bytes=HEADER_BYTES)
+
+        resumed = bubble_sim(checkpoint_dir=tmp_path)
+        resumed.restore_latest()
+        rec = resumed.recovery
+        assert rec.restarts == 1
+        assert rec.checkpoints_rejected == 1
+        assert rec.checkpoint_skip_reasons == {"crc": 1}
+        assert "skipped: crc:1" in rec.summary()
+        assert rec.as_dict()["checkpoint_skip_reasons"] == {"crc": 1}
+
+    def test_clean_restore_reports_no_skips(self, tmp_path):
+        crashed = bubble_sim(checkpoint_every=2, checkpoint_dir=tmp_path)
+        crashed.run(n_steps=4)
+        resumed = bubble_sim(checkpoint_dir=tmp_path)
+        resumed.restore_latest()
+        assert resumed.recovery.checkpoint_skip_reasons == {}
+        assert "skipped" not in resumed.recovery.summary()

@@ -397,3 +397,59 @@ class TestAllocationBudget:
                                          warmup=3, repeats=3)
         assert stats.min_transient_bytes < 4 * field_bytes
         assert stats.net_bytes < field_bytes
+
+
+class TestRetireOnFailure:
+    """Satellite of the durable service: one diverging case must retire
+    through the compaction path with a *named* diagnostic — its batch
+    neighbours finish untouched, bitwise."""
+
+    def _run_with_poison(self, cases, bcs, *, t_end=6e-3, **kwargs):
+        from repro.faults import CellFaultPlan
+
+        sim = EnsembleSimulation(
+            cases, bcs, names=["healthy0", "poisoned", "healthy2"],
+            fixed_dt=1e-3, check_every=1, on_failure="retire",
+            fault_plans={1: CellFaultPlan(step=3, seed=11, mode="nan",
+                                          attempts=None)},
+            **kwargs)
+        results = sim.run(t_end=[t_end] * len(cases))
+        if sim.rhs is not None and sim.rhs.executor is not None:
+            sim.rhs.executor.shutdown()
+        return sim, results
+
+    def test_poisoned_case_retires_named_neighbours_bitwise(self):
+        cases = variants()
+        bcs = BoundarySet.all_periodic(2)
+        sim, results = self._run_with_poison(cases, bcs)
+
+        assert [r.status for r in results] == ["done", "failed", "done"]
+        failed = results[1]
+        assert "'poisoned'" in failed.error
+        assert "case step 3" in failed.error
+        assert failed.steps == 3
+        # The survivors never noticed: bitwise equal to standalone runs.
+        for i in (0, 2):
+            q, time, steps = standalone(cases[i], bcs, t_end=6e-3,
+                                        fixed_dt=1e-3, check_every=1)
+            np.testing.assert_array_equal(results[i].q, q)
+            assert results[i].steps == steps
+        assert sim.retire_events >= 2  # poison retired, then finishers
+        assert sim.faults_injected > 0
+
+    def test_raise_mode_still_aborts_the_batch(self):
+        from repro.common import NumericsError
+        from repro.faults import CellFaultPlan
+
+        cases = variants()
+        sim = EnsembleSimulation(
+            cases, BoundarySet.all_periodic(2), fixed_dt=1e-3,
+            check_every=1, on_failure="raise",
+            fault_plans={1: CellFaultPlan(step=2, seed=11, mode="nan")})
+        with pytest.raises(NumericsError, match="case 1"):
+            sim.run(t_end=[6e-3] * 3)
+
+    def test_invalid_on_failure_rejected(self):
+        with pytest.raises(ConfigurationError, match="on_failure"):
+            EnsembleSimulation(variants(), BoundarySet.all_periodic(2),
+                               on_failure="shrug")

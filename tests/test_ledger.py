@@ -1,0 +1,203 @@
+"""Write-ahead job-ledger durability suite (``-m ensemble``).
+
+The contract under test: whatever happens to the ledger file — a torn
+tail from a crash mid-append, a flipped bit from bad media, truncation
+at *any* byte — :meth:`JobLedger.replay` recovers a consistent prefix
+of the history and :func:`job_table` folds it into a valid job table.
+Records are CRC-framed JSON lines; the atomic ``rewrite`` compaction
+never exposes a half-written file.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConfigurationError, InjectedCrash
+from repro.ensemble import JobLedger, job_table
+from repro.ensemble.ledger import decode_record, encode_record
+from repro.faults import bitflip_file, corrupt_ledger_record
+
+pytestmark = pytest.mark.ensemble
+
+
+def _records(n=6):
+    recs = [{"kind": "open", "version": 1, "digest": "abc", "jobs": 2}]
+    for i in range(n):
+        recs.append({"kind": "job", "id": f"job{i:04d}",
+                     "status": "running", "attempt": 0})
+        recs.append({"kind": "job", "id": f"job{i:04d}", "status": "done",
+                     "attempt": 0, "sha": f"{i:016x}", "steps": 10 + i,
+                     "time": 0.01 * i, "result": f"job{i:04d}.bin"})
+    return recs
+
+
+class TestRecordFraming:
+    def test_round_trip(self):
+        rec = {"kind": "job", "id": "job0001", "status": "failed",
+               "attempt": 2, "error": "boom"}
+        assert decode_record(encode_record(rec).rstrip(b"\n")) == rec
+
+    def test_crc_mismatch_rejected(self):
+        line = encode_record({"kind": "open"}).rstrip(b"\n")
+        bad = bytearray(line)
+        bad[12] ^= 0x40  # flip a payload bit; CRC now disagrees
+        assert decode_record(bytes(bad)) is None
+
+    def test_payload_must_be_json_object(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        line = f"{zlib.crc32(payload) & 0xFFFFFFFF:08x} ".encode() + payload
+        assert decode_record(line) is None
+
+    def test_garbage_rejected(self):
+        assert decode_record(b"not a ledger line") is None
+        assert decode_record(b"") is None
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        ledger = JobLedger(tmp_path / "led.jsonl")
+        for rec in _records():
+            ledger.append(rec)
+        replay = JobLedger(tmp_path / "led.jsonl").replay()
+        assert replay.records == _records()
+        assert not replay.damaged
+
+    def test_append_requires_kind(self, tmp_path):
+        ledger = JobLedger(tmp_path / "led.jsonl")
+        with pytest.raises(ConfigurationError):
+            ledger.append({"id": "job0000"})
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        replay = JobLedger(tmp_path / "absent.jsonl").replay()
+        assert replay.records == [] and not replay.damaged
+
+    def test_crash_hook_fires_after_durable_write(self, tmp_path):
+        ledger = JobLedger(tmp_path / "led.jsonl", fail_after_appends=2)
+        ledger.append({"kind": "open"})
+        with pytest.raises(InjectedCrash):
+            ledger.append({"kind": "job", "id": "j", "status": "running",
+                           "attempt": 0})
+        # The record that "crashed" the writer is already on disk.
+        assert len(JobLedger(tmp_path / "led.jsonl").replay().records) == 2
+
+    def test_rewrite_compacts_atomically(self, tmp_path):
+        ledger = JobLedger(tmp_path / "led.jsonl")
+        for rec in _records():
+            ledger.append(rec)
+        kept = [r for r in _records() if r.get("status") != "running"]
+        ledger.rewrite(kept)
+        assert JobLedger(tmp_path / "led.jsonl").replay().records == kept
+
+
+class TestJobTable:
+    def test_transitions_fold_in_order(self):
+        table = job_table([
+            {"kind": "job", "id": "a", "status": "running", "attempt": 0},
+            {"kind": "job", "id": "a", "status": "failed", "attempt": 0,
+             "error": "x", "class": "transient"},
+            {"kind": "job", "id": "a", "status": "running", "attempt": 1},
+            {"kind": "job", "id": "a", "status": "done", "attempt": 1,
+             "sha": "s", "steps": 5, "time": 0.5},
+            {"kind": "job", "id": "b", "status": "failed", "attempt": 0,
+             "error": "y", "class": "permanent"},
+            {"kind": "job", "id": "b", "status": "quarantined",
+             "attempt": 1, "error": "y"},
+            {"kind": "event", "event": "degrade"},
+        ])
+        assert table["a"]["status"] == "done"
+        # attempts counts *recorded failures* — one for "a" — not
+        # dispatches; that is the retry budget's currency.
+        assert table["a"]["attempts"] == 1
+        assert table["a"]["state_sha"] == "s"
+        assert table["b"]["status"] == "quarantined"
+        assert table["b"]["error"] == "y"
+
+    def test_interrupted_running_costs_no_attempt(self):
+        # A parent that died mid-batch leaves a bare "running" record;
+        # replay must NOT charge the job an attempt for it.
+        table = job_table([
+            {"kind": "job", "id": "a", "status": "running", "attempt": 0},
+        ])
+        assert table["a"]["status"] == "running"
+        assert table["a"]["attempts"] == 0
+
+
+class TestDamageSurvival:
+    """Any mangling of the file replays to a consistent prefix/subset."""
+
+    def _write(self, path, records):
+        ledger = JobLedger(path)
+        for rec in records:
+            ledger.append(rec)
+        return path.read_bytes()
+
+    @settings(max_examples=25, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=400))
+    def test_truncation_at_any_byte(self, tmp_path_factory, cut):
+        tmp_path = tmp_path_factory.mktemp("trunc")
+        path = tmp_path / "led.jsonl"
+        records = _records(3)
+        raw = self._write(path, records)
+        path.write_bytes(raw[:min(cut, len(raw))])
+        replay = JobLedger(path).replay()
+        # Survivors are exactly a prefix of what was written: a torn
+        # tail may cost the last record, never reorder or invent one.
+        assert replay.records == records[:len(replay.records)]
+        assert replay.dropped_tail <= 1
+        job_table(replay.records)  # folds without error
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_bitflip_anywhere(self, tmp_path_factory, seed):
+        tmp_path = tmp_path_factory.mktemp("flip")
+        path = tmp_path / "led.jsonl"
+        records = _records(3)
+        self._write(path, records)
+        bitflip_file(path, seed=seed)
+        replay = JobLedger(path).replay()
+        # Every surviving record is one of the originals, in order.
+        it = iter(records)
+        for rec in replay.records:
+            for orig in it:
+                if orig == rec:
+                    break
+            else:
+                pytest.fail(f"replay invented record {rec}")
+        assert len(replay.records) >= len(records) - 2
+        assert replay.skipped_records + replay.dropped_tail <= 2
+        job_table(replay.records)
+
+    def test_targeted_record_corruption_skips_exactly_one(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        records = _records(3)
+        self._write(path, records)
+        corrupt_ledger_record(path, index=2, seed=11)
+        replay = JobLedger(path).replay()
+        assert replay.records == records[:2] + records[3:]
+        assert replay.skipped_records == 1
+        assert replay.dropped_tail == 0
+        assert replay.damaged
+
+    def test_corrupt_tail_dropped_not_skipped(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        records = _records(2)
+        self._write(path, records)
+        corrupt_ledger_record(path, index=len(records) - 1, seed=3)
+        replay = JobLedger(path).replay()
+        assert replay.records == records[:-1]
+        assert replay.dropped_tail == 1
+        assert replay.skipped_records == 0
+
+    def test_half_written_tail_line(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        records = _records(2)
+        raw = self._write(path, records)
+        path.write_bytes(raw + b"deadbeef {\"kind\": \"jo")
+        replay = JobLedger(path).replay()
+        assert replay.records == records
+        assert replay.dropped_tail == 1
