@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-thread test-fault test-procs test-ensemble test-chaos bench bench-rhs bench-layout bench-tuned bench-fused bench-cluster bench-ensemble tune examples artifacts clean
+.PHONY: install test test-thread test-fault test-procs test-ensemble test-chaos test-backends bench bench-rhs bench-backends bench-layout bench-tuned bench-fused bench-cluster bench-ensemble tune examples artifacts clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -54,6 +54,18 @@ bench-layout:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_rhs.py \
 		--grid 64 --grid 256 --threads 1 --threads 4 \
 		--layout strided --layout transposed
+
+# Backend x dtype kernel sweep with measured-vs-modeled model-error
+# columns (appends a backend/dtype-stamped entry to
+# benchmarks/results/BENCH_rhs.json's history).
+bench-backends:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_backends.py \
+		--grid 64 --repeats 5
+
+# Execution-backend seam: bitwise-identity, guard-leak, torch-parity,
+# and float32-precision suites.
+test-backends:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_backends.py -q
 
 # Empirical autotuner: tuned-vs-untuned grind comparison on the bench
 # case (appends a tuned-stamped history entry with the winning plan).

@@ -49,6 +49,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fusion = solver_options.get("fusion", "off")
     if args.fusion is not None:
         fusion = args.fusion
+    backend = solver_options.get("backend")
+    if args.backend is not None:
+        backend = args.backend
+    precision = solver_options.get("precision", "float64")
+    if args.precision is not None:
+        precision = args.precision
     resilience: dict = {
         key: solver_options[key]
         for key in ("checkpoint_every", "checkpoint_keep", "checkpoint_dir",
@@ -78,6 +84,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                       geometry=args.geometry),
                      cfl=args.cfl, threads=threads, ranks=ranks,
                      sweep_layout=layout, fusion=fusion,
+                     backend=backend, precision=precision,
                      tuning=tuning, tuning_cache=tuning_cache,
                      **cluster, **resilience)
     print(f"running {case.grid.num_cells} cells, {case.mixture.ncomp} fluids, "
@@ -85,7 +92,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
           + (f", {threads} threads" if threads > 1 else "")
           + (f", {ranks} ranks" if ranks > 1 else "")
           + (f", {layout} sweeps" if layout != "strided" else "")
-          + (f", fusion {sim.fusion}" if sim.fusion != "off" else ""))
+          + (f", fusion {sim.fusion}" if sim.fusion != "off" else "")
+          + (f", backend {sim.backend.name}"
+             if sim.backend.name != "numpy" else "")
+          + (", float32" if precision == "float32" else ""))
     if sim.tuning_plan is not None:
         print(sim.tuning_plan.summary())
     callback = None
@@ -150,6 +160,9 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
     fusion = solver_options.get("fusion", "off")
     if args.fusion is not None:
         fusion = args.fusion
+    backend = solver_options.get("backend")
+    if args.backend is not None:
+        backend = args.backend
     tuning = solver_options.get("tuning", "off")
     if args.tune:
         tuning = "auto"
@@ -184,7 +197,8 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
     config = RHSConfig(weno_order=args.weno, riemann_solver=args.riemann,
                        geometry=args.geometry)
     engine = dict(cfl=args.cfl, threads=threads, sweep_layout=layout,
-                  fusion=fusion, tuning=tuning, tuning_cache=tuning_cache)
+                  fusion=fusion, backend=backend,
+                  tuning=tuning, tuning_cache=tuning_cache)
     if service:
         from repro.ensemble import EnsembleService
 
@@ -203,7 +217,9 @@ def _cmd_ensemble(args: argparse.Namespace) -> int:
           f"width <= {batch_width}, WENO{args.weno} + {args.riemann.upper()}"
           + (f", {threads} threads" if threads > 1 else "")
           + (f", {layout} sweeps" if layout != "strided" else "")
-          + (f", fusion {fusion}" if fusion != "off" else ""))
+          + (f", fusion {fusion}" if fusion != "off" else "")
+          + (f", backend {backend}"
+             if backend not in (None, "numpy") else ""))
     report = runner.run()
     print(report.summary())
     print(f"total batch wall {report.total_wall_seconds:.3f} s")
@@ -326,6 +342,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sweep memory layout: strided, transposed "
                           "(axis-contiguous y/z sweeps), or auto "
                           "(default: case file's solver.layout, else strided)")
+    run.add_argument("--backend", default=None,
+                     choices=("numpy", "checked", "torch", "cupy"),
+                     help="execution backend for the kernels (see "
+                          "docs/backends.md; torch/cupy need the package "
+                          "installed; default: case file's solver.backend, "
+                          "else numpy)")
+    run.add_argument("--precision", default=None,
+                     choices=("float64", "float32"),
+                     help="state precision; float32 halves memory traffic "
+                          "but is a validated-tolerance mode, not bitwise "
+                          "(default: case file's solver.precision, "
+                          "else float64)")
     run.add_argument("--checkpoint-every", type=int, default=None,
                      help="write a rotating durable checkpoint every N steps "
                           "(default: case file's solver.checkpoint_every)")
@@ -376,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("strided", "transposed", "auto"))
     ens.add_argument("--fusion", default=None,
                      choices=("off", "on", "auto"))
+    ens.add_argument("--backend", default=None,
+                     choices=("numpy", "checked", "torch", "cupy"),
+                     help="execution backend for the stacked march "
+                          "(default: spec's solver.backend, else numpy)")
     ens.add_argument("--tune", action="store_true",
                      help="autotune the stacked RHS per batch signature "
                           "(cached; later same-shape batches replay the plan)")

@@ -22,15 +22,27 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.backend import resolve_backend, to_host_array
 from repro.common import DirectiveError
 from repro.hardware.transfer import TransferModel, PCIE4
 
 
 class DeviceDataEnvironment:
-    """Device-resident shadow copies with transfer-cost accounting."""
+    """Device-resident shadow copies with transfer-cost accounting.
 
-    def __init__(self, transfer: TransferModel = PCIE4):
+    ``backend`` chooses where the shadow copies actually live: the
+    default NumPy backend keeps the historical host-shadow semantics,
+    while any :mod:`repro.backend` backend makes ``enter_data`` a real
+    H2D transfer (``Backend.from_host``) and ``update_host`` /
+    ``copyout`` a real D2H (``Backend.to_host``) — the same seam the
+    solver's workspace uses, so the directive-runtime emulation and the
+    execution backends agree on what "resident on the device" means.
+    """
+
+    def __init__(self, transfer: TransferModel = PCIE4, *,
+                 backend: object = None):
         self.transfer = transfer
+        self.backend = resolve_backend(backend)
         self._device: dict[str, np.ndarray] = {}
         self.h2d_seconds = 0.0
         self.d2h_seconds = 0.0
@@ -53,7 +65,15 @@ class DeviceDataEnvironment:
         """``!$acc enter data copyin(name)`` (or ``create`` when copyin=False)."""
         if name in self._device:
             raise DirectiveError(f"array {name!r} already present on device")
-        self._device[name] = host.copy() if copyin else np.empty_like(host)
+        if copyin:
+            # H2D through the backend seam.  from_host shares memory
+            # where it can (numpy, checked, torch-CPU), so copy first:
+            # shadow semantics require device mutations to stay
+            # invisible to the host until an explicit update.
+            self._device[name] = self.backend.from_host(host.copy())
+        else:
+            self._device[name] = self.backend.empty(
+                tuple(host.shape), host.dtype)
         if copyin:
             self.h2d_seconds += self.transfer.time(host.nbytes)
             self.h2d_bytes += host.nbytes
@@ -66,21 +86,25 @@ class DeviceDataEnvironment:
         if copyout:
             if host is None:
                 raise DirectiveError("copyout requires a host array")
-            np.copyto(host, dev)
-            self.d2h_seconds += self.transfer.time(dev.nbytes)
-            self.d2h_bytes += dev.nbytes
+            np.copyto(host, to_host_array(dev))
+            self.d2h_seconds += self.transfer.time(host.nbytes)
+            self.d2h_bytes += host.nbytes
 
     def update_device(self, name: str, host: np.ndarray) -> None:
         """``!$acc update device(name)``."""
         self.require_present(name)
-        np.copyto(self._device[name], host)
+        dev = self._device[name]
+        if isinstance(dev, np.ndarray):
+            np.copyto(dev, host)
+        else:
+            dev[...] = self.backend.from_host(host)
         self.h2d_seconds += self.transfer.time(host.nbytes)
         self.h2d_bytes += host.nbytes
 
     def update_host(self, name: str, host: np.ndarray) -> None:
         """``!$acc update host(name)``."""
         self.require_present(name)
-        np.copyto(host, self._device[name])
+        np.copyto(host, to_host_array(self._device[name]))
         self.d2h_seconds += self.transfer.time(host.nbytes)
         self.d2h_bytes += host.nbytes
 
@@ -103,7 +127,9 @@ class DeviceDataEnvironment:
     # -- bookkeeping ---------------------------------------------------------
     @property
     def resident_bytes(self) -> int:
-        return sum(a.nbytes for a in self._device.values())
+        return sum(a.nbytes if hasattr(a, "nbytes")
+                   else a.numel() * a.element_size()  # torch tensors
+                   for a in self._device.values())
 
     @property
     def total_transfer_seconds(self) -> float:

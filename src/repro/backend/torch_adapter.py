@@ -1,0 +1,356 @@
+"""NumPy-flavoured namespace over torch tensors (CPU or CUDA).
+
+The hot-path kernels are written against the small NumPy subset the
+resolved namespace (``xp``) must provide: ufuncs with ``out=``, the
+allocation trio (``empty``/``zeros``/``empty_like``), ``where``,
+``copyto``, ``moveaxis``, ``finfo``, and reductions with ``axis=``.
+This module maps that subset onto torch, so
+:func:`repro.backend.array_namespace` can hand the same kernels a
+``torch.Tensor`` and they run unmodified on whatever device the tensor
+lives on — the single-source portability the paper demonstrates with
+OpenACC across V100/A100/MI250X.
+
+Deliberate restrictions (enforced by :class:`repro.backend.Backend`
+capability flags, documented in ``docs/backends.md``):
+
+* the stacked WENO variant needs negative-stride ``as_strided`` views,
+  which torch does not support — torch runs the chained kernels,
+* the fusion code generator binds NumPy ufuncs at compile time — fusion
+  is forced off,
+* torch results match NumPy within dtype ULP tolerance, not bitwise —
+  the tuner's bitwise validity gate therefore never selects torch on
+  its own; it must be requested explicitly (``--backend torch``).
+
+Import of this module succeeds without torch installed; resolving
+:data:`TORCH_NAMESPACE` (or constructing the backend) raises
+``ConfigurationError`` when torch is missing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+
+import numpy as np
+
+try:  # torch is an optional dependency — never required at import time
+    import torch as _torch
+except ImportError:  # pragma: no cover - exercised on torch-less hosts
+    _torch = None
+
+
+def torch_available() -> bool:
+    return _torch is not None
+
+
+def _require_torch():
+    if _torch is None:  # pragma: no cover - exercised on torch-less hosts
+        from repro.common import ConfigurationError
+
+        raise ConfigurationError(
+            "the torch backend needs torch installed "
+            "(pip install torch --index-url "
+            "https://download.pytorch.org/whl/cpu)")
+    return _torch
+
+
+@functools.lru_cache(maxsize=None)
+def _torch_dtype(np_dtype):
+    """Map a numpy dtype (or name) onto the torch dtype object."""
+    torch = _require_torch()
+    name = np.dtype(np_dtype).name
+    mapping = {"float64": torch.float64, "float32": torch.float32,
+               "float16": torch.float16, "int64": torch.int64,
+               "int32": torch.int32, "bool": torch.bool}
+    try:
+        return mapping[name]
+    except KeyError:
+        from repro.common import ConfigurationError
+
+        raise ConfigurationError(
+            f"no torch dtype for numpy dtype {name!r}") from None
+
+
+def _as_dtype(dtype):
+    if dtype is None:
+        return None
+    if _torch is not None and isinstance(dtype, _torch.dtype):
+        return dtype
+    return _torch_dtype(np.dtype(dtype))
+
+
+class TorchNamespace:
+    """The ``xp`` namespace for torch tensors.
+
+    Every function takes and returns tensors (scalars pass through);
+    ``out=`` kwargs map onto torch's ``out=`` or in-place copies, and
+    NumPy's ``axis=`` spelling maps onto torch's ``dim=``.
+    """
+
+    def __init__(self, device: str = "cpu") -> None:
+        self.device = device
+
+    # -- allocation ----------------------------------------------------
+    def empty(self, shape, dtype=None):
+        torch = _require_torch()
+        if isinstance(shape, int):
+            shape = (shape,)
+        return torch.empty(tuple(int(s) for s in shape),
+                           dtype=_as_dtype(dtype), device=self.device)
+
+    def zeros(self, shape, dtype=None):
+        torch = _require_torch()
+        if isinstance(shape, int):
+            shape = (shape,)
+        return torch.zeros(tuple(int(s) for s in shape),
+                           dtype=_as_dtype(dtype), device=self.device)
+
+    def ones(self, shape, dtype=None):
+        torch = _require_torch()
+        if isinstance(shape, int):
+            shape = (shape,)
+        return torch.ones(tuple(int(s) for s in shape),
+                          dtype=_as_dtype(dtype), device=self.device)
+
+    def empty_like(self, t, dtype=None):
+        torch = _require_torch()
+        return torch.empty_like(t, dtype=_as_dtype(dtype))
+
+    def zeros_like(self, t, dtype=None):
+        torch = _require_torch()
+        return torch.zeros_like(t, dtype=_as_dtype(dtype))
+
+    def full(self, shape, fill, dtype=None):
+        torch = _require_torch()
+        if isinstance(shape, int):
+            shape = (shape,)
+        return torch.full(tuple(int(s) for s in shape), fill,
+                          dtype=_as_dtype(dtype), device=self.device)
+
+    def asarray(self, obj, dtype=None):
+        torch = _require_torch()
+        if isinstance(obj, torch.Tensor):
+            want = _as_dtype(dtype)
+            return obj if want is None or obj.dtype == want \
+                else obj.to(dtype=want)
+        arr = np.asarray(obj, dtype=np.dtype(dtype) if dtype else None)
+        return torch.as_tensor(arr, device=self.device)
+
+    def ascontiguousarray(self, t, dtype=None):
+        t = self.asarray(t, dtype=dtype)
+        return t.contiguous()
+
+    # -- elementwise ufuncs with out= ----------------------------------
+    @staticmethod
+    def _binary(fn, a, b, out=None):
+        torch = _require_torch()
+        if not isinstance(a, torch.Tensor):
+            a = torch.as_tensor(a, dtype=b.dtype, device=b.device)
+        if not isinstance(b, torch.Tensor):
+            b = torch.as_tensor(b, dtype=a.dtype, device=a.device)
+        if out is None:
+            return fn(a, b)
+        return fn(a, b, out=out)
+
+    def add(self, a, b, out=None):
+        return self._binary(_require_torch().add, a, b, out)
+
+    def subtract(self, a, b, out=None):
+        return self._binary(_require_torch().subtract, a, b, out)
+
+    def multiply(self, a, b, out=None):
+        return self._binary(_require_torch().multiply, a, b, out)
+
+    def true_divide(self, a, b, out=None):
+        return self._binary(_require_torch().true_divide, a, b, out)
+
+    divide = true_divide
+
+    def minimum(self, a, b, out=None):
+        return self._binary(_require_torch().minimum, a, b, out)
+
+    def maximum(self, a, b, out=None):
+        return self._binary(_require_torch().maximum, a, b, out)
+
+    def power(self, a, b, out=None):
+        return self._binary(_require_torch().pow, a, b, out)
+
+    @staticmethod
+    def _unary(fn, a, out=None):
+        if out is None:
+            return fn(a)
+        return fn(a, out=out)
+
+    def negative(self, a, out=None):
+        return self._unary(_require_torch().negative, a, out)
+
+    def abs(self, a, out=None):
+        return self._unary(_require_torch().abs, a, out)
+
+    absolute = abs
+
+    def sqrt(self, a, out=None):
+        return self._unary(_require_torch().sqrt, a, out)
+
+    def square(self, a, out=None):
+        return self._unary(_require_torch().square, a, out)
+
+    def exp(self, a, out=None):
+        return self._unary(_require_torch().exp, a, out)
+
+    def log(self, a, out=None):
+        return self._unary(_require_torch().log, a, out)
+
+    def tanh(self, a, out=None):
+        return self._unary(_require_torch().tanh, a, out)
+
+    def sign(self, a, out=None):
+        return self._unary(_require_torch().sign, a, out)
+
+    def isfinite(self, a):
+        return _require_torch().isfinite(a)
+
+    def isnan(self, a):
+        return _require_torch().isnan(a)
+
+    def clip(self, a, lo, hi, out=None):
+        torch = _require_torch()
+        if out is None:
+            return torch.clamp(a, min=lo, max=hi)
+        return torch.clamp(a, min=lo, max=hi, out=out)
+
+    def where(self, cond, a=None, b=None):
+        torch = _require_torch()
+        if a is None and b is None:
+            return torch.where(cond)
+        if not isinstance(a, torch.Tensor):
+            a = torch.as_tensor(a, dtype=b.dtype, device=b.device)
+        if not isinstance(b, torch.Tensor):
+            b = torch.as_tensor(b, dtype=a.dtype, device=a.device)
+        return torch.where(cond, a, b)
+
+    def copyto(self, dst, src, where=None):
+        torch = _require_torch()
+        if not isinstance(src, torch.Tensor):
+            src = torch.as_tensor(src, dtype=dst.dtype, device=dst.device)
+        if where is None:
+            dst.copy_(src.expand_as(dst) if src.shape != dst.shape else src)
+        else:
+            dst[where] = src[where] if src.shape == dst.shape \
+                else src.expand_as(dst)[where]
+
+    # -- reductions ----------------------------------------------------
+    @staticmethod
+    def _dim(axis):
+        return axis
+
+    def sum(self, a, axis=None, out=None):
+        torch = _require_torch()
+        r = torch.sum(a) if axis is None else torch.sum(a, dim=axis)
+        if out is not None:
+            out.copy_(r)
+            return out
+        return r
+
+    def max(self, a, axis=None):
+        torch = _require_torch()
+        if axis is None:
+            return torch.max(a)
+        return torch.amax(a, dim=axis)  # values only; accepts tuple dims
+
+    def min(self, a, axis=None):
+        torch = _require_torch()
+        if axis is None:
+            return torch.min(a)
+        return torch.amin(a, dim=axis)
+
+    def argmax(self, a, axis=None):
+        torch = _require_torch()
+        return torch.argmax(a) if axis is None else torch.argmax(a, dim=axis)
+
+    def all(self, a, axis=None):
+        torch = _require_torch()
+        return torch.all(a) if axis is None else torch.all(a, dim=axis)
+
+    def any(self, a, axis=None):
+        torch = _require_torch()
+        return torch.any(a) if axis is None else torch.any(a, dim=axis)
+
+    def diff(self, a, axis=-1):
+        return _require_torch().diff(a, dim=axis)
+
+    def copy(self, a):
+        return a.clone()
+
+    # -- shape manipulation --------------------------------------------
+    def moveaxis(self, a, source, destination):
+        return _require_torch().moveaxis(a, source, destination)
+
+    def transpose(self, a, axes=None):
+        torch = _require_torch()
+        if axes is None:
+            axes = tuple(reversed(range(a.ndim)))
+        return torch.permute(a, tuple(axes))
+
+    def reshape(self, a, shape):
+        return a.reshape(shape)
+
+    def may_share_memory(self, a, b):
+        torch = _require_torch()
+        if not (isinstance(a, torch.Tensor) and isinstance(b, torch.Tensor)):
+            return False
+        if a.numel() == 0 or b.numel() == 0 or a.device != b.device:
+            return False
+        return (a.untyped_storage().data_ptr()
+                == b.untyped_storage().data_ptr())
+
+    def stack(self, tensors, axis=0):
+        return _require_torch().stack(tuple(tensors), dim=axis)
+
+    def concatenate(self, tensors, axis=0):
+        return _require_torch().cat(tuple(tensors), dim=axis)
+
+    # -- metadata ------------------------------------------------------
+    def finfo(self, dtype):
+        return _require_torch().finfo(_as_dtype(dtype))
+
+    @contextlib.contextmanager
+    def errstate(self, **kwargs):
+        yield  # torch has no fp-error state; kernels only ever silence
+
+    @property
+    def float64(self):
+        return _require_torch().float64
+
+    @property
+    def float32(self):
+        return _require_torch().float32
+
+    @property
+    def bool_(self):
+        return _require_torch().bool
+
+
+#: Shared CPU-device namespace instance (CUDA callers construct their
+#: own ``TorchNamespace("cuda")`` through the backend registry).
+TORCH_NAMESPACE = TorchNamespace("cpu")
+
+
+def tensor_to_host(t) -> np.ndarray:
+    """D2H: a NumPy view (CPU tensors share memory) or copy (CUDA)."""
+    torch = _require_torch()
+    if not isinstance(t, torch.Tensor):
+        return np.asarray(t)
+    if t.device.type == "cpu":
+        return t.numpy()
+    return t.cpu().numpy()
+
+
+def host_to_tensor(arr: np.ndarray, *, device: str = "cpu", dtype=None):
+    """H2D: shares memory for CPU tensors, copies for CUDA."""
+    torch = _require_torch()
+    t = torch.as_tensor(np.asarray(arr), device=device)
+    want = _as_dtype(dtype)
+    if want is not None and t.dtype != want:
+        t = t.to(dtype=want)
+    return t

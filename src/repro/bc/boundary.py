@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.common import ConfigurationError
 from repro.state.layout import StateLayout
 
@@ -71,8 +72,9 @@ def pad_with_ghosts(field: np.ndarray, ng: int) -> np.ndarray:
     ``field`` has shape ``(nvars, *spatial)``; ghost contents are
     uninitialised until :func:`fill_ghosts` runs.
     """
+    xp = array_namespace(field)
     nvars, *spatial = field.shape
-    padded = np.empty((nvars, *[s + 2 * ng for s in spatial]), dtype=field.dtype)
+    padded = xp.empty((nvars, *[s + 2 * ng for s in spatial]), dtype=field.dtype)
     interior = (slice(None),) + tuple(slice(ng, ng + s) for s in spatial)
     padded[interior] = field
     return padded
@@ -91,7 +93,7 @@ def pad_axis(field: np.ndarray, axis: int, ng: int,
     shape = list(field.shape)
     shape[axis + 1] += 2 * ng
     if out is None:
-        padded = np.empty(shape, dtype=field.dtype)
+        padded = array_namespace(field).empty(shape, dtype=field.dtype)
     else:
         if list(out.shape) != shape:
             raise ConfigurationError(

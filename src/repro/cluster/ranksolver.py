@@ -269,9 +269,9 @@ class RankSolver:
                           out=ws.flux[d], out_u=ws.u_face[d],
                           scratch=ws.riemann_scratch[d])
         _accumulate_divergence(ws.flux[d], d + 1, self._widths[d],
-                               ws.div_scratch, dqdt, np.subtract)
+                               ws.div_scratch, dqdt, "subtract")
         _accumulate_divergence(ws.u_face[d], d, self._widths[d],
-                               ws.divu_scratch, divu, np.add)
+                               ws.divu_scratch, divu, "add")
         self.sweep_counters.record_strided(
             ws.face_l[d].nbytes + ws.face_r[d].nbytes,
             contiguous=(d == lay.ndim - 1),
@@ -332,9 +332,9 @@ class RankSolver:
         untranspose_loop(ws.t_u_face[d], tuple(p - 1 for p in perm[1:]),
                          out=ws.u_face[d])
         _accumulate_divergence(ws.flux[d], d + 1, self._widths[d],
-                               ws.div_scratch, dqdt, np.subtract)
+                               ws.div_scratch, dqdt, "subtract")
         _accumulate_divergence(ws.u_face[d], d, self._widths[d],
-                               ws.divu_scratch, divu, np.add)
+                               ws.divu_scratch, divu, "add")
         self.sweep_counters.record_transposed(
             tvl.nbytes + tvr.nbytes,
             prim.nbytes + ws.flux[d].nbytes + ws.u_face[d].nbytes,

@@ -145,6 +145,7 @@ class EnsembleRunner:
                  fixed_dt: float | None = None, check_every: int = 10,
                  threads: int = 1, tile_device: object | None = None,
                  sweep_layout: str = "strided", fusion: str = "off",
+                 backend: object = None,
                  tuning: object = "off",
                  tuning_cache: object | None = None,
                  stopwatch: Stopwatch | None = None) -> None:
@@ -162,7 +163,8 @@ class EnsembleRunner:
             config=self.config, cfl=cfl, rk_order=rk_order,
             fixed_dt=fixed_dt, check_every=check_every, threads=threads,
             tile_device=tile_device, sweep_layout=sweep_layout,
-            fusion=fusion, tuning=tuning, tuning_cache=tuning_cache)
+            fusion=fusion, backend=backend,
+            tuning=tuning, tuning_cache=tuning_cache)
         self.stopwatch = stopwatch if stopwatch is not None else Stopwatch()
 
     # ------------------------------------------------------------------

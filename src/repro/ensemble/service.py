@@ -191,6 +191,7 @@ class EnsembleService:
                  rk_order: int = 3, fixed_dt: float | None = None,
                  threads: int = 1, tile_device: object | None = None,
                  sweep_layout: str = "strided", fusion: str = "off",
+                 backend: object = None,
                  tuning: object = "off",
                  tuning_cache: object | None = None) -> None:
         if not jobs:
@@ -227,11 +228,17 @@ class EnsembleService:
         self.min_batch_width = min_batch_width
         self.chaos = chaos
         self.config = config if config is not None else RHSConfig()
+        from repro.backend import resolve_backend
+
         self.engine = dict(
             config=self.config, cfl=cfl, rk_order=rk_order,
             fixed_dt=fixed_dt, check_every=check_every, threads=threads,
             tile_device=tile_device, sweep_layout=sweep_layout,
-            fusion=fusion, tuning=tuning, tuning_cache=tuning_cache)
+            fusion=fusion,
+            # Normalised to the name so the engine dict pickles into
+            # supervised batch children (the child re-resolves it).
+            backend=resolve_backend(backend).name,
+            tuning=tuning, tuning_cache=tuning_cache)
         self.supervisor = BatchSupervisor(
             grace=deadline_seconds, wall_limit=wall_limit_seconds,
             supervise=supervise)

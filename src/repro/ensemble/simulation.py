@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import resolve_backend, to_host_array
 from repro.bc.boundary import BoundarySet
 from repro.common import (
     DTYPE,
@@ -144,6 +145,7 @@ class EnsembleSimulation:
                  check_every: int = 10, stopwatch: Stopwatch | None = None,
                  threads: int = 1, tile_device: object | None = None,
                  sweep_layout: str = "strided", fusion: str = "off",
+                 backend: object = None,
                  tuning: object = "off",
                  tuning_cache: object | None = None,
                  names: list[str] | None = None,
@@ -188,6 +190,12 @@ class EnsembleSimulation:
         self.tile_device = tile_device
         self.sweep_layout = sweep_layout
         self.fusion = fusion
+        #: Execution backend for the stacked march.  The per-case
+        #: bookkeeping (views, fault plans, checkpoints, retirement)
+        #: stays on the host; ``step`` moves the stacked block through
+        #: the H2D/D2H seam around each RK step — an identity on the
+        #: host backends, so the NumPy default is bitwise unchanged.
+        self.backend = resolve_backend(backend)
         self.tuning = tuning
         self.tuning_cache = tuning_cache
         B = self.state.batch
@@ -300,6 +308,7 @@ class EnsembleSimulation:
                    use_workspace=True, threads=self.threads,
                    tile_device=self.tile_device,
                    sweep_layout=self.sweep_layout, fusion=self.fusion,
+                   backend=self.backend,
                    weno_variant=(plan.weno_variant if plan is not None
                                  else "chained"),
                    riemann_variant=(plan.riemann_variant
@@ -332,22 +341,27 @@ class EnsembleSimulation:
         if B == 0:
             raise ConfigurationError("every ensemble case has retired")
         ws = self.rhs.workspace
+        # H2D seam: the stacked block marches on the backend while the
+        # per-case bookkeeping below reads the host copy (identity, and
+        # therefore bitwise neutral, on the host backends).
+        q_dev = self.backend.from_host(self.state.stacked)
         with self.stopwatch.time("other"):
-            prim0 = cons_to_prim(self.layout, self.mixture, self.state.stacked,
+            prim0 = cons_to_prim(self.layout, self.mixture, q_dev,
                                  out=ws.prim)
         if self.fixed_dt is not None:
             dt = np.full(B, self.fixed_dt, dtype=DTYPE)
         else:
-            dt = cfl_dts(self.layout, self.mixture, prim0, self.grid,
-                         self.cfl)
+            dt = to_host_array(cfl_dts(self.layout, self.mixture, prim0,
+                                       self.grid, self.cfl))
         if dt_limit is not None:
             # Per-case analog of "if dt > dt_limit: dt = dt_limit".
             dt = np.minimum(dt, dt_limit)
-        dt_field = dt.reshape((B,) + (1,) * self.grid.ndim)
+        dt_field = self.backend.from_host(
+            dt.reshape((B,) + (1,) * self.grid.ndim))
         with WallTimer() as timer:
-            self.state.stacked = ssp_rk_step(
-                self.rhs, self.state.stacked, dt_field, self.rk_order,
-                workspace=ws, prim0=prim0, executor=self.rhs.executor)
+            self.state.stacked = to_host_array(ssp_rk_step(
+                self.rhs, q_dev, dt_field, self.rk_order,
+                workspace=ws, prim0=prim0, executor=self.rhs.executor))
         self.time += dt
         self.steps += 1
         self.step_count += 1

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.common import ConfigurationError, DTYPE
 from repro.eos.stiffened_gas import StiffenedGas
 
@@ -45,11 +46,13 @@ def mixture_gamma_pi(alphas: np.ndarray, fluids: tuple[StiffenedGas, ...]):
     if alphas.shape[0] != len(fluids):
         raise ConfigurationError(
             f"{alphas.shape[0]} volume-fraction fields but {len(fluids)} fluids")
-    Gm = np.zeros(alphas.shape[1:], dtype=DTYPE)
-    Pm = np.zeros(alphas.shape[1:], dtype=DTYPE)
-    for a, f in zip(alphas, fluids):
-        Gm += a * f.Gamma
-        Pm += a * f.Pi
+    xp = array_namespace(alphas)
+    dtype = getattr(alphas, "dtype", DTYPE)
+    Gm = xp.zeros(alphas.shape[1:], dtype=dtype)
+    Pm = xp.zeros(alphas.shape[1:], dtype=dtype)
+    for i in range(alphas.shape[0]):
+        Gm += alphas[i] * float(fluids[i].Gamma)
+        Pm += alphas[i] * float(fluids[i].Pi)
     return Gm, Pm
 
 
@@ -62,16 +65,19 @@ class Mixture:
     """
 
     fluids: tuple[StiffenedGas, ...]
-    _Gammas: np.ndarray = field(init=False, repr=False, compare=False)
-    _Pis: np.ndarray = field(init=False, repr=False, compare=False)
+    #: Mixing coefficients as *python* floats: scalar-weak under NumPy 2
+    #: promotion, so a float32 field stays float32 (an np.float64 scalar
+    #: would silently upcast it) while float64 results are bit-identical.
+    _Gammas: tuple = field(init=False, repr=False, compare=False)
+    _Pis: tuple = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.fluids) < 1:
             raise ConfigurationError("a Mixture needs at least one fluid")
         object.__setattr__(self, "_Gammas",
-                           np.array([f.Gamma for f in self.fluids], dtype=DTYPE))
+                           tuple(float(f.Gamma) for f in self.fluids))
         object.__setattr__(self, "_Pis",
-                           np.array([f.Pi for f in self.fluids], dtype=DTYPE))
+                           tuple(float(f.Pi) for f in self.fluids))
 
     @property
     def ncomp(self) -> int:
@@ -108,7 +114,8 @@ class Mixture:
 
     def sound_speed(self, alphas: np.ndarray, rho: np.ndarray, p: np.ndarray) -> np.ndarray:
         """Frozen mixture sound speed (see module docstring)."""
+        xp = array_namespace(alphas, rho, p)
         Gm, Pm = self.gamma_pi(alphas)
         gamma_m = 1.0 + 1.0 / Gm
         pi_m = Pm / (Gm + 1.0)
-        return np.sqrt(np.maximum(gamma_m * (p + pi_m), 0.0) / rho)
+        return xp.sqrt(xp.maximum(gamma_m * (p + pi_m), 0.0) / rho)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.common import ShapeError
 
 #: The paper's index permutation, 0-based: (k, l, q, j) -> (q, l, k, j).
@@ -76,13 +77,14 @@ def transpose_loop(v: np.ndarray, perm: tuple[int, ...] = COALESCE_Z_PERM, *,
     engine's layout changes.
     """
     _check_perm(perm, v.ndim)
+    xp = array_namespace(v)
     shape = tuple(v.shape[p] for p in perm)
     if out is None:
-        out = np.empty(shape, dtype=v.dtype)
+        out = xp.empty(shape, dtype=v.dtype)
     elif out.shape != shape:
         raise ShapeError(
             f"transpose out buffer has shape {out.shape}, expected {shape}")
-    out[...] = np.transpose(v, perm)
+    out[...] = xp.transpose(v, perm)
     return out
 
 
@@ -96,13 +98,14 @@ def untranspose_loop(t: np.ndarray, perm: tuple[int, ...], *,
     the forward kernel.
     """
     _check_perm(perm, t.ndim)
+    xp = array_namespace(t)
     shape = tuple(t.shape[p] for p in inverse_perm(perm))
     if out is None:
-        out = np.empty(shape, dtype=t.dtype)
+        out = xp.empty(shape, dtype=t.dtype)
     elif out.shape != shape:
         raise ShapeError(
             f"untranspose out buffer has shape {out.shape}, expected {shape}")
-    np.copyto(np.transpose(out, perm), t)
+    xp.copyto(xp.transpose(out, perm), t)
     return out
 
 
@@ -114,7 +117,8 @@ def geam_transpose_cutensor(v: np.ndarray) -> np.ndarray:
     contiguously by the library.
     """
     _require_4d(v)
-    return np.ascontiguousarray(np.transpose(v, COALESCE_Z_PERM))
+    xp = array_namespace(v)
+    return xp.ascontiguousarray(xp.transpose(v, COALESCE_Z_PERM))
 
 
 def geam_transpose_hipblas(v: np.ndarray) -> np.ndarray:

@@ -15,8 +15,12 @@ from repro.hardware.devices import (
     DEVICES,
     GPUS,
     DeviceSpec,
+    bandwidth_report,
     default_host_device,
     get_device,
+    measured_host_bandwidth,
+    measured_host_device,
+    stream_triad_gbps,
 )
 from repro.hardware.roofline import RooflinePoint, attainable_gflops, ridge_intensity
 from repro.hardware.costmodel import CostModel, KernelWorkload
@@ -35,6 +39,10 @@ __all__ = [
     "get_device",
     "DEFAULT_HOST_KEY",
     "default_host_device",
+    "bandwidth_report",
+    "measured_host_bandwidth",
+    "measured_host_device",
+    "stream_triad_gbps",
     "RooflinePoint",
     "attainable_gflops",
     "ridge_intensity",

@@ -160,8 +160,17 @@ def write_snapshot(path: str | Path, q: np.ndarray, *, step: int,
     flushed, ``fsync``'d (when ``durable``, the default), and renamed
     over ``path`` — readers never observe a partially written snapshot.
     """
+    from repro.backend import to_host_array
+
+    q = to_host_array(q)  # D2H: snapshots are a host-side consumer
     if q.dtype != DTYPE:
-        raise ConfigurationError(f"snapshots store {DTYPE}, got {q.dtype}")
+        if q.dtype.kind == "f" and q.dtype.itemsize < np.dtype(DTYPE).itemsize:
+            # float32 states upcast losslessly; the restart path casts
+            # back down, so the round-trip is exact.
+            q = q.astype(DTYPE)
+        else:
+            raise ConfigurationError(
+                f"snapshots store {DTYPE}, got {q.dtype}")
     if not 2 <= q.ndim <= 4:
         raise ConfigurationError(f"expected (nvars, *spatial) field, got ndim={q.ndim}")
     header = SnapshotHeader(step=step, time=time, nvars=q.shape[0],

@@ -23,7 +23,8 @@ GEOMETRY_KINDS = ("box", "sphere", "halfspace")
 
 #: Keys the optional ``"solver"`` section of a case file may carry.
 SOLVER_OPTION_KEYS = ("threads", "ranks", "cluster_timeout", "max_restarts",
-                      "layout", "fusion", "checkpoint_every",
+                      "layout", "fusion", "backend", "precision",
+                      "checkpoint_every",
                       "checkpoint_keep", "checkpoint_dir", "validate_every",
                       "retry", "tuning", "tuning_cache")
 
@@ -98,6 +99,14 @@ def solver_options_from_dict(spec: dict) -> dict:
         from repro.solver.sweep import validate_fusion
 
         options["fusion"] = validate_fusion(solver["fusion"])
+    if "backend" in solver:
+        from repro.backend import validate_backend
+
+        options["backend"] = validate_backend(solver["backend"])
+    if "precision" in solver:
+        from repro.backend import validate_precision
+
+        options["precision"] = validate_precision(solver["precision"])
     for key in ("checkpoint_every", "checkpoint_keep", "validate_every"):
         if key in solver:
             value = solver[key]
@@ -233,8 +242,8 @@ def load_solver_options(path: str | Path) -> dict:
 #: Solver keys the ensemble runner understands (resilience and
 #: multi-process knobs are single-case concerns; see
 #: :mod:`repro.ensemble`).
-ENSEMBLE_SOLVER_KEYS = ("threads", "layout", "fusion", "tuning",
-                        "tuning_cache")
+ENSEMBLE_SOLVER_KEYS = ("threads", "layout", "fusion", "backend",
+                        "tuning", "tuning_cache")
 
 
 def ensemble_from_dict(spec: dict, *, base_dir: str | Path | None = None):

@@ -11,6 +11,12 @@ from repro.profiling.counters import (
 )
 from repro.profiling.reports import device_comparison_report, kernel_stats_report
 from repro.profiling.roofline_plot import roofline_chart
+from repro.profiling.kernelbench import (
+    KernelBenchResult,
+    StageTiming,
+    bench_backend_matrix,
+    bench_kernels,
+)
 from repro.profiling.allocations import (
     AllocationStats,
     measure_call_allocations,
@@ -29,6 +35,10 @@ __all__ = [
     "kernel_stats_report",
     "device_comparison_report",
     "roofline_chart",
+    "KernelBenchResult",
+    "StageTiming",
+    "bench_backend_matrix",
+    "bench_kernels",
     "AllocationStats",
     "measure_call_allocations",
     "measure_step_allocations",

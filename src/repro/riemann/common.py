@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.common import DTYPE
 from repro.eos.mixture import Mixture
 from repro.state.conversions import full_alphas, prim_to_cons
@@ -52,8 +53,9 @@ def physical_flux(layout: StateLayout, prim: np.ndarray, cons: np.ndarray,
     :math:`\\alpha u_n`; the compensating :math:`\\alpha\\nabla\\cdot u`
     source is applied in the RHS assembly, following MFC.
     """
+    xp = array_namespace(prim, cons)
     un = prim[layout.momentum_component(direction)]
-    flux = np.empty_like(cons) if out is None else out
+    flux = xp.empty_like(cons) if out is None else out
     flux[layout.partial_densities] = cons[layout.partial_densities] * un
     flux[layout.momentum] = cons[layout.momentum] * un
     flux[layout.momentum_component(direction)] += p
@@ -79,7 +81,8 @@ def advect_volume_fractions(layout: StateLayout, flux: np.ndarray,
     """
     if layout.n_advected == 0:
         return
-    upwind = np.where(u_face >= 0.0, prim_l[layout.advected],
+    xp = array_namespace(flux, u_face)
+    upwind = xp.where(u_face >= 0.0, prim_l[layout.advected],
                       prim_r[layout.advected])
     flux[layout.advected] = upwind * u_face
 
@@ -97,9 +100,9 @@ class RiemannScratch:
     __slots__ = ("cons_l", "flux_l", "cons_r", "flux_r",
                  "star_l", "star_r", "star_tmp")
 
-    def __init__(self, shape: tuple[int, ...], dtype=DTYPE) -> None:
+    def __init__(self, shape: tuple[int, ...], dtype=DTYPE, xp=np) -> None:
         for name in self.__slots__:
-            setattr(self, name, np.empty(shape, dtype=dtype))
+            setattr(self, name, xp.empty(shape, dtype=dtype))
 
     def view(self, idx) -> "RiemannScratch":
         """A scratch set whose buffers are views sliced by ``idx``.
@@ -120,6 +123,7 @@ def decompose_faces(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
                     direction: int, *, cons_out: np.ndarray | None = None,
                     flux_out: np.ndarray | None = None) -> FaceStates:
     """Build a :class:`FaceStates` from one side's primitive face states."""
+    xp = array_namespace(prim)
     rho = prim[layout.partial_densities].sum(axis=0)
     p = prim[layout.pressure]
     alphas = full_alphas(layout, prim[layout.advected])
@@ -128,4 +132,4 @@ def decompose_faces(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
     cons = prim_to_cons(layout, mixture, prim, out=cons_out)
     flux = physical_flux(layout, prim, cons, rho, p, direction, out=flux_out)
     return FaceStates(prim=prim, cons=cons, rho=rho, p=p, c=c,
-                      un=np.asarray(un, dtype=DTYPE), flux=flux)
+                      un=xp.asarray(un), flux=flux)

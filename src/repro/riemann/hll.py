@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.eos.mixture import Mixture
 from repro.riemann.common import advect_volume_fractions, decompose_faces
 from repro.state.layout import StateLayout
@@ -29,32 +30,33 @@ def hll_flux(layout: StateLayout, mixture: Mixture,
         R = decompose_faces(layout, mixture, prim_r, direction,
                             cons_out=scratch.cons_r, flux_out=scratch.flux_r)
 
-    s_l = np.minimum(L.un - L.c, R.un - R.c)
-    s_r = np.maximum(L.un + L.c, R.un + R.c)
+    xp = array_namespace(L.un, R.un)
+    s_l = xp.minimum(L.un - L.c, R.un - R.c)
+    s_r = xp.maximum(L.un + L.c, R.un + R.c)
 
     # Single-state middle flux; guard s_r == s_l (identical silent states).
     den = s_r - s_l
-    tiny = np.finfo(den.dtype).tiny
-    safe_den = np.where(np.abs(den) < tiny, 1.0, den)
+    tiny = xp.finfo(den.dtype).tiny
+    safe_den = xp.where(xp.abs(den) < tiny, 1.0, den)
     middle = (s_r * L.flux - s_l * R.flux + s_l * s_r * (R.cons - L.cons)) / safe_den
-    middle = np.where(np.abs(den) < tiny, L.flux, middle)
+    middle = xp.where(xp.abs(den) < tiny, L.flux, middle)
 
     if out is None:
-        flux = np.where(s_l >= 0.0, L.flux, np.where(s_r <= 0.0, R.flux, middle))
+        flux = xp.where(s_l >= 0.0, L.flux, xp.where(s_r <= 0.0, R.flux, middle))
     else:
         flux = out
-        np.copyto(flux, middle)
-        np.copyto(flux, R.flux, where=s_r <= 0.0)
-        np.copyto(flux, L.flux, where=s_l >= 0.0)
+        xp.copyto(flux, middle)
+        xp.copyto(flux, R.flux, where=s_r <= 0.0)
+        xp.copyto(flux, L.flux, where=s_l >= 0.0)
 
     # HLL has no contact wave; use the Roe-like average bounded by the fan.
     u_mid = 0.5 * (L.un + R.un)
     if out_u is None:
-        u_face = np.where(s_l >= 0.0, L.un, np.where(s_r <= 0.0, R.un, u_mid))
+        u_face = xp.where(s_l >= 0.0, L.un, xp.where(s_r <= 0.0, R.un, u_mid))
     else:
         u_face = out_u
-        np.copyto(u_face, u_mid)
-        np.copyto(u_face, R.un, where=s_r <= 0.0)
-        np.copyto(u_face, L.un, where=s_l >= 0.0)
+        xp.copyto(u_face, u_mid)
+        xp.copyto(u_face, R.un, where=s_r <= 0.0)
+        xp.copyto(u_face, L.un, where=s_l >= 0.0)
     advect_volume_fractions(layout, flux, prim_l, prim_r, u_face)
     return flux, u_face

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.eos.mixture import Mixture
 from repro.riemann.common import advect_volume_fractions, decompose_faces
 from repro.state.layout import StateLayout
@@ -47,6 +48,7 @@ def hllc_flux(layout: StateLayout, mixture: Mixture,
         velocity (``S*`` inside the star region), which the RHS uses for
         the nonconservative volume-fraction source.
     """
+    xp = array_namespace(prim_l, prim_r)
     if scratch is None:
         L = decompose_faces(layout, mixture, prim_l, direction)
         R = decompose_faces(layout, mixture, prim_r, direction)
@@ -57,59 +59,60 @@ def hllc_flux(layout: StateLayout, mixture: Mixture,
                             cons_out=scratch.cons_r, flux_out=scratch.flux_r)
 
     # Davis wave-speed estimates.
-    s_l = np.minimum(L.un - L.c, R.un - R.c)
-    s_r = np.maximum(L.un + L.c, R.un + R.c)
+    s_l = xp.minimum(L.un - L.c, R.un - R.c)
+    s_r = xp.maximum(L.un + L.c, R.un + R.c)
 
     # Contact speed.  The denominator vanishes only for identical states
     # with zero normal-velocity jump, where any finite S* gives the same
     # flux; guard it to avoid 0/0.
     num = R.p - L.p + L.rho * L.un * (s_l - L.un) - R.rho * R.un * (s_r - R.un)
     den = L.rho * (s_l - L.un) - R.rho * (s_r - R.un)
-    tiny = np.finfo(den.dtype).tiny
-    safe_den = np.where(np.abs(den) < tiny, tiny, den)
+    tiny = xp.finfo(den.dtype).tiny
+    safe_den = xp.where(xp.abs(den) < tiny, tiny, den)
     s_star = num / safe_den
-    s_star = np.where(np.abs(den) < tiny, 0.5 * (L.un + R.un), s_star)
+    s_star = xp.where(xp.abs(den) < tiny, 0.5 * (L.un + R.un), s_star)
 
     if scratch is None:
-        star_l = _star_flux(layout, L, s_l, s_star, direction)
-        star_r = _star_flux(layout, R, s_r, s_star, direction)
+        star_l = _star_flux(layout, L, s_l, s_star, direction, xp=xp)
+        star_r = _star_flux(layout, R, s_r, s_star, direction, xp=xp)
     else:
         star_l = _star_flux(layout, L, s_l, s_star, direction,
-                            out=scratch.star_l, q_star=scratch.star_tmp)
+                            out=scratch.star_l, q_star=scratch.star_tmp,
+                            xp=xp)
         star_r = _star_flux(layout, R, s_r, s_star, direction,
-                            out=scratch.star_r, q_star=scratch.star_tmp)
+                            out=scratch.star_r, q_star=scratch.star_tmp,
+                            xp=xp)
     in_star_l = (s_l < 0.0) & (s_star >= 0.0)
     in_star_r = (s_star < 0.0) & (s_r >= 0.0)
     if out is None:
-        flux = np.where(s_l >= 0.0, L.flux, R.flux)
-        flux = np.where(in_star_l, star_l, flux)
-        flux = np.where(in_star_r, star_r, flux)
+        flux = xp.where(s_l >= 0.0, L.flux, R.flux)
+        flux = xp.where(in_star_l, star_l, flux)
+        flux = xp.where(in_star_r, star_r, flux)
     else:
         # Same selection as the np.where chain, element-for-element.
         flux = out
-        np.copyto(flux, R.flux)
-        np.copyto(flux, L.flux, where=s_l >= 0.0)
-        np.copyto(flux, star_l, where=in_star_l)
-        np.copyto(flux, star_r, where=in_star_r)
+        xp.copyto(flux, R.flux)
+        xp.copyto(flux, L.flux, where=s_l >= 0.0)
+        xp.copyto(flux, star_l, where=in_star_l)
+        xp.copyto(flux, star_r, where=in_star_r)
 
     if out_u is None:
-        u_face = np.where(s_l >= 0.0, L.un, np.where(s_r <= 0.0, R.un, s_star))
+        u_face = xp.where(s_l >= 0.0, L.un, xp.where(s_r <= 0.0, R.un, s_star))
     else:
         u_face = out_u
-        np.copyto(u_face, s_star)
-        np.copyto(u_face, R.un, where=s_r <= 0.0)
-        np.copyto(u_face, L.un, where=s_l >= 0.0)
+        xp.copyto(u_face, s_star)
+        xp.copyto(u_face, R.un, where=s_r <= 0.0)
+        xp.copyto(u_face, L.un, where=s_l >= 0.0)
     advect_volume_fractions(layout, flux, prim_l, prim_r, u_face)
     return flux, u_face
 
 
-def _star_flux(layout: StateLayout, K, s_k: np.ndarray, s_star: np.ndarray,
-               direction: int, *, out: np.ndarray | None = None,
-               q_star: np.ndarray | None = None) -> np.ndarray:
+def _star_flux(layout: StateLayout, K, s_k, s_star,
+               direction: int, *, out=None, q_star=None, xp=np):
     """``F_K + S_K (q*_K - q_K)`` for one side of the fan."""
     factor = (s_k - K.un) / (s_k - s_star)
     if q_star is None:
-        q_star = np.empty_like(K.cons)
+        q_star = xp.empty_like(K.cons)
     q_star[layout.partial_densities] = K.cons[layout.partial_densities] * factor
     rho_star = K.rho * factor
 
@@ -124,7 +127,7 @@ def _star_flux(layout: StateLayout, K, s_k: np.ndarray, s_star: np.ndarray,
     q_star[layout.advected] = K.cons[layout.advected] * factor
     if out is None:
         return K.flux + s_k * (q_star - K.cons)
-    np.subtract(q_star, K.cons, out=q_star)
-    np.multiply(q_star, s_k, out=q_star)
-    np.add(K.flux, q_star, out=out)
+    xp.subtract(q_star, K.cons, out=q_star)
+    xp.multiply(q_star, s_k, out=q_star)
+    xp.add(K.flux, q_star, out=out)
     return out

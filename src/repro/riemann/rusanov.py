@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.eos.mixture import Mixture
 from repro.riemann.common import advect_volume_fractions, decompose_faces
 from repro.state.layout import StateLayout
@@ -24,20 +25,21 @@ def rusanov_flux(layout: StateLayout, mixture: Mixture,
         R = decompose_faces(layout, mixture, prim_r, direction,
                             cons_out=scratch.cons_r, flux_out=scratch.flux_r)
 
-    s_max = np.maximum(np.abs(L.un) + L.c, np.abs(R.un) + R.c)
+    xp = array_namespace(L.un, R.un)
+    s_max = xp.maximum(xp.abs(L.un) + L.c, xp.abs(R.un) + R.c)
     dissipation = 0.5 * s_max * (R.cons - L.cons)
     if out is None:
         flux = 0.5 * (L.flux + R.flux) - dissipation
     else:
         flux = out
-        np.add(L.flux, R.flux, out=flux)
-        np.multiply(flux, 0.5, out=flux)
-        np.subtract(flux, dissipation, out=flux)
+        xp.add(L.flux, R.flux, out=flux)
+        xp.multiply(flux, 0.5, out=flux)
+        xp.subtract(flux, dissipation, out=flux)
     if out_u is None:
         u_face = 0.5 * (L.un + R.un)
     else:
         u_face = out_u
-        np.add(L.un, R.un, out=u_face)
-        np.multiply(u_face, 0.5, out=u_face)
+        xp.add(L.un, R.un, out=u_face)
+        xp.multiply(u_face, 0.5, out=u_face)
     advect_volume_fractions(layout, flux, prim_l, prim_r, u_face)
     return flux, u_face

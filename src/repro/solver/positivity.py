@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.eos.mixture import Mixture
 from repro.state.conversions import full_alphas
 from repro.state.layout import StateLayout
@@ -25,13 +26,14 @@ PRESSURE_MARGIN = 1e-6
 
 def _unphysical(layout: StateLayout, mixture: Mixture, prim: np.ndarray) -> np.ndarray:
     """Boolean mask (per face) where the state cannot be evaluated."""
+    xp = array_namespace(prim)
     bad = (prim[layout.partial_densities] <= 0.0).any(axis=0)
     alphas = full_alphas(layout, prim[layout.advected])
     Gm, Pm = mixture.gamma_pi(alphas)
     pi_m = Pm / (Gm + 1.0)
     floor = -pi_m + PRESSURE_MARGIN * (pi_m + 1.0)
     bad |= prim[layout.pressure] <= floor
-    bad |= ~np.isfinite(prim).all(axis=0)
+    bad |= ~xp.isfinite(prim).all(axis=0)
     return bad
 
 
@@ -55,7 +57,7 @@ def limit_face_states(layout: StateLayout, mixture: Mixture, padded: np.ndarray,
     limited = 0
     for v, offset in ((v_l, ng - 1), (v_r, ng)):
         bad = _unphysical(layout, mixture, v)
-        if bad.any():
+        if bool(bad.any()):
             donor = faces(padded, offset)
             v[:, bad] = donor[:, bad]
             limited += int(bad.sum())

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import array_namespace, resolve_backend
 from repro.bc.boundary import BoundarySet, fill_axis_ghosts, pad_axis
 from repro.common import DTYPE, ConfigurationError, Stopwatch
 from repro.eos.mixture import Mixture
@@ -161,6 +162,17 @@ class RHS:
     #: whenever the workspace path is active.  All modes are bitwise
     #: identical — fusion is a tuner axis like the sweep layout.
     fusion: str = "off"
+    #: Execution backend (name, :class:`repro.backend.Backend`, or
+    #: None for NumPy): owns the array namespace the kernels resolve
+    #: and the workspace allocator.  Capability fallbacks are applied
+    #: here: backends without negative-stride ``as_strided`` run the
+    #: chained WENO kernels, backends the fusion code generator cannot
+    #: target never fuse, and thread tiling is disabled where the
+    #: backend manages its own parallelism (see ``docs/backends.md``).
+    backend: object = None
+    #: Array dtype of the state/workspace (``precision`` seam);
+    #: ``numpy.float64`` keeps the bitwise-identical default.
+    dtype: object = DTYPE
     #: Ensemble batch width: ``batch=B`` evaluates B same-grid cases
     #: stacked as ``q[:, b, ...]`` in ONE call, amortizing every ufunc
     #: pass (and every fused-kernel launch) B-fold.  The batch axis is
@@ -172,6 +184,15 @@ class RHS:
     batch: int | None = None
 
     def __post_init__(self) -> None:
+        self.backend = resolve_backend(self.backend)
+        self.dtype = np.dtype(self.dtype)
+        if not self.backend.supports_stacked_weno \
+                and self.weno_variant == "stacked":
+            # Documented capability fallback (docs/backends.md): the
+            # stacked kernels need negative-stride as_strided views.
+            self.weno_variant = "chained"
+        if not self.backend.supports_threads and self.threads > 1:
+            self.threads = 1
         if self.grid.ndim != self.layout.ndim:
             raise ConfigurationError(
                 f"grid is {self.grid.ndim}D but layout expects {self.layout.ndim}D")
@@ -213,7 +234,8 @@ class RHS:
                 f"tiles must be a positive integer or None, got {self.tiles!r}")
         validate_geometry(self.config.geometry, self.layout, self.grid)
         if self.config.geometry == "axisymmetric":
-            self._radius = self.grid.centers(1).reshape(1, -1)
+            self._radius = self.backend.xp.asarray(
+                self.grid.centers(1).reshape(1, -1), dtype=self.dtype)
         else:
             self._radius = None
         self._viscosity = (Viscosity(tuple(self.config.viscosity))
@@ -227,6 +249,11 @@ class RHS:
         self.limited_faces = 0
         validate_sweep_layout(self.sweep_layout)
         validate_fusion(self.fusion)
+        if self.fusion == "on" and not self.backend.supports_fusion:
+            raise ConfigurationError(
+                f"fusion='on' is not supported on the "
+                f"{self.backend.name!r} backend (the fused code "
+                f"generator targets NumPy); use fusion='auto' or 'off'")
         if self.fusion == "on" and not self.use_workspace:
             raise ConfigurationError(
                 "fusion='on' requires the workspace (the fused kernels' "
@@ -234,7 +261,8 @@ class RHS:
                 "fuse opportunistically")
         #: Whether the direction sweeps run as fused per-tile kernels.
         self._fused = (self.fusion == "on"
-                       or (self.fusion == "auto" and self.use_workspace))
+                       or (self.fusion == "auto" and self.use_workspace
+                           and self.backend.supports_fusion))
         self._device = (get_device(self.tile_device)
                         if isinstance(self.tile_device, str)
                         else self.tile_device)
@@ -262,11 +290,13 @@ class RHS:
         #: Preallocated buffer arena; None runs the allocating
         #: reference path.
         self.workspace = (SolverWorkspace(self.layout, self.grid, self._ng,
+                                          dtype=self.dtype,
                                           transposed_axes=self._transposed_axes,
                                           weno_variant=self.weno_variant,
                                           weno_order=self.config.weno_order,
                                           fusion=self._fused,
-                                          batch=self.batch)
+                                          batch=self.batch,
+                                          backend=self.backend)
                           if self.use_workspace else None)
         if (not isinstance(self.threads, int) or isinstance(self.threads, bool)
                 or self.threads < 1):
@@ -347,7 +377,7 @@ class RHS:
                 weno_variant=self.weno_variant,
                 riemann_solver=self.config.riemann_solver,
                 riemann_variant=self.riemann_variant,
-                dtype=np.dtype(DTYPE).name, backend=self.fusion_backend,
+                dtype=self.dtype.name, backend=self.fusion_backend,
                 batch=self.batch is not None)
             self._fused_kernels[d] = (spec, fused_kernel(spec), region)
             if kind == "transposed":
@@ -364,7 +394,7 @@ class RHS:
                 bytes_per_slice = (PIPELINE_ROWS_PER_SLICE
                                    * self.layout.nvars
                                    * (cells // max(extent, 1))
-                                   * np.dtype(DTYPE).itemsize)
+                                   * self.dtype.itemsize)
                 self._tiles_f[d] = suggest_tile_count(
                     extent, 1, bytes_per_slice=bytes_per_slice,
                     device=device,
@@ -408,7 +438,7 @@ class RHS:
             cells *= n
         bytes_per_slice = (PIPELINE_ROWS_PER_SLICE * self.layout.nvars
                            * (cells // max(extent, 1))
-                           * np.dtype(DTYPE).itemsize)
+                           * self.dtype.itemsize)
         device = (self._device if self._device is not None
                   else default_host_device())
         return self.executor.plan_tiles(
@@ -455,10 +485,14 @@ class RHS:
         """
         layout = self.layout
         sw = self.stopwatch
-        widths = self.grid.width_fields()
         ws = self.workspace
         if ws is not None and not ws.compatible(q):
             ws = None  # off-grid shapes fall back to the allocating path
+        xp = ws.xp if ws is not None else array_namespace(q)
+        # Cell widths live on the host; asarray is the sanctioned H2D
+        # entry (identity for the NumPy backend, so bitwise neutral).
+        widths = tuple(xp.asarray(w, dtype=q.dtype)
+                       for w in self.grid.width_fields())
 
         if prim is None:
             prim_out = ws.prim if ws is not None else None
@@ -469,15 +503,15 @@ class RHS:
                 prim = cons_to_prim(layout, self.mixture, q, out=prim_out)
 
         if out is None:
-            dqdt = np.zeros_like(q)
+            dqdt = xp.zeros_like(q)
         else:
             dqdt = out
-            dqdt.fill(0.0)
+            dqdt[...] = 0.0
         if ws is not None:
             divu = ws.divu
-            divu.fill(0.0)
+            divu[...] = 0.0
         else:
-            divu = np.zeros(q.shape[1:], dtype=q.dtype)
+            divu = xp.zeros(tuple(q.shape[1:]), dtype=q.dtype)
 
         # The tiled backend and the transposed engine both need the
         # workspace buffers (per-thread scratch, disjoint-write arenas,
@@ -566,7 +600,7 @@ class RHS:
         else:
             arr = prim.ndim
             perm = sweep_perm(arr, d + 1)
-            tview = np.transpose(prim, perm)
+            tview = array_namespace(prim).transpose(prim, perm)
             extent = tview.shape[1]
             tiled_axis = perm[1]
             w_max = -(-extent // min(tiles, extent))
@@ -655,12 +689,13 @@ class RHS:
             # dq/dt += (F_{i-1/2} - F_{i+1/2}) / dx = -diff(F)/dx.
             if ws is not None:
                 _accumulate_divergence(flux, d + 1, width, ws.div_scratch, dqdt,
-                                       np.subtract)
+                                       "subtract")
                 _accumulate_divergence(u_face, d, width, ws.divu_scratch, divu,
-                                       np.add)
+                                       "add")
             else:
-                dqdt -= np.diff(flux, axis=d + 1) / width
-                divu += np.diff(u_face, axis=d) / width
+                xp = array_namespace(prim)
+                dqdt -= xp.diff(flux, axis=d + 1) / width
+                divu += xp.diff(u_face, axis=d) / width
 
         self.sweep_counters.record_strided(
             v_l.nbytes + v_r.nbytes, contiguous=(pd == layout.ndim - 1),
@@ -736,10 +771,10 @@ class RHS:
                     fi = (slice(None), slice(lo, hi + 1))
                     _accumulate_divergence(flux[fi], 1, width[lo:hi],
                                            ws.div_scratch[ci], dqdt[ci],
-                                           np.subtract)
+                                           "subtract")
                     _accumulate_divergence(u_face[lo:hi + 1], 0, width[lo:hi],
                                            ws.divu_scratch[lo:hi], divu[lo:hi],
-                                           np.add)
+                                           "add")
 
             ex.launch(accum, rows, tiles=tiles)
             self.sweep_counters.record_strided(
@@ -772,9 +807,9 @@ class RHS:
                     scratch=rscr.view((slice(None), slice(0, count))))
             with timed("other"):
                 _accumulate_divergence(tf, d + 1, width, ws.div_scratch[s],
-                                       dqdt[s], np.subtract)
+                                       dqdt[s], "subtract")
                 _accumulate_divergence(tu, d, width, ws.divu_scratch[lo:hi],
-                                       divu[lo:hi], np.add)
+                                       divu[lo:hi], "add")
             return limited
 
         self.limited_faces += sum(ex.launch(slab, rows, tiles=tiles))
@@ -820,7 +855,8 @@ class RHS:
         with timed("packing"):
             # Gather the primitives into the axis-last padded block (the
             # engine's one strided read), then fill ghosts contiguously.
-            tpad[..., ng:ng + n] = np.transpose(prim, perm)
+            tpad[..., ng:ng + n] = array_namespace(prim).transpose(prim,
+                                                                    perm)
             fill_axis_ghosts(tpad, layout, arr - 2, ng, lo_bc, hi_bc,
                              normal_direction=pd)
 
@@ -844,9 +880,9 @@ class RHS:
 
         with timed("other"):
             _accumulate_divergence(flux, d + 1, width, ws.div_scratch, dqdt,
-                                   np.subtract)
+                                   "subtract")
             _accumulate_divergence(u_face, d, width, ws.divu_scratch, divu,
-                                   np.add)
+                                   "add")
 
         self.sweep_counters.record_transposed(
             tvl.nbytes + tvr.nbytes,
@@ -883,9 +919,10 @@ class RHS:
         # Standard-layout views pre-permuted so each slab's gather and
         # scatter are plain slice assignments (disjoint writes: the
         # slab axis is axis 1 of every transposed buffer).
-        tview = np.transpose(prim, perm)
-        flux_t = np.transpose(flux, perm)
-        uface_t = np.transpose(u_face, tuple(p - 1 for p in perm[1:]))
+        xp = array_namespace(prim)
+        tview = xp.transpose(prim, perm)
+        flux_t = xp.transpose(flux, perm)
+        uface_t = xp.transpose(u_face, tuple(p - 1 for p in perm[1:]))
         tiled_axis = perm[1]  # standard-layout array axis the slabs cut
         extent = tpad.shape[1]
         tiles = self._tiles_t[d]
@@ -916,18 +953,18 @@ class RHS:
                     out=tflux[s], out_u=tuface[lo:hi],
                     scratch=rscr.view((slice(None), slice(0, count))))
             with timed("packing"):
-                np.copyto(flux_t[s], tf)
-                np.copyto(uface_t[lo:hi], tu)
+                xp.copyto(flux_t[s], tf)
+                xp.copyto(uface_t[lo:hi], tu)
             with timed("other"):
                 std = [slice(None)] * arr
                 std[tiled_axis] = slice(lo, hi)
                 std = tuple(std)
                 _accumulate_divergence(flux[std], d + 1, width,
                                        ws.div_scratch[std], dqdt[std],
-                                       np.subtract)
+                                       "subtract")
                 _accumulate_divergence(u_face[std[1:]], d, width,
                                        ws.divu_scratch[std[1:]], divu[std[1:]],
-                                       np.add)
+                                       "add")
             return limited
 
         self.limited_faces += sum(ex.launch(slab, extent, tiles=tiles))
@@ -937,21 +974,24 @@ class RHS:
             weno_passes=self._weno_sweep_passes)
 
 
-def _accumulate_divergence(faces: np.ndarray, axis: int, width: np.ndarray,
-                           scratch: np.ndarray, acc: np.ndarray, op) -> None:
+def _accumulate_divergence(faces, axis: int, width,
+                           scratch, acc, op: str) -> None:
     """``acc op= diff(faces, axis)/width`` without temporaries.
 
-    Bitwise identical to ``np.diff``-based accumulation: the forward
-    difference, the width division, and the in-place accumulate are the
-    same three ufunc evaluations in the same order.
+    ``op`` names the accumulating ufunc ("subtract"/"add") so it can be
+    resolved against the arrays' own namespace.  Bitwise identical to
+    ``np.diff``-based accumulation: the forward difference, the width
+    division, and the in-place accumulate are the same three ufunc
+    evaluations in the same order.
     """
+    xp = array_namespace(faces, acc)
     lo = [slice(None)] * faces.ndim
     hi = [slice(None)] * faces.ndim
     lo[axis] = slice(0, -1)
     hi[axis] = slice(1, None)
-    np.subtract(faces[tuple(hi)], faces[tuple(lo)], out=scratch)
-    np.true_divide(scratch, width, out=scratch)
-    op(acc, scratch, out=acc)
+    xp.subtract(faces[tuple(hi)], faces[tuple(lo)], out=scratch)
+    xp.true_divide(scratch, width, out=scratch)
+    getattr(xp, op)(acc, scratch, out=acc)
 
 
 class _NullCtx:

@@ -44,6 +44,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro.backend import (
+    array_namespace,
+    precision_dtype,
+    resolve_backend,
+    to_host_array,
+)
 from repro.bc.boundary import BC, BoundarySet
 from repro.common import ConfigurationError, NumericsError, Stopwatch, WallTimer
 from repro.solver.case import Case
@@ -176,6 +182,20 @@ class Simulation:
     tuning_cache:
         Cache file for ``tuning="auto"``; defaults to
         ``$REPRO_TUNING_CACHE`` or ``.repro_tuning/cache.json``.
+    backend:
+        Execution backend for the hot path (name or
+        :class:`repro.backend.Backend`); ``None``/``"numpy"`` (the
+        default) is bitwise identical to the pre-backend code.  The
+        state lives on the backend's device for the whole march; host
+        consumers (checkpoints, validation, conserved totals, halo
+        exchange) receive explicit device-to-host copies.  See
+        ``docs/backends.md``.
+    precision:
+        State dtype: ``"float64"`` (default) or ``"float32"``.  An
+        explicit, validated choice — never tuner-selected — because it
+        changes answers; float32 runs trade accuracy for the halved
+        memory traffic the roofline model predicts.  Incompatible with
+        ``ranks > 1`` (cluster workers march in float64).
     """
 
     case: Case
@@ -205,6 +225,8 @@ class Simulation:
     fault_injector: object | None = None
     tuning: object = "off"
     tuning_cache: str | Path | None = None
+    backend: object = None
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         if self.rk_order not in SSP_SCHEMES:
@@ -228,7 +250,13 @@ class Simulation:
         if self.max_restarts < 0:
             raise ConfigurationError(
                 f"max_restarts must be >= 0, got {self.max_restarts}")
+        self.backend = resolve_backend(self.backend)
+        self._dtype = precision_dtype(self.precision)
         if self.ranks > 1:
+            if self.precision != "float64":
+                raise ConfigurationError(
+                    "ranks > 1 marches in float64 (cluster workers are "
+                    "not precision-aware); drop precision or ranks")
             if self.threads > 1:
                 raise ConfigurationError(
                     "ranks > 1 is incompatible with threads > 1 "
@@ -262,6 +290,12 @@ class Simulation:
             self.threads = plan.threads
             self.sweep_layout = plan.sweep_layout
             self.fusion = plan.fusion
+            if getattr(plan, "backend", None):
+                self.backend = resolve_backend(plan.backend)
+        # H2D: the state moves onto the execution backend once the plan
+        # is settled (the tuner measures on the host array above).
+        # Identity for the default numpy/float64 configuration.
+        self.q = self.backend.from_host(self.q, dtype=self._dtype)
         self.rhs = RHS(self.layout, self.mixture, self.grid, self.bcs,
                        self.config, stopwatch=self.stopwatch,
                        use_workspace=self.use_workspace,
@@ -271,7 +305,8 @@ class Simulation:
                                      else "chained"),
                        riemann_variant=(plan.riemann_variant
                                         if plan is not None else "reference"),
-                       tiles=plan.tiles if plan is not None else None)
+                       tiles=plan.tiles if plan is not None else None,
+                       backend=self.backend, dtype=self._dtype)
         self.time = 0.0
         self.step_count = 0
         self.history: list[StepRecord] = []
@@ -337,7 +372,8 @@ class Simulation:
     def conserved_totals(self) -> np.ndarray:
         """Volume-integrated conservative variables (for conservation tests)."""
         vol = self.grid.cell_volumes()
-        return np.array([(self.q[v] * vol).sum() for v in range(self.layout.nvars)])
+        q = to_host_array(self.q)  # D2H: diagnostics integrate on host
+        return np.array([(q[v] * vol).sum() for v in range(self.layout.nvars)])
 
     def compute_dt(self, prim: np.ndarray | None = None) -> float:
         """CFL-limited (or fixed) step; ``prim`` avoids a re-conversion."""
@@ -418,7 +454,8 @@ class Simulation:
             rhs = RHS(self.layout, self.mixture, self.grid, self.bcs, cfg,
                       stopwatch=self.stopwatch,
                       use_workspace=self.use_workspace,
-                      threads=1, sweep_layout="strided")
+                      threads=1, sweep_layout="strided",
+                      backend=self.backend, dtype=self._dtype)
             self._fallback_rhs_cache[order] = rhs
         return rhs
 
@@ -430,14 +467,15 @@ class Simulation:
         """One step under the retry policy (see :meth:`step`)."""
         policy = self.retry
         ws = self.rhs.workspace
+        xp = array_namespace(self.q)
         if ws is not None:
             # q may alias ws.rk_result (a failed RK step clobbers it),
             # so the guard snapshots into the workspace-owned rollback
             # buffer — no per-step allocation.
-            np.copyto(ws.rollback, self.q)
+            xp.copyto(ws.rollback, self.q)
             snapshot = ws.rollback
         else:
-            snapshot = self.q.copy()
+            snapshot = xp.copy(self.q)
         ladder = self._escalation_ladder
         total_attempts = 1 + policy.max_retries + len(ladder)
         dts: list[float] = []
@@ -479,13 +517,16 @@ class Simulation:
                 if ws_a is not None:
                     vprim = cons_to_prim(self.layout, self.mixture, q_new,
                                          out=ws_a.prim)
-                diag = check_state(self.layout, self.mixture, q_new,
-                                   prim=vprim)
+                # D2H views: state checks are host-side diagnostics.
+                diag = check_state(self.layout, self.mixture,
+                                   to_host_array(q_new),
+                                   prim=(None if vprim is None
+                                         else to_host_array(vprim)))
                 if diag is None:
                     self.q = q_new
                     break
                 self.recovery.guard_failures += 1
-                np.copyto(self.q, snapshot)
+                xp.copyto(self.q, snapshot)
                 self.recovery.rollbacks += 1
                 if attempt + 1 < total_attempts:
                     self.recovery.retries += 1
@@ -576,9 +617,10 @@ class Simulation:
             checkpoint_dir=self.checkpoint_dir,
             checkpoint_keep=self.checkpoint_keep,
             max_restarts=self.max_restarts, timeout=self.cluster_timeout)
-        result = cluster.run(self.q, t_end=t_end, n_steps=n_steps,
+        result = cluster.run(to_host_array(self.q), t_end=t_end,
+                             n_steps=n_steps,
                              base_time=self.time, base_step=self.step_count)
-        self.q = result.q
+        self.q = self.backend.from_host(result.q, dtype=self._dtype)
         self.time = result.time
         self.step_count = result.step_count
         for step, time, dt, wall in result.history:
@@ -608,7 +650,8 @@ class Simulation:
         cell, and the primitive variable there (via
         :func:`repro.solver.resilience.check_state`).
         """
-        diag = check_state(self.layout, self.mixture, self.q)
+        diag = check_state(self.layout, self.mixture,
+                           to_host_array(self.q))
         if diag is not None:
             raise NumericsError(
                 f"unphysical state at step {self.step_count}: {diag}")
@@ -632,7 +675,7 @@ class Simulation:
         """Write one rotating durable checkpoint of the current state."""
         with WallTimer() as timer:
             path = self.checkpoint_manager.save(
-                self.q, step=self.step_count, time=self.time)
+                to_host_array(self.q), step=self.step_count, time=self.time)
         self.recovery.checkpoints_written += 1
         self.recovery.checkpoint_seconds += timer.elapsed
         return path
@@ -649,7 +692,8 @@ class Simulation:
         verified0, rejected0 = mgr.verified, mgr.rejected
         events0 = len(mgr.events)
         try:
-            path, header, q = mgr.load_latest(expect_shape=self.q.shape)
+            path, header, q = mgr.load_latest(
+                expect_shape=tuple(self.q.shape))
         finally:
             self.recovery.record_checkpoint_skips(
                 mgr, verified0=verified0, rejected0=rejected0,
@@ -662,7 +706,8 @@ class Simulation:
         """Write the current state as a restart snapshot; returns bytes."""
         from repro.io.binary import write_snapshot
 
-        return write_snapshot(path, self.q, step=self.step_count, time=self.time)
+        return write_snapshot(path, to_host_array(self.q),
+                              step=self.step_count, time=self.time)
 
     def load_checkpoint(self, path) -> None:
         """Restore state, step count, and time from a snapshot.
@@ -677,14 +722,14 @@ class Simulation:
         from repro.io.binary import read_snapshot
 
         header, q = read_snapshot(path)
-        if q.shape != self.q.shape:
+        if tuple(q.shape) != tuple(self.q.shape):
             raise ConfigurationError(
                 f"checkpoint shape {q.shape} does not match case {self.q.shape}")
         self.recovery.checkpoints_verified += 1
         self._apply_restart(header.step, header.time, q)
 
     def _apply_restart(self, step: int, time: float, q: np.ndarray) -> None:
-        self.q = q
+        self.q = self.backend.from_host(q, dtype=self._dtype)
         self.step_count = step
         self.time = time
         self.history.clear()

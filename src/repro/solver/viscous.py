@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common import ConfigurationError, DTYPE
+from repro.backend import array_namespace
+from repro.common import ConfigurationError
 from repro.grid.cartesian import StructuredGrid
 from repro.state.conversions import full_alphas
 from repro.state.layout import StateLayout
@@ -45,9 +46,10 @@ class Viscosity:
         if len(self.mu) != layout.ncomp:
             raise ConfigurationError(
                 f"{len(self.mu)} viscosities for {layout.ncomp} components")
+        xp = array_namespace(prim)
         alphas = full_alphas(layout, prim[layout.advected])
-        mus = np.asarray(self.mu, dtype=DTYPE)
-        return np.tensordot(mus, alphas, axes=(0, 0))
+        mus = xp.asarray(np.asarray(self.mu, dtype=prim.dtype))
+        return xp.tensordot(mus, alphas, axes=(0, 0))
 
 
 def viscous_rhs(layout: StateLayout, grid: StructuredGrid, prim: np.ndarray,
@@ -59,14 +61,17 @@ def viscous_rhs(layout: StateLayout, grid: StructuredGrid, prim: np.ndarray,
     which is consistent with the extrapolation BCs the viscous cases
     use.
     """
+    xp = array_namespace(prim)
     mu = viscosity.mixture_mu(layout, prim)
     vel = [prim[layout.momentum_component(d)] for d in range(layout.ndim)]
-    coords = [grid.centers(d) for d in range(layout.ndim)]
+    # Grid coordinates live on the host; asarray is the sanctioned H2D
+    # entry (identity for NumPy, so bitwise neutral).
+    coords = [xp.asarray(grid.centers(d)) for d in range(layout.ndim)]
 
-    def ddx(f: np.ndarray, d: int) -> np.ndarray:
+    def ddx(f, d: int):
         if f.shape[d] < 2:
-            return np.zeros_like(f)
-        return np.gradient(f, coords[d], axis=d)
+            return xp.zeros_like(f)
+        return xp.gradient(f, coords[d], axis=d)
 
     # Velocity gradient tensor g[i][j] = d u_i / d x_j.
     g = [[ddx(vel[i], j) for j in range(layout.ndim)]
@@ -79,7 +84,7 @@ def viscous_rhs(layout: StateLayout, grid: StructuredGrid, prim: np.ndarray,
     for i in range(layout.ndim):
         tau[i][i] = tau[i][i] - (2.0 / 3.0) * mu * div_u
 
-    dqdt = np.zeros_like(prim)
+    dqdt = xp.zeros_like(prim)
     for i in range(layout.ndim):
         comp = layout.momentum_component(i)
         for j in range(layout.ndim):

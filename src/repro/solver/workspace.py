@@ -42,6 +42,7 @@ from types import SimpleNamespace
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.common import DTYPE
 from repro.fields.transpose import sweep_perm
 from repro.grid.cartesian import StructuredGrid
@@ -80,7 +81,7 @@ class FusionScratch:
     def __init__(self, nvars: int, spatial: tuple[int, ...], ng: int,
                  d: int, tile_width: int, dtype,
                  weno_variant: str, weno_order: int,
-                 transposed: bool = False) -> None:
+                 transposed: bool = False, xp=np) -> None:
         ndim = len(spatial)
         shape = (nvars, *spatial)
         self.d = d
@@ -88,9 +89,10 @@ class FusionScratch:
         self.width_cap = tile_width
         self.weno_variant = weno_variant
         self.weno_order = weno_order
+        self.xp = xp
 
         def new(s):
-            return np.empty(s, dtype=dtype)
+            return xp.empty(s, dtype=dtype)
 
         # Reconstruction-axis-last face shape (the WENO layout).
         last = ([nvars] + [spatial[k] for k in range(ndim) if k != d]
@@ -112,8 +114,8 @@ class FusionScratch:
             self.tflux = new(tface)
             self.tuface = new(tface[1:])
             self.wscr = allocate_weno_scratch(weno_variant, weno_order,
-                                              tuple(tface), dtype)
-            self.rscr = RiemannScratch(tuple(tface), dtype=dtype)
+                                              tuple(tface), dtype, xp=xp)
+            self.rscr = RiemannScratch(tuple(tface), dtype=dtype, xp=xp)
             fstd = list(shape)
             fstd[d + 1] += 1
             fstd[self.tiled_axis] = min(tile_width, fstd[self.tiled_axis])
@@ -144,8 +146,8 @@ class FusionScratch:
             self.flux = new(fshape)
             self.uface = new(fshape[1:])
             self.wscr = allocate_weno_scratch(weno_variant, weno_order,
-                                              tuple(wlast), dtype)
-            self.rscr = RiemannScratch(tuple(fshape), dtype=dtype)
+                                              tuple(wlast), dtype, xp=xp)
+            self.rscr = RiemannScratch(tuple(fshape), dtype=dtype, xp=xp)
             dshape = list(shape)
             if self.slab_axis is not None:
                 dshape[self.slab_axis + 1] = w
@@ -172,9 +174,9 @@ class FusionScratch:
                 tpad=self.tpad[t], tvl=self.tvl[t], tvr=self.tvr[t],
                 tflux=self.tflux[t], tuface=self.tuface[:count],
                 flux=flux, uface=uface,
-                flux_t=np.transpose(flux, self.perm),
-                uface_t=np.transpose(uface,
-                                     tuple(p - 1 for p in self.perm[1:])),
+                flux_t=self.xp.transpose(flux, self.perm),
+                uface_t=self.xp.transpose(uface,
+                                          tuple(p - 1 for p in self.perm[1:])),
                 wscr=wscr, rscr=self.rscr.view(t),
                 dscr=self.dscr[std], dvscr=self.dvscr[std[1:]])
         if self.slab_axis is None:
@@ -250,8 +252,13 @@ class SolverWorkspace:
                  weno_variant: str = "chained",
                  weno_order: int | None = None,
                  fusion: bool = False,
-                 batch: int | None = None) -> None:
+                 batch: int | None = None,
+                 backend=None) -> None:
         nvars = layout.nvars
+        #: The execution backend this arena allocates on; its namespace
+        #: (``xp``) is what every kernel resolves from the buffers.
+        self.backend = resolve_backend(backend)
+        self.xp = self.backend.xp
         if batch is not None and (not isinstance(batch, int)
                                   or isinstance(batch, bool) or batch < 1):
             raise ValueError(
@@ -290,7 +297,7 @@ class SolverWorkspace:
         self.transposed_axes = frozenset(transposed_axes)
 
         def new(shape):
-            return np.empty(shape, dtype=self.dtype)
+            return self.xp.empty(shape, dtype=self.dtype)
 
         # Field-sized buffers.
         self.prim = new(self.shape)
@@ -349,9 +356,9 @@ class SolverWorkspace:
             self.u_face.append(new(fshape[1:]))
             self.weno_scratch.append(
                 allocate_weno_scratch(self.weno_variant, self.weno_order,
-                                      tuple(last), self.dtype))
+                                      tuple(last), self.dtype, xp=self.xp))
             self.riemann_scratch.append(
-                RiemannScratch(tuple(fshape), dtype=self.dtype))
+                RiemannScratch(tuple(fshape), dtype=self.dtype, xp=self.xp))
 
         # Axis-contiguous transposed sweep buffers (paper §III.D): for
         # each direction the engine transposes, the padded primitive
@@ -381,7 +388,8 @@ class SolverWorkspace:
             self.t_flux[d] = new(tface)
             self.t_u_face[d] = new(tface[1:])
             self.t_riemann_scratch[d] = RiemannScratch(tuple(tface),
-                                                       dtype=self.dtype)
+                                                       dtype=self.dtype,
+                                                       xp=self.xp)
 
         # Per-worker kernel scratch, keyed (thread ident, direction,
         # layout); see the module docstring's thread-ownership rule.
@@ -409,7 +417,7 @@ class SolverWorkspace:
                 scr = FusionScratch(self._nvars, self._spatial, self._ng, d,
                                     tile_width, self.dtype,
                                     self.weno_variant, self.weno_order,
-                                    transposed=transposed)
+                                    transposed=transposed, xp=self.xp)
                 self._fusion_scratch[key] = scr
         return scr
 
@@ -446,16 +454,21 @@ class SolverWorkspace:
                     fshape[1] = min(tile_width, fshape[1])
                 weno = allocate_weno_scratch(self.weno_variant,
                                              self.weno_order, tuple(wshape),
-                                             self.dtype)
+                                             self.dtype, xp=self.xp)
                 entry = (tile_width, weno,
-                         RiemannScratch(tuple(fshape), dtype=self.dtype))
+                         RiemannScratch(tuple(fshape), dtype=self.dtype,
+                                        xp=self.xp))
                 self._thread_scratch[key] = entry
         return entry[1], entry[2]
 
     # ------------------------------------------------------------------
-    def compatible(self, q: np.ndarray) -> bool:
+    def compatible(self, q) -> bool:
         """Whether ``q`` matches the shape/dtype this workspace was built for."""
-        return q.shape == self.shape and q.dtype == self.dtype
+        if tuple(q.shape) != self.shape:
+            return False
+        qd = getattr(q, "dtype", None)
+        # torch dtypes stringify as "torch.float64"; numpy's as "float64".
+        return qd == self.dtype or str(qd).endswith(self.dtype.name)
 
     @property
     def nbytes(self) -> int:

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common import DTYPE, PositivityError
+from repro.backend import array_namespace
+from repro.common import PositivityError
 from repro.eos.mixture import Mixture
 from repro.state.layout import StateLayout
 
@@ -38,12 +39,13 @@ def full_alphas(layout: StateLayout, advected: np.ndarray) -> np.ndarray:
     ``advected`` has shape ``(ncomp-1, ...)``; the result has shape
     ``(ncomp, ...)`` with the last component closing the sum to one.
     """
+    xp = array_namespace(advected)
     shape = (layout.ncomp,) + advected.shape[1:]
-    alphas = np.empty(shape, dtype=DTYPE)
+    alphas = xp.empty(shape, dtype=advected.dtype)
     if layout.n_advected:
-        np.clip(advected, ALPHA_FLOOR, 1.0 - ALPHA_FLOOR, out=alphas[:-1])
+        xp.clip(advected, ALPHA_FLOOR, 1.0 - ALPHA_FLOOR, out=alphas[:-1])
         alphas[-1] = 1.0 - alphas[:-1].sum(axis=0)
-        np.clip(alphas[-1], ALPHA_FLOOR, 1.0, out=alphas[-1])
+        xp.clip(alphas[-1], ALPHA_FLOOR, 1.0, out=alphas[-1])
     else:
         alphas[0] = 1.0
     return alphas
@@ -63,9 +65,10 @@ def cons_to_prim(layout: StateLayout, mixture: Mixture, q: np.ndarray,
         Optional preallocated destination (the workspace primitive
         buffer); results are bitwise identical either way.
     """
-    prim = np.empty_like(q) if out is None else out
+    xp = array_namespace(q)
+    prim = xp.empty_like(q) if out is None else out
     rho = q[layout.partial_densities].sum(axis=0)
-    if check and not np.all(rho > 0.0):
+    if check and not bool((rho > 0.0).all()):
         raise PositivityError("non-positive mixture density in cons_to_prim")
 
     prim[layout.partial_densities] = q[layout.partial_densities]
@@ -84,7 +87,7 @@ def cons_to_prim(layout: StateLayout, mixture: Mixture, q: np.ndarray,
         Gm, Pm = mixture.gamma_pi(alphas)
         gamma_m = 1.0 + 1.0 / Gm
         pi_m = Pm / (Gm + 1.0)
-        if not np.all(p + pi_m > 0.0):
+        if not bool((p + pi_m > 0.0).all()):
             raise PositivityError("pressure below -pi_inf of the mixture")
     return prim
 
@@ -92,7 +95,8 @@ def cons_to_prim(layout: StateLayout, mixture: Mixture, q: np.ndarray,
 def prim_to_cons(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
                  *, out: np.ndarray | None = None) -> np.ndarray:
     """Convert a primitive field of shape ``(nvars, ...)`` to conservatives."""
-    q = np.empty_like(prim) if out is None else out
+    xp = array_namespace(prim)
+    q = xp.empty_like(prim) if out is None else out
     q[layout.partial_densities] = prim[layout.partial_densities]
     rho = prim[layout.partial_densities].sum(axis=0)
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.common import NumericsError
 from repro.eos.mixture import Mixture
 from repro.grid.cartesian import StructuredGrid
@@ -17,12 +18,16 @@ def max_wave_speed(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
 
     This is the quantity whose reciprocal bounds the stable explicit step.
     """
+    xp = array_namespace(prim)
     rho = prim[layout.partial_densities].sum(axis=0)
     alphas = full_alphas(layout, prim[layout.advected])
     c = mixture.sound_speed(alphas, rho, prim[layout.pressure])
     rate = 0.0
     for d, w in enumerate(grid.width_fields()):
-        speed = np.abs(prim[layout.momentum_component(d)]) + c
+        # Grid widths live on the host; asarray is the sanctioned H2D
+        # entry (identity for NumPy, so bitwise neutral).
+        w = xp.asarray(w, dtype=prim.dtype)
+        speed = xp.abs(prim[layout.momentum_component(d)]) + c
         rate = max(rate, float((speed / w).max()))
     return rate
 
@@ -39,14 +44,16 @@ def max_wave_speeds(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
     that case alone: the speed arithmetic is elementwise per case and a
     floating max is exact under any grouping of comparisons.
     """
+    xp = array_namespace(prim)
     rho = prim[layout.partial_densities].sum(axis=0)
     alphas = full_alphas(layout, prim[layout.advected])
     c = mixture.sound_speed(alphas, rho, prim[layout.pressure])
     grid_axes = tuple(range(1, 1 + grid.ndim))
-    rates = np.zeros(prim.shape[1], dtype=prim.dtype)
+    rates = xp.zeros(prim.shape[1], dtype=prim.dtype)
     for d, w in enumerate(grid.width_fields()):
-        speed = np.abs(prim[layout.momentum_component(d)]) + c
-        np.maximum(rates, (speed / w).max(axis=grid_axes), out=rates)
+        w = xp.asarray(w, dtype=prim.dtype)
+        speed = xp.abs(prim[layout.momentum_component(d)]) + c
+        xp.maximum(rates, xp.max(speed / w, axis=grid_axes), out=rates)
     return rates
 
 
@@ -72,10 +79,12 @@ def cfl_dts(layout: StateLayout, mixture: Mixture, prim: np.ndarray,
     """
     if not 0.0 < cfl <= 1.0:
         raise NumericsError(f"CFL number must be in (0, 1], got {cfl}")
+    xp = array_namespace(prim)
     rates = max_wave_speeds(layout, mixture, prim, grid)
-    bad = ~np.isfinite(rates) | (rates <= 0.0)
-    if bad.any():
-        i = int(np.argmax(bad))
+    bad = ~xp.isfinite(rates) | (rates <= 0.0)
+    if bool(bad.any()):
+        i = int(xp.argmax(bad))
+        rates = xp.asarray(rates)
         raise NumericsError(
-            f"invalid maximum wave rate {rates[i]} for ensemble case {i}")
+            f"invalid maximum wave rate {float(rates[i])} for ensemble case {i}")
     return cfl / rates

@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.common import ConfigurationError
 
 #: Shu-Osher tableaux: per stage, coefficients (a, b, c) of
@@ -81,6 +82,7 @@ def ssp_rk_step(rhs: Callable[[np.ndarray], np.ndarray], q: np.ndarray,
 
     stages = SSP_SCHEMES[order]
     ws = workspace
+    xp = array_namespace(q)
     tiled = executor is not None and executor.parallel and q.ndim > 1
     q_n = q
     q_k = q
@@ -96,18 +98,19 @@ def ssp_rk_step(rhs: Callable[[np.ndarray], np.ndarray], q: np.ndarray,
         # allocating path above so the two are bitwise identical.
         if tiled:
             _axpy_stage_tiled(executor, q_n, q_k, L, out, ws.rk_tmp,
-                              a, b, c * dt)
+                              a, b, c * dt, xp=xp)
         else:
-            np.multiply(q_k, b, out=ws.rk_tmp)
-            np.multiply(q_n, a, out=out)
-            np.add(out, ws.rk_tmp, out=out)
-            np.multiply(L, c * dt, out=ws.rk_tmp)
-            np.add(out, ws.rk_tmp, out=out)
+            xp.multiply(q_k, b, out=ws.rk_tmp)
+            xp.multiply(q_n, a, out=out)
+            xp.add(out, ws.rk_tmp, out=out)
+            xp.multiply(L, c * dt, out=ws.rk_tmp)
+            xp.add(out, ws.rk_tmp, out=out)
         q_k = out
     return q_k
 
 
-def _axpy_stage_tiled(executor, q_n, q_k, L, out, tmp, a, b, cdt) -> None:
+def _axpy_stage_tiled(executor, q_n, q_k, L, out, tmp, a, b, cdt,
+                      xp=np) -> None:
     """One Shu-Osher combination, tiled along the slowest spatial axis.
 
     Each tile runs the serial path's five ufunc evaluations on its own
@@ -116,15 +119,15 @@ def _axpy_stage_tiled(executor, q_n, q_k, L, out, tmp, a, b, cdt) -> None:
     field (ensemble runs; leading axis = batch = the tiled axis) is
     sliced to the slab so the broadcast stays aligned.
     """
-    vec = isinstance(cdt, np.ndarray) and cdt.ndim > 0
+    vec = getattr(cdt, "ndim", 0) > 0
 
     def stage(lo, hi):
         s = (slice(None), slice(lo, hi))
         cw = cdt[lo:hi] if vec else cdt
-        np.multiply(q_k[s], b, out=tmp[s])
-        np.multiply(q_n[s], a, out=out[s])
-        np.add(out[s], tmp[s], out=out[s])
-        np.multiply(L[s], cw, out=tmp[s])
-        np.add(out[s], tmp[s], out=out[s])
+        xp.multiply(q_k[s], b, out=tmp[s])
+        xp.multiply(q_n[s], a, out=out[s])
+        xp.add(out[s], tmp[s], out=out[s])
+        xp.multiply(L[s], cw, out=tmp[s])
+        xp.add(out[s], tmp[s], out=out[s])
 
     executor.launch(stage, q_n.shape[1])

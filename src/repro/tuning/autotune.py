@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.backend import resolve_backend, to_host_array
 from repro.common import DTYPE
 from repro.solver.rhs import RHS
 from repro.tuning.cache import TuningCache
@@ -71,7 +72,8 @@ class Autotuner:
     # ------------------------------------------------------------------
     def plan_for(self, layout, mixture, grid, bcs, config, q, *,
                  threads: int = 1, sweep_layout: str = "strided",
-                 dtype=DTYPE, batch: int | None = None) -> TuningPlan:
+                 dtype=DTYPE, batch: int | None = None,
+                 backend: str = "numpy") -> TuningPlan:
         """The plan to run this case with on this host.
 
         Cache hit → the stored plan (``source="cache"``), zero timing
@@ -81,7 +83,8 @@ class Autotuner:
         the single-case one; ``q`` must then be the stacked state
         ``(nvars, batch, *grid.shape)``.
         """
-        sig = case_signature(layout, grid, config, dtype, batch=batch)
+        sig = case_signature(layout, grid, config, dtype, batch=batch,
+                             backend=backend)
         fp = host_fingerprint(self.device)
         key = plan_cache_key(sig, fp)
         if self.cache is not None:
@@ -90,7 +93,7 @@ class Autotuner:
                 return replace(cached, source="cache")
         plan = self.measure(layout, mixture, grid, bcs, config, q,
                             threads=threads, sweep_layout=sweep_layout,
-                            batch=batch)
+                            batch=batch, backend=backend)
         if self.cache is not None:
             self.cache.store(key, plan)
         return plan
@@ -99,29 +102,36 @@ class Autotuner:
     def measure(self, layout, mixture, grid, bcs, config, q, *,
                 threads: int = 1,
                 sweep_layout: str = "strided",
-                batch: int | None = None) -> TuningPlan:
+                batch: int | None = None,
+                backend: str = "numpy") -> TuningPlan:
         """Benchmark every candidate plan; return the fastest valid one.
 
-        Every candidate's output is compared bitwise against the
-        reference configuration before it may win — a variant that is
-        fast but wrong is discarded, never selected.  The first
-        candidate is always the model-heuristic default, whose time
-        becomes the winner's ``modeled_ns``.
+        Every candidate's output is validated against the reference
+        configuration before it may win — bitwise for bitwise backends,
+        dtype ULP tolerance for backends (torch, cupy) whose ufuncs
+        legitimately round differently — so a variant that is fast but
+        wrong is discarded, never selected.  The first candidate is
+        always the model-heuristic default, whose time becomes the
+        winner's ``modeled_ns``.  ``q`` may live on any backend; the
+        gate compares explicit device-to-host copies.
         """
         import os
 
+        q = to_host_array(q)  # measurement and the gate are host-side
         reference = RHS(layout, mixture, grid, bcs, config, batch=batch)
-        out = np.empty_like(q)
-        expected = reference(q).tobytes()
+        expected_arr = reference(q)
+        expected = expected_arr.tobytes()
         self.timing_runs += 1
 
         candidates = candidate_plans(ndim=layout.ndim,
                                      cpu_count=os.cpu_count() or 1,
                                      threads=threads,
-                                     sweep_layout=sweep_layout)
+                                     sweep_layout=sweep_layout,
+                                     backends=(backend,))
         timed: list[tuple[float, dict]] = []
         modeled_ns: float | None = None
         for cand in candidates:
+            be = resolve_backend(cand.get("backend", "numpy"))
             rhs = RHS(layout, mixture, grid, bcs, config,
                       threads=cand["threads"],
                       tile_device=self.device,
@@ -130,19 +140,21 @@ class Autotuner:
                       riemann_variant=cand["riemann_variant"],
                       tiles=cand["tiles"],
                       fusion=cand.get("fusion", "off"),
-                      batch=batch)
+                      batch=batch, backend=be)
+            q_c = be.from_host(q) if be.name != "numpy" else q
+            out = be.empty(tuple(q.shape), q.dtype)
             try:
-                rhs(q, out=out)
+                rhs(q_c, out=out)
                 self.timing_runs += 1
-                if out.tobytes() != expected:
+                if not self._valid(be, out, expected, expected_arr):
                     continue  # fast-but-wrong never wins
                 for _ in range(self.warmup):
-                    rhs(q, out=out)
+                    rhs(q_c, out=out)
                     self.timing_runs += 1
                 best = None
                 for _ in range(self.repeats):
                     t0 = time.perf_counter_ns()
-                    rhs(q, out=out)
+                    rhs(q_c, out=out)
                     elapsed = time.perf_counter_ns() - t0
                     self.timing_runs += 1
                     if best is None or elapsed < best:
@@ -163,6 +175,25 @@ class Autotuner:
                           threads=winner["threads"],
                           tiles=winner["tiles"],
                           fusion=winner.get("fusion", "off"),
+                          backend=winner.get("backend", "numpy"),
                           source="tuned",
                           measured_ns=best_ns,
                           modeled_ns=modeled_ns)
+
+    @staticmethod
+    def _valid(backend, out, expected: bytes, expected_arr) -> bool:
+        """The validity gate: candidate output vs the reference.
+
+        Routes through an explicit device-to-host copy so non-NumPy
+        backends can neither crash the gate nor silently skip it.
+        Bitwise backends must match exactly; others pass within the
+        dtype's ULP-scale tolerance (a mismatch there means *different
+        rounding*, not *broken* — see :class:`repro.backend.Backend`).
+        """
+        host = to_host_array(out)
+        if backend.bitwise:
+            return host.tobytes() == expected
+        tol = 64 * np.finfo(host.dtype).eps
+        scale = np.abs(expected_arr).max() or 1.0
+        return bool(np.allclose(host, expected_arr, rtol=tol,
+                                atol=tol * scale))

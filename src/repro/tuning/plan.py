@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.backend import available_backends, validate_backend
 from repro.common import DTYPE, ConfigurationError
 from repro.hardware.devices import default_host_device
 from repro.riemann import validate_riemann_variant
@@ -57,6 +58,11 @@ class TuningPlan:
     #: default ``"off"`` — but never silently: the derived registry
     #: version already invalidates every pre-fusion cache entry.
     fusion: str = "off"
+    #: Execution backend the plan runs on.  A tuner axis, but gated:
+    #: only backends whose results pass the validity check against the
+    #: reference output may win (bitwise for bitwise backends, ULP
+    #: tolerance otherwise — see :meth:`repro.tuning.Autotuner.measure`).
+    backend: str = "numpy"
     source: str = "heuristic"
     measured_ns: float | None = None
     modeled_ns: float | None = None
@@ -66,6 +72,7 @@ class TuningPlan:
         validate_riemann_variant(self.riemann_variant)
         validate_sweep_layout(self.sweep_layout)
         validate_fusion(self.fusion)
+        validate_backend(self.backend)
         if (isinstance(self.threads, bool) or not isinstance(self.threads, int)
                 or self.threads < 1):
             raise ConfigurationError(
@@ -92,9 +99,11 @@ class TuningPlan:
         """One line for profiler reports and CLI output."""
         tiles = f" tiles={self.tiles}" if self.tiles is not None else ""
         fusion = f" fusion={self.fusion}" if self.fusion != "off" else ""
+        backend = (f" backend={self.backend}"
+                   if self.backend != "numpy" else "")
         line = (f"tuning ({self.source}): weno={self.weno_variant} "
                 f"riemann={self.riemann_variant} layout={self.sweep_layout} "
-                f"threads={self.threads}{tiles}{fusion}")
+                f"threads={self.threads}{tiles}{fusion}{backend}")
         if self.measured_ns is not None:
             line += f"; measured {self.measured_ns / 1e6:.2f} ms/RHS"
             speed = self.speedup_vs_modeled()
@@ -125,7 +134,8 @@ class TuningPlan:
 
 # ----------------------------------------------------------------------
 def case_signature(layout, grid, config, dtype=DTYPE, *,
-                   batch: int | None = None) -> dict:
+                   batch: int | None = None,
+                   backend: str = "numpy") -> dict:
     """What the problem looks like, for cache keying.
 
     ``batch`` is the ensemble batch width.  It enters the signature
@@ -143,6 +153,10 @@ def case_signature(layout, grid, config, dtype=DTYPE, *,
     }
     if batch is not None:
         sig["batch"] = int(batch)
+    if backend != "numpy":
+        # Non-default backends key separately; default keys stay stable
+        # across registry generations.
+        sig["backend"] = backend
     return sig
 
 
@@ -161,6 +175,9 @@ def host_fingerprint(device=None) -> dict:
         "device": dev.name,
         "l2_bytes": dev.l2_bytes,
         "cores": dev.cores,
+        # A host gaining (or losing) an optional backend changes the
+        # tuner's search space, so it must re-tune.
+        "backends": ",".join(available_backends()),
     }
 
 

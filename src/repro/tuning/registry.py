@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 
+from repro.backend import BACKEND_NAMES
 from repro.riemann import RIEMANN_VARIANTS
 from repro.solver.sweep import FUSION_MODES, SWEEP_LAYOUTS
 from repro.weno import WENO_VARIANTS
@@ -42,6 +43,7 @@ def _derive_registry_version() -> str:
         "riemann:" + ",".join(RIEMANN_VARIANTS),
         "layout:" + ",".join(SWEEP_LAYOUTS),
         "fusion:" + ",".join(FUSION_MODES),
+        "backend:" + ",".join(BACKEND_NAMES),
     ]
     digest = hashlib.sha256(";".join(axes).encode()).hexdigest()[:12]
     return f"2:{digest}"
@@ -54,7 +56,8 @@ REGISTRY_VERSION = _derive_registry_version()
 
 
 def candidate_plans(*, ndim: int, cpu_count: int, threads: int = 1,
-                    sweep_layout: str = "auto") -> list[dict]:
+                    sweep_layout: str = "auto",
+                    backends: tuple = ("numpy",)) -> list[dict]:
     """The cross-product of execution plans the autotuner benchmarks.
 
     Parameters
@@ -68,6 +71,12 @@ def candidate_plans(*, ndim: int, cpu_count: int, threads: int = 1,
         The caller's configured values — always included as candidates
         so the tuner can only improve on (never silently discard) an
         explicit configuration.
+    backends:
+        Backend names to enumerate (the configured backend first).
+        Candidates on non-default backends run the reference kernel
+        pair only — the backend axis asks "where", the variant axes ask
+        "how", and the cross product of both explodes the search space
+        for no information (variant choice is backend-independent).
 
     Returns plan dicts with keys ``weno_variant``, ``riemann_variant``,
     ``sweep_layout``, ``threads``, ``tiles``, ``fusion``; the first
@@ -82,9 +91,16 @@ def candidate_plans(*, ndim: int, cpu_count: int, threads: int = 1,
         layouts.append("strided")
     thread_counts = sorted({1, threads, max(1, cpu_count)})
 
+    primary = backends[0] if backends else "numpy"
     plans = [{"weno_variant": "chained", "riemann_variant": "reference",
               "sweep_layout": sweep_layout, "threads": threads,
-              "tiles": None, "fusion": "off"}]
+              "tiles": None, "fusion": "off", "backend": primary}]
+    for backend in dict.fromkeys(backends):
+        if backend == primary:
+            continue
+        plan = dict(plans[0], backend=backend)
+        if plan not in plans:
+            plans.append(plan)
     for wv in WENO_VARIANTS:
         for rv in RIEMANN_VARIANTS:
             for mode in layouts:
@@ -108,7 +124,8 @@ def candidate_plans(*, ndim: int, cpu_count: int, threads: int = 1,
                             plan = {"weno_variant": wv,
                                     "riemann_variant": rv,
                                     "sweep_layout": mode, "threads": t,
-                                    "tiles": tiles, "fusion": fusion}
+                                    "tiles": tiles, "fusion": fusion,
+                                    "backend": primary}
                             if plan not in plans:
                                 plans.append(plan)
     return plans

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import array_namespace
 from repro.common import ConfigurationError, ShapeError
 from repro.weno.coefficients import IDEAL_WEIGHTS, WENO_EPS, halo_width
 
@@ -93,7 +94,8 @@ def _downwind_faces(vlast: np.ndarray, start: int, count: int, order: int) -> np
 SCRATCH_COUNT = 8
 
 
-def _axis_last(arr: np.ndarray, axis: int, *, output: bool = False) -> np.ndarray:
+def _axis_last(arr: np.ndarray, axis: int, *, output: bool = False,
+               xp=np) -> np.ndarray:
     """``arr`` with ``axis`` moved last — guaranteed to be a view.
 
     When ``axis`` already is the trailing axis the array itself is
@@ -109,8 +111,8 @@ def _axis_last(arr: np.ndarray, axis: int, *, output: bool = False) -> np.ndarra
         if output and not arr.flags.writeable:
             raise ShapeError("output buffer is not writeable")
         return arr
-    moved = np.moveaxis(arr, axis, -1)
-    if not np.may_share_memory(moved, arr):
+    moved = xp.moveaxis(arr, axis, -1)
+    if not xp.may_share_memory(moved, arr):
         raise ShapeError(
             "np.moveaxis produced a copy instead of a view; kernel "
             "writes would not land in the caller's buffer")
@@ -119,7 +121,7 @@ def _axis_last(arr: np.ndarray, axis: int, *, output: bool = False) -> np.ndarra
     return moved
 
 
-def _weno3_into(out, s, vm1, v0, vp1) -> None:
+def _weno3_into(out, s, vm1, v0, vp1, xp=np) -> None:
     """In-place :func:`_weno3`; bitwise identical, writes into ``out``.
 
     Every NumPy temporary of the expression form is replaced by a
@@ -129,106 +131,106 @@ def _weno3_into(out, s, vm1, v0, vp1) -> None:
     d0, d1 = IDEAL_WEIGHTS[3]
     p0, p1, a0, a1, t = s[:5]
     # p0 = -0.5*vm1 + 1.5*v0
-    np.multiply(vm1, -0.5, out=p0)
-    np.multiply(v0, 1.5, out=t)
-    np.add(p0, t, out=p0)
+    xp.multiply(vm1, -0.5, out=p0)
+    xp.multiply(v0, 1.5, out=t)
+    xp.add(p0, t, out=p0)
     # p1 = 0.5*(v0 + vp1)
-    np.add(v0, vp1, out=p1)
-    np.multiply(p1, 0.5, out=p1)
+    xp.add(v0, vp1, out=p1)
+    xp.multiply(p1, 0.5, out=p1)
     # a0 = d0 / (eps + (v0 - vm1)**2)**2
-    np.subtract(v0, vm1, out=a0)
-    np.multiply(a0, a0, out=a0)
-    np.add(a0, WENO_EPS, out=a0)
-    np.multiply(a0, a0, out=a0)
-    np.true_divide(d0, a0, out=a0)
+    xp.subtract(v0, vm1, out=a0)
+    xp.multiply(a0, a0, out=a0)
+    xp.add(a0, WENO_EPS, out=a0)
+    xp.multiply(a0, a0, out=a0)
+    xp.true_divide(d0, a0, out=a0)
     # a1 = d1 / (eps + (vp1 - v0)**2)**2
-    np.subtract(vp1, v0, out=a1)
-    np.multiply(a1, a1, out=a1)
-    np.add(a1, WENO_EPS, out=a1)
-    np.multiply(a1, a1, out=a1)
-    np.true_divide(d1, a1, out=a1)
+    xp.subtract(vp1, v0, out=a1)
+    xp.multiply(a1, a1, out=a1)
+    xp.add(a1, WENO_EPS, out=a1)
+    xp.multiply(a1, a1, out=a1)
+    xp.true_divide(d1, a1, out=a1)
     # out = (a0*p0 + a1*p1) / (a0 + a1)
-    np.multiply(a0, p0, out=out)
-    np.multiply(a1, p1, out=t)
-    np.add(out, t, out=out)
-    np.add(a0, a1, out=t)
-    np.true_divide(out, t, out=out)
+    xp.multiply(a0, p0, out=out)
+    xp.multiply(a1, p1, out=t)
+    xp.add(out, t, out=out)
+    xp.add(a0, a1, out=t)
+    xp.true_divide(out, t, out=out)
 
 
-def _weno5_into(out, s, vm2, vm1, v0, vp1, vp2) -> None:
+def _weno5_into(out, s, vm2, vm1, v0, vp1, vp2, xp=np) -> None:
     """In-place :func:`_weno5`; bitwise identical, writes into ``out``."""
     d0, d1, d2 = IDEAL_WEIGHTS[5]
     p0, p1, p2, a0, a1, a2, t1, t2 = s[:8]
     # p0 = (2*vm2 - 7*vm1 + 11*v0)/6
-    np.multiply(vm2, 2.0, out=p0)
-    np.multiply(vm1, 7.0, out=t1)
-    np.subtract(p0, t1, out=p0)
-    np.multiply(v0, 11.0, out=t1)
-    np.add(p0, t1, out=p0)
-    np.true_divide(p0, 6.0, out=p0)
+    xp.multiply(vm2, 2.0, out=p0)
+    xp.multiply(vm1, 7.0, out=t1)
+    xp.subtract(p0, t1, out=p0)
+    xp.multiply(v0, 11.0, out=t1)
+    xp.add(p0, t1, out=p0)
+    xp.true_divide(p0, 6.0, out=p0)
     # p1 = (-vm1 + 5*v0 + 2*vp1)/6
-    np.negative(vm1, out=p1)
-    np.multiply(v0, 5.0, out=t1)
-    np.add(p1, t1, out=p1)
-    np.multiply(vp1, 2.0, out=t1)
-    np.add(p1, t1, out=p1)
-    np.true_divide(p1, 6.0, out=p1)
+    xp.negative(vm1, out=p1)
+    xp.multiply(v0, 5.0, out=t1)
+    xp.add(p1, t1, out=p1)
+    xp.multiply(vp1, 2.0, out=t1)
+    xp.add(p1, t1, out=p1)
+    xp.true_divide(p1, 6.0, out=p1)
     # p2 = (2*v0 + 5*vp1 - vp2)/6
-    np.multiply(v0, 2.0, out=p2)
-    np.multiply(vp1, 5.0, out=t1)
-    np.add(p2, t1, out=p2)
-    np.subtract(p2, vp2, out=p2)
-    np.true_divide(p2, 6.0, out=p2)
+    xp.multiply(v0, 2.0, out=p2)
+    xp.multiply(vp1, 5.0, out=t1)
+    xp.add(p2, t1, out=p2)
+    xp.subtract(p2, vp2, out=p2)
+    xp.true_divide(p2, 6.0, out=p2)
     # b0 = 13/12*(vm2 - 2*vm1 + v0)**2 + 0.25*(vm2 - 4*vm1 + 3*v0)**2
-    np.multiply(vm1, 2.0, out=t1)
-    np.subtract(vm2, t1, out=t1)
-    np.add(t1, v0, out=t1)
-    np.multiply(t1, t1, out=t1)
-    np.multiply(t1, 13.0 / 12.0, out=a0)
-    np.multiply(vm1, 4.0, out=t1)
-    np.subtract(vm2, t1, out=t1)
-    np.multiply(v0, 3.0, out=t2)
-    np.add(t1, t2, out=t1)
-    np.multiply(t1, t1, out=t1)
-    np.multiply(t1, 0.25, out=t1)
-    np.add(a0, t1, out=a0)
+    xp.multiply(vm1, 2.0, out=t1)
+    xp.subtract(vm2, t1, out=t1)
+    xp.add(t1, v0, out=t1)
+    xp.multiply(t1, t1, out=t1)
+    xp.multiply(t1, 13.0 / 12.0, out=a0)
+    xp.multiply(vm1, 4.0, out=t1)
+    xp.subtract(vm2, t1, out=t1)
+    xp.multiply(v0, 3.0, out=t2)
+    xp.add(t1, t2, out=t1)
+    xp.multiply(t1, t1, out=t1)
+    xp.multiply(t1, 0.25, out=t1)
+    xp.add(a0, t1, out=a0)
     # b1 = 13/12*(vm1 - 2*v0 + vp1)**2 + 0.25*(vm1 - vp1)**2
-    np.multiply(v0, 2.0, out=t1)
-    np.subtract(vm1, t1, out=t1)
-    np.add(t1, vp1, out=t1)
-    np.multiply(t1, t1, out=t1)
-    np.multiply(t1, 13.0 / 12.0, out=a1)
-    np.subtract(vm1, vp1, out=t1)
-    np.multiply(t1, t1, out=t1)
-    np.multiply(t1, 0.25, out=t1)
-    np.add(a1, t1, out=a1)
+    xp.multiply(v0, 2.0, out=t1)
+    xp.subtract(vm1, t1, out=t1)
+    xp.add(t1, vp1, out=t1)
+    xp.multiply(t1, t1, out=t1)
+    xp.multiply(t1, 13.0 / 12.0, out=a1)
+    xp.subtract(vm1, vp1, out=t1)
+    xp.multiply(t1, t1, out=t1)
+    xp.multiply(t1, 0.25, out=t1)
+    xp.add(a1, t1, out=a1)
     # b2 = 13/12*(v0 - 2*vp1 + vp2)**2 + 0.25*(3*v0 - 4*vp1 + vp2)**2
-    np.multiply(vp1, 2.0, out=t1)
-    np.subtract(v0, t1, out=t1)
-    np.add(t1, vp2, out=t1)
-    np.multiply(t1, t1, out=t1)
-    np.multiply(t1, 13.0 / 12.0, out=a2)
-    np.multiply(v0, 3.0, out=t1)
-    np.multiply(vp1, 4.0, out=t2)
-    np.subtract(t1, t2, out=t1)
-    np.add(t1, vp2, out=t1)
-    np.multiply(t1, t1, out=t1)
-    np.multiply(t1, 0.25, out=t1)
-    np.add(a2, t1, out=a2)
+    xp.multiply(vp1, 2.0, out=t1)
+    xp.subtract(v0, t1, out=t1)
+    xp.add(t1, vp2, out=t1)
+    xp.multiply(t1, t1, out=t1)
+    xp.multiply(t1, 13.0 / 12.0, out=a2)
+    xp.multiply(v0, 3.0, out=t1)
+    xp.multiply(vp1, 4.0, out=t2)
+    xp.subtract(t1, t2, out=t1)
+    xp.add(t1, vp2, out=t1)
+    xp.multiply(t1, t1, out=t1)
+    xp.multiply(t1, 0.25, out=t1)
+    xp.add(a2, t1, out=a2)
     # a_i = d_i / (eps + b_i)**2
     for d, a in ((d0, a0), (d1, a1), (d2, a2)):
-        np.add(a, WENO_EPS, out=a)
-        np.multiply(a, a, out=a)
-        np.true_divide(d, a, out=a)
+        xp.add(a, WENO_EPS, out=a)
+        xp.multiply(a, a, out=a)
+        xp.true_divide(d, a, out=a)
     # out = (a0*p0 + a1*p1 + a2*p2) / (a0 + a1 + a2)
-    np.multiply(a0, p0, out=out)
-    np.multiply(a1, p1, out=t1)
-    np.add(out, t1, out=out)
-    np.multiply(a2, p2, out=t1)
-    np.add(out, t1, out=out)
-    np.add(a0, a1, out=t1)
-    np.add(t1, a2, out=t1)
-    np.true_divide(out, t1, out=out)
+    xp.multiply(a0, p0, out=out)
+    xp.multiply(a1, p1, out=t1)
+    xp.add(out, t1, out=out)
+    xp.multiply(a2, p2, out=t1)
+    xp.add(out, t1, out=out)
+    xp.add(a0, a1, out=t1)
+    xp.add(t1, a2, out=t1)
+    xp.true_divide(out, t1, out=out)
 
 
 # ----------------------------------------------------------------------
@@ -357,7 +359,7 @@ def weno_schedule(order: int):
     return {1: (), 3: WENO3_SCHEDULE, 5: WENO5_SCHEDULE}[order]
 
 
-def run_weno_schedule(schedule, env: dict) -> None:
+def run_weno_schedule(schedule, env: dict, xp=np) -> None:
     """Execute a schedule against an environment of named arrays.
 
     The interpreter twin of the fusion code generator's rendered
@@ -371,7 +373,7 @@ def run_weno_schedule(schedule, env: dict) -> None:
         return sym
 
     for op, a, b, out in schedule:
-        ufunc = getattr(np, op)
+        ufunc = getattr(xp, op)
         if b is None:
             ufunc(operand(a), out=env[out])
         else:
@@ -380,13 +382,14 @@ def run_weno_schedule(schedule, env: dict) -> None:
 
 def _faces_into(vlast: np.ndarray, start: int, count: int, order: int,
                 out: np.ndarray, scratch, downwind: bool,
-                variant: str = "chained") -> None:
+                variant: str = "chained", xp=np) -> None:
     """In-place upwind/downwind reconstruction into ``out`` (axis last)."""
     if variant != "chained":
         from repro.weno.stacked import stacked_faces_into, validate_weno_variant
 
         validate_weno_variant(variant)
-        stacked_faces_into(vlast, start, count, order, out, scratch, downwind)
+        stacked_faces_into(vlast, start, count, order, out, scratch, downwind,
+                           xp=xp)
         return
 
     def cells(offset: int) -> np.ndarray:
@@ -394,11 +397,12 @@ def _faces_into(vlast: np.ndarray, start: int, count: int, order: int,
         return vlast[..., start + o: start + o + count]
 
     if order == 1:
-        np.copyto(out, cells(0))
+        xp.copyto(out, cells(0))
     elif order == 3:
-        _weno3_into(out, scratch, cells(-1), cells(0), cells(1))
+        _weno3_into(out, scratch, cells(-1), cells(0), cells(1), xp=xp)
     else:
-        _weno5_into(out, scratch, cells(-2), cells(-1), cells(0), cells(1), cells(2))
+        _weno5_into(out, scratch, cells(-2), cells(-1), cells(0), cells(1),
+                    cells(2), xp=xp)
 
 
 def reconstruct_faces(v: np.ndarray, axis: int, order: int, *,
@@ -457,31 +461,32 @@ def reconstruct_faces(v: np.ndarray, axis: int, order: int, *,
             f"axis {axis} has padded extent {padded}, expected "
             f"{n_interior} interior cells + 2*{ng} ghost cells")
 
-    vlast = _axis_last(v, axis)
+    xp = array_namespace(v)
+    vlast = _axis_last(v, axis, xp=xp)
     nf = n_interior + 1
     if out is None:
         # Left states: upwind reconstruction from cells ng-1 .. ng+n-1.
         vL = _upwind_faces(vlast, ng - 1, nf, order)
         # Right states: downwind reconstruction from cells ng .. ng+n.
         vR = _downwind_faces(vlast, ng, nf, order)
-        return np.moveaxis(vL, -1, axis), np.moveaxis(vR, -1, axis)
+        return xp.moveaxis(vL, -1, axis), xp.moveaxis(vR, -1, axis)
 
     out_l, out_r = out
-    vl_last = _axis_last(out_l, axis, output=True)
-    vr_last = _axis_last(out_r, axis, output=True)
+    vl_last = _axis_last(out_l, axis, output=True, xp=xp)
+    vr_last = _axis_last(out_r, axis, output=True, xp=xp)
     if scratch is None:
         if variant == "chained":
-            scratch = tuple(np.empty(vl_last.shape, dtype=v.dtype)
+            scratch = tuple(xp.empty(vl_last.shape, dtype=v.dtype)
                             for _ in range(SCRATCH_COUNT))
         else:
             from repro.weno.stacked import allocate_weno_scratch
 
             scratch = allocate_weno_scratch(variant, order, vl_last.shape,
-                                            v.dtype)
+                                            v.dtype, xp=xp)
     _faces_into(vlast, ng - 1, nf, order, vl_last, scratch, downwind=False,
-                variant=variant)
+                variant=variant, xp=xp)
     _faces_into(vlast, ng, nf, order, vr_last, scratch, downwind=True,
-                variant=variant)
+                variant=variant, xp=xp)
     return out_l, out_r
 
 
@@ -512,9 +517,10 @@ def reconstruct_faces_span(v: np.ndarray, axis: int, order: int,
         raise ShapeError(
             f"face span [{lo}, {hi}) outside the {n_faces} faces of axis {axis}")
     count = hi - lo
-    vlast = _axis_last(v, axis)
-    vl_last = _axis_last(out[0], axis, output=True)
-    vr_last = _axis_last(out[1], axis, output=True)
+    xp = array_namespace(v)
+    vlast = _axis_last(v, axis, xp=xp)
+    vl_last = _axis_last(out[0], axis, output=True, xp=xp)
+    vr_last = _axis_last(out[1], axis, output=True, xp=xp)
     if variant == "chained":
         span_scratch = tuple(s[..., :count] for s in scratch)
     else:
@@ -522,6 +528,6 @@ def reconstruct_faces_span(v: np.ndarray, axis: int, order: int,
 
         span_scratch = narrow_scratch_faces(scratch, variant, order, count)
     _faces_into(vlast, ng - 1 + lo, count, order, vl_last[..., lo:hi],
-                span_scratch, downwind=False, variant=variant)
+                span_scratch, downwind=False, variant=variant, xp=xp)
     _faces_into(vlast, ng + lo, count, order, vr_last[..., lo:hi],
-                span_scratch, downwind=True, variant=variant)
+                span_scratch, downwind=True, variant=variant, xp=xp)

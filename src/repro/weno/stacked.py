@@ -34,7 +34,6 @@ the variant is **bitwise identical** (property-tested in
 from __future__ import annotations
 
 import numpy as np
-from numpy.lib.stride_tricks import as_strided
 
 from repro.common import ConfigurationError
 from repro.weno.coefficients import IDEAL_WEIGHTS, WENO_EPS
@@ -104,7 +103,7 @@ def stacked_scratch_shapes(order: int,
 
 def allocate_weno_scratch(variant: str, order: int,
                           face_shape: tuple[int, ...],
-                          dtype) -> tuple[np.ndarray, ...]:
+                          dtype, xp=np) -> tuple:
     """Scratch tuple for one reconstruction side's kernels.
 
     ``face_shape`` is the face block with the reconstruction axis last.
@@ -115,9 +114,9 @@ def allocate_weno_scratch(variant: str, order: int,
     from repro.weno.reconstruct import SCRATCH_COUNT
 
     if validate_weno_variant(variant) == "chained":
-        return tuple(np.empty(face_shape, dtype=dtype)
+        return tuple(xp.empty(face_shape, dtype=dtype)
                      for _ in range(SCRATCH_COUNT))
-    return tuple(np.empty(shape, dtype=dtype)
+    return tuple(xp.empty(shape, dtype=dtype)
                  for shape in stacked_scratch_shapes(order, face_shape))
 
 
@@ -159,8 +158,8 @@ def narrow_scratch_rows(scratch, variant: str, order: int,
 
 
 # ----------------------------------------------------------------------
-def _stack_windows(arr: np.ndarray, ncand: int, count_shape: tuple[int, ...],
-                   downwind: bool) -> np.ndarray:
+def _stack_windows(arr, ncand: int, count_shape: tuple[int, ...],
+                   downwind: bool, xp=np):
     """Candidate-stacked overlapping windows of a difference array.
 
     ``arr`` is the shared difference array (trailing axis extended by
@@ -169,6 +168,7 @@ def _stack_windows(arr: np.ndarray, ncand: int, count_shape: tuple[int, ...],
     from offset 0; the mirrored downwind stencil reads them backward
     from offset ``ncand - 1``.  Pure views — no data moves.
     """
+    as_strided = xp.lib.stride_tricks.as_strided
     step = arr.strides[-1]
     if downwind:
         return as_strided(arr[..., ncand - 1:],
@@ -179,24 +179,24 @@ def _stack_windows(arr: np.ndarray, ncand: int, count_shape: tuple[int, ...],
 
 
 def _weno3_stacked_into(out, scratch, vlast, start: int, count: int,
-                        downwind: bool) -> None:
+                        downwind: bool, xp=np) -> None:
     """Stacked order-3 reconstruction; bitwise identical to ``_weno3_into``."""
     d0, d1 = IDEAL_WEIGHTS[3]
     P, B, D1, T = scratch[:4]
     sign = -1 if downwind else 1
 
-    def cells(offset: int) -> np.ndarray:
+    def cells(offset: int):
         o = sign * offset
         return vlast[..., start + o: start + o + count]
 
     vm1, v0, vp1 = cells(-1), cells(0), cells(1)
 
     # Candidate polynomials (chained forms, written into the stack rows).
-    np.multiply(vm1, -0.5, out=P[0])
-    np.multiply(v0, 1.5, out=T)
-    np.add(P[0], T, out=P[0])
-    np.add(v0, vp1, out=P[1])
-    np.multiply(P[1], 0.5, out=P[1])
+    xp.multiply(vm1, -0.5, out=P[0])
+    xp.multiply(v0, 1.5, out=T)
+    xp.add(P[0], T, out=P[0])
+    xp.add(v0, vp1, out=P[1])
+    xp.multiply(P[1], 0.5, out=P[1])
 
     # Shared squared first difference D1[m] = (v[m+1] - v[m])**2 over
     # the extended range; both candidates (and, via the exactness of
@@ -205,34 +205,34 @@ def _weno3_stacked_into(out, scratch, vlast, start: int, count: int,
     ext = count + 1
     a = vlast[..., start - 1: start - 1 + ext]
     b = vlast[..., start: start + ext]
-    np.subtract(b, a, out=D1)
-    np.multiply(D1, D1, out=D1)
-    D1S = _stack_windows(D1, 2, T.shape, downwind)
+    xp.subtract(b, a, out=D1)
+    xp.multiply(D1, D1, out=D1)
+    D1S = _stack_windows(D1, 2, T.shape, downwind, xp=xp)
 
     # Nonlinear weights, one broadcast pass per stage.  The eps shift
     # materialises the overlapping windows into B (same scalar add the
     # chained kernel performs, so still bitwise neutral).
-    np.add(D1S, WENO_EPS, out=B)
-    np.multiply(B, B, out=B)
-    ideal = np.asarray([d0, d1]).reshape((2,) + (1,) * T.ndim)
-    np.true_divide(ideal, B, out=B)
+    xp.add(D1S, WENO_EPS, out=B)
+    xp.multiply(B, B, out=B)
+    ideal = xp.asarray([d0, d1]).reshape((2,) + (1,) * T.ndim)
+    xp.true_divide(ideal, B, out=B)
 
     # Final combination, exactly the chained operation order.
-    np.multiply(B[0], P[0], out=out)
-    np.multiply(B[1], P[1], out=T)
-    np.add(out, T, out=out)
-    np.add(B[0], B[1], out=T)
-    np.true_divide(out, T, out=out)
+    xp.multiply(B[0], P[0], out=out)
+    xp.multiply(B[1], P[1], out=T)
+    xp.add(out, T, out=out)
+    xp.add(B[0], B[1], out=T)
+    xp.true_divide(out, T, out=out)
 
 
 def _weno5_stacked_into(out, scratch, vlast, start: int, count: int,
-                        downwind: bool) -> None:
+                        downwind: bool, xp=np) -> None:
     """Stacked order-5 reconstruction; bitwise identical to ``_weno5_into``."""
     d = IDEAL_WEIGHTS[5]
     P, B, D2, T, T2 = scratch[:5]
     sign = -1 if downwind else 1
 
-    def cells(offset: int) -> np.ndarray:
+    def cells(offset: int):
         o = sign * offset
         return vlast[..., start + o: start + o + count]
 
@@ -250,77 +250,79 @@ def _weno5_stacked_into(out, scratch, vlast, start: int, count: int,
     mid = vlast[..., start - 1: start - 1 + ext]
     hi = vlast[..., start: start + ext]
     x, z = (hi, lo) if downwind else (lo, hi)
-    np.multiply(mid, 2.0, out=D2)
-    np.subtract(x, D2, out=D2)
-    np.add(D2, z, out=D2)
-    np.multiply(D2, D2, out=D2)
-    D2S = _stack_windows(D2, 3, T.shape, downwind)
+    xp.multiply(mid, 2.0, out=D2)
+    xp.subtract(x, D2, out=D2)
+    xp.add(D2, z, out=D2)
+    xp.multiply(D2, D2, out=D2)
+    D2S = _stack_windows(D2, 3, T.shape, downwind, xp=xp)
     # beta first terms for all candidates in one pass (materialises the
     # overlapping windows into B).
-    np.multiply(D2S, 13.0 / 12.0, out=B)
+    xp.multiply(D2S, 13.0 / 12.0, out=B)
 
     # beta second terms (chained forms, accumulated onto the stack rows).
-    np.multiply(vm1, 4.0, out=T)
-    np.subtract(vm2, T, out=T)
-    np.multiply(v0, 3.0, out=T2)
-    np.add(T, T2, out=T)
-    np.multiply(T, T, out=T)
-    np.multiply(T, 0.25, out=T)
-    np.add(B[0], T, out=B[0])
-    np.subtract(vm1, vp1, out=T)
-    np.multiply(T, T, out=T)
-    np.multiply(T, 0.25, out=T)
-    np.add(B[1], T, out=B[1])
-    np.multiply(v0, 3.0, out=T)
-    np.multiply(vp1, 4.0, out=T2)
-    np.subtract(T, T2, out=T)
-    np.add(T, vp2, out=T)
-    np.multiply(T, T, out=T)
-    np.multiply(T, 0.25, out=T)
-    np.add(B[2], T, out=B[2])
+    xp.multiply(vm1, 4.0, out=T)
+    xp.subtract(vm2, T, out=T)
+    xp.multiply(v0, 3.0, out=T2)
+    xp.add(T, T2, out=T)
+    xp.multiply(T, T, out=T)
+    xp.multiply(T, 0.25, out=T)
+    xp.add(B[0], T, out=B[0])
+    xp.subtract(vm1, vp1, out=T)
+    xp.multiply(T, T, out=T)
+    xp.multiply(T, 0.25, out=T)
+    xp.add(B[1], T, out=B[1])
+    xp.multiply(v0, 3.0, out=T)
+    xp.multiply(vp1, 4.0, out=T2)
+    xp.subtract(T, T2, out=T)
+    xp.add(T, vp2, out=T)
+    xp.multiply(T, T, out=T)
+    xp.multiply(T, 0.25, out=T)
+    xp.add(B[2], T, out=B[2])
 
     # Candidate polynomials (chained forms, into the stack rows).
-    np.multiply(vm2, 2.0, out=P[0])
-    np.multiply(vm1, 7.0, out=T)
-    np.subtract(P[0], T, out=P[0])
-    np.multiply(v0, 11.0, out=T)
-    np.add(P[0], T, out=P[0])
-    np.true_divide(P[0], 6.0, out=P[0])
-    np.negative(vm1, out=P[1])
-    np.multiply(v0, 5.0, out=T)
-    np.add(P[1], T, out=P[1])
-    np.multiply(vp1, 2.0, out=T)
-    np.add(P[1], T, out=P[1])
-    np.true_divide(P[1], 6.0, out=P[1])
-    np.multiply(v0, 2.0, out=P[2])
-    np.multiply(vp1, 5.0, out=T)
-    np.add(P[2], T, out=P[2])
-    np.subtract(P[2], vp2, out=P[2])
-    np.true_divide(P[2], 6.0, out=P[2])
+    xp.multiply(vm2, 2.0, out=P[0])
+    xp.multiply(vm1, 7.0, out=T)
+    xp.subtract(P[0], T, out=P[0])
+    xp.multiply(v0, 11.0, out=T)
+    xp.add(P[0], T, out=P[0])
+    xp.true_divide(P[0], 6.0, out=P[0])
+    xp.negative(vm1, out=P[1])
+    xp.multiply(v0, 5.0, out=T)
+    xp.add(P[1], T, out=P[1])
+    xp.multiply(vp1, 2.0, out=T)
+    xp.add(P[1], T, out=P[1])
+    xp.true_divide(P[1], 6.0, out=P[1])
+    xp.multiply(v0, 2.0, out=P[2])
+    xp.multiply(vp1, 5.0, out=T)
+    xp.add(P[2], T, out=P[2])
+    xp.subtract(P[2], vp2, out=P[2])
+    xp.true_divide(P[2], 6.0, out=P[2])
 
     # Nonlinear weights: all three candidates per broadcast pass.
-    np.add(B, WENO_EPS, out=B)
-    np.multiply(B, B, out=B)
-    ideal = np.asarray(d).reshape((3,) + (1,) * T.ndim)
-    np.true_divide(ideal, B, out=B)
+    xp.add(B, WENO_EPS, out=B)
+    xp.multiply(B, B, out=B)
+    ideal = xp.asarray(d).reshape((3,) + (1,) * T.ndim)
+    xp.true_divide(ideal, B, out=B)
 
     # Final combination, exactly the chained operation order.
-    np.multiply(B, P, out=P)
-    np.copyto(out, P[0])
-    np.add(out, P[1], out=out)
-    np.add(out, P[2], out=out)
-    np.add(B[0], B[1], out=T)
-    np.add(T, B[2], out=T)
-    np.true_divide(out, T, out=out)
+    xp.multiply(B, P, out=P)
+    xp.copyto(out, P[0])
+    xp.add(out, P[1], out=out)
+    xp.add(out, P[2], out=out)
+    xp.add(B[0], B[1], out=T)
+    xp.add(T, B[2], out=T)
+    xp.true_divide(out, T, out=out)
 
 
-def stacked_faces_into(vlast: np.ndarray, start: int, count: int, order: int,
-                       out: np.ndarray, scratch, downwind: bool) -> None:
+def stacked_faces_into(vlast, start: int, count: int, order: int,
+                       out, scratch, downwind: bool, xp=np) -> None:
     """Stacked in-place reconstruction into ``out`` (axis last)."""
     if order == 1:
         o = start if not downwind else start
-        np.copyto(out, vlast[..., o: o + count])
+        xp.copyto(out, vlast[..., o: o + count])
     elif order == 3:
-        _weno3_stacked_into(out, scratch, vlast, start, count, downwind)
+        _weno3_stacked_into(out, scratch, vlast, start, count,
+                            downwind, xp=xp)
     else:
-        _weno5_stacked_into(out, scratch, vlast, start, count, downwind)
+        _weno5_stacked_into(out, scratch, vlast, start, count,
+                            downwind, xp=xp)

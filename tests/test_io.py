@@ -54,8 +54,18 @@ class TestSnapshot:
 
     def test_rejects_wrong_dtype(self, tmp_path):
         with pytest.raises(ConfigurationError):
-            write_snapshot(tmp_path / "s.bin", np.zeros((2, 3), dtype=np.float32),
+            write_snapshot(tmp_path / "s.bin", np.zeros((2, 3), dtype=np.int64),
                            step=0, time=0.0)
+
+    def test_float32_state_upcasts_losslessly(self, tmp_path):
+        # float32 marches checkpoint through a lossless float64 upcast;
+        # casting the payload back down restores the exact float32 bits.
+        rng = np.random.default_rng(7)
+        q32 = rng.random((2, 3, 4), dtype=np.float32)
+        write_snapshot(tmp_path / "s.bin", q32, step=3, time=0.5)
+        _, q = read_snapshot(tmp_path / "s.bin")
+        assert q.dtype == np.float64
+        assert q.astype(np.float32).tobytes() == q32.tobytes()
 
     def test_rejects_bad_magic(self, tmp_path):
         path = tmp_path / "bad.bin"

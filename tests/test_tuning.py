@@ -150,7 +150,8 @@ class TestCandidatePlans:
         assert plans[0] == {"weno_variant": "chained",
                             "riemann_variant": "reference",
                             "sweep_layout": "auto", "threads": 2,
-                            "tiles": None, "fusion": "off"}
+                            "tiles": None, "fusion": "off",
+                            "backend": "numpy"}
 
     def test_cross_product_covers_the_registry(self):
         plans = candidate_plans(ndim=2, cpu_count=4)
